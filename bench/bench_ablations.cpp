@@ -1,0 +1,177 @@
+// E14 — ablations of the design choices DESIGN.md calls out:
+//  (a) reputation decay: recovery speed after validators change behaviour;
+//  (b) composite-rank weight α (AI share): separation of fake vs factual;
+//  (c) gossip fanout: coverage vs message cost;
+//  (d) MinHash sketch size vs exact Jaccard: error vs speedup.
+#include <algorithm>
+
+#include "ai/classifiers.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/ranking.hpp"
+#include "net/gossip.hpp"
+#include "text/similarity.hpp"
+#include "workload/corpus.hpp"
+
+using namespace tnp;
+using namespace tnp::bench;
+
+namespace {
+
+// (a) Turncoat scenario: 30% of validators behave honestly for the first
+// half, then flip to adversarial. With decay, their accumulated reputation
+// bleeds away and accuracy recovers faster.
+double turncoat_accuracy(double decay, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = 101;
+  std::vector<double> reputation(n, 1.0);
+  const std::size_t turncoats = 30;
+  const std::size_t rounds = 600;
+  std::size_t correct = 0, scored = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const bool truth = rng.chance(0.5);
+    const bool flipped = round >= rounds / 2;
+    std::vector<core::CrowdVote> votes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool adversarial = i < turncoats && flipped;
+      votes[i].stake = 10;
+      votes[i].reputation = reputation[i];
+      votes[i].says_factual =
+          adversarial ? !truth : (rng.chance(0.85) ? truth : !truth);
+    }
+    const double score = core::weighted_score(votes);
+    const bool outcome = score >= 0.5;
+    for (std::size_t i = 0; i < n; ++i) {
+      reputation[i] = core::update_reputation(
+          reputation[i], votes[i].says_factual == outcome, decay);
+    }
+    // Score accuracy only in the 50 rounds right after the flip — the
+    // recovery window the decay is supposed to shorten.
+    if (round >= rounds / 2 && round < rounds / 2 + 50) {
+      ++scored;
+      correct += outcome == truth;
+    }
+  }
+  return double(correct) / double(scored);
+}
+
+}  // namespace
+
+int main() {
+  banner("E14 — design ablations",
+         "Reputation decay, AI-weight alpha, gossip fanout, MinHash size.");
+
+  // (a) reputation decay.
+  std::printf("(a) reputation decay under turncoat validators\n");
+  Table decay_table({"decay", "post_flip_accuracy"});
+  double no_decay_acc = 0, decay_acc = 0;
+  for (double decay : {0.0, 0.02, 0.05, 0.10}) {
+    double total = 0;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      total += turncoat_accuracy(decay, seed);
+    }
+    const double mean = total / 3;
+    decay_table.row({decay, mean});
+    if (decay == 0.0) no_decay_acc = mean;
+    if (decay == 0.05) decay_acc = mean;
+  }
+  decay_table.print();
+
+  // (b) alpha sweep: AI vs crowd share in the composite rank.
+  std::printf("\n(b) composite-rank alpha sweep (AI weight)\n");
+  workload::CorpusGenerator generator({}, 911);
+  std::vector<ai::LabeledDoc> train;
+  for (const auto& doc : generator.generate(1500)) train.push_back(doc.labeled());
+  ai::NaiveBayesDetector detector;
+  detector.fit(train);
+  const auto eval_docs = generator.generate(600);
+  Rng rng(912);
+  Table alpha_table({"alpha", "rank_auc"});
+  double best_alpha = -1, best_auc = 0, auc_pure_crowd = 0, auc_pure_ai = 0;
+  for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    std::vector<std::pair<double, bool>> scored;
+    for (const auto& doc : eval_docs) {
+      const double ai_cred = 1.0 - detector.score(doc.text);
+      // Noisy crowd: correct-leaning score with heavy noise.
+      const double crowd = std::clamp(
+          rng.normal(doc.fake ? 0.35 : 0.65, 0.2), 0.0, 1.0);
+      const double rank = alpha * ai_cred + (1 - alpha) * crowd;
+      scored.emplace_back(rank, !doc.fake);  // rank high = credible
+    }
+    const double auc = roc_auc(scored);
+    alpha_table.row({alpha, auc});
+    if (auc > best_auc) {
+      best_auc = auc;
+      best_alpha = alpha;
+    }
+    if (alpha == 0.0) auc_pure_crowd = auc;
+    if (alpha == 1.0) auc_pure_ai = auc;
+  }
+  alpha_table.print();
+
+  // (c) gossip fanout.
+  std::printf("\n(c) gossip fanout: coverage vs messages (500 nodes)\n");
+  Table fanout_table({"fanout", "coverage", "messages"});
+  double coverage_1 = 0, coverage_4 = 0;
+  for (std::size_t fanout : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    sim::Simulator simulator;
+    net::Network network(simulator, 40 + fanout, sim::LatencyModel::lan());
+    Rng topo_rng(41);
+    net::GossipOverlay overlay(network, net::random_regular(500, 8, topo_rng),
+                               fanout, 42);
+    const Hash256 id = overlay.publish(0, to_bytes("item"));
+    simulator.run();
+    const double coverage = overlay.coverage(id);
+    fanout_table.row({std::uint64_t(fanout), coverage,
+                      std::uint64_t(network.stats().sent)});
+    if (fanout == 1) coverage_1 = coverage;
+    if (fanout == 4) coverage_4 = coverage;
+  }
+  fanout_table.print();
+
+  // (d) MinHash sketch size.
+  std::printf("\n(d) MinHash sketch size vs exact Jaccard\n");
+  Table minhash_table({"hashes", "mean_abs_err", "est_us", "exact_us"});
+  double err_16 = 0, err_256 = 0;
+  {
+    // 50 document pairs with varying overlap.
+    workload::CorpusGenerator gen2({}, 500);
+    std::vector<std::pair<text::ShingleSet, text::ShingleSet>> pairs;
+    for (int i = 0; i < 50; ++i) {
+      const auto a = gen2.factual();
+      const auto b = gen2.mutate_into_fake(a, 0);
+      pairs.emplace_back(text::shingles(text::tokenize(a.text)),
+                         text::shingles(text::tokenize(b.text)));
+    }
+    std::vector<double> exact;
+    WallTimer exact_timer;
+    for (const auto& [a, b] : pairs) exact.push_back(text::jaccard(a, b));
+    const double exact_us = exact_timer.micros() / double(pairs.size());
+
+    for (std::size_t hashes : {16u, 64u, 256u}) {
+      const text::MinHash mh(hashes);
+      double err_total = 0;
+      WallTimer est_timer;
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const double est = text::MinHash::estimate(
+            mh.signature(pairs[i].first), mh.signature(pairs[i].second));
+        err_total += std::abs(est - exact[i]);
+      }
+      const double est_us = est_timer.micros() / double(pairs.size());
+      const double mean_err = err_total / double(pairs.size());
+      minhash_table.row({std::uint64_t(hashes), mean_err, est_us, exact_us});
+      if (hashes == 16) err_16 = mean_err;
+      if (hashes == 256) err_256 = mean_err;
+    }
+  }
+  minhash_table.print();
+
+  const bool shape = decay_acc >= no_decay_acc &&
+                     best_auc >= std::max(auc_pure_crowd, auc_pure_ai) - 1e-9 &&
+                     best_alpha > 0.0 && best_alpha < 1.0 &&
+                     coverage_4 > coverage_1 && err_256 < err_16;
+  verdict(shape,
+          "decay speeds post-flip recovery; mixed alpha beats either pure "
+          "signal; fanout buys coverage; larger sketches cut MinHash error");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// E13 (paper Sec VI): community identification from the supply-chain
+// interaction graph. The paper argues knowing which groups individuals
+// belong to is needed for targeted fake-news interventions; this bench
+// plants author communities (dense intra-group derivation, sparse
+// cross-group) and measures recovery purity as mixing increases.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/newsgraph.hpp"
+
+using namespace tnp;
+using namespace tnp::bench;
+
+namespace {
+
+double recovery_purity(std::size_t groups, std::size_t per_group,
+                       double intra_links, double cross_fraction,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  core::ProvenanceGraph graph;
+  const std::size_t n = groups * per_group;
+  std::vector<AccountId> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(KeyPair::generate(SigScheme::kHmacSim, 5000 + i).account());
+  }
+  auto group_of = [&](std::size_t i) { return i / per_group; };
+
+  int counter = 0;
+  std::unordered_map<AccountId, Hash256> latest;
+  auto derive = [&](std::size_t author, std::size_t parent_author) {
+    const Hash256 h = sha256("c13 " + std::to_string(counter++));
+    contracts::ArticleRecord record;
+    record.author = ids[author];
+    const auto it = latest.find(ids[parent_author]);
+    if (it != latest.end()) record.parents = {it->second};
+    graph.add_article(h, record);
+    latest[ids[author]] = h;
+  };
+
+  // Roots: everyone posts one original.
+  for (std::size_t i = 0; i < n; ++i) derive(i, i);
+  // Derivations: intra_links per member, each cross-group w.p.
+  // cross_fraction.
+  const auto links = std::size_t(intra_links * double(n));
+  for (std::size_t l = 0; l < links; ++l) {
+    const std::size_t a = rng.uniform(n);
+    std::size_t b;
+    if (rng.chance(cross_fraction)) {
+      b = rng.uniform(n);  // anywhere
+    } else {
+      b = group_of(a) * per_group + rng.uniform(per_group);  // own group
+    }
+    if (a != b) derive(a, b);
+  }
+
+  const auto labels = graph.communities(32);
+  // Recovery score = purity x distinctness. Purity alone is gameable: when
+  // mixing collapses every author into one global label, each group is
+  // "pure" — so we also require the groups' majority labels to be distinct.
+  double purity_total = 0;
+  std::set<std::uint32_t> majority_labels;
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::map<std::uint32_t, std::size_t> votes;
+    for (std::size_t i = 0; i < per_group; ++i) {
+      const auto it = labels.find(ids[g * per_group + i]);
+      if (it != labels.end()) ++votes[it->second];
+    }
+    std::size_t majority = 0;
+    std::uint32_t majority_label = 0;
+    for (const auto& [label, count] : votes) {
+      if (count > majority) {
+        majority = count;
+        majority_label = label;
+      }
+    }
+    majority_labels.insert(majority_label);
+    purity_total += double(majority) / double(per_group);
+  }
+  const double purity = purity_total / double(groups);
+  const double distinctness = double(majority_labels.size()) / double(groups);
+  return purity * distinctness;
+}
+
+}  // namespace
+
+int main() {
+  banner("E13 — community recovery from the interaction graph",
+         "Claim: the supply-chain graph identifies the groups/communities "
+         "individuals belong to — the prerequisite for personalized "
+         "interventions (paper Secs VI–VII).");
+
+  Table table({"cross_fraction", "recovery(4x25 authors)", "recovery(8x25)"});
+  double purity_clean = 0, purity_mixed = 0;
+  for (double cross : {0.02, 0.1, 0.25, 0.5, 0.8}) {
+    const double p4 = recovery_purity(4, 25, 6.0, cross, 71);
+    const double p8 = recovery_purity(8, 25, 6.0, cross, 72);
+    table.row({cross, p4, p8});
+    if (cross == 0.02) purity_clean = p4;
+    if (cross == 0.8) purity_mixed = p4;
+  }
+  table.print();
+
+  const bool shape = purity_clean > 0.9 && purity_clean > purity_mixed + 0.15;
+  verdict(shape, "near-perfect recovery with sparse cross-links, degrading "
+                 "as groups mix into one giant community");
+  return shape ? 0 : 1;
+}

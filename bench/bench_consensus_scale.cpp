@@ -1,0 +1,134 @@
+// E8 (paper Sec VII): "the model demands a high-performance blockchain
+// network". PBFT's three quadratic phases cap throughput as the validator
+// count grows; the PoA ordering-service baseline stays flat; MAC
+// authenticators vs Schnorr signatures shift the CPU-cost crossover
+// (Castro–Liskov's original argument, reproduced in virtual time).
+#include <memory>
+
+#include "bench_util.hpp"
+#include "consensus/cluster.hpp"
+#include "contracts/host.hpp"
+#include "contracts/txbuilder.hpp"
+
+using namespace tnp;
+using namespace tnp::bench;
+
+namespace {
+
+struct RunResult {
+  double txs_per_sim_second = 0;
+  double latency_p50_ms = 0;
+  double msgs_per_block = 0;
+  double committed = 0;
+};
+
+RunResult run_cluster(consensus::Protocol protocol, std::size_t replicas,
+                      consensus::AuthMode auth, std::size_t num_txs) {
+  sim::Simulator simulator;
+  net::Network network(simulator, 99, sim::LatencyModel::datacenter());
+  consensus::ClusterConfig config;
+  config.protocol = protocol;
+  config.replicas = replicas;
+  config.auth_mode = auth;
+  config.block_interval = 50 * sim::kMillisecond;
+  config.max_block_txs = 200;
+  // Per-message processing cost (deserialize + MAC/signature): makes the
+  // CPU term of the O(n^2) message load visible in virtual time.
+  config.crypto.mac_compute = 15;
+  consensus::Cluster cluster(
+      network, [] { return contracts::ContractHost::standard(); }, config);
+  cluster.start();
+
+  const KeyPair client = KeyPair::generate(SigScheme::kHmacSim, 5);
+  for (std::size_t i = 0; i < num_txs; ++i) {
+    // Identity registrations double as a uniform contract workload.
+    cluster.submit(contracts::txb::register_identity(
+        KeyPair::generate(SigScheme::kHmacSim, 1000 + i), 0,
+        "user" + std::to_string(i), contracts::Role::kConsumer));
+  }
+  (void)client;
+
+  // Advance in 1ms sim slices until the full load has committed (the
+  // periodic consensus timers keep the event queue alive forever, so a
+  // plain run() would never return).
+  const sim::SimTime start = simulator.now();
+  const sim::SimTime deadline = start + 300 * sim::kSecond;
+  while (cluster.stats().committed_txs < num_txs && simulator.now() < deadline) {
+    simulator.run_until(simulator.now() + 1 * sim::kMillisecond);
+  }
+
+  const auto& stats = cluster.stats();
+  RunResult result;
+  result.committed = double(stats.committed_txs);
+  const double elapsed_s =
+      double(simulator.now() - start) / double(sim::kSecond);
+  result.txs_per_sim_second = elapsed_s > 0 ? result.committed / elapsed_s : 0;
+  result.latency_p50_ms = stats.commit_latency_ms.percentile(50);
+  result.msgs_per_block =
+      stats.committed_blocks > 0
+          ? double(network.stats().sent) / double(stats.committed_blocks)
+          : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  banner("E8 — consensus scalability (PBFT vs PoA ordering baseline)",
+         "Claim: PBFT message complexity is O(n^2) per block, so messages/"
+         "block grow quadratically and throughput falls with validator "
+         "count; PoA stays O(n). MAC authenticators beat per-message "
+         "signatures on CPU cost (paper Sec VII).");
+
+  Table table({"protocol", "replicas", "committed", "tx_per_sim_s",
+               "p50_latency_ms", "msgs_per_block"});
+  double pbft_m4 = 0, pbft_m25 = 0, pbft_tps4 = 0, pbft_tps25 = 0;
+  double poa_m25 = 0;
+  for (std::size_t n : {4u, 7u, 10u, 16u, 25u, 40u}) {
+    const RunResult pbft =
+        run_cluster(consensus::Protocol::kPbft, n, consensus::AuthMode::kMac, 2000);
+    table.row({std::string("pbft"), std::uint64_t(n), pbft.committed,
+               pbft.txs_per_sim_second, pbft.latency_p50_ms,
+               pbft.msgs_per_block});
+    if (n == 4) {
+      pbft_m4 = pbft.msgs_per_block;
+      pbft_tps4 = pbft.txs_per_sim_second;
+    }
+    if (n == 25) {
+      pbft_m25 = pbft.msgs_per_block;
+      pbft_tps25 = pbft.txs_per_sim_second;
+    }
+  }
+  for (std::size_t n : {4u, 7u, 10u, 16u, 25u, 40u}) {
+    const RunResult poa =
+        run_cluster(consensus::Protocol::kPoa, n, consensus::AuthMode::kMac, 2000);
+    table.row({std::string("poa"), std::uint64_t(n), poa.committed,
+               poa.txs_per_sim_second, poa.latency_p50_ms,
+               poa.msgs_per_block});
+    if (n == 25) poa_m25 = poa.msgs_per_block;
+  }
+  table.print();
+
+  std::printf("\nauthenticator ablation (PBFT, n=7, 400 txs):\n");
+  Table auth_table({"auth_mode", "tx_per_sim_s", "p50_latency_ms"});
+  double mac_latency = 0, schnorr_latency = 0;
+  for (auto [mode, name] :
+       {std::pair{consensus::AuthMode::kNone, "none"},
+        std::pair{consensus::AuthMode::kMac, "mac"},
+        std::pair{consensus::AuthMode::kSchnorr, "schnorr"}}) {
+    const RunResult r = run_cluster(consensus::Protocol::kPbft, 7, mode, 400);
+    auth_table.row({std::string(name), r.txs_per_sim_second, r.latency_p50_ms});
+    if (mode == consensus::AuthMode::kMac) mac_latency = r.latency_p50_ms;
+    if (mode == consensus::AuthMode::kSchnorr) schnorr_latency = r.latency_p50_ms;
+  }
+  auth_table.print();
+
+  const double quad_growth = pbft_m25 / pbft_m4;  // 25/4 → ~39x if quadratic
+  const bool shape = quad_growth > 15.0 && pbft_m25 > 5.0 * poa_m25 &&
+                     pbft_tps25 < pbft_tps4 && schnorr_latency > mac_latency;
+  verdict(shape,
+          "PBFT msgs/block grows ~quadratically (>15x from n=4 to n=25), "
+          "exceeds PoA by >5x at n=25, PBFT throughput falls with n, and "
+          "signature authenticators cost more latency than MACs");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,198 @@
+// E10 (paper Sec VII "scalable smart contracts"): google-benchmark micro
+// benchmarks of the contract execution layer — VM instruction throughput,
+// state-access costs, native contract methods, and whole-block application
+// throughput at several batch sizes.
+#include <benchmark/benchmark.h>
+
+#include "contracts/host.hpp"
+#include "contracts/schema.hpp"
+#include "contracts/txbuilder.hpp"
+#include "contracts/vm.hpp"
+
+namespace {
+
+using namespace tnp;
+namespace txb = contracts::txb;
+
+class NullEnv final : public contracts::VmEnv {
+ public:
+  Bytes load(const Bytes& key) override {
+    const auto it = data_.find(key);
+    return it == data_.end() ? Bytes{} : it->second;
+  }
+  void store(const Bytes& key, const Bytes& value) override {
+    data_[key] = value;
+  }
+  void emit(const std::string&, const Bytes&) override {}
+  Bytes caller() const override { return Bytes(32, 0xAB); }
+  std::map<Bytes, Bytes> data_;
+};
+
+void BM_VmArithLoop(benchmark::State& state) {
+  // Tight 1000-iteration arithmetic loop: measures instructions/second.
+  const auto code = contracts::vm_assemble(R"(
+    PUSHI 0
+    PUSHI 1000
+  loop:
+    DUP 0
+    JZ done
+    SWAP
+    DUP 1
+    ADD
+    SWAP
+    PUSHI 1
+    SUB
+    JMP loop
+  done:
+    POP
+    HALT
+  )");
+  NullEnv env;
+  ledger::GasCosts costs;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    ledger::GasMeter gas(10'000'000);
+    auto result = contracts::vm_execute(BytesView(*code), {}, env, gas, costs);
+    benchmark::DoNotOptimize(result);
+    steps += result.ok() ? result->steps : 0;
+  }
+  state.counters["ops_per_s"] = benchmark::Counter(
+      double(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmArithLoop);
+
+void BM_VmStateAccess(benchmark::State& state) {
+  const auto code = contracts::vm_assemble(
+      "PUSHS key\nPUSHS key\nLOAD\nLEN\nPOP\nPUSHI 7\nSTORE\nHALT");
+  NullEnv env;
+  ledger::GasCosts costs;
+  for (auto _ : state) {
+    ledger::GasMeter gas(1'000'000);
+    auto result = contracts::vm_execute(BytesView(*code), {}, env, gas, costs);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_VmStateAccess);
+
+void BM_VmSha256(benchmark::State& state) {
+  const auto code =
+      contracts::vm_assemble("INPUT\nSHA256\nHALT");
+  NullEnv env;
+  ledger::GasCosts costs;
+  const Bytes input(state.range(0), 0x42);
+  for (auto _ : state) {
+    ledger::GasMeter gas(10'000'000);
+    auto result =
+        contracts::vm_execute(BytesView(*code), BytesView(input), env, gas, costs);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VmSha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// Applies blocks of `batch` identity registrations to a fresh chain.
+void BM_BlockApply(benchmark::State& state) {
+  const std::size_t batch = std::size_t(state.range(0));
+  // Pre-generate signed transactions (keygen/signing excluded from timing).
+  std::vector<ledger::Transaction> txs;
+  for (std::size_t i = 0; i < batch * 4; ++i) {
+    txs.push_back(txb::register_identity(
+        KeyPair::generate(SigScheme::kHmacSim, 10'000 + i), 0,
+        "u" + std::to_string(i), contracts::Role::kConsumer));
+  }
+  std::uint64_t applied = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto host = contracts::ContractHost::standard();
+    ledger::Blockchain chain(*host);
+    state.ResumeTiming();
+    for (std::size_t b = 0; b < 4; ++b) {
+      std::vector<ledger::Transaction> block_txs(
+          txs.begin() + std::ptrdiff_t(b * batch),
+          txs.begin() + std::ptrdiff_t((b + 1) * batch));
+      ledger::Block block = chain.make_block(std::move(block_txs), 0, b + 1);
+      benchmark::DoNotOptimize(chain.apply_block(block));
+      applied += batch;
+    }
+  }
+  state.counters["tx_per_s"] =
+      benchmark::Counter(double(applied), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BlockApply)->Arg(10)->Arg(100)->Arg(500);
+
+/// One full publish transaction through the news contract.
+void BM_TxPublish(benchmark::State& state) {
+  auto host = contracts::ContractHost::standard();
+  ledger::Blockchain chain(*host);
+  const KeyPair admin = KeyPair::generate(SigScheme::kHmacSim, 1);
+  std::uint64_t nonce = 0;
+  auto apply = [&](ledger::Transaction tx) {
+    ledger::Block block = chain.make_block({std::move(tx)}, 0, nonce);
+    const Status s = chain.apply_block(block);
+    assert(s.ok());
+    (void)s;
+  };
+  apply(txb::bootstrap_governance(admin, nonce++));
+  apply(txb::register_identity(admin, nonce++, "a", contracts::Role::kPublisher));
+  apply(txb::create_platform(admin, nonce++, "p"));
+  apply(txb::create_room(admin, nonce++, "p", "r", "t"));
+
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    apply(txb::publish(admin, nonce++, "p", "r",
+                       sha256("art" + std::to_string(i++)), "ref",
+                       contracts::EditType::kOriginal, {}));
+  }
+  state.counters["gas_per_tx"] =
+      double(chain.total_gas_used()) / double(chain.tx_count());
+}
+BENCHMARK(BM_TxPublish);
+
+/// Ranking round: open + 5 votes + close, all as ledger transactions.
+void BM_RankingRound(benchmark::State& state) {
+  auto host = contracts::ContractHost::standard();
+  ledger::Blockchain chain(*host);
+  const KeyPair admin = KeyPair::generate(SigScheme::kHmacSim, 1);
+  std::vector<KeyPair> voters;
+  std::vector<std::uint64_t> voter_nonce(5, 0);
+  for (int i = 0; i < 5; ++i) {
+    voters.push_back(KeyPair::generate(SigScheme::kHmacSim, 50 + i));
+  }
+  std::uint64_t nonce = 0;
+  std::uint64_t ts = 0;
+  auto apply_block = [&](std::vector<ledger::Transaction> txs) {
+    ledger::Block block = chain.make_block(std::move(txs), 0, ++ts);
+    benchmark::DoNotOptimize(chain.apply_block(block));
+  };
+  apply_block({txb::bootstrap_governance(admin, nonce++)});
+  apply_block({txb::register_identity(admin, nonce++, "a",
+                                      contracts::Role::kPublisher)});
+  apply_block({txb::create_platform(admin, nonce++, "p")});
+  apply_block({txb::create_room(admin, nonce++, "p", "r", "t")});
+  for (int i = 0; i < 5; ++i) {
+    apply_block({txb::register_identity(voters[i], voter_nonce[i]++,
+                                        "v" + std::to_string(i),
+                                        contracts::Role::kFactChecker)});
+    apply_block({txb::mint(admin, nonce++, voters[i].account(), 1'000'000)});
+  }
+
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    const Hash256 article = sha256("round " + std::to_string(round++));
+    std::vector<ledger::Transaction> txs;
+    txs.push_back(txb::publish(admin, nonce++, "p", "r", article, "ref",
+                               contracts::EditType::kOriginal, {}));
+    txs.push_back(txb::open_round(admin, nonce++, article));
+    for (int i = 0; i < 5; ++i) {
+      txs.push_back(
+          txb::vote(voters[i], voter_nonce[i]++, article, i % 2 == 0, 10));
+    }
+    txs.push_back(txb::close_round(admin, nonce++, article));
+    apply_block(std::move(txs));
+  }
+}
+BENCHMARK(BM_RankingRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

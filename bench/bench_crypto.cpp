@@ -1,0 +1,130 @@
+// Crypto substrate micro-benchmarks: SHA-256 throughput, HMAC, Merkle
+// construction/proofs, U256 modular arithmetic vs the specialized
+// secp256k1 field path, and Schnorr sign/verify — the numbers behind the
+// MAC-vs-signature cost model used by the consensus layer (E8).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/signer.hpp"
+
+namespace {
+
+using namespace tnp;
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(state.range(0), 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(BytesView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  Bytes data(state.range(0), 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(BytesView(key), BytesView(data)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    leaves.push_back(sha256("leaf" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merkle_root(leaves));
+  }
+}
+BENCHMARK(BM_MerkleRoot)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_MerkleProve(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < 1024; ++i) {
+    leaves.push_back(sha256("leaf" + std::to_string(i)));
+  }
+  MerkleTree tree(leaves);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.prove(index++ % 1024));
+  }
+}
+BENCHMARK(BM_MerkleProve);
+
+void BM_MulmodGeneric(benchmark::State& state) {
+  Rng rng(1);
+  const U256& n = secp::group_order();
+  U256 a = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), n);
+  const U256 b = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), n);
+  for (auto _ : state) {
+    a = mulmod(a, b, n);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_MulmodGeneric);
+
+void BM_FieldMulFast(benchmark::State& state) {
+  Rng rng(2);
+  const U256& p = secp::field_prime();
+  U256 a = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), p);
+  const U256 b = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), p);
+  for (auto _ : state) {
+    a = secp::fe_mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMulFast);
+
+void BM_ScalarMulBase(benchmark::State& state) {
+  Rng rng(3);
+  const U256 k = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()),
+                     secp::group_order());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(secp::scalar_mul_base(k));
+  }
+}
+BENCHMARK(BM_ScalarMulBase);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  const auto key = schnorr::PrivateKey::from_seed(to_bytes("bench"));
+  const Bytes message = to_bytes("a typical consensus message payload");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr::sign(key, BytesView(message)));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  const auto key = schnorr::PrivateKey::from_seed(to_bytes("bench"));
+  const auto pub = key.public_key();
+  const Bytes message = to_bytes("a typical consensus message payload");
+  const auto sig = schnorr::sign(key, BytesView(message));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr::verify(pub, BytesView(message), sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_HmacSimSignVerify(benchmark::State& state) {
+  const auto kp = KeyPair::generate(SigScheme::kHmacSim, 9);
+  const Bytes message = to_bytes("a typical consensus message payload");
+  for (auto _ : state) {
+    const Bytes sig = kp.sign(BytesView(message));
+    benchmark::DoNotOptimize(verify_signature(SigScheme::kHmacSim,
+                                              BytesView(kp.public_material()),
+                                              BytesView(message),
+                                              BytesView(sig)));
+  }
+}
+BENCHMARK(BM_HmacSimSignVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

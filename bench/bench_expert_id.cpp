@@ -1,0 +1,120 @@
+// E12 (paper Sec VI): identifying domain-topic experts from ledger
+// history. AI analysis of who has repeatedly produced factual-ranked
+// content in a topic suggests fact-checking candidates; precision grows
+// with history length and beats random and raw-volume baselines.
+#include <algorithm>
+#include <set>
+
+#include "bench_util.hpp"
+#include "core/newsgraph.hpp"
+#include "workload/corpus.hpp"
+
+using namespace tnp;
+using namespace tnp::bench;
+
+namespace {
+
+struct PrecisionResult {
+  double expert_suggestion = 0;
+  double volume_baseline = 0;
+  double random_baseline = 0;
+};
+
+PrecisionResult run(std::size_t history_len, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t accounts = 300;
+  const std::size_t true_experts = 5;
+  const std::string topic = "economy";
+
+  core::ProvenanceGraph graph;
+  std::map<std::string, std::string> room_topics = {
+      {contracts::keys::room("p", "econ"), "economy"},
+      {contracts::keys::room("p", "other"), "sports"},
+  };
+  std::vector<AccountId> ids;
+  for (std::size_t i = 0; i < accounts; ++i) {
+    ids.push_back(KeyPair::generate(SigScheme::kHmacSim, 1000 + i).account());
+  }
+  // True experts: the first `true_experts` accounts — high factual rate in
+  // the topic. Everyone else posts mostly elsewhere / lower quality.
+  std::map<AccountId, std::size_t> volume;
+  int article_counter = 0;
+  auto post = [&](const AccountId& author, const std::string& room,
+                  double rank) {
+    contracts::ArticleRecord record;
+    record.author = author;
+    record.platform = "p";
+    record.room = room;
+    record.edit_type = contracts::EditType::kOriginal;
+    const Hash256 h = sha256("article " + std::to_string(article_counter++));
+    graph.add_article(h, record);
+    graph.set_rank_score(h, rank);
+    ++volume[author];
+  };
+
+  for (std::size_t i = 0; i < accounts; ++i) {
+    const bool expert = i < true_experts;
+    // Experts post `history_len` topic articles at 90% factual; laymen post
+    // a few at 35% factual; spammers (last 20) post MANY low-quality ones.
+    const bool spammer = i + 20 >= accounts;
+    const std::size_t posts = expert ? history_len
+                              : spammer ? history_len * 2
+                                        : 1 + rng.uniform(3);
+    for (std::size_t k = 0; k < posts; ++k) {
+      const double quality = expert ? (rng.chance(0.9) ? 0.9 : 0.2)
+                             : spammer ? (rng.chance(0.2) ? 0.9 : 0.1)
+                                       : (rng.chance(0.35) ? 0.8 : 0.3);
+      post(ids[i], rng.chance(expert ? 0.9 : 0.5) ? "econ" : "other", quality);
+    }
+  }
+
+  const auto suggested = graph.suggest_experts(topic, room_topics, true_experts);
+  std::set<AccountId> truth(ids.begin(), ids.begin() + true_experts);
+  std::size_t hits = 0;
+  for (const auto& [account, score] : suggested) hits += truth.contains(account);
+
+  // Volume baseline: accounts with the most articles overall.
+  std::vector<std::pair<std::size_t, AccountId>> by_volume;
+  for (const auto& [account, count] : volume) by_volume.push_back({count, account});
+  std::sort(by_volume.rbegin(), by_volume.rend());
+  std::size_t volume_hits = 0;
+  for (std::size_t i = 0; i < true_experts && i < by_volume.size(); ++i) {
+    volume_hits += truth.contains(by_volume[i].second);
+  }
+
+  PrecisionResult result;
+  result.expert_suggestion = double(hits) / double(true_experts);
+  result.volume_baseline = double(volume_hits) / double(true_experts);
+  result.random_baseline = double(true_experts) / double(accounts);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  banner("E12 — expert identification from ledger history",
+         "Claim: analyzing the blockchain ledger's factual-ranked output "
+         "identifies domain-topic experts, growing the fact-checker pool; "
+         "precision rises with history length (paper Sec VI).");
+
+  Table table({"history_len", "precision@5_ours", "precision@5_volume",
+               "precision@5_random"});
+  double p_short = 0, p_long = 0, volume_long = 0;
+  for (std::size_t history : {2u, 5u, 10u, 30u}) {
+    const PrecisionResult r = run(history, 60 + history);
+    table.row({std::uint64_t(history), r.expert_suggestion, r.volume_baseline,
+               r.random_baseline});
+    if (history == 2) p_short = r.expert_suggestion;
+    if (history == 30) {
+      p_long = r.expert_suggestion;
+      volume_long = r.volume_baseline;
+    }
+  }
+  table.print();
+
+  const bool shape = p_long >= p_short && p_long >= 0.8 &&
+                     p_long > volume_long;
+  verdict(shape, "precision grows with history, reaches >=0.8, and beats "
+                 "the raw-volume baseline (spammers fool volume, not rank)");
+  return shape ? 0 : 1;
+}

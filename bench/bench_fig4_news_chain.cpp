@@ -1,0 +1,146 @@
+// E4 (Figure 4): the dynamic news blockchain supply chain. Unlike the
+// pre-configured process chain (Figure 3 / E3), the news graph grows
+// ad-hoc: consumers are nodes, fan-out varies, every derivation is a
+// transaction whose parents must already be on chain. This bench measures
+// publish-transaction throughput, graph construction from committed state,
+// and trace-back latency as the graph scales.
+#include "bench_util.hpp"
+#include "contracts/host.hpp"
+#include "contracts/txbuilder.hpp"
+#include "core/newsgraph.hpp"
+#include "workload/corpus.hpp"
+
+using namespace tnp;
+using namespace tnp::bench;
+namespace txb = contracts::txb;
+
+namespace {
+
+struct BuildResult {
+  double publish_tx_per_s = 0;
+  double graph_build_ms = 0;
+  double trace_mean_us = 0;
+  double traceable_frac = 0;
+  std::size_t articles = 0;
+};
+
+BuildResult build_and_measure(std::size_t num_articles, std::size_t max_fanout,
+                              std::uint64_t seed) {
+  auto host = contracts::ContractHost::standard();
+  ledger::Blockchain chain(*host);
+  core::ContentStore content;
+  workload::CorpusGenerator generator({}, seed);
+  Rng rng(seed * 31 + 1);
+
+  const KeyPair admin = KeyPair::generate(SigScheme::kHmacSim, seed);
+  std::uint64_t admin_nonce = 0;
+  auto submit_block = [&](std::vector<ledger::Transaction> txs) {
+    ledger::Block block = chain.make_block(std::move(txs), 0,
+                                           1000 * (chain.height() + 1));
+    const Status s = chain.apply_block(block);
+    if (!s.ok()) std::fprintf(stderr, "block failed: %s\n", s.to_string().c_str());
+  };
+
+  // Setup: governance, identity, platform, room, seed facts.
+  submit_block({txb::bootstrap_governance(admin, admin_nonce++),
+                txb::register_identity(admin, admin_nonce++, "pub",
+                                       contracts::Role::kPublisher)});
+  submit_block({txb::create_platform(admin, admin_nonce++, "p"),
+                txb::create_room(admin, admin_nonce++, "p", "r", "news")});
+  std::vector<Hash256> on_chain;  // publishable parents
+  std::vector<workload::Document> docs;
+  {
+    std::vector<ledger::Transaction> seeds;
+    for (int i = 0; i < 20; ++i) {
+      docs.push_back(generator.factual());
+      const Hash256 h = content.put(docs.back().text);
+      on_chain.push_back(h);
+      seeds.push_back(txb::add_fact(admin, admin_nonce++, h, "seed"));
+    }
+    submit_block(std::move(seeds));
+  }
+
+  // Publish num_articles derived articles in blocks of 200.
+  WallTimer publish_timer;
+  std::vector<ledger::Transaction> batch;
+  std::unordered_set<Hash256> used(on_chain.begin(), on_chain.end());
+  std::size_t published = 0;
+  while (published < num_articles) {
+    const std::size_t parent_count = 1 + rng.uniform(max_fanout);
+    std::vector<Hash256> parents;
+    const std::size_t base = rng.uniform(on_chain.size());
+    for (std::size_t j = 0; j < parent_count && j < on_chain.size(); ++j) {
+      parents.push_back(on_chain[(base + j * 7) % on_chain.size()]);
+    }
+    const auto& source = docs[base % docs.size()];
+    const workload::Document derived =
+        generator.derive_factual(source, 0, 0.15);
+    const Hash256 h = content.put(derived.text);
+    if (!used.insert(h).second) continue;  // rare duplicate content
+    batch.push_back(txb::publish(
+        admin, admin_nonce++, "p", "r", h, "ref",
+        parents.size() > 1 ? contracts::EditType::kMerge
+                           : contracts::EditType::kInsert,
+        parents));
+    on_chain.push_back(h);
+    docs.push_back(derived);
+    ++published;
+    if (batch.size() >= 200) submit_block(std::move(batch)), batch.clear();
+  }
+  if (!batch.empty()) submit_block(std::move(batch));
+  const double publish_seconds = publish_timer.seconds();
+
+  BuildResult result;
+  WallTimer graph_timer;
+  const core::ProvenanceGraph graph =
+      core::ProvenanceGraph::from_state(chain.state());
+  result.graph_build_ms = graph_timer.millis();
+  result.articles = graph.article_count();
+  result.publish_tx_per_s = double(published) / publish_seconds;
+
+  // Trace a random sample of 100 articles.
+  WallTimer trace_timer;
+  int traced = 0, traceable = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Hash256& h = on_chain[20 + rng.uniform(on_chain.size() - 20)];
+    traceable += graph.trace_to_root(h, content).traceable;
+    ++traced;
+  }
+  result.trace_mean_us = trace_timer.micros() / traced;
+  result.traceable_frac = double(traceable) / traced;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  banner("E4 — Figure 4: dynamic news supply-chain graph at scale",
+         "Claim: the news supply chain has a dynamic large-scale graph "
+         "(consumers are nodes); publish/trace costs grow with graph size "
+         "and fan-out but full traceability to the factual root is "
+         "preserved (paper Sec VI).");
+
+  Table table({"articles", "max_fanout", "publish_tx_per_s", "graph_build_ms",
+               "trace_mean_us", "traceable_frac"});
+  double small_trace = 0, large_trace = 0;
+  double traceable_all = 1.0;
+  for (std::size_t n : {1000u, 5000u, 20000u}) {
+    for (std::size_t fanout : {1u, 4u}) {
+      const BuildResult r = build_and_measure(n, fanout, 11 + n + fanout);
+      table.row({std::uint64_t(r.articles), std::uint64_t(fanout),
+                 r.publish_tx_per_s, r.graph_build_ms, r.trace_mean_us,
+                 r.traceable_frac});
+      if (n == 1000 && fanout == 1) small_trace = r.trace_mean_us;
+      if (n == 20000 && fanout == 4) large_trace = r.trace_mean_us;
+      traceable_all = std::min(traceable_all, r.traceable_frac);
+    }
+  }
+  table.print();
+
+  const bool shape = traceable_all >= 0.99 && large_trace >= small_trace * 0.5;
+  verdict(shape,
+          "all sampled articles trace to factual roots; trace cost does not "
+          "shrink as the graph grows 20x (dynamic-graph overhead is real "
+          "but bounded)");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// E11 (paper Secs I/IV): fake-multimedia detection. Originals are anchored
+// on the ledger by hash; a presented image is scored against its claimed
+// original. ROC separation grows with splice size; innocuous global edits
+// (brightness, recompression) stay below threshold.
+#include <algorithm>
+
+#include "ai/media.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+
+using namespace tnp;
+using namespace tnp::bench;
+
+namespace {
+
+struct RocPoint {
+  double auc = 0;
+  double tpr_at_5fpr = 0;
+};
+
+RocPoint evaluate(std::size_t size, double splice_fraction, int trials,
+                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < trials; ++i) {
+    const auto original = ai::generate_image(rng, size, size);
+    const auto donor = ai::generate_image(rng, size, size);
+
+    auto benign = original;
+    ai::brighten(benign, int(rng.uniform(12)));
+    if (rng.chance(0.5)) ai::recompress(benign, 64);
+    scored.emplace_back(ai::tamper_score(original, benign), false);
+
+    auto tampered = original;
+    ai::splice_region(tampered, donor, splice_fraction, rng);
+    if (rng.chance(0.5)) ai::recompress(tampered, 64);  // cover-up attempt
+    scored.emplace_back(ai::tamper_score(original, tampered), true);
+  }
+  RocPoint point;
+  point.auc = roc_auc(scored);
+  // TPR at the threshold giving 5% FPR.
+  std::vector<double> negatives;
+  for (const auto& [score, positive] : scored) {
+    if (!positive) negatives.push_back(score);
+  }
+  std::sort(negatives.begin(), negatives.end());
+  const double threshold =
+      negatives[std::size_t(double(negatives.size()) * 0.95)];
+  std::size_t tp = 0, positives = 0;
+  for (const auto& [score, positive] : scored) {
+    if (positive) {
+      ++positives;
+      tp += score > threshold;
+    }
+  }
+  point.tpr_at_5fpr = double(tp) / double(positives);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  banner("E11 — deepfake-analogue media tamper detection",
+         "Claim: ledger-anchored originals let localized tampering (the "
+         "splice/face-swap analogue) be detected even under recompression "
+         "cover-ups, while innocuous edits pass (paper Secs I, IV).");
+
+  Table table({"image_size", "splice_frac", "auc", "tpr_at_5pct_fpr"});
+  double auc_small_splice = 0, auc_big_splice = 0;
+  for (std::size_t size : {64u, 128u, 256u}) {
+    for (double fraction : {0.05, 0.1, 0.2, 0.4}) {
+      const RocPoint point = evaluate(size, fraction, 60, 900 + size);
+      table.row({std::uint64_t(size), fraction, point.auc,
+                 point.tpr_at_5fpr});
+      if (size == 128 && fraction == 0.05) auc_small_splice = point.auc;
+      if (size == 128 && fraction == 0.4) auc_big_splice = point.auc;
+    }
+  }
+  table.print();
+
+  // Throughput of the detector.
+  Rng rng(4242);
+  const auto img_a = ai::generate_image(rng, 256, 256);
+  const auto img_b = ai::generate_image(rng, 256, 256);
+  WallTimer timer;
+  double checksum = 0;
+  const int reps = 200;
+  for (int i = 0; i < reps; ++i) checksum += ai::tamper_score(img_a, img_b);
+  std::printf("\ntamper_score 256x256: %.1f us/op (checksum %.1f)\n",
+              timer.micros() / reps, checksum);
+
+  const bool shape =
+      auc_big_splice > 0.95 && auc_big_splice >= auc_small_splice - 0.02;
+  verdict(shape, "large splices detected near-perfectly; detection quality "
+                 "does not degrade as tamper size grows");
+  return shape ? 0 : 1;
+}

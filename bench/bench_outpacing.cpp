@@ -1,0 +1,110 @@
+// E9 (paper Secs I/VI): "factual-sourced reporting can outpace the spread
+// of fake news". Cascades on a Barabási–Albert social graph: without the
+// platform, sensational fakes (bot-amplified, virality-boosted) beat the
+// factual version to the audience; with platform interventions (rank-gated
+// resharing of flagged fakes + promotion of verified factual content) the
+// factual item reaches half the population first.
+#include "bench_util.hpp"
+#include "workload/propagation.hpp"
+
+using namespace tnp;
+using namespace tnp::bench;
+
+namespace {
+
+double hours(sim::SimTime t) {
+  return t == UINT64_MAX ? -1.0 : double(t) / double(sim::kHour);
+}
+
+}  // namespace
+
+int main() {
+  banner("E9 — factual news outpacing fake news",
+         "Claim: unchecked, fake news spreads farther/faster (bots + "
+         "virality); platform interventions (flag-gated resharing, verified "
+         "promotion) let the factual version win (paper Secs I, VI).");
+
+  Rng graph_rng(55);
+  const net::Adjacency graph = net::barabasi_albert(10'000, 3, graph_rng);
+
+  // Detector-driven intervention: flagged fakes reshare at 15% (detector
+  // recall 0.85); verified factual items are feed-promoted by the platform
+  // (6x exposure — the ranked-feed effect), pushing them supercritical.
+  const workload::InterventionFn platform_on = [](std::uint32_t, bool fake) {
+    return fake ? 0.15 : 6.0;
+  };
+
+  Table table({"bot_frac", "fake_reach", "fake_t50_h", "factual_reach",
+               "factual_t50_h", "fake_reach_guarded", "factual_t50_guarded_h",
+               "factual_wins_guarded"});
+  bool unguarded_fake_wins = false;
+  bool guarded_factual_wins = true;
+  for (double bot_fraction : {0.0, 0.05, 0.10, 0.20}) {
+    workload::PopulationConfig population;
+    population.bot_fraction = bot_fraction;
+
+    double fake_reach = 0, factual_reach = 0, fake_guarded_reach = 0;
+    double fake_t50 = 0, factual_t50 = 0, factual_t50_guarded = 0;
+    int fake_t50_n = 0, factual_t50_n = 0, guarded_t50_n = 0;
+    int factual_wins = 0, trials = 6;
+    for (int trial = 0; trial < trials; ++trial) {
+      const std::uint64_t seed = 400 + trial;
+      const std::vector<std::uint32_t> seeds = {1, 2, 3, 4, 5};
+
+      workload::CascadeSimulator fake_sim(graph, population, seed);
+      const auto fake = fake_sim.run(seeds, true);
+      workload::CascadeSimulator factual_sim(graph, population, seed);
+      const auto factual = factual_sim.run(seeds, false);
+      workload::CascadeSimulator fake_guarded_sim(graph, population, seed);
+      const auto fake_guarded = fake_guarded_sim.run(seeds, true, platform_on);
+      workload::CascadeSimulator factual_guarded_sim(graph, population, seed);
+      const auto factual_guarded =
+          factual_guarded_sim.run(seeds, false, platform_on);
+
+      fake_reach += double(fake.reached) / double(graph.size());
+      factual_reach += double(factual.reached) / double(graph.size());
+      fake_guarded_reach += double(fake_guarded.reached) / double(graph.size());
+      if (fake.half_population_time != UINT64_MAX) {
+        fake_t50 += hours(fake.half_population_time);
+        ++fake_t50_n;
+      }
+      if (factual.half_population_time != UINT64_MAX) {
+        factual_t50 += hours(factual.half_population_time);
+        ++factual_t50_n;
+      }
+      if (factual_guarded.half_population_time != UINT64_MAX) {
+        factual_t50_guarded += hours(factual_guarded.half_population_time);
+        ++guarded_t50_n;
+      }
+      // "Factual wins" under guard: factual reaches 50% and the fake either
+      // never does or does so later.
+      const bool win =
+          factual_guarded.half_population_time <
+          fake_guarded.half_population_time;
+      factual_wins += win;
+    }
+    fake_reach /= trials;
+    factual_reach /= trials;
+    fake_guarded_reach /= trials;
+    const double fake_t50_mean = fake_t50_n ? fake_t50 / fake_t50_n : -1;
+    const double factual_t50_mean =
+        factual_t50_n ? factual_t50 / factual_t50_n : -1;
+    const double guarded_t50_mean =
+        guarded_t50_n ? factual_t50_guarded / guarded_t50_n : -1;
+
+    table.row({bot_fraction, fake_reach, fake_t50_mean, factual_reach,
+               factual_t50_mean, fake_guarded_reach, guarded_t50_mean,
+               std::int64_t(factual_wins)});
+    if (bot_fraction >= 0.05 && fake_reach > factual_reach) {
+      unguarded_fake_wins = true;
+    }
+    guarded_factual_wins = guarded_factual_wins && factual_wins >= trials - 1;
+  }
+  table.print();
+
+  const bool shape = unguarded_fake_wins && guarded_factual_wins;
+  verdict(shape, "without the platform, fake reach exceeds factual; with "
+                 "interventions the factual item reaches 50% first in "
+                 "(almost) every trial");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,176 @@
+// E15 (paper Sec VII, future work): (a) predicting fake-news virality from
+// the earliest observable cascade prefix — "anticipate the onset of a fake
+// news propagation before it is actually propagated and disputed" — and
+// (b) personalization of interventions: targeting the gate at bot-heavy /
+// hub accounts instead of gating everyone, measuring suppression per
+// intervention action.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/prediction.hpp"
+#include "workload/propagation.hpp"
+
+using namespace tnp;
+using namespace tnp::bench;
+
+namespace {
+
+struct Dataset {
+  std::vector<core::ViralityPredictor::Sample> train;
+  std::vector<core::ViralityPredictor::Sample> test;
+  std::vector<double> test_early_reach;  // single-feature baseline
+};
+
+Dataset make_dataset(const net::Adjacency& graph, sim::SimTime window,
+                     std::size_t cascades, std::uint64_t seed) {
+  Dataset data;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < cascades; ++i) {
+    workload::PopulationConfig population;
+    // Vary the regime so "viral" is genuinely uncertain.
+    population.bot_fraction = rng.uniform_real(0.0, 0.15);
+    population.human_share_prob = rng.uniform_real(0.03, 0.09);
+    workload::CascadeSimulator simulator(graph, population, seed * 1000 + i);
+    std::vector<std::uint32_t> seeds;
+    for (int s = 0; s < 3; ++s) {
+      seeds.push_back(static_cast<std::uint32_t>(rng.uniform(graph.size())));
+    }
+    const auto cascade = simulator.run(seeds, /*fake=*/true);
+    core::ViralityPredictor::Sample sample;
+    sample.features = core::extract_cascade_features(graph, simulator.kinds(),
+                                                     cascade, window);
+    sample.viral = cascade.reached * 10 >= graph.size();  // >=10% reach
+    if (i % 4 == 0) {
+      data.test.push_back(sample);
+      data.test_early_reach.push_back(sample.features.early_reach);
+    } else {
+      data.train.push_back(sample);
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+int main() {
+  banner("E15 — early virality prediction + targeted interventions "
+         "(paper Sec VII future work)",
+         "Claims: (a) the onset of a fake-news cascade is predictable from "
+         "its first hours; (b) targeting interventions at the accounts "
+         "driving the spread buys most of the suppression at a fraction of "
+         "the gating actions.");
+
+  Rng graph_rng(77);
+  const net::Adjacency graph = net::barabasi_albert(5000, 3, graph_rng);
+
+  // (a) prediction quality vs observation window.
+  std::printf("(a) virality prediction from the cascade prefix\n");
+  Table table({"window_h", "auc_model", "auc_reach_baseline", "viral_frac"});
+  double auc_short = 0, auc_long = 0, baseline_long = 0;
+  for (const double window_hours : {0.5, 1.0, 2.0, 4.0}) {
+    const auto window = static_cast<sim::SimTime>(window_hours * double(sim::kHour));
+    const Dataset data = make_dataset(graph, window, 480, 31);
+    core::ViralityPredictor predictor;
+    predictor.fit(data.train);
+
+    std::vector<std::pair<double, bool>> model_scored, baseline_scored;
+    std::size_t virals = 0;
+    for (std::size_t i = 0; i < data.test.size(); ++i) {
+      model_scored.emplace_back(predictor.predict(data.test[i].features),
+                                data.test[i].viral);
+      baseline_scored.emplace_back(data.test_early_reach[i],
+                                   data.test[i].viral);
+      virals += data.test[i].viral;
+    }
+    const double auc = roc_auc(model_scored);
+    const double baseline = roc_auc(baseline_scored);
+    table.row({window_hours, auc, baseline,
+               double(virals) / double(data.test.size())});
+    if (window_hours == 0.5) auc_short = auc;
+    if (window_hours == 4.0) {
+      auc_long = auc;
+      baseline_long = baseline;
+    }
+  }
+  table.print();
+
+  // (b) targeted vs global intervention.
+  std::printf("\n(b) personalized intervention targeting (bot fraction 10%%)\n");
+  workload::PopulationConfig population;
+  population.bot_fraction = 0.10;
+
+  // Hub set: top 5% degree accounts.
+  std::vector<std::pair<std::size_t, std::uint32_t>> by_degree;
+  for (std::uint32_t v = 0; v < graph.size(); ++v) {
+    by_degree.emplace_back(graph[v].size(), v);
+  }
+  std::sort(by_degree.rbegin(), by_degree.rend());
+  std::vector<bool> is_hub(graph.size(), false);
+  for (std::size_t i = 0; i < graph.size() / 20; ++i) {
+    is_hub[by_degree[i].second] = true;
+  }
+
+  Table targeted({"policy", "fake_reach", "suppression_pct", "gated_share_pct"});
+  double global_suppression = 0, targeted_suppression = 0;
+  double global_gated = 0, targeted_gated = 0;
+  double baseline_reach = 0;
+  const int trials = 8;
+  struct Policy {
+    const char* name;
+    bool enabled;
+    bool hubs_and_bots_only;
+  };
+  for (const Policy policy : {Policy{"none", false, false},
+                              Policy{"global_gate", true, false},
+                              Policy{"targeted_gate", true, true}}) {
+    double reach_total = 0;
+    std::uint64_t gated = 0, shares_seen = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      workload::CascadeSimulator simulator(graph, population, 600 + trial);
+      const auto& kinds = simulator.kinds();
+      workload::InterventionFn fn;
+      if (policy.enabled) {
+        fn = [&](std::uint32_t sharer, bool fake) {
+          ++shares_seen;
+          if (!fake) return 1.0;
+          if (policy.hubs_and_bots_only &&
+              !(is_hub[sharer] ||
+                kinds[sharer] != workload::AgentKind::kHuman)) {
+            return 1.0;  // ordinary account: leave it alone
+          }
+          ++gated;
+          return 0.15;
+        };
+      }
+      reach_total +=
+          double(simulator.run({1, 2, 3}, true, fn).reached) / double(graph.size());
+    }
+    const double reach = reach_total / trials;
+    if (!policy.enabled) baseline_reach = reach;
+    const double suppression =
+        baseline_reach > 0 ? 100.0 * (1.0 - reach / baseline_reach) : 0.0;
+    const double gated_pct =
+        shares_seen ? 100.0 * double(gated) / double(shares_seen) : 0.0;
+    targeted.row({std::string(policy.name), reach, suppression, gated_pct});
+    if (std::string(policy.name) == "global_gate") {
+      global_suppression = suppression;
+      global_gated = gated_pct;
+    }
+    if (std::string(policy.name) == "targeted_gate") {
+      targeted_suppression = suppression;
+      targeted_gated = gated_pct;
+    }
+  }
+  targeted.print();
+
+  const bool shape = auc_long > 0.85 && auc_long >= auc_short - 0.02 &&
+                     auc_long >= baseline_long - 0.02 &&
+                     targeted_gated < global_gated &&
+                     targeted_suppression > 0.6 * global_suppression;
+  verdict(shape,
+          "longer observation → better prediction (AUC > 0.85 at 4h, "
+          "beating the reach-only baseline); targeted gating recovers most "
+          "of the suppression with fewer gating actions");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+// E5 (paper Sec V): crowd-sourced ranking robustness under adversarial
+// validators. Majority voting collapses as the adversary fraction
+// approaches 0.5; the accountability-weighted aggregator (reputation ×
+// concave stake) degrades slower because adversaries lose reputation on
+// every lost round; blending the AI detector extends the margin further.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/ranking.hpp"
+
+namespace {
+
+using namespace tnp;
+using namespace tnp::bench;
+
+struct Validator {
+  bool adversary = false;
+  double accuracy = 0.85;  // honest: P(vote == truth)
+  double reputation = 1.0;
+};
+
+struct SweepResult {
+  double majority_accuracy = 0;
+  double weighted_accuracy = 0;
+  double blended_accuracy = 0;
+};
+
+SweepResult run_sweep(double adversary_fraction, std::size_t num_validators,
+                      std::size_t rounds, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Validator> validators(num_validators);
+  const auto num_adversaries = static_cast<std::size_t>(
+      adversary_fraction * static_cast<double>(num_validators));
+  for (std::size_t i = 0; i < num_adversaries; ++i) {
+    validators[i].adversary = true;
+  }
+
+  const std::size_t warmup = rounds / 2;
+  std::size_t majority_correct = 0, weighted_correct = 0, blended_correct = 0,
+              scored = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const bool truth_factual = rng.chance(0.5);
+    std::vector<core::CrowdVote> votes;
+    votes.reserve(validators.size());
+    for (auto& validator : validators) {
+      core::CrowdVote vote;
+      vote.stake = 10;
+      vote.reputation = validator.reputation;
+      if (validator.adversary) {
+        vote.says_factual = !truth_factual;  // coordinated inversion
+      } else {
+        vote.says_factual =
+            rng.chance(validator.accuracy) ? truth_factual : !truth_factual;
+      }
+      votes.push_back(vote);
+    }
+
+    // AI credibility: informative but imperfect detector.
+    const double ai = std::clamp(
+        rng.normal(truth_factual ? 0.72 : 0.28, 0.15), 0.0, 1.0);
+
+    const double majority = core::majority_score(votes);
+    const double weighted = core::weighted_score(votes);
+    const double blended = 0.35 * ai + 0.65 * weighted;
+
+    // Reputation settles against the AI-anchored blended outcome. Anchoring
+    // matters: settling on the pure crowd outcome lets a coordinated 40%
+    // minority capture the reputation system after one lucky round (the
+    // rich-get-richer spiral); the AI term keeps settlement mostly aligned
+    // with ground truth, so persistent liars bleed reputation instead.
+    // This is the paper's point about integrating AI *with* the blockchain
+    // crowd — neither alone suffices.
+    const bool settled_factual = blended >= 0.5;
+    for (std::size_t i = 0; i < validators.size(); ++i) {
+      const bool matched = votes[i].says_factual == settled_factual;
+      validators[i].reputation =
+          core::update_reputation(validators[i].reputation, matched);
+    }
+
+    if (round >= warmup) {
+      ++scored;
+      majority_correct += (majority >= 0.5) == truth_factual;
+      weighted_correct += (weighted >= 0.5) == truth_factual;
+      blended_correct += (blended >= 0.5) == truth_factual;
+    }
+  }
+  SweepResult result;
+  result.majority_accuracy = double(majority_correct) / double(scored);
+  result.weighted_accuracy = double(weighted_correct) / double(scored);
+  result.blended_accuracy = double(blended_correct) / double(scored);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  banner("E5 — crowd ranking robustness vs adversarial validators",
+         "Claim: majority voting collapses near 50% adversaries; the "
+         "reputation-weighted aggregator degrades slower; AI blending "
+         "extends the usable range further (paper Sec V).");
+
+  Table table({"adv_frac", "majority_acc", "weighted_acc", "ai_blend_acc"});
+  double majority_at_045 = 0, weighted_at_045 = 0, blended_at_045 = 0;
+  double majority_at_0 = 0, weighted_sum = 0, majority_sum = 0;
+  for (double fraction : {0.0, 0.1, 0.2, 0.3, 0.4, 0.45, 0.55, 0.65}) {
+    const SweepResult r = run_sweep(fraction, 101, 600, 42);
+    table.row({fraction, r.majority_accuracy, r.weighted_accuracy,
+               r.blended_accuracy});
+    if (fraction == 0.45) {
+      majority_at_045 = r.majority_accuracy;
+      weighted_at_045 = r.weighted_accuracy;
+      blended_at_045 = r.blended_accuracy;
+    }
+    if (fraction == 0.0) majority_at_0 = r.majority_accuracy;
+    weighted_sum += r.weighted_accuracy;
+    majority_sum += r.majority_accuracy;
+  }
+  table.print();
+
+  std::printf("\nvalidator-count sensitivity at 30%% adversaries:\n");
+  Table sizes({"validators", "majority_acc", "weighted_acc"});
+  for (std::size_t n : {25, 50, 100, 200, 400}) {
+    const SweepResult r = run_sweep(0.30, n, 400, 7);
+    sizes.row({std::uint64_t(n), r.majority_accuracy, r.weighted_accuracy});
+  }
+  sizes.print();
+
+  const bool shape = majority_at_0 > 0.95 &&
+                     weighted_at_045 > majority_at_045 + 0.1 &&
+                     blended_at_045 > 0.9 && weighted_sum > majority_sum;
+  verdict(shape,
+          "weighted > majority under attack; majority collapses by 45% "
+          "adversaries; AI blend holds or improves the weighted accuracy");
+  return shape ? 0 : 1;
+}

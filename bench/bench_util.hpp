@@ -1,0 +1,95 @@
+// Shared helpers for the experiment benches: aligned table printing (the
+// "rows/series the paper reports"), wall-clock timing, and a tiny F1/AUC
+// harness. Each bench binary prints its experiment id, the claim under
+// test, the measured table, and a PASS/CHECK verdict on the expected shape.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tnp::bench {
+
+using Cell = std::variant<std::string, double, std::int64_t, std::uint64_t>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<Cell> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    auto text = [](const Cell& cell) {
+      char buf[64];
+      if (const auto* s = std::get_if<std::string>(&cell)) return std::string(*s);
+      if (const auto* d = std::get_if<double>(&cell)) {
+        std::snprintf(buf, sizeof(buf), "%.4g", *d);
+        return std::string(buf);
+      }
+      if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(*i));
+        return std::string(buf);
+      }
+      const auto u = std::get<std::uint64_t>(cell);
+      std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(u));
+      return std::string(buf);
+    };
+    std::vector<std::vector<std::string>> rendered;
+    for (const auto& row : rows_) {
+      std::vector<std::string> cells;
+      for (const auto& cell : row) cells.push_back(text(cell));
+      rendered.push_back(std::move(cells));
+    }
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rendered) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("  ");
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]),
+                    c < cells.size() ? cells[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::vector<std::string> dashes;
+    for (std::size_t w : widths) dashes.push_back(std::string(w, '-'));
+    print_row(dashes);
+    for (const auto& row : rendered) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+inline void verdict(bool ok, const char* shape) {
+  std::printf("\n[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-CHECK", shape);
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_).count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tnp::bench

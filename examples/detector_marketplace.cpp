@@ -1,0 +1,149 @@
+// The Sec V developer economy end-to-end: two developers deploy competing
+// fake-news detector programs (real bytecode, executed by the chain's VM),
+// the community settles ranking rounds, the registry's on-chain track
+// record re-weights the detectors, and good developers earn tokens.
+#include <cstdio>
+
+#include "core/platform.hpp"
+#include "workload/corpus.hpp"
+
+using namespace tnp;
+using contracts::EditType;
+using contracts::Role;
+
+namespace {
+
+// Detector A: counts '!' characters — a decent sensationalism heuristic on
+// this corpus (fakes carry exclamation marks).
+constexpr const char* kExclaimDetector = R"(
+  PUSHI 0
+  PUSHI 0
+loop:
+  DUP 0
+  INPUT
+  LEN
+  LT
+  JZ done
+  INPUT
+  DUP 1
+  BYTEAT
+  PUSHI 33
+  EQ
+  JZ next
+  SWAP
+  PUSHI 1
+  ADD
+  SWAP
+next:
+  PUSHI 1
+  ADD
+  JMP loop
+done:
+  POP
+  PUSHI 300
+  MUL
+  DUP 0
+  PUSHI 1000
+  GT
+  JZ capped
+  POP
+  PUSHI 1000
+capped:
+  HALT
+)";
+
+// Detector B: "long articles are fake" — a bogus heuristic that will lose
+// weight (and income) round after round.
+constexpr const char* kLengthDetector = R"(
+  INPUT
+  LEN
+  PUSHI 400
+  GT
+  PUSHI 900
+  MUL
+  PUSHI 100
+  ADD
+  HALT
+)";
+
+}  // namespace
+
+int main() {
+  core::TrustingNewsPlatform platform({.seed = 44});
+  workload::CorpusGenerator generator({}, 44);
+
+  const core::Actor& good_dev = platform.create_actor("GoodDev", Role::kDeveloper);
+  const core::Actor& lazy_dev = platform.create_actor("LazyDev", Role::kDeveloper);
+  const core::Actor& owner = platform.create_actor("Owner", Role::kPublisher);
+  (void)platform.create_distribution_platform(owner, "p");
+  (void)platform.create_newsroom(owner, "p", "r", "general");
+  std::vector<const core::Actor*> checkers;
+  for (int i = 0; i < 5; ++i) {
+    const auto& checker = platform.create_actor("c" + std::to_string(i),
+                                                Role::kFactChecker);
+    (void)platform.fund(checker.account(), 5000);
+    checkers.push_back(&checker);
+  }
+
+  auto exclaim = platform.register_detector(good_dev, "exclaim-v1",
+                                            kExclaimDetector);
+  auto length = platform.register_detector(lazy_dev, "length-v1",
+                                           kLengthDetector);
+  if (!exclaim.ok() || !length.ok()) {
+    std::fprintf(stderr, "detector registration failed\n");
+    return 1;
+  }
+  std::printf("marketplace open: exclaim-v1 @%s, length-v1 @%s\n",
+              exclaim->short_hex().c_str(), length->short_hex().c_str());
+
+  // 20 articles: fakes and factual, crowd-checked, detectors settled.
+  for (int round = 0; round < 20; ++round) {
+    const bool make_fake = round % 2 == 0;
+    const workload::Document doc =
+        make_fake ? generator.fabricated() : generator.factual();
+    const auto article = platform.publish(owner, "p", "r", doc.text,
+                                          EditType::kOriginal, {});
+    if (!article.ok()) continue;
+    (void)platform.open_round(owner, *article);
+    for (std::size_t c = 0; c < checkers.size(); ++c) {
+      // Checkers are right 90% of the time.
+      const bool correct = (round * 7 + int(c)) % 10 != 0;
+      (void)platform.vote(*checkers[c], *article,
+                          correct ? !make_fake : make_fake, 10);
+    }
+    (void)platform.close_round(owner, *article);
+    (void)platform.settle_detectors(*article, 5);
+  }
+
+  std::printf("\nafter 20 settled rounds:\n");
+  for (const char* name : {"exclaim-v1", "length-v1"}) {
+    const auto stats = platform.chain().state().get(
+        contracts::keys::detector_stats(name));
+    std::uint64_t total = 0, agreed = 0;
+    if (stats) {
+      ByteReader r{BytesView(*stats)};
+      total = r.u64().value_or(0);
+      agreed = r.u64().value_or(0);
+    }
+    std::printf("  %-11s weight %.2f, agreed %llu/%llu\n", name,
+                platform.detector_weight(name),
+                static_cast<unsigned long long>(agreed),
+                static_cast<unsigned long long>(total));
+  }
+  std::printf("  GoodDev earned %llu tokens, LazyDev earned %llu tokens\n",
+              static_cast<unsigned long long>(platform.balance(good_dev.account())),
+              static_cast<unsigned long long>(platform.balance(lazy_dev.account())));
+
+  const auto blended = platform.registry_score("SHOCKING!! miracle exposed!!");
+  std::printf("\nregistry-blended P(fake) for a sensational headline: %.2f\n",
+              blended.value_or(-1.0));
+
+  const bool ok = platform.detector_weight("exclaim-v1") >
+                      platform.detector_weight("length-v1") &&
+                  platform.balance(good_dev.account()) >
+                      platform.balance(lazy_dev.account());
+  std::printf("verdict: %s\n",
+              ok ? "the market rewarded the better detector"
+                 : "marketplace failed to separate detectors");
+  return ok ? 0 : 1;
+}

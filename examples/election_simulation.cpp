@@ -1,0 +1,91 @@
+// Election scenario (paper Secs I–II): a bot-amplified fake-news campaign
+// on a 20k-user social graph during an election, with and without the
+// trusting-news platform. The platform's detectors flag items, rank-gated
+// resharing damps flagged fakes, and verified corrections get feed
+// promotion — the "factual outpaces fake" intervention measured live.
+#include <algorithm>
+#include <cstdio>
+
+#include "ai/classifiers.hpp"
+#include "workload/corpus.hpp"
+#include "workload/propagation.hpp"
+
+using namespace tnp;
+
+int main() {
+  // Social graph: scale-free, 20k users, hubs are influencers.
+  Rng rng(2028);
+  const net::Adjacency graph = net::barabasi_albert(20'000, 3, rng);
+  std::printf("social graph: %zu users, %zu follow edges\n", graph.size(),
+              net::edge_count(graph));
+
+  // Campaign content.
+  workload::CorpusGenerator generator({}, 2028);
+  std::vector<ai::LabeledDoc> train;
+  for (const auto& doc : generator.generate(1500)) train.push_back(doc.labeled());
+  ai::NaiveBayesDetector detector;
+  detector.fit(train);
+
+  const workload::Document official = generator.factual(1);
+  const workload::Document smear = generator.mutate_into_fake(official, 0);
+  const double smear_score = detector.score(smear.text);
+  const double official_score = detector.score(official.text);
+  std::printf("detector: P(fake) smear=%.2f official=%.2f\n\n", smear_score,
+              official_score);
+
+  workload::PopulationConfig population;
+  population.bot_fraction = 0.12;  // election-season bot army
+  population.cyborg_fraction = 0.05;
+
+  const std::vector<std::uint32_t> troll_seeds = {11, 23, 37, 41, 53};
+  const std::vector<std::uint32_t> press_seeds = {2, 3, 5, 7};
+
+  auto hours = [](sim::SimTime t) {
+    return t == UINT64_MAX ? -1.0 : double(t) / double(sim::kHour);
+  };
+
+  // --- Phase 1: no platform. ---
+  std::printf("phase 1: no platform intervention\n");
+  workload::CascadeSimulator fake_sim(graph, population, 1);
+  const auto fake_unchecked = fake_sim.run(troll_seeds, true);
+  workload::CascadeSimulator factual_sim(graph, population, 1);
+  const auto factual_unchecked = factual_sim.run(press_seeds, false);
+  std::printf("  smear:    reached %6zu users (t50 %.1f h)\n",
+              fake_unchecked.reached, hours(fake_unchecked.half_population_time));
+  std::printf("  official: reached %6zu users (t50 %.1f h)\n\n",
+              factual_unchecked.reached,
+              hours(factual_unchecked.half_population_time));
+
+  // --- Phase 2: platform on — detector-driven gating + promotion. ---
+  std::printf("phase 2: platform intervention "
+              "(flagged fakes gated, verified content promoted)\n");
+  const double gate = smear_score > 0.5 ? 0.12 : 1.0;  // rank-gated reshare
+  const workload::InterventionFn platform_fn =
+      [gate](std::uint32_t, bool fake) { return fake ? gate : 6.0; };
+  workload::CascadeSimulator fake_guarded_sim(graph, population, 1);
+  const auto fake_guarded = fake_guarded_sim.run(troll_seeds, true, platform_fn);
+  workload::CascadeSimulator factual_guarded_sim(graph, population, 1);
+  const auto factual_guarded =
+      factual_guarded_sim.run(press_seeds, false, platform_fn);
+  std::printf("  smear:    reached %6zu users (was %zu)\n", fake_guarded.reached,
+              fake_unchecked.reached);
+  std::printf("  official: reached %6zu users (t50 %.1f h, was %zu)\n",
+              factual_guarded.reached,
+              hours(factual_guarded.half_population_time),
+              factual_unchecked.reached);
+
+  const double suppression =
+      1.0 - double(fake_guarded.reached) / double(fake_unchecked.reached);
+  std::printf("\nsmear suppression: %.0f%%; official amplification: %.1fx\n",
+              100.0 * suppression,
+              double(factual_guarded.reached) /
+                  double(std::max<std::size_t>(factual_unchecked.reached, 1)));
+
+  const bool factual_wins = factual_guarded.reached > fake_guarded.reached &&
+                            fake_unchecked.reached > factual_unchecked.reached;
+  std::printf("verdict: %s\n",
+              factual_wins
+                  ? "platform flipped the race — factual outpaces fake"
+                  : "intervention insufficient");
+  return factual_wins ? 0 : 1;
+}

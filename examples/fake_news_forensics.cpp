@@ -1,0 +1,129 @@
+// Forensics scenario (paper Sec VI): a fake-news campaign mutates a real
+// story and relays it through several accounts. The supply-chain graph
+// pins down where the distortion entered, who did it, and how far it
+// spread; governance then flags and slashes the source, and the analyst
+// queries topic experts to commission a correction.
+#include <cstdio>
+
+#include "core/platform.hpp"
+#include "workload/corpus.hpp"
+
+using namespace tnp;
+using contracts::EditType;
+using contracts::Role;
+
+int main() {
+  core::TrustingNewsPlatform platform({.seed = 31});
+  workload::CorpusGenerator generator({}, 31);
+
+  // Train the detector so AI scores are live.
+  std::vector<ai::LabeledDoc> train;
+  for (const auto& doc : generator.generate(1200)) train.push_back(doc.labeled());
+  platform.train_detector(train);
+
+  const core::Actor& owner = platform.create_actor("Wire", Role::kPublisher);
+  (void)platform.create_distribution_platform(owner, "wire");
+  (void)platform.create_newsroom(owner, "wire", "politics", "politics");
+
+  // Accounts in the relay chain: two honest, one manipulator, two dupes.
+  std::vector<const core::Actor*> accounts;
+  for (const char* name : {"honest1", "honest2", "manipulator", "dupe1", "dupe2"}) {
+    const auto& actor = platform.create_actor(name, Role::kJournalist);
+    (void)platform.authorize_journalist(owner, "wire", actor.account());
+    accounts.push_back(&actor);
+  }
+
+  // Ground truth: official record → honest relays → manipulation → dupes.
+  const workload::Document record = generator.factual(3);
+  const auto fact = platform.seed_fact(record.text, "press-office");
+
+  workload::Document doc1 = generator.derive_factual(record, 0, 0.05);
+  const auto hop1 = platform.publish(*accounts[0], "wire", "politics",
+                                     doc1.text, EditType::kRelay, {*fact});
+  workload::Document doc2 = generator.derive_factual(doc1, 0, 0.05);
+  const auto hop2 = platform.publish(*accounts[1], "wire", "politics",
+                                     doc2.text, EditType::kRelay, {*hop1});
+  // The manipulation: heavy sensational mutation.
+  workload::Document fake = generator.mutate_into_fake(doc2, 0);
+  const auto hop3 = platform.publish(*accounts[2], "wire", "politics",
+                                     fake.text, EditType::kMix, {*hop2});
+  workload::Document relay1 = generator.derive_factual(fake, 0, 0.03);
+  const auto hop4 = platform.publish(*accounts[3], "wire", "politics",
+                                     relay1.text, EditType::kRelay, {*hop3});
+  workload::Document relay2 = generator.derive_factual(relay1, 0, 0.03);
+  const auto hop5 = platform.publish(*accounts[4], "wire", "politics",
+                                     relay2.text, EditType::kRelay, {*hop4});
+  if (!hop5.ok()) return 1;
+
+  // --- Forensic trace-back from the viral item. ---
+  std::printf("tracing viral article %s back to the factual database:\n",
+              hop5->short_hex().c_str());
+  const auto graph = platform.build_graph();
+  const auto trace = platform.trace(*hop5);
+  if (!trace.traceable) {
+    std::printf("  UNTRACEABLE — cannot analyze\n");
+    return 1;
+  }
+  double worst_degree = 0;
+  Hash256 worst_child{};
+  for (std::size_t i = 0; i + 1 < trace.path.size(); ++i) {
+    const Hash256& child = trace.path[i];
+    const Hash256& parent = trace.path[i + 1];
+    const double degree =
+        graph.modification_degree(parent, child, platform.content());
+    const auto* record_ptr = graph.article(child);
+    const auto profile = platform.profile(record_ptr->author);
+    std::printf("  hop %zu: %s by %-12s edit=%-8s modification=%.2f\n", i + 1,
+                child.short_hex().c_str(),
+                profile ? profile->display_name.c_str() : "?",
+                std::string(to_string(graph.classify_edit(child,
+                                                          platform.content())))
+                    .c_str(),
+                degree);
+    if (degree > worst_degree) {
+      worst_degree = degree;
+      worst_child = child;
+    }
+  }
+
+  const auto* culprit_record = graph.article(worst_child);
+  const auto culprit = platform.profile(culprit_record->author);
+  std::printf("\ndistortion entered at %s by '%s' (modification degree %.2f)\n",
+              worst_child.short_hex().c_str(),
+              culprit->display_name.c_str(), worst_degree);
+  const bool caught = culprit_record->author == accounts[2]->account();
+  std::printf("forensics %s the manipulator\n",
+              caught ? "correctly identified" : "MISSED");
+
+  // AI agrees the downstream copy is suspicious.
+  std::printf("AI credibility: original %.2f vs viral copy %.2f\n",
+              platform.ai_credibility(record.text),
+              platform.ai_credibility(relay2.text));
+
+  // --- Accountability: governance flags and slashes the source. ---
+  const auto& admin = platform.admin();
+  (void)platform.submit(contracts::txb::endorse(
+      admin.key, platform.next_nonce(admin.key), owner.account()));
+  (void)platform.submit(contracts::txb::flag_account(
+      owner.key, platform.next_nonce(owner.key), culprit_record->author,
+      "supply-chain manipulation"));
+  (void)platform.submit(contracts::txb::slash(
+      admin.key, platform.next_nonce(admin.key), culprit_record->author));
+  std::printf("manipulator flagged + slashed: reputation now %.2f\n",
+              platform.profile(culprit_record->author)->reputation);
+
+  // --- Children audit: everything downstream of the manipulation. ---
+  std::size_t tainted = 0;
+  std::vector<Hash256> frontier = {worst_child};
+  while (!frontier.empty()) {
+    const Hash256 current = frontier.back();
+    frontier.pop_back();
+    for (const auto& child : graph.children_of(current)) {
+      ++tainted;
+      frontier.push_back(child);
+    }
+  }
+  std::printf("downstream articles affected by the manipulation: %zu\n", tainted);
+
+  return caught && tainted == 2 ? 0 : 1;
+}

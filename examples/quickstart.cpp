@@ -1,0 +1,96 @@
+// Quickstart: spin up the trusting-news platform, seed the factual
+// database, publish a sourced article and a fabricated one, run a crowd
+// ranking round on each, and compare composite ranks.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/platform.hpp"
+#include "workload/corpus.hpp"
+
+using namespace tnp;
+using contracts::EditType;
+using contracts::Role;
+
+int main() {
+  core::TrustingNewsPlatform platform;
+
+  // 1. Train the AI detector stack on a synthetic labelled corpus.
+  workload::CorpusGenerator generator({}, 2026);
+  std::vector<ai::LabeledDoc> train;
+  for (const auto& doc : generator.generate(1200)) train.push_back(doc.labeled());
+  platform.train_detector(train);
+  std::printf("detector trained on %zu documents\n", train.size());
+
+  // 2. Ecosystem actors (paper Fig. 2).
+  const core::Actor& publisher = platform.create_actor("DailyPlanet", Role::kPublisher);
+  const core::Actor& journalist = platform.create_actor("Lois", Role::kJournalist);
+  std::vector<const core::Actor*> checkers;
+  for (int i = 0; i < 5; ++i) {
+    const auto& checker = platform.create_actor("checker" + std::to_string(i),
+                                                Role::kFactChecker);
+    (void)platform.fund(checker.account(), 1000);
+    checkers.push_back(&checker);
+  }
+
+  // 3. Distribution platform + newsroom, journalist authorized.
+  (void)platform.create_distribution_platform(publisher, "daily-planet");
+  (void)platform.create_newsroom(publisher, "daily-planet", "metro", "economy");
+  (void)platform.authorize_journalist(publisher, "daily-planet",
+                                      journalist.account());
+
+  // 4. Factual database root (public record) + a sourced article.
+  const workload::Document record = generator.factual(0);
+  const auto fact = platform.seed_fact(record.text, "treasury-archive");
+  const workload::Document honest = generator.derive_factual(record, 0, 0.1);
+  const auto sourced = platform.publish(journalist, "daily-planet", "metro",
+                                        honest.text, EditType::kInsert, {*fact});
+
+  // 5. A fabricated article with no sources.
+  const workload::Document fake = generator.fabricated(0);
+  const auto fabricated = platform.publish(journalist, "daily-planet", "metro",
+                                           fake.text, EditType::kOriginal, {});
+  if (!sourced.ok() || !fabricated.ok()) {
+    std::fprintf(stderr, "publish failed\n");
+    return 1;
+  }
+
+  // 6. Crowd ranking rounds (checkers vote per their judgement).
+  for (const Hash256& article : {*sourced, *fabricated}) {
+    (void)platform.open_round(publisher, article);
+    const bool is_fabricated = article == *fabricated;
+    for (std::size_t i = 0; i < checkers.size(); ++i) {
+      const bool says_factual = is_fabricated ? (i == 0) : (i != 0);
+      (void)platform.vote(*checkers[i], article, says_factual, 20);
+    }
+    (void)platform.close_round(publisher, article);
+  }
+
+  // 7. Compare the composite ranks R = α·AI + β·crowd + γ·trace.
+  auto report = [&](const char* label, const Hash256& article) {
+    const auto trace = platform.trace(article);
+    std::printf("%-12s rank=%.3f  ai=%.3f crowd=%.3f trace=%.3f "
+                "(traceable=%s, distance=%zu)\n",
+                label, platform.composite_rank(article),
+                platform.ai_credibility(*platform.content().get(article)),
+                platform.crowd_score(article).value_or(0.5),
+                trace.trace_score(), trace.traceable ? "yes" : "no",
+                trace.distance);
+  };
+  report("sourced:", *sourced);
+  report("fabricated:", *fabricated);
+
+  // 8. Certify the good article into the factual database.
+  const auto decision = platform.maybe_certify(*sourced);
+  std::printf("certification of sourced article: %s (%s)\n",
+              decision.accepted ? "ACCEPTED" : "rejected",
+              decision.reason.c_str());
+  std::printf("factual database now holds %zu records; chain height %llu\n",
+              platform.factdb().size(),
+              static_cast<unsigned long long>(platform.chain().height()));
+
+  return platform.composite_rank(*sourced) >
+                 platform.composite_rank(*fabricated)
+             ? 0
+             : 1;
+}

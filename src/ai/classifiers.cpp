@@ -1,0 +1,207 @@
+#include "ai/classifiers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tnp::ai {
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+// ---------------------------------------------------------- Naive Bayes
+
+void NaiveBayesDetector::fit(std::span<const LabeledDoc> docs) {
+  for (const auto& doc : docs) {
+    const auto tokens = text::tokenize(doc.text);
+    (doc.fake ? fake_docs_ : real_docs_) += 1;
+    for (const auto& token : tokens) {
+      const std::uint32_t id = vocab_.add(token);
+      if (id >= fake_counts_.size()) {
+        fake_counts_.resize(id + 1, 0);
+        real_counts_.resize(id + 1, 0);
+      }
+      if (doc.fake) {
+        ++fake_counts_[id];
+        ++fake_total_;
+      } else {
+        ++real_counts_[id];
+        ++real_total_;
+      }
+    }
+  }
+}
+
+double NaiveBayesDetector::score(std::string_view text) const {
+  if (fake_docs_ + real_docs_ == 0) return 0.5;
+  const double v = static_cast<double>(vocab_.size()) + 1.0;
+  double log_fake = std::log((fake_docs_ + 1.0) / (fake_docs_ + real_docs_ + 2.0));
+  double log_real = std::log((real_docs_ + 1.0) / (fake_docs_ + real_docs_ + 2.0));
+  for (const auto& token : text::tokenize(text)) {
+    const std::int64_t id = vocab_.lookup(token);
+    const double fake_count =
+        id >= 0 ? static_cast<double>(fake_counts_[static_cast<std::size_t>(id)]) : 0.0;
+    const double real_count =
+        id >= 0 ? static_cast<double>(real_counts_[static_cast<std::size_t>(id)]) : 0.0;
+    log_fake += std::log((fake_count + 1.0) / (static_cast<double>(fake_total_) + v));
+    log_real += std::log((real_count + 1.0) / (static_cast<double>(real_total_) + v));
+  }
+  // Normalize in log space to avoid under/overflow.
+  const double m = std::max(log_fake, log_real);
+  const double pf = std::exp(log_fake - m);
+  const double pr = std::exp(log_real - m);
+  return pf / (pf + pr);
+}
+
+// ---------------------------------------------------- Logistic regression
+
+LogisticDetector::LogisticDetector(std::size_t bow_dims, int epochs, double lr,
+                                   double l2, std::uint64_t seed)
+    : bow_dims_(bow_dims), epochs_(epochs), lr_(lr), l2_(l2), seed_(seed) {}
+
+std::vector<float> LogisticDetector::featurize(std::string_view text) const {
+  std::vector<float> x = hashed_bow(text::tokenize(text), bow_dims_);
+  const StyleVector style = style_features(text);
+  x.insert(x.end(), style.begin(), style.end());
+  return x;
+}
+
+void LogisticDetector::fit(std::span<const LabeledDoc> docs) {
+  const std::size_t dims = bow_dims_ + kStyleDims;
+  weights_.assign(dims + 1, 0.0);
+  if (docs.empty()) return;
+
+  std::vector<std::vector<float>> features;
+  features.reserve(docs.size());
+  for (const auto& doc : docs) features.push_back(featurize(doc.text));
+
+  Rng rng(seed_);
+  std::vector<std::size_t> order(docs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    rng.shuffle(order);
+    const double lr = lr_ / (1.0 + 0.3 * epoch);
+    for (std::size_t idx : order) {
+      const auto& x = features[idx];
+      const double y = docs[idx].fake ? 1.0 : 0.0;
+      double z = weights_[dims];  // bias
+      for (std::size_t i = 0; i < dims; ++i) z += weights_[i] * x[i];
+      const double gradient = sigmoid(z) - y;
+      for (std::size_t i = 0; i < dims; ++i) {
+        weights_[i] -= lr * (gradient * x[i] + l2_ * weights_[i]);
+      }
+      weights_[dims] -= lr * gradient;
+    }
+  }
+}
+
+double LogisticDetector::score(std::string_view text) const {
+  if (weights_.empty()) return 0.5;
+  const std::vector<float> x = featurize(text);
+  const std::size_t dims = bow_dims_ + kStyleDims;
+  double z = weights_[dims];
+  for (std::size_t i = 0; i < dims; ++i) z += weights_[i] * x[i];
+  return sigmoid(z);
+}
+
+// -------------------------------------------------------------------- MLP
+
+MlpDetector::MlpDetector(std::size_t bow_dims, std::size_t hidden, int epochs,
+                         double lr, std::uint64_t seed)
+    : bow_dims_(bow_dims), hidden_(hidden), epochs_(epochs), lr_(lr),
+      seed_(seed) {}
+
+std::vector<float> MlpDetector::featurize(std::string_view text) const {
+  std::vector<float> x = hashed_bow(text::tokenize(text), bow_dims_);
+  const StyleVector style = style_features(text);
+  x.insert(x.end(), style.begin(), style.end());
+  return x;
+}
+
+double MlpDetector::forward(const std::vector<float>& x,
+                            std::vector<double>* hidden_out) const {
+  std::vector<double> h(hidden_);
+  for (std::size_t j = 0; j < hidden_; ++j) {
+    double z = b1_[j];
+    const double* row = &w1_[j * input_dims_];
+    for (std::size_t i = 0; i < input_dims_; ++i) z += row[i] * x[i];
+    h[j] = std::tanh(z);
+  }
+  double z = b2_;
+  for (std::size_t j = 0; j < hidden_; ++j) z += w2_[j] * h[j];
+  if (hidden_out) *hidden_out = std::move(h);
+  return sigmoid(z);
+}
+
+void MlpDetector::fit(std::span<const LabeledDoc> docs) {
+  input_dims_ = bow_dims_ + kStyleDims;
+  Rng rng(seed_);
+  const double init = 1.0 / std::sqrt(static_cast<double>(input_dims_));
+  w1_.resize(hidden_ * input_dims_);
+  for (auto& w : w1_) w = rng.uniform_real(-init, init);
+  b1_.assign(hidden_, 0.0);
+  w2_.resize(hidden_);
+  for (auto& w : w2_) w = rng.uniform_real(-0.5, 0.5);
+  b2_ = 0.0;
+  if (docs.empty()) return;
+
+  std::vector<std::vector<float>> features;
+  features.reserve(docs.size());
+  for (const auto& doc : docs) features.push_back(featurize(doc.text));
+
+  std::vector<std::size_t> order(docs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    rng.shuffle(order);
+    const double lr = lr_ / (1.0 + 0.1 * epoch);
+    for (std::size_t idx : order) {
+      const auto& x = features[idx];
+      const double y = docs[idx].fake ? 1.0 : 0.0;
+      std::vector<double> h;
+      const double p = forward(x, &h);
+      const double delta_out = p - y;  // dLoss/dz2 for logistic loss
+      // Output layer.
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const double grad_w2 = delta_out * h[j];
+        const double delta_h = delta_out * w2_[j] * (1.0 - h[j] * h[j]);
+        w2_[j] -= lr * grad_w2;
+        double* row = &w1_[j * input_dims_];
+        for (std::size_t i = 0; i < input_dims_; ++i) {
+          row[i] -= lr * delta_h * x[i];
+        }
+        b1_[j] -= lr * delta_h;
+      }
+      b2_ -= lr * delta_out;
+    }
+  }
+}
+
+double MlpDetector::score(std::string_view text) const {
+  if (w1_.empty()) return 0.5;
+  return forward(featurize(text), nullptr);
+}
+
+// --------------------------------------------------------------- ensemble
+
+std::unique_ptr<EnsembleDetector> EnsembleDetector::standard() {
+  auto ensemble = std::make_unique<EnsembleDetector>();
+  ensemble->add(std::make_unique<NaiveBayesDetector>());
+  ensemble->add(std::make_unique<LogisticDetector>());
+  ensemble->add(std::make_unique<MlpDetector>());
+  return ensemble;
+}
+
+double evaluate_accuracy(const Detector& detector,
+                         std::span<const LabeledDoc> docs) {
+  if (docs.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& doc : docs) {
+    const bool predicted_fake = detector.score(doc.text) >= 0.5;
+    correct += predicted_fake == doc.fake;
+  }
+  return static_cast<double>(correct) / static_cast<double>(docs.size());
+}
+
+}  // namespace tnp::ai

@@ -1,0 +1,115 @@
+// Fake-news text detectors behind one interface: multinomial Naive Bayes,
+// logistic regression over hashed-BoW + style features, a small MLP, and an
+// averaging ensemble. From-scratch, deterministic, CPU-only — the
+// simulation-grade stand-in for the TensorFlow models the paper assumes.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ai/features.hpp"
+#include "common/rng.hpp"
+
+namespace tnp::ai {
+
+/// A trained detector maps text → P(fake) in [0,1].
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void fit(std::span<const LabeledDoc> docs) = 0;
+  [[nodiscard]] virtual double score(std::string_view text) const = 0;
+};
+
+/// Multinomial NB with Laplace smoothing over word counts.
+class NaiveBayesDetector final : public Detector {
+ public:
+  std::string name() const override { return "naive-bayes"; }
+  void fit(std::span<const LabeledDoc> docs) override;
+  double score(std::string_view text) const override;
+
+ private:
+  text::Vocabulary vocab_;
+  std::vector<std::uint64_t> fake_counts_;
+  std::vector<std::uint64_t> real_counts_;
+  std::uint64_t fake_total_ = 0, real_total_ = 0;
+  std::uint64_t fake_docs_ = 0, real_docs_ = 0;
+};
+
+/// Logistic regression (SGD, L2) over hashed BoW ⧺ style features.
+class LogisticDetector final : public Detector {
+ public:
+  explicit LogisticDetector(std::size_t bow_dims = 4096, int epochs = 12,
+                            double lr = 0.25, double l2 = 1e-5,
+                            std::uint64_t seed = 17);
+  std::string name() const override { return "logistic"; }
+  void fit(std::span<const LabeledDoc> docs) override;
+  double score(std::string_view text) const override;
+
+ private:
+  [[nodiscard]] std::vector<float> featurize(std::string_view text) const;
+
+  std::size_t bow_dims_;
+  int epochs_;
+  double lr_, l2_;
+  std::uint64_t seed_;
+  std::vector<double> weights_;  // bow_dims_ + kStyleDims + 1 bias
+};
+
+/// One-hidden-layer MLP (tanh) over hashed BoW ⧺ style features.
+class MlpDetector final : public Detector {
+ public:
+  explicit MlpDetector(std::size_t bow_dims = 512, std::size_t hidden = 24,
+                       int epochs = 20, double lr = 0.05,
+                       std::uint64_t seed = 23);
+  std::string name() const override { return "mlp"; }
+  void fit(std::span<const LabeledDoc> docs) override;
+  double score(std::string_view text) const override;
+
+ private:
+  [[nodiscard]] std::vector<float> featurize(std::string_view text) const;
+  [[nodiscard]] double forward(const std::vector<float>& x,
+                               std::vector<double>* hidden_out) const;
+
+  std::size_t bow_dims_, hidden_;
+  int epochs_;
+  double lr_;
+  std::uint64_t seed_;
+  std::size_t input_dims_ = 0;
+  std::vector<double> w1_;  // hidden_ x input
+  std::vector<double> b1_;  // hidden_
+  std::vector<double> w2_;  // hidden_
+  double b2_ = 0.0;
+};
+
+/// Mean of member scores. Members are owned.
+class EnsembleDetector final : public Detector {
+ public:
+  void add(std::unique_ptr<Detector> member) {
+    members_.push_back(std::move(member));
+  }
+  std::string name() const override { return "ensemble"; }
+  void fit(std::span<const LabeledDoc> docs) override {
+    for (auto& m : members_) m->fit(docs);
+  }
+  double score(std::string_view text) const override {
+    if (members_.empty()) return 0.5;
+    double total = 0.0;
+    for (const auto& m : members_) total += m->score(text);
+    return total / static_cast<double>(members_.size());
+  }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+
+  /// NB + logistic + MLP, the default platform detector stack.
+  static std::unique_ptr<EnsembleDetector> standard();
+
+ private:
+  std::vector<std::unique_ptr<Detector>> members_;
+};
+
+/// Accuracy of `detector` on `docs` at threshold 0.5.
+[[nodiscard]] double evaluate_accuracy(const Detector& detector,
+                                       std::span<const LabeledDoc> docs);
+
+}  // namespace tnp::ai

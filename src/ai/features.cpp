@@ -1,0 +1,161 @@
+#include "ai/features.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace tnp::ai {
+
+namespace {
+
+constexpr std::string_view kNegativeEmotion[] = {
+    "outrage",  "fury",     "disaster", "shocking", "horrifying", "scandal",
+    "betrayal", "corrupt",  "evil",     "destroy",  "terrifying", "disgrace",
+    "rigged",   "collapse", "chaos",    "panic",    "menace",     "traitor",
+    "doomed",   "ruin",
+};
+
+constexpr std::string_view kClickbait[] = {
+    "unbelievable", "secret",    "exposed", "shocking", "miracle",
+    "insane",       "viral",     "banned",  "revealed", "trick",
+    "wow",          "explosive", "bombshell",
+};
+
+constexpr std::string_view kHedging[] = {
+    "reportedly", "allegedly", "sources", "rumored", "supposedly",
+    "claims",     "insiders",  "anonymous",
+};
+
+std::uint64_t word_hash(std::string_view token) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : token) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t s = h;
+  return splitmix64(s);
+}
+
+const std::unordered_set<std::string_view>& negative_set() {
+  static const std::unordered_set<std::string_view> set(
+      std::begin(kNegativeEmotion), std::end(kNegativeEmotion));
+  return set;
+}
+const std::unordered_set<std::string_view>& clickbait_set() {
+  static const std::unordered_set<std::string_view> set(std::begin(kClickbait),
+                                                        std::end(kClickbait));
+  return set;
+}
+const std::unordered_set<std::string_view>& hedging_set() {
+  static const std::unordered_set<std::string_view> set(std::begin(kHedging),
+                                                        std::end(kHedging));
+  return set;
+}
+
+}  // namespace
+
+std::span<const std::string_view> negative_emotion_lexicon() {
+  return kNegativeEmotion;
+}
+std::span<const std::string_view> clickbait_lexicon() { return kClickbait; }
+std::span<const std::string_view> hedging_lexicon() { return kHedging; }
+
+StyleVector style_features(std::string_view text) {
+  StyleVector f{};
+  if (text.empty()) return f;
+
+  std::size_t exclamations = 0, questions = 0, upper = 0, letters = 0;
+  for (char c : text) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (c == '!') ++exclamations;
+    if (c == '?') ++questions;
+    if (std::isalpha(uc)) {
+      ++letters;
+      if (std::isupper(uc)) ++upper;
+    }
+  }
+
+  const text::Tokens tokens = text::tokenize(text);
+  if (tokens.empty()) return f;
+  std::size_t negative = 0, clickbait = 0, hedging = 0, digits = 0;
+  std::unordered_set<std::string_view> distinct;
+  double total_len = 0.0;
+  for (const auto& token : tokens) {
+    if (negative_set().contains(token)) ++negative;
+    if (clickbait_set().contains(token)) ++clickbait;
+    if (hedging_set().contains(token)) ++hedging;
+    if (std::isdigit(static_cast<unsigned char>(token[0]))) ++digits;
+    distinct.insert(token);
+    total_len += static_cast<double>(token.size());
+  }
+
+  const double n = static_cast<double>(tokens.size());
+  f[0] = static_cast<double>(exclamations + questions) / n;
+  f[1] = letters ? static_cast<double>(upper) / static_cast<double>(letters) : 0;
+  f[2] = static_cast<double>(negative) / n;
+  f[3] = static_cast<double>(clickbait) / n;
+  f[4] = static_cast<double>(hedging) / n;
+  f[5] = static_cast<double>(digits) / n;
+  f[6] = static_cast<double>(distinct.size()) / n;  // type-token ratio
+  f[7] = total_len / n / 10.0;                      // mean word length /10
+  return f;
+}
+
+std::vector<float> hashed_bow(const text::Tokens& tokens, std::size_t dims) {
+  std::vector<float> vec(dims, 0.0f);
+  if (tokens.empty()) return vec;
+  for (const auto& token : tokens) {
+    const std::uint64_t h = word_hash(token);
+    const std::size_t idx = h % dims;
+    const float sign = (h >> 63) ? 1.0f : -1.0f;  // signed hashing
+    vec[idx] += sign;
+  }
+  double norm = 0.0;
+  for (float v : vec) norm += double(v) * v;
+  if (norm > 0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+    for (float& v : vec) v *= inv;
+  }
+  return vec;
+}
+
+void TfidfModel::fit(std::span<const LabeledDoc> docs) {
+  num_docs_ = docs.size();
+  for (const auto& doc : docs) {
+    const auto counts = text::term_counts(text::tokenize(doc.text));
+    for (const auto& [word, count] : counts) {
+      (void)count;
+      const std::uint32_t id = vocab_.add(word);
+      if (id >= doc_freq_.size()) doc_freq_.resize(id + 1, 0);
+      ++doc_freq_[id];
+    }
+  }
+}
+
+TfidfModel::SparseVec TfidfModel::transform(const text::Tokens& tokens) const {
+  SparseVec vec;
+  const auto counts = text::term_counts(tokens);
+  vec.reserve(counts.size());
+  double norm = 0.0;
+  for (const auto& [word, count] : counts) {
+    const std::int64_t id = vocab_.lookup(word);
+    if (id < 0) continue;  // OOV dropped
+    const double idf =
+        std::log((1.0 + static_cast<double>(num_docs_)) /
+                 (1.0 + static_cast<double>(doc_freq_[static_cast<std::size_t>(id)]))) +
+        1.0;
+    const double tf = 1.0 + std::log(static_cast<double>(count));
+    const double w = tf * idf;
+    vec.emplace_back(static_cast<std::uint32_t>(id), static_cast<float>(w));
+    norm += w * w;
+  }
+  if (norm > 0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+    for (auto& [id, w] : vec) w *= inv;
+  }
+  return vec;
+}
+
+}  // namespace tnp::ai

@@ -1,0 +1,57 @@
+// Feature extraction for fake-news text detection.
+//
+// Two complementary views (mirroring the literature the paper cites [11]):
+//  * content — hashed bag-of-words / TF-IDF over tokens;
+//  * style   — surface signals of sensationalist writing: exclamation
+//    density, all-caps ratio, negative-emotion lexicon hits, clickbait
+//    phrases, numeral exaggeration, type-token ratio.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenize.hpp"
+
+namespace tnp::ai {
+
+/// A labelled training/eval document.
+struct LabeledDoc {
+  std::string text;
+  bool fake = false;
+};
+
+inline constexpr std::size_t kStyleDims = 8;
+using StyleVector = std::array<double, kStyleDims>;
+
+/// Lexicons used by the style extractor (exposed for tests and for the
+/// corpus generator, which *writes* in this register for fake items).
+[[nodiscard]] std::span<const std::string_view> negative_emotion_lexicon();
+[[nodiscard]] std::span<const std::string_view> clickbait_lexicon();
+[[nodiscard]] std::span<const std::string_view> hedging_lexicon();
+
+/// Extracts the fixed-size style vector from raw text.
+[[nodiscard]] StyleVector style_features(std::string_view text);
+
+/// Feature-hashed bag of words with signed hashing, L2-normalized.
+[[nodiscard]] std::vector<float> hashed_bow(const text::Tokens& tokens,
+                                            std::size_t dims);
+
+/// TF-IDF model: fit document frequencies on a corpus, then produce sparse
+/// vectors (id, weight), L2-normalized.
+class TfidfModel {
+ public:
+  using SparseVec = std::vector<std::pair<std::uint32_t, float>>;
+
+  void fit(std::span<const LabeledDoc> docs);
+  [[nodiscard]] SparseVec transform(const text::Tokens& tokens) const;
+  [[nodiscard]] std::size_t vocab_size() const { return doc_freq_.size(); }
+
+ private:
+  text::Vocabulary vocab_;
+  std::vector<std::uint32_t> doc_freq_;
+  std::size_t num_docs_ = 0;
+};
+
+}  // namespace tnp::ai

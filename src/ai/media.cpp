@@ -1,0 +1,138 @@
+#include "ai/media.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace tnp::ai {
+
+Hash256 SyntheticImage::content_hash() const {
+  Sha256 h;
+  ByteWriter meta;
+  meta.u64(width);
+  meta.u64(height);
+  h.update(BytesView(meta.data()));
+  h.update(BytesView(pixels.data(), pixels.size()));
+  return h.finalize();
+}
+
+SyntheticImage generate_image(Rng& rng, std::size_t width,
+                              std::size_t height) {
+  SyntheticImage img{width, height, std::vector<std::uint8_t>(width * height)};
+  // Sum of a few random low-frequency cosine fields + noise.
+  struct Wave {
+    double fx, fy, phase, amplitude;
+  };
+  std::vector<Wave> waves;
+  for (int i = 0; i < 4; ++i) {
+    waves.push_back(Wave{rng.uniform_real(0.5, 3.0), rng.uniform_real(0.5, 3.0),
+                         rng.uniform_real(0.0, 6.28), rng.uniform_real(20, 45)});
+  }
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      double v = 128.0;
+      for (const Wave& w : waves) {
+        v += w.amplitude *
+             std::cos(w.fx * static_cast<double>(x) / static_cast<double>(width) * 6.28 +
+                      w.fy * static_cast<double>(y) / static_cast<double>(height) * 6.28 +
+                      w.phase);
+      }
+      v += rng.normal(0.0, 3.0);
+      img.at(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  return img;
+}
+
+void splice_region(SyntheticImage& image, const SyntheticImage& donor,
+                   double fraction, Rng& rng) {
+  if (fraction <= 0.0) return;
+  fraction = std::min(fraction, 1.0);
+  const auto rw = static_cast<std::size_t>(
+      std::max(1.0, static_cast<double>(image.width) * fraction));
+  const auto rh = static_cast<std::size_t>(
+      std::max(1.0, static_cast<double>(image.height) * fraction));
+  const std::size_t x0 = rng.uniform(image.width - rw + 1);
+  const std::size_t y0 = rng.uniform(image.height - rh + 1);
+  for (std::size_t y = 0; y < rh; ++y) {
+    for (std::size_t x = 0; x < rw; ++x) {
+      const std::size_t sx = (x0 + x) % donor.width;
+      const std::size_t sy = (y0 + y) % donor.height;
+      image.at(x0 + x, y0 + y) = donor.at(sx, sy);
+    }
+  }
+}
+
+void recompress(SyntheticImage& image, int levels) {
+  if (levels < 2) levels = 2;
+  const double step = 255.0 / static_cast<double>(levels - 1);
+  for (auto& p : image.pixels) {
+    p = static_cast<std::uint8_t>(
+        std::clamp(std::round(std::round(p / step) * step), 0.0, 255.0));
+  }
+}
+
+void brighten(SyntheticImage& image, int delta) {
+  for (auto& p : image.pixels) {
+    p = static_cast<std::uint8_t>(std::clamp(int(p) + delta, 0, 255));
+  }
+}
+
+namespace {
+/// Mean pixel value of each cell in an 8x8 grid.
+std::array<double, 64> block_means(const SyntheticImage& image) {
+  std::array<double, 64> means{};
+  std::array<std::size_t, 64> counts{};
+  for (std::size_t y = 0; y < image.height; ++y) {
+    const std::size_t by = y * 8 / image.height;
+    for (std::size_t x = 0; x < image.width; ++x) {
+      const std::size_t bx = x * 8 / image.width;
+      means[by * 8 + bx] += image.at(x, y);
+      counts[by * 8 + bx] += 1;
+    }
+  }
+  for (int i = 0; i < 64; ++i) {
+    if (counts[i]) means[i] /= static_cast<double>(counts[i]);
+  }
+  return means;
+}
+}  // namespace
+
+std::uint64_t perceptual_hash(const SyntheticImage& image) {
+  const auto means = block_means(image);
+  double global = 0.0;
+  for (double m : means) global += m;
+  global /= 64.0;
+  std::uint64_t hash = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (means[i] > global) hash |= 1ULL << i;
+  }
+  return hash;
+}
+
+int phash_distance(std::uint64_t a, std::uint64_t b) {
+  return std::popcount(a ^ b);
+}
+
+double tamper_score(const SyntheticImage& original,
+                    const SyntheticImage& presented) {
+  const double phash_term =
+      static_cast<double>(
+          phash_distance(perceptual_hash(original), perceptual_hash(presented))) /
+      64.0;
+  const auto mo = block_means(original);
+  const auto mp = block_means(presented);
+  double max_residual = 0.0, mean_residual = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const double r = std::abs(mo[i] - mp[i]);
+    max_residual = std::max(max_residual, r);
+    mean_residual += r;
+  }
+  mean_residual /= 64.0;
+  // A localized splice produces max ≫ mean; global edits (brightness,
+  // recompression) move both together. Score favours localized evidence.
+  const double localized = std::clamp((max_residual - mean_residual) / 40.0, 0.0, 1.0);
+  return std::clamp(0.5 * phash_term + 0.5 * localized, 0.0, 1.0);
+}
+
+}  // namespace tnp::ai

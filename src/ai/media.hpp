@@ -1,0 +1,62 @@
+// Synthetic multimedia and tamper detection — the simulation-grade stand-in
+// for deepfake video detection (paper Sec I/IV). Media are grayscale
+// matrices; originals are anchored on the ledger by perceptual hash, and
+// the detector scores a presented image against its claimed original using
+// perceptual-hash distance plus residual block statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/hash.hpp"
+
+namespace tnp::ai {
+
+struct SyntheticImage {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::uint8_t> pixels;  // row-major, width*height
+
+  [[nodiscard]] std::uint8_t at(std::size_t x, std::size_t y) const {
+    return pixels[y * width + x];
+  }
+  std::uint8_t& at(std::size_t x, std::size_t y) {
+    return pixels[y * width + x];
+  }
+
+  /// Content hash (exact; any bit flip changes it) — the ledger anchor.
+  [[nodiscard]] Hash256 content_hash() const;
+};
+
+/// Smooth procedural "photo": low-frequency gradients + mild noise.
+[[nodiscard]] SyntheticImage generate_image(Rng& rng, std::size_t width,
+                                            std::size_t height);
+
+// ---- Tamper operations (deepfake analogues). ----
+
+/// Replaces a rectangular region (fraction^2 of the area) with content from
+/// a different source image — the face-swap analogue.
+void splice_region(SyntheticImage& image, const SyntheticImage& donor,
+                   double fraction, Rng& rng);
+
+/// Quantizes pixels to `levels` (recompression artefact analogue).
+void recompress(SyntheticImage& image, int levels);
+
+/// Adds uniform brightness shift (innocuous edit).
+void brighten(SyntheticImage& image, int delta);
+
+/// 64-bit block-mean perceptual hash (8x8 grid vs global mean).
+[[nodiscard]] std::uint64_t perceptual_hash(const SyntheticImage& image);
+
+/// Hamming distance between two perceptual hashes, in [0, 64].
+[[nodiscard]] int phash_distance(std::uint64_t a, std::uint64_t b);
+
+/// Tamper evidence score in [0,1]: combines normalized perceptual-hash
+/// distance with the maximum per-block mean residual between the presented
+/// image and the claimed original (localized splices move single blocks
+/// far, which global edits do not).
+[[nodiscard]] double tamper_score(const SyntheticImage& original,
+                                  const SyntheticImage& presented);
+
+}  // namespace tnp::ai

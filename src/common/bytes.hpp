@@ -1,0 +1,145 @@
+// Byte-buffer utilities: hex codecs, little-endian integer packing, and a
+// simple append-style binary writer/reader used by every wire format in the
+// simulated stack (transactions, blocks, consensus messages, VM bytecode).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace tnp {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lowercase hex encoding of a byte span.
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Decodes lowercase/uppercase hex. Fails on odd length or non-hex chars.
+[[nodiscard]] Expected<Bytes> from_hex(std::string_view hex);
+
+/// Bytes from a string's raw characters (no encoding applied).
+[[nodiscard]] inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// String from raw bytes (inverse of to_bytes).
+[[nodiscard]] inline std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Append-only binary encoder. All integers are little-endian; strings and
+/// blobs are length-prefixed with u32. Deliberately minimal: deterministic,
+/// no versioning — simulation wire format, not a storage format.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    append_le(bits);
+  }
+  void bytes(BytesView v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    raw(v);
+  }
+  void str(std::string_view v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+  /// Appends without a length prefix (fixed-width fields like hashes).
+  void raw(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  Bytes buf_;
+};
+
+/// Matching decoder. Every accessor returns Expected so truncated or
+/// malformed inputs (e.g. from a byzantine simulated peer) fail cleanly.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] Expected<std::uint8_t> u8() {
+    if (pos_ + 1 > data_.size()) return truncated();
+    return data_[pos_++];
+  }
+  [[nodiscard]] Expected<std::uint16_t> u16() { return read_le<std::uint16_t>(); }
+  [[nodiscard]] Expected<std::uint32_t> u32() { return read_le<std::uint32_t>(); }
+  [[nodiscard]] Expected<std::uint64_t> u64() { return read_le<std::uint64_t>(); }
+  [[nodiscard]] Expected<std::int64_t> i64() {
+    auto v = read_le<std::uint64_t>();
+    if (!v) return v.error();
+    return static_cast<std::int64_t>(*v);
+  }
+  [[nodiscard]] Expected<double> f64() {
+    auto bits = read_le<std::uint64_t>();
+    if (!bits) return bits.error();
+    double v;
+    std::memcpy(&v, &*bits, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] Expected<Bytes> bytes() {
+    auto n = u32();
+    if (!n) return n.error();
+    if (pos_ + *n > data_.size()) return truncated();
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *n));
+    pos_ += *n;
+    return out;
+  }
+  [[nodiscard]] Expected<std::string> str() {
+    auto b = bytes();
+    if (!b) return b.error();
+    return std::string(b->begin(), b->end());
+  }
+  /// Reads exactly n bytes without a length prefix.
+  [[nodiscard]] Expected<Bytes> raw(std::size_t n) {
+    if (pos_ + n > data_.size()) return truncated();
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  Expected<T> read_le() {
+    if (pos_ + sizeof(T) > data_.size()) return truncated();
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+  static Error truncated() {
+    return Error(ErrorCode::kCorruptData, "truncated buffer");
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tnp

@@ -1,0 +1,79 @@
+// Error taxonomy shared across the platform.
+//
+// Hot validation paths (block/tx/signature checks, contract execution)
+// report failures through Expected<T>/Status rather than exceptions, so a
+// malformed message from a simulated peer is ordinary control flow.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tnp {
+
+/// Coarse error categories. Every subsystem maps its failures onto these so
+/// callers can switch on category without string matching.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnauthenticated,   // bad signature / unknown identity
+  kCorruptData,       // hash mismatch, malformed encoding
+  kResourceExhausted, // gas, stake, queue capacity
+  kUnavailable,       // partitioned / dropped in the simulated network
+  kInternal,
+};
+
+/// Human-readable name for an ErrorCode (stable, for logs and tests).
+constexpr std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kUnauthenticated: return "UNAUTHENTICATED";
+    case ErrorCode::kCorruptData: return "CORRUPT_DATA";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// An error: category plus context message. Cheap to move, comparable by
+/// code (messages are for humans, not control flow).
+class Error {
+ public:
+  Error() = default;
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out{tnp::to_string(code_)};
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+}  // namespace tnp

@@ -1,0 +1,81 @@
+// Expected<T>: value-or-Error result type (C++20 predates std::expected).
+//
+// Used on hot validation paths where failure is ordinary control flow.
+// Accessors assert in debug builds; use ok()/error() to branch.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/error.hpp"
+
+namespace tnp {
+
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  // Intentionally implicit: lets `return value;` and `return Error{...};`
+  // both convert, mirroring std::expected.
+  Expected(T value) : storage_(std::move(value)) {}  // NOLINT
+  Expected(Error error) : storage_(std::move(error)) {  // NOLINT
+    assert(!std::get<Error>(storage_).ok() && "Expected error must not be kOk");
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+
+  /// Value if present, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Status: an Expected with no payload. kOk Error means success.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT
+  Status(ErrorCode code, std::string message)
+      : error_(code, std::move(message)) {}
+
+  [[nodiscard]] bool ok() const { return error_.ok(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const { return error_; }
+  [[nodiscard]] std::string to_string() const {
+    return ok() ? "OK" : error_.to_string();
+  }
+
+  static Status Ok() { return {}; }
+
+ private:
+  Error error_;
+};
+
+}  // namespace tnp

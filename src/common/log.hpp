@@ -1,0 +1,48 @@
+// Minimal leveled logger. Single global sink (stderr by default), cheap
+// enough to leave in hot paths at kInfo-off. Format-string free by design:
+// callers build strings with operator<< style via Logf's variadic append.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tnp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view message);
+}
+
+/// log(LogLevel::kInfo, "committed block ", height, " with ", n, " txs");
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  detail::log_emit(level, oss.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace tnp

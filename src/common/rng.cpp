@@ -1,0 +1,81 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tnp {
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  assert(n > 0);
+  // Inverse transform on the harmonic CDF. O(n) worst case but n is small
+  // (vocabulary buckets, topic counts) wherever this is used.
+  double h = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) h += 1.0 / std::pow(double(i), s);
+  double u = uniform01() * h;
+  double acc = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(double(i), s);
+    if (acc >= u) return i - 1;
+  }
+  return n - 1;
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  assert(lambda >= 0);
+  if (lambda <= 0) return 0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform01();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation for large lambda.
+  const double v = normal(lambda, std::sqrt(lambda));
+  return v < 0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double u = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  assert(k <= n);
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    // Dense: partial Fisher–Yates over the full index range.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(all[i], all[i + uniform(n - i)]);
+    }
+    all.resize(k);
+    return all;
+  }
+  // Sparse: rejection sampling.
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const std::size_t idx = uniform(n);
+    if (seen.insert(idx).second) out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace tnp

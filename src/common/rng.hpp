@@ -1,0 +1,149 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the platform (network latency, workload
+// generation, validator behaviour, classifier init) draws from an Rng seeded
+// explicitly by its owner, so whole-system runs are bit-reproducible. The
+// engine is xoshiro256** seeded via splitmix64 — fast, high quality, and
+// trivially portable (unlike std::mt19937's unspecified distributions, our
+// helpers are fully specified here).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <cassert>
+#include <numbers>
+#include <span>
+#include <vector>
+
+namespace tnp {
+
+/// splitmix64 step — used for seeding and for cheap hash mixing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with distribution helpers. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EED5EED5EEDULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent stream (e.g. one per simulated node) such that
+  /// streams don't correlate even for adjacent tags.
+  [[nodiscard]] Rng fork(std::uint64_t tag) {
+    std::uint64_t mix = next() ^ (tag * 0x9E3779B97F4A7C15ULL);
+    return Rng(splitmix64(mix));
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t uniform(std::uint64_t bound) {
+    assert(bound > 0);
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; simple > fast).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform01();
+    while (u1 <= 1e-300) u1 = uniform01();
+    const double u2 = uniform01();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * std::numbers::pi * u2);
+    return mean + stddev * z;
+  }
+
+  /// Exponential with given rate (lambda).
+  double exponential(double rate) {
+    assert(rate > 0);
+    double u = uniform01();
+    while (u <= 1e-300) u = uniform01();
+    return -std::log(u) / rate;
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent s, via inverse CDF over a
+  /// precomputable table-free rejection method (n small enough in practice).
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Geometric: number of failures before first success, p in (0,1].
+  std::uint64_t geometric(double p) {
+    assert(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 0;
+    double u = uniform01();
+    while (u <= 1e-300) u = uniform01();
+    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+  }
+
+  /// Poisson (Knuth's method; fine for small lambda).
+  std::uint64_t poisson(double lambda);
+
+  /// Picks an index proportionally to non-negative weights. Sum must be > 0.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Uniformly chosen element reference.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[uniform(v.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform(i)]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), order unspecified.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace tnp

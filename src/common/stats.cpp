@@ -1,0 +1,123 @@
+#include "common/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace tnp {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Samples::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::percentile(double p) const {
+  assert(p >= 0.0 && p <= 100.0);
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  if (values_.size() == 1) return values_[0];
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Samples::min() const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  return values_.front();
+}
+
+double Samples::max() const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  return values_.back();
+}
+
+std::string Samples::summary() const {
+  std::ostringstream oss;
+  oss << "n=" << count() << " mean=" << mean() << " p50=" << percentile(50)
+      << " p95=" << percentile(95) << " p99=" << percentile(99)
+      << " max=" << max();
+  return oss.str();
+}
+
+double ConfusionMatrix::accuracy() const {
+  const auto t = total();
+  return t == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::precision() const {
+  return (tp + fp) == 0 ? 0.0
+                        : static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double ConfusionMatrix::recall() const {
+  return (tp + fn) == 0 ? 0.0
+                        : static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::false_positive_rate() const {
+  return (fp + tn) == 0 ? 0.0
+                        : static_cast<double>(fp) / static_cast<double>(fp + tn);
+}
+
+double roc_auc(const std::vector<std::pair<double, bool>>& scored) {
+  if (scored.empty()) return 0.5;
+  std::vector<std::pair<double, bool>> sorted = scored;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Midrank assignment for ties, then Mann–Whitney U.
+  std::size_t positives = 0;
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j].first == sorted[i].first) ++j;
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j - 1)) / 2.0 + 1.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (sorted[k].second) {
+        ++positives;
+        rank_sum_pos += midrank;
+      }
+    }
+    i = j;
+  }
+  const std::size_t negatives = sorted.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = rank_sum_pos -
+                   static_cast<double>(positives) * (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+}  // namespace tnp

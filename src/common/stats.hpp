@@ -1,0 +1,94 @@
+// Streaming and batch statistics used by benches and the reputation system:
+// Welford running moments, reservoir-free percentile summaries, and fixed-
+// bucket histograms.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tnp {
+
+/// Welford online mean/variance. O(1) memory, numerically stable.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores all samples; exact percentiles on demand. Fine at bench scale.
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// p in [0,100]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// "n=100 mean=1.2 p50=1.1 p95=2.0 max=3.3" — bench row helper.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Binary-classification counters and the derived metrics every detector
+/// bench reports.
+struct ConfusionMatrix {
+  std::uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  void add(bool predicted_positive, bool actually_positive) {
+    if (predicted_positive && actually_positive) ++tp;
+    else if (predicted_positive && !actually_positive) ++fp;
+    else if (!predicted_positive && actually_positive) ++fn;
+    else ++tn;
+  }
+
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  [[nodiscard]] double f1() const;
+  [[nodiscard]] double false_positive_rate() const;
+  [[nodiscard]] std::uint64_t total() const { return tp + fp + tn + fn; }
+};
+
+/// Area under the ROC curve from (score, label) pairs, by rank statistic
+/// (equivalent to the Mann–Whitney U normalisation). Ties handled by
+/// midranks.
+[[nodiscard]] double roc_auc(const std::vector<std::pair<double, bool>>& scored);
+
+}  // namespace tnp

@@ -1,0 +1,558 @@
+#include "consensus/cluster.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace tnp::consensus {
+
+sim::SimTime CryptoCostModel::sign_cost(AuthMode mode) const {
+  switch (mode) {
+    case AuthMode::kNone: return 0;
+    case AuthMode::kMac: return mac_compute;
+    case AuthMode::kSchnorr: return schnorr_sign;
+  }
+  return 0;
+}
+
+sim::SimTime CryptoCostModel::verify_cost(AuthMode mode) const {
+  switch (mode) {
+    case AuthMode::kNone: return 0;
+    case AuthMode::kMac: return mac_compute;
+    case AuthMode::kSchnorr: return schnorr_verify;
+  }
+  return 0;
+}
+
+Cluster::Cluster(net::Network& network, ExecutorFactory make_executor,
+                 ClusterConfig config)
+    : network_(network), config_(config) {
+  assert(config_.replicas >= 1);
+  replicas_.reserve(config_.replicas);
+  for (std::size_t i = 0; i < config_.replicas; ++i) {
+    const SigScheme scheme = config_.auth_mode == AuthMode::kSchnorr
+                                 ? SigScheme::kSchnorr
+                                 : SigScheme::kHmacSim;
+    auto replica = std::make_unique<Replica>(
+        static_cast<std::uint32_t>(i),
+        KeyPair::generate(scheme, config_.seed * 1000003ULL + i));
+    replica->executor = make_executor();
+    replica->chain =
+        std::make_unique<ledger::Blockchain>(*replica->executor, config_.chain);
+    const Status reg = directory_.register_account(replica->key);
+    assert(reg.ok());
+    (void)reg;
+    replica_accounts_.push_back(replica->key.account());
+    const std::size_t index = i;
+    replica->node = network_.add_node(
+        [this, index](const net::Message& m) { on_network_message(index, m); });
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::start() {
+  assert(!started_);
+  started_ = true;
+  for (auto& r : replicas_) {
+    if (config_.protocol == Protocol::kPbft) {
+      arm_propose_timer(*r);
+      arm_progress_timer(*r);
+    } else {
+      poa_tick(*r);
+    }
+  }
+}
+
+void Cluster::submit(ledger::Transaction tx) {
+  submit_times_.emplace(tx.id(), simulator().now());
+  for (auto& r : replicas_) {
+    if (r->crashed) continue;
+    const Status added = r->mempool.add(tx);
+    if (!added.ok()) {
+      log_debug("replica ", r->index, " rejected tx: ", added.to_string());
+    }
+  }
+}
+
+void Cluster::crash(std::size_t replica) {
+  replicas_.at(replica)->crashed = true;
+}
+
+void Cluster::recover(std::size_t replica) {
+  Replica& r = *replicas_.at(replica);
+  if (!r.crashed) return;
+  r.crashed = false;
+  r.cpu_available = simulator().now();
+  if (started_) {
+    if (config_.protocol == Protocol::kPbft) {
+      arm_propose_timer(r);
+      arm_progress_timer(r);
+    } else {
+      poa_tick(r);
+    }
+  }
+}
+
+void Cluster::set_equivocating(std::size_t replica, bool value) {
+  replicas_.at(replica)->equivocate = value;
+}
+
+const ledger::Blockchain& Cluster::chain(std::size_t replica) const {
+  return *replicas_.at(replica)->chain;
+}
+
+bool Cluster::chains_consistent() const {
+  std::uint64_t min_height = UINT64_MAX;
+  for (const auto& r : replicas_) {
+    if (r->crashed) continue;
+    min_height = std::min(min_height, r->chain->height());
+  }
+  if (min_height == UINT64_MAX) return true;
+  const ledger::Blockchain* reference = nullptr;
+  for (const auto& r : replicas_) {
+    if (r->crashed) continue;
+    if (!reference) {
+      reference = r->chain.get();
+      continue;
+    }
+    for (std::uint64_t h = 1; h <= min_height; ++h) {
+      if (r->chain->block_at(h).hash() != reference->block_at(h).hash()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+sim::SimTime Cluster::occupy_cpu(Replica& r, sim::SimTime cost) {
+  const sim::SimTime start = std::max(simulator().now(), r.cpu_available);
+  r.cpu_available = start + cost;
+  return r.cpu_available;
+}
+
+void Cluster::authenticate(Replica& sender, ConsensusMsg& msg) {
+  if (config_.auth_mode == AuthMode::kNone) {
+    msg.auth.clear();
+    return;
+  }
+  msg.auth = sender.key.sign(BytesView(msg.encode(false)));
+}
+
+bool Cluster::check_auth(Replica& receiver, const ConsensusMsg& msg) {
+  (void)receiver;
+  if (config_.auth_mode == AuthMode::kNone) return true;
+  if (msg.sender >= replica_accounts_.size()) return false;
+  const Status ok = directory_.verify(replica_accounts_[msg.sender],
+                                      BytesView(msg.encode(false)),
+                                      BytesView(msg.auth));
+  if (!ok.ok()) ++stats_.auth_failures;
+  return ok.ok();
+}
+
+void Cluster::send_to_all(Replica& sender, const ConsensusMsg& msg) {
+  // MAC authenticators cost one MAC per recipient (Castro–Liskov
+  // authenticator vectors); a Schnorr signature is computed once.
+  const sim::SimTime per_msg = config_.crypto.sign_cost(config_.auth_mode);
+  const sim::SimTime total =
+      config_.auth_mode == AuthMode::kMac
+          ? per_msg * static_cast<sim::SimTime>(replicas_.size() - 1)
+          : per_msg;
+  occupy_cpu(sender, total);
+  const Bytes wire = msg.encode(true);
+  for (auto& peer : replicas_) {
+    if (peer->index == sender.index) continue;
+    network_.send(sender.node, peer->node, wire);
+  }
+}
+
+void Cluster::on_network_message(std::size_t replica_index,
+                                 const net::Message& m) {
+  Replica& r = *replicas_[replica_index];
+  if (r.crashed) return;
+  auto decoded = ConsensusMsg::decode(BytesView(m.payload));
+  if (!decoded) {
+    log_warn("replica ", r.index, " got malformed consensus message");
+    return;
+  }
+  // Model verify cost on the receiving CPU, then handle when it is done.
+  const sim::SimTime done =
+      occupy_cpu(r, config_.crypto.verify_cost(config_.auth_mode));
+  ConsensusMsg msg = std::move(*decoded);
+  simulator().schedule_at(done, [this, replica_index, msg = std::move(msg)]() {
+    Replica& replica = *replicas_[replica_index];
+    if (replica.crashed) return;
+    if (!check_auth(replica, msg)) {
+      log_warn("replica ", replica.index, " dropped message with bad auth");
+      return;
+    }
+    handle(replica, msg);
+  });
+}
+
+void Cluster::handle(Replica& r, const ConsensusMsg& msg) {
+  note_cluster_progress(r, msg);
+  switch (msg.type) {
+    case MsgType::kPrePrepare: pbft_on_pre_prepare(r, msg); break;
+    case MsgType::kPrepare: pbft_on_prepare(r, msg); break;
+    case MsgType::kCommit: pbft_on_commit(r, msg); break;
+    case MsgType::kViewChange: pbft_on_view_change(r, msg); break;
+    case MsgType::kNewView: break;  // folded into view-vote quorum
+    case MsgType::kPoaBlock: poa_on_block(r, msg); break;
+    case MsgType::kSyncRequest: on_sync_request(r, msg); break;
+    case MsgType::kSyncResponse: on_sync_response(r, msg); break;
+  }
+}
+
+void Cluster::note_cluster_progress(Replica& r, const ConsensusMsg& msg) {
+  // A peer working on block `seq` implies `seq - 1` is committed somewhere.
+  std::uint64_t evidence = 0;
+  switch (msg.type) {
+    case MsgType::kPrePrepare:
+    case MsgType::kPrepare:
+    case MsgType::kCommit:
+    case MsgType::kPoaBlock:
+      evidence = msg.seq > 0 ? msg.seq - 1 : 0;
+      break;
+    case MsgType::kViewChange:
+      evidence = msg.seq;  // voter reports its committed height there
+      break;
+    default:
+      return;
+  }
+  if (evidence > r.known_committed) r.known_committed = evidence;
+  // More than one block behind: the normal pipeline replay cannot close the
+  // gap (we missed the traffic entirely) — fetch history.
+  if (r.known_committed > r.chain->height() + 1) request_sync(r);
+}
+
+void Cluster::request_sync(Replica& r) {
+  if (r.sync_inflight) return;
+  r.sync_inflight = true;
+  ConsensusMsg req;
+  req.type = MsgType::kSyncRequest;
+  req.sender = r.index;
+  req.seq = r.chain->height() + 1;
+  authenticate(r, req);
+  // Round-robin over peers so one crashed peer cannot starve catch-up.
+  const auto peer_index =
+      (r.index + 1 + r.sync_peer_rotation++) % replicas_.size();
+  occupy_cpu(r, config_.crypto.sign_cost(config_.auth_mode));
+  network_.send(r.node, replicas_[peer_index]->node, req.encode(true));
+}
+
+void Cluster::on_sync_request(Replica& r, const ConsensusMsg& msg) {
+  if (msg.seq == 0 || msg.seq > r.chain->height()) return;  // nothing to give
+  if (msg.sender >= replicas_.size()) return;
+  ConsensusMsg resp;
+  resp.type = MsgType::kSyncResponse;
+  resp.sender = r.index;
+  resp.seq = msg.seq;
+  resp.block = r.chain->block_at(msg.seq).encode();
+  resp.digest = r.chain->block_at(msg.seq).hash();
+  authenticate(r, resp);
+  occupy_cpu(r, config_.crypto.sign_cost(config_.auth_mode));
+  network_.send(r.node, replicas_[msg.sender]->node, resp.encode(true));
+}
+
+void Cluster::on_sync_response(Replica& r, const ConsensusMsg& msg) {
+  r.sync_inflight = false;
+  auto block = ledger::Block::decode(BytesView(msg.block));
+  if (!block) return;
+  if (block->header.height != r.chain->height() + 1) return;  // stale
+  // Crash-fault state transfer: the block chains onto our local tip (parent
+  // hash + pre-state root validated by apply), so an honest peer can only
+  // hand us the canonical block.
+  commit_block(r, *block);
+  r.slots.erase(r.slots.begin(),
+                r.slots.upper_bound(r.chain->height()));
+  // Keep pulling until the gap is closed, then let stashed pre-prepares
+  // resume the live protocol.
+  if (r.known_committed > r.chain->height()) {
+    request_sync(r);
+    return;
+  }
+  const auto stashed = r.stashed_pre_prepares.find(r.chain->height() + 1);
+  if (stashed != r.stashed_pre_prepares.end()) {
+    const ConsensusMsg replay = stashed->second;
+    r.stashed_pre_prepares.erase(stashed);
+    pbft_on_pre_prepare(r, replay);
+  }
+}
+
+// ------------------------------------------------------------------ PBFT
+
+void Cluster::arm_propose_timer(Replica& r) {
+  simulator().schedule(config_.block_interval, [this, index = r.index]() {
+    Replica& replica = *replicas_[index];
+    if (replica.crashed) return;
+    if (config_.protocol != Protocol::kPbft) return;
+    pbft_propose(replica);
+    arm_propose_timer(replica);  // periodic: retries when mempool was empty
+  });
+}
+
+void Cluster::arm_progress_timer(Replica& r) {
+  simulator().schedule(config_.view_timeout, [this, index = r.index]() {
+    Replica& replica = *replicas_[index];
+    if (replica.crashed) return;
+    pbft_check_progress(replica);
+    arm_progress_timer(replica);
+  });
+}
+
+void Cluster::pbft_propose(Replica& r) {
+  if (primary_of(r.view) != r.index) return;
+  const std::uint64_t seq = r.chain->height() + 1;
+  auto it = r.slots.find(seq);
+  if (it != r.slots.end() && it->second.pre_prepared) return;  // in flight
+  auto batch = r.mempool.take_batch(config_.max_block_txs);
+  if (batch.empty()) return;
+
+  ledger::Block block =
+      r.chain->make_block(std::move(batch), r.index, simulator().now());
+
+  ConsensusMsg msg;
+  msg.type = MsgType::kPrePrepare;
+  msg.sender = r.index;
+  msg.view = r.view;
+  msg.seq = seq;
+  msg.digest = block.hash();
+  msg.block = block.encode();
+  authenticate(r, msg);
+
+  if (r.equivocate) {
+    // Byzantine primary: send a conflicting block to the second half of the
+    // replicas. Honest quorum intersection must prevent both from
+    // committing.
+    ledger::Block twin = block;
+    twin.header.timestamp += 1;
+    ConsensusMsg twin_msg = msg;
+    twin_msg.digest = twin.hash();
+    twin_msg.block = twin.encode();
+    authenticate(r, twin_msg);
+    const Bytes wire_a = msg.encode(true);
+    const Bytes wire_b = twin_msg.encode(true);
+    for (auto& peer : replicas_) {
+      if (peer->index == r.index) continue;
+      const bool second_half = peer->index >= replicas_.size() / 2;
+      network_.send(r.node, peer->node, second_half ? wire_b : wire_a);
+    }
+  } else {
+    send_to_all(r, msg);
+  }
+  // Process own pre-prepare locally.
+  pbft_on_pre_prepare(r, msg);
+}
+
+void Cluster::pbft_on_pre_prepare(Replica& r, const ConsensusMsg& msg) {
+  if (msg.view != r.view) return;
+  if (msg.sender != primary_of(r.view)) return;
+  const std::uint64_t next = r.chain->height() + 1;
+  if (msg.seq < next) return;  // stale
+  if (msg.seq > next) {
+    // The primary pipelines: it proposes seq+1 as soon as it commits seq,
+    // which can outrun a backup still collecting commits. Stash and replay
+    // once this replica catches up.
+    r.stashed_pre_prepares.emplace(msg.seq, msg);
+    return;
+  }
+
+  Slot& slot = r.slots[msg.seq];
+  if (slot.pre_prepared) {
+    if (slot.digest != msg.digest) {
+      log_warn("replica ", r.index, " detected equivocation at seq ", msg.seq);
+    }
+    return;
+  }
+  auto block = ledger::Block::decode(BytesView(msg.block));
+  if (!block) return;
+  if (block->hash() != msg.digest || block->header.height != msg.seq) return;
+  if (auto s = r.chain->check_candidate(*block); !s.ok()) {
+    log_debug("replica ", r.index, " rejected candidate: ", s.to_string());
+    return;
+  }
+
+  slot.pre_prepared = true;
+  slot.digest = msg.digest;
+  slot.block_bytes = msg.block;
+  slot.prepares.insert(r.index);
+
+  ConsensusMsg prepare;
+  prepare.type = MsgType::kPrepare;
+  prepare.sender = r.index;
+  prepare.view = r.view;
+  prepare.seq = msg.seq;
+  prepare.digest = msg.digest;
+  authenticate(r, prepare);
+  send_to_all(r, prepare);
+  pbft_maybe_prepared(r, msg.seq);
+}
+
+void Cluster::pbft_on_prepare(Replica& r, const ConsensusMsg& msg) {
+  if (msg.view != r.view) return;
+  if (msg.seq <= r.chain->height()) return;
+  Slot& slot = r.slots[msg.seq];
+  if (slot.pre_prepared && slot.digest != msg.digest) return;
+  slot.prepares.insert(msg.sender);
+  pbft_maybe_prepared(r, msg.seq);
+}
+
+void Cluster::pbft_maybe_prepared(Replica& r, std::uint64_t seq) {
+  Slot& slot = r.slots[seq];
+  if (!slot.pre_prepared || slot.sent_commit) return;
+  if (slot.prepares.size() < quorum()) return;
+  slot.sent_commit = true;
+  slot.commits.insert(r.index);
+
+  ConsensusMsg commit;
+  commit.type = MsgType::kCommit;
+  commit.sender = r.index;
+  commit.view = r.view;
+  commit.seq = seq;
+  commit.digest = slot.digest;
+  authenticate(r, commit);
+  send_to_all(r, commit);
+  pbft_maybe_committed(r, seq);
+}
+
+void Cluster::pbft_on_commit(Replica& r, const ConsensusMsg& msg) {
+  if (msg.seq <= r.chain->height()) return;
+  Slot& slot = r.slots[msg.seq];
+  if (slot.pre_prepared && slot.digest != msg.digest) return;
+  slot.commits.insert(msg.sender);
+  pbft_maybe_committed(r, msg.seq);
+}
+
+void Cluster::pbft_maybe_committed(Replica& r, std::uint64_t seq) {
+  Slot& slot = r.slots[seq];
+  if (!slot.pre_prepared || !slot.sent_commit || slot.committed) return;
+  if (slot.commits.size() < quorum()) return;
+  auto block = ledger::Block::decode(BytesView(slot.block_bytes));
+  if (!block) return;
+  slot.committed = true;
+  commit_block(r, *block);
+  r.slots.erase(r.slots.begin(), r.slots.upper_bound(seq));
+  r.stashed_pre_prepares.erase(r.stashed_pre_prepares.begin(),
+                               r.stashed_pre_prepares.upper_bound(seq));
+  // Primary proposes the next block as soon as this one commits.
+  if (primary_of(r.view) == r.index) pbft_propose(r);
+  // Replay a stashed pre-prepare for the next height, if any.
+  const auto stashed = r.stashed_pre_prepares.find(r.chain->height() + 1);
+  if (stashed != r.stashed_pre_prepares.end()) {
+    const ConsensusMsg replay = stashed->second;
+    r.stashed_pre_prepares.erase(stashed);
+    pbft_on_pre_prepare(r, replay);
+  }
+}
+
+void Cluster::pbft_check_progress(Replica& r) {
+  const std::uint64_t height = r.chain->height();
+  if (r.known_committed > height) {
+    // We are the laggard, not the primary: fetch history instead of voting
+    // out a primary that is in fact making progress. Also clears a sync
+    // request whose response was lost.
+    r.sync_inflight = false;
+    request_sync(r);
+    return;
+  }
+  const bool idle = r.mempool.empty() && r.slots.empty();
+  if (height > r.last_progress_height || idle) {
+    r.last_progress_height = height;
+    return;
+  }
+  // Stalled with work pending: vote to replace the primary.
+  const std::uint64_t target = r.view + 1;
+  ConsensusMsg vc;
+  vc.type = MsgType::kViewChange;
+  vc.sender = r.index;
+  vc.view = target;
+  vc.seq = height;
+  authenticate(r, vc);
+  send_to_all(r, vc);
+  r.view_votes[target].insert(r.index);
+  pbft_on_view_change(r, vc);  // evaluate own vote against quorum
+}
+
+void Cluster::pbft_on_view_change(Replica& r, const ConsensusMsg& msg) {
+  if (msg.view <= r.view) return;
+  auto& voters = r.view_votes[msg.view];
+  voters.insert(msg.sender);
+  if (voters.size() < quorum()) return;
+  // Adopt the new view; drop in-flight slots (crash-fault simplification:
+  // nothing prepared-but-uncommitted survives; the new primary re-proposes
+  // from its mempool).
+  r.view = msg.view;
+  r.slots.clear();
+  r.stashed_pre_prepares.clear();
+  r.view_votes.erase(r.view_votes.begin(), r.view_votes.upper_bound(msg.view));
+  if (r.index == 0) ++stats_.view_changes;
+  log_info("replica ", r.index, " moved to view ", r.view);
+  if (primary_of(r.view) == r.index) pbft_propose(r);
+}
+
+// ------------------------------------------------------------------- PoA
+
+void Cluster::poa_tick(Replica& r) {
+  simulator().schedule(config_.block_interval, [this, index = r.index]() {
+    Replica& replica = *replicas_[index];
+    if (replica.crashed) return;
+    const std::uint64_t next = replica.chain->height() + 1;
+    if (next % replicas_.size() == replica.index && !replica.mempool.empty()) {
+      auto batch = replica.mempool.take_batch(config_.max_block_txs);
+      ledger::Block block = replica.chain->make_block(
+          std::move(batch), replica.index, simulator().now());
+      ConsensusMsg msg;
+      msg.type = MsgType::kPoaBlock;
+      msg.sender = replica.index;
+      msg.seq = block.header.height;
+      msg.digest = block.hash();
+      msg.block = block.encode();
+      authenticate(replica, msg);
+      send_to_all(replica, msg);
+      commit_block(replica, block);
+    }
+    poa_tick(replica);
+  });
+}
+
+void Cluster::poa_on_block(Replica& r, const ConsensusMsg& msg) {
+  if (msg.seq != r.chain->height() + 1) return;
+  if (msg.sender != msg.seq % replicas_.size()) return;  // wrong proposer
+  auto block = ledger::Block::decode(BytesView(msg.block));
+  if (!block) return;
+  commit_block(r, *block);
+}
+
+// ------------------------------------------------------------------ common
+
+void Cluster::commit_block(Replica& r, const ledger::Block& block) {
+  // Per-transaction execution cost on this replica's CPU.
+  occupy_cpu(r, config_.crypto.per_tx_overhead *
+                    static_cast<sim::SimTime>(block.txs.size()));
+  const Status applied = r.chain->apply_block(block);
+  if (!applied.ok()) {
+    log_error("replica ", r.index, " failed to apply block ",
+              block.header.height, ": ", applied.to_string());
+    return;
+  }
+  r.mempool.remove_committed(block.txs);
+  r.last_progress_height = r.chain->height();
+  if (r.index == 0) {
+    ++stats_.committed_blocks;
+    stats_.committed_txs += block.txs.size();
+    const sim::SimTime now = simulator().now();
+    for (const auto& tx : block.txs) {
+      const auto it = submit_times_.find(tx.id());
+      if (it != submit_times_.end()) {
+        stats_.commit_latency_ms.add(
+            static_cast<double>(now - it->second) /
+            static_cast<double>(sim::kMillisecond));
+        submit_times_.erase(it);
+      }
+    }
+  }
+}
+
+}  // namespace tnp::consensus

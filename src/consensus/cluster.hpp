@@ -1,0 +1,192 @@
+// Replicated blockchain cluster on the simulated network.
+//
+// Two interchangeable protocols:
+//  * kPbft — Castro–Liskov three-phase BFT (pre-prepare / prepare / commit,
+//    quorum 2f+1 of n = 3f+1), with a crash-fault view change. This is the
+//    faithful "high-performance permissioned blockchain" substrate whose
+//    O(n^2) message complexity experiment E8 measures.
+//  * kPoa — round-robin proof-of-authority: the proposer broadcasts, every
+//    replica applies immediately. O(n) messages, no fault tolerance — the
+//    ordering-service baseline.
+//
+// CPU cost of authenticators is modelled in virtual time: each replica is a
+// serial processor whose busy time advances by a per-operation cost
+// (MAC ≈ µs, Schnorr ≈ 100s of µs), so the signatures-vs-MACs trade-off is
+// measurable without burning wall-clock on real big-int math in benches.
+// MACs are also *actually computed* end to end, so authentication failures
+// are real, not simulated.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "consensus/messages.hpp"
+#include "ledger/chain.hpp"
+#include "ledger/mempool.hpp"
+#include "net/network.hpp"
+
+namespace tnp::consensus {
+
+enum class Protocol { kPbft, kPoa };
+enum class AuthMode { kNone, kMac, kSchnorr };
+
+/// Virtual-time cost of cryptographic operations (per message).
+struct CryptoCostModel {
+  sim::SimTime mac_compute = 2;          // 2 µs
+  sim::SimTime schnorr_sign = 250;       // 0.25 ms
+  sim::SimTime schnorr_verify = 550;     // 0.55 ms
+  sim::SimTime per_tx_overhead = 5;      // execution cost per transaction
+
+  [[nodiscard]] sim::SimTime sign_cost(AuthMode mode) const;
+  [[nodiscard]] sim::SimTime verify_cost(AuthMode mode) const;
+};
+
+struct ClusterConfig {
+  Protocol protocol = Protocol::kPbft;
+  std::size_t replicas = 4;
+  AuthMode auth_mode = AuthMode::kMac;
+  sim::SimTime block_interval = 50 * sim::kMillisecond;
+  std::size_t max_block_txs = 256;
+  sim::SimTime view_timeout = 3 * sim::kSecond;
+  ledger::ChainConfig chain{};
+  CryptoCostModel crypto{};
+  std::uint64_t seed = 1;
+};
+
+struct ClusterStats {
+  std::uint64_t committed_blocks = 0;  // at replica 0
+  std::uint64_t committed_txs = 0;
+  std::uint64_t view_changes = 0;
+  std::uint64_t auth_failures = 0;
+  Samples commit_latency_ms;  // submit → commit at replica 0
+};
+
+class Cluster {
+ public:
+  using ExecutorFactory =
+      std::function<std::unique_ptr<ledger::TransactionExecutor>()>;
+
+  Cluster(net::Network& network, ExecutorFactory make_executor,
+          ClusterConfig config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Arms proposal/progress timers. Call once before running the simulator.
+  void start();
+
+  /// Client submission: the transaction lands in every live replica's
+  /// mempool (client-side broadcast; not counted against protocol traffic).
+  void submit(ledger::Transaction tx);
+
+  void crash(std::size_t replica);
+  void recover(std::size_t replica);
+  /// Byzantine primary for tests: equivocates on proposals while set.
+  void set_equivocating(std::size_t replica, bool value);
+
+  [[nodiscard]] const ledger::Blockchain& chain(std::size_t replica) const;
+  [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  [[nodiscard]] const ClusterStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t quorum() const { return 2 * max_faulty() + 1; }
+  [[nodiscard]] std::size_t max_faulty() const {
+    return (replicas_.size() - 1) / 3;
+  }
+
+  /// True when all live replicas agree on every block up to the minimum
+  /// committed height.
+  [[nodiscard]] bool chains_consistent() const;
+
+ private:
+  struct Slot {
+    Hash256 digest{};
+    Bytes block_bytes;
+    std::set<std::uint32_t> prepares;
+    std::set<std::uint32_t> commits;
+    bool pre_prepared = false;
+    bool sent_commit = false;
+    bool committed = false;
+  };
+
+  struct Replica {
+    std::uint32_t index = 0;
+    net::NodeId node = 0;
+    bool crashed = false;
+    bool equivocate = false;
+    std::uint64_t view = 0;
+    std::unique_ptr<ledger::TransactionExecutor> executor;
+    std::unique_ptr<ledger::Blockchain> chain;
+    ledger::Mempool mempool;
+    std::map<std::uint64_t, Slot> slots;  // seq → state
+    // Pre-prepares that arrived before this replica committed their
+    // predecessor (the primary pipelines); replayed after each commit.
+    std::map<std::uint64_t, ConsensusMsg> stashed_pre_prepares;
+    // Catch-up state: highest height the rest of the cluster evidently
+    // committed, and whether a sync request is outstanding.
+    std::uint64_t known_committed = 0;
+    bool sync_inflight = false;
+    std::uint32_t sync_peer_rotation = 0;
+    std::map<std::uint64_t, std::set<std::uint32_t>> view_votes;  // view → voters
+    KeyPair key;
+    sim::SimTime cpu_available = 0;
+    std::uint64_t last_progress_height = 0;
+
+    Replica(std::uint32_t idx, KeyPair kp) : index(idx), key(std::move(kp)) {}
+  };
+
+  [[nodiscard]] std::uint32_t primary_of(std::uint64_t view) const {
+    return static_cast<std::uint32_t>(view % replicas_.size());
+  }
+  [[nodiscard]] sim::Simulator& simulator() { return network_.simulator(); }
+
+  /// Serial-CPU model: returns the virtual time at which `replica` finishes
+  /// a unit of work costing `cost`, advancing its busy marker.
+  sim::SimTime occupy_cpu(Replica& r, sim::SimTime cost);
+
+  void authenticate(Replica& sender, ConsensusMsg& msg);
+  [[nodiscard]] bool check_auth(Replica& receiver, const ConsensusMsg& msg);
+
+  void send_to_all(Replica& sender, const ConsensusMsg& msg);
+  void on_network_message(std::size_t replica_index, const net::Message& m);
+  void handle(Replica& r, const ConsensusMsg& msg);
+
+  // PBFT handlers.
+  void pbft_propose(Replica& r);
+  void pbft_on_pre_prepare(Replica& r, const ConsensusMsg& msg);
+  void pbft_on_prepare(Replica& r, const ConsensusMsg& msg);
+  void pbft_on_commit(Replica& r, const ConsensusMsg& msg);
+  void pbft_maybe_prepared(Replica& r, std::uint64_t seq);
+  void pbft_maybe_committed(Replica& r, std::uint64_t seq);
+  void pbft_on_view_change(Replica& r, const ConsensusMsg& msg);
+  void pbft_check_progress(Replica& r);
+  void arm_propose_timer(Replica& r);
+  void arm_progress_timer(Replica& r);
+
+  // PoA handlers.
+  void poa_tick(Replica& r);
+  void poa_on_block(Replica& r, const ConsensusMsg& msg);
+
+  // Catch-up (crash-fault state transfer: blocks are validated against the
+  // local chain, not against a quorum certificate).
+  void request_sync(Replica& r);
+  void on_sync_request(Replica& r, const ConsensusMsg& msg);
+  void on_sync_response(Replica& r, const ConsensusMsg& msg);
+  void note_cluster_progress(Replica& r, const ConsensusMsg& msg);
+
+  void commit_block(Replica& r, const ledger::Block& block);
+
+  net::Network& network_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  KeyDirectory directory_;
+  std::vector<AccountId> replica_accounts_;
+  ClusterStats stats_;
+  std::unordered_map<Hash256, sim::SimTime> submit_times_;
+  bool started_ = false;
+};
+
+}  // namespace tnp::consensus

@@ -1,0 +1,50 @@
+#include "consensus/messages.hpp"
+
+namespace tnp::consensus {
+
+Bytes ConsensusMsg::encode(bool include_auth) const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(sender);
+  w.u64(view);
+  w.u64(seq);
+  w.raw(digest.view());
+  w.bytes(BytesView(block));
+  if (include_auth) w.bytes(BytesView(auth));
+  return w.take();
+}
+
+Expected<ConsensusMsg> ConsensusMsg::decode(BytesView bytes) {
+  ByteReader r(bytes);
+  ConsensusMsg m;
+  auto type = r.u8();
+  if (!type) return type.error();
+  if (*type > static_cast<std::uint8_t>(MsgType::kSyncResponse)) {
+    return Error(ErrorCode::kCorruptData, "unknown consensus message type");
+  }
+  m.type = static_cast<MsgType>(*type);
+  auto sender = r.u32();
+  if (!sender) return sender.error();
+  m.sender = *sender;
+  auto view = r.u64();
+  if (!view) return view.error();
+  m.view = *view;
+  auto seq = r.u64();
+  if (!seq) return seq.error();
+  m.seq = *seq;
+  auto digest = r.raw(32);
+  if (!digest) return digest.error();
+  std::copy(digest->begin(), digest->end(), m.digest.bytes.begin());
+  auto block = r.bytes();
+  if (!block) return block.error();
+  m.block = std::move(*block);
+  auto auth = r.bytes();
+  if (!auth) return auth.error();
+  m.auth = std::move(*auth);
+  if (!r.done()) {
+    return Error(ErrorCode::kCorruptData, "trailing bytes in consensus msg");
+  }
+  return m;
+}
+
+}  // namespace tnp::consensus

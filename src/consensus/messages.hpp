@@ -1,0 +1,40 @@
+// Wire messages for the consensus protocols. One tagged format shared by
+// PBFT and PoA; every message carries a sender index and an authenticator
+// (HMAC session MAC or Schnorr signature, per cluster config — mirroring
+// Castro–Liskov PBFT, which replaces signatures with MAC vectors for
+// throughput).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/hash.hpp"
+
+namespace tnp::consensus {
+
+enum class MsgType : std::uint8_t {
+  kPrePrepare = 0,
+  kPrepare = 1,
+  kCommit = 2,
+  kViewChange = 3,
+  kNewView = 4,
+  kPoaBlock = 5,
+  kSyncRequest = 6,   // seq = first height the sender is missing
+  kSyncResponse = 7,  // block = committed block at `seq`
+};
+
+struct ConsensusMsg {
+  MsgType type = MsgType::kPrepare;
+  std::uint32_t sender = 0;  // replica index
+  std::uint64_t view = 0;
+  std::uint64_t seq = 0;     // block height being agreed
+  Hash256 digest{};          // block hash (quorum votes) or zero
+  Bytes block;               // encoded block (kPrePrepare / kPoaBlock only)
+  Bytes auth;                // authenticator over encode(false)
+
+  /// Canonical encoding; `include_auth=false` is the authentication preimage.
+  [[nodiscard]] Bytes encode(bool include_auth = true) const;
+  static Expected<ConsensusMsg> decode(BytesView bytes);
+};
+
+}  // namespace tnp::consensus

@@ -1,0 +1,56 @@
+// Contract framework: the Contract interface, the ContractHost that
+// dispatches ledger transactions to contracts, and the standard registry
+// wiring all built-in platform contracts (paper Secs IV–VI as chaincode).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ledger/chain.hpp"
+
+namespace tnp::contracts {
+
+/// One named smart contract. `call` runs inside a transaction: state writes
+/// go to the overlay (rolled back if the call fails) and every resource use
+/// must be charged to ctx.gas.
+class Contract {
+ public:
+  virtual ~Contract() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual Status call(const std::string& method, ByteReader& args,
+                      ledger::OverlayState& state,
+                      ledger::ExecContext& ctx) = 0;
+};
+
+/// TransactionExecutor that routes tx.contract/tx.method to a registry of
+/// contracts.
+class ContractHost final : public ledger::TransactionExecutor {
+ public:
+  void add(std::unique_ptr<Contract> contract);
+  [[nodiscard]] bool has(const std::string& name) const {
+    return contracts_.contains(name);
+  }
+
+  Status execute(const ledger::Transaction& tx, ledger::OverlayState& state,
+                 ledger::ExecContext& ctx) override;
+
+  /// All built-in contracts: identity, token, news, ranking, factdb,
+  /// governance, vm.
+  static std::unique_ptr<ContractHost> standard();
+
+ private:
+  std::map<std::string, std::unique_ptr<Contract>> contracts_;
+};
+
+// Factories for the individual built-ins (implemented in native.cpp).
+std::unique_ptr<Contract> make_identity_contract();
+std::unique_ptr<Contract> make_token_contract();
+std::unique_ptr<Contract> make_news_contract();
+std::unique_ptr<Contract> make_ranking_contract();
+std::unique_ptr<Contract> make_factdb_contract();
+std::unique_ptr<Contract> make_governance_contract();
+std::unique_ptr<Contract> make_detector_registry_contract();
+std::unique_ptr<Contract> make_vm_contract();
+
+}  // namespace tnp::contracts

@@ -1,0 +1,900 @@
+// Built-in platform contracts. Each encodes one mechanism from the paper:
+//   identity   — verified personas with roles and reputation (Sec V)
+//   token      — incentive economy for validators/creators (Sec V)
+//   news       — distribution platforms, newsrooms, and the supply-chain
+//                graph written as publish transactions (Secs V–VI)
+//   ranking    — crowd-sourced factualness rounds with stake + reputation
+//                weighting and multiplicative reputation updates (Sec V)
+//   factdb     — the append-only factual database at the root of the
+//                supply-chain graph (Sec VI)
+//   governance — the "AI Blockchain Platform Management Act": admin,
+//                endorsements, flags, parameters (Sec V)
+//   vm         — user-deployed bytecode (detector/policy scripts, Sec V's
+//                developer app-store)
+#include <algorithm>
+#include <cmath>
+
+#include "contracts/host.hpp"
+#include "contracts/schema.hpp"
+#include "contracts/vm.hpp"
+
+namespace tnp::contracts {
+
+namespace {
+
+Status invalid(const std::string& what) {
+  return Status(ErrorCode::kInvalidArgument, what);
+}
+Status denied(const std::string& what) {
+  return Status(ErrorCode::kPermissionDenied, what);
+}
+Status missing(const std::string& what) {
+  return Status(ErrorCode::kNotFound, what);
+}
+
+Expected<Hash256> read_hash(ByteReader& r) {
+  auto raw = r.raw(32);
+  if (!raw) return raw.error();
+  Hash256 h;
+  std::copy(raw->begin(), raw->end(), h.bytes.begin());
+  return h;
+}
+
+Expected<AccountId> read_account(ByteReader& r) { return read_hash(r); }
+
+bool is_admin(const ledger::StateReader& state, const AccountId& who) {
+  const auto admin = get_account(state, keys::gov_admin());
+  return admin && *admin == who;
+}
+
+bool is_endorsed(const ledger::StateReader& state, const AccountId& who) {
+  return state.contains(keys::gov_endorsed(who));
+}
+
+/// Vote weight: reputation times a concave stake factor, so wealth alone
+/// cannot dominate (ablated in E14).
+double vote_weight(double reputation, std::uint64_t stake) {
+  return reputation * (1.0 + std::log2(1.0 + static_cast<double>(stake)));
+}
+
+// ------------------------------------------------------------- identity
+
+class IdentityContract final : public Contract {
+ public:
+  std::string name() const override { return "identity"; }
+
+  Status call(const std::string& method, ByteReader& args,
+              ledger::OverlayState& state, ledger::ExecContext& ctx) override {
+    if (method == "register") {
+      auto display = args.str();
+      auto role = args.u8();
+      if (!display || !role) return invalid("register(display_name, role)");
+      if (*role > static_cast<std::uint8_t>(Role::kDeveloper)) {
+        return invalid("unknown role");
+      }
+      const std::string key = keys::profile(ctx.sender);
+      if (state.contains(key)) {
+        return Status(ErrorCode::kAlreadyExists, "profile exists");
+      }
+      Profile p;
+      p.display_name = std::move(*display);
+      p.role = static_cast<Role>(*role);
+      if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+      state.set(key, p.encode());
+      ctx.emit("identity.registered", Bytes(ctx.sender.bytes.begin(),
+                                            ctx.sender.bytes.end()));
+      return Status::Ok();
+    }
+    if (method == "set_name") {
+      auto display = args.str();
+      if (!display) return invalid("set_name(display_name)");
+      auto profile = get_profile(state, ctx.sender);
+      if (!profile) return missing("no profile");
+      profile->display_name = std::move(*display);
+      if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+      state.set(keys::profile(ctx.sender), profile->encode());
+      return Status::Ok();
+    }
+    return missing("identity." + method);
+  }
+};
+
+// ---------------------------------------------------------------- token
+
+class TokenContract final : public Contract {
+ public:
+  std::string name() const override { return "token"; }
+
+  Status call(const std::string& method, ByteReader& args,
+              ledger::OverlayState& state, ledger::ExecContext& ctx) override {
+    if (method == "mint") {
+      auto to = read_account(args);
+      auto amount = args.u64();
+      if (!to || !amount) return invalid("mint(to, amount)");
+      if (!is_admin(state, ctx.sender)) return denied("mint is admin-only");
+      if (auto s = ctx.charge(2 * ctx.costs->state_write); !s.ok()) return s;
+      set_u64(state, keys::token_balance(*to),
+              get_u64(state, keys::token_balance(*to)) + *amount);
+      set_u64(state, keys::token_supply(),
+              get_u64(state, keys::token_supply()) + *amount);
+      return Status::Ok();
+    }
+    if (method == "transfer") {
+      auto to = read_account(args);
+      auto amount = args.u64();
+      if (!to || !amount) return invalid("transfer(to, amount)");
+      const std::string from_key = keys::token_balance(ctx.sender);
+      const std::uint64_t from_balance = get_u64(state, from_key);
+      if (from_balance < *amount) {
+        return Status(ErrorCode::kResourceExhausted, "insufficient balance");
+      }
+      if (auto s = ctx.charge(2 * ctx.costs->state_write); !s.ok()) return s;
+      set_u64(state, from_key, from_balance - *amount);
+      set_u64(state, keys::token_balance(*to),
+              get_u64(state, keys::token_balance(*to)) + *amount);
+      return Status::Ok();
+    }
+    if (method == "burn") {
+      auto amount = args.u64();
+      if (!amount) return invalid("burn(amount)");
+      const std::string key = keys::token_balance(ctx.sender);
+      const std::uint64_t balance = get_u64(state, key);
+      if (balance < *amount) {
+        return Status(ErrorCode::kResourceExhausted, "insufficient balance");
+      }
+      if (auto s = ctx.charge(2 * ctx.costs->state_write); !s.ok()) return s;
+      set_u64(state, key, balance - *amount);
+      set_u64(state, keys::token_supply(),
+              get_u64(state, keys::token_supply()) - *amount);
+      return Status::Ok();
+    }
+    return missing("token." + method);
+  }
+};
+
+// ----------------------------------------------------------------- news
+
+class NewsContract final : public Contract {
+ public:
+  std::string name() const override { return "news"; }
+
+  Status call(const std::string& method, ByteReader& args,
+              ledger::OverlayState& state, ledger::ExecContext& ctx) override {
+    if (method == "create_platform") return create_platform(args, state, ctx);
+    if (method == "create_room") return create_room(args, state, ctx);
+    if (method == "authorize") return authorize(args, state, ctx);
+    if (method == "publish") return publish(args, state, ctx);
+    if (method == "refer") return refer(args, state, ctx);
+    if (method == "comment") return comment(args, state, ctx);
+    return missing("news." + method);
+  }
+
+ private:
+  Status create_platform(ByteReader& args, ledger::OverlayState& state,
+                         ledger::ExecContext& ctx) {
+    auto name = args.str();
+    if (!name || name->empty()) return invalid("create_platform(name)");
+    if (name->find('/') != std::string::npos) {
+      return invalid("platform name must not contain '/'");
+    }
+    if (!get_profile(state, ctx.sender)) {
+      return denied("register an identity first");
+    }
+    const std::string key = keys::platform(*name);
+    if (state.contains(key)) {
+      return Status(ErrorCode::kAlreadyExists, "platform exists");
+    }
+    if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+    ByteWriter w;
+    w.raw(ctx.sender.view());
+    w.u64(ctx.block_time);
+    state.set(key, w.take());
+    ctx.emit("news.platform_created", to_bytes(*name));
+    return Status::Ok();
+  }
+
+  Status create_room(ByteReader& args, ledger::OverlayState& state,
+                     ledger::ExecContext& ctx) {
+    auto platform = args.str();
+    auto room = args.str();
+    auto topic = args.str();
+    if (!platform || !room || !topic || room->empty()) {
+      return invalid("create_room(platform, room, topic)");
+    }
+    if (room->find('/') != std::string::npos) {
+      return invalid("room name must not contain '/'");
+    }
+    const auto platform_raw = state.get(keys::platform(*platform));
+    if (!platform_raw) return missing("platform " + *platform);
+    ByteReader pr{BytesView(*platform_raw)};
+    auto owner = read_account(pr);
+    if (!owner || *owner != ctx.sender) {
+      return denied("only the platform owner creates rooms");
+    }
+    const std::string key = keys::room(*platform, *room);
+    if (state.contains(key)) {
+      return Status(ErrorCode::kAlreadyExists, "room exists");
+    }
+    if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+    ByteWriter w;
+    w.str(*topic);
+    w.raw(ctx.sender.view());
+    state.set(key, w.take());
+    return Status::Ok();
+  }
+
+  Status authorize(ByteReader& args, ledger::OverlayState& state,
+                   ledger::ExecContext& ctx) {
+    auto platform = args.str();
+    auto who = read_account(args);
+    if (!platform || !who) return invalid("authorize(platform, account)");
+    const auto platform_raw = state.get(keys::platform(*platform));
+    if (!platform_raw) return missing("platform " + *platform);
+    ByteReader pr{BytesView(*platform_raw)};
+    auto owner = read_account(pr);
+    if (!owner || *owner != ctx.sender) {
+      return denied("only the platform owner authorizes journalists");
+    }
+    if (!get_profile(state, *who)) return missing("grantee has no profile");
+    if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+    state.set(keys::journalist_auth(*platform, *who), Bytes{1});
+    return Status::Ok();
+  }
+
+  Status publish(ByteReader& args, ledger::OverlayState& state,
+                 ledger::ExecContext& ctx) {
+    auto platform = args.str();
+    auto room = args.str();
+    auto article = read_hash(args);
+    auto content_ref = args.str();
+    auto edit = args.u8();
+    auto parent_count = args.u32();
+    if (!platform || !room || !article || !content_ref || !edit ||
+        !parent_count) {
+      return invalid("publish(platform, room, hash, ref, edit, parents)");
+    }
+    if (*edit > static_cast<std::uint8_t>(EditType::kMerge)) {
+      return invalid("unknown edit type");
+    }
+    if (!state.contains(keys::room(*platform, *room))) {
+      return missing("room " + *platform + "/" + *room);
+    }
+    // Authorization: platform owner or explicitly authorized journalist.
+    const auto platform_raw = state.get(keys::platform(*platform));
+    if (!platform_raw) return missing("platform " + *platform);
+    ByteReader pr{BytesView(*platform_raw)};
+    const auto owner = read_account(pr);
+    const bool authorized =
+        (owner && *owner == ctx.sender) ||
+        state.contains(keys::journalist_auth(*platform, ctx.sender));
+    if (!authorized) return denied("not authorized to publish here");
+
+    const std::string key = keys::article(*article);
+    if (state.contains(key)) {
+      return Status(ErrorCode::kAlreadyExists, "article already published");
+    }
+
+    ArticleRecord record;
+    record.author = ctx.sender;
+    record.platform = *platform;
+    record.room = *room;
+    record.content_ref = std::move(*content_ref);
+    record.edit_type = static_cast<EditType>(*edit);
+    record.published_at = ctx.block_time;
+    record.block_height = ctx.block_height;
+    record.parents.reserve(*parent_count);
+    for (std::uint32_t i = 0; i < *parent_count; ++i) {
+      auto parent = read_hash(args);
+      if (!parent) return invalid("truncated parent list");
+      if (auto s = ctx.charge(ctx.costs->state_read); !s.ok()) return s;
+      // Every parent must be traceable: an on-chain article or a factual
+      // record (paper Sec VI — links root in the factual database).
+      if (!state.contains(keys::article(*parent)) &&
+          !state.contains(keys::factdb_record(*parent))) {
+        return Status(ErrorCode::kFailedPrecondition,
+                      "parent " + parent->short_hex() + " is not on chain");
+      }
+      record.parents.push_back(*parent);
+    }
+    if (record.edit_type != EditType::kOriginal && record.parents.empty()) {
+      return invalid("derived articles need at least one parent");
+    }
+    const Bytes encoded = record.encode();
+    if (auto s = ctx.charge(ctx.costs->state_write +
+                            ctx.costs->state_byte * encoded.size());
+        !s.ok()) {
+      return s;
+    }
+    state.set(key, encoded);
+    ctx.emit("news.published",
+             Bytes(article->bytes.begin(), article->bytes.end()));
+    return Status::Ok();
+  }
+
+  /// Sec VI: "mechanisms for person to refer and/or report news published
+  /// in other media sources into the news rooms for the discussion". Any
+  /// registered identity may refer; the article enters the supply chain
+  /// with NO parents (it can only trace to unverified external sources),
+  /// which is exactly what makes referred content rank low until verified.
+  Status refer(ByteReader& args, ledger::OverlayState& state,
+               ledger::ExecContext& ctx) {
+    auto platform = args.str();
+    auto room = args.str();
+    auto article = read_hash(args);
+    auto source_url = args.str();
+    if (!platform || !room || !article || !source_url) {
+      return invalid("refer(platform, room, hash, source_url)");
+    }
+    if (!state.contains(keys::room(*platform, *room))) {
+      return missing("room " + *platform + "/" + *room);
+    }
+    if (!get_profile(state, ctx.sender)) {
+      return denied("register an identity first");
+    }
+    const std::string key = keys::article(*article);
+    if (state.contains(key)) {
+      return Status(ErrorCode::kAlreadyExists, "article already on chain");
+    }
+    ArticleRecord record;
+    record.author = ctx.sender;  // the referrer is accountable for the post
+    record.platform = *platform;
+    record.room = *room;
+    record.content_ref = "external:" + *source_url;
+    record.edit_type = EditType::kOriginal;
+    record.published_at = ctx.block_time;
+    record.block_height = ctx.block_height;
+    const Bytes encoded = record.encode();
+    if (auto s = ctx.charge(ctx.costs->state_write +
+                            ctx.costs->state_byte * encoded.size());
+        !s.ok()) {
+      return s;
+    }
+    state.set(key, encoded);
+    ctx.emit("news.referred",
+             Bytes(article->bytes.begin(), article->bytes.end()));
+    return Status::Ok();
+  }
+
+  Status comment(ByteReader& args, ledger::OverlayState& state,
+                 ledger::ExecContext& ctx) {
+    auto article = read_hash(args);
+    auto text = args.str();
+    if (!article || !text) return invalid("comment(article, text)");
+    if (!state.contains(keys::article(*article))) {
+      return missing("article not found");
+    }
+    if (!get_profile(state, ctx.sender)) {
+      return denied("register an identity first");
+    }
+    const std::uint64_t index =
+        get_u64(state, keys::comment_count(*article));
+    if (auto s = ctx.charge(2 * ctx.costs->state_write +
+                            ctx.costs->state_byte * text->size());
+        !s.ok()) {
+      return s;
+    }
+    ByteWriter w;
+    w.raw(ctx.sender.view());
+    w.str(*text);
+    w.u64(ctx.block_time);
+    state.set(keys::comment(*article, index), w.take());
+    set_u64(state, keys::comment_count(*article), index + 1);
+    return Status::Ok();
+  }
+};
+
+// -------------------------------------------------------------- ranking
+
+class RankingContract final : public Contract {
+ public:
+  std::string name() const override { return "ranking"; }
+
+  // Round record: status u8 (1 open, 2 closed), opener 32, vote_count u64.
+  static constexpr std::uint8_t kOpen = 1;
+  static constexpr std::uint8_t kClosed = 2;
+
+  Status call(const std::string& method, ByteReader& args,
+              ledger::OverlayState& state, ledger::ExecContext& ctx) override {
+    if (method == "open") return open(args, state, ctx);
+    if (method == "vote") return vote(args, state, ctx);
+    if (method == "close") return close(args, state, ctx);
+    return missing("ranking." + method);
+  }
+
+ private:
+  struct Round {
+    std::uint8_t status = 0;
+    AccountId opener{};
+    std::uint64_t vote_count = 0;
+  };
+
+  static std::optional<Round> get_round(const ledger::StateReader& state,
+                                        const Hash256& article) {
+    const auto raw = state.get(keys::rank_round(article));
+    if (!raw) return std::nullopt;
+    ByteReader r{BytesView(*raw)};
+    Round round;
+    auto status = r.u8();
+    auto opener = read_account(r);
+    auto count = r.u64();
+    if (!status || !opener || !count) return std::nullopt;
+    round.status = *status;
+    round.opener = *opener;
+    round.vote_count = *count;
+    return round;
+  }
+
+  template <typename State>
+  static void put_round(State& state, const Hash256& article,
+                        const Round& round) {
+    ByteWriter w;
+    w.u8(round.status);
+    w.raw(round.opener.view());
+    w.u64(round.vote_count);
+    state.set(keys::rank_round(article), w.take());
+  }
+
+  Status open(ByteReader& args, ledger::OverlayState& state,
+              ledger::ExecContext& ctx) {
+    auto article = read_hash(args);
+    if (!article) return invalid("open(article)");
+    if (!state.contains(keys::article(*article))) {
+      return missing("article not found");
+    }
+    if (get_round(state, *article)) {
+      return Status(ErrorCode::kAlreadyExists, "round exists");
+    }
+    if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+    put_round(state, *article, Round{kOpen, ctx.sender, 0});
+    ctx.emit("rank.opened",
+             Bytes(article->bytes.begin(), article->bytes.end()));
+    return Status::Ok();
+  }
+
+  Status vote(ByteReader& args, ledger::OverlayState& state,
+              ledger::ExecContext& ctx) {
+    auto article = read_hash(args);
+    auto verdict = args.u8();
+    auto stake = args.u64();
+    if (!article || !verdict || !stake) {
+      return invalid("vote(article, verdict, stake)");
+    }
+    if (*stake == 0) return invalid("stake must be positive");
+    auto round = get_round(state, *article);
+    if (!round || round->status != kOpen) {
+      return Status(ErrorCode::kFailedPrecondition, "round not open");
+    }
+    const std::string marker = keys::rank_voted_marker(*article, ctx.sender);
+    if (state.contains(marker)) {
+      return Status(ErrorCode::kAlreadyExists, "already voted");
+    }
+    const auto profile = get_profile(state, ctx.sender);
+    if (!profile) return denied("register an identity first");
+
+    // Lock the stake.
+    const std::string balance_key = keys::token_balance(ctx.sender);
+    const std::uint64_t balance = get_u64(state, balance_key);
+    if (balance < *stake) {
+      return Status(ErrorCode::kResourceExhausted, "insufficient stake");
+    }
+    if (auto s = ctx.charge(4 * ctx.costs->state_write); !s.ok()) return s;
+    set_u64(state, balance_key, balance - *stake);
+
+    VoteRecord record;
+    record.voter = ctx.sender;
+    record.says_factual = *verdict != 0;
+    record.stake = *stake;
+    record.reputation_at_vote = profile->reputation;
+    state.set(keys::rank_vote(*article, round->vote_count), record.encode());
+    state.set(marker, Bytes{1});
+    round->vote_count += 1;
+    put_round(state, *article, *round);
+    return Status::Ok();
+  }
+
+  Status close(ByteReader& args, ledger::OverlayState& state,
+               ledger::ExecContext& ctx) {
+    auto article = read_hash(args);
+    if (!article) return invalid("close(article)");
+    auto round = get_round(state, *article);
+    if (!round || round->status != kOpen) {
+      return Status(ErrorCode::kFailedPrecondition, "round not open");
+    }
+    if (round->opener != ctx.sender && !is_admin(state, ctx.sender)) {
+      return denied("only the opener or governance closes a round");
+    }
+
+    // Tally with reputation × concave-stake weights.
+    std::vector<VoteRecord> votes;
+    votes.reserve(round->vote_count);
+    double factual_weight = 0.0, total_weight = 0.0;
+    for (std::uint64_t i = 0; i < round->vote_count; ++i) {
+      if (auto s = ctx.charge(ctx.costs->state_read); !s.ok()) return s;
+      const auto raw = state.get(keys::rank_vote(*article, i));
+      if (!raw) continue;
+      auto vote = VoteRecord::decode(BytesView(*raw));
+      if (!vote) continue;
+      const double w = vote_weight(vote->reputation_at_vote, vote->stake);
+      total_weight += w;
+      if (vote->says_factual) factual_weight += w;
+      votes.push_back(std::move(*vote));
+    }
+    const double score =
+        total_weight > 0.0 ? factual_weight / total_weight : 0.5;
+    const bool outcome_factual = score >= 0.5;
+
+    // Settle: winners split the losers' stakes pro-rata by weight and get
+    // their own back; reputations update multiplicatively.
+    double winner_weight = 0.0;
+    std::uint64_t loser_pool = 0;
+    for (const auto& vote : votes) {
+      if (vote.says_factual == outcome_factual) {
+        winner_weight += vote_weight(vote.reputation_at_vote, vote.stake);
+      } else {
+        loser_pool += vote.stake;
+      }
+    }
+    for (const auto& vote : votes) {
+      if (auto s = ctx.charge(2 * ctx.costs->state_write); !s.ok()) return s;
+      const bool won = vote.says_factual == outcome_factual;
+      auto profile = get_profile(state, vote.voter);
+      if (profile) {
+        profile->reputation = won
+            ? std::min(profile->reputation * 1.10, 100.0)
+            : std::max(profile->reputation * 0.85, 0.01);
+        state.set(keys::profile(vote.voter), profile->encode());
+      }
+      if (won) {
+        const double w = vote_weight(vote.reputation_at_vote, vote.stake);
+        const std::uint64_t bonus =
+            winner_weight > 0.0
+                ? static_cast<std::uint64_t>(
+                      static_cast<double>(loser_pool) * (w / winner_weight))
+                : 0;
+        const std::string balance_key = keys::token_balance(vote.voter);
+        set_u64(state, balance_key,
+                get_u64(state, balance_key) + vote.stake + bonus);
+      }
+    }
+
+    round->status = kClosed;
+    put_round(state, *article, *round);
+    set_f64(state, keys::rank_score(*article), score);
+    ByteWriter ev;
+    ev.raw(article->view());
+    ev.f64(score);
+    ctx.emit("rank.closed", ev.take());
+    return Status::Ok();
+  }
+};
+
+// --------------------------------------------------------------- factdb
+
+class FactdbContract final : public Contract {
+ public:
+  std::string name() const override { return "factdb"; }
+
+  Status call(const std::string& method, ByteReader& args,
+              ledger::OverlayState& state, ledger::ExecContext& ctx) override {
+    if (method == "add") {
+      auto hash = read_hash(args);
+      auto source_tag = args.str();
+      if (!hash || !source_tag) return invalid("add(hash, source_tag)");
+      if (!is_admin(state, ctx.sender) && !is_endorsed(state, ctx.sender)) {
+        return denied("only governance or endorsed fact checkers add facts");
+      }
+      const std::string key = keys::factdb_record(*hash);
+      if (state.contains(key)) {
+        return Status(ErrorCode::kAlreadyExists, "record exists");
+      }
+      if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+      ByteWriter w;
+      w.raw(ctx.sender.view());
+      w.str(*source_tag);
+      w.u64(ctx.block_time);
+      state.set(key, w.take());
+      ctx.emit("factdb.added", Bytes(hash->bytes.begin(), hash->bytes.end()));
+      return Status::Ok();
+    }
+    return missing("factdb." + method);
+  }
+};
+
+// ----------------------------------------------------------- governance
+
+class GovernanceContract final : public Contract {
+ public:
+  std::string name() const override { return "governance"; }
+
+  Status call(const std::string& method, ByteReader& args,
+              ledger::OverlayState& state, ledger::ExecContext& ctx) override {
+    if (method == "bootstrap") {
+      // First caller becomes admin; idempotent failure afterwards.
+      if (state.contains(keys::gov_admin())) {
+        return Status(ErrorCode::kAlreadyExists, "admin already set");
+      }
+      if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+      set_account(state, keys::gov_admin(), ctx.sender);
+      return Status::Ok();
+    }
+    if (method == "endorse" || method == "revoke") {
+      auto who = read_account(args);
+      if (!who) return invalid(method + "(account)");
+      if (!is_admin(state, ctx.sender)) return denied("admin only");
+      auto profile = get_profile(state, *who);
+      if (!profile) return missing("no such profile");
+      if (auto s = ctx.charge(2 * ctx.costs->state_write); !s.ok()) return s;
+      if (method == "endorse") {
+        state.set(keys::gov_endorsed(*who), Bytes{1});
+        profile->verified = true;
+      } else {
+        state.erase(keys::gov_endorsed(*who));
+        profile->verified = false;
+      }
+      state.set(keys::profile(*who), profile->encode());
+      return Status::Ok();
+    }
+    if (method == "flag") {
+      // Any verified identity reports a Management Act violation.
+      auto who = read_account(args);
+      auto reason = args.str();
+      if (!who || !reason) return invalid("flag(account, reason)");
+      const auto reporter = get_profile(state, ctx.sender);
+      if (!reporter || !reporter->verified) {
+        return denied("only verified identities flag violations");
+      }
+      if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+      set_u64(state, keys::gov_flags(*who),
+              get_u64(state, keys::gov_flags(*who)) + 1);
+      return Status::Ok();
+    }
+    if (method == "slash") {
+      auto who = read_account(args);
+      if (!who) return invalid("slash(account)");
+      if (!is_admin(state, ctx.sender)) return denied("admin only");
+      auto profile = get_profile(state, *who);
+      if (!profile) return missing("no such profile");
+      if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+      profile->reputation = std::max(profile->reputation * 0.25, 0.01);
+      state.set(keys::profile(*who), profile->encode());
+      return Status::Ok();
+    }
+    if (method == "set_param") {
+      auto name = args.str();
+      auto value = args.u64();
+      if (!name || !value) return invalid("set_param(name, value)");
+      if (!is_admin(state, ctx.sender)) return denied("admin only");
+      if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+      set_u64(state, keys::gov_param(*name), *value);
+      return Status::Ok();
+    }
+    return missing("governance." + method);
+  }
+};
+
+// ---------------------------------------------------- detector registry
+
+/// The Sec V "app-store": developers register VM-deployed detector
+/// programs; governance records each detector's agreement with settled
+/// ranking outcomes, which drives a multiplicative weight used by the
+/// platform when blending detector opinions (and sizing developer
+/// rewards).
+class DetectorRegistryContract final : public Contract {
+ public:
+  std::string name() const override { return "detreg"; }
+
+  Status call(const std::string& method, ByteReader& args,
+              ledger::OverlayState& state, ledger::ExecContext& ctx) override {
+    if (method == "register") {
+      auto display_name = args.str();
+      auto vm_address = read_hash(args);
+      if (!display_name || display_name->empty() || !vm_address) {
+        return invalid("register(name, vm_address)");
+      }
+      if (display_name->find('/') != std::string::npos) {
+        return invalid("detector name must not contain '/'");
+      }
+      const auto profile = get_profile(state, ctx.sender);
+      if (!profile || profile->role != Role::kDeveloper) {
+        return denied("only registered developers publish detectors");
+      }
+      if (!state.contains(keys::vm_code(*vm_address))) {
+        return missing("no code deployed at that address");
+      }
+      const std::string key = keys::detector(*display_name);
+      if (state.contains(key)) {
+        return Status(ErrorCode::kAlreadyExists, "detector name taken");
+      }
+      if (auto s = ctx.charge(3 * ctx.costs->state_write); !s.ok()) return s;
+      DetectorRecord record;
+      record.developer = ctx.sender;
+      record.vm_address = *vm_address;
+      record.display_name = *display_name;
+      state.set(key, record.encode());
+      set_f64(state, keys::detector_weight(*display_name), 1.0);
+      ctx.emit("detreg.registered", to_bytes(*display_name));
+      return Status::Ok();
+    }
+    if (method == "record_outcome") {
+      auto display_name = args.str();
+      auto agreed = args.u8();
+      if (!display_name || !agreed) {
+        return invalid("record_outcome(name, agreed)");
+      }
+      if (!is_admin(state, ctx.sender)) {
+        return denied("only governance records detector outcomes");
+      }
+      const auto raw = state.get(keys::detector(*display_name));
+      if (!raw) return missing("unknown detector");
+      if (auto s = ctx.charge(2 * ctx.costs->state_write); !s.ok()) return s;
+      // Multiplicative weight, same family as validator reputation.
+      const double weight =
+          get_f64(state, keys::detector_weight(*display_name), 1.0);
+      set_f64(state, keys::detector_weight(*display_name),
+              std::clamp(weight * (*agreed != 0 ? 1.05 : 0.90), 0.01, 10.0));
+      const auto stats_raw = state.get(keys::detector_stats(*display_name));
+      std::uint64_t total = 0, agreed_count = 0;
+      if (stats_raw) {
+        ByteReader sr{BytesView(*stats_raw)};
+        total = sr.u64().value_or(0);
+        agreed_count = sr.u64().value_or(0);
+      }
+      ByteWriter w;
+      w.u64(total + 1);
+      w.u64(agreed_count + (*agreed != 0 ? 1 : 0));
+      state.set(keys::detector_stats(*display_name), w.take());
+      return Status::Ok();
+    }
+    if (method == "deactivate") {
+      auto display_name = args.str();
+      if (!display_name) return invalid("deactivate(name)");
+      const auto raw = state.get(keys::detector(*display_name));
+      if (!raw) return missing("unknown detector");
+      auto record = DetectorRecord::decode(BytesView(*raw));
+      if (!record) return Status(ErrorCode::kCorruptData, "bad record");
+      if (record->developer != ctx.sender && !is_admin(state, ctx.sender)) {
+        return denied("only the developer or governance deactivates");
+      }
+      if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+      record->active = false;
+      state.set(keys::detector(*display_name), record->encode());
+      return Status::Ok();
+    }
+    return missing("detreg." + method);
+  }
+};
+
+// ------------------------------------------------------------------- vm
+
+/// Bridges the VM to the ledger overlay, namespacing all data keys under
+/// the contract address.
+class LedgerVmEnv final : public VmEnv {
+ public:
+  LedgerVmEnv(const Hash256& address, ledger::OverlayState& state,
+              ledger::ExecContext& ctx)
+      : address_(address), state_(state), ctx_(ctx) {}
+
+  Bytes load(const Bytes& key) override {
+    const auto v = state_.get(keys::vm_data(address_, to_hex(BytesView(key))));
+    return v.value_or(Bytes{});
+  }
+  void store(const Bytes& key, const Bytes& value) override {
+    state_.set(keys::vm_data(address_, to_hex(BytesView(key))), value);
+  }
+  void emit(const std::string& name, const Bytes& data) override {
+    ctx_.emit("vm." + name, data);
+  }
+  Bytes caller() const override {
+    return Bytes(ctx_.sender.bytes.begin(), ctx_.sender.bytes.end());
+  }
+
+ private:
+  Hash256 address_;
+  ledger::OverlayState& state_;
+  ledger::ExecContext& ctx_;
+};
+
+class VmContract final : public Contract {
+ public:
+  std::string name() const override { return "vm"; }
+
+  Status call(const std::string& method, ByteReader& args,
+              ledger::OverlayState& state, ledger::ExecContext& ctx) override {
+    if (method == "deploy") {
+      auto code = args.bytes();
+      if (!code || code->empty()) return invalid("deploy(code)");
+      Sha256 h;
+      h.update(BytesView(*code));
+      h.update(ctx.sender.view());
+      const Hash256 address = h.finalize();
+      const std::string key = keys::vm_code(address);
+      if (state.contains(key)) {
+        return Status(ErrorCode::kAlreadyExists, "code already deployed");
+      }
+      if (auto s = ctx.charge(ctx.costs->state_write +
+                              ctx.costs->state_byte * code->size());
+          !s.ok()) {
+        return s;
+      }
+      state.set(key, *code);
+      ctx.emit("vm.deployed",
+               Bytes(address.bytes.begin(), address.bytes.end()));
+      return Status::Ok();
+    }
+    if (method == "invoke") {
+      auto address = read_hash(args);
+      auto input = args.bytes();
+      if (!address || !input) return invalid("invoke(address, input)");
+      const auto code = state.get(keys::vm_code(*address));
+      if (!code) return missing("no code at address");
+      LedgerVmEnv env(*address, state, ctx);
+      auto result =
+          vm_execute(BytesView(*code), BytesView(*input), env, *ctx.gas,
+                     *ctx.costs);
+      if (!result) return Status(result.error());
+      ctx.emit("vm.return", result->output);
+      return Status::Ok();
+    }
+    return missing("vm." + method);
+  }
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- host
+
+void ContractHost::add(std::unique_ptr<Contract> contract) {
+  const std::string name = contract->name();
+  contracts_[name] = std::move(contract);
+}
+
+Status ContractHost::execute(const ledger::Transaction& tx,
+                             ledger::OverlayState& state,
+                             ledger::ExecContext& ctx) {
+  const auto it = contracts_.find(tx.contract);
+  if (it == contracts_.end()) {
+    return Status(ErrorCode::kNotFound, "unknown contract " + tx.contract);
+  }
+  ByteReader args{BytesView(tx.args)};
+  return it->second->call(tx.method, args, state, ctx);
+}
+
+std::unique_ptr<ContractHost> ContractHost::standard() {
+  auto host = std::make_unique<ContractHost>();
+  host->add(make_identity_contract());
+  host->add(make_token_contract());
+  host->add(make_news_contract());
+  host->add(make_ranking_contract());
+  host->add(make_factdb_contract());
+  host->add(make_governance_contract());
+  host->add(make_detector_registry_contract());
+  host->add(make_vm_contract());
+  return host;
+}
+
+std::unique_ptr<Contract> make_identity_contract() {
+  return std::make_unique<IdentityContract>();
+}
+std::unique_ptr<Contract> make_token_contract() {
+  return std::make_unique<TokenContract>();
+}
+std::unique_ptr<Contract> make_news_contract() {
+  return std::make_unique<NewsContract>();
+}
+std::unique_ptr<Contract> make_ranking_contract() {
+  return std::make_unique<RankingContract>();
+}
+std::unique_ptr<Contract> make_factdb_contract() {
+  return std::make_unique<FactdbContract>();
+}
+std::unique_ptr<Contract> make_governance_contract() {
+  return std::make_unique<GovernanceContract>();
+}
+std::unique_ptr<Contract> make_detector_registry_contract() {
+  return std::make_unique<DetectorRegistryContract>();
+}
+std::unique_ptr<Contract> make_vm_contract() {
+  return std::make_unique<VmContract>();
+}
+
+}  // namespace tnp::contracts

@@ -1,0 +1,314 @@
+// On-ledger state schema shared by the native contracts and the off-chain
+// core layer (which reads committed WorldState to build the news
+// supply-chain graph). All keys are ASCII paths; all records use ByteWriter
+// encoding. Centralizing the schema here keeps contracts and readers in
+// lockstep.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/signer.hpp"
+#include "ledger/state.hpp"
+
+namespace tnp::contracts {
+
+/// Platform roles (paper Fig. 2 ecosystem actors).
+enum class Role : std::uint8_t {
+  kConsumer = 0,
+  kJournalist = 1,
+  kFactChecker = 2,
+  kPublisher = 3,
+  kDeveloper = 4,
+};
+
+/// News derivation operations (paper Sec VI: relay, insert, mix, split,
+/// merge; kOriginal marks a root article).
+enum class EditType : std::uint8_t {
+  kOriginal = 0,
+  kRelay = 1,
+  kInsert = 2,
+  kMix = 3,
+  kSplit = 4,
+  kMerge = 5,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(EditType e) {
+  switch (e) {
+    case EditType::kOriginal: return "original";
+    case EditType::kRelay: return "relay";
+    case EditType::kInsert: return "insert";
+    case EditType::kMix: return "mix";
+    case EditType::kSplit: return "split";
+    case EditType::kMerge: return "merge";
+  }
+  return "?";
+}
+
+struct Profile {
+  std::string display_name;
+  Role role = Role::kConsumer;
+  bool verified = false;   // identity endorsed by governance
+  double reputation = 1.0; // crowd-sourcing weight, updated by ranking
+
+  [[nodiscard]] Bytes encode() const {
+    ByteWriter w;
+    w.str(display_name);
+    w.u8(static_cast<std::uint8_t>(role));
+    w.u8(verified ? 1 : 0);
+    w.f64(reputation);
+    return w.take();
+  }
+  static std::optional<Profile> decode(BytesView bytes) {
+    ByteReader r(bytes);
+    Profile p;
+    auto name = r.str();
+    auto role = r.u8();
+    auto verified = r.u8();
+    auto rep = r.f64();
+    if (!name || !role || !verified || !rep) return std::nullopt;
+    p.display_name = std::move(*name);
+    p.role = static_cast<Role>(*role);
+    p.verified = *verified != 0;
+    p.reputation = *rep;
+    return p;
+  }
+};
+
+/// One article in the on-chain news supply chain (paper Fig. 4 node).
+struct ArticleRecord {
+  AccountId author{};
+  std::string platform;
+  std::string room;
+  std::string content_ref;  // off-chain content pointer (digest string)
+  EditType edit_type = EditType::kOriginal;
+  std::uint64_t published_at = 0;  // block time
+  std::uint64_t block_height = 0;
+  std::vector<Hash256> parents;
+
+  [[nodiscard]] Bytes encode() const {
+    ByteWriter w;
+    w.raw(author.view());
+    w.str(platform);
+    w.str(room);
+    w.str(content_ref);
+    w.u8(static_cast<std::uint8_t>(edit_type));
+    w.u64(published_at);
+    w.u64(block_height);
+    w.u32(static_cast<std::uint32_t>(parents.size()));
+    for (const auto& p : parents) w.raw(p.view());
+    return w.take();
+  }
+  static std::optional<ArticleRecord> decode(BytesView bytes) {
+    ByteReader r(bytes);
+    ArticleRecord a;
+    auto author = r.raw(32);
+    if (!author) return std::nullopt;
+    std::copy(author->begin(), author->end(), a.author.bytes.begin());
+    auto platform = r.str();
+    auto room = r.str();
+    auto ref = r.str();
+    auto edit = r.u8();
+    auto at = r.u64();
+    auto height = r.u64();
+    auto count = r.u32();
+    if (!platform || !room || !ref || !edit || !at || !height || !count) {
+      return std::nullopt;
+    }
+    a.platform = std::move(*platform);
+    a.room = std::move(*room);
+    a.content_ref = std::move(*ref);
+    a.edit_type = static_cast<EditType>(*edit);
+    a.published_at = *at;
+    a.block_height = *height;
+    a.parents.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto parent = r.raw(32);
+      if (!parent) return std::nullopt;
+      Hash256 h;
+      std::copy(parent->begin(), parent->end(), h.bytes.begin());
+      a.parents.push_back(h);
+    }
+    return a;
+  }
+};
+
+/// One crowd vote on an article's factualness.
+/// A detector registered in the Sec V "app-store": developer-owned VM code
+/// whose track record against settled ranking outcomes sets its weight.
+struct DetectorRecord {
+  AccountId developer{};
+  Hash256 vm_address{};
+  std::string display_name;
+  bool active = true;
+
+  [[nodiscard]] Bytes encode() const {
+    ByteWriter w;
+    w.raw(developer.view());
+    w.raw(vm_address.view());
+    w.str(display_name);
+    w.u8(active ? 1 : 0);
+    return w.take();
+  }
+  static std::optional<DetectorRecord> decode(BytesView bytes) {
+    ByteReader r(bytes);
+    DetectorRecord d;
+    auto dev = r.raw(32);
+    auto addr = r.raw(32);
+    if (!dev || !addr) return std::nullopt;
+    std::copy(dev->begin(), dev->end(), d.developer.bytes.begin());
+    std::copy(addr->begin(), addr->end(), d.vm_address.bytes.begin());
+    auto name = r.str();
+    auto active = r.u8();
+    if (!name || !active) return std::nullopt;
+    d.display_name = std::move(*name);
+    d.active = *active != 0;
+    return d;
+  }
+};
+
+struct VoteRecord {
+  AccountId voter{};
+  bool says_factual = false;
+  std::uint64_t stake = 0;
+  double reputation_at_vote = 1.0;
+
+  [[nodiscard]] Bytes encode() const {
+    ByteWriter w;
+    w.raw(voter.view());
+    w.u8(says_factual ? 1 : 0);
+    w.u64(stake);
+    w.f64(reputation_at_vote);
+    return w.take();
+  }
+  static std::optional<VoteRecord> decode(BytesView bytes) {
+    ByteReader r(bytes);
+    VoteRecord v;
+    auto voter = r.raw(32);
+    if (!voter) return std::nullopt;
+    std::copy(voter->begin(), voter->end(), v.voter.bytes.begin());
+    auto verdict = r.u8();
+    auto stake = r.u64();
+    auto rep = r.f64();
+    if (!verdict || !stake || !rep) return std::nullopt;
+    v.says_factual = *verdict != 0;
+    v.stake = *stake;
+    v.reputation_at_vote = *rep;
+    return v;
+  }
+};
+
+// ------------------------------------------------------------ state keys
+
+namespace keys {
+
+inline std::string profile(const AccountId& a) { return "id/profile/" + a.hex(); }
+inline std::string token_balance(const AccountId& a) { return "token/bal/" + a.hex(); }
+inline const char* token_supply() { return "token/supply"; }
+
+inline std::string platform(const std::string& name) { return "news/platform/" + name; }
+inline std::string room(const std::string& platform, const std::string& room) {
+  return "news/room/" + platform + "/" + room;
+}
+inline std::string journalist_auth(const std::string& platform, const AccountId& a) {
+  return "news/auth/" + platform + "/" + a.hex();
+}
+inline std::string article(const Hash256& h) { return "news/article/" + h.hex(); }
+inline constexpr std::string_view article_prefix() { return "news/article/"; }
+inline std::string comment(const Hash256& article, std::uint64_t index) {
+  return "news/comment/" + article.hex() + "/" + std::to_string(index);
+}
+inline std::string comment_count(const Hash256& article) {
+  return "news/comment_count/" + article.hex();
+}
+
+inline std::string rank_round(const Hash256& article) { return "rank/round/" + article.hex(); }
+inline std::string rank_vote(const Hash256& article, std::uint64_t index) {
+  return "rank/vote/" + article.hex() + "/" + std::to_string(index);
+}
+inline std::string rank_voted_marker(const Hash256& article, const AccountId& a) {
+  return "rank/voted/" + article.hex() + "/" + a.hex();
+}
+inline std::string rank_score(const Hash256& article) { return "rank/score/" + article.hex(); }
+
+inline std::string factdb_record(const Hash256& h) { return "factdb/rec/" + h.hex(); }
+inline constexpr std::string_view factdb_prefix() { return "factdb/rec/"; }
+
+inline const char* gov_admin() { return "gov/admin"; }
+inline std::string gov_endorsed(const AccountId& a) { return "gov/endorsed/" + a.hex(); }
+inline std::string gov_flags(const AccountId& a) { return "gov/flags/" + a.hex(); }
+inline std::string gov_param(const std::string& name) { return "gov/param/" + name; }
+
+// Detector registry (the Sec V "app-store" of fake-news-detection tools).
+inline std::string detector(const std::string& name) {
+  return "detreg/detector/" + name;
+}
+inline constexpr std::string_view detector_prefix() { return "detreg/detector/"; }
+inline std::string detector_weight(const std::string& name) {
+  return "detreg/weight/" + name;
+}
+inline std::string detector_stats(const std::string& name) {
+  return "detreg/stats/" + name;  // (total u64, agreed u64)
+}
+
+inline std::string vm_code(const Hash256& address) { return "vm/code/" + address.hex(); }
+inline std::string vm_data(const Hash256& address, const std::string& key_hex) {
+  return "vm/data/" + address.hex() + "/" + key_hex;
+}
+
+}  // namespace keys
+
+// -------------------------------------------------------- value helpers
+
+inline std::uint64_t get_u64(const ledger::StateReader& state,
+                             std::string_view key, std::uint64_t fallback = 0) {
+  const auto raw = state.get(key);
+  if (!raw) return fallback;
+  ByteReader r{BytesView(*raw)};
+  return r.u64().value_or(fallback);
+}
+
+template <typename State>
+void set_u64(State& state, std::string_view key, std::uint64_t value) {
+  ByteWriter w;
+  w.u64(value);
+  state.set(key, w.take());
+}
+
+inline double get_f64(const ledger::StateReader& state, std::string_view key,
+                      double fallback = 0.0) {
+  const auto raw = state.get(key);
+  if (!raw) return fallback;
+  ByteReader r{BytesView(*raw)};
+  return r.f64().value_or(fallback);
+}
+
+template <typename State>
+void set_f64(State& state, std::string_view key, double value) {
+  ByteWriter w;
+  w.f64(value);
+  state.set(key, w.take());
+}
+
+inline std::optional<AccountId> get_account(const ledger::StateReader& state,
+                                            std::string_view key) {
+  const auto raw = state.get(key);
+  if (!raw || raw->size() != 32) return std::nullopt;
+  AccountId id;
+  std::copy(raw->begin(), raw->end(), id.bytes.begin());
+  return id;
+}
+
+template <typename State>
+void set_account(State& state, std::string_view key, const AccountId& id) {
+  state.set(key, Bytes(id.bytes.begin(), id.bytes.end()));
+}
+
+inline std::optional<Profile> get_profile(const ledger::StateReader& state,
+                                          const AccountId& account) {
+  const auto raw = state.get(keys::profile(account));
+  if (!raw) return std::nullopt;
+  return Profile::decode(BytesView(*raw));
+}
+
+}  // namespace tnp::contracts

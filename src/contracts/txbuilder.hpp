@@ -1,0 +1,286 @@
+// Client-side transaction builders for every native contract method.
+// Centralizes arg encodings so tests, benches, examples and the platform
+// layer never hand-roll ByteWriter calls.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "contracts/schema.hpp"
+#include "ledger/transaction.hpp"
+
+namespace tnp::contracts::txb {
+
+namespace detail {
+inline ledger::Transaction base(const std::string& contract,
+                                const std::string& method, Bytes args,
+                                const KeyPair& signer, std::uint64_t nonce,
+                                std::uint64_t gas_limit) {
+  ledger::Transaction tx;
+  tx.nonce = nonce;
+  tx.contract = contract;
+  tx.method = method;
+  tx.args = std::move(args);
+  tx.gas_limit = gas_limit;
+  tx.sign_with(signer);
+  return tx;
+}
+}  // namespace detail
+
+constexpr std::uint64_t kDefaultGas = 5'000'000;
+
+// ------------------------------------------------------------- identity
+
+inline ledger::Transaction register_identity(const KeyPair& signer,
+                                             std::uint64_t nonce,
+                                             const std::string& display_name,
+                                             Role role) {
+  ByteWriter w;
+  w.str(display_name);
+  w.u8(static_cast<std::uint8_t>(role));
+  return detail::base("identity", "register", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+// ---------------------------------------------------------------- token
+
+inline ledger::Transaction mint(const KeyPair& signer, std::uint64_t nonce,
+                                const AccountId& to, std::uint64_t amount) {
+  ByteWriter w;
+  w.raw(to.view());
+  w.u64(amount);
+  return detail::base("token", "mint", w.take(), signer, nonce, kDefaultGas);
+}
+
+inline ledger::Transaction transfer(const KeyPair& signer, std::uint64_t nonce,
+                                    const AccountId& to, std::uint64_t amount) {
+  ByteWriter w;
+  w.raw(to.view());
+  w.u64(amount);
+  return detail::base("token", "transfer", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+// ----------------------------------------------------------------- news
+
+inline ledger::Transaction create_platform(const KeyPair& signer,
+                                           std::uint64_t nonce,
+                                           const std::string& name) {
+  ByteWriter w;
+  w.str(name);
+  return detail::base("news", "create_platform", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+inline ledger::Transaction create_room(const KeyPair& signer,
+                                       std::uint64_t nonce,
+                                       const std::string& platform,
+                                       const std::string& room,
+                                       const std::string& topic) {
+  ByteWriter w;
+  w.str(platform);
+  w.str(room);
+  w.str(topic);
+  return detail::base("news", "create_room", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+inline ledger::Transaction authorize_journalist(const KeyPair& signer,
+                                                std::uint64_t nonce,
+                                                const std::string& platform,
+                                                const AccountId& who) {
+  ByteWriter w;
+  w.str(platform);
+  w.raw(who.view());
+  return detail::base("news", "authorize", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+inline ledger::Transaction publish(const KeyPair& signer, std::uint64_t nonce,
+                                   const std::string& platform,
+                                   const std::string& room,
+                                   const Hash256& article_hash,
+                                   const std::string& content_ref,
+                                   EditType edit_type,
+                                   const std::vector<Hash256>& parents) {
+  ByteWriter w;
+  w.str(platform);
+  w.str(room);
+  w.raw(article_hash.view());
+  w.str(content_ref);
+  w.u8(static_cast<std::uint8_t>(edit_type));
+  w.u32(static_cast<std::uint32_t>(parents.size()));
+  for (const auto& p : parents) w.raw(p.view());
+  return detail::base("news", "publish", w.take(), signer, nonce, kDefaultGas);
+}
+
+inline ledger::Transaction refer_external(const KeyPair& signer,
+                                          std::uint64_t nonce,
+                                          const std::string& platform,
+                                          const std::string& room,
+                                          const Hash256& article_hash,
+                                          const std::string& source_url) {
+  ByteWriter w;
+  w.str(platform);
+  w.str(room);
+  w.raw(article_hash.view());
+  w.str(source_url);
+  return detail::base("news", "refer", w.take(), signer, nonce, kDefaultGas);
+}
+
+inline ledger::Transaction comment(const KeyPair& signer, std::uint64_t nonce,
+                                   const Hash256& article,
+                                   const std::string& text) {
+  ByteWriter w;
+  w.raw(article.view());
+  w.str(text);
+  return detail::base("news", "comment", w.take(), signer, nonce, kDefaultGas);
+}
+
+// -------------------------------------------------------------- ranking
+
+inline ledger::Transaction open_round(const KeyPair& signer,
+                                      std::uint64_t nonce,
+                                      const Hash256& article) {
+  ByteWriter w;
+  w.raw(article.view());
+  return detail::base("ranking", "open", w.take(), signer, nonce, kDefaultGas);
+}
+
+inline ledger::Transaction vote(const KeyPair& signer, std::uint64_t nonce,
+                                const Hash256& article, bool says_factual,
+                                std::uint64_t stake) {
+  ByteWriter w;
+  w.raw(article.view());
+  w.u8(says_factual ? 1 : 0);
+  w.u64(stake);
+  return detail::base("ranking", "vote", w.take(), signer, nonce, kDefaultGas);
+}
+
+inline ledger::Transaction close_round(const KeyPair& signer,
+                                       std::uint64_t nonce,
+                                       const Hash256& article) {
+  ByteWriter w;
+  w.raw(article.view());
+  return detail::base("ranking", "close", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+// --------------------------------------------------------------- factdb
+
+inline ledger::Transaction add_fact(const KeyPair& signer, std::uint64_t nonce,
+                                    const Hash256& record_hash,
+                                    const std::string& source_tag) {
+  ByteWriter w;
+  w.raw(record_hash.view());
+  w.str(source_tag);
+  return detail::base("factdb", "add", w.take(), signer, nonce, kDefaultGas);
+}
+
+// ----------------------------------------------------------- governance
+
+inline ledger::Transaction bootstrap_governance(const KeyPair& signer,
+                                                std::uint64_t nonce) {
+  return detail::base("governance", "bootstrap", {}, signer, nonce,
+                      kDefaultGas);
+}
+
+inline ledger::Transaction endorse(const KeyPair& signer, std::uint64_t nonce,
+                                   const AccountId& who) {
+  ByteWriter w;
+  w.raw(who.view());
+  return detail::base("governance", "endorse", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+inline ledger::Transaction flag_account(const KeyPair& signer,
+                                        std::uint64_t nonce,
+                                        const AccountId& who,
+                                        const std::string& reason) {
+  ByteWriter w;
+  w.raw(who.view());
+  w.str(reason);
+  return detail::base("governance", "flag", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+inline ledger::Transaction slash(const KeyPair& signer, std::uint64_t nonce,
+                                 const AccountId& who) {
+  ByteWriter w;
+  w.raw(who.view());
+  return detail::base("governance", "slash", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+inline ledger::Transaction set_param(const KeyPair& signer,
+                                     std::uint64_t nonce,
+                                     const std::string& name,
+                                     std::uint64_t value) {
+  ByteWriter w;
+  w.str(name);
+  w.u64(value);
+  return detail::base("governance", "set_param", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+// ---------------------------------------------------- detector registry
+
+inline ledger::Transaction register_detector(const KeyPair& signer,
+                                             std::uint64_t nonce,
+                                             const std::string& name,
+                                             const Hash256& vm_address) {
+  ByteWriter w;
+  w.str(name);
+  w.raw(vm_address.view());
+  return detail::base("detreg", "register", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+inline ledger::Transaction record_detector_outcome(const KeyPair& signer,
+                                                   std::uint64_t nonce,
+                                                   const std::string& name,
+                                                   bool agreed) {
+  ByteWriter w;
+  w.str(name);
+  w.u8(agreed ? 1 : 0);
+  return detail::base("detreg", "record_outcome", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+inline ledger::Transaction deactivate_detector(const KeyPair& signer,
+                                               std::uint64_t nonce,
+                                               const std::string& name) {
+  ByteWriter w;
+  w.str(name);
+  return detail::base("detreg", "deactivate", w.take(), signer, nonce,
+                      kDefaultGas);
+}
+
+// ------------------------------------------------------------------- vm
+
+inline ledger::Transaction deploy_code(const KeyPair& signer,
+                                       std::uint64_t nonce, const Bytes& code) {
+  ByteWriter w;
+  w.bytes(BytesView(code));
+  return detail::base("vm", "deploy", w.take(), signer, nonce, kDefaultGas);
+}
+
+inline ledger::Transaction invoke_code(const KeyPair& signer,
+                                       std::uint64_t nonce,
+                                       const Hash256& address,
+                                       const Bytes& input) {
+  ByteWriter w;
+  w.raw(address.view());
+  w.bytes(BytesView(input));
+  return detail::base("vm", "invoke", w.take(), signer, nonce, kDefaultGas);
+}
+
+/// Deterministic VM contract address for code deployed by `deployer`.
+inline Hash256 vm_address(const Bytes& code, const AccountId& deployer) {
+  Sha256 h;
+  h.update(BytesView(code));
+  h.update(deployer.view());
+  return h.finalize();
+}
+
+}  // namespace tnp::contracts::txb

@@ -1,0 +1,381 @@
+#include "contracts/vm.hpp"
+
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "crypto/hash.hpp"
+
+namespace tnp::contracts {
+
+namespace {
+
+Error trap(const std::string& what) {
+  return Error(ErrorCode::kFailedPrecondition, "vm trap: " + what);
+}
+
+Bytes int_bytes(std::uint64_t v) {
+  ByteWriter w;
+  w.u64(v);
+  return w.take();
+}
+
+Expected<std::uint64_t> as_int(const Bytes& v) {
+  if (v.size() != 8) return trap("operand is not a u64");
+  std::uint64_t out;
+  std::memcpy(&out, v.data(), 8);
+  return out;
+}
+
+bool truthy(const Bytes& v) {
+  for (std::uint8_t b : v) {
+    if (b != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Expected<VmResult> vm_execute(BytesView code, BytesView input, VmEnv& env,
+                              ledger::GasMeter& gas,
+                              const ledger::GasCosts& costs,
+                              std::uint64_t max_steps) {
+  std::vector<Bytes> stack;
+  std::size_t pc = 0;
+  VmResult result;
+
+  auto pop = [&]() -> Expected<Bytes> {
+    if (stack.empty()) return trap("stack underflow");
+    Bytes v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+  auto read_u8 = [&]() -> Expected<std::uint8_t> {
+    if (pc + 1 > code.size()) return trap("truncated immediate");
+    return code[pc++];
+  };
+  auto read_u32 = [&]() -> Expected<std::uint32_t> {
+    if (pc + 4 > code.size()) return trap("truncated immediate");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(code[pc++]) << (8 * i);
+    return v;
+  };
+  auto read_u64 = [&]() -> Expected<std::uint64_t> {
+    if (pc + 8 > code.size()) return trap("truncated immediate");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(code[pc++]) << (8 * i);
+    return v;
+  };
+
+  while (pc < code.size()) {
+    if (result.steps++ >= max_steps) return trap("step limit exceeded");
+    if (auto s = gas.charge(costs.vm_op); !s.ok()) return s.error();
+    const Op op = static_cast<Op>(code[pc++]);
+    switch (op) {
+      case Op::kHalt: {
+        if (!stack.empty()) result.output = std::move(stack.back());
+        return result;
+      }
+      case Op::kPush: {
+        auto len = read_u32();
+        if (!len) return len.error();
+        if (pc + *len > code.size()) return trap("truncated push");
+        stack.emplace_back(code.begin() + static_cast<std::ptrdiff_t>(pc),
+                           code.begin() + static_cast<std::ptrdiff_t>(pc + *len));
+        pc += *len;
+        break;
+      }
+      case Op::kPushInt: {
+        auto v = read_u64();
+        if (!v) return v.error();
+        stack.push_back(int_bytes(*v));
+        break;
+      }
+      case Op::kPop: {
+        auto v = pop();
+        if (!v) return v.error();
+        break;
+      }
+      case Op::kDup: {
+        auto depth = read_u8();
+        if (!depth) return depth.error();
+        if (*depth >= stack.size()) return trap("dup beyond stack");
+        stack.push_back(stack[stack.size() - 1 - *depth]);
+        break;
+      }
+      case Op::kSwap: {
+        if (stack.size() < 2) return trap("stack underflow");
+        std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+        break;
+      }
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod:
+      case Op::kLt:
+      case Op::kGt:
+      case Op::kAnd:
+      case Op::kOr: {
+        auto b = pop();
+        if (!b) return b.error();
+        auto a = pop();
+        if (!a) return a.error();
+        auto ai = as_int(*a);
+        if (!ai) return ai.error();
+        auto bi = as_int(*b);
+        if (!bi) return bi.error();
+        std::uint64_t r = 0;
+        switch (op) {
+          case Op::kAdd: r = *ai + *bi; break;
+          case Op::kSub: r = *ai - *bi; break;
+          case Op::kMul: r = *ai * *bi; break;
+          case Op::kDiv:
+            if (*bi == 0) return trap("division by zero");
+            r = *ai / *bi;
+            break;
+          case Op::kMod:
+            if (*bi == 0) return trap("modulo by zero");
+            r = *ai % *bi;
+            break;
+          case Op::kLt: r = *ai < *bi ? 1 : 0; break;
+          case Op::kGt: r = *ai > *bi ? 1 : 0; break;
+          case Op::kAnd: r = (*ai != 0 && *bi != 0) ? 1 : 0; break;
+          case Op::kOr: r = (*ai != 0 || *bi != 0) ? 1 : 0; break;
+          default: break;
+        }
+        stack.push_back(int_bytes(r));
+        break;
+      }
+      case Op::kEq: {
+        auto b = pop();
+        if (!b) return b.error();
+        auto a = pop();
+        if (!a) return a.error();
+        stack.push_back(int_bytes(*a == *b ? 1 : 0));
+        break;
+      }
+      case Op::kNot: {
+        auto a = pop();
+        if (!a) return a.error();
+        stack.push_back(int_bytes(truthy(*a) ? 0 : 1));
+        break;
+      }
+      case Op::kJmp: {
+        auto target = read_u32();
+        if (!target) return target.error();
+        if (*target > code.size()) return trap("jump out of range");
+        pc = *target;
+        break;
+      }
+      case Op::kJz: {
+        auto target = read_u32();
+        if (!target) return target.error();
+        auto cond = pop();
+        if (!cond) return cond.error();
+        if (!truthy(*cond)) {
+          if (*target > code.size()) return trap("jump out of range");
+          pc = *target;
+        }
+        break;
+      }
+      case Op::kConcat: {
+        auto b = pop();
+        if (!b) return b.error();
+        auto a = pop();
+        if (!a) return a.error();
+        a->insert(a->end(), b->begin(), b->end());
+        stack.push_back(std::move(*a));
+        break;
+      }
+      case Op::kLen: {
+        auto a = pop();
+        if (!a) return a.error();
+        stack.push_back(int_bytes(a->size()));
+        break;
+      }
+      case Op::kByteAt: {
+        auto index = pop();
+        if (!index) return index.error();
+        auto value = pop();
+        if (!value) return value.error();
+        auto idx = as_int(*index);
+        if (!idx) return idx.error();
+        if (*idx >= value->size()) return trap("byte index out of range");
+        stack.push_back(int_bytes((*value)[*idx]));
+        break;
+      }
+      case Op::kSha256: {
+        auto a = pop();
+        if (!a) return a.error();
+        if (auto s = gas.charge(costs.hash_per_block * (1 + a->size() / 64));
+            !s.ok()) {
+          return s.error();
+        }
+        const Hash256 h = sha256(BytesView(*a));
+        stack.emplace_back(h.bytes.begin(), h.bytes.end());
+        break;
+      }
+      case Op::kLoad: {
+        auto key = pop();
+        if (!key) return key.error();
+        if (auto s = gas.charge(costs.state_read); !s.ok()) return s.error();
+        stack.push_back(env.load(*key));
+        break;
+      }
+      case Op::kStore: {
+        auto value = pop();
+        if (!value) return value.error();
+        auto key = pop();
+        if (!key) return key.error();
+        if (auto s = gas.charge(costs.state_write +
+                                costs.state_byte * value->size());
+            !s.ok()) {
+          return s.error();
+        }
+        env.store(*key, *value);
+        break;
+      }
+      case Op::kCaller: {
+        stack.push_back(env.caller());
+        break;
+      }
+      case Op::kInput: {
+        stack.emplace_back(input.begin(), input.end());
+        break;
+      }
+      case Op::kEmit: {
+        auto data = pop();
+        if (!data) return data.error();
+        auto name = pop();
+        if (!name) return name.error();
+        if (auto s = gas.charge(costs.event_emit); !s.ok()) return s.error();
+        env.emit(to_string(BytesView(*name)), *data);
+        break;
+      }
+      default:
+        return trap("unknown opcode " + std::to_string(code[pc - 1]));
+    }
+  }
+  // Fell off the end: implicit halt.
+  if (!stack.empty()) result.output = std::move(stack.back());
+  return result;
+}
+
+// ------------------------------------------------------------- assembler
+
+Expected<Bytes> vm_assemble(std::string_view source) {
+  struct Fixup {
+    std::size_t offset;  // where the u32 target goes
+    std::string label;
+    std::size_t line;
+  };
+  static const std::map<std::string, Op, std::less<>> kMnemonics = {
+      {"HALT", Op::kHalt},     {"POP", Op::kPop},       {"SWAP", Op::kSwap},
+      {"ADD", Op::kAdd},       {"SUB", Op::kSub},       {"MUL", Op::kMul},
+      {"DIV", Op::kDiv},       {"MOD", Op::kMod},       {"LT", Op::kLt},
+      {"GT", Op::kGt},         {"EQ", Op::kEq},         {"NOT", Op::kNot},
+      {"AND", Op::kAnd},       {"OR", Op::kOr},         {"CONCAT", Op::kConcat},
+      {"LEN", Op::kLen},       {"SHA256", Op::kSha256}, {"BYTEAT", Op::kByteAt},
+      {"LOAD", Op::kLoad},
+      {"STORE", Op::kStore},   {"CALLER", Op::kCaller}, {"INPUT", Op::kInput},
+      {"EMIT", Op::kEmit},
+  };
+
+  Bytes code;
+  std::map<std::string, std::uint32_t> labels;
+  std::vector<Fixup> fixups;
+
+  auto emit_u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) code.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto emit_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) code.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+
+  std::istringstream in{std::string(source)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash_pos = line.find('#'); hash_pos != std::string::npos) {
+      line.erase(hash_pos);
+    }
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank line
+
+    if (word.back() == ':') {
+      const std::string label = word.substr(0, word.size() - 1);
+      if (!labels.emplace(label, static_cast<std::uint32_t>(code.size())).second) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "duplicate label '" + label + "'");
+      }
+      if (ls >> word) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "label must be alone on its line");
+      }
+      continue;
+    }
+
+    std::string arg;
+    const bool has_arg = static_cast<bool>(ls >> arg);
+    auto need_arg = [&]() -> Status {
+      if (!has_arg) {
+        return Status(ErrorCode::kInvalidArgument,
+                      word + " needs an argument (line " +
+                          std::to_string(line_no) + ")");
+      }
+      return Status::Ok();
+    };
+
+    if (word == "PUSHI") {
+      if (auto s = need_arg(); !s.ok()) return s.error();
+      code.push_back(static_cast<std::uint8_t>(Op::kPushInt));
+      emit_u64(std::stoull(arg));
+    } else if (word == "PUSH") {
+      if (auto s = need_arg(); !s.ok()) return s.error();
+      auto raw = from_hex(arg);
+      if (!raw) return raw.error();
+      code.push_back(static_cast<std::uint8_t>(Op::kPush));
+      emit_u32(static_cast<std::uint32_t>(raw->size()));
+      code.insert(code.end(), raw->begin(), raw->end());
+    } else if (word == "PUSHS") {
+      if (auto s = need_arg(); !s.ok()) return s.error();
+      code.push_back(static_cast<std::uint8_t>(Op::kPush));
+      emit_u32(static_cast<std::uint32_t>(arg.size()));
+      code.insert(code.end(), arg.begin(), arg.end());
+    } else if (word == "DUP") {
+      code.push_back(static_cast<std::uint8_t>(Op::kDup));
+      code.push_back(has_arg ? static_cast<std::uint8_t>(std::stoul(arg)) : 0);
+    } else if (word == "JMP" || word == "JZ") {
+      if (auto s = need_arg(); !s.ok()) return s.error();
+      code.push_back(static_cast<std::uint8_t>(word == "JMP" ? Op::kJmp : Op::kJz));
+      fixups.push_back(Fixup{code.size(), arg, line_no});
+      emit_u32(0);
+    } else {
+      const auto it = kMnemonics.find(word);
+      if (it == kMnemonics.end()) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "unknown mnemonic '" + word + "' (line " +
+                         std::to_string(line_no) + ")");
+      }
+      code.push_back(static_cast<std::uint8_t>(it->second));
+    }
+  }
+
+  for (const Fixup& fixup : fixups) {
+    const auto it = labels.find(fixup.label);
+    if (it == labels.end()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "undefined label '" + fixup.label + "' (line " +
+                       std::to_string(fixup.line) + ")");
+    }
+    for (int i = 0; i < 4; ++i) {
+      code[fixup.offset + i] = static_cast<std::uint8_t>(it->second >> (8 * i));
+    }
+  }
+  return code;
+}
+
+}  // namespace tnp::contracts

@@ -1,0 +1,83 @@
+// A small deterministic stack VM for user-deployed contract code — the
+// "app-store of fake-news-detection tools and policy scripts" the paper's
+// ecosystem section calls for. Values are byte strings; arithmetic ops
+// interpret 8-byte operands as unsigned 64-bit little-endian integers.
+// Every instruction charges gas; execution is fully deterministic.
+//
+// A tiny line assembler (one mnemonic per line, '#' comments) makes tests
+// and examples readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ledger/gas.hpp"
+
+namespace tnp::contracts {
+
+enum class Op : std::uint8_t {
+  kHalt = 0x00,    // stop; top of stack (if any) is the return value
+  kPush = 0x01,    // u32 length + bytes → push
+  kPushInt = 0x02, // u64 immediate → push as 8-byte LE
+  kPop = 0x03,
+  kDup = 0x04,     // u8 depth: push copy of stack[depth from top]
+  kSwap = 0x05,    // swap top two
+  kAdd = 0x10,
+  kSub = 0x11,
+  kMul = 0x12,
+  kDiv = 0x13,     // division by zero → trap
+  kMod = 0x14,
+  kLt = 0x15,      // push 1 or 0 (as u64)
+  kGt = 0x16,
+  kEq = 0x17,      // byte-wise equality of any two values
+  kNot = 0x18,     // u64 logical not
+  kAnd = 0x19,
+  kOr = 0x1A,
+  kJmp = 0x20,     // u32 absolute code offset
+  kJz = 0x21,      // pop; jump if zero/empty
+  kConcat = 0x30,  // pop b, a → push a||b
+  kLen = 0x31,     // pop v → push len(v) as u64
+  kSha256 = 0x32,  // pop v → push sha256(v) (32 bytes)
+  kByteAt = 0x33,  // pop index (u64), value → push value[index] as u64; OOB traps
+  kLoad = 0x40,    // pop key → push stored value (empty if absent)
+  kStore = 0x41,   // pop value, key → store
+  kCaller = 0x50,  // push 32-byte sender account id
+  kInput = 0x51,   // push the call input
+  kEmit = 0x52,    // pop data, name → emit event
+};
+
+/// Where the VM reads/writes persistent data and emits events. Bridged to
+/// the ledger by the "vm" native contract; tests may use an in-memory impl.
+class VmEnv {
+ public:
+  virtual ~VmEnv() = default;
+  virtual Bytes load(const Bytes& key) = 0;
+  virtual void store(const Bytes& key, const Bytes& value) = 0;
+  virtual void emit(const std::string& name, const Bytes& data) = 0;
+  [[nodiscard]] virtual Bytes caller() const = 0;
+};
+
+struct VmResult {
+  Bytes output;             // top of stack at halt (empty if none)
+  std::uint64_t steps = 0;  // instructions executed
+};
+
+/// Executes `code` with `input`. Traps (stack underflow, bad opcode, bad
+/// jump, div-by-zero, out of gas) return an error Status; gas consumed is
+/// visible through `gas`.
+Expected<VmResult> vm_execute(BytesView code, BytesView input, VmEnv& env,
+                              ledger::GasMeter& gas,
+                              const ledger::GasCosts& costs,
+                              std::uint64_t max_steps = 1'000'000);
+
+/// Assembles mnemonic text into bytecode. Syntax, one instruction per line:
+///   PUSHI 42         — integer immediate
+///   PUSH  68656c6c6f — hex bytes immediate
+///   PUSHS hello      — ASCII immediate
+///   DUP 0 / JMP label / JZ label / label:
+///   everything else: bare mnemonic (ADD, STORE, …). '#' starts a comment.
+Expected<Bytes> vm_assemble(std::string_view source);
+
+}  // namespace tnp::contracts

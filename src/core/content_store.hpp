@@ -1,0 +1,48 @@
+// Off-chain content store: hash → article text (and media). The ledger
+// stores only content hashes and references (as any real chain must); the
+// platform keeps bodies here, and the supply-chain analyzer reads both to
+// compute modification degrees. Integrity is checkable at any time because
+// the key is the SHA-256 of the value.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "crypto/hash.hpp"
+
+namespace tnp::core {
+
+class ContentStore {
+ public:
+  /// Stores `text`; returns its content hash (the supply-chain node id).
+  Hash256 put(std::string text) {
+    const Hash256 h = sha256(text);
+    store_.emplace(h, std::move(text));
+    return h;
+  }
+
+  [[nodiscard]] std::optional<std::string_view> get(const Hash256& hash) const {
+    const auto it = store_.find(hash);
+    if (it == store_.end()) return std::nullopt;
+    return std::string_view(it->second);
+  }
+
+  [[nodiscard]] bool contains(const Hash256& hash) const {
+    return store_.contains(hash);
+  }
+  [[nodiscard]] std::size_t size() const { return store_.size(); }
+
+  /// Verifies every entry still matches its hash (tamper audit).
+  [[nodiscard]] bool audit() const {
+    for (const auto& [hash, text] : store_) {
+      if (sha256(text) != hash) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::unordered_map<Hash256, std::string> store_;
+};
+
+}  // namespace tnp::core

@@ -1,0 +1,67 @@
+#include "core/factdb.hpp"
+
+#include "contracts/schema.hpp"
+
+namespace tnp::core {
+
+void FactualDatabase::insert(const Hash256& hash) {
+  if (index_.contains(hash)) return;
+  index_.emplace(hash, ordered_.size());
+  ordered_.push_back(hash);
+}
+
+FactCandidateDecision FactualDatabase::consider(
+    const Hash256& hash, std::string_view text, const ai::Detector& detector,
+    double crowd_score, double ai_threshold, double crowd_threshold) {
+  FactCandidateDecision decision;
+  decision.ai_credibility = 1.0 - detector.score(text);
+  decision.crowd_score = crowd_score;
+  if (index_.contains(hash)) {
+    decision.accepted = true;
+    decision.reason = "already certified";
+    return decision;
+  }
+  if (decision.ai_credibility < ai_threshold) {
+    decision.reason = "AI credibility below threshold";
+    return decision;
+  }
+  if (crowd_score < crowd_threshold) {
+    decision.reason = "crowd score below threshold";
+    return decision;
+  }
+  insert(hash);
+  decision.accepted = true;
+  decision.reason = "certified";
+  return decision;
+}
+
+void FactualDatabase::sync_from_state(const ledger::WorldState& state) {
+  state.scan_prefix(contracts::keys::factdb_prefix(),
+                    [&](const std::string& key, const Bytes&) {
+    const std::string_view prefix = contracts::keys::factdb_prefix();
+    if (key.size() == prefix.size() + 64) {
+      auto hash = Hash256::from_hex(std::string_view(key).substr(prefix.size()));
+      if (hash.ok()) insert(*hash);
+    }
+    return true;
+  });
+}
+
+Hash256 FactualDatabase::root() const { return merkle_root(ordered_); }
+
+Expected<MerkleProof> FactualDatabase::prove(const Hash256& hash) const {
+  const auto it = index_.find(hash);
+  if (it == index_.end()) {
+    return Error(ErrorCode::kNotFound, "record not in factual database");
+  }
+  return MerkleTree(ordered_).prove(it->second);
+}
+
+bool FactualDatabase::verify(const Hash256& hash, const MerkleProof& proof,
+                             const Hash256& root) const {
+  const auto it = index_.find(hash);
+  if (it == index_.end()) return false;
+  return merkle_verify(hash, it->second, proof, root, ordered_.size());
+}
+
+}  // namespace tnp::core

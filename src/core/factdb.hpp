@@ -1,0 +1,61 @@
+// Factual-database service (paper Sec VI): the off-chain companion to the
+// factdb contract. Keeps the certified corpus mirrored locally with a
+// Merkle commitment for inclusion proofs, and runs the growth pipeline —
+// "if news is verified factual it can be added, growing the database into
+// a powerful trusting-news engine".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ai/classifiers.hpp"
+#include "core/content_store.hpp"
+#include "crypto/merkle.hpp"
+#include "ledger/state.hpp"
+
+namespace tnp::core {
+
+struct FactCandidateDecision {
+  bool accepted = false;
+  double ai_credibility = 0.0;   // 1 - P(fake)
+  double crowd_score = 0.0;      // from the ranking round (if any)
+  std::string reason;
+};
+
+class FactualDatabase {
+ public:
+  /// Seeds a record unconditionally (public records taken as fact).
+  void add_seed(const Hash256& hash) { insert(hash); }
+
+  /// Growth pipeline: accepts `hash` only if the AI detector's credibility
+  /// and the crowd score both clear their thresholds (Sec VI: verified news
+  /// can be added).
+  FactCandidateDecision consider(const Hash256& hash, std::string_view text,
+                                 const ai::Detector& detector,
+                                 double crowd_score,
+                                 double ai_threshold = 0.6,
+                                 double crowd_threshold = 0.6);
+
+  /// Mirrors all on-chain factdb records into the local set.
+  void sync_from_state(const ledger::WorldState& state);
+
+  [[nodiscard]] bool contains(const Hash256& hash) const {
+    return index_.contains(hash);
+  }
+  [[nodiscard]] std::size_t size() const { return ordered_.size(); }
+
+  /// Merkle root over the records (insertion order).
+  [[nodiscard]] Hash256 root() const;
+  /// Inclusion proof for a record; fails if absent.
+  [[nodiscard]] Expected<MerkleProof> prove(const Hash256& hash) const;
+  [[nodiscard]] bool verify(const Hash256& hash, const MerkleProof& proof,
+                            const Hash256& root) const;
+
+ private:
+  void insert(const Hash256& hash);
+
+  std::vector<Hash256> ordered_;
+  std::unordered_map<Hash256, std::size_t> index_;
+};
+
+}  // namespace tnp::core

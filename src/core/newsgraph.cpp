@@ -1,0 +1,329 @@
+#include "core/newsgraph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "text/tokenize.hpp"
+
+namespace tnp::core {
+
+namespace {
+Hash256 pair_key(const Hash256& a, const Hash256& b) {
+  return sha256_pair(a, b);
+}
+
+std::optional<Hash256> hash_from_key_suffix(const std::string& key,
+                                            std::string_view prefix) {
+  if (key.size() != prefix.size() + 64) return std::nullopt;
+  auto parsed = Hash256::from_hex(std::string_view(key).substr(prefix.size()));
+  if (!parsed.ok()) return std::nullopt;
+  return *parsed;
+}
+}  // namespace
+
+double TraceResult::trace_score(double hop_decay) const {
+  if (!traceable) return 0.0;
+  return path_similarity * std::pow(hop_decay, static_cast<double>(distance));
+}
+
+ProvenanceGraph ProvenanceGraph::from_state(const ledger::WorldState& state) {
+  ProvenanceGraph graph;
+  state.scan_prefix(contracts::keys::article_prefix(),
+                    [&](const std::string& key, const Bytes& value) {
+    const auto hash =
+        hash_from_key_suffix(key, contracts::keys::article_prefix());
+    if (hash) {
+      auto record = contracts::ArticleRecord::decode(BytesView(value));
+      if (record) graph.add_article(*hash, std::move(*record));
+    }
+    return true;
+  });
+  state.scan_prefix(contracts::keys::factdb_prefix(),
+                    [&](const std::string& key, const Bytes&) {
+    const auto hash =
+        hash_from_key_suffix(key, contracts::keys::factdb_prefix());
+    if (hash) graph.add_fact_root(*hash);
+    return true;
+  });
+  state.scan_prefix("rank/score/", [&](const std::string& key, const Bytes& value) {
+    const auto hash = hash_from_key_suffix(key, "rank/score/");
+    if (hash) {
+      ByteReader r{BytesView(value)};
+      const auto score = r.f64();
+      if (score.ok()) graph.set_rank_score(*hash, *score);
+    }
+    return true;
+  });
+  return graph;
+}
+
+void ProvenanceGraph::add_article(const Hash256& hash,
+                                  contracts::ArticleRecord record) {
+  for (const auto& parent : record.parents) {
+    children_[parent].push_back(hash);
+  }
+  articles_[hash] = std::move(record);
+}
+
+void ProvenanceGraph::add_fact_root(const Hash256& hash) {
+  fact_roots_.insert(hash);
+}
+
+void ProvenanceGraph::set_rank_score(const Hash256& hash, double score) {
+  rank_scores_[hash] = score;
+}
+
+const contracts::ArticleRecord* ProvenanceGraph::article(
+    const Hash256& hash) const {
+  const auto it = articles_.find(hash);
+  return it == articles_.end() ? nullptr : &it->second;
+}
+
+std::optional<double> ProvenanceGraph::rank_score(const Hash256& hash) const {
+  const auto it = rank_scores_.find(hash);
+  if (it == rank_scores_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Hash256> ProvenanceGraph::children_of(const Hash256& hash) const {
+  const auto it = children_.find(hash);
+  return it == children_.end() ? std::vector<Hash256>{} : it->second;
+}
+
+bool ProvenanceGraph::is_acyclic() const {
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::unordered_map<Hash256, Color> color;
+  // Iterative DFS over parent edges.
+  for (const auto& [start, record] : articles_) {
+    (void)record;
+    if (color[start] != Color::kWhite) continue;
+    std::vector<std::pair<Hash256, std::size_t>> stack{{start, 0}};
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, next_parent] = stack.back();
+      const auto it = articles_.find(node);
+      const auto& parents =
+          it != articles_.end() ? it->second.parents : std::vector<Hash256>{};
+      if (next_parent >= parents.size()) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const Hash256 parent = parents[next_parent++];
+      if (!articles_.contains(parent)) continue;  // fact root or external
+      auto& c = color[parent];
+      if (c == Color::kGray) return false;  // back edge
+      if (c == Color::kWhite) {
+        c = Color::kGray;
+        stack.emplace_back(parent, 0);
+      }
+    }
+  }
+  return true;
+}
+
+double ProvenanceGraph::edge_similarity(const Hash256& parent,
+                                        const Hash256& child,
+                                        const ContentStore& content) const {
+  const Hash256 cache_key = pair_key(parent, child);
+  const auto it = edge_cache_.find(cache_key);
+  if (it != edge_cache_.end()) return it->second;
+
+  double similarity = 0.5;  // pessimistic default when content is missing
+  const auto parent_text = content.get(parent);
+  const auto child_text = content.get(child);
+  if (parent_text && child_text) {
+    const auto stats = text::diff_stats(text::tokenize(*parent_text),
+                                        text::tokenize(*child_text));
+    similarity = std::clamp(stats.similarity(), 0.01, 1.0);
+  }
+  edge_cache_.emplace(cache_key, similarity);
+  return similarity;
+}
+
+double ProvenanceGraph::modification_degree(const Hash256& parent,
+                                            const Hash256& child,
+                                            const ContentStore& content) const {
+  return 1.0 - edge_similarity(parent, child, content);
+}
+
+TraceResult ProvenanceGraph::trace_to_root(const Hash256& start,
+                                           const ContentStore& content) const {
+  TraceResult result;
+  if (fact_roots_.contains(start)) {
+    result.traceable = true;
+    result.path_similarity = 1.0;
+    result.path = {start};
+    return result;
+  }
+  if (!articles_.contains(start)) return result;
+
+  struct NodeState {
+    double cost = 0.0;  // Σ -log(similarity)
+    std::size_t hops = 0;
+    Hash256 prev{};
+    bool has_prev = false;
+  };
+  struct QueueEntry {
+    double cost;
+    Hash256 node;
+    bool operator>(const QueueEntry& o) const { return cost > o.cost; }
+  };
+  std::unordered_map<Hash256, NodeState> best;
+  std::unordered_set<Hash256> settled;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>> queue;
+  best[start] = NodeState{};
+  queue.push({0.0, start});
+
+  while (!queue.empty()) {
+    const auto [cost, node] = queue.top();
+    queue.pop();
+    if (settled.contains(node)) continue;
+    settled.insert(node);
+    if (fact_roots_.contains(node)) {
+      // First settled root = max-similarity path (Dijkstra optimality).
+      result.traceable = true;
+      result.distance = best[node].hops;
+      result.path_similarity = std::exp(-cost);
+      Hash256 cur = node;
+      std::vector<Hash256> reverse_path{cur};
+      while (best[cur].has_prev) {
+        cur = best[cur].prev;
+        reverse_path.push_back(cur);
+      }
+      result.path.assign(reverse_path.rbegin(), reverse_path.rend());
+      return result;
+    }
+    const auto it = articles_.find(node);
+    if (it == articles_.end()) continue;
+    for (const Hash256& parent : it->second.parents) {
+      if (!articles_.contains(parent) && !fact_roots_.contains(parent)) {
+        continue;  // dangling external reference
+      }
+      const double sim = edge_similarity(parent, node, content);
+      const double edge_cost = -std::log(sim);
+      const double new_cost = cost + edge_cost;
+      const auto found = best.find(parent);
+      if (found == best.end() || new_cost < found->second.cost) {
+        best[parent] = NodeState{new_cost, best[node].hops + 1, node, true};
+        queue.push({new_cost, parent});
+      }
+    }
+  }
+  return result;  // untraceable: no path into the factual database
+}
+
+contracts::EditType ProvenanceGraph::classify_edit(
+    const Hash256& child, const ContentStore& content) const {
+  const auto* record = article(child);
+  if (!record || record->parents.empty()) return contracts::EditType::kOriginal;
+  if (record->parents.size() >= 2) return contracts::EditType::kMerge;
+
+  const Hash256& parent = record->parents.front();
+  const auto parent_text = content.get(parent);
+  const auto child_text = content.get(child);
+  if (!parent_text || !child_text) return contracts::EditType::kMix;
+  const auto stats = text::diff_stats(text::tokenize(*parent_text),
+                                      text::tokenize(*child_text));
+  if (stats.jaccard >= 0.9 && stats.lcs >= 0.9) {
+    return contracts::EditType::kRelay;
+  }
+  if (stats.parent_in_child >= 0.8 && stats.child_in_parent < 0.8) {
+    return contracts::EditType::kInsert;  // parent preserved, content added
+  }
+  if (stats.child_in_parent >= 0.8 && stats.parent_in_child < 0.8) {
+    return contracts::EditType::kSplit;  // child is a fragment of parent
+  }
+  return contracts::EditType::kMix;
+}
+
+std::vector<std::pair<AccountId, double>> ProvenanceGraph::suggest_experts(
+    const std::string& topic,
+    const std::map<std::string, std::string>& room_topics,
+    std::size_t k) const {
+  std::unordered_map<AccountId, double> expertise;
+  for (const auto& [hash, record] : articles_) {
+    const auto score_it = rank_scores_.find(hash);
+    if (score_it == rank_scores_.end()) continue;
+    const auto topic_it =
+        room_topics.find(contracts::keys::room(record.platform, record.room));
+    if (topic_it == room_topics.end() || topic_it->second != topic) continue;
+    // Only factual track record builds expertise; fake output subtracts.
+    expertise[record.author] += score_it->second - 0.5;
+  }
+  std::vector<std::pair<AccountId, double>> ranked(expertise.begin(),
+                                                   expertise.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::unordered_map<AccountId, std::uint32_t> ProvenanceGraph::communities(
+    std::size_t rounds) const {
+  // Interaction graph: derivation links the child author to each parent
+  // author (sharing/modifying someone's article is an interaction).
+  std::map<AccountId, std::set<AccountId>> neighbours;
+  for (const auto& [hash, record] : articles_) {
+    (void)hash;
+    for (const auto& parent : record.parents) {
+      const auto it = articles_.find(parent);
+      if (it == articles_.end()) continue;
+      if (it->second.author == record.author) continue;
+      neighbours[record.author].insert(it->second.author);
+      neighbours[it->second.author].insert(record.author);
+    }
+  }
+  // Deterministic label propagation.
+  std::vector<AccountId> order;
+  order.reserve(neighbours.size());
+  for (const auto& [account, peers] : neighbours) {
+    (void)peers;
+    order.push_back(account);
+  }
+  std::unordered_map<AccountId, std::uint32_t> label;
+  for (std::uint32_t i = 0; i < order.size(); ++i) label[order[i]] = i;
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    bool changed = false;
+    for (const auto& account : order) {
+      std::map<std::uint32_t, std::size_t> votes;
+      for (const auto& peer : neighbours[account]) ++votes[label[peer]];
+      if (votes.empty()) continue;
+      // Majority label; ties go to the smallest label id (deterministic).
+      std::uint32_t best_label = label[account];
+      std::size_t best_votes = 0;
+      for (const auto& [candidate, count] : votes) {
+        if (count > best_votes) {
+          best_votes = count;
+          best_label = candidate;
+        }
+      }
+      if (best_label != label[account]) {
+        label[account] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return label;
+}
+
+std::map<std::string, std::string> read_room_topics(
+    const ledger::WorldState& state) {
+  std::map<std::string, std::string> topics;
+  state.scan_prefix("news/room/", [&](const std::string& key, const Bytes& value) {
+    ByteReader r{BytesView(value)};
+    const auto topic = r.str();
+    if (topic.ok()) topics.emplace(key, *topic);
+    return true;
+  });
+  return topics;
+}
+
+}  // namespace tnp::core

@@ -1,0 +1,108 @@
+// The news blockchain supply-chain graph (paper Sec VI, Figure 4).
+//
+// Nodes are articles (by content hash) plus factual-database roots; edges
+// are the parent references recorded by publish transactions. On top of
+// the DAG this layer provides:
+//  * trace-back — best path from an article to any factual root, scored by
+//    the product of per-edge content similarities (degree of modification);
+//  * edit classification — relay / insert / split / mix / merge from
+//    DiffStats, checked against the declared type;
+//  * expert identification — accounts whose articles in a topic rank
+//    factual (Sec VI: "AI analyzing ledger history to find experts");
+//  * community detection — label propagation over the interaction graph.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "contracts/schema.hpp"
+#include "core/content_store.hpp"
+#include "ledger/state.hpp"
+#include "text/similarity.hpp"
+
+namespace tnp::core {
+
+struct TraceResult {
+  bool traceable = false;
+  std::size_t distance = 0;        // hops to the best factual root
+  double path_similarity = 0.0;    // Π per-edge similarity along best path
+  std::vector<Hash256> path;       // article … root
+  /// Trace component of the composite rank: path_similarity damped by
+  /// distance (long chains of small edits still decay).
+  [[nodiscard]] double trace_score(double hop_decay = 0.95) const;
+};
+
+class ProvenanceGraph {
+ public:
+  /// Builds the graph from committed chain state: all published articles,
+  /// all factual-db roots, all rank scores.
+  static ProvenanceGraph from_state(const ledger::WorldState& state);
+
+  // Incremental construction (used by tests and generators).
+  void add_article(const Hash256& hash, contracts::ArticleRecord record);
+  void add_fact_root(const Hash256& hash);
+  void set_rank_score(const Hash256& hash, double score);
+
+  [[nodiscard]] std::size_t article_count() const { return articles_.size(); }
+  [[nodiscard]] std::size_t fact_root_count() const { return fact_roots_.size(); }
+  [[nodiscard]] bool is_fact_root(const Hash256& hash) const {
+    return fact_roots_.contains(hash);
+  }
+  [[nodiscard]] const contracts::ArticleRecord* article(const Hash256& hash) const;
+  [[nodiscard]] std::optional<double> rank_score(const Hash256& hash) const;
+  [[nodiscard]] std::vector<Hash256> children_of(const Hash256& hash) const;
+
+  /// True if the parent links form no cycle (publish ordering guarantees
+  /// this on-chain; checked for externally-built graphs).
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Best-path trace-back to a factual root. Edge similarity comes from
+  /// the content store (absent content → pessimistic 0.5). Dijkstra on
+  /// -log(similarity).
+  [[nodiscard]] TraceResult trace_to_root(const Hash256& start,
+                                          const ContentStore& content) const;
+
+  /// Per-edge modification degree (1 - combined similarity).
+  [[nodiscard]] double modification_degree(const Hash256& parent,
+                                           const Hash256& child,
+                                           const ContentStore& content) const;
+
+  /// Classifies the edit parent→child from content (paper's taxonomy).
+  /// Multi-parent children are kMerge by construction.
+  [[nodiscard]] contracts::EditType classify_edit(
+      const Hash256& child, const ContentStore& content) const;
+
+  /// Experts for a room topic: accounts ranked by Σ(max(rank-0.5,0)) over
+  /// their articles in rooms with that topic. Returns top-k.
+  [[nodiscard]] std::vector<std::pair<AccountId, double>> suggest_experts(
+      const std::string& topic,
+      const std::map<std::string, std::string>& room_topics,
+      std::size_t k) const;
+
+  /// Interaction communities via synchronous label propagation over the
+  /// author-interaction graph (co-derivation links authors). Returns
+  /// account → community label. `rounds` bounds the iteration.
+  [[nodiscard]] std::unordered_map<AccountId, std::uint32_t> communities(
+      std::size_t rounds = 16) const;
+
+ private:
+  [[nodiscard]] double edge_similarity(const Hash256& parent,
+                                       const Hash256& child,
+                                       const ContentStore& content) const;
+
+  std::unordered_map<Hash256, contracts::ArticleRecord> articles_;
+  std::unordered_map<Hash256, std::vector<Hash256>> children_;
+  std::unordered_map<Hash256, double> rank_scores_;
+  std::unordered_set<Hash256> fact_roots_;
+  mutable std::unordered_map<Hash256, double> edge_cache_;
+};
+
+/// Reads all room topics from state: room key → topic.
+[[nodiscard]] std::map<std::string, std::string> read_room_topics(
+    const ledger::WorldState& state);
+
+}  // namespace tnp::core

@@ -1,0 +1,395 @@
+#include "core/platform.hpp"
+
+#include <map>
+
+#include "common/log.hpp"
+#include "contracts/vm.hpp"
+
+namespace tnp::core {
+
+namespace txb = contracts::txb;
+
+namespace {
+
+/// Read-only VM environment over committed world state: loads see the
+/// detector's persisted data, stores go to a scratch buffer that is thrown
+/// away, events are dropped. Used for off-chain detector scoring.
+class ReadOnlyVmEnv final : public contracts::VmEnv {
+ public:
+  ReadOnlyVmEnv(const Hash256& address, const ledger::WorldState& state)
+      : address_(address), state_(state) {}
+
+  Bytes load(const Bytes& key) override {
+    const auto scratch_hit = scratch_.find(key);
+    if (scratch_hit != scratch_.end()) return scratch_hit->second;
+    const auto v = state_.get(
+        contracts::keys::vm_data(address_, to_hex(BytesView(key))));
+    return v.value_or(Bytes{});
+  }
+  void store(const Bytes& key, const Bytes& value) override {
+    scratch_[key] = value;
+  }
+  void emit(const std::string&, const Bytes&) override {}
+  Bytes caller() const override { return Bytes(32, 0); }
+
+ private:
+  Hash256 address_;
+  const ledger::WorldState& state_;
+  std::map<Bytes, Bytes> scratch_;
+};
+
+}  // namespace
+
+TrustingNewsPlatform::TrustingNewsPlatform(PlatformConfig config)
+    : config_(config),
+      host_(contracts::ContractHost::standard()),
+      chain_(std::make_unique<ledger::Blockchain>(*host_, config.chain)),
+      detector_(ai::EnsembleDetector::standard()),
+      admin_{KeyPair::generate(SigScheme::kHmacSim, config.seed * 7919 + 1),
+             "governance", contracts::Role::kPublisher} {
+  // Block 1: governance bootstrap + admin identity.
+  stage(txb::bootstrap_governance(admin_.key, next_nonce(admin_.key)));
+  stage(txb::register_identity(admin_.key, next_nonce(admin_.key),
+                               admin_.name, admin_.role));
+  const auto receipts = commit_staged();
+  for (const auto& receipt : receipts) {
+    if (!receipt.success) {
+      log_error("platform bootstrap tx failed: ", receipt.error);
+    }
+  }
+}
+
+std::uint64_t TrustingNewsPlatform::next_nonce(const KeyPair& key) {
+  auto [it, inserted] = next_nonce_.try_emplace(key.account(), 0);
+  if (inserted) it->second = chain_->expected_nonce(key.account());
+  return it->second++;
+}
+
+void TrustingNewsPlatform::stage(ledger::Transaction tx) {
+  staged_.push_back(std::move(tx));
+}
+
+std::vector<ledger::Receipt> TrustingNewsPlatform::commit_staged() {
+  logical_time_ += config_.block_interval;
+  ledger::Block block =
+      chain_->make_block(std::move(staged_), 0, logical_time_);
+  staged_.clear();
+  const Status applied = chain_->apply_block(block);
+  if (!applied.ok()) {
+    log_error("block application failed: ", applied.to_string());
+    return {};
+  }
+  return chain_->result_at(chain_->height()).receipts;
+}
+
+ledger::Receipt TrustingNewsPlatform::submit(ledger::Transaction tx) {
+  stage(std::move(tx));
+  auto receipts = commit_staged();
+  if (receipts.empty()) return ledger::Receipt{};
+  return receipts.front();
+}
+
+Status TrustingNewsPlatform::submit_expect_ok(ledger::Transaction tx) {
+  const ledger::Receipt receipt = submit(std::move(tx));
+  if (!receipt.success) {
+    return Status(ErrorCode::kFailedPrecondition, receipt.error);
+  }
+  return Status::Ok();
+}
+
+const Actor& TrustingNewsPlatform::create_actor(const std::string& name,
+                                                contracts::Role role) {
+  const std::uint64_t actor_seed =
+      config_.seed * 1'000'003ULL + actors_.size() + 13;
+  actors_.push_back(
+      Actor{KeyPair::generate(SigScheme::kHmacSim, actor_seed), name, role});
+  Actor& actor = actors_.back();
+  const Status registered = submit_expect_ok(
+      txb::register_identity(actor.key, next_nonce(actor.key), name, role));
+  if (!registered.ok()) {
+    log_error("actor registration failed: ", registered.to_string());
+  }
+  return actor;
+}
+
+Status TrustingNewsPlatform::fund(const AccountId& account,
+                                  std::uint64_t amount) {
+  return submit_expect_ok(
+      txb::mint(admin_.key, next_nonce(admin_.key), account, amount));
+}
+
+std::uint64_t TrustingNewsPlatform::balance(const AccountId& account) const {
+  return contracts::get_u64(chain_->state(),
+                            contracts::keys::token_balance(account));
+}
+
+std::optional<contracts::Profile> TrustingNewsPlatform::profile(
+    const AccountId& account) const {
+  return contracts::get_profile(chain_->state(), account);
+}
+
+Status TrustingNewsPlatform::create_distribution_platform(
+    const Actor& owner, const std::string& name) {
+  return submit_expect_ok(
+      txb::create_platform(owner.key, next_nonce(owner.key), name));
+}
+
+Status TrustingNewsPlatform::create_newsroom(const Actor& owner,
+                                             const std::string& platform,
+                                             const std::string& room,
+                                             const std::string& topic) {
+  return submit_expect_ok(txb::create_room(owner.key, next_nonce(owner.key),
+                                           platform, room, topic));
+}
+
+Status TrustingNewsPlatform::authorize_journalist(
+    const Actor& owner, const std::string& platform,
+    const AccountId& journalist) {
+  return submit_expect_ok(txb::authorize_journalist(
+      owner.key, next_nonce(owner.key), platform, journalist));
+}
+
+Expected<Hash256> TrustingNewsPlatform::publish(
+    const Actor& author, const std::string& platform, const std::string& room,
+    const std::string& text, contracts::EditType edit,
+    const std::vector<Hash256>& parents) {
+  const Hash256 hash = content_.put(text);
+  const Status published = submit_expect_ok(
+      txb::publish(author.key, next_nonce(author.key), platform, room, hash,
+                   "sha256:" + hash.short_hex(), edit, parents));
+  if (!published.ok()) return published.error();
+  return hash;
+}
+
+Status TrustingNewsPlatform::comment(const Actor& who, const Hash256& article,
+                                     const std::string& text) {
+  return submit_expect_ok(
+      txb::comment(who.key, next_nonce(who.key), article, text));
+}
+
+Expected<Hash256> TrustingNewsPlatform::refer_external(
+    const Actor& who, const std::string& platform, const std::string& room,
+    const std::string& text, const std::string& source_url) {
+  const Hash256 hash = content_.put(text);
+  const Status referred = submit_expect_ok(txb::refer_external(
+      who.key, next_nonce(who.key), platform, room, hash, source_url));
+  if (!referred.ok()) return referred.error();
+  return hash;
+}
+
+Expected<Hash256> TrustingNewsPlatform::seed_fact(
+    const std::string& text, const std::string& source_tag) {
+  const Hash256 hash = content_.put(text);
+  const Status added = submit_expect_ok(
+      txb::add_fact(admin_.key, next_nonce(admin_.key), hash, source_tag));
+  if (!added.ok()) return added.error();
+  factdb_.add_seed(hash);
+  return hash;
+}
+
+FactCandidateDecision TrustingNewsPlatform::maybe_certify(
+    const Hash256& article) {
+  FactCandidateDecision decision;
+  const auto text = content_.get(article);
+  if (!text) {
+    decision.reason = "content not available";
+    return decision;
+  }
+  const auto crowd = crowd_score(article);
+  if (!crowd) {
+    decision.reason = "no settled ranking round";
+    return decision;
+  }
+  decision = factdb_.consider(article, *text, *detector_, *crowd);
+  if (decision.accepted) {
+    const Status added = submit_expect_ok(txb::add_fact(
+        admin_.key, next_nonce(admin_.key), article, "ranking-pipeline"));
+    if (!added.ok() &&
+        added.error().message().find("exists") == std::string::npos) {
+      decision.accepted = false;
+      decision.reason = "on-chain certification failed: " + added.to_string();
+    }
+  }
+  return decision;
+}
+
+Status TrustingNewsPlatform::open_round(const Actor& who,
+                                        const Hash256& article) {
+  return submit_expect_ok(
+      txb::open_round(who.key, next_nonce(who.key), article));
+}
+
+Status TrustingNewsPlatform::vote(const Actor& who, const Hash256& article,
+                                  bool says_factual, std::uint64_t stake) {
+  return submit_expect_ok(
+      txb::vote(who.key, next_nonce(who.key), article, says_factual, stake));
+}
+
+Status TrustingNewsPlatform::close_round(const Actor& who,
+                                         const Hash256& article) {
+  return submit_expect_ok(
+      txb::close_round(who.key, next_nonce(who.key), article));
+}
+
+std::optional<double> TrustingNewsPlatform::crowd_score(
+    const Hash256& article) const {
+  const auto raw = chain_->state().get(contracts::keys::rank_score(article));
+  if (!raw) return std::nullopt;
+  ByteReader r{BytesView(*raw)};
+  const auto score = r.f64();
+  if (!score.ok()) return std::nullopt;
+  return *score;
+}
+
+Expected<Hash256> TrustingNewsPlatform::register_detector(
+    const Actor& developer, const std::string& name,
+    const std::string& vm_source) {
+  auto code = contracts::vm_assemble(vm_source);
+  if (!code) return code.error();
+  const Status deployed = submit_expect_ok(
+      txb::deploy_code(developer.key, next_nonce(developer.key), *code));
+  // Re-deploying identical code by the same developer is fine — the
+  // address is deterministic either way.
+  if (!deployed.ok() &&
+      deployed.error().message().find("already deployed") == std::string::npos) {
+    return deployed.error();
+  }
+  const Hash256 address = txb::vm_address(*code, developer.account());
+  const Status registered = submit_expect_ok(txb::register_detector(
+      developer.key, next_nonce(developer.key), name, address));
+  if (!registered.ok()) return registered.error();
+  return address;
+}
+
+Expected<double> TrustingNewsPlatform::run_detector(
+    const std::string& name, std::string_view text) const {
+  const auto raw = chain_->state().get(contracts::keys::detector(name));
+  if (!raw) return Error(ErrorCode::kNotFound, "unknown detector " + name);
+  const auto record = contracts::DetectorRecord::decode(BytesView(*raw));
+  if (!record) return Error(ErrorCode::kCorruptData, "bad detector record");
+  if (!record->active) {
+    return Error(ErrorCode::kFailedPrecondition, "detector deactivated");
+  }
+  const auto code =
+      chain_->state().get(contracts::keys::vm_code(record->vm_address));
+  if (!code) return Error(ErrorCode::kNotFound, "detector code missing");
+
+  ReadOnlyVmEnv env(record->vm_address, chain_->state());
+  ledger::GasMeter gas(txb::kDefaultGas);
+  auto result = contracts::vm_execute(
+      BytesView(*code),
+      BytesView(reinterpret_cast<const std::uint8_t*>(text.data()),
+                text.size()),
+      env, gas, config_.chain.gas_costs);
+  if (!result) return result.error();
+  if (result->output.size() != 8) {
+    return Error(ErrorCode::kCorruptData,
+                 "detector must return an 8-byte score");
+  }
+  ByteReader r{BytesView(result->output)};
+  const std::uint64_t millis = r.u64().value_or(0);
+  return std::min(1.0, static_cast<double>(millis) / 1000.0);
+}
+
+std::optional<double> TrustingNewsPlatform::registry_score(
+    std::string_view text) const {
+  double weighted_total = 0.0, weight_total = 0.0;
+  chain_->state().scan_prefix(
+      contracts::keys::detector_prefix(),
+      [&](const std::string& key, const Bytes&) {
+        const std::string name =
+            key.substr(contracts::keys::detector_prefix().size());
+        const auto score = run_detector(name, text);
+        if (score.ok()) {
+          const double w = detector_weight(name);
+          weighted_total += w * *score;
+          weight_total += w;
+        }
+        return true;
+      });
+  if (weight_total <= 0.0) return std::nullopt;
+  return weighted_total / weight_total;
+}
+
+double TrustingNewsPlatform::detector_weight(const std::string& name) const {
+  return contracts::get_f64(chain_->state(),
+                            contracts::keys::detector_weight(name), 1.0);
+}
+
+Status TrustingNewsPlatform::settle_detectors(const Hash256& article,
+                                              std::uint64_t reward) {
+  const auto crowd = crowd_score(article);
+  if (!crowd) {
+    return Status(ErrorCode::kFailedPrecondition, "no settled ranking round");
+  }
+  const auto text = content_.get(article);
+  if (!text) {
+    return Status(ErrorCode::kNotFound, "article content not available");
+  }
+  const bool outcome_fake = *crowd < 0.5;
+
+  // Snapshot names + developer accounts first: the settlement transactions
+  // below mutate the state we are scanning.
+  std::vector<std::pair<std::string, AccountId>> detectors;
+  chain_->state().scan_prefix(
+      contracts::keys::detector_prefix(),
+      [&](const std::string& key, const Bytes& value) {
+        const auto record = contracts::DetectorRecord::decode(BytesView(value));
+        if (record && record->active) {
+          detectors.emplace_back(
+              key.substr(contracts::keys::detector_prefix().size()),
+              record->developer);
+        }
+        return true;
+      });
+
+  for (const auto& [name, developer] : detectors) {
+    const auto score = run_detector(name, *text);
+    if (!score.ok()) continue;  // trapped detectors earn nothing
+    const bool agreed = (*score >= 0.5) == outcome_fake;
+    const Status recorded = submit_expect_ok(txb::record_detector_outcome(
+        admin_.key, next_nonce(admin_.key), name, agreed));
+    if (!recorded.ok()) return recorded;
+    if (agreed && reward > 0) {
+      const Status paid = submit_expect_ok(
+          txb::mint(admin_.key, next_nonce(admin_.key), developer, reward));
+      if (!paid.ok()) return paid;
+    }
+  }
+  return Status::Ok();
+}
+
+void TrustingNewsPlatform::train_detector(
+    std::span<const ai::LabeledDoc> docs) {
+  detector_->fit(docs);
+  detector_trained_ = !docs.empty();
+}
+
+double TrustingNewsPlatform::ai_credibility(std::string_view text) const {
+  if (!detector_trained_) return 0.5;
+  return 1.0 - detector_->score(text);
+}
+
+ProvenanceGraph TrustingNewsPlatform::build_graph() const {
+  return ProvenanceGraph::from_state(chain_->state());
+}
+
+TraceResult TrustingNewsPlatform::trace(const Hash256& article) const {
+  return build_graph().trace_to_root(article, content_);
+}
+
+double TrustingNewsPlatform::composite_rank(const Hash256& article) const {
+  const auto text = content_.get(article);
+  const double ai_term = text ? ai_credibility(*text) : 0.5;
+  const double crowd_term = crowd_score(article).value_or(0.5);
+  const double trace_term = trace(article).trace_score();
+  return config_.rank_weights.combine(ai_term, crowd_term, trace_term);
+}
+
+std::vector<std::pair<AccountId, double>> TrustingNewsPlatform::experts(
+    const std::string& topic, std::size_t k) const {
+  const ProvenanceGraph graph = build_graph();
+  return graph.suggest_experts(topic, read_room_topics(chain_->state()), k);
+}
+
+}  // namespace tnp::core

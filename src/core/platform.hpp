@@ -1,0 +1,168 @@
+// TrustingNewsPlatform — the paper's Figure 1/2 system as one facade.
+//
+// Owns the blockchain (with the standard contract set), the off-chain
+// content store, the factual database service, and the AI detector stack,
+// and exposes the ecosystem workflows: actor onboarding, distribution
+// platforms and newsrooms, publishing into the supply-chain graph,
+// crowd-ranking rounds, factual-database growth, trace-back and expert
+// queries.
+//
+// Transactions are applied directly to a local chain (the "ordering
+// service" abstracted away); the consensus experiments (E3/E8) exercise the
+// PBFT/PoA cluster with the same contract stack separately. stage()/
+// commit_staged() batch multiple transactions per block, which is what the
+// cluster does in production mode.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "ai/classifiers.hpp"
+#include "contracts/host.hpp"
+#include "contracts/txbuilder.hpp"
+#include "core/content_store.hpp"
+#include "core/factdb.hpp"
+#include "core/newsgraph.hpp"
+#include "core/ranking.hpp"
+
+namespace tnp::core {
+
+struct Actor {
+  KeyPair key;
+  std::string name;
+  contracts::Role role = contracts::Role::kConsumer;
+
+  [[nodiscard]] const AccountId& account() const { return key.account(); }
+};
+
+struct PlatformConfig {
+  std::uint64_t seed = 1;
+  ledger::ChainConfig chain{};
+  sim::SimTime block_interval = 1 * sim::kSecond;  // logical block clock
+  RankWeights rank_weights{};
+};
+
+class TrustingNewsPlatform {
+ public:
+  explicit TrustingNewsPlatform(PlatformConfig config = {});
+
+  // ---- actors (ecosystem roles, Fig. 2) ----
+  [[nodiscard]] const Actor& admin() const { return admin_; }
+  /// Creates a key pair, registers the identity on chain, returns the actor.
+  const Actor& create_actor(const std::string& name, contracts::Role role);
+  /// Admin mints incentive tokens to `account`.
+  Status fund(const AccountId& account, std::uint64_t amount);
+  [[nodiscard]] std::uint64_t balance(const AccountId& account) const;
+  [[nodiscard]] std::optional<contracts::Profile> profile(
+      const AccountId& account) const;
+
+  // ---- transaction plumbing ----
+  /// Applies `tx` in its own block and returns the receipt.
+  ledger::Receipt submit(ledger::Transaction tx);
+  /// Queues a transaction for the next commit_staged() block.
+  void stage(ledger::Transaction tx);
+  /// Commits all staged transactions as one block.
+  std::vector<ledger::Receipt> commit_staged();
+  /// Next unused nonce for `key` (tracks staged transactions too).
+  std::uint64_t next_nonce(const KeyPair& key);
+
+  // ---- news workflows (Secs V–VI) ----
+  Status create_distribution_platform(const Actor& owner,
+                                      const std::string& name);
+  Status create_newsroom(const Actor& owner, const std::string& platform,
+                         const std::string& room, const std::string& topic);
+  Status authorize_journalist(const Actor& owner, const std::string& platform,
+                              const AccountId& journalist);
+  /// Stores `text` off-chain and publishes its hash into the supply chain.
+  Expected<Hash256> publish(const Actor& author, const std::string& platform,
+                            const std::string& room, const std::string& text,
+                            contracts::EditType edit,
+                            const std::vector<Hash256>& parents);
+  Status comment(const Actor& who, const Hash256& article,
+                 const std::string& text);
+  /// Sec VI: any registered identity refers an external media article into
+  /// a newsroom for discussion. Enters the supply chain parentless
+  /// (untraceable until verified), with the referrer accountable.
+  Expected<Hash256> refer_external(const Actor& who,
+                                   const std::string& platform,
+                                   const std::string& room,
+                                   const std::string& text,
+                                   const std::string& source_url);
+
+  // ---- factual database ----
+  /// Admin-seeds a public record: content stored, on-chain factdb entry,
+  /// local mirror updated. Returns the record hash.
+  Expected<Hash256> seed_fact(const std::string& text,
+                              const std::string& source_tag);
+  /// Growth pipeline: certify a ranked article into the factual DB if the
+  /// AI + crowd thresholds pass (Sec VI).
+  FactCandidateDecision maybe_certify(const Hash256& article);
+
+  // ---- crowd ranking ----
+  Status open_round(const Actor& who, const Hash256& article);
+  Status vote(const Actor& who, const Hash256& article, bool says_factual,
+              std::uint64_t stake);
+  Status close_round(const Actor& who, const Hash256& article);
+  [[nodiscard]] std::optional<double> crowd_score(const Hash256& article) const;
+
+  // ---- detector app-store (paper Sec V: developer economy) ----
+  /// Assembles `vm_source`, deploys it on chain, and registers it in the
+  /// detector registry under `name`. The program convention: INPUT is the
+  /// article text; HALT with an 8-byte integer 0..1000 = P(fake) * 1000.
+  Expected<Hash256> register_detector(const Actor& developer,
+                                      const std::string& name,
+                                      const std::string& vm_source);
+  /// Runs a registered detector read-only against committed state.
+  [[nodiscard]] Expected<double> run_detector(const std::string& name,
+                                              std::string_view text) const;
+  /// Weight-blended P(fake) over all active registered detectors
+  /// (weights = on-chain track record). nullopt when none registered.
+  [[nodiscard]] std::optional<double> registry_score(
+      std::string_view text) const;
+  /// On-chain weight of a detector (1.0 default).
+  [[nodiscard]] double detector_weight(const std::string& name) const;
+  /// After a round settles: records each active detector's agreement with
+  /// the crowd outcome and mints `reward` tokens to developers whose
+  /// detector agreed.
+  Status settle_detectors(const Hash256& article, std::uint64_t reward = 10);
+
+  // ---- AI ----
+  void train_detector(std::span<const ai::LabeledDoc> docs);
+  [[nodiscard]] bool detector_trained() const { return detector_trained_; }
+  /// 1 - P(fake); 0.5 when the detector is untrained.
+  [[nodiscard]] double ai_credibility(std::string_view text) const;
+
+  // ---- supply-chain queries (Sec VI) ----
+  [[nodiscard]] ProvenanceGraph build_graph() const;
+  [[nodiscard]] TraceResult trace(const Hash256& article) const;
+  /// Composite rank R = α·AI + β·crowd + γ·trace for a published article.
+  [[nodiscard]] double composite_rank(const Hash256& article) const;
+  [[nodiscard]] std::vector<std::pair<AccountId, double>> experts(
+      const std::string& topic, std::size_t k) const;
+
+  // ---- accessors ----
+  [[nodiscard]] const ledger::Blockchain& chain() const { return *chain_; }
+  [[nodiscard]] const ContentStore& content() const { return content_; }
+  [[nodiscard]] ContentStore& content() { return content_; }
+  [[nodiscard]] const FactualDatabase& factdb() const { return factdb_; }
+  [[nodiscard]] const ai::Detector& detector() const { return *detector_; }
+  [[nodiscard]] const PlatformConfig& config() const { return config_; }
+
+ private:
+  Status submit_expect_ok(ledger::Transaction tx);
+
+  PlatformConfig config_;
+  std::unique_ptr<contracts::ContractHost> host_;
+  std::unique_ptr<ledger::Blockchain> chain_;
+  ContentStore content_;
+  FactualDatabase factdb_;
+  std::unique_ptr<ai::EnsembleDetector> detector_;
+  bool detector_trained_ = false;
+  Actor admin_;
+  std::deque<Actor> actors_;  // stable addresses
+  std::unordered_map<AccountId, std::uint64_t> next_nonce_;
+  std::vector<ledger::Transaction> staged_;
+  sim::SimTime logical_time_ = 0;
+};
+
+}  // namespace tnp::core

@@ -1,0 +1,102 @@
+#include "core/prediction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace tnp::core {
+
+CascadeFeatures extract_cascade_features(
+    const net::Adjacency& graph,
+    const std::vector<workload::AgentKind>& kinds,
+    const workload::CascadeResult& cascade, sim::SimTime window) {
+  CascadeFeatures features;
+  const std::size_t population = graph.size();
+  if (population == 0) return features;
+
+  std::size_t max_graph_degree = 1;
+  for (const auto& nbrs : graph) {
+    max_graph_degree = std::max(max_graph_degree, nbrs.size());
+  }
+
+  std::size_t early_infected = 0;
+  std::size_t max_touched_degree = 0;
+  std::size_t early_bots = 0;
+  std::unordered_set<std::uint32_t> early_sharers;
+  std::size_t early_shares = 0;
+
+  for (std::uint32_t node = 0; node < population; ++node) {
+    if (cascade.infection_time[node] <= window) {
+      ++early_infected;
+      max_touched_degree = std::max(max_touched_degree, graph[node].size());
+    }
+  }
+  for (std::size_t i = 0; i + 1 < cascade.share_edges.size(); i += 2) {
+    const std::uint32_t from = cascade.share_edges[i];
+    const std::uint32_t to = cascade.share_edges[i + 1];
+    if (cascade.infection_time[to] > window) continue;  // share after window
+    ++early_shares;
+    if (early_sharers.insert(from).second) {
+      if (kinds[from] != workload::AgentKind::kHuman) ++early_bots;
+    }
+  }
+
+  features.early_reach =
+      static_cast<double>(early_infected) / static_cast<double>(population);
+  const double window_hours =
+      std::max(1e-6, static_cast<double>(window) / double(sim::kHour));
+  features.share_rate =
+      std::log1p(static_cast<double>(early_shares) / window_hours) / 10.0;
+  features.bot_fraction =
+      early_sharers.empty()
+          ? 0.0
+          : static_cast<double>(early_bots) /
+                static_cast<double>(early_sharers.size());
+  features.hub_exposure = static_cast<double>(max_touched_degree) /
+                          static_cast<double>(max_graph_degree);
+  features.breadth =
+      early_shares == 0
+          ? 0.0
+          : static_cast<double>(early_sharers.size()) /
+                static_cast<double>(early_shares);
+  features.bias = 1.0;
+  return features;
+}
+
+void ViralityPredictor::fit(std::span<const Sample> samples, int epochs,
+                            double learning_rate, std::uint64_t seed) {
+  weights_.fill(0.0);
+  if (samples.empty()) return;
+  Rng rng(seed);
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.shuffle(order);
+    const double lr = learning_rate / (1.0 + 0.05 * epoch);
+    for (const std::size_t idx : order) {
+      const auto x = samples[idx].features.as_array();
+      double z = 0;
+      for (std::size_t d = 0; d < kCascadeFeatureDims; ++d) {
+        z += weights_[d] * x[d];
+      }
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double gradient = p - (samples[idx].viral ? 1.0 : 0.0);
+      for (std::size_t d = 0; d < kCascadeFeatureDims; ++d) {
+        weights_[d] -= lr * (gradient * x[d] + 1e-5 * weights_[d]);
+      }
+    }
+  }
+  trained_ = true;
+}
+
+double ViralityPredictor::predict(const CascadeFeatures& features) const {
+  if (!trained_) return 0.5;
+  const auto x = features.as_array();
+  double z = 0;
+  for (std::size_t d = 0; d < kCascadeFeatureDims; ++d) z += weights_[d] * x[d];
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace tnp::core

@@ -1,0 +1,68 @@
+// Fake-news propagation prediction (paper Sec VII, explicitly called out
+// as the hard forward-looking challenge): "fake news prediction algorithms
+// to anticipate the onset of a fake news propagation before it is actually
+// propagated and disputed."
+//
+// The platform observes the first minutes/hours of a cascade on the
+// supply-chain/social graph and predicts whether the item will go viral —
+// early enough to gate resharing before the bulk of the spread. Features
+// are structural (rate, breadth, hub exposure) plus the bot fraction among
+// early resharers (paper Sec II: spread is "driven substantially by bots
+// and cyborgs").
+#pragma once
+
+#include <span>
+
+#include "net/topology.hpp"
+#include "workload/propagation.hpp"
+
+namespace tnp::core {
+
+inline constexpr std::size_t kCascadeFeatureDims = 6;
+
+struct CascadeFeatures {
+  // All values normalized to [0, ~1] ranges.
+  double early_reach = 0;        // infected within window / population
+  double share_rate = 0;         // shares per hour in window (log-scaled)
+  double bot_fraction = 0;       // bots+cyborgs among early sharers
+  double hub_exposure = 0;       // max degree touched / max degree in graph
+  double breadth = 0;            // unique sharers / shares (re-share spread)
+  double bias = 1.0;             // intercept feature
+
+  [[nodiscard]] std::array<double, kCascadeFeatureDims> as_array() const {
+    return {early_reach, share_rate, bot_fraction, hub_exposure, breadth, bias};
+  }
+};
+
+/// Extracts features from the prefix of a finished cascade up to
+/// `window` (virtual time). `kinds` come from the CascadeSimulator.
+[[nodiscard]] CascadeFeatures extract_cascade_features(
+    const net::Adjacency& graph,
+    const std::vector<workload::AgentKind>& kinds,
+    const workload::CascadeResult& cascade, sim::SimTime window);
+
+/// Logistic model over CascadeFeatures predicting P(viral), where "viral"
+/// is defined by the trainer (e.g. final reach above a threshold).
+class ViralityPredictor {
+ public:
+  struct Sample {
+    CascadeFeatures features;
+    bool viral = false;
+  };
+
+  /// SGD logistic fit; deterministic for a given seed.
+  void fit(std::span<const Sample> samples, int epochs = 200,
+           double learning_rate = 0.3, std::uint64_t seed = 99);
+
+  [[nodiscard]] double predict(const CascadeFeatures& features) const;
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] const std::array<double, kCascadeFeatureDims>& weights() const {
+    return weights_;
+  }
+
+ private:
+  std::array<double, kCascadeFeatureDims> weights_{};
+  bool trained_ = false;
+};
+
+}  // namespace tnp::core

@@ -1,0 +1,42 @@
+#include "core/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tnp::core {
+
+namespace {
+double vote_weight(const CrowdVote& vote) {
+  return vote.reputation *
+         (1.0 + std::log2(1.0 + static_cast<double>(vote.stake)));
+}
+}  // namespace
+
+double majority_score(const std::vector<CrowdVote>& votes) {
+  if (votes.empty()) return 0.5;
+  std::size_t factual = 0;
+  for (const auto& vote : votes) factual += vote.says_factual;
+  return static_cast<double>(factual) / static_cast<double>(votes.size());
+}
+
+double weighted_score(const std::vector<CrowdVote>& votes) {
+  if (votes.empty()) return 0.5;
+  double factual_weight = 0.0, total_weight = 0.0;
+  for (const auto& vote : votes) {
+    const double w = vote_weight(vote);
+    total_weight += w;
+    if (vote.says_factual) factual_weight += w;
+  }
+  return total_weight > 0.0 ? factual_weight / total_weight : 0.5;
+}
+
+double update_reputation(double reputation, bool matched_outcome,
+                         double decay_toward_one) {
+  if (decay_toward_one > 0.0) {
+    reputation += decay_toward_one * (1.0 - reputation);
+  }
+  reputation *= matched_outcome ? 1.10 : 0.85;
+  return std::clamp(reputation, 0.01, 100.0);
+}
+
+}  // namespace tnp::core

@@ -1,0 +1,48 @@
+// Composite news ranking (paper Secs V–VI): the off-chain policy combining
+//   R = α·AI-credibility + β·crowd score + γ·trace score
+// with the on-chain crowd component and the supply-chain trace component,
+// plus the plain-majority baseline whose bias the paper argues
+// accountability-weighted ranking prevents. E5 sweeps adversarial validator
+// fractions against both aggregators; E14 ablates α.
+#pragma once
+
+#include <vector>
+
+#include "contracts/schema.hpp"
+
+namespace tnp::core {
+
+struct RankWeights {
+  double alpha = 0.35;  // AI detector credibility
+  double beta = 0.40;   // crowd-sourced score
+  double gamma = 0.25;  // supply-chain trace score
+
+  [[nodiscard]] double combine(double ai_credibility, double crowd,
+                               double trace) const {
+    const double total = alpha + beta + gamma;
+    return (alpha * ai_credibility + beta * crowd + gamma * trace) / total;
+  }
+};
+
+/// One validator's vote as seen off-chain.
+struct CrowdVote {
+  bool says_factual = false;
+  std::uint64_t stake = 1;
+  double reputation = 1.0;
+};
+
+/// Plain majority (the baseline the paper criticizes): fraction of voters
+/// saying factual, ignoring stake and reputation.
+[[nodiscard]] double majority_score(const std::vector<CrowdVote>& votes);
+
+/// Reputation × concave-stake weighted score — mirrors the on-chain
+/// RankingContract aggregation exactly.
+[[nodiscard]] double weighted_score(const std::vector<CrowdVote>& votes);
+
+/// Multiplicative reputation update applied after a round settles
+/// (match → ×1.10 capped at 100, mismatch → ×0.85 floored at 0.01),
+/// optionally decayed toward 1.0 first (ablation E14-a).
+[[nodiscard]] double update_reputation(double reputation, bool matched_outcome,
+                                       double decay_toward_one = 0.0);
+
+}  // namespace tnp::core

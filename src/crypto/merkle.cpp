@@ -1,0 +1,66 @@
+#include "crypto/merkle.hpp"
+
+namespace tnp {
+
+namespace {
+std::vector<Hash256> next_level(const std::vector<Hash256>& level) {
+  std::vector<Hash256> parents;
+  parents.reserve((level.size() + 1) / 2);
+  for (std::size_t i = 0; i < level.size(); i += 2) {
+    const Hash256& left = level[i];
+    const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+    parents.push_back(sha256_pair(left, right));
+  }
+  return parents;
+}
+}  // namespace
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    levels_.push_back({Hash256{}});
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    levels_.push_back(next_level(levels_.back()));
+  }
+}
+
+Expected<MerkleProof> MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count_) {
+    return Error(ErrorCode::kOutOfRange, "merkle leaf index out of range");
+  }
+  MerkleProof proof;
+  std::size_t i = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const bool is_left = (i % 2) == 0;
+    std::size_t sibling = is_left ? i + 1 : i - 1;
+    if (sibling >= nodes.size()) sibling = i;  // odd node pairs with itself
+    proof.push_back(MerkleStep{nodes[sibling], !is_left});
+    i /= 2;
+  }
+  return proof;
+}
+
+Hash256 merkle_root(const std::vector<Hash256>& leaves) {
+  if (leaves.empty()) return Hash256{};
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) level = next_level(level);
+  return level.front();
+}
+
+bool merkle_verify(const Hash256& leaf, std::size_t index,
+                   const MerkleProof& proof, const Hash256& root,
+                   std::size_t leaf_count) {
+  if (index >= leaf_count) return false;
+  Hash256 node = leaf;
+  for (const MerkleStep& step : proof) {
+    node = step.sibling_on_left ? sha256_pair(step.sibling, node)
+                                : sha256_pair(node, step.sibling);
+  }
+  return node == root;
+}
+
+}  // namespace tnp

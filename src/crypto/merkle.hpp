@@ -1,0 +1,45 @@
+// Binary Merkle tree over Hash256 leaves. Used for block transaction roots
+// and for factual-database inclusion proofs ("this record is part of the
+// certified corpus").
+//
+// Odd nodes are paired with themselves (Bitcoin-style). The empty tree has
+// the all-zero root.
+#pragma once
+
+#include <vector>
+
+#include "crypto/hash.hpp"
+
+namespace tnp {
+
+struct MerkleStep {
+  Hash256 sibling;
+  bool sibling_on_left = false;  // true: parent = H(sibling || node)
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+class MerkleTree {
+ public:
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  [[nodiscard]] const Hash256& root() const { return levels_.back().front(); }
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Inclusion proof for the leaf at `index` (must be < leaf_count()).
+  [[nodiscard]] Expected<MerkleProof> prove(std::size_t index) const;
+
+ private:
+  std::size_t leaf_count_;
+  std::vector<std::vector<Hash256>> levels_;  // levels_[0] = leaves
+};
+
+/// One-shot root computation without storing the tree.
+[[nodiscard]] Hash256 merkle_root(const std::vector<Hash256>& leaves);
+
+/// Replays a proof from leaf to root.
+[[nodiscard]] bool merkle_verify(const Hash256& leaf, std::size_t index,
+                                 const MerkleProof& proof, const Hash256& root,
+                                 std::size_t leaf_count);
+
+}  // namespace tnp

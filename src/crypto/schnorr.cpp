@@ -1,0 +1,115 @@
+#include "crypto/schnorr.hpp"
+
+#include <cassert>
+
+namespace tnp::schnorr {
+
+namespace {
+
+/// Hash-to-scalar: interpret digest as integer, reduce mod n, avoid zero.
+U256 to_scalar(const Hash256& digest) {
+  U256 v = U256::from_bytes_be(digest.view());
+  v = mod(v, secp::group_order());
+  if (v.is_zero()) v = U256(1);
+  return v;
+}
+
+/// Challenge e = H(R || P || m) mod n.
+U256 challenge(const secp::Point& r, const PublicKey& pub, BytesView message) {
+  Sha256 h;
+  h.update(BytesView(r.x.to_bytes_be()));
+  h.update(BytesView(r.y.to_bytes_be()));
+  h.update(BytesView(pub.serialize()));
+  h.update(message);
+  return to_scalar(h.finalize());
+}
+
+}  // namespace
+
+Bytes PublicKey::serialize() const {
+  Bytes out = point.x.to_bytes_be();
+  const Bytes y = point.y.to_bytes_be();
+  out.insert(out.end(), y.begin(), y.end());
+  return out;
+}
+
+Expected<PublicKey> PublicKey::deserialize(BytesView bytes) {
+  if (bytes.size() != 64) {
+    return Error(ErrorCode::kInvalidArgument, "public key needs 64 bytes");
+  }
+  PublicKey pk;
+  pk.point.x = U256::from_bytes_be(bytes.subspan(0, 32));
+  pk.point.y = U256::from_bytes_be(bytes.subspan(32, 32));
+  pk.point.infinity = false;
+  if (!pk.point.on_curve()) {
+    return Error(ErrorCode::kCorruptData, "public key not on curve");
+  }
+  return pk;
+}
+
+Hash256 PublicKey::fingerprint() const { return sha256(BytesView(serialize())); }
+
+PublicKey PrivateKey::public_key() const {
+  return PublicKey{secp::to_affine(secp::scalar_mul_base(scalar))};
+}
+
+PrivateKey PrivateKey::from_seed(BytesView seed) {
+  Sha256 h;
+  h.update("tnp/schnorr/keygen/v1");
+  h.update(seed);
+  return PrivateKey{to_scalar(h.finalize())};
+}
+
+Bytes Signature::serialize() const {
+  Bytes out = r.x.to_bytes_be();
+  const Bytes ry = r.y.to_bytes_be();
+  out.insert(out.end(), ry.begin(), ry.end());
+  const Bytes sb = s.to_bytes_be();
+  out.insert(out.end(), sb.begin(), sb.end());
+  return out;
+}
+
+Expected<Signature> Signature::deserialize(BytesView bytes) {
+  if (bytes.size() != 96) {
+    return Error(ErrorCode::kInvalidArgument, "signature needs 96 bytes");
+  }
+  Signature sig;
+  sig.r.x = U256::from_bytes_be(bytes.subspan(0, 32));
+  sig.r.y = U256::from_bytes_be(bytes.subspan(32, 32));
+  sig.r.infinity = false;
+  sig.s = U256::from_bytes_be(bytes.subspan(64, 32));
+  return sig;
+}
+
+Signature sign(const PrivateKey& key, BytesView message) {
+  assert(!key.scalar.is_zero());
+  const PublicKey pub = key.public_key();
+  // Deterministic nonce: k = H(tag || x || m), rejecting k == 0 by to_scalar.
+  Sha256 nh;
+  nh.update("tnp/schnorr/nonce/v1");
+  nh.update(BytesView(key.scalar.to_bytes_be()));
+  nh.update(message);
+  const U256 k = to_scalar(nh.finalize());
+
+  const secp::Point r = secp::to_affine(secp::scalar_mul_base(k));
+  const U256 e = challenge(r, pub, message);
+  const U256& n = secp::group_order();
+  const U256 s = addmod(k, mulmod(e, key.scalar, n), n);
+  return Signature{r, s};
+}
+
+bool verify(const PublicKey& key, BytesView message, const Signature& sig) {
+  const U256& n = secp::group_order();
+  if (sig.s >= n) return false;
+  if (sig.r.infinity || !sig.r.on_curve()) return false;
+  if (key.point.infinity || !key.point.on_curve()) return false;
+
+  const U256 e = challenge(sig.r, key, message);
+  // s*G == R + e*P  <=>  s*G + (n-e)*P == R.
+  const U256 neg_e = submod(U256{}, e, n);
+  const secp::PointJ lhs = secp::double_scalar_mul(sig.s, neg_e, key.point);
+  const secp::Point lhs_affine = secp::to_affine(lhs);
+  return lhs_affine == sig.r;
+}
+
+}  // namespace tnp::schnorr

@@ -1,0 +1,56 @@
+// Schnorr signatures over secp256k1 with deterministic (RFC6979-flavoured,
+// SHA-256 based) nonces. This is the "real" signature scheme for platform
+// identities; the ledger also supports a fast HMAC scheme for large-scale
+// simulation (see signer.hpp).
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/secp256k1.hpp"
+
+namespace tnp::schnorr {
+
+struct PublicKey {
+  secp::Point point;
+
+  /// 64-byte x||y big-endian encoding.
+  [[nodiscard]] Bytes serialize() const;
+  static Expected<PublicKey> deserialize(BytesView bytes);
+
+  /// Stable 32-byte identity handle: sha256(serialize()).
+  [[nodiscard]] Hash256 fingerprint() const;
+
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+};
+
+struct PrivateKey {
+  U256 scalar;  // in [1, n-1]
+
+  [[nodiscard]] PublicKey public_key() const;
+
+  /// Derives a valid key from arbitrary seed bytes (hash-to-scalar). The
+  /// seed source decides security; simulation uses Rng-derived seeds.
+  static PrivateKey from_seed(BytesView seed);
+};
+
+struct Signature {
+  secp::Point r;  // commitment R = k*G
+  U256 s;         // response
+
+  /// 96-byte R.x||R.y||s encoding.
+  [[nodiscard]] Bytes serialize() const;
+  static Expected<Signature> deserialize(BytesView bytes);
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+/// Signs sha256-hashed `message`. Deterministic: same key+message → same sig.
+[[nodiscard]] Signature sign(const PrivateKey& key, BytesView message);
+
+/// Verifies s*G == R + e*P with e = H(R || P || m).
+[[nodiscard]] bool verify(const PublicKey& key, BytesView message,
+                          const Signature& sig);
+
+}  // namespace tnp::schnorr

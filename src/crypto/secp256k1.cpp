@@ -1,0 +1,247 @@
+#include "crypto/secp256k1.hpp"
+
+#include <cassert>
+
+namespace tnp::secp {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+// p = 2^256 - 2^32 - 977, so 2^256 ≡ 2^32 + 977 (mod p).
+constexpr std::uint64_t kFold = 0x1000003D1ULL;  // 2^32 + 977
+
+const U256 kP{0xFFFFFFFEFFFFFC2FULL, 0xFFFFFFFFFFFFFFFFULL,
+              0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL};
+const U256 kN{0xBFD25E8CD0364141ULL, 0xBAAEDCE6AF48A03BULL,
+              0xFFFFFFFFFFFFFFFEULL, 0xFFFFFFFFFFFFFFFFULL};
+const U256 kGx{0x59F2815B16F81798ULL, 0x029BFCDB2DCE28D9ULL,
+               0x55A06295CE870B07ULL, 0x79BE667EF9DCBBACULL};
+const U256 kGy{0x9C47D08FFB10D4B8ULL, 0xFD17B448A6855419ULL,
+               0x5DA4FBFC0E1108A8ULL, 0x483ADA7726A3C465ULL};
+
+/// Adds `small * kFold` into x, propagating carries; returns carry-out.
+bool add_small_fold(U256& x, std::uint64_t small) {
+  if (small == 0) return false;
+  const u128 prod = u128(small) * kFold;
+  u128 carry = static_cast<std::uint64_t>(prod);
+  std::uint64_t carry_hi = static_cast<std::uint64_t>(prod >> 64);
+  bool overflow = false;
+  for (int i = 0; i < 4; ++i) {
+    const u128 cur = u128(x.limb[i]) + carry;
+    x.limb[i] = static_cast<std::uint64_t>(cur);
+    carry = (cur >> 64) + (i == 0 ? carry_hi : 0);
+    if (i == 0) carry_hi = 0;
+  }
+  overflow = carry != 0;
+  return overflow;
+}
+
+/// Reduces a 512-bit value (hi:lo) modulo p.
+U256 fe_reduce_wide(const U256& hi, const U256& lo) {
+  // hi * 2^256 ≡ hi * kFold (a 289-bit value represented as carry:folded).
+  U256 folded;
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 cur = u128(hi.limb[i]) * kFold + carry;
+    folded.limb[i] = static_cast<std::uint64_t>(cur);
+    carry = static_cast<std::uint64_t>(cur >> 64);
+  }
+  U256 sum;
+  const bool c1 = U256::add_overflow(lo, folded, sum);
+  std::uint64_t extra = carry + (c1 ? 1 : 0);  // multiples of 2^256 remaining
+  while (extra != 0) {
+    const bool c2 = add_small_fold(sum, extra);
+    extra = c2 ? 1 : 0;
+  }
+  while (sum >= kP) {
+    U256 t;
+    U256::sub_borrow(sum, kP, t);
+    sum = t;
+  }
+  return sum;
+}
+
+}  // namespace
+
+const U256& field_prime() { return kP; }
+const U256& group_order() { return kN; }
+
+U256 fe_add(const U256& a, const U256& b) {
+  U256 sum;
+  const bool carry = U256::add_overflow(a, b, sum);
+  if (carry) {
+    // sum + 2^256 ≡ sum + kFold (mod p)
+    U256 t = sum;
+    const bool c2 = add_small_fold(t, 1);
+    assert(!c2);
+    (void)c2;
+    sum = t;
+  }
+  return reduce_once(sum, kP);
+}
+
+U256 fe_sub(const U256& a, const U256& b) {
+  U256 diff;
+  if (U256::sub_borrow(a, b, diff)) {
+    U256 fixed;
+    U256::add_overflow(diff, kP, fixed);
+    return fixed;
+  }
+  return diff;
+}
+
+U256 fe_mul(const U256& a, const U256& b) {
+  U256 hi, lo;
+  U256::mul_wide(a, b, hi, lo);
+  return fe_reduce_wide(hi, lo);
+}
+
+U256 fe_sqr(const U256& a) { return fe_mul(a, a); }
+
+U256 fe_pow(const U256& a, const U256& e) {
+  U256 result(1);
+  const int top = e.highest_bit();
+  if (top < 0) return result;  // a^0 == 1
+  for (int i = top; i >= 0; --i) {
+    result = fe_sqr(result);
+    if (e.bit(static_cast<unsigned>(i))) result = fe_mul(result, a);
+  }
+  return result;
+}
+
+U256 fe_inv(const U256& a) {
+  assert(!a.is_zero());
+  U256 p_minus_2;
+  U256::sub_borrow(kP, U256(2), p_minus_2);
+  return fe_pow(a, p_minus_2);
+}
+
+U256 fe_from(const U256& x) { return x >= kP ? x - kP : x; }
+
+bool Point::on_curve() const {
+  if (infinity) return true;
+  const U256 y2 = fe_sqr(y);
+  const U256 x3 = fe_mul(fe_sqr(x), x);
+  return y2 == fe_add(x3, U256(7));
+}
+
+const Point& generator() {
+  static const Point g{kGx, kGy, false};
+  return g;
+}
+
+PointJ to_jacobian(const Point& p) {
+  if (p.infinity) return PointJ{};
+  return PointJ{p.x, p.y, U256(1)};
+}
+
+Point to_affine(const PointJ& p) {
+  if (p.is_infinity()) return Point{};
+  const U256 z_inv = fe_inv(p.Z);
+  const U256 z_inv2 = fe_sqr(z_inv);
+  const U256 z_inv3 = fe_mul(z_inv2, z_inv);
+  return Point{fe_mul(p.X, z_inv2), fe_mul(p.Y, z_inv3), false};
+}
+
+PointJ dbl(const PointJ& p) {
+  if (p.is_infinity() || p.Y.is_zero()) return PointJ{};
+  // Standard a=0 Jacobian doubling (hyperelliptic.org dbl-2009-l).
+  const U256 a = fe_sqr(p.X);
+  const U256 b = fe_sqr(p.Y);
+  const U256 c = fe_sqr(b);
+  U256 d = fe_sub(fe_sqr(fe_add(p.X, b)), fe_add(a, c));
+  d = fe_add(d, d);
+  const U256 e = fe_add(fe_add(a, a), a);
+  const U256 f = fe_sqr(e);
+  const U256 x3 = fe_sub(f, fe_add(d, d));
+  U256 c8 = fe_add(c, c);
+  c8 = fe_add(c8, c8);
+  c8 = fe_add(c8, c8);
+  const U256 y3 = fe_sub(fe_mul(e, fe_sub(d, x3)), c8);
+  const U256 z3 = fe_mul(fe_add(p.Y, p.Y), p.Z);
+  return PointJ{x3, y3, z3};
+}
+
+PointJ add(const PointJ& p, const PointJ& q) {
+  if (p.is_infinity()) return q;
+  if (q.is_infinity()) return p;
+  const U256 z1z1 = fe_sqr(p.Z);
+  const U256 z2z2 = fe_sqr(q.Z);
+  const U256 u1 = fe_mul(p.X, z2z2);
+  const U256 u2 = fe_mul(q.X, z1z1);
+  const U256 s1 = fe_mul(p.Y, fe_mul(z2z2, q.Z));
+  const U256 s2 = fe_mul(q.Y, fe_mul(z1z1, p.Z));
+  if (u1 == u2) {
+    if (s1 == s2) return dbl(p);
+    return PointJ{};  // P + (-P) = O
+  }
+  const U256 h = fe_sub(u2, u1);
+  const U256 r = fe_sub(s2, s1);
+  const U256 h2 = fe_sqr(h);
+  const U256 h3 = fe_mul(h2, h);
+  const U256 u1h2 = fe_mul(u1, h2);
+  U256 x3 = fe_sub(fe_sqr(r), h3);
+  x3 = fe_sub(x3, fe_add(u1h2, u1h2));
+  const U256 y3 = fe_sub(fe_mul(r, fe_sub(u1h2, x3)), fe_mul(s1, h3));
+  const U256 z3 = fe_mul(fe_mul(p.Z, q.Z), h);
+  return PointJ{x3, y3, z3};
+}
+
+PointJ add_affine(const PointJ& p, const Point& q) {
+  if (q.infinity) return p;
+  if (p.is_infinity()) return to_jacobian(q);
+  // Mixed addition (Z2 = 1).
+  const U256 z1z1 = fe_sqr(p.Z);
+  const U256 u2 = fe_mul(q.x, z1z1);
+  const U256 s2 = fe_mul(q.y, fe_mul(z1z1, p.Z));
+  if (p.X == u2) {
+    if (p.Y == s2) return dbl(p);
+    return PointJ{};
+  }
+  const U256 h = fe_sub(u2, p.X);
+  const U256 r = fe_sub(s2, p.Y);
+  const U256 h2 = fe_sqr(h);
+  const U256 h3 = fe_mul(h2, h);
+  const U256 u1h2 = fe_mul(p.X, h2);
+  U256 x3 = fe_sub(fe_sqr(r), h3);
+  x3 = fe_sub(x3, fe_add(u1h2, u1h2));
+  const U256 y3 = fe_sub(fe_mul(r, fe_sub(u1h2, x3)), fe_mul(p.Y, h3));
+  const U256 z3 = fe_mul(p.Z, h);
+  return PointJ{x3, y3, z3};
+}
+
+PointJ scalar_mul(const U256& k, const Point& p) {
+  PointJ acc{};
+  const int top = k.highest_bit();
+  for (int i = top; i >= 0; --i) {
+    acc = dbl(acc);
+    if (k.bit(static_cast<unsigned>(i))) acc = add_affine(acc, p);
+  }
+  return acc;
+}
+
+PointJ scalar_mul_base(const U256& k) { return scalar_mul(k, generator()); }
+
+PointJ double_scalar_mul(const U256& a, const U256& b, const Point& p) {
+  const Point& g = generator();
+  // Precompute G + P once for the interleaved pass.
+  const Point gp = to_affine(add_affine(to_jacobian(g), p));
+  PointJ acc{};
+  const int top = std::max(a.highest_bit(), b.highest_bit());
+  for (int i = top; i >= 0; --i) {
+    acc = dbl(acc);
+    const bool ba = i <= a.highest_bit() && a.bit(static_cast<unsigned>(i));
+    const bool bb = i <= b.highest_bit() && b.bit(static_cast<unsigned>(i));
+    if (ba && bb) {
+      acc = add_affine(acc, gp);
+    } else if (ba) {
+      acc = add_affine(acc, g);
+    } else if (bb) {
+      acc = add_affine(acc, p);
+    }
+  }
+  return acc;
+}
+
+}  // namespace tnp::secp

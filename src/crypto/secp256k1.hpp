@@ -1,0 +1,67 @@
+// secp256k1 group arithmetic: fast field ops (pseudo-Mersenne reduction for
+// p = 2^256 - 2^32 - 977), Jacobian point arithmetic (a = 0, b = 7), and
+// scalar multiplication. Simulation-grade: correct, tested against known
+// vectors, NOT constant-time or side-channel hardened.
+#pragma once
+
+#include "crypto/u256.hpp"
+
+namespace tnp::secp {
+
+/// Field prime p = 2^256 - 2^32 - 977.
+[[nodiscard]] const U256& field_prime();
+/// Group order n (prime).
+[[nodiscard]] const U256& group_order();
+
+// ---- Field element operations (operands/results always in [0, p)). ----
+[[nodiscard]] U256 fe_add(const U256& a, const U256& b);
+[[nodiscard]] U256 fe_sub(const U256& a, const U256& b);
+[[nodiscard]] U256 fe_mul(const U256& a, const U256& b);
+[[nodiscard]] U256 fe_sqr(const U256& a);
+/// a^e mod p using the fast multiplier.
+[[nodiscard]] U256 fe_pow(const U256& a, const U256& e);
+/// Multiplicative inverse via Fermat (a != 0).
+[[nodiscard]] U256 fe_inv(const U256& a);
+/// Canonicalizes an arbitrary 256-bit value into [0, p).
+[[nodiscard]] U256 fe_from(const U256& x);
+
+// ---- Points. ----
+
+/// Affine point; `infinity` is the group identity.
+struct Point {
+  U256 x{};
+  U256 y{};
+  bool infinity = true;
+
+  [[nodiscard]] bool on_curve() const;  // y^2 == x^3 + 7 (or infinity)
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Jacobian projective point (X/Z^2, Y/Z^3); Z == 0 encodes infinity.
+struct PointJ {
+  U256 X{};
+  U256 Y{};
+  U256 Z{};
+
+  [[nodiscard]] bool is_infinity() const { return Z.is_zero(); }
+};
+
+[[nodiscard]] const Point& generator();
+
+[[nodiscard]] PointJ to_jacobian(const Point& p);
+[[nodiscard]] Point to_affine(const PointJ& p);
+
+[[nodiscard]] PointJ dbl(const PointJ& p);
+[[nodiscard]] PointJ add(const PointJ& p, const PointJ& q);
+[[nodiscard]] PointJ add_affine(const PointJ& p, const Point& q);
+
+/// k * P (double-and-add). k taken mod n implicitly by the caller.
+[[nodiscard]] PointJ scalar_mul(const U256& k, const Point& p);
+/// k * G.
+[[nodiscard]] PointJ scalar_mul_base(const U256& k);
+
+/// a*G + b*P in one interleaved pass (Strauss–Shamir) — the verify hot path.
+[[nodiscard]] PointJ double_scalar_mul(const U256& a, const U256& b,
+                                       const Point& p);
+
+}  // namespace tnp::secp

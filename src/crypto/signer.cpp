@@ -1,0 +1,106 @@
+#include "crypto/signer.hpp"
+
+namespace tnp {
+
+AccountId derive_account_id(SigScheme scheme, BytesView material) {
+  Sha256 h;
+  const std::uint8_t tag = static_cast<std::uint8_t>(scheme);
+  h.update(BytesView(&tag, 1));
+  h.update(material);
+  return h.finalize();
+}
+
+KeyPair KeyPair::generate(SigScheme scheme, BytesView seed) {
+  KeyPair kp;
+  kp.scheme_ = scheme;
+  switch (scheme) {
+    case SigScheme::kSchnorr: {
+      kp.schnorr_key_ = schnorr::PrivateKey::from_seed(seed);
+      kp.material_ = kp.schnorr_key_.public_key().serialize();
+      break;
+    }
+    case SigScheme::kHmacSim: {
+      Sha256 h;
+      h.update("tnp/hmac-sim/keygen/v1");
+      h.update(seed);
+      const Hash256 secret = h.finalize();
+      kp.hmac_secret_.assign(secret.bytes.begin(), secret.bytes.end());
+      kp.material_ = kp.hmac_secret_;
+      break;
+    }
+  }
+  kp.account_ = derive_account_id(scheme, BytesView(kp.material_));
+  return kp;
+}
+
+KeyPair KeyPair::generate(SigScheme scheme, std::uint64_t seed) {
+  ByteWriter w;
+  w.u64(seed);
+  return generate(scheme, BytesView(w.data()));
+}
+
+Bytes KeyPair::sign(BytesView message) const {
+  switch (scheme_) {
+    case SigScheme::kSchnorr:
+      return schnorr::sign(schnorr_key_, message).serialize();
+    case SigScheme::kHmacSim: {
+      const Hash256 mac = hmac_sha256(BytesView(hmac_secret_), message);
+      return Bytes(mac.bytes.begin(), mac.bytes.end());
+    }
+  }
+  return {};
+}
+
+bool verify_signature(SigScheme scheme, BytesView material, BytesView message,
+                      BytesView signature) {
+  switch (scheme) {
+    case SigScheme::kSchnorr: {
+      auto pub = schnorr::PublicKey::deserialize(material);
+      if (!pub) return false;
+      auto sig = schnorr::Signature::deserialize(signature);
+      if (!sig) return false;
+      return schnorr::verify(*pub, message, *sig);
+    }
+    case SigScheme::kHmacSim: {
+      if (signature.size() != 32) return false;
+      const Hash256 mac = hmac_sha256(material, message);
+      Bytes expected(mac.bytes.begin(), mac.bytes.end());
+      return std::equal(expected.begin(), expected.end(), signature.begin(),
+                        signature.end());
+    }
+  }
+  return false;
+}
+
+Status KeyDirectory::register_account(SigScheme scheme, BytesView material) {
+  const AccountId id = derive_account_id(scheme, material);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    if (it->second.scheme == scheme &&
+        std::equal(it->second.material.begin(), it->second.material.end(),
+                   material.begin(), material.end())) {
+      return Status::Ok();
+    }
+    return Status(ErrorCode::kAlreadyExists,
+                  "conflicting material for account " + id.short_hex());
+  }
+  entries_.emplace(id, Entry{scheme, Bytes(material.begin(), material.end())});
+  return Status::Ok();
+}
+
+Status KeyDirectory::verify(const AccountId& account, BytesView message,
+                            BytesView signature) const {
+  const auto it = entries_.find(account);
+  if (it == entries_.end()) {
+    return Status(ErrorCode::kUnauthenticated,
+                  "unknown account " + account.short_hex());
+  }
+  if (!verify_signature(it->second.scheme, BytesView(it->second.material),
+                        message, signature)) {
+    return Status(ErrorCode::kUnauthenticated,
+                  "bad signature for account " + account.short_hex());
+  }
+  return Status::Ok();
+}
+
+}  // namespace tnp

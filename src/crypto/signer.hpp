@@ -1,0 +1,88 @@
+// Identity and signing abstraction used by the ledger and consensus layers.
+//
+// Two schemes share one interface:
+//  * kSchnorr  — real asymmetric signatures (schnorr.hpp). Faithful cost
+//                model; used for platform identities and small-scale runs.
+//  * kHmacSim  — HMAC-SHA256 "signatures" with the secret doubling as the
+//                registered verification material. This models the MAC
+//                authenticators classic PBFT uses instead of signatures and
+//                lets 10^5-article workloads run in seconds. The
+//                KeyDirectory acts as the PKI/session-key oracle a deployed
+//                system would establish out of band.
+//
+// An account id is sha256(scheme || material): stable, collision-resistant,
+// and — as the paper requires — every signed action is attributable to it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace tnp {
+
+using AccountId = Hash256;
+
+enum class SigScheme : std::uint8_t { kSchnorr = 0, kHmacSim = 1 };
+
+/// A signing identity. Copyable value type; the private part never leaves it
+/// except through sign().
+class KeyPair {
+ public:
+  /// Deterministic keygen from seed bytes (simulation-grade entropy).
+  static KeyPair generate(SigScheme scheme, BytesView seed);
+  static KeyPair generate(SigScheme scheme, std::uint64_t seed);
+
+  [[nodiscard]] SigScheme scheme() const { return scheme_; }
+  [[nodiscard]] const AccountId& account() const { return account_; }
+  /// Public verification material: Schnorr pubkey bytes, or the HMAC secret
+  /// (which in the simulation directory stands in for a session key).
+  [[nodiscard]] const Bytes& public_material() const { return material_; }
+
+  [[nodiscard]] Bytes sign(BytesView message) const;
+
+ private:
+  KeyPair() = default;
+  SigScheme scheme_ = SigScheme::kSchnorr;
+  schnorr::PrivateKey schnorr_key_{};
+  Bytes hmac_secret_;
+  Bytes material_;
+  AccountId account_{};
+};
+
+/// Stateless verification against explicit material.
+[[nodiscard]] bool verify_signature(SigScheme scheme, BytesView material,
+                                    BytesView message, BytesView signature);
+
+/// Account id derivation shared by KeyPair and external registrations.
+[[nodiscard]] AccountId derive_account_id(SigScheme scheme, BytesView material);
+
+/// Registry mapping accounts to verification material — the simulated PKI.
+class KeyDirectory {
+ public:
+  /// Registers (idempotent if identical); fails on conflicting material.
+  Status register_account(SigScheme scheme, BytesView material);
+  Status register_account(const KeyPair& key) {
+    return register_account(key.scheme(), key.public_material());
+  }
+
+  [[nodiscard]] bool known(const AccountId& account) const {
+    return entries_.contains(account);
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Verifies `signature` over `message` for a registered account.
+  [[nodiscard]] Status verify(const AccountId& account, BytesView message,
+                              BytesView signature) const;
+
+ private:
+  struct Entry {
+    SigScheme scheme;
+    Bytes material;
+  };
+  std::unordered_map<AccountId, Entry> entries_;
+};
+
+}  // namespace tnp

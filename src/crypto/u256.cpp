@@ -1,0 +1,206 @@
+#include "crypto/u256.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace tnp {
+
+using u128 = unsigned __int128;
+
+int U256::highest_bit() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[i] != 0) {
+      return i * 64 + (63 - std::countl_zero(limb[i]));
+    }
+  }
+  return -1;
+}
+
+bool U256::add_overflow(const U256& a, const U256& b, U256& out) {
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 sum = u128(a.limb[i]) + b.limb[i] + carry;
+    out.limb[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return carry != 0;
+}
+
+bool U256::sub_borrow(const U256& a, const U256& b, U256& out) {
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 diff = u128(a.limb[i]) - b.limb[i] - borrow;
+    out.limb[i] = static_cast<std::uint64_t>(diff);
+    borrow = (diff >> 64) & 1;
+  }
+  return borrow != 0;
+}
+
+void U256::mul_wide(const U256& a, const U256& b, U256& hi, U256& lo) {
+  std::uint64_t prod[8] = {};
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = u128(a.limb[i]) * b.limb[j] + prod[i + j] + carry;
+      prod[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    prod[i + 4] = carry;
+  }
+  for (int i = 0; i < 4; ++i) {
+    lo.limb[i] = prod[i];
+    hi.limb[i] = prod[i + 4];
+  }
+}
+
+U256 U256::operator<<(unsigned n) const {
+  if (n >= 256) return U256{};
+  U256 r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (int i = 3; i >= 0; --i) {
+    const int src = i - static_cast<int>(limb_shift);
+    std::uint64_t v = 0;
+    if (src >= 0) {
+      v = limb[src] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0) {
+        v |= limb[src - 1] >> (64 - bit_shift);
+      }
+    }
+    r.limb[i] = v;
+  }
+  return r;
+}
+
+U256 U256::operator>>(unsigned n) const {
+  if (n >= 256) return U256{};
+  U256 r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t src = i + limb_shift;
+    std::uint64_t v = 0;
+    if (src < 4) {
+      v = limb[src] >> bit_shift;
+      if (bit_shift != 0 && src + 1 < 4) {
+        v |= limb[src + 1] << (64 - bit_shift);
+      }
+    }
+    r.limb[i] = v;
+  }
+  return r;
+}
+
+Bytes U256::to_bytes_be() const {
+  Bytes out(32);
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t l = limb[3 - i];
+    for (int j = 0; j < 8; ++j) {
+      out[i * 8 + j] = static_cast<std::uint8_t>(l >> (56 - 8 * j));
+    }
+  }
+  return out;
+}
+
+U256 U256::from_bytes_be(BytesView bytes) {
+  U256 out;
+  // Use the trailing (least significant) 32 bytes.
+  const std::size_t n = bytes.size() > 32 ? 32 : bytes.size();
+  const std::size_t start = bytes.size() - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t bit_index = (n - 1 - i) * 8;  // significance of byte
+    out.limb[bit_index / 64] |= std::uint64_t(bytes[start + i])
+                                << (bit_index % 64);
+  }
+  return out;
+}
+
+std::string U256::hex() const { return to_hex(to_bytes_be()); }
+
+Expected<U256> U256::from_hex(std::string_view hex) {
+  auto raw = tnp::from_hex(hex);
+  if (!raw) return raw.error();
+  if (raw->size() > 32) {
+    return Error(ErrorCode::kInvalidArgument, "U256 hex too long");
+  }
+  return from_bytes_be(*raw);
+}
+
+U256 reduce_once(const U256& x, const U256& m) {
+  if (x >= m) {
+    U256 r;
+    U256::sub_borrow(x, m, r);
+    return r;
+  }
+  return x;
+}
+
+U256 addmod(const U256& a, const U256& b, const U256& m) {
+  assert(a < m && b < m);
+  U256 sum;
+  const bool carry = U256::add_overflow(a, b, sum);
+  if (carry || sum >= m) {
+    U256 r;
+    U256::sub_borrow(sum, m, r);
+    return r;
+  }
+  return sum;
+}
+
+U256 submod(const U256& a, const U256& b, const U256& m) {
+  assert(a < m && b < m);
+  U256 r;
+  if (U256::sub_borrow(a, b, r)) {
+    U256 fixed;
+    U256::add_overflow(r, m, fixed);
+    return fixed;
+  }
+  return r;
+}
+
+U256 mod(const U256& x, const U256& m) {
+  assert(!m.is_zero());
+  if (x < m) return x;
+  // Binary long division: subtract aligned copies of m from the top down.
+  U256 rem = x;
+  const int shift = x.highest_bit() - m.highest_bit();
+  for (int i = shift; i >= 0; --i) {
+    const U256 shifted = m << static_cast<unsigned>(i);
+    // m << i may have lost its top bit only if it overflowed 256 bits, which
+    // cannot happen because i <= highest_bit(x) - highest_bit(m).
+    if (shifted <= rem) {
+      U256 next;
+      U256::sub_borrow(rem, shifted, next);
+      rem = next;
+    }
+  }
+  return rem;
+}
+
+U256 mulmod(const U256& a, const U256& b, const U256& m) {
+  assert(!m.is_zero());
+  // Left-to-right shift-add: acc = 2*acc + bit*b, reduced each step.
+  const U256 ar = mod(a, m);
+  const U256 br = mod(b, m);
+  const int top = ar.highest_bit();
+  U256 acc{};
+  for (int i = top; i >= 0; --i) {
+    acc = addmod(acc, acc, m);
+    if (ar.bit(static_cast<unsigned>(i))) acc = addmod(acc, br, m);
+  }
+  return acc;
+}
+
+U256 powmod(const U256& a, const U256& e, const U256& m) {
+  assert(!m.is_zero());
+  const U256 base = mod(a, m);
+  U256 result = mod(U256(1), m);  // handles m == 1
+  const int top = e.highest_bit();
+  for (int i = top; i >= 0; --i) {
+    result = mulmod(result, result, m);
+    if (e.bit(static_cast<unsigned>(i))) result = mulmod(result, base, m);
+  }
+  return result;
+}
+
+}  // namespace tnp

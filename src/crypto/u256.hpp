@@ -1,0 +1,90 @@
+// U256: 256-bit unsigned integer on four 64-bit limbs (little-endian limb
+// order). Provides the exact arithmetic the Schnorr/secp256k1 layer needs:
+// carry-propagating add/sub, full 256x256→512 multiply, shifts, comparison,
+// and generic modular ops (shift-add mulmod / square-and-multiply powmod)
+// for moduli without special structure.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace tnp {
+
+struct U256 {
+  // limb[0] is least significant.
+  std::array<std::uint64_t, 4> limb{};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t v) : limb{v, 0, 0, 0} {}
+  constexpr U256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2,
+                 std::uint64_t l3)
+      : limb{l0, l1, l2, l3} {}
+
+  [[nodiscard]] constexpr bool is_zero() const {
+    return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+  }
+  [[nodiscard]] constexpr bool is_odd() const { return limb[0] & 1; }
+  [[nodiscard]] constexpr bool bit(unsigned i) const {
+    return (limb[i / 64] >> (i % 64)) & 1;
+  }
+  /// Index of highest set bit, or -1 if zero.
+  [[nodiscard]] int highest_bit() const;
+
+  friend constexpr bool operator==(const U256&, const U256&) = default;
+  [[nodiscard]] std::strong_ordering operator<=>(const U256& o) const {
+    for (int i = 3; i >= 0; --i) {
+      if (limb[i] != o.limb[i]) {
+        return limb[i] < o.limb[i] ? std::strong_ordering::less
+                                   : std::strong_ordering::greater;
+      }
+    }
+    return std::strong_ordering::equal;
+  }
+
+  /// a + b, returning the carry-out bit.
+  static bool add_overflow(const U256& a, const U256& b, U256& out);
+  /// a - b, returning the borrow-out bit.
+  static bool sub_borrow(const U256& a, const U256& b, U256& out);
+  /// Full product a*b as (hi, lo).
+  static void mul_wide(const U256& a, const U256& b, U256& hi, U256& lo);
+
+  [[nodiscard]] U256 operator+(const U256& o) const {
+    U256 r;
+    add_overflow(*this, o, r);
+    return r;
+  }
+  [[nodiscard]] U256 operator-(const U256& o) const {
+    U256 r;
+    sub_borrow(*this, o, r);
+    return r;
+  }
+  [[nodiscard]] U256 operator<<(unsigned n) const;
+  [[nodiscard]] U256 operator>>(unsigned n) const;
+
+  /// Big-endian 32-byte encodings (the conventional wire form).
+  [[nodiscard]] Bytes to_bytes_be() const;
+  static U256 from_bytes_be(BytesView bytes);  // uses up to last 32 bytes
+
+  [[nodiscard]] std::string hex() const;  // 64 lowercase hex chars
+  static Expected<U256> from_hex(std::string_view hex);
+};
+
+/// x mod m via binary long division (no structure assumed on m).
+[[nodiscard]] U256 mod(const U256& x, const U256& m);
+/// (a + b) mod m. Requires a, b < m.
+[[nodiscard]] U256 addmod(const U256& a, const U256& b, const U256& m);
+/// (a - b) mod m. Requires a, b < m.
+[[nodiscard]] U256 submod(const U256& a, const U256& b, const U256& m);
+/// (a * b) mod m for arbitrary odd or even m (shift-add; O(256) adds).
+[[nodiscard]] U256 mulmod(const U256& a, const U256& b, const U256& m);
+/// a^e mod m via square-and-multiply.
+[[nodiscard]] U256 powmod(const U256& a, const U256& e, const U256& m);
+/// x mod m by conditional subtraction — only valid when x < 2m.
+[[nodiscard]] U256 reduce_once(const U256& x, const U256& m);
+
+}  // namespace tnp

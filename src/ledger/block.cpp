@@ -1,0 +1,75 @@
+#include "ledger/block.hpp"
+
+namespace tnp::ledger {
+
+Bytes BlockHeader::encode() const {
+  ByteWriter w;
+  w.u64(height);
+  w.raw(parent.view());
+  w.raw(tx_root.view());
+  w.raw(state_root.view());
+  w.u64(timestamp);
+  w.u32(proposer);
+  return w.take();
+}
+
+Expected<BlockHeader> BlockHeader::decode(BytesView bytes) {
+  ByteReader r(bytes);
+  BlockHeader h;
+  auto height = r.u64();
+  if (!height) return height.error();
+  h.height = *height;
+  for (Hash256* target : {&h.parent, &h.tx_root, &h.state_root}) {
+    auto raw = r.raw(32);
+    if (!raw) return raw.error();
+    std::copy(raw->begin(), raw->end(), target->bytes.begin());
+  }
+  auto ts = r.u64();
+  if (!ts) return ts.error();
+  h.timestamp = *ts;
+  auto proposer = r.u32();
+  if (!proposer) return proposer.error();
+  h.proposer = *proposer;
+  return h;
+}
+
+Hash256 Block::compute_tx_root() const {
+  std::vector<Hash256> leaves;
+  leaves.reserve(txs.size());
+  for (const auto& tx : txs) leaves.push_back(tx.id());
+  return merkle_root(leaves);
+}
+
+Bytes Block::encode() const {
+  ByteWriter w;
+  w.bytes(BytesView(header.encode()));
+  w.u32(static_cast<std::uint32_t>(txs.size()));
+  for (const auto& tx : txs) w.bytes(BytesView(tx.encode(true)));
+  return w.take();
+}
+
+Expected<Block> Block::decode(BytesView bytes) {
+  ByteReader r(bytes);
+  Block b;
+  auto header_bytes = r.bytes();
+  if (!header_bytes) return header_bytes.error();
+  auto header = BlockHeader::decode(BytesView(*header_bytes));
+  if (!header) return header.error();
+  b.header = *header;
+  auto count = r.u32();
+  if (!count) return count.error();
+  b.txs.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto tx_bytes = r.bytes();
+    if (!tx_bytes) return tx_bytes.error();
+    auto tx = Transaction::decode(BytesView(*tx_bytes));
+    if (!tx) return tx.error();
+    b.txs.push_back(std::move(*tx));
+  }
+  if (!r.done()) {
+    return Error(ErrorCode::kCorruptData, "trailing bytes after block");
+  }
+  return b;
+}
+
+}  // namespace tnp::ledger

@@ -1,0 +1,46 @@
+// Blocks: header + ordered transactions. The header commits to the parent
+// hash (chain integrity), the transaction Merkle root (content integrity)
+// and the post-execution state root (replica agreement). The paper's
+// "record is immutable and any change is easy to detect" property reduces
+// to these three commitments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/merkle.hpp"
+#include "ledger/transaction.hpp"
+#include "sim/simulator.hpp"
+
+namespace tnp::ledger {
+
+struct BlockHeader {
+  std::uint64_t height = 0;
+  Hash256 parent{};
+  Hash256 tx_root{};
+  Hash256 state_root{};
+  sim::SimTime timestamp = 0;
+  std::uint32_t proposer = 0;  // consensus replica index
+
+  [[nodiscard]] Bytes encode() const;
+  static Expected<BlockHeader> decode(BytesView bytes);
+  [[nodiscard]] Hash256 hash() const { return sha256(BytesView(encode())); }
+
+  friend bool operator==(const BlockHeader&, const BlockHeader&) = default;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> txs;
+
+  /// Merkle root over transaction ids.
+  [[nodiscard]] Hash256 compute_tx_root() const;
+
+  [[nodiscard]] Bytes encode() const;
+  static Expected<Block> decode(BytesView bytes);
+  [[nodiscard]] Hash256 hash() const { return header.hash(); }
+
+  friend bool operator==(const Block&, const Block&) = default;
+};
+
+}  // namespace tnp::ledger

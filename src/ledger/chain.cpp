@@ -1,0 +1,155 @@
+#include "ledger/chain.hpp"
+
+#include "common/log.hpp"
+
+namespace tnp::ledger {
+
+Blockchain::Blockchain(TransactionExecutor& executor, ChainConfig config)
+    : executor_(executor), config_(config) {
+  // Genesis: empty block at height 0 committing to the empty state.
+  Block genesis;
+  genesis.header.height = 0;
+  genesis.header.state_root = state_.root();
+  genesis.header.tx_root = genesis.compute_tx_root();
+  blocks_.push_back(std::move(genesis));
+  results_.emplace_back();
+}
+
+std::string Blockchain::nonce_key(const AccountId& account) {
+  return "sys/nonce/" + account.hex();
+}
+
+std::uint64_t Blockchain::expected_nonce(const AccountId& account) const {
+  const auto raw = state_.get(nonce_key(account));
+  if (!raw) return 0;
+  ByteReader r{BytesView(*raw)};
+  return r.u64().value_or(0);
+}
+
+Status Blockchain::precheck(const Transaction& tx) const {
+  if (config_.verify_signatures && !tx.verify_signature()) {
+    return Status(ErrorCode::kUnauthenticated, "bad transaction signature");
+  }
+  if (tx.nonce < expected_nonce(tx.sender())) {
+    return Status(ErrorCode::kFailedPrecondition, "stale nonce");
+  }
+  return Status::Ok();
+}
+
+Block Blockchain::make_block(std::vector<Transaction> txs,
+                             std::uint32_t proposer,
+                             sim::SimTime timestamp) const {
+  Block block;
+  block.header.height = height() + 1;
+  block.header.parent = tip_hash();
+  block.header.state_root = state_.root();  // pre-state convention
+  block.header.timestamp = timestamp;
+  block.header.proposer = proposer;
+  block.txs = std::move(txs);
+  block.header.tx_root = block.compute_tx_root();
+  return block;
+}
+
+Status Blockchain::validate_header(const Block& block) const {
+  if (block.header.height != height() + 1) {
+    return Status(ErrorCode::kFailedPrecondition, "wrong block height");
+  }
+  if (block.header.parent != tip_hash()) {
+    return Status(ErrorCode::kFailedPrecondition, "parent hash mismatch");
+  }
+  if (block.header.tx_root != block.compute_tx_root()) {
+    return Status(ErrorCode::kCorruptData, "tx root mismatch");
+  }
+  if (block.header.state_root != state_.root()) {
+    return Status(ErrorCode::kCorruptData,
+                  "pre-state root mismatch (replica divergence)");
+  }
+  return Status::Ok();
+}
+
+Receipt Blockchain::execute_tx(const Transaction& tx,
+                               std::vector<Event>& events) {
+  Receipt receipt;
+  receipt.tx_id = tx.id();
+  GasMeter gas(tx.gas_limit);
+
+  auto fail = [&](const Status& status) {
+    receipt.success = false;
+    receipt.error = status.error().to_string();
+    receipt.gas_used = gas.used();
+    return receipt;
+  };
+
+  if (auto s = gas.charge(config_.gas_costs.base_tx); !s.ok()) return fail(s);
+
+  const AccountId sender = tx.sender();
+  if (config_.verify_signatures) {
+    if (auto s = gas.charge(config_.gas_costs.sig_verify); !s.ok()) {
+      return fail(s);
+    }
+    if (!tx.verify_signature()) {
+      return fail(Status(ErrorCode::kUnauthenticated, "bad signature"));
+    }
+  }
+
+  const std::uint64_t expected = expected_nonce(sender);
+  if (tx.nonce != expected) {
+    return fail(Status(ErrorCode::kFailedPrecondition,
+                       "nonce " + std::to_string(tx.nonce) + " != expected " +
+                           std::to_string(expected)));
+  }
+  // Nonce advances regardless of execution outcome (replay protection).
+  {
+    ByteWriter w;
+    w.u64(expected + 1);
+    state_.set(nonce_key(sender), w.take());
+  }
+
+  OverlayState overlay(state_);
+  std::vector<Event> tx_events;
+  ExecContext ctx{
+      .block_height = height() + 1,
+      .block_time = 0,  // filled by apply_block
+      .sender = sender,
+      .tx_id = receipt.tx_id,
+      .gas = &gas,
+      .events = &tx_events,
+      .costs = &config_.gas_costs,
+  };
+  ctx.block_time = pending_block_time_;
+
+  const Status status = executor_.execute(tx, overlay, ctx);
+  receipt.gas_used = gas.used();
+  if (status.ok()) {
+    overlay.commit();
+    receipt.success = true;
+    for (auto& ev : tx_events) events.push_back(std::move(ev));
+  } else {
+    overlay.rollback();
+    receipt.success = false;
+    receipt.error = status.error().to_string();
+  }
+  return receipt;
+}
+
+Status Blockchain::apply_block(const Block& block) {
+  if (auto s = validate_header(block); !s.ok()) return s;
+
+  BlockResult result;
+  result.receipts.reserve(block.txs.size());
+  pending_block_time_ = block.header.timestamp;
+  for (const auto& tx : block.txs) {
+    Receipt receipt = execute_tx(tx, result.events);
+    total_gas_used_ += receipt.gas_used;
+    if (!receipt.success) {
+      log_debug("tx ", receipt.tx_id.short_hex(), " failed: ", receipt.error);
+    }
+    result.receipts.push_back(std::move(receipt));
+  }
+  tx_count_ += block.txs.size();
+  blocks_.push_back(block);
+  results_.push_back(std::move(result));
+  return Status::Ok();
+}
+
+}  // namespace tnp::ledger

@@ -1,0 +1,129 @@
+// The blockchain: ordered, validated blocks applied to world state.
+//
+// Follows the execute-after-order model (as PBFT/Tendermint do): consensus
+// fixes the transaction order first, execution happens at apply time, and a
+// header's state_root commits to the state *after the parent block* — so
+// replicas detect divergence one block later without executing before
+// voting.
+//
+// Failed transactions consume their nonce and gas but leave no state
+// effects (per-transaction overlay rollback).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ledger/block.hpp"
+#include "ledger/gas.hpp"
+#include "ledger/state.hpp"
+
+namespace tnp::ledger {
+
+/// Event emitted by contract execution; recorded in the receipt so
+/// off-chain components (newsroom UIs, monitors) can react.
+struct Event {
+  std::string name;
+  Bytes data;
+};
+
+/// Context handed to contract execution.
+struct ExecContext {
+  std::uint64_t block_height = 0;
+  sim::SimTime block_time = 0;
+  AccountId sender{};
+  Hash256 tx_id{};
+  GasMeter* gas = nullptr;
+  std::vector<Event>* events = nullptr;
+  const GasCosts* costs = nullptr;
+
+  Status charge(std::uint64_t amount) const { return gas->charge(amount); }
+  void emit(std::string name, Bytes data) const {
+    if (events) events->push_back(Event{std::move(name), std::move(data)});
+  }
+};
+
+/// Pluggable execution engine (implemented by contracts::ContractHost).
+class TransactionExecutor {
+ public:
+  virtual ~TransactionExecutor() = default;
+  virtual Status execute(const Transaction& tx, OverlayState& state,
+                         ExecContext& ctx) = 0;
+};
+
+struct BlockResult {
+  std::vector<Receipt> receipts;
+  std::vector<Event> events;  // all events, in tx order
+};
+
+struct ChainConfig {
+  GasCosts gas_costs{};
+  bool verify_signatures = true;  // disable to isolate consensus cost (E8)
+};
+
+class Blockchain {
+ public:
+  Blockchain(TransactionExecutor& executor, ChainConfig config = {});
+
+  /// State key holding an account's next nonce.
+  static std::string nonce_key(const AccountId& account);
+
+  /// Next expected nonce for `account` (0 if never seen).
+  [[nodiscard]] std::uint64_t expected_nonce(const AccountId& account) const;
+
+  /// Stateless-ish precheck used by the mempool: signature + nonce >=
+  /// expected (future nonces are allowed to queue).
+  [[nodiscard]] Status precheck(const Transaction& tx) const;
+
+  /// Builds a candidate block on the current tip. Does not execute.
+  [[nodiscard]] Block make_block(std::vector<Transaction> txs,
+                                 std::uint32_t proposer,
+                                 sim::SimTime timestamp) const;
+
+  /// Header-level validation of a candidate block against the current tip
+  /// (no execution) — what a replica checks before voting.
+  [[nodiscard]] Status check_candidate(const Block& block) const {
+    return validate_header(block);
+  }
+
+  /// Full validation + execution + append. On any header-level failure the
+  /// chain is untouched. Individual failed transactions are recorded in
+  /// their receipts.
+  Status apply_block(const Block& block);
+
+  [[nodiscard]] std::uint64_t height() const {
+    return blocks_.empty() ? 0 : blocks_.back().header.height;
+  }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] Hash256 tip_hash() const {
+    return blocks_.empty() ? Hash256{} : blocks_.back().hash();
+  }
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  [[nodiscard]] const Block& block_at(std::uint64_t height) const {
+    return blocks_.at(height);
+  }
+  [[nodiscard]] const BlockResult& result_at(std::uint64_t height) const {
+    return results_.at(height);
+  }
+
+  [[nodiscard]] const WorldState& state() const { return state_; }
+  /// Mutable access for genesis seeding only (before block 1 is applied).
+  [[nodiscard]] WorldState& mutable_state_for_genesis() { return state_; }
+
+  [[nodiscard]] std::uint64_t total_gas_used() const { return total_gas_used_; }
+  [[nodiscard]] std::uint64_t tx_count() const { return tx_count_; }
+
+ private:
+  Status validate_header(const Block& block) const;
+  Receipt execute_tx(const Transaction& tx, std::vector<Event>& events);
+
+  TransactionExecutor& executor_;
+  ChainConfig config_;
+  WorldState state_;
+  std::vector<Block> blocks_;        // blocks_[0] is genesis
+  std::vector<BlockResult> results_; // parallel to blocks_
+  std::uint64_t total_gas_used_ = 0;
+  std::uint64_t tx_count_ = 0;
+  sim::SimTime pending_block_time_ = 0;  // timestamp of the block being applied
+};
+
+}  // namespace tnp::ledger

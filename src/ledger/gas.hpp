@@ -1,0 +1,48 @@
+// Gas metering: every contract step and state access charges a deterministic
+// cost, so "scalable smart contract execution" (paper Sec VII) is measurable
+// rather than rhetorical. Costs are in abstract gas units; bench E10 reports
+// gas/second throughput.
+#pragma once
+
+#include <cstdint>
+
+#include "common/expected.hpp"
+
+namespace tnp::ledger {
+
+/// Canonical gas prices (loosely EVM-proportioned).
+struct GasCosts {
+  std::uint64_t base_tx = 500;        // flat per transaction
+  std::uint64_t vm_op = 1;            // per VM instruction
+  std::uint64_t state_read = 20;      // per KV read
+  std::uint64_t state_write = 100;    // per KV write
+  std::uint64_t state_byte = 1;       // per byte written
+  std::uint64_t hash_per_block = 30;  // per 64-byte SHA-256 block
+  std::uint64_t sig_verify = 3000;    // per signature verification
+  std::uint64_t event_emit = 50;      // per emitted event
+};
+
+class GasMeter {
+ public:
+  explicit GasMeter(std::uint64_t limit) : limit_(limit) {}
+
+  /// Charges `amount`; fails (and pins the meter at the limit) on overrun.
+  Status charge(std::uint64_t amount) {
+    if (used_ + amount > limit_) {
+      used_ = limit_;
+      return Status(ErrorCode::kResourceExhausted, "out of gas");
+    }
+    used_ += amount;
+    return Status::Ok();
+  }
+
+  [[nodiscard]] std::uint64_t used() const { return used_; }
+  [[nodiscard]] std::uint64_t limit() const { return limit_; }
+  [[nodiscard]] std::uint64_t remaining() const { return limit_ - used_; }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace tnp::ledger

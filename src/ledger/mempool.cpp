@@ -1,0 +1,59 @@
+#include "ledger/mempool.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace tnp::ledger {
+
+Status Mempool::add(Transaction tx) {
+  if (queue_.size() >= capacity_) {
+    return Status(ErrorCode::kResourceExhausted, "mempool full");
+  }
+  const Hash256 id = tx.id();
+  if (!ids_.insert(id).second) {
+    return Status(ErrorCode::kAlreadyExists, "duplicate transaction");
+  }
+  queue_.push_back(std::move(tx));
+  return Status::Ok();
+}
+
+std::vector<Transaction> Mempool::take_batch(std::size_t max_txs) {
+  std::vector<Transaction> batch;
+  batch.reserve(std::min(max_txs, queue_.size()));
+  // Per-sender nonce ordering within the batch: a sender's transactions are
+  // taken only in increasing nonce order; out-of-order ones stay queued.
+  std::map<AccountId, std::uint64_t> last_taken;
+  std::deque<Transaction> held;
+  while (!queue_.empty() && batch.size() < max_txs) {
+    Transaction tx = std::move(queue_.front());
+    queue_.pop_front();
+    const AccountId sender = tx.sender();
+    const auto it = last_taken.find(sender);
+    if (it != last_taken.end() && tx.nonce != it->second + 1) {
+      held.push_back(std::move(tx));
+      continue;
+    }
+    last_taken[sender] = tx.nonce;
+    ids_.erase(tx.id());
+    batch.push_back(std::move(tx));
+  }
+  // Put held transactions back at the front, preserving order.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    queue_.push_front(std::move(*it));
+  }
+  return batch;
+}
+
+void Mempool::remove_committed(const std::vector<Transaction>& committed) {
+  std::unordered_set<Hash256> gone;
+  for (const auto& tx : committed) {
+    const Hash256 id = tx.id();
+    if (ids_.erase(id) > 0) gone.insert(id);
+  }
+  if (gone.empty()) return;
+  std::erase_if(queue_, [&](const Transaction& tx) {
+    return gone.contains(tx.id());
+  });
+}
+
+}  // namespace tnp::ledger

@@ -1,0 +1,42 @@
+// Mempool: FIFO pending-transaction pool with content-hash dedup and
+// per-account nonce ordering so blocks drain transactions in executable
+// order.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ledger/transaction.hpp"
+
+namespace tnp::ledger {
+
+class Mempool {
+ public:
+  explicit Mempool(std::size_t capacity = 100'000) : capacity_(capacity) {}
+
+  /// Adds a transaction. Rejects duplicates and overflow.
+  Status add(Transaction tx);
+
+  /// Pops up to `max_txs` transactions in arrival order, but holding back
+  /// any transaction whose sender already has an earlier pending nonce in
+  /// this batch gap (keeps batches executable).
+  [[nodiscard]] std::vector<Transaction> take_batch(std::size_t max_txs);
+
+  /// Drops any pending transactions whose ids appear in `committed`
+  /// (called after a block commits).
+  void remove_committed(const std::vector<Transaction>& committed);
+
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] bool contains(const Hash256& id) const {
+    return ids_.contains(id);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Transaction> queue_;
+  std::unordered_set<Hash256> ids_;
+};
+
+}  // namespace tnp::ledger

@@ -1,0 +1,69 @@
+#include "ledger/state.hpp"
+
+namespace tnp::ledger {
+
+Hash256 WorldState::entry_digest(std::string_view key, BytesView value) {
+  Sha256 h;
+  h.update(key);
+  const std::uint8_t sep = 0x1F;
+  h.update(BytesView(&sep, 1));
+  h.update(value);
+  return h.finalize();
+}
+
+void WorldState::xor_into_root(const Hash256& digest) {
+  for (std::size_t i = 0; i < root_.bytes.size(); ++i) {
+    root_.bytes[i] ^= digest.bytes[i];
+  }
+}
+
+std::optional<Bytes> WorldState::get(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void WorldState::set(std::string_view key, Bytes value) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    xor_into_root(entry_digest(key, BytesView(it->second)));  // remove old
+    it->second = std::move(value);
+  } else {
+    it = entries_.emplace(std::string(key), std::move(value)).first;
+  }
+  xor_into_root(entry_digest(key, BytesView(it->second)));
+}
+
+void WorldState::erase(std::string_view key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  xor_into_root(entry_digest(key, BytesView(it->second)));
+  entries_.erase(it);
+}
+
+std::optional<Bytes> OverlayState::get(std::string_view key) const {
+  const auto it = writes_.find(key);
+  if (it != writes_.end()) return it->second;  // nullopt == deleted
+  return base_.get(key);
+}
+
+void OverlayState::set(std::string_view key, Bytes value) {
+  writes_[std::string(key)] = std::move(value);
+}
+
+void OverlayState::erase(std::string_view key) {
+  writes_[std::string(key)] = std::nullopt;
+}
+
+void OverlayState::commit() {
+  for (auto& [key, value] : writes_) {
+    if (value.has_value()) {
+      base_.set(key, std::move(*value));
+    } else {
+      base_.erase(key);
+    }
+  }
+  writes_.clear();
+}
+
+}  // namespace tnp::ledger

@@ -1,0 +1,87 @@
+// World state: the key-value store contracts execute against.
+//
+// The commitment (state root) is an incremental XOR-accumulator of
+// sha256(key || 0x1F || value) per live entry — order-independent and O(1)
+// to maintain per write. This is weaker than a Merkle-Patricia commitment
+// (no compact non-membership proofs, and XOR-malleable in theory) but
+// preserves the property the experiments need: any divergence in executed
+// state shows up as a root mismatch between replicas. Documented as a
+// simulation-grade substitution in DESIGN.md.
+//
+// OverlayState buffers writes for one transaction so a failed execution
+// rolls back atomically.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "crypto/hash.hpp"
+
+namespace tnp::ledger {
+
+/// Read interface shared by WorldState and OverlayState.
+class StateReader {
+ public:
+  virtual ~StateReader() = default;
+  [[nodiscard]] virtual std::optional<Bytes> get(std::string_view key) const = 0;
+  [[nodiscard]] virtual bool contains(std::string_view key) const {
+    return get(key).has_value();
+  }
+};
+
+class WorldState final : public StateReader {
+ public:
+  [[nodiscard]] std::optional<Bytes> get(std::string_view key) const override;
+  void set(std::string_view key, Bytes value);
+  void erase(std::string_view key);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const Hash256& root() const { return root_; }
+
+  /// Iterates entries with the given key prefix, ordered by key.
+  /// Visitor: bool(const std::string& key, const Bytes& value) — return
+  /// false to stop early.
+  template <typename Visitor>
+  void scan_prefix(std::string_view prefix, Visitor&& visit) const {
+    for (auto it = entries_.lower_bound(std::string(prefix));
+         it != entries_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      if (!visit(it->first, it->second)) break;
+    }
+  }
+
+ private:
+  static Hash256 entry_digest(std::string_view key, BytesView value);
+  void xor_into_root(const Hash256& digest);
+
+  std::map<std::string, Bytes, std::less<>> entries_;
+  Hash256 root_{};
+};
+
+/// Copy-on-write view over a base state. Writes and tombstones live in the
+/// overlay until commit() flushes them into the base.
+class OverlayState final : public StateReader {
+ public:
+  explicit OverlayState(WorldState& base) : base_(base) {}
+
+  [[nodiscard]] std::optional<Bytes> get(std::string_view key) const override;
+  void set(std::string_view key, Bytes value);
+  void erase(std::string_view key);
+
+  /// Number of buffered operations (writes + tombstones).
+  [[nodiscard]] std::size_t pending() const { return writes_.size(); }
+
+  /// Applies buffered ops to the base state and clears the overlay.
+  void commit();
+  /// Drops all buffered ops.
+  void rollback() { writes_.clear(); }
+
+ private:
+  WorldState& base_;
+  // nullopt value = tombstone.
+  std::map<std::string, std::optional<Bytes>, std::less<>> writes_;
+};
+
+}  // namespace tnp::ledger

@@ -1,0 +1,65 @@
+#include "ledger/transaction.hpp"
+
+namespace tnp::ledger {
+
+Bytes Transaction::encode(bool include_signature) const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(scheme));
+  w.bytes(BytesView(sender_material));
+  w.u64(nonce);
+  w.str(contract);
+  w.str(method);
+  w.bytes(BytesView(args));
+  w.u64(gas_limit);
+  if (include_signature) w.bytes(BytesView(signature));
+  return w.take();
+}
+
+Expected<Transaction> Transaction::decode(BytesView bytes) {
+  ByteReader r(bytes);
+  Transaction tx;
+  auto scheme = r.u8();
+  if (!scheme) return scheme.error();
+  if (*scheme > static_cast<std::uint8_t>(SigScheme::kHmacSim)) {
+    return Error(ErrorCode::kCorruptData, "unknown signature scheme");
+  }
+  tx.scheme = static_cast<SigScheme>(*scheme);
+  auto material = r.bytes();
+  if (!material) return material.error();
+  tx.sender_material = std::move(*material);
+  auto nonce = r.u64();
+  if (!nonce) return nonce.error();
+  tx.nonce = *nonce;
+  auto contract = r.str();
+  if (!contract) return contract.error();
+  tx.contract = std::move(*contract);
+  auto method = r.str();
+  if (!method) return method.error();
+  tx.method = std::move(*method);
+  auto args = r.bytes();
+  if (!args) return args.error();
+  tx.args = std::move(*args);
+  auto gas = r.u64();
+  if (!gas) return gas.error();
+  tx.gas_limit = *gas;
+  auto sig = r.bytes();
+  if (!sig) return sig.error();
+  tx.signature = std::move(*sig);
+  if (!r.done()) {
+    return Error(ErrorCode::kCorruptData, "trailing bytes after transaction");
+  }
+  return tx;
+}
+
+void Transaction::sign_with(const KeyPair& key) {
+  scheme = key.scheme();
+  sender_material = key.public_material();
+  signature = key.sign(BytesView(encode(false)));
+}
+
+bool Transaction::verify_signature() const {
+  return tnp::verify_signature(scheme, BytesView(sender_material),
+                               BytesView(encode(false)), BytesView(signature));
+}
+
+}  // namespace tnp::ledger

@@ -1,0 +1,57 @@
+// Signed transactions. A transaction is a method call on a named contract;
+// the sender's verification material travels with the transaction (first
+// use doubles as identity registration), so every action on the platform is
+// attributable — the traceability/accountability property the paper builds
+// its news supply chain on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/signer.hpp"
+
+namespace tnp::ledger {
+
+struct Transaction {
+  SigScheme scheme = SigScheme::kSchnorr;
+  Bytes sender_material;  // pubkey bytes (Schnorr) or sim session key
+  std::uint64_t nonce = 0;
+  std::string contract;   // target contract name
+  std::string method;     // method selector
+  Bytes args;             // method-specific encoding
+  std::uint64_t gas_limit = 1'000'000;
+  Bytes signature;        // over encode(false)
+
+  /// Account the transaction is attributed to.
+  [[nodiscard]] AccountId sender() const {
+    return derive_account_id(scheme, BytesView(sender_material));
+  }
+
+  /// Canonical encoding; `include_signature=false` is the signing preimage.
+  [[nodiscard]] Bytes encode(bool include_signature = true) const;
+  static Expected<Transaction> decode(BytesView bytes);
+
+  /// Content id (hash of the fully signed encoding).
+  [[nodiscard]] Hash256 id() const { return sha256(BytesView(encode(true))); }
+
+  /// Fills scheme/material/signature from `key`. Call after all other
+  /// fields are final.
+  void sign_with(const KeyPair& key);
+
+  /// Verifies the embedded signature against the embedded material.
+  [[nodiscard]] bool verify_signature() const;
+
+  friend bool operator==(const Transaction&, const Transaction&) = default;
+};
+
+/// Execution outcome recorded per transaction in a block.
+struct Receipt {
+  Hash256 tx_id;
+  bool success = false;
+  std::uint64_t gas_used = 0;
+  std::string error;  // empty on success
+};
+
+}  // namespace tnp::ledger

@@ -1,0 +1,82 @@
+#include "net/gossip.hpp"
+
+#include <cassert>
+
+namespace tnp::net {
+
+namespace {
+// Wire format: 32-byte id then raw payload.
+Bytes encode(const Hash256& id, const Bytes& payload) {
+  Bytes out;
+  out.reserve(32 + payload.size());
+  out.insert(out.end(), id.bytes.begin(), id.bytes.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+}  // namespace
+
+GossipOverlay::GossipOverlay(Network& network, Adjacency adjacency,
+                             std::size_t fanout, std::uint64_t seed,
+                             DeliverFn deliver)
+    : network_(network),
+      adjacency_(std::move(adjacency)),
+      fanout_(fanout),
+      rng_(seed),
+      deliver_(std::move(deliver)) {
+  node_ids_.reserve(adjacency_.size());
+  seen_.resize(adjacency_.size());
+  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+    node_ids_.push_back(network_.add_node(
+        [this, i](const Message& m) { on_receive(i, m); }));
+  }
+}
+
+Hash256 GossipOverlay::publish(NodeId origin_index, const Bytes& payload) {
+  assert(origin_index < node_ids_.size());
+  Sha256 h;
+  h.update(BytesView(payload));
+  ByteWriter w;
+  w.u64(publish_counter_++);
+  w.u32(origin_index);
+  h.update(BytesView(w.data()));
+  const Hash256 id = h.finalize();
+  seen_[origin_index].insert(id);
+  if (deliver_) deliver_(origin_index, payload);
+  relay(origin_index, id, payload);
+  return id;
+}
+
+double GossipOverlay::coverage(const Hash256& id) const {
+  if (seen_.empty()) return 0.0;
+  std::size_t have = 0;
+  for (const auto& s : seen_) have += s.contains(id);
+  return static_cast<double>(have) / static_cast<double>(seen_.size());
+}
+
+void GossipOverlay::on_receive(std::size_t index, const Message& message) {
+  if (message.payload.size() < 32) return;  // malformed
+  Hash256 id;
+  std::copy_n(message.payload.begin(), 32, id.bytes.begin());
+  if (!seen_[index].insert(id).second) return;  // duplicate
+  const Bytes payload(message.payload.begin() + 32, message.payload.end());
+  if (deliver_) deliver_(static_cast<NodeId>(index), payload);
+  relay(index, id, payload);
+}
+
+void GossipOverlay::relay(std::size_t index, const Hash256& id,
+                          const Bytes& payload) {
+  const auto& neighbours = adjacency_[index];
+  if (neighbours.empty()) return;
+  const Bytes wire = encode(id, payload);
+  if (neighbours.size() <= fanout_) {
+    for (std::uint32_t nb : neighbours) {
+      network_.send(node_ids_[index], node_ids_[nb], wire);
+    }
+    return;
+  }
+  for (std::size_t pick : rng_.sample_indices(neighbours.size(), fanout_)) {
+    network_.send(node_ids_[index], node_ids_[neighbours[pick]], wire);
+  }
+}
+
+}  // namespace tnp::net

@@ -1,0 +1,54 @@
+// Push gossip dissemination over a Network + overlay topology.
+//
+// Consensus uses direct sends; everything bulk (transactions, articles,
+// rank updates) spreads via this layer. Each node forwards a newly seen
+// message id to `fanout` random neighbours; duplicates are suppressed by
+// content hash. The fanout/coverage/latency trade-off is ablated in E14.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+
+namespace tnp::net {
+
+class GossipOverlay {
+ public:
+  /// Called once per node per unique message, at delivery time.
+  using DeliverFn = std::function<void(NodeId node, const Bytes& payload)>;
+
+  /// Creates `adjacency.size()` fresh nodes on `network`.
+  GossipOverlay(Network& network, Adjacency adjacency, std::size_t fanout,
+                std::uint64_t seed, DeliverFn deliver = {});
+
+  /// Injects a message at `origin`; returns its content id.
+  Hash256 publish(NodeId origin_index, const Bytes& payload);
+
+  /// Fraction of nodes that have seen `id`.
+  [[nodiscard]] double coverage(const Hash256& id) const;
+
+  /// Network node id backing overlay index i.
+  [[nodiscard]] NodeId network_node(std::size_t index) const {
+    return node_ids_[index];
+  }
+  [[nodiscard]] std::size_t size() const { return node_ids_.size(); }
+
+ private:
+  void on_receive(std::size_t index, const Message& message);
+  void relay(std::size_t index, const Hash256& id, const Bytes& payload);
+
+  Network& network_;
+  Adjacency adjacency_;
+  std::size_t fanout_;
+  Rng rng_;
+  DeliverFn deliver_;
+  std::vector<NodeId> node_ids_;
+  std::vector<std::unordered_set<Hash256>> seen_;
+  std::uint64_t publish_counter_ = 0;
+};
+
+}  // namespace tnp::net

@@ -1,0 +1,96 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace tnp::net {
+
+namespace {
+std::uint64_t link_key(NodeId a, NodeId b) {
+  return (std::uint64_t(a) << 32) | b;
+}
+}  // namespace
+
+NodeId Network::add_node(Handler handler) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeState{std::move(handler), 0});
+  return id;
+}
+
+void Network::set_handler(NodeId node, Handler handler) {
+  assert(node < nodes_.size());
+  nodes_[node].handler = std::move(handler);
+}
+
+void Network::set_link_latency(NodeId a, NodeId b, sim::LatencyModel model,
+                               bool symmetric) {
+  link_overrides_[link_key(a, b)] = model;
+  if (symmetric) link_overrides_[link_key(b, a)] = model;
+}
+
+void Network::partition(const std::vector<std::vector<NodeId>>& groups) {
+  for (auto& node : nodes_) node.group = 0;
+  std::uint32_t group_id = 1;
+  for (const auto& group : groups) {
+    for (NodeId n : group) {
+      assert(n < nodes_.size());
+      nodes_[n].group = group_id;
+    }
+    ++group_id;
+  }
+  partitioned_ = true;
+}
+
+void Network::heal() {
+  for (auto& node : nodes_) node.group = 0;
+  partitioned_ = false;
+}
+
+const sim::LatencyModel& Network::link_latency(NodeId a, NodeId b) const {
+  const auto it = link_overrides_.find(link_key(a, b));
+  return it == link_overrides_.end() ? default_latency_ : it->second;
+}
+
+bool Network::partitioned(NodeId a, NodeId b) const {
+  return partitioned_ && nodes_[a].group != nodes_[b].group;
+}
+
+bool Network::send(NodeId from, NodeId to, Bytes payload) {
+  if (from >= nodes_.size() || to >= nodes_.size() || from == to) {
+    return false;
+  }
+  ++stats_.sent;
+  stats_.bytes_sent += payload.size();
+  if (partitioned(from, to)) {
+    ++stats_.dropped_partition;
+    return false;
+  }
+  if (drop_rate_ > 0.0 && rng_.chance(drop_rate_)) {
+    ++stats_.dropped_random;
+    return false;
+  }
+  const sim::SimTime latency = link_latency(from, to).sample(rng_);
+  simulator_.schedule(latency, [this, from, to,
+                                payload = std::move(payload)]() mutable {
+    ++stats_.delivered;
+    auto& handler = nodes_[to].handler;
+    if (handler) {
+      handler(Message{from, to, std::move(payload)});
+    } else {
+      log_debug("message to node ", to, " discarded: no handler");
+    }
+  });
+  return true;
+}
+
+std::size_t Network::broadcast(NodeId from, const Bytes& payload) {
+  std::size_t queued = 0;
+  for (NodeId to = 0; to < nodes_.size(); ++to) {
+    if (to == from) continue;
+    if (send(from, to, payload)) ++queued;
+  }
+  return queued;
+}
+
+}  // namespace tnp::net

@@ -1,0 +1,97 @@
+// Simulated point-to-point network.
+//
+// Nodes register a receive handler and exchange byte payloads; deliveries
+// are events on the shared Simulator with latency drawn from per-link
+// models. Supports loss and group partitions so consensus can be tested
+// under failure. All state is owned here — "the network" is the single
+// mutable substrate everything distributed runs on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+
+namespace tnp::net {
+
+using NodeId = std::uint32_t;
+
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  Bytes payload;
+};
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_random = 0;
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(sim::Simulator& simulator, std::uint64_t seed,
+          sim::LatencyModel default_latency = sim::LatencyModel::datacenter())
+      : simulator_(simulator), rng_(seed), default_latency_(default_latency) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Adds a node; the handler may be empty and set later via set_handler.
+  NodeId add_node(Handler handler = {});
+  void set_handler(NodeId node, Handler handler);
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Overrides the latency model for the directed link a→b (and b→a if
+  /// `symmetric`).
+  void set_link_latency(NodeId a, NodeId b, sim::LatencyModel model,
+                        bool symmetric = true);
+
+  /// Uniform probability that any message is silently lost.
+  void set_drop_rate(double p) { drop_rate_ = p; }
+
+  /// Splits nodes into groups; messages across groups are dropped until
+  /// heal(). Nodes absent from every group stay in group 0.
+  void partition(const std::vector<std::vector<NodeId>>& groups);
+  void heal();
+
+  /// Queues delivery of `payload` from → to. Returns false if the message
+  /// was dropped (loss or partition) or addressed to an unknown node.
+  bool send(NodeId from, NodeId to, Bytes payload);
+
+  /// send() to every other node. Returns count queued.
+  std::size_t broadcast(NodeId from, const Bytes& payload);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+
+ private:
+  [[nodiscard]] const sim::LatencyModel& link_latency(NodeId a, NodeId b) const;
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
+
+  struct NodeState {
+    Handler handler;
+    std::uint32_t group = 0;
+  };
+
+  sim::Simulator& simulator_;
+  Rng rng_;
+  sim::LatencyModel default_latency_;
+  std::vector<NodeState> nodes_;
+  std::unordered_map<std::uint64_t, sim::LatencyModel> link_overrides_;
+  double drop_rate_ = 0.0;
+  bool partitioned_ = false;
+  NetworkStats stats_;
+};
+
+}  // namespace tnp::net

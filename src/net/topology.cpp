@@ -1,0 +1,148 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace tnp::net {
+
+namespace {
+/// Adds the undirected edge a—b if absent.
+void add_edge(Adjacency& adj, std::uint32_t a, std::uint32_t b) {
+  if (a == b) return;
+  auto& na = adj[a];
+  if (std::find(na.begin(), na.end(), b) != na.end()) return;
+  na.push_back(b);
+  adj[b].push_back(a);
+}
+}  // namespace
+
+Adjacency full_mesh(std::size_t n) {
+  Adjacency adj(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    adj[i].reserve(n - 1);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i != j) adj[i].push_back(j);
+    }
+  }
+  return adj;
+}
+
+Adjacency ring_lattice(std::size_t n, std::size_t k) {
+  assert(n > 2 * k);
+  Adjacency adj(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t d = 1; d <= k; ++d) {
+      add_edge(adj, i, static_cast<std::uint32_t>((i + d) % n));
+    }
+  }
+  return adj;
+}
+
+Adjacency random_regular(std::size_t n, std::size_t degree, Rng& rng) {
+  assert(degree < n);
+  Adjacency adj(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // Draw until we have `degree` distinct partners (graph ends up with
+    // degree between `degree` and ~2*degree — standard unstructured overlay).
+    std::size_t attempts = 0;
+    while (adj[i].size() < degree && attempts < 16 * degree) {
+      add_edge(adj, i, static_cast<std::uint32_t>(rng.uniform(n)));
+      ++attempts;
+    }
+  }
+  return adj;
+}
+
+Adjacency watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
+  Adjacency adj = ring_lattice(n, k);
+  // Rewire each clockwise edge with probability beta.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t d = 1; d <= k; ++d) {
+      if (!rng.chance(beta)) continue;
+      const auto old = static_cast<std::uint32_t>((i + d) % n);
+      // Remove i—old and attach i to a uniform non-neighbour.
+      auto& ni = adj[i];
+      auto it = std::find(ni.begin(), ni.end(), old);
+      if (it == ni.end()) continue;
+      ni.erase(it);
+      auto& no = adj[old];
+      no.erase(std::find(no.begin(), no.end(), i));
+      std::uint32_t target = i;
+      for (int tries = 0; tries < 64; ++tries) {
+        target = static_cast<std::uint32_t>(rng.uniform(n));
+        if (target != i &&
+            std::find(ni.begin(), ni.end(), target) == ni.end()) {
+          break;
+        }
+        target = i;
+      }
+      if (target == i) {
+        add_edge(adj, i, old);  // give the edge back; rewire failed
+      } else {
+        add_edge(adj, i, target);
+      }
+    }
+  }
+  return adj;
+}
+
+Adjacency barabasi_albert(std::size_t n, std::size_t m, Rng& rng) {
+  assert(m >= 1 && n > m);
+  Adjacency adj(n);
+  // Seed: complete graph on m+1 nodes.
+  for (std::uint32_t i = 0; i <= m; ++i) {
+    for (std::uint32_t j = i + 1; j <= m; ++j) add_edge(adj, i, j);
+  }
+  // Repeated-endpoint list: picking a uniform element is preferential
+  // attachment by degree.
+  std::vector<std::uint32_t> endpoints;
+  for (std::uint32_t i = 0; i <= m; ++i) {
+    for (std::uint32_t peer : adj[i]) {
+      (void)peer;
+      endpoints.push_back(i);
+    }
+  }
+  for (std::uint32_t v = static_cast<std::uint32_t>(m + 1); v < n; ++v) {
+    std::unordered_set<std::uint32_t> chosen;
+    std::size_t guard = 0;
+    while (chosen.size() < m && guard < 64 * m) {
+      chosen.insert(endpoints[rng.uniform(endpoints.size())]);
+      ++guard;
+    }
+    for (std::uint32_t target : chosen) {
+      add_edge(adj, v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return adj;
+}
+
+bool is_connected(const Adjacency& adj) {
+  if (adj.empty()) return true;
+  std::vector<bool> seen(adj.size(), false);
+  std::vector<std::uint32_t> stack = {0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::uint32_t cur = stack.back();
+    stack.pop_back();
+    for (std::uint32_t nb : adj[cur]) {
+      if (!seen[nb]) {
+        seen[nb] = true;
+        ++visited;
+        stack.push_back(nb);
+      }
+    }
+  }
+  return visited == adj.size();
+}
+
+std::size_t edge_count(const Adjacency& adj) {
+  std::size_t total = 0;
+  for (const auto& nbrs : adj) total += nbrs.size();
+  return total / 2;
+}
+
+}  // namespace tnp::net

@@ -1,0 +1,41 @@
+// Overlay topology builders: adjacency lists consumed by the gossip layer
+// and by the workload social-graph experiments. Undirected; adjacency[i]
+// holds i's neighbours.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tnp::net {
+
+using Adjacency = std::vector<std::vector<std::uint32_t>>;
+
+/// Every node connected to every other.
+[[nodiscard]] Adjacency full_mesh(std::size_t n);
+
+/// Ring with each node linked to k nearest neighbours on each side.
+[[nodiscard]] Adjacency ring_lattice(std::size_t n, std::size_t k);
+
+/// Random graph where each node draws `degree` distinct peers (dedup'd,
+/// symmetric) — the standard unstructured gossip overlay.
+[[nodiscard]] Adjacency random_regular(std::size_t n, std::size_t degree,
+                                       Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with rewiring probability beta.
+[[nodiscard]] Adjacency watts_strogatz(std::size_t n, std::size_t k,
+                                       double beta, Rng& rng);
+
+/// Barabási–Albert preferential attachment with m edges per new node —
+/// the social-graph model for news propagation (hubs = influencers).
+[[nodiscard]] Adjacency barabasi_albert(std::size_t n, std::size_t m,
+                                        Rng& rng);
+
+/// True if the graph is a single connected component.
+[[nodiscard]] bool is_connected(const Adjacency& adj);
+
+/// Total number of undirected edges.
+[[nodiscard]] std::size_t edge_count(const Adjacency& adj);
+
+}  // namespace tnp::net

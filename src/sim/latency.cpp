@@ -1,0 +1,39 @@
+#include "sim/latency.hpp"
+
+namespace tnp::sim {
+
+SimTime LatencyModel::sample(Rng& rng) const {
+  SimTime latency = base;
+  if (jitter > 0) latency += rng.uniform(jitter + 1);
+  if (tail_prob > 0.0 && rng.chance(tail_prob)) {
+    latency += static_cast<SimTime>(
+        rng.exponential(1.0 / static_cast<double>(tail_mean)));
+  }
+  return latency < floor ? floor : latency;
+}
+
+LatencyModel LatencyModel::lan() {
+  return LatencyModel{.base = 150 * kMicrosecond,
+                      .jitter = 100 * kMicrosecond,
+                      .tail_prob = 0.0,
+                      .tail_mean = 0,
+                      .floor = 50 * kMicrosecond};
+}
+
+LatencyModel LatencyModel::datacenter() {
+  return LatencyModel{.base = 800 * kMicrosecond,
+                      .jitter = 400 * kMicrosecond,
+                      .tail_prob = 0.01,
+                      .tail_mean = 10 * kMillisecond,
+                      .floor = 100 * kMicrosecond};
+}
+
+LatencyModel LatencyModel::wan() {
+  return LatencyModel{.base = 35 * kMillisecond,
+                      .jitter = 15 * kMillisecond,
+                      .tail_prob = 0.05,
+                      .tail_mean = 80 * kMillisecond,
+                      .floor = 5 * kMillisecond};
+}
+
+}  // namespace tnp::sim

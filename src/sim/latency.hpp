@@ -1,0 +1,31 @@
+// Link latency models for the simulated network. Parameterized rather than
+// subclassed: one struct, sampled with the caller's Rng, keeps the event
+// loop allocation-free.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace tnp::sim {
+
+/// Latency = base + Uniform(0, jitter) + Exp(1/tail_mean) with prob
+/// tail_prob (a heavy-tail component modelling congestion), floored at
+/// `floor`.
+struct LatencyModel {
+  SimTime base = 5 * kMillisecond;
+  SimTime jitter = 2 * kMillisecond;
+  double tail_prob = 0.0;          // probability of a congestion episode
+  SimTime tail_mean = 50 * kMillisecond;
+  SimTime floor = 100 * kMicrosecond;
+
+  [[nodiscard]] SimTime sample(Rng& rng) const;
+
+  /// Canonical presets used across benches.
+  static LatencyModel lan();       // ~0.2ms
+  static LatencyModel datacenter();// ~1ms
+  static LatencyModel wan();       // ~40ms with jitter + occasional tail
+};
+
+}  // namespace tnp::sim

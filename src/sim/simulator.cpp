@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace tnp::sim {
+
+void Simulator::schedule_at(SimTime when, Callback fn) {
+  assert(fn);
+  // Scheduling in the past snaps to now: callers computing delays from
+  // stochastic models occasionally round below the current instant.
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle instead (shared ownership is cheap here).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace tnp::sim

@@ -1,0 +1,71 @@
+// Discrete-event simulation engine.
+//
+// Everything time-dependent in the platform — network delivery, consensus
+// timers, news propagation cascades — runs as callbacks scheduled on this
+// queue. Time is virtual (microsecond ticks), execution is single-threaded
+// and deterministic: events at equal timestamps fire in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tnp::sim {
+
+/// Virtual time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to run at now() + delay.
+  void schedule(SimTime delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute virtual time (>= now()).
+  void schedule_at(SimTime when, Callback fn);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Runs a single event; returns false if the queue was empty.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` fire. Returns events run.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Runs until virtual time would exceed `deadline` (events at exactly
+  /// `deadline` are executed). Returns events run.
+  std::uint64_t run_until(SimTime deadline);
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace tnp::sim

@@ -1,0 +1,116 @@
+#include "text/similarity.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace tnp::text {
+
+namespace {
+std::uint64_t hash_token(std::string_view token, std::uint64_t salt) {
+  // FNV-1a folded through splitmix for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ salt;
+  for (char c : token) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t s = h;
+  return splitmix64(s);
+}
+}  // namespace
+
+ShingleSet shingles(const Tokens& tokens, std::size_t k) {
+  ShingleSet out;
+  if (tokens.empty()) return out;
+  if (tokens.size() < k) k = tokens.size();
+  for (std::size_t i = 0; i + k <= tokens.size(); ++i) {
+    std::uint64_t h = 0x517cc1b727220a95ULL;
+    for (std::size_t j = 0; j < k; ++j) {
+      h = h * 0x2545F4914F6CDD1DULL + hash_token(tokens[i + j], j);
+    }
+    std::uint64_t s = h;
+    out.insert(splitmix64(s));
+  }
+  return out;
+}
+
+double jaccard(const ShingleSet& a, const ShingleSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const ShingleSet& small = a.size() <= b.size() ? a : b;
+  const ShingleSet& large = a.size() <= b.size() ? b : a;
+  std::size_t inter = 0;
+  for (std::uint64_t x : small) inter += large.contains(x);
+  return static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size() - inter);
+}
+
+double containment(const ShingleSet& a, const ShingleSet& b) {
+  if (a.empty()) return 1.0;
+  std::size_t inter = 0;
+  for (std::uint64_t x : a) inter += b.contains(x);
+  return static_cast<double>(inter) / static_cast<double>(a.size());
+}
+
+MinHash::MinHash(std::size_t num_hashes, std::uint64_t seed) {
+  salts_.reserve(num_hashes);
+  std::uint64_t s = seed;
+  for (std::size_t i = 0; i < num_hashes; ++i) salts_.push_back(splitmix64(s));
+}
+
+MinHash::Signature MinHash::signature(const ShingleSet& set) const {
+  Signature sig(salts_.size(), UINT64_MAX);
+  for (std::uint64_t shingle : set) {
+    for (std::size_t i = 0; i < salts_.size(); ++i) {
+      std::uint64_t mixed = shingle ^ salts_[i];
+      const std::uint64_t h = splitmix64(mixed);
+      if (h < sig[i]) sig[i] = h;
+    }
+  }
+  return sig;
+}
+
+double MinHash::estimate(const Signature& a, const Signature& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) agree += a[i] == b[i];
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+std::size_t lcs_length(const Tokens& a, const Tokens& b) {
+  if (a.empty() || b.empty()) return 0;
+  const Tokens& rows = a.size() >= b.size() ? a : b;
+  const Tokens& cols = a.size() >= b.size() ? b : a;
+  std::vector<std::size_t> prev(cols.size() + 1, 0);
+  std::vector<std::size_t> cur(cols.size() + 1, 0);
+  for (std::size_t i = 1; i <= rows.size(); ++i) {
+    for (std::size_t j = 1; j <= cols.size(); ++j) {
+      cur[j] = rows[i - 1] == cols[j - 1]
+                   ? prev[j - 1] + 1
+                   : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[cols.size()];
+}
+
+double lcs_similarity(const Tokens& a, const Tokens& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  return 2.0 * static_cast<double>(lcs_length(a, b)) /
+         static_cast<double>(a.size() + b.size());
+}
+
+DiffStats diff_stats(const Tokens& parent, const Tokens& child,
+                     std::size_t shingle_k) {
+  const ShingleSet ps = shingles(parent, shingle_k);
+  const ShingleSet cs = shingles(child, shingle_k);
+  DiffStats stats;
+  stats.jaccard = jaccard(ps, cs);
+  stats.lcs = lcs_similarity(parent, child);
+  stats.parent_in_child = containment(ps, cs);
+  stats.child_in_parent = containment(cs, ps);
+  return stats;
+}
+
+}  // namespace tnp::text

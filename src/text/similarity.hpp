@@ -1,0 +1,69 @@
+// Document similarity: shingling, exact Jaccard, MinHash sketches, token
+// LCS, and the combined DiffStats the news supply-chain layer uses to
+// quantify "degree of modification" along a propagation edge (paper Sec VI).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "text/tokenize.hpp"
+
+namespace tnp::text {
+
+using ShingleSet = std::unordered_set<std::uint64_t>;
+
+/// Hashed k-token shingles (k-grams). k must be >= 1; documents shorter
+/// than k yield a single whole-document shingle.
+[[nodiscard]] ShingleSet shingles(const Tokens& tokens, std::size_t k = 3);
+
+/// Exact Jaccard similarity of two shingle sets (1.0 when both empty).
+[[nodiscard]] double jaccard(const ShingleSet& a, const ShingleSet& b);
+
+/// Containment |A∩B| / |A| — how much of `a` survives inside `b`.
+[[nodiscard]] double containment(const ShingleSet& a, const ShingleSet& b);
+
+/// MinHash sketch: `num_hashes` permutations via parameterized splitmix.
+class MinHash {
+ public:
+  explicit MinHash(std::size_t num_hashes = 64, std::uint64_t seed = 0x9E37);
+
+  using Signature = std::vector<std::uint64_t>;
+  [[nodiscard]] Signature signature(const ShingleSet& set) const;
+
+  /// Estimated Jaccard = fraction of agreeing components.
+  [[nodiscard]] static double estimate(const Signature& a, const Signature& b);
+
+  [[nodiscard]] std::size_t num_hashes() const { return salts_.size(); }
+
+ private:
+  std::vector<std::uint64_t> salts_;
+};
+
+/// Length of the longest common subsequence of two token lists.
+/// O(|a|*|b|) DP with O(min) memory.
+[[nodiscard]] std::size_t lcs_length(const Tokens& a, const Tokens& b);
+
+/// 2*LCS/(|a|+|b|) — order-sensitive similarity in [0,1].
+[[nodiscard]] double lcs_similarity(const Tokens& a, const Tokens& b);
+
+/// The similarity bundle used to classify an edit and compute modification
+/// degree.
+struct DiffStats {
+  double jaccard = 0.0;          // shingle overlap (order-insensitive)
+  double lcs = 0.0;              // LCS ratio (order-sensitive)
+  double parent_in_child = 0.0;  // containment of parent in child
+  double child_in_parent = 0.0;  // containment of child in parent
+
+  /// Combined similarity: the news-ranking layer's per-edge weight.
+  [[nodiscard]] double similarity() const { return 0.5 * jaccard + 0.5 * lcs; }
+  /// 1 - similarity: the paper's "degree of modification".
+  [[nodiscard]] double modification_degree() const {
+    return 1.0 - similarity();
+  }
+};
+
+[[nodiscard]] DiffStats diff_stats(const Tokens& parent, const Tokens& child,
+                                   std::size_t shingle_k = 3);
+
+}  // namespace tnp::text

@@ -1,0 +1,60 @@
+#include "text/tokenize.hpp"
+
+#include <cctype>
+
+namespace tnp::text {
+
+Tokens tokenize(std::string_view text) {
+  Tokens out;
+  std::string current;
+  for (char c : text) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      current.push_back(static_cast<char>(std::tolower(uc)));
+    } else if (!current.empty()) {
+      out.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+std::string join(const Tokens& tokens) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i) out.push_back(' ');
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::uint32_t Vocabulary::add(std::string_view word) {
+  const auto it = index_.find(std::string(word));
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(words_.size());
+  words_.emplace_back(word);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+std::int64_t Vocabulary::lookup(std::string_view word) const {
+  const auto it = index_.find(std::string(word));
+  return it == index_.end() ? -1 : static_cast<std::int64_t>(it->second);
+}
+
+std::vector<std::uint32_t> Vocabulary::encode(const Tokens& tokens) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(add(t));
+  return ids;
+}
+
+std::unordered_map<std::string, std::uint32_t> term_counts(
+    const Tokens& tokens) {
+  std::unordered_map<std::string, std::uint32_t> counts;
+  for (const auto& t : tokens) ++counts[t];
+  return counts;
+}
+
+}  // namespace tnp::text

@@ -1,0 +1,45 @@
+// Tokenization and vocabulary for the news-content pipeline. ASCII-only,
+// lowercasing, alnum word runs — the corpus generator emits exactly this
+// shape, and keeping it trivial makes every downstream number reproducible.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tnp::text {
+
+using Tokens = std::vector<std::string>;
+
+/// Splits into lowercase alphanumeric word tokens.
+[[nodiscard]] Tokens tokenize(std::string_view text);
+
+/// Joins tokens with single spaces (inverse-ish of tokenize).
+[[nodiscard]] std::string join(const Tokens& tokens);
+
+/// Bidirectional word <-> dense id map. Ids are assigned in first-seen
+/// order; `add` returns the id.
+class Vocabulary {
+ public:
+  std::uint32_t add(std::string_view word);
+  [[nodiscard]] std::int64_t lookup(std::string_view word) const;  // -1 absent
+  [[nodiscard]] const std::string& word(std::uint32_t id) const {
+    return words_.at(id);
+  }
+  [[nodiscard]] std::size_t size() const { return words_.size(); }
+
+  /// Adds every token; returns the id sequence.
+  std::vector<std::uint32_t> encode(const Tokens& tokens);
+
+ private:
+  std::unordered_map<std::string, std::uint32_t, std::hash<std::string>,
+                     std::equal_to<>> index_;
+  std::vector<std::string> words_;
+};
+
+/// Term frequency over a token list.
+[[nodiscard]] std::unordered_map<std::string, std::uint32_t> term_counts(
+    const Tokens& tokens);
+
+}  // namespace tnp::text

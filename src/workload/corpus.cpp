@@ -1,0 +1,195 @@
+#include "workload/corpus.hpp"
+
+#include <algorithm>
+
+#include "text/tokenize.hpp"
+
+namespace tnp::workload {
+
+namespace {
+/// Deterministic pseudo-words: pronounceable consonant-vowel syllables so
+/// tokenizing round-trips exactly.
+std::string make_word(std::uint64_t id, std::string_view prefix) {
+  static constexpr char kConsonants[] = "bcdfgklmnprstvz";
+  static constexpr char kVowels[] = "aeiou";
+  std::string word{prefix};
+  std::uint64_t v = id + 7;
+  for (int i = 0; i < 3; ++i) {
+    word.push_back(kConsonants[v % 15]);
+    v /= 15;
+    word.push_back(kVowels[v % 5]);
+    v /= 5;
+  }
+  return word;
+}
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(CorpusConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::string CorpusGenerator::topic_word(std::size_t topic) {
+  const std::size_t rank = rng_.zipf(config_.topic_vocab, config_.zipf_exponent);
+  return make_word(topic * 100'000 + rank, "t");
+}
+
+std::string CorpusGenerator::shared_word() {
+  const std::size_t rank = rng_.zipf(config_.shared_vocab, config_.zipf_exponent);
+  return make_word(90'000'000 + rank, "s");
+}
+
+std::string CorpusGenerator::entity(std::size_t topic) {
+  const std::size_t idx = rng_.uniform(config_.entities_per_topic);
+  return make_word(topic * 1000 + idx + 50'000'000, "e");
+}
+
+std::string CorpusGenerator::sensational_word() {
+  const auto negative = ai::negative_emotion_lexicon();
+  const auto clickbait = ai::clickbait_lexicon();
+  const std::size_t total = negative.size() + clickbait.size();
+  const std::size_t pick = rng_.uniform(total);
+  return std::string(pick < negative.size() ? negative[pick]
+                                            : clickbait[pick - negative.size()]);
+}
+
+std::vector<std::string> CorpusGenerator::factual_tokens(std::size_t topic,
+                                                         std::size_t len) {
+  std::vector<std::string> tokens;
+  tokens.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const double roll = rng_.uniform01();
+    if (roll < 0.45) {
+      tokens.push_back(topic_word(topic));
+    } else if (roll < 0.85) {
+      tokens.push_back(shared_word());
+    } else if (roll < 0.93) {
+      tokens.push_back(entity(topic));
+    } else {
+      // Factual numerals: modest values (counts, dates).
+      tokens.push_back(std::to_string(rng_.uniform_int(1, 500)));
+    }
+  }
+  return tokens;
+}
+
+Document CorpusGenerator::factual(std::optional<std::size_t> topic_in) {
+  const std::size_t topic =
+      topic_in.value_or(rng_.uniform(config_.num_topics));
+  const std::size_t len =
+      config_.doc_len_min +
+      static_cast<std::size_t>(rng_.poisson(static_cast<double>(
+          config_.doc_len_mean - config_.doc_len_min)));
+  Document doc;
+  doc.topic = topic;
+  doc.fake = false;
+  doc.text = text::join(factual_tokens(topic, len));
+  return doc;
+}
+
+Document CorpusGenerator::mutate_into_fake(const Document& source,
+                                           std::size_t source_index) {
+  auto tokens = text::tokenize(source.text);
+  const auto disturb = static_cast<std::size_t>(std::max(
+      1.0, config_.mutation_strength * static_cast<double>(tokens.size())));
+  for (std::size_t i = 0; i < disturb; ++i) {
+    const double roll = rng_.uniform01();
+    const std::size_t pos = rng_.uniform(tokens.size());
+    if (roll < 0.5) {
+      // Inject sensational vocabulary (replace to keep length comparable).
+      tokens[pos] = sensational_word();
+    } else if (roll < 0.7) {
+      // Exaggerate numerals by orders of magnitude.
+      tokens[pos] = std::to_string(rng_.uniform_int(10'000, 9'999'999));
+    } else if (roll < 0.9) {
+      // Swap in an entity from a DIFFERENT topic (misattribution).
+      const std::size_t other =
+          (source.topic + 1 + rng_.uniform(config_.num_topics - 1)) %
+          config_.num_topics;
+      tokens[pos] = entity(other);
+    } else {
+      // Insert an extra sensational token.
+      tokens.insert(tokens.begin() + static_cast<std::ptrdiff_t>(pos),
+                    sensational_word());
+    }
+  }
+  Document doc;
+  doc.topic = source.topic;
+  doc.fake = true;
+  doc.derived_from = source_index;
+  doc.text = text::join(tokens);
+  // Sensational punctuation (style signal).
+  doc.text += "!!";
+  return doc;
+}
+
+Document CorpusGenerator::fabricated(std::optional<std::size_t> topic_in) {
+  const std::size_t topic =
+      topic_in.value_or(rng_.uniform(config_.num_topics));
+  const std::size_t len =
+      config_.doc_len_min +
+      static_cast<std::size_t>(rng_.poisson(static_cast<double>(
+          config_.doc_len_mean - config_.doc_len_min)));
+  std::vector<std::string> tokens;
+  tokens.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const double roll = rng_.uniform01();
+    if (roll < 0.30) {
+      tokens.push_back(topic_word(topic));
+    } else if (roll < 0.55) {
+      tokens.push_back(shared_word());
+    } else if (roll < 0.80) {
+      tokens.push_back(sensational_word());
+    } else if (roll < 0.90) {
+      tokens.push_back(entity(rng_.uniform(config_.num_topics)));
+    } else {
+      tokens.push_back(std::to_string(rng_.uniform_int(10'000, 9'999'999)));
+    }
+  }
+  Document doc;
+  doc.topic = topic;
+  doc.fake = true;
+  doc.text = text::join(tokens) + "!!!";
+  return doc;
+}
+
+Document CorpusGenerator::derive_factual(const Document& source,
+                                         std::size_t source_index,
+                                         double strength) {
+  auto tokens = text::tokenize(source.text);
+  const auto edits = static_cast<std::size_t>(
+      std::max(1.0, strength * static_cast<double>(tokens.size())));
+  for (std::size_t i = 0; i < edits; ++i) {
+    const std::size_t pos = rng_.uniform(tokens.size());
+    if (rng_.chance(0.5)) {
+      tokens[pos] = shared_word();  // legitimate paraphrase
+    } else {
+      tokens.insert(tokens.begin() + static_cast<std::ptrdiff_t>(pos),
+                    topic_word(source.topic));  // added context
+    }
+  }
+  Document doc;
+  doc.topic = source.topic;
+  doc.fake = source.fake;  // honest derivation preserves label
+  doc.derived_from = source_index;
+  doc.text = text::join(tokens);
+  return doc;
+}
+
+std::vector<Document> CorpusGenerator::generate(std::size_t n) {
+  std::vector<Document> docs;
+  docs.reserve(n);
+  const std::size_t num_factual = n / 2;
+  for (std::size_t i = 0; i < num_factual; ++i) docs.push_back(factual());
+  while (docs.size() < n) {
+    if (!docs.empty() && rng_.chance(config_.mutated_fake_fraction)) {
+      const std::size_t source = rng_.uniform(num_factual);
+      docs.push_back(mutate_into_fake(docs[source], source));
+    } else {
+      docs.push_back(fabricated());
+    }
+  }
+  // Order is factual-first so derived_from indices stay valid; callers that
+  // need randomized order shuffle an index vector instead.
+  return docs;
+}
+
+}  // namespace tnp::workload

@@ -1,0 +1,88 @@
+// Synthetic news corpus with controlled ground truth.
+//
+// Reproduces the structure the paper cites [11-13]: ~72.3% of fake items
+// are *mutations of factual articles* (the original enveloped with intent),
+// the rest fabricated outright. Factual articles draw from per-topic
+// content vocabularies in a neutral register; fake mutations inject
+// negative-emotion / clickbait lexicon words, exaggerate numerals, and
+// swap entities — exactly the signals the style features key on, so
+// classifier difficulty is tunable via mutation strength.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ai/features.hpp"
+#include "common/rng.hpp"
+#include "crypto/hash.hpp"
+
+namespace tnp::workload {
+
+struct Document {
+  std::string text;
+  bool fake = false;
+  std::size_t topic = 0;
+  /// For mutated fakes and derived articles: index of the source document
+  /// within the corpus.
+  std::optional<std::size_t> derived_from;
+
+  [[nodiscard]] Hash256 content_hash() const { return sha256(text); }
+  [[nodiscard]] ai::LabeledDoc labeled() const { return {text, fake}; }
+};
+
+struct CorpusConfig {
+  std::size_t num_topics = 8;
+  std::size_t topic_vocab = 120;      // content words per topic
+  std::size_t shared_vocab = 200;     // neutral words shared by all topics
+  std::size_t entities_per_topic = 12;
+  std::size_t doc_len_mean = 60;      // tokens
+  std::size_t doc_len_min = 20;
+  double mutated_fake_fraction = 0.723;  // paper-cited structure [11-13]
+  double mutation_strength = 0.25;    // fraction of tokens disturbed
+  double zipf_exponent = 1.05;        // word popularity skew
+};
+
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(CorpusConfig config, std::uint64_t seed);
+
+  /// Generates a factual article on a random (or given) topic.
+  [[nodiscard]] Document factual(std::optional<std::size_t> topic = {});
+
+  /// Mutates `source` into a fake derivative (insert sensational words,
+  /// exaggerate numbers, swap entities).
+  [[nodiscard]] Document mutate_into_fake(const Document& source,
+                                          std::size_t source_index);
+
+  /// A fabricated fake with no factual source.
+  [[nodiscard]] Document fabricated(std::optional<std::size_t> topic = {});
+
+  /// A derived *factual* article: relays/extends the source without
+  /// sensational distortion (supply-chain positive path). `strength`
+  /// controls how much legitimate editing happens.
+  [[nodiscard]] Document derive_factual(const Document& source,
+                                        std::size_t source_index,
+                                        double strength = 0.1);
+
+  /// Balanced corpus: `n` docs, half fake (mutated/fabricated per config).
+  /// Factual docs come first so `derived_from` indices stay valid; shuffle
+  /// an index vector if randomized order is needed.
+  [[nodiscard]] std::vector<Document> generate(std::size_t n);
+
+  [[nodiscard]] const CorpusConfig& config() const { return config_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  [[nodiscard]] std::string topic_word(std::size_t topic);
+  [[nodiscard]] std::string shared_word();
+  [[nodiscard]] std::string entity(std::size_t topic);
+  [[nodiscard]] std::string sensational_word();
+  [[nodiscard]] std::vector<std::string> factual_tokens(std::size_t topic,
+                                                        std::size_t len);
+
+  CorpusConfig config_;
+  Rng rng_;
+};
+
+}  // namespace tnp::workload

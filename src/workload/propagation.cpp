@@ -1,0 +1,80 @@
+#include "workload/propagation.hpp"
+
+#include <queue>
+
+namespace tnp::workload {
+
+CascadeSimulator::CascadeSimulator(const net::Adjacency& graph,
+                                   PopulationConfig config, std::uint64_t seed)
+    : graph_(graph), config_(config), rng_(seed) {
+  kinds_.resize(graph_.size(), AgentKind::kHuman);
+  for (auto& kind : kinds_) {
+    const double roll = rng_.uniform01();
+    if (roll < config_.bot_fraction) {
+      kind = AgentKind::kBot;
+    } else if (roll < config_.bot_fraction + config_.cyborg_fraction) {
+      kind = AgentKind::kCyborg;
+    }
+  }
+}
+
+CascadeResult CascadeSimulator::run(const std::vector<std::uint32_t>& seeds,
+                                    bool fake,
+                                    const InterventionFn& intervention) {
+  CascadeResult result;
+  result.infection_time.assign(graph_.size(), UINT64_MAX);
+
+  struct PendingShare {
+    sim::SimTime time;
+    std::uint32_t from;
+    std::uint32_t to;
+    bool operator>(const PendingShare& o) const { return time > o.time; }
+  };
+  std::priority_queue<PendingShare, std::vector<PendingShare>,
+                      std::greater<PendingShare>> queue;
+
+  auto share_prob = [&](std::uint32_t node) {
+    double p = 0.0;
+    switch (kinds_[node]) {
+      case AgentKind::kHuman: p = config_.human_share_prob; break;
+      case AgentKind::kBot: p = config_.bot_share_prob; break;
+      case AgentKind::kCyborg: p = config_.cyborg_share_prob; break;
+    }
+    if (fake && kinds_[node] == AgentKind::kHuman) {
+      p *= config_.fake_virality_boost;  // sensational content spreads
+    }
+    if (intervention) p *= intervention(node, fake);
+    return std::min(p, 1.0);
+  };
+
+  auto infect = [&](std::uint32_t node, sim::SimTime when) {
+    if (result.infection_time[node] != UINT64_MAX) return;
+    result.infection_time[node] = when;
+    ++result.reached;
+    if (result.half_population_time == UINT64_MAX &&
+        result.reached * 2 >= graph_.size()) {
+      result.half_population_time = when;
+    }
+    const double p = share_prob(node);
+    for (std::uint32_t neighbour : graph_[node]) {
+      if (result.infection_time[neighbour] != UINT64_MAX) continue;
+      if (!rng_.chance(p)) continue;
+      const auto delay = static_cast<sim::SimTime>(rng_.exponential(
+          1.0 / static_cast<double>(config_.share_delay_mean)));
+      queue.push(PendingShare{when + delay, node, neighbour});
+    }
+  };
+
+  for (std::uint32_t seed : seeds) infect(seed, 0);
+  while (!queue.empty()) {
+    const PendingShare share = queue.top();
+    queue.pop();
+    if (result.infection_time[share.to] != UINT64_MAX) continue;
+    result.share_edges.push_back(share.from);
+    result.share_edges.push_back(share.to);
+    infect(share.to, share.time);
+  }
+  return result;
+}
+
+}  // namespace tnp::workload

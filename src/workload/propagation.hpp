@@ -1,0 +1,69 @@
+// News propagation over a social graph: independent-cascade sharing with
+// bot/cyborg amplification (paper Sec II: "spread driven substantially by
+// bots and cyborgs"), plus platform interventions — rank-gated resharing
+// and source flagging — whose effect experiment E9 measures.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace tnp::workload {
+
+enum class AgentKind : std::uint8_t {
+  kHuman = 0,
+  kBot = 1,    // automated amplifier
+  kCyborg = 2, // human account under app control: amplifies selectively
+};
+
+struct PopulationConfig {
+  double bot_fraction = 0.05;
+  double cyborg_fraction = 0.05;
+  /// Base probability a human reshares an item to a neighbour.
+  double human_share_prob = 0.05;
+  /// Bots reshare with this probability (amplification).
+  double bot_share_prob = 0.8;
+  double cyborg_share_prob = 0.4;
+  /// Humans are likelier to reshare sensational content: multiplier applied
+  /// to fake items (paper: low-quality content virality [65]).
+  double fake_virality_boost = 2.0;
+  /// Mean per-hop delay.
+  sim::SimTime share_delay_mean = 30 * sim::kMinute;
+};
+
+struct CascadeResult {
+  std::vector<sim::SimTime> infection_time;  // UINT64_MAX = never reached
+  std::size_t reached = 0;
+  sim::SimTime half_population_time = UINT64_MAX;  // time to reach 50%
+  std::vector<std::uint32_t> share_edges;  // flattened (from,to) pairs
+};
+
+/// Intervention hook: given the sharer and the item, returns the multiplier
+/// applied to the share probability (1.0 = no intervention, 0 = blocked).
+using InterventionFn = std::function<double(std::uint32_t sharer, bool fake)>;
+
+class CascadeSimulator {
+ public:
+  CascadeSimulator(const net::Adjacency& graph, PopulationConfig config,
+                   std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<AgentKind>& kinds() const { return kinds_; }
+  [[nodiscard]] std::size_t population() const { return kinds_.size(); }
+
+  /// Runs one cascade of an item (fake or factual) from `seeds`.
+  /// `intervention` (optional) damps shares.
+  CascadeResult run(const std::vector<std::uint32_t>& seeds, bool fake,
+                    const InterventionFn& intervention = {});
+
+ private:
+  const net::Adjacency& graph_;
+  PopulationConfig config_;
+  Rng rng_;
+  std::vector<AgentKind> kinds_;
+};
+
+}  // namespace tnp::workload

@@ -1,0 +1,23 @@
+#include "workload/records.hpp"
+
+namespace tnp::workload {
+
+std::vector<PublicRecord> generate_public_records(CorpusGenerator& generator,
+                                                  std::size_t n) {
+  static constexpr std::string_view kSources[] = {
+      "legislative-library", "presidential-archive", "court-transcripts",
+      "official-statistics", "public-figure-registry",
+  };
+  std::vector<PublicRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PublicRecord record;
+    record.document =
+        generator.factual(i % generator.config().num_topics);
+    record.source_tag = std::string(kSources[i % std::size(kSources)]);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace tnp::workload

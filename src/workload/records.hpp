@@ -1,0 +1,24 @@
+// Public-records generator: the paper's initial factual-database seed
+// ("library of speech records of law makers, official speech records of
+// presidents and public figures", Sec VI). Deterministic documents tagged
+// with their source institution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/corpus.hpp"
+
+namespace tnp::workload {
+
+struct PublicRecord {
+  Document document;
+  std::string source_tag;  // e.g. "legislative-library"
+};
+
+/// Generates `n` official records across the corpus topics. These are
+/// factual by construction and form the trust roots of the supply chain.
+[[nodiscard]] std::vector<PublicRecord> generate_public_records(
+    CorpusGenerator& generator, std::size_t n);
+
+}  // namespace tnp::workload

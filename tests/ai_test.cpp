@@ -1,0 +1,216 @@
+// Tests for feature extraction, the three detectors + ensemble (trained on
+// the synthetic corpus), and the media tamper detector.
+#include <gtest/gtest.h>
+
+#include "ai/classifiers.hpp"
+#include "ai/media.hpp"
+#include "common/stats.hpp"
+#include "workload/corpus.hpp"
+
+namespace tnp::ai {
+namespace {
+
+TEST(StyleFeaturesTest, SensationalTextScoresHigher) {
+  const StyleVector calm = style_features(
+      "the committee met today and approved the budget for next quarter");
+  const StyleVector wild = style_features(
+      "SHOCKING scandal EXPOSED!!! corrupt traitor rigged the vote!!!");
+  EXPECT_GT(wild[0], calm[0]);  // exclamation density
+  EXPECT_GT(wild[1], calm[1]);  // caps ratio
+  EXPECT_GT(wild[2], calm[2]);  // negative emotion
+  EXPECT_GT(wild[3], calm[3]);  // clickbait
+}
+
+TEST(StyleFeaturesTest, EmptyTextIsZero) {
+  const StyleVector f = style_features("");
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(StyleFeaturesTest, HedgingAndDigits) {
+  const StyleVector f = style_features(
+      "sources reportedly claim 99999 dollars allegedly vanished");
+  EXPECT_GT(f[4], 0.0);  // hedging
+  EXPECT_GT(f[5], 0.0);  // digits
+}
+
+TEST(HashedBowTest, NormalizedAndDeterministic) {
+  const auto tokens = text::tokenize("alpha beta gamma alpha");
+  const auto v1 = hashed_bow(tokens, 64);
+  const auto v2 = hashed_bow(tokens, 64);
+  EXPECT_EQ(v1, v2);
+  double norm = 0;
+  for (float x : v1) norm += double(x) * x;
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+  EXPECT_TRUE(hashed_bow({}, 16) == std::vector<float>(16, 0.0f));
+}
+
+TEST(TfidfTest, TransformKnownCorpus) {
+  std::vector<LabeledDoc> docs = {
+      {"apple banana apple", false},
+      {"banana cherry", false},
+      {"cherry cherry date", false},
+  };
+  TfidfModel model;
+  model.fit(docs);
+  const auto vec = model.transform(text::tokenize("apple date unknownword"));
+  // Two known words (apple, date); OOV dropped.
+  EXPECT_EQ(vec.size(), 2u);
+  double norm = 0;
+  for (const auto& [id, w] : vec) norm += double(w) * w;
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+class DetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::CorpusGenerator gen({}, 99);
+    auto docs = gen.generate(600);
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      if (i % 5 == 0) {
+        test_.push_back(docs[i].labeled());
+      } else {
+        train_.push_back(docs[i].labeled());
+      }
+    }
+  }
+  std::vector<LabeledDoc> train_, test_;
+};
+
+TEST_F(DetectorTest, NaiveBayesLearns) {
+  NaiveBayesDetector nb;
+  nb.fit(train_);
+  EXPECT_GT(evaluate_accuracy(nb, test_), 0.8);
+}
+
+TEST_F(DetectorTest, LogisticLearns) {
+  LogisticDetector lr;
+  lr.fit(train_);
+  EXPECT_GT(evaluate_accuracy(lr, test_), 0.8);
+}
+
+TEST_F(DetectorTest, MlpLearns) {
+  MlpDetector mlp;
+  mlp.fit(train_);
+  EXPECT_GT(evaluate_accuracy(mlp, test_), 0.75);
+}
+
+TEST_F(DetectorTest, EnsembleAtLeastDecent) {
+  auto ensemble = EnsembleDetector::standard();
+  ensemble->fit(train_);
+  EXPECT_EQ(ensemble->size(), 3u);
+  EXPECT_GT(evaluate_accuracy(*ensemble, test_), 0.8);
+}
+
+TEST_F(DetectorTest, ScoresAreProbabilities) {
+  NaiveBayesDetector nb;
+  nb.fit(train_);
+  for (const auto& doc : test_) {
+    const double s = nb.score(doc.text);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_F(DetectorTest, UntrainedReturnsNeutral) {
+  NaiveBayesDetector nb;
+  EXPECT_DOUBLE_EQ(nb.score("anything"), 0.5);
+  EnsembleDetector empty;
+  EXPECT_DOUBLE_EQ(empty.score("anything"), 0.5);
+}
+
+TEST_F(DetectorTest, AucClearlyAboveChance) {
+  LogisticDetector lr;
+  lr.fit(train_);
+  std::vector<std::pair<double, bool>> scored;
+  for (const auto& doc : test_) scored.emplace_back(lr.score(doc.text), doc.fake);
+  EXPECT_GT(roc_auc(scored), 0.9);
+}
+
+// ----------------------------------------------------------------- media
+
+TEST(MediaTest, GenerateIsDeterministicPerSeed) {
+  Rng a(5), b(5), c(6);
+  const auto img1 = generate_image(a, 64, 64);
+  const auto img2 = generate_image(b, 64, 64);
+  const auto img3 = generate_image(c, 64, 64);
+  EXPECT_EQ(img1.content_hash(), img2.content_hash());
+  EXPECT_NE(img1.content_hash(), img3.content_hash());
+}
+
+TEST(MediaTest, PerceptualHashRobustToBrightness) {
+  Rng rng(7);
+  const auto original = generate_image(rng, 128, 128);
+  auto bright = original;
+  brighten(bright, 10);
+  // Content hash changes on any edit; perceptual hash barely moves.
+  EXPECT_NE(original.content_hash(), bright.content_hash());
+  EXPECT_LE(phash_distance(perceptual_hash(original), perceptual_hash(bright)),
+            6);
+}
+
+TEST(MediaTest, SpliceRaisesTamperScore) {
+  Rng rng(8);
+  const auto original = generate_image(rng, 128, 128);
+  const auto donor = generate_image(rng, 128, 128);
+
+  auto innocuous = original;
+  brighten(innocuous, 8);
+  recompress(innocuous, 64);
+
+  auto tampered = original;
+  splice_region(tampered, donor, 0.35, rng);
+
+  const double innocuous_score = tamper_score(original, innocuous);
+  const double tampered_score = tamper_score(original, tampered);
+  EXPECT_LT(innocuous_score, 0.2);
+  EXPECT_GT(tampered_score, innocuous_score + 0.1);
+}
+
+TEST(MediaTest, TamperScoreGrowsWithSpliceSize) {
+  Rng rng(9);
+  const auto original = generate_image(rng, 128, 128);
+  const auto donor = generate_image(rng, 128, 128);
+  double last = -1.0;
+  for (double fraction : {0.1, 0.3, 0.6}) {
+    Rng local(42);
+    auto tampered = original;
+    splice_region(tampered, donor, fraction, local);
+    const double score = tamper_score(original, tampered);
+    EXPECT_GE(score, last - 0.05) << "fraction " << fraction;
+    last = score;
+  }
+  EXPECT_GT(last, 0.15);
+}
+
+TEST(MediaTest, IdenticalImagesScoreZero) {
+  Rng rng(10);
+  const auto img = generate_image(rng, 64, 64);
+  EXPECT_DOUBLE_EQ(tamper_score(img, img), 0.0);
+}
+
+TEST(MediaTest, RecompressQuantizes) {
+  Rng rng(11);
+  auto img = generate_image(rng, 32, 32);
+  recompress(img, 4);
+  std::set<std::uint8_t> levels(img.pixels.begin(), img.pixels.end());
+  EXPECT_LE(levels.size(), 4u);
+}
+
+TEST(MediaTest, TamperRocSeparates) {
+  Rng rng(12);
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 40; ++i) {
+    const auto original = generate_image(rng, 64, 64);
+    const auto donor = generate_image(rng, 64, 64);
+    auto benign = original;
+    brighten(benign, static_cast<int>(rng.uniform(12)));
+    scored.emplace_back(tamper_score(original, benign), false);
+    auto tampered = original;
+    splice_region(tampered, donor, 0.3, rng);
+    scored.emplace_back(tamper_score(original, tampered), true);
+  }
+  EXPECT_GT(roc_auc(scored), 0.9);
+}
+
+}  // namespace
+}  // namespace tnp::ai

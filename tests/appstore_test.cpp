@@ -1,0 +1,201 @@
+// Tests for the Sec V developer "app-store": VM-deployed detector programs
+// registered on chain, scored read-only, weighted by settled-outcome track
+// record, and rewarded — plus the Sec VI external-referral flow.
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+
+namespace tnp::core {
+namespace {
+
+using contracts::EditType;
+using contracts::Role;
+
+// Counts '!' bytes in the input; returns min(1000, 300 * count) — i.e.
+// P(fake) ≥ 0.5 once two exclamation marks appear. A deliberately naive
+// but genuinely executing user-deployed detector.
+constexpr const char* kExclaimDetector = R"(
+  PUSHI 0          # count
+  PUSHI 0          # i
+loop:
+  DUP 0
+  INPUT
+  LEN
+  LT
+  JZ done
+  INPUT
+  DUP 1
+  BYTEAT
+  PUSHI 33         # '!'
+  EQ
+  JZ next
+  SWAP
+  PUSHI 1
+  ADD
+  SWAP
+next:
+  PUSHI 1
+  ADD
+  JMP loop
+done:
+  POP
+  PUSHI 300
+  MUL
+  DUP 0
+  PUSHI 1000
+  GT
+  JZ capped
+  POP
+  PUSHI 1000
+capped:
+  HALT
+)";
+
+class AppStoreTest : public ::testing::Test {
+ protected:
+  AppStoreTest() {
+    dev_ = &platform_.create_actor("Dev", Role::kDeveloper);
+    owner_ = &platform_.create_actor("Owner", Role::kPublisher);
+    EXPECT_TRUE(platform_.create_distribution_platform(*owner_, "p").ok());
+    EXPECT_TRUE(platform_.create_newsroom(*owner_, "p", "r", "t").ok());
+  }
+
+  TrustingNewsPlatform platform_;
+  const Actor* dev_ = nullptr;
+  const Actor* owner_ = nullptr;
+};
+
+TEST_F(AppStoreTest, RegisterRequiresDeveloperRole) {
+  auto denied = platform_.register_detector(*owner_, "nope", kExclaimDetector);
+  ASSERT_FALSE(denied.ok());
+  auto ok = platform_.register_detector(*dev_, "exclaim", kExclaimDetector);
+  ASSERT_TRUE(ok.ok()) << ok.error().to_string();
+  // Name collision rejected.
+  EXPECT_FALSE(platform_.register_detector(*dev_, "exclaim",
+                                           kExclaimDetector).ok());
+}
+
+TEST_F(AppStoreTest, DetectorScoresByContent) {
+  ASSERT_TRUE(platform_.register_detector(*dev_, "exclaim",
+                                          kExclaimDetector).ok());
+  auto sensational = platform_.run_detector("exclaim", "SHOCKING!! scandal!!");
+  ASSERT_TRUE(sensational.ok()) << sensational.error().to_string();
+  EXPECT_GE(*sensational, 0.5);
+
+  auto calm = platform_.run_detector("exclaim", "the committee met today");
+  ASSERT_TRUE(calm.ok());
+  EXPECT_LT(*calm, 0.5);
+  EXPECT_DOUBLE_EQ(*calm, 0.0);
+
+  EXPECT_FALSE(platform_.run_detector("ghost", "x").ok());
+}
+
+TEST_F(AppStoreTest, RegistryScoreBlendsDetectors) {
+  EXPECT_FALSE(platform_.registry_score("text").has_value());
+  ASSERT_TRUE(platform_.register_detector(*dev_, "exclaim",
+                                          kExclaimDetector).ok());
+  const auto score = platform_.registry_score("wow!! unreal!!");
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GE(*score, 0.5);
+}
+
+TEST_F(AppStoreTest, SettlementUpdatesWeightAndPaysReward) {
+  ASSERT_TRUE(platform_.register_detector(*dev_, "exclaim",
+                                          kExclaimDetector).ok());
+  const Actor& checker = platform_.create_actor("Check", Role::kFactChecker);
+  ASSERT_TRUE(platform_.fund(checker.account(), 100).ok());
+
+  // Article the detector flags (has '!!') and the crowd also calls fake:
+  // agreement → weight up, reward minted.
+  auto fake_article = platform_.publish(*owner_, "p", "r",
+                                        "unbelievable scandal!! exposed!!",
+                                        EditType::kOriginal, {});
+  ASSERT_TRUE(fake_article.ok());
+  ASSERT_TRUE(platform_.open_round(*owner_, *fake_article).ok());
+  ASSERT_TRUE(platform_.vote(checker, *fake_article, false, 10).ok());
+  ASSERT_TRUE(platform_.close_round(*owner_, *fake_article).ok());
+
+  const std::uint64_t dev_balance_before = platform_.balance(dev_->account());
+  ASSERT_TRUE(platform_.settle_detectors(*fake_article, 25).ok());
+  EXPECT_GT(platform_.detector_weight("exclaim"), 1.0);
+  EXPECT_EQ(platform_.balance(dev_->account()), dev_balance_before + 25);
+
+  // Article the detector flags but the crowd settles as factual:
+  // disagreement → weight down, no reward.
+  auto contested = platform_.publish(*owner_, "p", "r",
+                                     "startling result!! but verified true!!",
+                                     EditType::kOriginal, {});
+  ASSERT_TRUE(contested.ok());
+  ASSERT_TRUE(platform_.open_round(*owner_, *contested).ok());
+  ASSERT_TRUE(platform_.vote(checker, *contested, true, 10).ok());
+  ASSERT_TRUE(platform_.close_round(*owner_, *contested).ok());
+
+  const double weight_before = platform_.detector_weight("exclaim");
+  const std::uint64_t balance_before = platform_.balance(dev_->account());
+  ASSERT_TRUE(platform_.settle_detectors(*contested, 25).ok());
+  EXPECT_LT(platform_.detector_weight("exclaim"), weight_before);
+  EXPECT_EQ(platform_.balance(dev_->account()), balance_before);
+
+  // Track record is on chain: 2 outcomes, 1 agreement.
+  const auto stats = platform_.chain().state().get(
+      contracts::keys::detector_stats("exclaim"));
+  ASSERT_TRUE(stats.has_value());
+  ByteReader r{BytesView(*stats)};
+  EXPECT_EQ(r.u64().value_or(0), 2u);
+  EXPECT_EQ(r.u64().value_or(0), 1u);
+}
+
+TEST_F(AppStoreTest, DeactivationStopsScoring) {
+  ASSERT_TRUE(platform_.register_detector(*dev_, "exclaim",
+                                          kExclaimDetector).ok());
+  // Only the developer (or admin) may deactivate.
+  const auto stranger_attempt = platform_.submit(contracts::txb::deactivate_detector(
+      owner_->key, platform_.next_nonce(owner_->key), "exclaim"));
+  EXPECT_FALSE(stranger_attempt.success);
+  const auto dev_attempt = platform_.submit(contracts::txb::deactivate_detector(
+      dev_->key, platform_.next_nonce(dev_->key), "exclaim"));
+  EXPECT_TRUE(dev_attempt.success) << dev_attempt.error;
+  EXPECT_FALSE(platform_.run_detector("exclaim", "x!!").ok());
+  EXPECT_FALSE(platform_.registry_score("x!!").has_value());
+}
+
+TEST_F(AppStoreTest, SettleRequiresSettledRound) {
+  ASSERT_TRUE(platform_.register_detector(*dev_, "exclaim",
+                                          kExclaimDetector).ok());
+  auto article = platform_.publish(*owner_, "p", "r", "plain text",
+                                   EditType::kOriginal, {});
+  ASSERT_TRUE(article.ok());
+  EXPECT_FALSE(platform_.settle_detectors(*article).ok());
+}
+
+// -------------------------------------------------------- external refer
+
+TEST_F(AppStoreTest, ReferExternalFlow) {
+  const Actor& consumer = platform_.create_actor("Reader", Role::kConsumer);
+  auto referred = platform_.refer_external(
+      consumer, "p", "r", "viral story seen elsewhere",
+      "http://other-media.example/story");
+  ASSERT_TRUE(referred.ok()) << referred.error().to_string();
+
+  // On chain, attributed to the referrer, parentless → untraceable.
+  const auto graph = platform_.build_graph();
+  const auto* record = graph.article(*referred);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->author, consumer.account());
+  EXPECT_TRUE(record->parents.empty());
+  EXPECT_EQ(record->content_ref.rfind("external:", 0), 0u);
+  EXPECT_FALSE(platform_.trace(*referred).traceable);
+
+  // Referred items can be ranked like everything else.
+  ASSERT_TRUE(platform_.open_round(consumer, *referred).ok());
+  // Unknown room / unregistered identity rejected.
+  EXPECT_FALSE(platform_.refer_external(consumer, "p", "ghost-room", "x",
+                                        "url").ok());
+  // Double referral of the same content rejected.
+  EXPECT_FALSE(platform_.refer_external(consumer, "p", "r",
+                                        "viral story seen elsewhere",
+                                        "http://другой").ok());
+}
+
+}  // namespace
+}  // namespace tnp::core

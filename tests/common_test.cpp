@@ -1,0 +1,325 @@
+// Unit tests for src/common: bytes codecs, Expected/Status, Rng
+// distributions, and statistics helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/expected.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace tnp {
+namespace {
+
+TEST(HexTest, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xAB, 0xFF, 0x7E};
+  const std::string hex = to_hex(BytesView(data));
+  EXPECT_EQ(hex, "0001abff7e");
+  auto back = from_hex(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(HexTest, UppercaseAccepted) {
+  auto v = from_hex("ABCDEF");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(to_hex(BytesView(*v)), "abcdef");
+}
+
+TEST(HexTest, OddLengthRejected) {
+  auto v = from_hex("abc");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(HexTest, NonHexRejected) {
+  EXPECT_FALSE(from_hex("zz").ok());
+  EXPECT_FALSE(from_hex("0g").ok());
+}
+
+TEST(HexTest, EmptyIsEmpty) {
+  auto v = from_hex("");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->empty());
+  EXPECT_EQ(to_hex(BytesView(*v)), "");
+}
+
+TEST(ByteWriterTest, AllTypesRoundTrip) {
+  ByteWriter w;
+  w.u8(0x7F);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.str("hello");
+  w.bytes(Bytes{1, 2, 3});
+
+  ByteReader r(BytesView(w.data()));
+  EXPECT_EQ(*r.u8(), 0x7F);
+  EXPECT_EQ(*r.u16(), 0xBEEF);
+  EXPECT_EQ(*r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.i64(), -42);
+  EXPECT_DOUBLE_EQ(*r.f64(), 3.14159);
+  EXPECT_EQ(*r.str(), "hello");
+  EXPECT_EQ(*r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReaderTest, TruncationDetected) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(BytesView(w.data()));
+  EXPECT_TRUE(r.u32().ok());
+  auto v = r.u64();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code(), ErrorCode::kCorruptData);
+}
+
+TEST(ByteReaderTest, TruncatedStringDetected) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow, none do
+  ByteReader r(BytesView(w.data()));
+  EXPECT_FALSE(r.str().ok());
+}
+
+TEST(ByteReaderTest, RawReadsExactWidth) {
+  ByteWriter w;
+  w.raw(Bytes{9, 8, 7, 6});
+  ByteReader r(BytesView(w.data()));
+  auto first = r.raw(3);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_FALSE(r.raw(2).ok());
+}
+
+TEST(ExpectedTest, ValueAndError) {
+  Expected<int> good = 7;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  EXPECT_EQ(good.value_or(0), 7);
+
+  Expected<int> bad = Error(ErrorCode::kNotFound, "nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(bad.value_or(3), 3);
+}
+
+TEST(StatusTest, OkAndError) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.to_string(), "OK");
+  Status err(ErrorCode::kResourceExhausted, "out of gas");
+  EXPECT_FALSE(err.ok());
+  EXPECT_NE(err.to_string().find("out of gas"), std::string::npos);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng root(7);
+  Rng a = root.fork(0);
+  Rng b = root.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(12);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(14);
+  const std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::size_t counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(15);
+  for (std::size_t k : {0ul, 1ul, 5ul, 50ul, 100ul}) {
+    const auto sample = rng.sample_indices(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (auto idx : sample) EXPECT_LT(idx, 100u);
+  }
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(16);
+  std::size_t first_bucket = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.zipf(100, 1.2) == 0) ++first_bucket;
+  }
+  // Rank 0 should dominate any individual later rank.
+  EXPECT_GT(first_bucket, trials / 20);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(17);
+  RunningStats small, large;
+  for (int i = 0; i < 20000; ++i) {
+    small.add(static_cast<double>(rng.poisson(3.0)));
+    large.add(static_cast<double>(rng.poisson(100.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 100.0, 1.0);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(18);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(static_cast<double>(rng.geometric(0.25)));
+  }
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(stats.mean(), 3.0, 0.15);
+}
+
+TEST(RunningStatsTest, Moments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SamplesTest, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(95), 95.05, 0.01);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SamplesTest, SingleValue) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(SamplesTest, EmptyIsZero) {
+  Samples s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(ConfusionMatrixTest, Metrics) {
+  ConfusionMatrix cm;
+  // 8 TP, 2 FP, 85 TN, 5 FN.
+  for (int i = 0; i < 8; ++i) cm.add(true, true);
+  for (int i = 0; i < 2; ++i) cm.add(true, false);
+  for (int i = 0; i < 85; ++i) cm.add(false, false);
+  for (int i = 0; i < 5; ++i) cm.add(false, true);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.93);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.8);
+  EXPECT_NEAR(cm.recall(), 8.0 / 13.0, 1e-12);
+  EXPECT_NEAR(cm.f1(), 2 * 0.8 * (8.0 / 13.0) / (0.8 + 8.0 / 13.0), 1e-12);
+}
+
+TEST(ConfusionMatrixTest, EmptyIsZero) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+TEST(RocAucTest, PerfectSeparation) {
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 50; ++i) scored.emplace_back(0.9 + i * 1e-4, true);
+  for (int i = 0; i < 50; ++i) scored.emplace_back(0.1 + i * 1e-4, false);
+  EXPECT_DOUBLE_EQ(roc_auc(scored), 1.0);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  Rng rng(21);
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 5000; ++i) {
+    scored.emplace_back(rng.uniform01(), rng.chance(0.5));
+  }
+  EXPECT_NEAR(roc_auc(scored), 0.5, 0.03);
+}
+
+TEST(RocAucTest, AllTiesIsHalf) {
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 10; ++i) scored.emplace_back(0.5, i % 2 == 0);
+  EXPECT_DOUBLE_EQ(roc_auc(scored), 0.5);
+}
+
+TEST(RocAucTest, InvertedScoresNearZero) {
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 50; ++i) scored.emplace_back(0.1, true);
+  for (int i = 0; i < 50; ++i) scored.emplace_back(0.9, false);
+  EXPECT_DOUBLE_EQ(roc_auc(scored), 0.0);
+}
+
+}  // namespace
+}  // namespace tnp

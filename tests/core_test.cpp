@@ -1,0 +1,520 @@
+// Tests for the core layer: provenance graph + trace-back, edit
+// classification, expert identification, communities, factual-db service,
+// ranking policy, and the TrustingNewsPlatform end-to-end flows.
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "workload/corpus.hpp"
+
+namespace tnp::core {
+namespace {
+
+using contracts::EditType;
+using contracts::Role;
+
+// --------------------------------------------------------- ranking policy
+
+TEST(RankingPolicyTest, MajorityVersusWeighted) {
+  // Three low-reputation adversaries vs two high-reputation honests.
+  std::vector<CrowdVote> votes = {
+      {false, 10, 0.2}, {false, 10, 0.2}, {false, 10, 0.2},
+      {true, 10, 3.0},  {true, 10, 3.0},
+  };
+  EXPECT_LT(majority_score(votes), 0.5);   // headcount says fake
+  EXPECT_GT(weighted_score(votes), 0.5);   // reputation says factual
+}
+
+TEST(RankingPolicyTest, EmptyVotesNeutral) {
+  EXPECT_DOUBLE_EQ(majority_score({}), 0.5);
+  EXPECT_DOUBLE_EQ(weighted_score({}), 0.5);
+}
+
+TEST(RankingPolicyTest, StakeIsConcave) {
+  // A single whale with 10000x stake must not fully dominate 5 voters.
+  std::vector<CrowdVote> votes = {{false, 100'000, 1.0}};
+  for (int i = 0; i < 5; ++i) votes.push_back({true, 10, 1.0});
+  EXPECT_GT(weighted_score(votes), 0.4);
+}
+
+TEST(RankingPolicyTest, ReputationUpdateDirectionAndClamp) {
+  EXPECT_GT(update_reputation(1.0, true), 1.0);
+  EXPECT_LT(update_reputation(1.0, false), 1.0);
+  EXPECT_LE(update_reputation(99.0, true), 100.0);
+  EXPECT_GE(update_reputation(0.02, false), 0.01);
+  // Decay pulls toward 1 before the multiplicative step.
+  const double decayed = update_reputation(0.2, true, 0.5);
+  EXPECT_GT(decayed, update_reputation(0.2, true, 0.0));
+}
+
+TEST(RankingPolicyTest, CombineWeights) {
+  RankWeights w{.alpha = 1, .beta = 0, .gamma = 0};
+  EXPECT_DOUBLE_EQ(w.combine(0.9, 0.1, 0.1), 0.9);
+  RankWeights even{.alpha = 1, .beta = 1, .gamma = 1};
+  EXPECT_NEAR(even.combine(0.3, 0.6, 0.9), 0.6, 1e-12);
+}
+
+// ------------------------------------------------------------ graph bits
+
+class GraphTest : public ::testing::Test {
+ protected:
+  Hash256 put(const std::string& text) { return content_.put(text); }
+
+  void add(const Hash256& hash, const AccountId& author,
+           std::vector<Hash256> parents, EditType edit = EditType::kRelay,
+           const std::string& room = "r1") {
+    contracts::ArticleRecord record;
+    record.author = author;
+    record.platform = "p";
+    record.room = room;
+    record.edit_type = parents.empty() ? EditType::kOriginal : edit;
+    record.parents = std::move(parents);
+    graph_.add_article(hash, std::move(record));
+  }
+
+  AccountId account(std::uint64_t seed) {
+    return KeyPair::generate(SigScheme::kHmacSim, seed).account();
+  }
+
+  ContentStore content_;
+  ProvenanceGraph graph_;
+};
+
+TEST_F(GraphTest, TraceSingleChain) {
+  // Note: content hashes are node ids, so a relay must differ by at least
+  // one token or it would *be* the same node.
+  const Hash256 root = put("official statement about budget one two three four five six seven");
+  const Hash256 relay = put("official statement about budget one two three four five six seven rt");
+  const Hash256 edited = put("official statement about budget one two shocking scandal five six seven rt");
+  graph_.add_fact_root(root);
+  add(relay, account(1), {root}, EditType::kRelay);
+  add(edited, account(2), {relay}, EditType::kInsert);
+
+  const auto trace_relay = graph_.trace_to_root(relay, content_);
+  ASSERT_TRUE(trace_relay.traceable);
+  EXPECT_EQ(trace_relay.distance, 1u);
+  EXPECT_GT(trace_relay.path_similarity, 0.9);  // near-identical text
+
+  const auto trace_edited = graph_.trace_to_root(edited, content_);
+  ASSERT_TRUE(trace_edited.traceable);
+  EXPECT_EQ(trace_edited.distance, 2u);
+  EXPECT_LT(trace_edited.path_similarity, trace_relay.path_similarity);
+  EXPECT_EQ(trace_edited.path.front(), edited);
+  EXPECT_EQ(trace_edited.path.back(), root);
+  // Hop decay makes trace_score < path similarity.
+  EXPECT_LT(trace_edited.trace_score(), trace_edited.path_similarity);
+}
+
+TEST_F(GraphTest, UntraceableWithoutFactRoot) {
+  const Hash256 orphan = put("fabricated story with no sources at all");
+  add(orphan, account(3), {});
+  const auto trace = graph_.trace_to_root(orphan, content_);
+  EXPECT_FALSE(trace.traceable);
+  EXPECT_DOUBLE_EQ(trace.trace_score(), 0.0);
+}
+
+TEST_F(GraphTest, FactRootTracesToItself) {
+  const Hash256 root = put("the record");
+  graph_.add_fact_root(root);
+  const auto trace = graph_.trace_to_root(root, content_);
+  EXPECT_TRUE(trace.traceable);
+  EXPECT_EQ(trace.distance, 0u);
+  EXPECT_DOUBLE_EQ(trace.path_similarity, 1.0);
+  EXPECT_DOUBLE_EQ(trace.trace_score(), 1.0);
+}
+
+TEST_F(GraphTest, BestPathPreferredOverShortBadPath) {
+  // Diamond: start has two parents — one heavily modified direct link to a
+  // root, one lightly modified 2-hop path. Similarity product must win.
+  const std::string base =
+      "alpha beta gamma delta epsilon zeta eta theta iota kappa lambda mu";
+  const Hash256 root = put(base);
+  const Hash256 good_mid = put(base + " extra");
+  const Hash256 start = put(base + " extra more");
+  const Hash256 bad_root = put("completely different unrelated words here nothing shared at all today");
+  graph_.add_fact_root(root);
+  graph_.add_fact_root(bad_root);
+  add(good_mid, account(1), {root}, EditType::kInsert);
+  add(start, account(2), {good_mid, bad_root}, EditType::kMerge);
+
+  const auto trace = graph_.trace_to_root(start, content_);
+  ASSERT_TRUE(trace.traceable);
+  EXPECT_EQ(trace.path.back(), root) << "should take the high-similarity path";
+  EXPECT_EQ(trace.distance, 2u);
+}
+
+TEST_F(GraphTest, AcyclicityCheck) {
+  const Hash256 a = put("a a a a a");
+  const Hash256 b = put("b b b b b");
+  add(a, account(1), {});
+  add(b, account(2), {a});
+  EXPECT_TRUE(graph_.is_acyclic());
+  // Manufacture a cycle (impossible on-chain; the checker must catch it).
+  contracts::ArticleRecord rec;
+  rec.author = account(1);
+  rec.parents = {b};
+  graph_.add_article(a, std::move(rec));  // now a→b→a
+  EXPECT_FALSE(graph_.is_acyclic());
+}
+
+TEST_F(GraphTest, EditClassification) {
+  const std::string base =
+      "w1 w2 w3 w4 w5 w6 w7 w8 w9 w10 w11 w12 w13 w14 w15 w16 w17 w18 w19 w20";
+  const Hash256 parent = put(base);
+  add(parent, account(1), {});
+
+  const Hash256 relayed = put(base + " rt");  // distinct hash, same content
+  add(relayed, account(2), {parent}, EditType::kRelay);
+  EXPECT_EQ(graph_.classify_edit(relayed, content_), EditType::kRelay);
+
+  const Hash256 inserted = put(base + " x1 x2 x3 x4 x5 x6 x7");
+  add(inserted, account(2), {parent}, EditType::kInsert);
+  EXPECT_EQ(graph_.classify_edit(inserted, content_), EditType::kInsert);
+
+  const Hash256 split = put("w1 w2 w3 w4 w5 w6 w7");
+  add(split, account(2), {parent}, EditType::kSplit);
+  EXPECT_EQ(graph_.classify_edit(split, content_), EditType::kSplit);
+
+  const Hash256 mixed =
+      put("w1 q2 w3 q4 w5 q6 w7 q8 w9 q10 w11 q12 w13 q14 w15 q16 w17 q18");
+  add(mixed, account(2), {parent}, EditType::kMix);
+  EXPECT_EQ(graph_.classify_edit(mixed, content_), EditType::kMix);
+
+  const Hash256 merged = put(base + " other parent content");
+  add(merged, account(3), {parent, relayed}, EditType::kMerge);
+  EXPECT_EQ(graph_.classify_edit(merged, content_), EditType::kMerge);
+
+  EXPECT_EQ(graph_.classify_edit(parent, content_), EditType::kOriginal);
+}
+
+TEST_F(GraphTest, ModificationDegreeMatchesDiff) {
+  const Hash256 a = put("one two three four five six seven eight");
+  const Hash256 b = put("one two three four five six seven eight");
+  add(a, account(1), {});
+  add(b, account(2), {a});
+  EXPECT_NEAR(graph_.modification_degree(a, b, content_), 0.0, 1e-9);
+  // Missing content → pessimistic 0.5.
+  const Hash256 ghost1 = sha256("ghost1"), ghost2 = sha256("ghost2");
+  EXPECT_DOUBLE_EQ(graph_.modification_degree(ghost1, ghost2, content_), 0.5);
+}
+
+TEST_F(GraphTest, ExpertSuggestion) {
+  std::map<std::string, std::string> room_topics = {
+      {contracts::keys::room("p", "r1"), "economy"},
+      {contracts::keys::room("p", "r2"), "health"},
+  };
+  const AccountId expert = account(10);
+  const AccountId dabbler = account(11);
+  const AccountId fraud = account(12);
+  for (int i = 0; i < 5; ++i) {
+    const Hash256 h = put("economy article " + std::to_string(i));
+    add(h, expert, {}, EditType::kOriginal, "r1");
+    graph_.set_rank_score(h, 0.9);
+  }
+  {
+    const Hash256 h = put("one good economy article");
+    add(h, dabbler, {}, EditType::kOriginal, "r1");
+    graph_.set_rank_score(h, 0.8);
+  }
+  for (int i = 0; i < 4; ++i) {
+    const Hash256 h = put("bad economy article " + std::to_string(i));
+    add(h, fraud, {}, EditType::kOriginal, "r1");
+    graph_.set_rank_score(h, 0.1);
+  }
+  {
+    // Health-room output must not count toward economy expertise.
+    const Hash256 h = put("health piece");
+    add(h, dabbler, {}, EditType::kOriginal, "r2");
+    graph_.set_rank_score(h, 1.0);
+  }
+
+  const auto experts = graph_.suggest_experts("economy", room_topics, 2);
+  ASSERT_EQ(experts.size(), 2u);
+  EXPECT_EQ(experts[0].first, expert);
+  EXPECT_EQ(experts[1].first, dabbler);
+  EXPECT_GT(experts[0].second, experts[1].second);
+}
+
+TEST_F(GraphTest, CommunitiesRecoverPlantedGroups) {
+  // Two derivation cliques with a single cross link.
+  std::vector<AccountId> group_a, group_b;
+  for (std::uint64_t i = 0; i < 5; ++i) group_a.push_back(account(100 + i));
+  for (std::uint64_t i = 0; i < 5; ++i) group_b.push_back(account(200 + i));
+
+  auto chain_articles = [&](const std::vector<AccountId>& members,
+                            const std::string& tag) {
+    Hash256 prev{};
+    bool has_prev = false;
+    int counter = 0;
+    // Dense intra-group derivation: everyone derives from everyone.
+    std::vector<Hash256> hashes;
+    for (const auto& author : members) {
+      const Hash256 h = put(tag + std::to_string(counter++));
+      add(h, author, has_prev ? std::vector<Hash256>{prev} : std::vector<Hash256>{});
+      prev = h;
+      has_prev = true;
+      hashes.push_back(h);
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const Hash256 h = put(tag + "x" + std::to_string(counter++));
+      add(h, members[i], {hashes[(i + 2) % hashes.size()]});
+    }
+    return hashes;
+  };
+  const auto ha = chain_articles(group_a, "groupA ");
+  chain_articles(group_b, "groupB ");
+  // One weak bridge.
+  const Hash256 bridge = put("bridge article");
+  add(bridge, group_b[0], {ha[0]});
+
+  const auto labels = graph_.communities();
+  // All of group A shares a label; group B shares a label; mostly distinct.
+  std::map<std::uint32_t, int> a_labels, b_labels;
+  for (const auto& m : group_a) ++a_labels[labels.at(m)];
+  for (const auto& m : group_b) ++b_labels[labels.at(m)];
+  const auto a_major =
+      std::max_element(a_labels.begin(), a_labels.end(),
+                       [](auto& x, auto& y) { return x.second < y.second; });
+  const auto b_major =
+      std::max_element(b_labels.begin(), b_labels.end(),
+                       [](auto& x, auto& y) { return x.second < y.second; });
+  EXPECT_GE(a_major->second, 4);
+  EXPECT_GE(b_major->second, 4);
+}
+
+// -------------------------------------------------------------- factdb
+
+TEST(FactualDatabaseTest, SeedProveVerify) {
+  FactualDatabase db;
+  std::vector<Hash256> hashes;
+  for (int i = 0; i < 10; ++i) {
+    hashes.push_back(sha256("record " + std::to_string(i)));
+    db.add_seed(hashes.back());
+  }
+  EXPECT_EQ(db.size(), 10u);
+  const Hash256 root = db.root();
+  for (const auto& h : hashes) {
+    ASSERT_TRUE(db.contains(h));
+    auto proof = db.prove(h);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(db.verify(h, *proof, root));
+  }
+  EXPECT_FALSE(db.prove(sha256("absent")).ok());
+  // Adding a record changes the root (append-only commitment).
+  db.add_seed(sha256("new"));
+  EXPECT_NE(db.root(), root);
+}
+
+TEST(FactualDatabaseTest, ConsiderPipeline) {
+  FactualDatabase db;
+  ai::NaiveBayesDetector detector;
+  workload::CorpusGenerator gen({}, 3);
+  std::vector<ai::LabeledDoc> train;
+  for (const auto& doc : gen.generate(400)) train.push_back(doc.labeled());
+  detector.fit(train);
+
+  const workload::Document good = gen.factual();
+  const workload::Document bad = gen.fabricated();
+
+  const auto accepted =
+      db.consider(sha256(good.text), good.text, detector, /*crowd=*/0.9);
+  EXPECT_TRUE(accepted.accepted) << accepted.reason;
+  EXPECT_TRUE(db.contains(sha256(good.text)));
+
+  const auto rejected_ai =
+      db.consider(sha256(bad.text), bad.text, detector, 0.9);
+  EXPECT_FALSE(rejected_ai.accepted);
+
+  const auto rejected_crowd = db.consider(sha256(good.text + " v2"),
+                                          good.text + " v2", detector, 0.2);
+  EXPECT_FALSE(rejected_crowd.accepted);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+// ------------------------------------------------------------- platform
+
+class PlatformTest : public ::testing::Test {
+ protected:
+  TrustingNewsPlatform platform_{};
+};
+
+TEST_F(PlatformTest, BootstrapState) {
+  EXPECT_GE(platform_.chain().height(), 1u);
+  EXPECT_TRUE(platform_.profile(platform_.admin().account()).has_value());
+}
+
+TEST_F(PlatformTest, ActorLifecycle) {
+  const Actor& alice = platform_.create_actor("Alice", Role::kJournalist);
+  const auto profile = platform_.profile(alice.account());
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_EQ(profile->display_name, "Alice");
+  ASSERT_TRUE(platform_.fund(alice.account(), 500).ok());
+  EXPECT_EQ(platform_.balance(alice.account()), 500u);
+}
+
+TEST_F(PlatformTest, EndToEndNewsFlow) {
+  const Actor& owner = platform_.create_actor("Planet", Role::kPublisher);
+  const Actor& alice = platform_.create_actor("Alice", Role::kJournalist);
+  ASSERT_TRUE(platform_.create_distribution_platform(owner, "planet").ok());
+  ASSERT_TRUE(platform_.create_newsroom(owner, "planet", "metro", "economy").ok());
+  ASSERT_TRUE(
+      platform_.authorize_journalist(owner, "planet", alice.account()).ok());
+
+  auto fact = platform_.seed_fact(
+      "official budget numbers one two three four five six", "treasury");
+  ASSERT_TRUE(fact.ok());
+
+  auto article = platform_.publish(
+      alice, "planet", "metro",
+      "official budget numbers one two three four five six with analysis",
+      EditType::kInsert, {*fact});
+  ASSERT_TRUE(article.ok());
+
+  const auto trace = platform_.trace(*article);
+  ASSERT_TRUE(trace.traceable);
+  EXPECT_EQ(trace.distance, 1u);
+  EXPECT_GT(trace.path_similarity, 0.5);
+
+  // Unauthorized publication fails.
+  const Actor& mallory = platform_.create_actor("Mallory", Role::kConsumer);
+  auto denied = platform_.publish(mallory, "planet", "metro", "spam",
+                                  EditType::kOriginal, {});
+  EXPECT_FALSE(denied.ok());
+}
+
+TEST_F(PlatformTest, RankingRoundAndCompositeScore) {
+  const Actor& owner = platform_.create_actor("Owner", Role::kPublisher);
+  ASSERT_TRUE(platform_.create_distribution_platform(owner, "p").ok());
+  ASSERT_TRUE(platform_.create_newsroom(owner, "p", "r", "t").ok());
+  auto article = platform_.publish(owner, "p", "r",
+                                   "a perfectly ordinary report",
+                                   EditType::kOriginal, {});
+  ASSERT_TRUE(article.ok());
+
+  std::vector<const Actor*> voters;
+  for (int i = 0; i < 5; ++i) {
+    const Actor& v = platform_.create_actor("V" + std::to_string(i),
+                                            Role::kFactChecker);
+    ASSERT_TRUE(platform_.fund(v.account(), 100).ok());
+    voters.push_back(&v);
+  }
+  ASSERT_TRUE(platform_.open_round(owner, *article).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(platform_.vote(*voters[i], *article, i != 0, 10).ok());
+  }
+  ASSERT_TRUE(platform_.close_round(owner, *article).ok());
+
+  const auto crowd = platform_.crowd_score(*article);
+  ASSERT_TRUE(crowd.has_value());
+  EXPECT_GT(*crowd, 0.5);
+
+  const double composite = platform_.composite_rank(*article);
+  EXPECT_GT(composite, 0.0);
+  EXPECT_LT(composite, 1.0);
+
+  // Winners earned tokens, loser lost stake.
+  EXPECT_GT(platform_.balance(voters[1]->account()), 100u - 10u);
+  EXPECT_EQ(platform_.balance(voters[0]->account()), 90u);
+}
+
+TEST_F(PlatformTest, CertificationGrowsFactualDb) {
+  workload::CorpusGenerator gen({}, 5);
+  std::vector<ai::LabeledDoc> train;
+  for (const auto& doc : gen.generate(400)) train.push_back(doc.labeled());
+  platform_.train_detector(train);
+  EXPECT_TRUE(platform_.detector_trained());
+
+  const Actor& owner = platform_.create_actor("Owner", Role::kPublisher);
+  ASSERT_TRUE(platform_.create_distribution_platform(owner, "p").ok());
+  ASSERT_TRUE(platform_.create_newsroom(owner, "p", "r", "t").ok());
+  const workload::Document good = gen.factual();
+  auto article =
+      platform_.publish(owner, "p", "r", good.text, EditType::kOriginal, {});
+  ASSERT_TRUE(article.ok());
+
+  const Actor& checker = platform_.create_actor("Check", Role::kFactChecker);
+  ASSERT_TRUE(platform_.fund(checker.account(), 100).ok());
+  ASSERT_TRUE(platform_.open_round(owner, *article).ok());
+  ASSERT_TRUE(platform_.vote(checker, *article, true, 50).ok());
+  ASSERT_TRUE(platform_.close_round(owner, *article).ok());
+
+  const std::size_t before = platform_.factdb().size();
+  const auto decision = platform_.maybe_certify(*article);
+  EXPECT_TRUE(decision.accepted) << decision.reason;
+  EXPECT_EQ(platform_.factdb().size(), before + 1);
+  // The article is now a fact root: its trace is trivially 1.
+  const auto trace = platform_.trace(*article);
+  EXPECT_TRUE(trace.traceable);
+  EXPECT_EQ(trace.distance, 0u);
+}
+
+TEST_F(PlatformTest, ExpertsQueryEndToEnd) {
+  const Actor& owner = platform_.create_actor("Owner", Role::kPublisher);
+  const Actor& expert = platform_.create_actor("Expert", Role::kJournalist);
+  ASSERT_TRUE(platform_.create_distribution_platform(owner, "p").ok());
+  ASSERT_TRUE(platform_.create_newsroom(owner, "p", "econ", "economy").ok());
+  ASSERT_TRUE(
+      platform_.authorize_journalist(owner, "p", expert.account()).ok());
+  ASSERT_TRUE(platform_.fund(owner.account(), 1000).ok());
+
+  for (int i = 0; i < 3; ++i) {
+    auto article = platform_.publish(expert, "p", "econ",
+                                     "economy analysis " + std::to_string(i),
+                                     EditType::kOriginal, {});
+    ASSERT_TRUE(article.ok());
+    ASSERT_TRUE(platform_.open_round(owner, *article).ok());
+    ASSERT_TRUE(platform_.vote(owner, *article, true, 10).ok());
+    ASSERT_TRUE(platform_.close_round(owner, *article).ok());
+  }
+  const auto experts = platform_.experts("economy", 3);
+  ASSERT_FALSE(experts.empty());
+  EXPECT_EQ(experts[0].first, expert.account());
+}
+
+TEST_F(PlatformTest, StagedBatchCommitsAtomically) {
+  const Actor& owner = platform_.create_actor("Owner", Role::kPublisher);
+  auto& mutable_platform = platform_;
+  mutable_platform.stage(contracts::txb::create_platform(
+      owner.key, mutable_platform.next_nonce(owner.key), "batch-platform"));
+  mutable_platform.stage(contracts::txb::create_room(
+      owner.key, mutable_platform.next_nonce(owner.key), "batch-platform",
+      "room", "topic"));
+  const auto receipts = mutable_platform.commit_staged();
+  ASSERT_EQ(receipts.size(), 2u);
+  EXPECT_TRUE(receipts[0].success);
+  EXPECT_TRUE(receipts[1].success) << receipts[1].error;
+}
+
+TEST_F(PlatformTest, GraphFromStateMatchesPublishes) {
+  const Actor& owner = platform_.create_actor("Owner", Role::kPublisher);
+  ASSERT_TRUE(platform_.create_distribution_platform(owner, "p").ok());
+  ASSERT_TRUE(platform_.create_newsroom(owner, "p", "r", "t").ok());
+  auto a = platform_.publish(owner, "p", "r", "article one text",
+                             EditType::kOriginal, {});
+  ASSERT_TRUE(a.ok());
+  auto b = platform_.publish(owner, "p", "r", "article one text relayed",
+                             EditType::kInsert, {*a});
+  ASSERT_TRUE(b.ok());
+  const auto graph = platform_.build_graph();
+  EXPECT_EQ(graph.article_count(), 2u);
+  EXPECT_TRUE(graph.is_acyclic());
+  const auto children = graph.children_of(*a);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], *b);
+  ASSERT_NE(graph.article(*b), nullptr);
+  EXPECT_EQ(graph.article(*b)->parents.front(), *a);
+}
+
+TEST_F(PlatformTest, ContentAuditDetectsNoCorruption) {
+  const Actor& owner = platform_.create_actor("Owner", Role::kPublisher);
+  ASSERT_TRUE(platform_.create_distribution_platform(owner, "p").ok());
+  ASSERT_TRUE(platform_.create_newsroom(owner, "p", "r", "t").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(platform_.publish(owner, "p", "r",
+                                  "text " + std::to_string(i),
+                                  EditType::kOriginal, {}).ok());
+  }
+  EXPECT_TRUE(platform_.content().audit());
+}
+
+}  // namespace
+}  // namespace tnp::core

@@ -1,0 +1,541 @@
+// Unit tests for src/crypto: SHA-256/HMAC against FIPS & RFC 4231 vectors,
+// U256 arithmetic identities, secp256k1 group laws, Schnorr sign/verify,
+// the KeyPair/KeyDirectory abstraction, and Merkle proofs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/signer.hpp"
+#include "crypto/u256.hpp"
+
+namespace tnp {
+namespace {
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256Test, EmptyVector) {
+  EXPECT_EQ(sha256("").hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, AbcVector) {
+  EXPECT_EQ(sha256("abc").hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockVector) {
+  EXPECT_EQ(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.finalize().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  Rng rng(1);
+  Bytes data(1237);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const Hash256 oneshot = sha256(BytesView(data));
+  Sha256 h;
+  std::size_t pos = 0;
+  // Irregular chunk sizes crossing block boundaries.
+  for (std::size_t step : {1ul, 63ul, 64ul, 65ul, 200ul, 1000ul}) {
+    const std::size_t take = std::min(step, data.size() - pos);
+    h.update(BytesView(data.data() + pos, take));
+    pos += take;
+  }
+  h.update(BytesView(data.data() + pos, data.size() - pos));
+  EXPECT_EQ(h.finalize(), oneshot);
+}
+
+TEST(Sha256Test, PaddingBoundaries) {
+  // 55/56/64-byte messages exercise both padding branches.
+  for (std::size_t len : {55ul, 56ul, 63ul, 64ul, 119ul, 120ul}) {
+    const std::string msg(len, 'x');
+    const Hash256 a = sha256(msg);
+    Sha256 h;
+    for (char c : msg) h.update(std::string_view(&c, 1));
+    EXPECT_EQ(h.finalize(), a) << "len=" << len;
+  }
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_sha256(BytesView(key), to_bytes("Hi There")).hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(hmac_sha256(to_bytes("Jefe"), to_bytes("what do ya want for nothing?")).hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyHashedDown) {
+  const Bytes key(131, 0xaa);  // RFC 4231 case 6 key shape
+  const Hash256 a = hmac_sha256(BytesView(key), to_bytes("msg"));
+  const Hash256 kh = sha256(BytesView(key));
+  const Bytes key2(kh.bytes.begin(), kh.bytes.end());
+  EXPECT_EQ(a, hmac_sha256(BytesView(key2), to_bytes("msg")));
+}
+
+TEST(Hash256Test, HexRoundTrip) {
+  const Hash256 h = sha256("round trip");
+  auto back = Hash256::from_hex(h.hex());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, h);
+  EXPECT_FALSE(Hash256::from_hex("abcd").ok());
+  EXPECT_TRUE(Hash256{}.is_zero());
+  EXPECT_FALSE(h.is_zero());
+}
+
+// ---------------------------------------------------------------- U256
+
+TEST(U256Test, AddSubInverse) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const U256 a(rng.next(), rng.next(), rng.next(), rng.next());
+    const U256 b(rng.next(), rng.next(), rng.next(), rng.next());
+    EXPECT_EQ(a + b - b, a);
+    EXPECT_EQ(a - b + b, a);
+  }
+}
+
+TEST(U256Test, AddCarryChain) {
+  const U256 max{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  U256 sum;
+  EXPECT_TRUE(U256::add_overflow(max, U256(1), sum));
+  EXPECT_TRUE(sum.is_zero());
+  U256 diff;
+  EXPECT_TRUE(U256::sub_borrow(U256{}, U256(1), diff));
+  EXPECT_EQ(diff, max);
+}
+
+TEST(U256Test, Comparison) {
+  const U256 small(5);
+  const U256 big(0, 0, 0, 1);
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_EQ(small, U256(5));
+}
+
+TEST(U256Test, Shifts) {
+  const U256 one(1);
+  EXPECT_EQ((one << 64), U256(0, 1, 0, 0));
+  EXPECT_EQ((one << 200) >> 200, one);
+  EXPECT_EQ((one << 256), U256{});
+  const U256 v(0xFFULL);
+  EXPECT_EQ((v << 4).limb[0], 0xFF0ULL);
+  EXPECT_EQ((v >> 4).limb[0], 0xFULL);
+}
+
+TEST(U256Test, HighestBit) {
+  EXPECT_EQ(U256{}.highest_bit(), -1);
+  EXPECT_EQ(U256(1).highest_bit(), 0);
+  EXPECT_EQ(U256(0, 0, 0, 0x8000000000000000ULL).highest_bit(), 255);
+  EXPECT_EQ((U256(1) << 100).highest_bit(), 100);
+}
+
+TEST(U256Test, MulWideSmall) {
+  U256 hi, lo;
+  U256::mul_wide(U256(0xFFFFFFFFFFFFFFFFULL), U256(2), hi, lo);
+  EXPECT_EQ(lo, U256(0xFFFFFFFFFFFFFFFEULL, 1, 0, 0));
+  EXPECT_TRUE(hi.is_zero());
+}
+
+TEST(U256Test, MulWideFullWidth) {
+  // (2^256 - 1)^2 = 2^512 - 2^257 + 1.
+  const U256 max{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  U256 hi, lo;
+  U256::mul_wide(max, max, hi, lo);
+  EXPECT_EQ(lo, U256(1));
+  EXPECT_EQ(hi, U256(~0ULL - 1, ~0ULL, ~0ULL, ~0ULL));
+}
+
+TEST(U256Test, BytesRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const U256 v(rng.next(), rng.next(), rng.next(), rng.next());
+    EXPECT_EQ(U256::from_bytes_be(BytesView(v.to_bytes_be())), v);
+    auto parsed = U256::from_hex(v.hex());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+TEST(U256Test, ShortBytesAreLeastSignificant) {
+  const Bytes b = {0x01, 0x02};
+  EXPECT_EQ(U256::from_bytes_be(BytesView(b)), U256(0x0102));
+}
+
+TEST(U256Test, ModMatchesSmallIntegers) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t x = rng.next() >> 1;
+    const std::uint64_t m = (rng.next() >> 40) + 1;
+    EXPECT_EQ(mod(U256(x), U256(m)), U256(x % m));
+  }
+}
+
+TEST(U256Test, ModWideValue) {
+  // (1 << 200) mod 1000003: compute reference by repeated squaring mod.
+  const U256 big = U256(1) << 200;
+  std::uint64_t ref = 1;
+  for (int i = 0; i < 200; ++i) ref = (ref * 2) % 1000003;
+  EXPECT_EQ(mod(big, U256(1000003)), U256(ref));
+}
+
+TEST(U256Test, MulmodPowmodSmall) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t m = (rng.next() >> 40) + 2;
+    const std::uint64_t a = rng.next() % m;
+    const std::uint64_t b = rng.next() % m;
+    EXPECT_EQ(mulmod(U256(a), U256(b), U256(m)),
+              U256(static_cast<std::uint64_t>(
+                  (static_cast<unsigned __int128>(a) * b) % m)));
+  }
+}
+
+TEST(U256Test, PowmodFermatSmallPrime) {
+  // a^(p-1) ≡ 1 (mod p) for prime p = 1000003 and a not divisible by p.
+  const U256 p(1000003);
+  for (std::uint64_t a : {2ULL, 3ULL, 999983ULL, 123456ULL}) {
+    EXPECT_EQ(powmod(U256(a), U256(1000002), p), U256(1));
+  }
+}
+
+TEST(U256Test, PowmodEdgeCases) {
+  EXPECT_EQ(powmod(U256(5), U256{}, U256(7)), U256(1));   // a^0 = 1
+  EXPECT_EQ(powmod(U256(5), U256(3), U256(1)), U256{});   // mod 1 = 0
+  EXPECT_EQ(powmod(U256{}, U256(5), U256(7)), U256{});    // 0^e = 0
+}
+
+TEST(U256Test, AddmodSubmodInverse) {
+  Rng rng(6);
+  const U256& n = secp::group_order();
+  for (int i = 0; i < 100; ++i) {
+    const U256 a = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), n);
+    const U256 b = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), n);
+    EXPECT_EQ(submod(addmod(a, b, n), b, n), a);
+    EXPECT_EQ(addmod(submod(a, b, n), b, n), a);
+  }
+}
+
+// ---------------------------------------------------------------- secp256k1
+
+TEST(SecpTest, GeneratorOnCurve) {
+  EXPECT_TRUE(secp::generator().on_curve());
+}
+
+TEST(SecpTest, FieldMulMatchesGenericMulmod) {
+  Rng rng(7);
+  const U256& p = secp::field_prime();
+  for (int i = 0; i < 50; ++i) {
+    const U256 a = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), p);
+    const U256 b = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), p);
+    EXPECT_EQ(secp::fe_mul(a, b), mulmod(a, b, p));
+  }
+}
+
+TEST(SecpTest, FieldInverse) {
+  Rng rng(8);
+  const U256& p = secp::field_prime();
+  for (int i = 0; i < 10; ++i) {
+    const U256 a = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), p);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(secp::fe_mul(a, secp::fe_inv(a)), U256(1));
+  }
+}
+
+TEST(SecpTest, DoubleMatchesAdd) {
+  const secp::PointJ g = secp::to_jacobian(secp::generator());
+  const secp::Point d1 = secp::to_affine(secp::dbl(g));
+  const secp::Point d2 = secp::to_affine(secp::add(g, g));
+  EXPECT_EQ(d1, d2);
+  EXPECT_TRUE(d1.on_curve());
+}
+
+TEST(SecpTest, AdditionCommutesAndAssociates) {
+  const secp::Point g = secp::generator();
+  const secp::Point p2 = secp::to_affine(secp::scalar_mul(U256(2), g));
+  const secp::Point p3 = secp::to_affine(secp::scalar_mul(U256(3), g));
+
+  const secp::Point a =
+      secp::to_affine(secp::add(secp::to_jacobian(p2), secp::to_jacobian(p3)));
+  const secp::Point b =
+      secp::to_affine(secp::add(secp::to_jacobian(p3), secp::to_jacobian(p2)));
+  EXPECT_EQ(a, b);
+  const secp::Point p5 = secp::to_affine(secp::scalar_mul(U256(5), g));
+  EXPECT_EQ(a, p5);
+}
+
+TEST(SecpTest, ScalarDistributes) {
+  // (a+b)G == aG + bG for random scalars.
+  Rng rng(9);
+  const U256& n = secp::group_order();
+  const U256 a = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), n);
+  const U256 b = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), n);
+  const U256 ab = addmod(a, b, n);
+  const secp::Point lhs = secp::to_affine(secp::scalar_mul_base(ab));
+  const secp::PointJ sum =
+      secp::add(secp::scalar_mul_base(a), secp::scalar_mul_base(b));
+  EXPECT_EQ(lhs, secp::to_affine(sum));
+  EXPECT_TRUE(lhs.on_curve());
+}
+
+TEST(SecpTest, OrderAnnihilatesGenerator) {
+  // n*G == infinity validates the group-order constant against the curve ops.
+  const secp::PointJ ng = secp::scalar_mul_base(secp::group_order());
+  EXPECT_TRUE(ng.is_infinity());
+}
+
+TEST(SecpTest, InverseElementCancels) {
+  const U256& n = secp::group_order();
+  const U256 k(123456789ULL);
+  const U256 neg_k = submod(U256{}, k, n);
+  const secp::PointJ sum =
+      secp::add(secp::scalar_mul_base(k), secp::scalar_mul_base(neg_k));
+  EXPECT_TRUE(sum.is_infinity());
+}
+
+TEST(SecpTest, DoubleScalarMatchesSeparate) {
+  Rng rng(10);
+  const U256& n = secp::group_order();
+  const U256 a = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), n);
+  const U256 b = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), n);
+  const secp::Point p = secp::to_affine(secp::scalar_mul_base(U256(77)));
+  const secp::Point combined = secp::to_affine(secp::double_scalar_mul(a, b, p));
+  const secp::Point separate = secp::to_affine(
+      secp::add(secp::scalar_mul_base(a), secp::scalar_mul(b, p)));
+  EXPECT_EQ(combined, separate);
+}
+
+TEST(SecpTest, InfinityIsIdentity) {
+  const secp::PointJ inf{};
+  const secp::PointJ g = secp::to_jacobian(secp::generator());
+  EXPECT_EQ(secp::to_affine(secp::add(inf, g)), secp::generator());
+  EXPECT_EQ(secp::to_affine(secp::add(g, inf)), secp::generator());
+  EXPECT_TRUE(secp::to_affine(inf).infinity);
+  EXPECT_TRUE(secp::Point{}.on_curve());  // infinity counts as on-curve
+}
+
+// ---------------------------------------------------------------- Schnorr
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+  const auto key = schnorr::PrivateKey::from_seed(to_bytes("alice"));
+  const auto pub = key.public_key();
+  const Bytes msg = to_bytes("factual news record #1");
+  const auto sig = schnorr::sign(key, BytesView(msg));
+  EXPECT_TRUE(schnorr::verify(pub, BytesView(msg), sig));
+}
+
+TEST(SchnorrTest, WrongMessageRejected) {
+  const auto key = schnorr::PrivateKey::from_seed(to_bytes("alice"));
+  const auto sig = schnorr::sign(key, to_bytes("message A"));
+  EXPECT_FALSE(schnorr::verify(key.public_key(), to_bytes("message B"), sig));
+}
+
+TEST(SchnorrTest, WrongKeyRejected) {
+  const auto alice = schnorr::PrivateKey::from_seed(to_bytes("alice"));
+  const auto bob = schnorr::PrivateKey::from_seed(to_bytes("bob"));
+  const Bytes msg = to_bytes("hello");
+  const auto sig = schnorr::sign(alice, BytesView(msg));
+  EXPECT_FALSE(schnorr::verify(bob.public_key(), BytesView(msg), sig));
+}
+
+TEST(SchnorrTest, TamperedSignatureRejected) {
+  const auto key = schnorr::PrivateKey::from_seed(to_bytes("carol"));
+  const Bytes msg = to_bytes("tamper me");
+  auto sig = schnorr::sign(key, BytesView(msg));
+  sig.s = addmod(sig.s, U256(1), secp::group_order());
+  EXPECT_FALSE(schnorr::verify(key.public_key(), BytesView(msg), sig));
+}
+
+TEST(SchnorrTest, DeterministicSignatures) {
+  const auto key = schnorr::PrivateKey::from_seed(to_bytes("dave"));
+  const Bytes msg = to_bytes("same message");
+  EXPECT_EQ(schnorr::sign(key, BytesView(msg)),
+            schnorr::sign(key, BytesView(msg)));
+}
+
+TEST(SchnorrTest, SerializationRoundTrip) {
+  const auto key = schnorr::PrivateKey::from_seed(to_bytes("erin"));
+  const auto pub = key.public_key();
+  auto pub2 = schnorr::PublicKey::deserialize(BytesView(pub.serialize()));
+  ASSERT_TRUE(pub2.ok());
+  EXPECT_EQ(*pub2, pub);
+
+  const auto sig = schnorr::sign(key, to_bytes("m"));
+  auto sig2 = schnorr::Signature::deserialize(BytesView(sig.serialize()));
+  ASSERT_TRUE(sig2.ok());
+  EXPECT_EQ(*sig2, sig);
+}
+
+TEST(SchnorrTest, MalformedKeyRejected) {
+  Bytes garbage(64, 0x5A);
+  EXPECT_FALSE(schnorr::PublicKey::deserialize(BytesView(garbage)).ok());
+  Bytes short_key(10, 1);
+  EXPECT_FALSE(schnorr::PublicKey::deserialize(BytesView(short_key)).ok());
+  Bytes short_sig(10, 1);
+  EXPECT_FALSE(schnorr::Signature::deserialize(BytesView(short_sig)).ok());
+}
+
+// ---------------------------------------------------------------- signer
+
+TEST(SignerTest, SchnorrSchemeRoundTrip) {
+  const auto kp = KeyPair::generate(SigScheme::kSchnorr, 1234u);
+  const Bytes msg = to_bytes("signed payload");
+  const Bytes sig = kp.sign(BytesView(msg));
+  EXPECT_TRUE(verify_signature(SigScheme::kSchnorr,
+                               BytesView(kp.public_material()), BytesView(msg),
+                               BytesView(sig)));
+  Bytes other = to_bytes("other payload");
+  EXPECT_FALSE(verify_signature(SigScheme::kSchnorr,
+                                BytesView(kp.public_material()),
+                                BytesView(other), BytesView(sig)));
+}
+
+TEST(SignerTest, HmacSchemeRoundTrip) {
+  const auto kp = KeyPair::generate(SigScheme::kHmacSim, 99u);
+  const Bytes msg = to_bytes("fast path");
+  const Bytes sig = kp.sign(BytesView(msg));
+  EXPECT_EQ(sig.size(), 32u);
+  EXPECT_TRUE(verify_signature(SigScheme::kHmacSim,
+                               BytesView(kp.public_material()), BytesView(msg),
+                               BytesView(sig)));
+  Bytes tampered = sig;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(verify_signature(SigScheme::kHmacSim,
+                                BytesView(kp.public_material()), BytesView(msg),
+                                BytesView(tampered)));
+}
+
+TEST(SignerTest, AccountIdsAreStableAndDistinct) {
+  const auto a1 = KeyPair::generate(SigScheme::kSchnorr, 1u);
+  const auto a2 = KeyPair::generate(SigScheme::kSchnorr, 1u);
+  const auto b = KeyPair::generate(SigScheme::kSchnorr, 2u);
+  EXPECT_EQ(a1.account(), a2.account());
+  EXPECT_NE(a1.account(), b.account());
+  // Scheme participates in the id: same seed, different scheme, different id.
+  const auto h = KeyPair::generate(SigScheme::kHmacSim, 1u);
+  EXPECT_NE(a1.account(), h.account());
+}
+
+TEST(KeyDirectoryTest, RegisterAndVerify) {
+  KeyDirectory dir;
+  const auto kp = KeyPair::generate(SigScheme::kSchnorr, 7u);
+  EXPECT_TRUE(dir.register_account(kp).ok());
+  EXPECT_TRUE(dir.register_account(kp).ok());  // idempotent
+  EXPECT_TRUE(dir.known(kp.account()));
+  EXPECT_EQ(dir.size(), 1u);
+
+  const Bytes msg = to_bytes("attributable action");
+  const Bytes sig = kp.sign(BytesView(msg));
+  EXPECT_TRUE(dir.verify(kp.account(), BytesView(msg), BytesView(sig)).ok());
+
+  const auto stranger = KeyPair::generate(SigScheme::kSchnorr, 8u);
+  const auto status =
+      dir.verify(stranger.account(), BytesView(msg), BytesView(sig));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kUnauthenticated);
+}
+
+TEST(KeyDirectoryTest, BadSignatureReported) {
+  KeyDirectory dir;
+  const auto kp = KeyPair::generate(SigScheme::kHmacSim, 11u);
+  ASSERT_TRUE(dir.register_account(kp).ok());
+  Bytes msg = to_bytes("m");
+  Bytes sig = kp.sign(BytesView(msg));
+  sig[5] ^= 0xFF;
+  const auto status = dir.verify(kp.account(), BytesView(msg), BytesView(sig));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kUnauthenticated);
+}
+
+// ---------------------------------------------------------------- Merkle
+
+TEST(MerkleTest, SingleLeafRootIsLeaf) {
+  const Hash256 leaf = sha256("only");
+  MerkleTree tree({leaf});
+  EXPECT_EQ(tree.root(), leaf);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  auto proof = tree.prove(0);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(proof->empty());
+  EXPECT_TRUE(merkle_verify(leaf, 0, *proof, tree.root(), 1));
+}
+
+TEST(MerkleTest, EmptyTreeZeroRoot) {
+  MerkleTree tree({});
+  EXPECT_TRUE(tree.root().is_zero());
+  EXPECT_FALSE(tree.prove(0).ok());
+}
+
+TEST(MerkleTest, TwoLeaves) {
+  const Hash256 a = sha256("a"), b = sha256("b");
+  MerkleTree tree({a, b});
+  EXPECT_EQ(tree.root(), sha256_pair(a, b));
+}
+
+TEST(MerkleTest, RootMatchesOneShot) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < 13; ++i) leaves.push_back(sha256("leaf" + std::to_string(i)));
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), merkle_root(leaves));
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, AllLeavesProvable) {
+  const std::size_t n = GetParam();
+  std::vector<Hash256> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(sha256("leaf" + std::to_string(i)));
+  }
+  MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto proof = tree.prove(i);
+    ASSERT_TRUE(proof.ok()) << "leaf " << i;
+    EXPECT_TRUE(merkle_verify(leaves[i], i, *proof, tree.root(), n))
+        << "leaf " << i << " of " << n;
+    // Wrong leaf must fail.
+    EXPECT_FALSE(
+        merkle_verify(sha256("evil"), i, *proof, tree.root(), n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                           31, 64, 100));
+
+TEST(MerkleTest, TamperedProofFails) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < 8; ++i) leaves.push_back(sha256(std::to_string(i)));
+  MerkleTree tree(leaves);
+  auto proof = tree.prove(3);
+  ASSERT_TRUE(proof.ok());
+  (*proof)[1].sibling.bytes[0] ^= 1;
+  EXPECT_FALSE(merkle_verify(leaves[3], 3, *proof, tree.root(), 8));
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < 9; ++i) leaves.push_back(sha256(std::to_string(i)));
+  const Hash256 original = merkle_root(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i].bytes[31] ^= 1;
+    EXPECT_NE(merkle_root(mutated), original) << "leaf " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tnp

@@ -1,0 +1,489 @@
+// Unit tests for the ledger: transactions, world state, blocks, chain
+// application semantics (nonces, gas, rollback), and the mempool.
+#include <gtest/gtest.h>
+
+#include "ledger/block.hpp"
+#include "ledger/chain.hpp"
+#include "ledger/mempool.hpp"
+#include "ledger/state.hpp"
+#include "test_util.hpp"
+
+namespace tnp::ledger {
+namespace {
+
+using testutil::KvExecutor;
+using testutil::make_method_tx;
+using testutil::make_set_tx;
+
+KeyPair test_key(std::uint64_t seed = 1) {
+  return KeyPair::generate(SigScheme::kHmacSim, seed);
+}
+
+// ------------------------------------------------------------ transaction
+
+TEST(TransactionTest, EncodeDecodeRoundTrip) {
+  const auto key = test_key();
+  Transaction tx = make_set_tx(key, 3, "topic", "value");
+  auto decoded = Transaction::decode(BytesView(tx.encode(true)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, tx);
+  EXPECT_EQ(decoded->id(), tx.id());
+}
+
+TEST(TransactionTest, SignatureBindsAllFields) {
+  const auto key = test_key();
+  Transaction tx = make_set_tx(key, 0, "k", "v");
+  EXPECT_TRUE(tx.verify_signature());
+  Transaction tampered = tx;
+  tampered.nonce = 1;
+  EXPECT_FALSE(tampered.verify_signature());
+  tampered = tx;
+  tampered.method = "del";
+  EXPECT_FALSE(tampered.verify_signature());
+  tampered = tx;
+  tampered.args.push_back(0);
+  EXPECT_FALSE(tampered.verify_signature());
+}
+
+TEST(TransactionTest, SenderDerivedFromMaterial) {
+  const auto key = test_key(42);
+  Transaction tx = make_set_tx(key, 0, "k", "v");
+  EXPECT_EQ(tx.sender(), key.account());
+}
+
+TEST(TransactionTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Transaction::decode(BytesView(to_bytes("not a tx"))).ok());
+  const auto key = test_key();
+  Bytes valid = make_set_tx(key, 0, "k", "v").encode(true);
+  valid.push_back(0xFF);  // trailing byte
+  EXPECT_FALSE(Transaction::decode(BytesView(valid)).ok());
+}
+
+TEST(TransactionTest, SchnorrSignedTransactionVerifies) {
+  const auto key = KeyPair::generate(SigScheme::kSchnorr, 5);
+  Transaction tx = make_set_tx(key, 0, "k", "v");
+  EXPECT_TRUE(tx.verify_signature());
+}
+
+// ------------------------------------------------------------ world state
+
+TEST(WorldStateTest, GetSetErase) {
+  WorldState state;
+  EXPECT_FALSE(state.get("a").has_value());
+  state.set("a", to_bytes("1"));
+  ASSERT_TRUE(state.get("a").has_value());
+  EXPECT_EQ(*state.get("a"), to_bytes("1"));
+  state.set("a", to_bytes("2"));
+  EXPECT_EQ(*state.get("a"), to_bytes("2"));
+  state.erase("a");
+  EXPECT_FALSE(state.get("a").has_value());
+  EXPECT_EQ(state.size(), 0u);
+}
+
+TEST(WorldStateTest, RootIsOrderIndependentAndCancels) {
+  WorldState a, b;
+  a.set("x", to_bytes("1"));
+  a.set("y", to_bytes("2"));
+  b.set("y", to_bytes("2"));
+  b.set("x", to_bytes("1"));
+  EXPECT_EQ(a.root(), b.root());
+
+  a.set("z", to_bytes("3"));
+  EXPECT_NE(a.root(), b.root());
+  a.erase("z");
+  EXPECT_EQ(a.root(), b.root());  // add+remove cancels exactly
+
+  // Update changes the root; reverting restores it.
+  const Hash256 before = a.root();
+  a.set("x", to_bytes("other"));
+  EXPECT_NE(a.root(), before);
+  a.set("x", to_bytes("1"));
+  EXPECT_EQ(a.root(), before);
+}
+
+TEST(WorldStateTest, EmptyRootIsZero) {
+  WorldState state;
+  EXPECT_TRUE(state.root().is_zero());
+  state.set("k", to_bytes("v"));
+  state.erase("k");
+  EXPECT_TRUE(state.root().is_zero());
+}
+
+TEST(WorldStateTest, ScanPrefix) {
+  WorldState state;
+  state.set("news/1", to_bytes("a"));
+  state.set("news/2", to_bytes("b"));
+  state.set("other/3", to_bytes("c"));
+  std::vector<std::string> keys;
+  state.scan_prefix("news/", [&](const std::string& k, const Bytes&) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"news/1", "news/2"}));
+
+  // Early stop.
+  keys.clear();
+  state.scan_prefix("news/", [&](const std::string& k, const Bytes&) {
+    keys.push_back(k);
+    return false;
+  });
+  EXPECT_EQ(keys.size(), 1u);
+}
+
+TEST(OverlayStateTest, ReadsThroughAndBuffers) {
+  WorldState base;
+  base.set("a", to_bytes("base"));
+  OverlayState overlay(base);
+  EXPECT_EQ(*overlay.get("a"), to_bytes("base"));
+  overlay.set("a", to_bytes("new"));
+  overlay.set("b", to_bytes("added"));
+  EXPECT_EQ(*overlay.get("a"), to_bytes("new"));
+  EXPECT_EQ(*overlay.get("b"), to_bytes("added"));
+  // Base untouched until commit.
+  EXPECT_EQ(*base.get("a"), to_bytes("base"));
+  EXPECT_FALSE(base.get("b").has_value());
+  overlay.commit();
+  EXPECT_EQ(*base.get("a"), to_bytes("new"));
+  EXPECT_EQ(*base.get("b"), to_bytes("added"));
+}
+
+TEST(OverlayStateTest, TombstoneShadowsBase) {
+  WorldState base;
+  base.set("a", to_bytes("v"));
+  OverlayState overlay(base);
+  overlay.erase("a");
+  EXPECT_FALSE(overlay.get("a").has_value());
+  EXPECT_TRUE(base.get("a").has_value());
+  overlay.commit();
+  EXPECT_FALSE(base.get("a").has_value());
+}
+
+TEST(OverlayStateTest, RollbackDiscards) {
+  WorldState base;
+  OverlayState overlay(base);
+  overlay.set("x", to_bytes("1"));
+  overlay.rollback();
+  overlay.commit();
+  EXPECT_FALSE(base.get("x").has_value());
+  EXPECT_EQ(base.size(), 0u);
+}
+
+// ---------------------------------------------------------------- block
+
+TEST(BlockTest, EncodeDecodeRoundTrip) {
+  const auto key = test_key();
+  Block block;
+  block.header.height = 7;
+  block.header.parent = sha256("parent");
+  block.header.timestamp = 123456;
+  block.header.proposer = 2;
+  block.txs.push_back(make_set_tx(key, 0, "a", "1"));
+  block.txs.push_back(make_set_tx(key, 1, "b", "2"));
+  block.header.tx_root = block.compute_tx_root();
+  auto decoded = Block::decode(BytesView(block.encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, block);
+  EXPECT_EQ(decoded->hash(), block.hash());
+}
+
+TEST(BlockTest, TxRootDetectsReordering) {
+  const auto key = test_key();
+  Block block;
+  block.txs.push_back(make_set_tx(key, 0, "a", "1"));
+  block.txs.push_back(make_set_tx(key, 1, "b", "2"));
+  const Hash256 root = block.compute_tx_root();
+  std::swap(block.txs[0], block.txs[1]);
+  EXPECT_NE(block.compute_tx_root(), root);
+}
+
+TEST(BlockTest, HashCoversHeaderFields) {
+  Block block;
+  block.header.height = 1;
+  const Hash256 h = block.hash();
+  block.header.timestamp = 99;
+  EXPECT_NE(block.hash(), h);
+}
+
+// ---------------------------------------------------------------- chain
+
+class ChainTest : public ::testing::Test {
+ protected:
+  KvExecutor executor_;
+  Blockchain chain_{executor_};
+  KeyPair key_ = test_key();
+};
+
+TEST_F(ChainTest, GenesisState) {
+  EXPECT_EQ(chain_.height(), 0u);
+  EXPECT_EQ(chain_.block_count(), 1u);
+  EXPECT_FALSE(chain_.tip_hash().is_zero());
+}
+
+TEST_F(ChainTest, ApplyBlockExecutesTxs) {
+  std::vector<Transaction> txs = {make_set_tx(key_, 0, "headline", "fact")};
+  const Block block = chain_.make_block(std::move(txs), 0, 1000);
+  ASSERT_TRUE(chain_.apply_block(block).ok());
+  EXPECT_EQ(chain_.height(), 1u);
+  ASSERT_TRUE(chain_.state().get("kv/headline").has_value());
+  EXPECT_EQ(*chain_.state().get("kv/headline"), to_bytes("fact"));
+  const auto& result = chain_.result_at(1);
+  ASSERT_EQ(result.receipts.size(), 1u);
+  EXPECT_TRUE(result.receipts[0].success);
+  EXPECT_GT(result.receipts[0].gas_used, 0u);
+  ASSERT_EQ(result.events.size(), 1u);
+  EXPECT_EQ(result.events[0].name, "kv.set");
+}
+
+TEST_F(ChainTest, WrongHeightRejected) {
+  Block block = chain_.make_block({}, 0, 0);
+  block.header.height = 5;
+  EXPECT_FALSE(chain_.apply_block(block).ok());
+  EXPECT_EQ(chain_.height(), 0u);
+}
+
+TEST_F(ChainTest, WrongParentRejected) {
+  Block block = chain_.make_block({}, 0, 0);
+  block.header.parent = sha256("bogus");
+  EXPECT_FALSE(chain_.apply_block(block).ok());
+}
+
+TEST_F(ChainTest, TamperedTxRootRejected) {
+  Block block = chain_.make_block({make_set_tx(key_, 0, "a", "b")}, 0, 0);
+  block.txs[0].args.push_back(1);  // content no longer matches root
+  EXPECT_FALSE(chain_.apply_block(block).ok());
+}
+
+TEST_F(ChainTest, PreStateRootMismatchRejected) {
+  Block block = chain_.make_block({}, 0, 0);
+  block.header.state_root = sha256("divergent");
+  const Status s = chain_.apply_block(block);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kCorruptData);
+}
+
+TEST_F(ChainTest, NonceEnforcedAndAdvances) {
+  EXPECT_EQ(chain_.expected_nonce(key_.account()), 0u);
+  Block b1 = chain_.make_block({make_set_tx(key_, 0, "a", "1")}, 0, 0);
+  ASSERT_TRUE(chain_.apply_block(b1).ok());
+  EXPECT_EQ(chain_.expected_nonce(key_.account()), 1u);
+
+  // Replay (nonce 0 again) fails at receipt level but block applies.
+  Block b2 = chain_.make_block({make_set_tx(key_, 0, "a", "2")}, 0, 0);
+  ASSERT_TRUE(chain_.apply_block(b2).ok());
+  EXPECT_FALSE(chain_.result_at(2).receipts[0].success);
+  EXPECT_EQ(*chain_.state().get("kv/a"), to_bytes("1"));  // unchanged
+}
+
+TEST_F(ChainTest, FailedTxRollsBackButConsumesNonce) {
+  Block block = chain_.make_block({make_method_tx(key_, 0, "fail")}, 0, 0);
+  ASSERT_TRUE(chain_.apply_block(block).ok());
+  const auto& receipt = chain_.result_at(1).receipts[0];
+  EXPECT_FALSE(receipt.success);
+  EXPECT_NE(receipt.error.find("deliberate failure"), std::string::npos);
+  EXPECT_FALSE(chain_.state().get("kv/should-not-exist").has_value());
+  EXPECT_EQ(chain_.expected_nonce(key_.account()), 1u);
+}
+
+TEST_F(ChainTest, OutOfGasFails) {
+  ByteWriter w;
+  w.u64(10'000'000);  // far beyond limit
+  Block block =
+      chain_.make_block({make_method_tx(key_, 0, "burn", w.take(), 5000)}, 0, 0);
+  ASSERT_TRUE(chain_.apply_block(block).ok());
+  const auto& receipt = chain_.result_at(1).receipts[0];
+  EXPECT_FALSE(receipt.success);
+  EXPECT_EQ(receipt.gas_used, 5000u);  // pinned at the limit
+  EXPECT_NE(receipt.error.find("out of gas"), std::string::npos);
+}
+
+TEST_F(ChainTest, BadSignatureFailsTx) {
+  Transaction tx = make_set_tx(key_, 0, "a", "1");
+  tx.signature[0] ^= 0xFF;
+  Block block = chain_.make_block({tx}, 0, 0);
+  ASSERT_TRUE(chain_.apply_block(block).ok());
+  EXPECT_FALSE(chain_.result_at(1).receipts[0].success);
+  // Bad-signature transactions must not advance the nonce.
+  EXPECT_EQ(chain_.expected_nonce(key_.account()), 0u);
+}
+
+TEST_F(ChainTest, SignatureVerificationCanBeDisabled) {
+  KvExecutor executor;
+  Blockchain chain(executor, ChainConfig{.verify_signatures = false});
+  Transaction tx = make_set_tx(key_, 0, "a", "1");
+  tx.signature[0] ^= 0xFF;
+  Block block = chain.make_block({tx}, 0, 0);
+  ASSERT_TRUE(chain.apply_block(block).ok());
+  EXPECT_TRUE(chain.result_at(1).receipts[0].success);
+}
+
+TEST_F(ChainTest, MultiBlockStateRootChains) {
+  Block b1 = chain_.make_block({make_set_tx(key_, 0, "a", "1")}, 0, 10);
+  ASSERT_TRUE(chain_.apply_block(b1).ok());
+  Block b2 = chain_.make_block({make_set_tx(key_, 1, "b", "2")}, 0, 20);
+  // b2's pre-state root must commit to the state after b1.
+  EXPECT_EQ(b2.header.state_root, chain_.state().root());
+  ASSERT_TRUE(chain_.apply_block(b2).ok());
+  EXPECT_EQ(chain_.height(), 2u);
+  EXPECT_EQ(chain_.tx_count(), 2u);
+  EXPECT_GT(chain_.total_gas_used(), 0u);
+}
+
+TEST_F(ChainTest, TwoChainsSameTxsConverge) {
+  KvExecutor e2;
+  Blockchain other(e2);
+  Block block = chain_.make_block(
+      {make_set_tx(key_, 0, "a", "1"), make_set_tx(key_, 1, "b", "2")}, 0, 5);
+  ASSERT_TRUE(chain_.apply_block(block).ok());
+  ASSERT_TRUE(other.apply_block(block).ok());
+  EXPECT_EQ(chain_.state().root(), other.state().root());
+  EXPECT_EQ(chain_.tip_hash(), other.tip_hash());
+}
+
+// -------------------------------------------------------------- mempool
+
+TEST(MempoolTest, FifoAndDedup) {
+  Mempool pool;
+  const auto key = test_key();
+  Transaction t0 = make_set_tx(key, 0, "a", "1");
+  Transaction t1 = make_set_tx(key, 1, "b", "2");
+  EXPECT_TRUE(pool.add(t0).ok());
+  EXPECT_TRUE(pool.add(t1).ok());
+  const Status dup = pool.add(t0);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(pool.size(), 2u);
+
+  auto batch = pool.take_batch(10);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].nonce, 0u);
+  EXPECT_EQ(batch[1].nonce, 1u);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(MempoolTest, BatchRespectsMax) {
+  Mempool pool;
+  const auto key = test_key();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.add(make_set_tx(key, i, "k" + std::to_string(i), "v")).ok());
+  }
+  EXPECT_EQ(pool.take_batch(4).size(), 4u);
+  EXPECT_EQ(pool.size(), 6u);
+}
+
+TEST(MempoolTest, HoldsBackNonceGaps) {
+  Mempool pool;
+  const auto key = test_key();
+  // Arrival order: nonce 0, then 2 (gap), then 1.
+  ASSERT_TRUE(pool.add(make_set_tx(key, 0, "a", "1")).ok());
+  ASSERT_TRUE(pool.add(make_set_tx(key, 2, "c", "3")).ok());
+  ASSERT_TRUE(pool.add(make_set_tx(key, 1, "b", "2")).ok());
+  auto batch = pool.take_batch(10);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].nonce, 0u);
+  EXPECT_EQ(batch[1].nonce, 1u);
+  EXPECT_EQ(pool.size(), 1u);  // nonce 2 held back for the next batch
+}
+
+TEST(MempoolTest, CapacityBound) {
+  Mempool pool(2);
+  const auto key = test_key();
+  ASSERT_TRUE(pool.add(make_set_tx(key, 0, "a", "1")).ok());
+  ASSERT_TRUE(pool.add(make_set_tx(key, 1, "b", "2")).ok());
+  const Status full = pool.add(make_set_tx(key, 2, "c", "3"));
+  EXPECT_FALSE(full.ok());
+  EXPECT_EQ(full.error().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(MempoolTest, RemoveCommitted) {
+  Mempool pool;
+  const auto key = test_key();
+  Transaction t0 = make_set_tx(key, 0, "a", "1");
+  Transaction t1 = make_set_tx(key, 1, "b", "2");
+  ASSERT_TRUE(pool.add(t0).ok());
+  ASSERT_TRUE(pool.add(t1).ok());
+  pool.remove_committed({t0});
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_FALSE(pool.contains(t0.id()));
+  EXPECT_TRUE(pool.contains(t1.id()));
+  // Re-adding a removed tx is allowed (it left the pool).
+  EXPECT_TRUE(pool.add(t0).ok());
+}
+
+
+// ----------------------------------------------- failure injection
+
+/// Executor that mis-executes "set": writes a corrupted value. Models a
+/// buggy or malicious replica build.
+class BuggyExecutor final : public TransactionExecutor {
+ public:
+  Status execute(const Transaction& tx, OverlayState& state,
+                 ExecContext& ctx) override {
+    const Status s = good_.execute(tx, state, ctx);
+    if (s.ok() && tx.method == "set") {
+      state.set("kv/corrupted", to_bytes("oops"));  // divergent write
+    }
+    return s;
+  }
+
+ private:
+  KvExecutor good_;
+};
+
+TEST(DivergenceTest, BuggyReplicaDetectedViaStateRoot) {
+  // An honest replica and a buggy one execute the same block; the buggy
+  // replica's next pre-state root no longer matches, so the honest replica
+  // rejects any block the buggy one proposes afterwards — the paper's
+  // "any change is easy to detect" property at work.
+  KvExecutor honest_executor;
+  BuggyExecutor buggy_executor;
+  Blockchain honest(honest_executor), buggy(buggy_executor);
+  const auto key = KeyPair::generate(SigScheme::kHmacSim, 9);
+
+  const Block b1 = honest.make_block({testutil::make_set_tx(key, 0, "a", "1")},
+                                     0, 10);
+  ASSERT_TRUE(honest.apply_block(b1).ok());
+  ASSERT_TRUE(buggy.apply_block(b1).ok());
+  EXPECT_NE(honest.state().root(), buggy.state().root());
+
+  // Buggy replica proposes the next block: honest rejects it outright.
+  const Block b2 = buggy.make_block({testutil::make_set_tx(key, 1, "b", "2")},
+                                    1, 20);
+  const Status verdict = honest.apply_block(b2);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.error().code(), ErrorCode::kCorruptData);
+  EXPECT_NE(verdict.to_string().find("divergence"), std::string::npos);
+}
+
+TEST(DivergenceTest, TamperedHistoricalTxChangesEverything) {
+  // Rewriting one byte of a committed transaction breaks the tx root, the
+  // block hash, and every descendant parent link.
+  KvExecutor executor;
+  Blockchain chain(executor);
+  const auto key = KeyPair::generate(SigScheme::kHmacSim, 10);
+  const Block original = chain.make_block(
+      {testutil::make_set_tx(key, 0, "headline", "factual")}, 0, 5);
+  ASSERT_TRUE(chain.apply_block(original).ok());
+
+  Block tampered = original;
+  tampered.txs[0].args[tampered.txs[0].args.size() - 1] ^= 0x01;
+  EXPECT_NE(tampered.compute_tx_root(), original.header.tx_root);
+  // Recomputing the root still changes the block hash → parent mismatch.
+  tampered.header.tx_root = tampered.compute_tx_root();
+  EXPECT_NE(tampered.hash(), original.hash());
+}
+
+TEST(DivergenceTest, ReceiptGasDependsOnlyOnExecution) {
+  // Same tx, two fresh chains: receipts identical (gas model deterministic).
+  KvExecutor e1, e2;
+  Blockchain c1(e1), c2(e2);
+  const auto key = KeyPair::generate(SigScheme::kHmacSim, 11);
+  const Block block =
+      c1.make_block({testutil::make_set_tx(key, 0, "k", "value-here")}, 0, 1);
+  ASSERT_TRUE(c1.apply_block(block).ok());
+  ASSERT_TRUE(c2.apply_block(block).ok());
+  EXPECT_EQ(c1.result_at(1).receipts[0].gas_used,
+            c2.result_at(1).receipts[0].gas_used);
+}
+
+}  // namespace
+}  // namespace tnp::ledger

@@ -1,0 +1,123 @@
+// Tests for the early-virality predictor (paper Sec VII future work).
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/prediction.hpp"
+
+namespace tnp::core {
+namespace {
+
+class PredictionTest : public ::testing::Test {
+ protected:
+  PredictionTest() {
+    Rng rng(17);
+    graph_ = net::barabasi_albert(1500, 3, rng);
+  }
+  net::Adjacency graph_;
+};
+
+TEST_F(PredictionTest, FeatureRangesSane) {
+  workload::PopulationConfig population;
+  population.bot_fraction = 0.1;
+  workload::CascadeSimulator simulator(graph_, population, 5);
+  const auto cascade = simulator.run({0, 1}, true);
+  const auto features = extract_cascade_features(graph_, simulator.kinds(),
+                                                 cascade, 2 * sim::kHour);
+  EXPECT_GE(features.early_reach, 0.0);
+  EXPECT_LE(features.early_reach, 1.0);
+  EXPECT_GE(features.bot_fraction, 0.0);
+  EXPECT_LE(features.bot_fraction, 1.0);
+  EXPECT_GE(features.hub_exposure, 0.0);
+  EXPECT_LE(features.hub_exposure, 1.0);
+  EXPECT_GE(features.breadth, 0.0);
+  EXPECT_LE(features.breadth, 1.0);
+  EXPECT_DOUBLE_EQ(features.bias, 1.0);
+}
+
+TEST_F(PredictionTest, WiderWindowSeesMore) {
+  workload::CascadeSimulator simulator(graph_, {}, 6);
+  const auto cascade = simulator.run({0, 1, 2}, true);
+  const auto narrow = extract_cascade_features(graph_, simulator.kinds(),
+                                               cascade, sim::kHour / 2);
+  const auto wide = extract_cascade_features(graph_, simulator.kinds(),
+                                             cascade, 8 * sim::kHour);
+  EXPECT_GE(wide.early_reach, narrow.early_reach);
+}
+
+TEST_F(PredictionTest, EmptyGraphAndUntrainedAreNeutral) {
+  const net::Adjacency empty;
+  workload::CascadeResult cascade;
+  const auto features = extract_cascade_features(empty, {}, cascade, 1);
+  EXPECT_DOUBLE_EQ(features.early_reach, 0.0);
+
+  ViralityPredictor predictor;
+  EXPECT_FALSE(predictor.trained());
+  EXPECT_DOUBLE_EQ(predictor.predict(features), 0.5);
+}
+
+TEST_F(PredictionTest, LearnsSeparableProblem) {
+  // Synthetic separable samples: viral iff early_reach > 0.05.
+  Rng rng(9);
+  std::vector<ViralityPredictor::Sample> train, test;
+  for (int i = 0; i < 400; ++i) {
+    ViralityPredictor::Sample sample;
+    sample.features.early_reach = rng.uniform_real(0.0, 0.15);
+    sample.features.share_rate = rng.uniform_real(0.0, 1.0);
+    sample.features.bias = 1.0;
+    sample.viral = sample.features.early_reach > 0.05;
+    (i % 4 == 0 ? test : train).push_back(sample);
+  }
+  ViralityPredictor predictor;
+  predictor.fit(train);
+  EXPECT_TRUE(predictor.trained());
+  std::size_t correct = 0;
+  for (const auto& sample : test) {
+    correct += (predictor.predict(sample.features) >= 0.5) == sample.viral;
+  }
+  EXPECT_GT(double(correct) / double(test.size()), 0.93);
+}
+
+TEST_F(PredictionTest, EndToEndAucAboveChance) {
+  Rng rng(21);
+  std::vector<ViralityPredictor::Sample> train;
+  std::vector<std::pair<double, bool>> scored_holder;
+  std::vector<ViralityPredictor::Sample> test;
+  for (int i = 0; i < 150; ++i) {
+    workload::PopulationConfig population;
+    population.bot_fraction = rng.uniform_real(0.0, 0.15);
+    population.human_share_prob = rng.uniform_real(0.03, 0.09);
+    workload::CascadeSimulator simulator(graph_, population, 100 + i);
+    const auto cascade = simulator.run(
+        {std::uint32_t(rng.uniform(graph_.size()))}, true);
+    ViralityPredictor::Sample sample;
+    sample.features = extract_cascade_features(graph_, simulator.kinds(),
+                                               cascade, 2 * sim::kHour);
+    sample.viral = cascade.reached * 10 >= graph_.size();
+    (i % 4 == 0 ? test : train).push_back(sample);
+  }
+  ViralityPredictor predictor;
+  predictor.fit(train);
+  std::vector<std::pair<double, bool>> scored;
+  for (const auto& sample : test) {
+    scored.emplace_back(predictor.predict(sample.features), sample.viral);
+  }
+  EXPECT_GT(roc_auc(scored), 0.75);
+}
+
+TEST_F(PredictionTest, DeterministicFit) {
+  std::vector<ViralityPredictor::Sample> samples;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    ViralityPredictor::Sample sample;
+    sample.features.early_reach = rng.uniform01();
+    sample.viral = rng.chance(0.5);
+    samples.push_back(sample);
+  }
+  ViralityPredictor a, b;
+  a.fit(samples);
+  b.fit(samples);
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+}  // namespace
+}  // namespace tnp::core

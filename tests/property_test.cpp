@@ -1,0 +1,334 @@
+// Property-based suites (parameterized over seeds): invariants that must
+// hold for arbitrary inputs — crypto round-trips, chain determinism, VM
+// robustness against random bytecode, text-similarity metric axioms,
+// provenance-graph trace invariants, and ranking-round token conservation.
+#include <gtest/gtest.h>
+
+#include "contracts/host.hpp"
+#include "contracts/txbuilder.hpp"
+#include "contracts/vm.hpp"
+#include "core/newsgraph.hpp"
+#include "text/similarity.hpp"
+#include "workload/corpus.hpp"
+
+namespace tnp {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ---------------------------------------------------------------- crypto
+
+TEST_P(SeededProperty, SchnorrSignVerifyAlwaysRoundTrips) {
+  Rng rng(GetParam());
+  const auto key = KeyPair::generate(SigScheme::kSchnorr, GetParam());
+  Bytes message(rng.uniform(200) + 1);
+  for (auto& b : message) b = static_cast<std::uint8_t>(rng.next());
+  const Bytes sig = key.sign(BytesView(message));
+  EXPECT_TRUE(verify_signature(SigScheme::kSchnorr,
+                               BytesView(key.public_material()),
+                               BytesView(message), BytesView(sig)));
+  // Any single-byte corruption of message or signature must fail.
+  Bytes corrupt_msg = message;
+  corrupt_msg[rng.uniform(corrupt_msg.size())] ^= 0x01;
+  EXPECT_FALSE(verify_signature(SigScheme::kSchnorr,
+                                BytesView(key.public_material()),
+                                BytesView(corrupt_msg), BytesView(sig)));
+  Bytes corrupt_sig = sig;
+  corrupt_sig[rng.uniform(corrupt_sig.size())] ^= 0x01;
+  EXPECT_FALSE(verify_signature(SigScheme::kSchnorr,
+                                BytesView(key.public_material()),
+                                BytesView(message), BytesView(corrupt_sig)));
+}
+
+TEST_P(SeededProperty, U256ModularFieldAxioms) {
+  Rng rng(GetParam() * 7 + 1);
+  const U256& n = secp::group_order();
+  const auto random_mod_n = [&] {
+    return mod(U256(rng.next(), rng.next(), rng.next(), rng.next()), n);
+  };
+  const U256 a = random_mod_n(), b = random_mod_n(), c = random_mod_n();
+  // Commutativity, associativity, distributivity.
+  EXPECT_EQ(mulmod(a, b, n), mulmod(b, a, n));
+  EXPECT_EQ(addmod(a, b, n), addmod(b, a, n));
+  EXPECT_EQ(mulmod(a, mulmod(b, c, n), n), mulmod(mulmod(a, b, n), c, n));
+  EXPECT_EQ(mulmod(a, addmod(b, c, n), n),
+            addmod(mulmod(a, b, n), mulmod(a, c, n), n));
+  // Fermat inverse (n is prime).
+  if (!a.is_zero()) {
+    U256 n_minus_2;
+    U256::sub_borrow(n, U256(2), n_minus_2);
+    const U256 inv = powmod(a, n_minus_2, n);
+    EXPECT_EQ(mulmod(a, inv, n), U256(1));
+  }
+}
+
+TEST_P(SeededProperty, TransactionCodecTotal) {
+  // decode(encode(tx)) == tx for arbitrary field contents.
+  Rng rng(GetParam() * 13 + 5);
+  ledger::Transaction tx;
+  tx.nonce = rng.next();
+  tx.gas_limit = rng.next();
+  tx.contract = std::string(rng.uniform(20), 'c');
+  tx.method = std::string(rng.uniform(20), 'm');
+  tx.args.resize(rng.uniform(500));
+  for (auto& b : tx.args) b = static_cast<std::uint8_t>(rng.next());
+  tx.sign_with(KeyPair::generate(SigScheme::kHmacSim, GetParam()));
+  auto decoded = ledger::Transaction::decode(BytesView(tx.encode(true)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, tx);
+
+  // Truncating at any prefix must fail cleanly, never crash.
+  const Bytes wire = tx.encode(true);
+  for (std::size_t cut : {0ul, 1ul, wire.size() / 4, wire.size() / 2,
+                          wire.size() - 1}) {
+    EXPECT_FALSE(
+        ledger::Transaction::decode(BytesView(wire.data(), cut)).ok());
+  }
+}
+
+// ---------------------------------------------------------------- ledger
+
+TEST_P(SeededProperty, ChainReplayIsDeterministic) {
+  // Two chains fed the same random workload end bit-identical.
+  Rng rng(GetParam() * 31 + 7);
+  auto host_a = contracts::ContractHost::standard();
+  auto host_b = contracts::ContractHost::standard();
+  ledger::Blockchain chain_a(*host_a), chain_b(*host_b);
+
+  std::vector<KeyPair> keys;
+  std::vector<std::uint64_t> nonces;
+  for (int i = 0; i < 4; ++i) {
+    keys.push_back(KeyPair::generate(SigScheme::kHmacSim, 100 + i));
+    nonces.push_back(0);
+  }
+  std::vector<ledger::Transaction> txs;
+  txs.push_back(contracts::txb::bootstrap_governance(keys[0], nonces[0]++));
+  for (int i = 0; i < 30; ++i) {
+    const std::size_t who = rng.uniform(keys.size());
+    switch (rng.uniform(3)) {
+      case 0:
+        txs.push_back(contracts::txb::register_identity(
+            keys[who], nonces[who]++, "n" + std::to_string(i),
+            contracts::Role::kConsumer));
+        break;
+      case 1:
+        txs.push_back(contracts::txb::mint(keys[who], nonces[who]++,
+                                           keys[rng.uniform(keys.size())].account(),
+                                           rng.uniform(1000) + 1));
+        break;
+      default:
+        txs.push_back(contracts::txb::create_platform(
+            keys[who], nonces[who]++, "p" + std::to_string(rng.uniform(5))));
+        break;
+    }
+  }
+  // Split into random block boundaries.
+  std::size_t cursor = 0;
+  std::uint64_t ts = 0;
+  while (cursor < txs.size()) {
+    const std::size_t take = std::min(txs.size() - cursor, rng.uniform(7) + 1);
+    std::vector<ledger::Transaction> block_txs(
+        txs.begin() + std::ptrdiff_t(cursor),
+        txs.begin() + std::ptrdiff_t(cursor + take));
+    cursor += take;
+    ++ts;
+    const auto block_a = chain_a.make_block(block_txs, 0, ts);
+    ASSERT_TRUE(chain_a.apply_block(block_a).ok());
+    ASSERT_TRUE(chain_b.apply_block(block_a).ok());
+  }
+  EXPECT_EQ(chain_a.state().root(), chain_b.state().root());
+  EXPECT_EQ(chain_a.tip_hash(), chain_b.tip_hash());
+  // Receipts agree too.
+  for (std::uint64_t h = 1; h <= chain_a.height(); ++h) {
+    const auto& ra = chain_a.result_at(h).receipts;
+    const auto& rb = chain_b.result_at(h).receipts;
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].success, rb[i].success);
+      EXPECT_EQ(ra[i].gas_used, rb[i].gas_used);
+    }
+  }
+}
+
+// -------------------------------------------------------------------- VM
+
+TEST_P(SeededProperty, RandomBytecodeNeverCrashes) {
+  // Arbitrary byte soup must yield either a result or a trap Status —
+  // never UB. Run many programs per seed.
+  Rng rng(GetParam() * 97 + 3);
+
+  class NullEnv final : public contracts::VmEnv {
+   public:
+    Bytes load(const Bytes&) override { return {}; }
+    void store(const Bytes&, const Bytes&) override {}
+    void emit(const std::string&, const Bytes&) override {}
+    Bytes caller() const override { return Bytes(32, 1); }
+  };
+  NullEnv env;
+  ledger::GasCosts costs;
+  int completed = 0, trapped = 0;
+  for (int program = 0; program < 200; ++program) {
+    Bytes code(rng.uniform(64) + 1);
+    for (auto& b : code) b = static_cast<std::uint8_t>(rng.next());
+    ledger::GasMeter gas(20'000);
+    const auto result =
+        contracts::vm_execute(BytesView(code), {}, env, gas, costs, 5'000);
+    (result.ok() ? completed : trapped) += 1;
+  }
+  EXPECT_EQ(completed + trapped, 200);
+  EXPECT_GT(trapped, 0);  // byte soup usually traps
+}
+
+// ------------------------------------------------------------------ text
+
+TEST_P(SeededProperty, SimilarityMetricAxioms) {
+  workload::CorpusGenerator gen({}, GetParam() * 11);
+  const auto a = text::tokenize(gen.factual().text);
+  const auto b = text::tokenize(gen.factual().text);
+  const auto sa = text::shingles(a);
+  const auto sb = text::shingles(b);
+  // Symmetry and range.
+  EXPECT_DOUBLE_EQ(text::jaccard(sa, sb), text::jaccard(sb, sa));
+  const double j = text::jaccard(sa, sb);
+  EXPECT_GE(j, 0.0);
+  EXPECT_LE(j, 1.0);
+  // Identity.
+  EXPECT_DOUBLE_EQ(text::jaccard(sa, sa), 1.0);
+  EXPECT_DOUBLE_EQ(text::lcs_similarity(a, a), 1.0);
+  // LCS bounded by the shorter document.
+  EXPECT_LE(text::lcs_length(a, b), std::min(a.size(), b.size()));
+  // DiffStats degree within [0,1] and anti-symmetric inputs give the same
+  // jaccard (order-free) term.
+  const auto stats_ab = text::diff_stats(a, b);
+  const auto stats_ba = text::diff_stats(b, a);
+  EXPECT_DOUBLE_EQ(stats_ab.jaccard, stats_ba.jaccard);
+  EXPECT_DOUBLE_EQ(stats_ab.lcs, stats_ba.lcs);
+  EXPECT_GE(stats_ab.modification_degree(), 0.0);
+  EXPECT_LE(stats_ab.modification_degree(), 1.0);
+}
+
+// ------------------------------------------------------------- newsgraph
+
+TEST_P(SeededProperty, TraceInvariantsOnRandomDags) {
+  Rng rng(GetParam() * 41 + 9);
+  workload::CorpusGenerator gen({}, GetParam());
+  core::ContentStore content;
+  core::ProvenanceGraph graph;
+
+  std::vector<Hash256> nodes;
+  std::vector<workload::Document> docs;
+  // Roots.
+  for (int i = 0; i < 5; ++i) {
+    docs.push_back(gen.factual());
+    nodes.push_back(content.put(docs.back().text));
+    graph.add_fact_root(nodes.back());
+  }
+  // Random derivations (parents always earlier → acyclic by construction).
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t parent_index = rng.uniform(nodes.size());
+    const auto derived = gen.derive_factual(docs[parent_index], 0,
+                                            rng.uniform_real(0.05, 0.5));
+    const Hash256 h = content.put(derived.text);
+    if (graph.article(h) || graph.is_fact_root(h)) continue;
+    contracts::ArticleRecord record;
+    record.author = KeyPair::generate(SigScheme::kHmacSim, i).account();
+    record.parents = {nodes[parent_index]};
+    if (rng.chance(0.3) && nodes.size() > 1) {
+      record.parents.push_back(nodes[rng.uniform(nodes.size())]);
+    }
+    record.edit_type = record.parents.size() > 1
+                           ? contracts::EditType::kMerge
+                           : contracts::EditType::kInsert;
+    graph.add_article(h, record);
+    nodes.push_back(h);
+    docs.push_back(derived);
+  }
+
+  EXPECT_TRUE(graph.is_acyclic());
+  for (const auto& node : nodes) {
+    const auto trace = graph.trace_to_root(node, content);
+    ASSERT_TRUE(trace.traceable);  // everything descends from a root here
+    EXPECT_GE(trace.path_similarity, 0.0);
+    EXPECT_LE(trace.path_similarity, 1.0 + 1e-12);
+    EXPECT_GE(trace.trace_score(), 0.0);
+    EXPECT_LE(trace.trace_score(), trace.path_similarity + 1e-12);
+    // Path structure: starts at the node, ends at a fact root, each hop is
+    // a real parent edge.
+    ASSERT_FALSE(trace.path.empty());
+    EXPECT_EQ(trace.path.front(), node);
+    EXPECT_TRUE(graph.is_fact_root(trace.path.back()));
+    for (std::size_t i = 0; i + 1 < trace.path.size(); ++i) {
+      const auto* record = graph.article(trace.path[i]);
+      ASSERT_NE(record, nullptr);
+      EXPECT_NE(std::find(record->parents.begin(), record->parents.end(),
+                          trace.path[i + 1]),
+                record->parents.end());
+    }
+  }
+}
+
+// ------------------------------------------------------- ranking economy
+
+TEST_P(SeededProperty, RankingRoundsNeverCreateTokens) {
+  Rng rng(GetParam() * 101 + 13);
+  auto host = contracts::ContractHost::standard();
+  ledger::Blockchain chain(*host);
+  const KeyPair admin = KeyPair::generate(SigScheme::kHmacSim, 1);
+  std::uint64_t admin_nonce = 0;
+  std::uint64_t ts = 0;
+  auto apply = [&](std::vector<ledger::Transaction> txs) {
+    const auto block = chain.make_block(std::move(txs), 0, ++ts);
+    ASSERT_TRUE(chain.apply_block(block).ok());
+  };
+  apply({contracts::txb::bootstrap_governance(admin, admin_nonce++),
+         contracts::txb::register_identity(admin, admin_nonce++, "a",
+                                           contracts::Role::kPublisher),
+         contracts::txb::create_platform(admin, admin_nonce++, "p"),
+         contracts::txb::create_room(admin, admin_nonce++, "p", "r", "t")});
+
+  std::vector<KeyPair> voters;
+  std::vector<std::uint64_t> nonces;
+  const std::size_t num_voters = 6;
+  std::uint64_t minted = 0;
+  for (std::size_t i = 0; i < num_voters; ++i) {
+    voters.push_back(KeyPair::generate(SigScheme::kHmacSim, 50 + i));
+    nonces.push_back(0);
+    apply({contracts::txb::register_identity(voters[i], nonces[i]++, "v",
+                                             contracts::Role::kFactChecker)});
+    const std::uint64_t grant = rng.uniform(500) + 100;
+    apply({contracts::txb::mint(admin, admin_nonce++, voters[i].account(),
+                                grant)});
+    minted += grant;
+  }
+
+  // Several rounds with random verdicts/stakes (some may fail: stake too
+  // large etc. — all must preserve the no-inflation invariant).
+  for (int round = 0; round < 5; ++round) {
+    const Hash256 article = sha256("prop article " + std::to_string(round) +
+                                   std::to_string(GetParam()));
+    apply({contracts::txb::publish(admin, admin_nonce++, "p", "r", article,
+                                   "ref", contracts::EditType::kOriginal, {}),
+           contracts::txb::open_round(admin, admin_nonce++, article)});
+    for (std::size_t i = 0; i < num_voters; ++i) {
+      if (!rng.chance(0.8)) continue;
+      apply({contracts::txb::vote(voters[i], nonces[i]++, article,
+                                  rng.chance(0.5), rng.uniform(150) + 1)});
+    }
+    apply({contracts::txb::close_round(admin, admin_nonce++, article)});
+
+    std::uint64_t total = 0;
+    for (const auto& voter : voters) {
+      total += contracts::get_u64(chain.state(),
+                                  contracts::keys::token_balance(voter.account()));
+    }
+    EXPECT_LE(total, minted) << "tokens were created out of thin air";
+    EXPECT_EQ(contracts::get_u64(chain.state(), contracts::keys::token_supply()),
+              minted);
+  }
+}
+
+}  // namespace
+}  // namespace tnp

@@ -1,0 +1,136 @@
+// Unit tests for the discrete-event simulator and latency models.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+
+namespace tnp::sim {
+namespace {
+
+TEST(SimulatorTest, RunsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule(30, [&] { order.push_back(3); });
+  simulator.schedule(10, [&] { order.push_back(1); });
+  simulator.schedule(20, [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), 30u);
+}
+
+TEST(SimulatorTest, EqualTimesFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  simulator.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator simulator;
+  std::vector<std::uint64_t> fire_times;
+  simulator.schedule(10, [&] {
+    fire_times.push_back(simulator.now());
+    simulator.schedule(5, [&] { fire_times.push_back(simulator.now()); });
+  });
+  simulator.run();
+  EXPECT_EQ(fire_times, (std::vector<std::uint64_t>{10, 15}));
+}
+
+TEST(SimulatorTest, PastSchedulingSnapsToNow) {
+  Simulator simulator;
+  simulator.schedule(100, [&] {
+    simulator.schedule_at(5, [&] { EXPECT_EQ(simulator.now(), 100u); });
+  });
+  simulator.run();
+  EXPECT_EQ(simulator.executed(), 2u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  int fired = 0;
+  for (std::uint64_t t : {10u, 20u, 30u, 40u}) {
+    simulator.schedule(t, [&] { ++fired; });
+  }
+  const auto ran = simulator.run_until(25);
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulator.now(), 25u);  // time advances to the deadline
+  EXPECT_EQ(simulator.pending(), 2u);
+  simulator.run_until(40);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(SimulatorTest, DeadlineInclusive) {
+  Simulator simulator;
+  bool fired = false;
+  simulator.schedule(25, [&] { fired = true; });
+  simulator.run_until(25);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, MaxEventsBound) {
+  Simulator simulator;
+  // Self-perpetuating event chain would run forever without the bound.
+  std::function<void()> tick = [&] { simulator.schedule(1, tick); };
+  simulator.schedule(1, tick);
+  const auto ran = simulator.run(1000);
+  EXPECT_EQ(ran, 1000u);
+  EXPECT_EQ(simulator.executed(), 1000u);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator simulator;
+  EXPECT_FALSE(simulator.step());
+  EXPECT_TRUE(simulator.empty());
+}
+
+TEST(LatencyModelTest, SamplesWithinEnvelope) {
+  Rng rng(3);
+  const LatencyModel model{.base = 100, .jitter = 50, .tail_prob = 0.0,
+                           .tail_mean = 0, .floor = 10};
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime s = model.sample(rng);
+    EXPECT_GE(s, 100u);
+    EXPECT_LE(s, 150u);
+  }
+}
+
+TEST(LatencyModelTest, FloorApplies) {
+  Rng rng(4);
+  const LatencyModel model{.base = 1, .jitter = 0, .tail_prob = 0.0,
+                           .tail_mean = 0, .floor = 500};
+  EXPECT_EQ(model.sample(rng), 500u);
+}
+
+TEST(LatencyModelTest, TailRaisesMean) {
+  Rng rng(5);
+  LatencyModel no_tail = LatencyModel::wan();
+  no_tail.tail_prob = 0.0;
+  LatencyModel heavy = LatencyModel::wan();
+  heavy.tail_prob = 0.5;
+  RunningStats base_stats, heavy_stats;
+  for (int i = 0; i < 20000; ++i) {
+    base_stats.add(static_cast<double>(no_tail.sample(rng)));
+    heavy_stats.add(static_cast<double>(heavy.sample(rng)));
+  }
+  EXPECT_GT(heavy_stats.mean(), base_stats.mean() * 1.3);
+}
+
+TEST(LatencyModelTest, PresetsOrdered) {
+  Rng rng(6);
+  RunningStats lan, dc, wan;
+  for (int i = 0; i < 2000; ++i) {
+    lan.add(static_cast<double>(LatencyModel::lan().sample(rng)));
+    dc.add(static_cast<double>(LatencyModel::datacenter().sample(rng)));
+    wan.add(static_cast<double>(LatencyModel::wan().sample(rng)));
+  }
+  EXPECT_LT(lan.mean(), dc.mean());
+  EXPECT_LT(dc.mean(), wan.mean());
+}
+
+}  // namespace
+}  // namespace tnp::sim

@@ -1,0 +1,87 @@
+// Shared helpers for ledger/consensus tests: a minimal key-value contract
+// executor and transaction factories.
+#pragma once
+
+#include "ledger/chain.hpp"
+#include "ledger/transaction.hpp"
+
+namespace tnp::testutil {
+
+/// Minimal executor: contract "kv" with methods
+///   set(key str, value str) — writes the pair
+///   del(key str)            — erases
+///   fail()                  — always fails (tests rollback)
+///   burn(amount u64)        — charges `amount` gas
+/// Anything else: kNotFound.
+class KvExecutor final : public ledger::TransactionExecutor {
+ public:
+  Status execute(const ledger::Transaction& tx, ledger::OverlayState& state,
+                 ledger::ExecContext& ctx) override {
+    if (tx.contract != "kv") {
+      return Status(ErrorCode::kNotFound, "unknown contract " + tx.contract);
+    }
+    ByteReader r{BytesView(tx.args)};
+    if (tx.method == "set") {
+      auto key = r.str();
+      auto value = r.str();
+      if (!key || !value) {
+        return Status(ErrorCode::kInvalidArgument, "set(key, value)");
+      }
+      if (auto s = ctx.charge(ctx.costs->state_write + value->size()); !s.ok()) {
+        return s;
+      }
+      state.set("kv/" + *key, to_bytes(*value));
+      ctx.emit("kv.set", to_bytes(*key));
+      return Status::Ok();
+    }
+    if (tx.method == "del") {
+      auto key = r.str();
+      if (!key) return Status(ErrorCode::kInvalidArgument, "del(key)");
+      state.erase("kv/" + *key);
+      return Status::Ok();
+    }
+    if (tx.method == "fail") {
+      // Writes then fails: the write must be rolled back.
+      state.set("kv/should-not-exist", to_bytes("x"));
+      return Status(ErrorCode::kInternal, "deliberate failure");
+    }
+    if (tx.method == "burn") {
+      auto amount = r.u64();
+      if (!amount) return Status(ErrorCode::kInvalidArgument, "burn(amount)");
+      return ctx.charge(*amount);
+    }
+    return Status(ErrorCode::kNotFound, "unknown method " + tx.method);
+  }
+};
+
+inline ledger::Transaction make_set_tx(const KeyPair& key, std::uint64_t nonce,
+                                       const std::string& k,
+                                       const std::string& v) {
+  ledger::Transaction tx;
+  tx.nonce = nonce;
+  tx.contract = "kv";
+  tx.method = "set";
+  ByteWriter w;
+  w.str(k);
+  w.str(v);
+  tx.args = w.take();
+  tx.sign_with(key);
+  return tx;
+}
+
+inline ledger::Transaction make_method_tx(const KeyPair& key,
+                                          std::uint64_t nonce,
+                                          const std::string& method,
+                                          Bytes args = {},
+                                          std::uint64_t gas_limit = 1'000'000) {
+  ledger::Transaction tx;
+  tx.nonce = nonce;
+  tx.contract = "kv";
+  tx.method = method;
+  tx.args = std::move(args);
+  tx.gas_limit = gas_limit;
+  tx.sign_with(key);
+  return tx;
+}
+
+}  // namespace tnp::testutil

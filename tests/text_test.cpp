@@ -1,0 +1,181 @@
+// Unit tests for tokenization, shingling, Jaccard/MinHash, LCS, and
+// DiffStats.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "text/similarity.hpp"
+#include "text/tokenize.hpp"
+
+namespace tnp::text {
+namespace {
+
+TEST(TokenizeTest, BasicSplitting) {
+  EXPECT_EQ(tokenize("Hello, World!"), (Tokens{"hello", "world"}));
+  EXPECT_EQ(tokenize("  a  b\tc\nd "), (Tokens{"a", "b", "c", "d"}));
+  EXPECT_EQ(tokenize("covid-19 cases: 42"), (Tokens{"covid", "19", "cases", "42"}));
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("!!! ???").empty());
+}
+
+TEST(TokenizeTest, JoinRoundTrip) {
+  const Tokens tokens = {"alpha", "beta", "42"};
+  EXPECT_EQ(tokenize(join(tokens)), tokens);
+  EXPECT_EQ(join({}), "");
+}
+
+TEST(VocabularyTest, StableIds) {
+  Vocabulary vocab;
+  const auto a = vocab.add("apple");
+  const auto b = vocab.add("banana");
+  EXPECT_EQ(vocab.add("apple"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.word(a), "apple");
+  EXPECT_EQ(vocab.lookup("banana"), static_cast<std::int64_t>(b));
+  EXPECT_EQ(vocab.lookup("cherry"), -1);
+}
+
+TEST(VocabularyTest, EncodeAddsAll) {
+  Vocabulary vocab;
+  const auto ids = vocab.encode({"x", "y", "x"});
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(TermCountsTest, Counts) {
+  const auto counts = term_counts({"a", "b", "a", "a"});
+  EXPECT_EQ(counts.at("a"), 3u);
+  EXPECT_EQ(counts.at("b"), 1u);
+}
+
+TEST(ShingleTest, IdenticalAndDisjoint) {
+  const Tokens a = tokenize("the quick brown fox jumps over the lazy dog");
+  const Tokens b = tokenize("completely different words entirely unrelated text here");
+  EXPECT_DOUBLE_EQ(jaccard(shingles(a), shingles(a)), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard(shingles(a), shingles(b)), 0.0);
+}
+
+TEST(ShingleTest, ShortDocumentsStillShingle) {
+  const Tokens tiny = {"one", "two"};
+  const auto s = shingles(tiny, 5);  // k > len → whole-doc shingle
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(shingles({}, 3).empty());
+}
+
+TEST(ShingleTest, PartialOverlapBetweenZeroAndOne) {
+  const Tokens a = tokenize("alpha beta gamma delta epsilon zeta eta theta");
+  const Tokens b = tokenize("alpha beta gamma delta epsilon zeta other words");
+  const double j = jaccard(shingles(a), shingles(b));
+  EXPECT_GT(j, 0.1);
+  EXPECT_LT(j, 0.9);
+}
+
+TEST(ContainmentTest, SubsetDetection) {
+  const Tokens parent = tokenize(
+      "one two three four five six seven eight nine ten eleven twelve");
+  const Tokens child = tokenize("one two three four five six");  // prefix
+  const auto ps = shingles(parent, 3);
+  const auto cs = shingles(child, 3);
+  EXPECT_DOUBLE_EQ(containment(cs, ps), 1.0);  // child fully inside parent
+  EXPECT_LT(containment(ps, cs), 0.5);
+  EXPECT_DOUBLE_EQ(containment(ShingleSet{}, ps), 1.0);  // vacuous
+}
+
+TEST(MinHashTest, EstimatesJaccard) {
+  Rng rng(7);
+  MinHash mh(256);
+  // Build two sets with known overlap ~0.5.
+  ShingleSet a, b;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng.next();
+    a.insert(x);
+    b.insert(x);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    a.insert(rng.next());
+    b.insert(rng.next());
+  }
+  const double exact = jaccard(a, b);
+  const double estimate = MinHash::estimate(mh.signature(a), mh.signature(b));
+  EXPECT_NEAR(estimate, exact, 0.08);
+}
+
+TEST(MinHashTest, IdenticalSetsAgreeExactly) {
+  MinHash mh(64);
+  ShingleSet s = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(MinHash::estimate(mh.signature(s), mh.signature(s)), 1.0);
+}
+
+TEST(MinHashTest, MismatchedSignaturesRejected) {
+  MinHash small(16), large(32);
+  ShingleSet s = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(MinHash::estimate(small.signature(s), large.signature(s)),
+                   0.0);
+}
+
+TEST(LcsTest, KnownCases) {
+  EXPECT_EQ(lcs_length({"a", "b", "c"}, {"a", "b", "c"}), 3u);
+  EXPECT_EQ(lcs_length({"a", "b", "c"}, {"x", "y"}), 0u);
+  EXPECT_EQ(lcs_length({"a", "b", "c", "d"}, {"a", "c", "d"}), 3u);
+  EXPECT_EQ(lcs_length({}, {"a"}), 0u);
+  EXPECT_EQ(lcs_length({"a", "x", "b", "y", "c"}, {"q", "a", "b", "c"}), 3u);
+}
+
+TEST(LcsTest, SimilarityBounds) {
+  const Tokens a = tokenize("w1 w2 w3 w4 w5 w6");
+  EXPECT_DOUBLE_EQ(lcs_similarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(lcs_similarity(a, tokenize("q1 q2 q3")), 0.0);
+  EXPECT_DOUBLE_EQ(lcs_similarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(lcs_similarity(a, {}), 0.0);
+}
+
+TEST(LcsTest, OrderSensitivityVersusJaccard) {
+  // Same bag of words, reversed order: Jaccard of 1-shingles is 1, LCS low.
+  const Tokens a = {"one", "two", "three", "four", "five", "six", "seven"};
+  Tokens b(a.rbegin(), a.rend());
+  EXPECT_DOUBLE_EQ(jaccard(shingles(a, 1), shingles(b, 1)), 1.0);
+  EXPECT_LT(lcs_similarity(a, b), 0.35);
+}
+
+TEST(DiffStatsTest, IdenticalDocs) {
+  const Tokens doc = tokenize("breaking news about the economy today");
+  const DiffStats stats = diff_stats(doc, doc);
+  EXPECT_DOUBLE_EQ(stats.similarity(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.modification_degree(), 0.0);
+}
+
+TEST(DiffStatsTest, InsertOnlyShape) {
+  const Tokens parent = tokenize("w1 w2 w3 w4 w5 w6 w7 w8 w9 w10");
+  Tokens child = parent;
+  for (const char* extra : {"added1", "added2", "added3", "added4"}) {
+    child.push_back(extra);
+  }
+  const DiffStats stats = diff_stats(parent, child);
+  EXPECT_GT(stats.parent_in_child, 0.95);   // parent preserved
+  EXPECT_LT(stats.child_in_parent, 0.95);   // child grew
+  EXPECT_GT(stats.modification_degree(), 0.0);
+  EXPECT_LT(stats.modification_degree(), 0.6);
+}
+
+TEST(DiffStatsTest, MonotoneInMutationCount) {
+  Rng rng(11);
+  Tokens base;
+  for (int i = 0; i < 60; ++i) base.push_back("w" + std::to_string(i));
+  double last_degree = -1.0;
+  for (int mutations : {0, 5, 15, 30, 50}) {
+    Tokens mutated = base;
+    Rng local(42);
+    for (int m = 0; m < mutations; ++m) {
+      mutated[local.uniform(mutated.size())] = "zz" + std::to_string(m);
+    }
+    const double degree = diff_stats(base, mutated).modification_degree();
+    EXPECT_GT(degree, last_degree - 1e-9)
+        << "degree must not decrease with more mutations";
+    last_degree = degree;
+  }
+  EXPECT_GT(last_degree, 0.5);
+}
+
+}  // namespace
+}  // namespace tnp::text

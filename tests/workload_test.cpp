@@ -1,0 +1,209 @@
+// Tests for the synthetic corpus generator, public records, and the
+// cascade propagation simulator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ai/features.hpp"
+#include "text/similarity.hpp"
+#include "workload/corpus.hpp"
+#include "workload/propagation.hpp"
+#include "workload/records.hpp"
+
+namespace tnp::workload {
+namespace {
+
+TEST(CorpusTest, GenerateBalancedAndDeterministic) {
+  CorpusGenerator g1({}, 42), g2({}, 42), g3({}, 43);
+  const auto docs1 = g1.generate(200);
+  const auto docs2 = g2.generate(200);
+  const auto docs3 = g3.generate(200);
+  ASSERT_EQ(docs1.size(), 200u);
+  std::size_t fakes = 0;
+  for (const auto& d : docs1) fakes += d.fake;
+  EXPECT_EQ(fakes, 100u);
+  // Determinism per seed.
+  for (std::size_t i = 0; i < docs1.size(); ++i) {
+    EXPECT_EQ(docs1[i].text, docs2[i].text);
+  }
+  EXPECT_NE(docs1[0].text, docs3[0].text);
+}
+
+TEST(CorpusTest, FactualFirstOrderingAndDerivedFromValid) {
+  CorpusGenerator gen({}, 7);
+  const auto docs = gen.generate(300);
+  for (std::size_t i = 0; i < 150; ++i) EXPECT_FALSE(docs[i].fake);
+  std::size_t mutated = 0;
+  for (std::size_t i = 150; i < 300; ++i) {
+    EXPECT_TRUE(docs[i].fake);
+    if (docs[i].derived_from) {
+      ++mutated;
+      const std::size_t src = *docs[i].derived_from;
+      ASSERT_LT(src, 150u);
+      EXPECT_FALSE(docs[src].fake);
+      EXPECT_EQ(docs[src].topic, docs[i].topic);
+    }
+  }
+  // ~72.3% of fakes are mutations of factual articles (paper [11-13]).
+  EXPECT_NEAR(static_cast<double>(mutated) / 150.0, 0.723, 0.12);
+}
+
+TEST(CorpusTest, MutatedFakeStaysSimilarToSource) {
+  CorpusGenerator gen({}, 9);
+  const Document source = gen.factual(2);
+  const Document fake = gen.mutate_into_fake(source, 0);
+  EXPECT_TRUE(fake.fake);
+  const auto stats = text::diff_stats(text::tokenize(source.text),
+                                      text::tokenize(fake.text));
+  // Mutation strength 0.25: recognizably derived, clearly modified.
+  EXPECT_GT(stats.similarity(), 0.2);
+  EXPECT_LT(stats.similarity(), 0.98);
+}
+
+TEST(CorpusTest, FakesCarrySensationalSignal) {
+  CorpusGenerator gen({}, 10);
+  double fake_signal = 0.0, factual_signal = 0.0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    const Document f = gen.factual();
+    const Document k = gen.fabricated();
+    const auto sf = ai::style_features(f.text);
+    const auto sk = ai::style_features(k.text);
+    factual_signal += sf[2] + sf[3];
+    fake_signal += sk[2] + sk[3];
+  }
+  EXPECT_GT(fake_signal, 5.0 * factual_signal);
+}
+
+TEST(CorpusTest, DeriveFactualPreservesLabelAndTopic) {
+  CorpusGenerator gen({}, 11);
+  const Document source = gen.factual(1);
+  const Document derived = gen.derive_factual(source, 0, 0.1);
+  EXPECT_FALSE(derived.fake);
+  EXPECT_EQ(derived.topic, 1u);
+  EXPECT_EQ(derived.derived_from, std::optional<std::size_t>(0));
+  const auto stats = text::diff_stats(text::tokenize(source.text),
+                                      text::tokenize(derived.text));
+  EXPECT_GT(stats.similarity(), 0.55);
+}
+
+TEST(CorpusTest, TopicsUseDistinctVocabulary) {
+  CorpusGenerator gen({}, 12);
+  const auto a = text::shingles(text::tokenize(gen.factual(0).text), 1);
+  const auto b = text::shingles(text::tokenize(gen.factual(5).text), 1);
+  // Shared function words exist, but topic words differ → low similarity.
+  EXPECT_LT(text::jaccard(a, b), 0.5);
+}
+
+TEST(RecordsTest, PublicRecordsAreFactualAndTagged) {
+  CorpusGenerator gen({}, 13);
+  const auto records = generate_public_records(gen, 25);
+  ASSERT_EQ(records.size(), 25u);
+  std::set<std::string> tags;
+  for (const auto& record : records) {
+    EXPECT_FALSE(record.document.fake);
+    EXPECT_FALSE(record.source_tag.empty());
+    tags.insert(record.source_tag);
+  }
+  EXPECT_EQ(tags.size(), 5u);  // all source institutions used
+}
+
+// ------------------------------------------------------------ propagation
+
+class CascadeTest : public ::testing::Test {
+ protected:
+  CascadeTest() {
+    Rng rng(21);
+    graph_ = net::barabasi_albert(2000, 3, rng);
+  }
+  net::Adjacency graph_;
+};
+
+TEST_F(CascadeTest, PopulationMixMatchesConfig) {
+  PopulationConfig config;
+  config.bot_fraction = 0.10;
+  config.cyborg_fraction = 0.05;
+  CascadeSimulator simulator(graph_, config, 22);
+  std::size_t bots = 0, cyborgs = 0;
+  for (const auto kind : simulator.kinds()) {
+    bots += kind == AgentKind::kBot;
+    cyborgs += kind == AgentKind::kCyborg;
+  }
+  EXPECT_NEAR(static_cast<double>(bots) / 2000.0, 0.10, 0.03);
+  EXPECT_NEAR(static_cast<double>(cyborgs) / 2000.0, 0.05, 0.02);
+}
+
+TEST_F(CascadeTest, SeedsAlwaysReached) {
+  CascadeSimulator simulator(graph_, {}, 23);
+  const auto result = simulator.run({5, 10, 15}, false);
+  EXPECT_GE(result.reached, 3u);
+  EXPECT_EQ(result.infection_time[5], 0u);
+  EXPECT_EQ(result.infection_time[10], 0u);
+}
+
+TEST_F(CascadeTest, FakeSpreadsFartherThanFactual) {
+  // Same graph, same seeds: sensational content reaches more people
+  // (virality boost) — the paper's core premise.
+  double fake_total = 0, factual_total = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    CascadeSimulator simulator(graph_, {}, 100 + trial);
+    factual_total += static_cast<double>(simulator.run({0, 1, 2}, false).reached);
+    CascadeSimulator simulator2(graph_, {}, 100 + trial);
+    fake_total += static_cast<double>(simulator2.run({0, 1, 2}, true).reached);
+  }
+  EXPECT_GT(fake_total, 1.2 * factual_total);
+}
+
+TEST_F(CascadeTest, BotsAmplifySpread) {
+  PopulationConfig no_bots;
+  no_bots.bot_fraction = 0.0;
+  no_bots.cyborg_fraction = 0.0;
+  PopulationConfig many_bots;
+  many_bots.bot_fraction = 0.20;
+  double plain = 0, amplified = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    CascadeSimulator a(graph_, no_bots, 200 + trial);
+    CascadeSimulator b(graph_, many_bots, 200 + trial);
+    plain += static_cast<double>(a.run({0, 1}, true).reached);
+    amplified += static_cast<double>(b.run({0, 1}, true).reached);
+  }
+  EXPECT_GT(amplified, plain * 1.3);
+}
+
+TEST_F(CascadeTest, InterventionSuppressesFakeOnly) {
+  const InterventionFn intervention = [](std::uint32_t, bool fake) {
+    return fake ? 0.2 : 1.0;  // rank-gated resharing damps flagged items
+  };
+  double unchecked = 0, checked = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    CascadeSimulator a(graph_, {}, 300 + trial);
+    CascadeSimulator b(graph_, {}, 300 + trial);
+    unchecked += static_cast<double>(a.run({0, 1, 2}, true).reached);
+    checked += static_cast<double>(b.run({0, 1, 2}, true, intervention).reached);
+  }
+  EXPECT_LT(checked, unchecked * 0.7);
+}
+
+TEST_F(CascadeTest, InfectionTimesRespectCausality) {
+  CascadeSimulator simulator(graph_, {}, 24);
+  const auto result = simulator.run({0}, true);
+  // Every share edge must connect an earlier infection to a later one.
+  for (std::size_t i = 0; i + 1 < result.share_edges.size(); i += 2) {
+    const auto from = result.share_edges[i];
+    const auto to = result.share_edges[i + 1];
+    EXPECT_LE(result.infection_time[from], result.infection_time[to]);
+  }
+  if (result.reached * 2 >= graph_.size()) {
+    EXPECT_NE(result.half_population_time, UINT64_MAX);
+  }
+}
+
+TEST_F(CascadeTest, BlockingInterventionStopsEverything) {
+  CascadeSimulator simulator(graph_, {}, 25);
+  const auto result =
+      simulator.run({7}, true, [](std::uint32_t, bool) { return 0.0; });
+  EXPECT_EQ(result.reached, 1u);  // only the seed
+}
+
+}  // namespace
+}  // namespace tnp::workload
