@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ai_detectors.dir/bench_ai_detectors.cpp.o"
+  "CMakeFiles/bench_ai_detectors.dir/bench_ai_detectors.cpp.o.d"
+  "bench_ai_detectors"
+  "bench_ai_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ai_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consensus_scale.dir/bench_consensus_scale.cpp.o"
+  "CMakeFiles/bench_consensus_scale.dir/bench_consensus_scale.cpp.o.d"
+  "bench_consensus_scale"
+  "bench_consensus_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consensus_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

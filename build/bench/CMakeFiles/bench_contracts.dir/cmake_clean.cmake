@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contracts.dir/bench_contracts.cpp.o"
+  "CMakeFiles/bench_contracts.dir/bench_contracts.cpp.o.d"
+  "bench_contracts"
+  "bench_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

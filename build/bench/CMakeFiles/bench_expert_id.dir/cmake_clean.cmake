@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expert_id.dir/bench_expert_id.cpp.o"
+  "CMakeFiles/bench_expert_id.dir/bench_expert_id.cpp.o.d"
+  "bench_expert_id"
+  "bench_expert_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expert_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ecosystem.dir/bench_fig2_ecosystem.cpp.o"
+  "CMakeFiles/bench_fig2_ecosystem.dir/bench_fig2_ecosystem.cpp.o.d"
+  "bench_fig2_ecosystem"
+  "bench_fig2_ecosystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ecosystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

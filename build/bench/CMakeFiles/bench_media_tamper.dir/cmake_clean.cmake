@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_media_tamper.dir/bench_media_tamper.cpp.o"
+  "CMakeFiles/bench_media_tamper.dir/bench_media_tamper.cpp.o.d"
+  "bench_media_tamper"
+  "bench_media_tamper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_media_tamper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_outpacing.dir/bench_outpacing.cpp.o"
+  "CMakeFiles/bench_outpacing.dir/bench_outpacing.cpp.o.d"
+  "bench_outpacing"
+  "bench_outpacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outpacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ranking_robustness.dir/bench_ranking_robustness.cpp.o"
+  "CMakeFiles/bench_ranking_robustness.dir/bench_ranking_robustness.cpp.o.d"
+  "bench_ranking_robustness"
+  "bench_ranking_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ranking_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

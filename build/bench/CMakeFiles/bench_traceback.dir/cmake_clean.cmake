@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traceback.dir/bench_traceback.cpp.o"
+  "CMakeFiles/bench_traceback.dir/bench_traceback.cpp.o.d"
+  "bench_traceback"
+  "bench_traceback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traceback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

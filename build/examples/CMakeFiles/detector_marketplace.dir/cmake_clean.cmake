@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_marketplace.dir/detector_marketplace.cpp.o"
+  "CMakeFiles/detector_marketplace.dir/detector_marketplace.cpp.o.d"
+  "detector_marketplace"
+  "detector_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

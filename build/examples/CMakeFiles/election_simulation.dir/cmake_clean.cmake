@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/election_simulation.dir/election_simulation.cpp.o"
+  "CMakeFiles/election_simulation.dir/election_simulation.cpp.o.d"
+  "election_simulation"
+  "election_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/election_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fake_news_forensics.dir/fake_news_forensics.cpp.o"
+  "CMakeFiles/fake_news_forensics.dir/fake_news_forensics.cpp.o.d"
+  "fake_news_forensics"
+  "fake_news_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fake_news_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

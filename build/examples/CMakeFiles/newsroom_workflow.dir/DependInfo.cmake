@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/newsroom_workflow.cpp" "examples/CMakeFiles/newsroom_workflow.dir/newsroom_workflow.cpp.o" "gcc" "examples/CMakeFiles/newsroom_workflow.dir/newsroom_workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tnp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tnp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/contracts/CMakeFiles/tnp_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/tnp_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/ai/CMakeFiles/tnp_ai.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tnp_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tnp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tnp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tnp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tnp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

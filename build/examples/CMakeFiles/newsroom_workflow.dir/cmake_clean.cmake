@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsroom_workflow.dir/newsroom_workflow.cpp.o"
+  "CMakeFiles/newsroom_workflow.dir/newsroom_workflow.cpp.o.d"
+  "newsroom_workflow"
+  "newsroom_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsroom_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ai/classifiers.cpp" "src/ai/CMakeFiles/tnp_ai.dir/classifiers.cpp.o" "gcc" "src/ai/CMakeFiles/tnp_ai.dir/classifiers.cpp.o.d"
+  "/root/repo/src/ai/features.cpp" "src/ai/CMakeFiles/tnp_ai.dir/features.cpp.o" "gcc" "src/ai/CMakeFiles/tnp_ai.dir/features.cpp.o.d"
+  "/root/repo/src/ai/media.cpp" "src/ai/CMakeFiles/tnp_ai.dir/media.cpp.o" "gcc" "src/ai/CMakeFiles/tnp_ai.dir/media.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tnp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tnp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tnp_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_ai.dir/classifiers.cpp.o"
+  "CMakeFiles/tnp_ai.dir/classifiers.cpp.o.d"
+  "CMakeFiles/tnp_ai.dir/features.cpp.o"
+  "CMakeFiles/tnp_ai.dir/features.cpp.o.d"
+  "CMakeFiles/tnp_ai.dir/media.cpp.o"
+  "CMakeFiles/tnp_ai.dir/media.cpp.o.d"
+  "libtnp_ai.a"
+  "libtnp_ai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_ai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

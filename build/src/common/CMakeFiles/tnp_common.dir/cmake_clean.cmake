@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_common.dir/bytes.cpp.o"
+  "CMakeFiles/tnp_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/tnp_common.dir/log.cpp.o"
+  "CMakeFiles/tnp_common.dir/log.cpp.o.d"
+  "CMakeFiles/tnp_common.dir/rng.cpp.o"
+  "CMakeFiles/tnp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tnp_common.dir/stats.cpp.o"
+  "CMakeFiles/tnp_common.dir/stats.cpp.o.d"
+  "libtnp_common.a"
+  "libtnp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

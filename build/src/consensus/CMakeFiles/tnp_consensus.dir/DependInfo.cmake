@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/cluster.cpp" "src/consensus/CMakeFiles/tnp_consensus.dir/cluster.cpp.o" "gcc" "src/consensus/CMakeFiles/tnp_consensus.dir/cluster.cpp.o.d"
+  "/root/repo/src/consensus/messages.cpp" "src/consensus/CMakeFiles/tnp_consensus.dir/messages.cpp.o" "gcc" "src/consensus/CMakeFiles/tnp_consensus.dir/messages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tnp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tnp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tnp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tnp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/tnp_ledger.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_consensus.dir/cluster.cpp.o"
+  "CMakeFiles/tnp_consensus.dir/cluster.cpp.o.d"
+  "CMakeFiles/tnp_consensus.dir/messages.cpp.o"
+  "CMakeFiles/tnp_consensus.dir/messages.cpp.o.d"
+  "libtnp_consensus.a"
+  "libtnp_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

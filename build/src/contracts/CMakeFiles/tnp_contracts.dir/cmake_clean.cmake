@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_contracts.dir/native.cpp.o"
+  "CMakeFiles/tnp_contracts.dir/native.cpp.o.d"
+  "CMakeFiles/tnp_contracts.dir/vm.cpp.o"
+  "CMakeFiles/tnp_contracts.dir/vm.cpp.o.d"
+  "libtnp_contracts.a"
+  "libtnp_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tnp_contracts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_core.dir/factdb.cpp.o"
+  "CMakeFiles/tnp_core.dir/factdb.cpp.o.d"
+  "CMakeFiles/tnp_core.dir/newsgraph.cpp.o"
+  "CMakeFiles/tnp_core.dir/newsgraph.cpp.o.d"
+  "CMakeFiles/tnp_core.dir/platform.cpp.o"
+  "CMakeFiles/tnp_core.dir/platform.cpp.o.d"
+  "CMakeFiles/tnp_core.dir/prediction.cpp.o"
+  "CMakeFiles/tnp_core.dir/prediction.cpp.o.d"
+  "CMakeFiles/tnp_core.dir/ranking.cpp.o"
+  "CMakeFiles/tnp_core.dir/ranking.cpp.o.d"
+  "libtnp_core.a"
+  "libtnp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

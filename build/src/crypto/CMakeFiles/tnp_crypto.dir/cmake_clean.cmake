@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_crypto.dir/hash.cpp.o"
+  "CMakeFiles/tnp_crypto.dir/hash.cpp.o.d"
+  "CMakeFiles/tnp_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/tnp_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/tnp_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/tnp_crypto.dir/schnorr.cpp.o.d"
+  "CMakeFiles/tnp_crypto.dir/secp256k1.cpp.o"
+  "CMakeFiles/tnp_crypto.dir/secp256k1.cpp.o.d"
+  "CMakeFiles/tnp_crypto.dir/signer.cpp.o"
+  "CMakeFiles/tnp_crypto.dir/signer.cpp.o.d"
+  "CMakeFiles/tnp_crypto.dir/u256.cpp.o"
+  "CMakeFiles/tnp_crypto.dir/u256.cpp.o.d"
+  "libtnp_crypto.a"
+  "libtnp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_ledger.dir/block.cpp.o"
+  "CMakeFiles/tnp_ledger.dir/block.cpp.o.d"
+  "CMakeFiles/tnp_ledger.dir/chain.cpp.o"
+  "CMakeFiles/tnp_ledger.dir/chain.cpp.o.d"
+  "CMakeFiles/tnp_ledger.dir/mempool.cpp.o"
+  "CMakeFiles/tnp_ledger.dir/mempool.cpp.o.d"
+  "CMakeFiles/tnp_ledger.dir/state.cpp.o"
+  "CMakeFiles/tnp_ledger.dir/state.cpp.o.d"
+  "CMakeFiles/tnp_ledger.dir/transaction.cpp.o"
+  "CMakeFiles/tnp_ledger.dir/transaction.cpp.o.d"
+  "libtnp_ledger.a"
+  "libtnp_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_net.dir/gossip.cpp.o"
+  "CMakeFiles/tnp_net.dir/gossip.cpp.o.d"
+  "CMakeFiles/tnp_net.dir/network.cpp.o"
+  "CMakeFiles/tnp_net.dir/network.cpp.o.d"
+  "CMakeFiles/tnp_net.dir/topology.cpp.o"
+  "CMakeFiles/tnp_net.dir/topology.cpp.o.d"
+  "libtnp_net.a"
+  "libtnp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_sim.dir/latency.cpp.o"
+  "CMakeFiles/tnp_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/tnp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tnp_sim.dir/simulator.cpp.o.d"
+  "libtnp_sim.a"
+  "libtnp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

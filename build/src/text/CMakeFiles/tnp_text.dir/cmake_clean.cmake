@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_text.dir/similarity.cpp.o"
+  "CMakeFiles/tnp_text.dir/similarity.cpp.o.d"
+  "CMakeFiles/tnp_text.dir/tokenize.cpp.o"
+  "CMakeFiles/tnp_text.dir/tokenize.cpp.o.d"
+  "libtnp_text.a"
+  "libtnp_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

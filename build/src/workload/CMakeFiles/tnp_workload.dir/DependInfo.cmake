@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/corpus.cpp" "src/workload/CMakeFiles/tnp_workload.dir/corpus.cpp.o" "gcc" "src/workload/CMakeFiles/tnp_workload.dir/corpus.cpp.o.d"
+  "/root/repo/src/workload/propagation.cpp" "src/workload/CMakeFiles/tnp_workload.dir/propagation.cpp.o" "gcc" "src/workload/CMakeFiles/tnp_workload.dir/propagation.cpp.o.d"
+  "/root/repo/src/workload/records.cpp" "src/workload/CMakeFiles/tnp_workload.dir/records.cpp.o" "gcc" "src/workload/CMakeFiles/tnp_workload.dir/records.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tnp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tnp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tnp_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ai/CMakeFiles/tnp_ai.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tnp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tnp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnp_workload.dir/corpus.cpp.o"
+  "CMakeFiles/tnp_workload.dir/corpus.cpp.o.d"
+  "CMakeFiles/tnp_workload.dir/propagation.cpp.o"
+  "CMakeFiles/tnp_workload.dir/propagation.cpp.o.d"
+  "CMakeFiles/tnp_workload.dir/records.cpp.o"
+  "CMakeFiles/tnp_workload.dir/records.cpp.o.d"
+  "libtnp_workload.a"
+  "libtnp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ai_test.dir/ai_test.cpp.o"
+  "CMakeFiles/ai_test.dir/ai_test.cpp.o.d"
+  "ai_test"
+  "ai_test.pdb"
+  "ai_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ai_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appstore_test.dir/appstore_test.cpp.o"
+  "CMakeFiles/appstore_test.dir/appstore_test.cpp.o.d"
+  "appstore_test"
+  "appstore_test.pdb"
+  "appstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
