@@ -1,0 +1,172 @@
+// Serial vs parallel throughput for the three thread-pool call sites:
+//   sigs    — Blockchain::validate_block over a block of Schnorr-signed txs
+//   merkle  — merkle_root over a wide leaf set
+//   batchsim— BatchSimilarity over a corpus of derived-article pairs
+// Each path is swept at 1/2/4/8 threads via set_global_thread_count() and
+// checked bit-identical against the single-thread result. Emits
+// BENCH_parallel.json for cross-commit diffing.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "crypto/merkle.hpp"
+#include "ledger/chain.hpp"
+#include "text/similarity.hpp"
+#include "text/tokenize.hpp"
+#include "workload/corpus.hpp"
+
+namespace {
+
+using namespace tnp;
+
+class NoopExecutor final : public ledger::TransactionExecutor {
+ public:
+  Status execute(const ledger::Transaction&, ledger::OverlayState&,
+                 ledger::ExecContext&) override {
+    return Status::Ok();
+  }
+};
+
+ledger::Block make_signed_block(ledger::Blockchain& chain, std::size_t n) {
+  std::vector<ledger::Transaction> txs;
+  txs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto key = KeyPair::generate(SigScheme::kSchnorr, 1000 + i);
+    ledger::Transaction tx;
+    tx.nonce = 0;
+    tx.contract = "noop";
+    tx.method = "publish";
+    tx.args = to_bytes("article-" + std::to_string(i));
+    tx.sign_with(key);
+    txs.push_back(std::move(tx));
+  }
+  return chain.make_block(std::move(txs), 0, 1);
+}
+
+struct Workload {
+  const char* name;
+  std::size_t items;
+  // Runs once; returns a fingerprint used to assert bit-identical output
+  // across thread counts.
+  std::function<std::uint64_t()> run;
+};
+
+std::uint64_t fold(const Hash256& h) { return std::hash<Hash256>{}(h); }
+
+}  // namespace
+
+int main() {
+  bench::banner("bench_parallel",
+                "Thread-pool speedup on block signature verification, Merkle "
+                "hashing, and batch similarity (serial baseline = 1 thread).");
+  std::printf("hardware_concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  // --- workload setup (outside the timed region) ---
+  NoopExecutor executor;
+  ledger::Blockchain chain(executor);
+  const ledger::Block sig_block = make_signed_block(chain, 96);
+
+  std::vector<Hash256> leaves(1u << 17);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    leaves[i] = sha256("leaf-" + std::to_string(i));
+  }
+
+  workload::CorpusGenerator gen(workload::CorpusConfig{}, 7);
+  std::vector<std::string> docs;
+  std::vector<text::BatchSimilarity::Request> pairs;
+  for (std::size_t i = 0; i < 128; ++i) {
+    auto base = gen.factual(i % 8);
+    auto child = gen.derive_factual(base, i, 0.3);
+    docs.push_back(std::move(base.text));
+    docs.push_back(std::move(child.text));
+  }
+  for (std::size_t i = 0; i + 1 < docs.size(); i += 2) {
+    pairs.push_back({i, docs[i], i + 1, docs[i + 1]});
+    if (i + 3 < docs.size()) {  // cross-pair: exercises the memo cache
+      pairs.push_back({i, docs[i], i + 3, docs[i + 3]});
+    }
+  }
+
+  const std::vector<Workload> workloads = {
+      {"sigs/validate_block", sig_block.txs.size(),
+       [&] {
+         const Status s = chain.validate_block(sig_block);
+         return static_cast<std::uint64_t>(s.ok());
+       }},
+      {"merkle/root", leaves.size(),
+       [&] { return fold(merkle_root(leaves)); }},
+      {"batchsim/diff_stats", pairs.size(),
+       [&] {
+         text::BatchSimilarity batch;  // fresh cache per timed run
+         const auto stats = batch.run(pairs);
+         std::uint64_t acc = 0;
+         for (const auto& st : stats) {
+           acc = acc * 1099511628211ULL +
+                 static_cast<std::uint64_t>(st.similarity() * 1e12);
+         }
+         return acc;
+       }},
+  };
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  bench::Table table({"path", "threads", "ms", "items/s", "speedup"});
+  bench::JsonReport report("parallel");
+  bool identical = true;
+  double sigs_speedup4 = 0.0, batchsim_speedup4 = 0.0;
+
+  for (const auto& wl : workloads) {
+    double serial_seconds = 0.0;
+    std::uint64_t serial_fingerprint = 0;
+    for (const std::size_t threads : thread_counts) {
+      set_global_thread_count(threads);
+      wl.run();  // warm-up (allocator, page-in, worker spin-up)
+      double best = 1e100;
+      std::uint64_t fingerprint = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        const bench::WallTimer timer;
+        fingerprint = wl.run();
+        best = std::min(best, timer.seconds());
+      }
+      if (threads == 1) {
+        serial_seconds = best;
+        serial_fingerprint = fingerprint;
+      }
+      identical = identical && fingerprint == serial_fingerprint;
+      const double speedup = serial_seconds / best;
+      const double rate = static_cast<double>(wl.items) / best;
+      table.row({std::string(wl.name),
+                 static_cast<std::uint64_t>(threads), best * 1e3, rate,
+                 speedup});
+      report.sample(wl.name, threads, best, rate, speedup);
+      if (threads == 4 && std::string(wl.name).starts_with("sigs")) {
+        sigs_speedup4 = speedup;
+      }
+      if (threads == 4 && std::string(wl.name).starts_with("batchsim")) {
+        batchsim_speedup4 = speedup;
+      }
+    }
+  }
+  set_global_thread_count(0);  // restore default sizing
+
+  table.print();
+  std::printf("\n");
+  report.write();
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool speedup_ok =
+      cores < 4 || (sigs_speedup4 >= 2.0 && batchsim_speedup4 >= 2.0);
+  if (cores < 4) {
+    std::printf("note: only %u core(s) visible — speedup target (>=2x at 4 "
+                "threads) needs a multi-core host.\n", cores);
+  }
+  bench::verdict(identical && speedup_ok,
+                 "parallel output bit-identical to serial; >=2x at 4 threads "
+                 "for sigs and batchsim on multi-core hosts");
+  return identical ? 0 : 1;
+}

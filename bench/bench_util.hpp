@@ -78,6 +78,45 @@ inline void verdict(bool ok, const char* shape) {
   std::printf("\n[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-CHECK", shape);
 }
 
+/// Collects named samples and writes them as a BENCH_<name>.json file —
+/// one object per sample — so perf runs can be diffed across commits.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void sample(const std::string& path, std::size_t threads, double seconds,
+              double items_per_sec, double speedup) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"path\": \"%s\", \"threads\": %zu, \"seconds\": %.6f, "
+                  "\"items_per_sec\": %.1f, \"speedup\": %.3f}",
+                  path.c_str(), threads, seconds, items_per_sec, speedup);
+    lines_.emplace_back(buf);
+  }
+
+  /// Writes BENCH_<name>.json into the working directory; returns success.
+  bool write() const {
+    const std::string file = "BENCH_" + bench_name_ + ".json";
+    std::FILE* out = std::fopen(file.c_str(), "w");
+    if (!out) return false;
+    std::fprintf(out, "{\"bench\": \"%s\", \"samples\": [\n",
+                 bench_name_.c_str());
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      std::fprintf(out, "%s%s\n", lines_[i].c_str(),
+                   i + 1 < lines_.size() ? "," : "");
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
+    std::printf("wrote %s (%zu samples)\n", file.c_str(), lines_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::string> lines_;
+};
+
 class WallTimer {
  public:
   WallTimer() : start_(std::chrono::steady_clock::now()) {}

@@ -1,0 +1,158 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace tnp {
+
+namespace {
+
+// Workers run with this set so nested parallel_for calls degrade to inline
+// execution instead of deadlocking on their own pool.
+thread_local bool tls_inside_pool_worker = false;
+
+constexpr std::size_t kMaxWidth = 256;
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("TNP_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 1) {
+      return std::min<std::size_t>(static_cast<std::size_t>(parsed), kMaxWidth);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(hw, kMaxWidth);
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_ready;
+  std::deque<std::function<void()>> queue;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    tls_inside_pool_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mu);
+        work_ready.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and drained
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t width)
+    : width_(std::clamp<std::size_t>(
+          width == 0 ? default_thread_count() : width, 1, kMaxWidth)),
+      impl_(new Impl) {
+  impl_->workers.reserve(width_ - 1);
+  for (std::size_t i = 0; i + 1 < width_; ++i) {
+    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->work_ready.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+void ThreadPool::for_chunks(
+    std::size_t n, std::size_t min_per_chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  min_per_chunk = std::max<std::size_t>(min_per_chunk, 1);
+  const std::size_t chunks =
+      std::min(width_, (n + min_per_chunk - 1) / min_per_chunk);
+  if (chunks <= 1 || tls_inside_pool_worker) {
+    body(0, n);
+    return;
+  }
+
+  // Contiguous split decided up front: the first n % chunks chunks get one
+  // extra index. Chunk c is fully determined by (n, chunks, c), never by
+  // scheduling, which is what makes parallel output bit-identical.
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  auto bounds = [&](std::size_t c) {
+    const std::size_t begin = c * base + std::min(c, extra);
+    return std::pair{begin, begin + base + (c < extra ? 1 : 0)};
+  };
+
+  struct Join {
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t outstanding;
+    std::vector<std::exception_ptr> errors;
+  };
+  Join join{.outstanding = chunks - 1, .errors = {}};
+  join.errors.resize(chunks);
+
+  auto run_chunk = [&](std::size_t c) {
+    const auto [begin, end] = bounds(c);
+    try {
+      body(begin, end);
+    } catch (...) {
+      join.errors[c] = std::current_exception();
+    }
+  };
+
+  {
+    std::lock_guard lock(impl_->mu);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      impl_->queue.emplace_back([&, c] {
+        run_chunk(c);
+        std::lock_guard inner(join.mu);
+        if (--join.outstanding == 0) join.done.notify_one();
+      });
+    }
+  }
+  impl_->work_ready.notify_all();
+
+  run_chunk(0);  // the caller is chunk 0
+
+  {
+    std::unique_lock lock(join.mu);
+    join.done.wait(lock, [&] { return join.outstanding == 0; });
+  }
+  for (const auto& err : join.errors) {
+    if (err) std::rethrow_exception(err);  // lowest chunk index wins
+  }
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>();
+  return pool;
+}
+}  // namespace
+
+ThreadPool& global_pool() { return *global_pool_slot(); }
+
+void set_global_thread_count(std::size_t width) {
+  auto& slot = global_pool_slot();
+  slot.reset();  // join old workers before the replacement spins up
+  slot = std::make_unique<ThreadPool>(width);
+}
+
+}  // namespace tnp

@@ -1,0 +1,95 @@
+// Deterministic chunked data-parallelism for the hot paths (block signature
+// verification, Merkle level hashing, batch text similarity).
+//
+// Design goals, in order:
+//  * bit-identical results to the serial path — work is split into
+//    contiguous index ranges decided up front (no work stealing, no
+//    dynamic scheduling), and every callback writes only its own indices;
+//  * graceful degradation — a pool of width 1 (or a tiny `n`) runs inline
+//    on the calling thread with zero synchronisation;
+//  * safe nesting — a parallel_for issued from inside a pool worker runs
+//    inline, so library code may parallelise without deadlock worry.
+//
+// Pool width defaults to std::thread::hardware_concurrency() and can be
+// overridden with the TNP_THREADS environment variable (benches and tests
+// use set_global_thread_count()).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace tnp {
+
+/// Parallel width the global pool is built with: TNP_THREADS if set (>=1),
+/// otherwise hardware concurrency (>=1). Re-reads the environment on every
+/// call; only pool construction caches it.
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Fixed-width pool of persistent workers. Width counts the calling thread:
+/// a pool of width T spawns T-1 workers and the caller executes the first
+/// chunk itself, so width 1 means "no threads at all".
+class ThreadPool {
+ public:
+  /// `width` 0 means default_thread_count().
+  explicit ThreadPool(std::size_t width = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+  /// Core primitive: partitions [0, n) into at most width() contiguous
+  /// chunks of at least `min_per_chunk` indices and runs
+  /// `body(begin, end)` for each, blocking until all complete. Falls back
+  /// to a single inline call when the split would be pointless (width 1,
+  /// small n) or when called from inside a pool worker (reentrancy).
+  /// If chunks throw, the exception from the lowest chunk index is
+  /// rethrown after all chunks finish.
+  void for_chunks(std::size_t n, std::size_t min_per_chunk,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Impl;
+  std::size_t width_;
+  Impl* impl_;  // owned; hides <thread>/<mutex> from this header
+};
+
+/// Process-wide pool used by the ledger/crypto/text hot paths.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Rebuilds the global pool with `width` threads (0 = default). Not
+/// thread-safe — call only while no parallel work is in flight (benches
+/// and tests sweeping thread counts).
+void set_global_thread_count(std::size_t width);
+
+/// Runs fn(i) for every i in [0, n) across the pool. Chunks are contiguous
+/// and at least `min_per_thread` wide, so outputs written at index i are
+/// bit-identical to the serial loop.
+template <typename F>
+void parallel_for(std::size_t n, F&& fn, std::size_t min_per_thread = 1,
+                  ThreadPool* pool = nullptr) {
+  ThreadPool& p = pool ? *pool : global_pool();
+  p.for_chunks(n, min_per_thread,
+               [&fn](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) fn(i);
+               });
+}
+
+/// out[i] = fn(items[i]) for every i, in parallel, order preserved. The
+/// result type must be default-constructible.
+template <typename T, typename F>
+auto parallel_map(const std::vector<T>& items, F&& fn,
+                  std::size_t min_per_thread = 1, ThreadPool* pool = nullptr)
+    -> std::vector<std::decay_t<std::invoke_result_t<F&, const T&>>> {
+  using R = std::decay_t<std::invoke_result_t<F&, const T&>>;
+  std::vector<R> out(items.size());
+  parallel_for(
+      items.size(), [&](std::size_t i) { out[i] = fn(items[i]); },
+      min_per_thread, pool);
+  return out;
+}
+
+}  // namespace tnp

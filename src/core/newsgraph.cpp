@@ -14,6 +14,30 @@ Hash256 pair_key(const Hash256& a, const Hash256& b) {
   return sha256_pair(a, b);
 }
 
+// BatchSimilarity memoizes per document under a 64-bit key; the first word
+// of a SHA-256 content hash is collision-free for any realistic corpus.
+std::uint64_t doc_key(const Hash256& hash) {
+  return static_cast<std::uint64_t>(std::hash<Hash256>{}(hash));
+}
+
+double similarity_from_stats(const text::DiffStats& stats) {
+  return std::clamp(stats.similarity(), 0.01, 1.0);
+}
+
+// The paper's single-parent edit taxonomy, from similarity thresholds.
+contracts::EditType classify_from_stats(const text::DiffStats& stats) {
+  if (stats.jaccard >= 0.9 && stats.lcs >= 0.9) {
+    return contracts::EditType::kRelay;
+  }
+  if (stats.parent_in_child >= 0.8 && stats.child_in_parent < 0.8) {
+    return contracts::EditType::kInsert;  // parent preserved, content added
+  }
+  if (stats.child_in_parent >= 0.8 && stats.parent_in_child < 0.8) {
+    return contracts::EditType::kSplit;  // child is a fragment of parent
+  }
+  return contracts::EditType::kMix;
+}
+
 std::optional<Hash256> hash_from_key_suffix(const std::string& key,
                                             std::string_view prefix) {
   if (key.size() != prefix.size() + 64) return std::nullopt;
@@ -137,10 +161,33 @@ double ProvenanceGraph::edge_similarity(const Hash256& parent,
   if (parent_text && child_text) {
     const auto stats = text::diff_stats(text::tokenize(*parent_text),
                                         text::tokenize(*child_text));
-    similarity = std::clamp(stats.similarity(), 0.01, 1.0);
+    similarity = similarity_from_stats(stats);
   }
   edge_cache_.emplace(cache_key, similarity);
   return similarity;
+}
+
+std::size_t ProvenanceGraph::warm_edge_cache(const ContentStore& content) const {
+  text::BatchSimilarity batch;
+  std::vector<text::BatchSimilarity::Request> requests;
+  std::vector<Hash256> cache_keys;
+  for (const auto& [child, record] : articles_) {
+    const auto child_text = content.get(child);
+    for (const Hash256& parent : record.parents) {
+      const Hash256 key = pair_key(parent, child);
+      if (edge_cache_.contains(key)) continue;
+      const auto parent_text = content.get(parent);
+      if (!parent_text || !child_text) continue;  // lazy path keeps its 0.5
+      requests.push_back({doc_key(parent), *parent_text, doc_key(child),
+                          *child_text});
+      cache_keys.push_back(key);
+    }
+  }
+  const auto stats = batch.run(requests);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    edge_cache_.emplace(cache_keys[i], similarity_from_stats(stats[i]));
+  }
+  return stats.size();
 }
 
 double ProvenanceGraph::modification_degree(const Hash256& parent,
@@ -228,16 +275,39 @@ contracts::EditType ProvenanceGraph::classify_edit(
   if (!parent_text || !child_text) return contracts::EditType::kMix;
   const auto stats = text::diff_stats(text::tokenize(*parent_text),
                                       text::tokenize(*child_text));
-  if (stats.jaccard >= 0.9 && stats.lcs >= 0.9) {
-    return contracts::EditType::kRelay;
+  return classify_from_stats(stats);
+}
+
+std::vector<contracts::EditType> ProvenanceGraph::classify_edits(
+    const std::vector<Hash256>& children, const ContentStore& content) const {
+  std::vector<contracts::EditType> out(children.size(),
+                                       contracts::EditType::kMix);
+  text::BatchSimilarity batch;
+  std::vector<text::BatchSimilarity::Request> requests;
+  std::vector<std::size_t> request_child;  // request index → children index
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const auto* record = article(children[i]);
+    if (!record || record->parents.empty()) {
+      out[i] = contracts::EditType::kOriginal;
+      continue;
+    }
+    if (record->parents.size() >= 2) {
+      out[i] = contracts::EditType::kMerge;
+      continue;
+    }
+    const Hash256& parent = record->parents.front();
+    const auto parent_text = content.get(parent);
+    const auto child_text = content.get(children[i]);
+    if (!parent_text || !child_text) continue;  // stays kMix
+    requests.push_back({doc_key(parent), *parent_text, doc_key(children[i]),
+                        *child_text});
+    request_child.push_back(i);
   }
-  if (stats.parent_in_child >= 0.8 && stats.child_in_parent < 0.8) {
-    return contracts::EditType::kInsert;  // parent preserved, content added
+  const auto stats = batch.run(requests);
+  for (std::size_t r = 0; r < stats.size(); ++r) {
+    out[request_child[r]] = classify_from_stats(stats[r]);
   }
-  if (stats.child_in_parent >= 0.8 && stats.parent_in_child < 0.8) {
-    return contracts::EditType::kSplit;  // child is a fragment of parent
-  }
-  return contracts::EditType::kMix;
+  return out;
 }
 
 std::vector<std::pair<AccountId, double>> ProvenanceGraph::suggest_experts(

@@ -76,6 +76,18 @@ class ProvenanceGraph {
   [[nodiscard]] contracts::EditType classify_edit(
       const Hash256& child, const ContentStore& content) const;
 
+  /// Batched classify_edit: one tokenize/shingle pass per unique document
+  /// and pairwise stats on the thread pool (text::BatchSimilarity).
+  /// out[i] == classify_edit(children[i], content) exactly.
+  [[nodiscard]] std::vector<contracts::EditType> classify_edits(
+      const std::vector<Hash256>& children, const ContentStore& content) const;
+
+  /// Precomputes the similarity of every parent→child edge in one parallel
+  /// batch; trace_to_root / modification_degree then run entirely on the
+  /// warm cache. Cached values are bit-identical to the lazy per-edge path.
+  /// Returns the number of edges computed (cached edges are skipped).
+  std::size_t warm_edge_cache(const ContentStore& content) const;
+
   /// Experts for a room topic: accounts ranked by Σ(max(rank-0.5,0)) over
   /// their articles in rooms with that topic. Returns top-k.
   [[nodiscard]] std::vector<std::pair<AccountId, double>> suggest_experts(

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "common/parallel.hpp"
+
 namespace tnp {
 
 namespace {
@@ -130,6 +132,18 @@ Hash256 sha256(BytesView data) { return Sha256().update(data).finalize(); }
 
 Hash256 sha256(std::string_view data) {
   return Sha256().update(data).finalize();
+}
+
+std::vector<Hash256> sha256_batch(const std::vector<BytesView>& items,
+                                  std::size_t min_batch) {
+  return parallel_map(
+      items, [](const BytesView& item) { return sha256(item); }, min_batch);
+}
+
+std::vector<Hash256> sha256_batch(const std::vector<std::string>& items,
+                                  std::size_t min_batch) {
+  return parallel_map(
+      items, [](const std::string& item) { return sha256(item); }, min_batch);
 }
 
 Hash256 sha256_pair(const Hash256& a, const Hash256& b) {

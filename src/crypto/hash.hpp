@@ -12,6 +12,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/bytes.hpp"
 
@@ -73,6 +74,13 @@ class Sha256 {
 
 /// sha256(a || b) — the node combiner for Merkle trees and chained ids.
 [[nodiscard]] Hash256 sha256_pair(const Hash256& a, const Hash256& b);
+
+/// Hashes every item independently on the global thread pool (batches below
+/// `min_batch` run serially). out[i] == sha256(items[i]) bit-for-bit.
+[[nodiscard]] std::vector<Hash256> sha256_batch(
+    const std::vector<BytesView>& items, std::size_t min_batch = 64);
+[[nodiscard]] std::vector<Hash256> sha256_batch(
+    const std::vector<std::string>& items, std::size_t min_batch = 64);
 
 /// HMAC-SHA256 (RFC 2104). Used for simulated MAC authenticators.
 [[nodiscard]] Hash256 hmac_sha256(BytesView key, BytesView message);

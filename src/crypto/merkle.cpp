@@ -1,16 +1,25 @@
 #include "crypto/merkle.hpp"
 
+#include "common/parallel.hpp"
+
 namespace tnp {
 
 namespace {
 std::vector<Hash256> next_level(const std::vector<Hash256>& level) {
-  std::vector<Hash256> parents;
-  parents.reserve((level.size() + 1) / 2);
-  for (std::size_t i = 0; i < level.size(); i += 2) {
-    const Hash256& left = level[i];
-    const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
-    parents.push_back(sha256_pair(left, right));
-  }
+  std::vector<Hash256> parents((level.size() + 1) / 2);
+  // Each parent hash depends only on its own pair of children, so levels
+  // wide enough to amortise the fork cost are hashed in parallel. Small
+  // levels (and the tree's upper half) stay on the serial path inside
+  // parallel_for's fallback.
+  parallel_for(
+      parents.size(),
+      [&](std::size_t p) {
+        const std::size_t i = 2 * p;
+        const Hash256& left = level[i];
+        const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+        parents[p] = sha256_pair(left, right);
+      },
+      kMerkleParallelMinPairs);
   return parents;
 }
 }  // namespace

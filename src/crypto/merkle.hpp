@@ -19,6 +19,11 @@ struct MerkleStep {
 
 using MerkleProof = std::vector<MerkleStep>;
 
+/// Levels with at least this many parent pairs are hashed on the global
+/// thread pool; narrower levels run serially (the per-pair work is one
+/// SHA-256 compression, so tiny levels are not worth a dispatch).
+inline constexpr std::size_t kMerkleParallelMinPairs = 256;
+
 class MerkleTree {
  public:
   explicit MerkleTree(std::vector<Hash256> leaves);

@@ -1,6 +1,7 @@
 #include "ledger/chain.hpp"
 
 #include "common/log.hpp"
+#include "common/parallel.hpp"
 
 namespace tnp::ledger {
 
@@ -67,8 +68,37 @@ Status Blockchain::validate_header(const Block& block) const {
   return Status::Ok();
 }
 
+std::vector<unsigned char> Blockchain::verify_signatures_parallel(
+    const Block& block) const {
+  std::vector<unsigned char> verdicts;
+  if (!config_.verify_signatures) return verdicts;
+  verdicts.resize(block.txs.size());
+  // Signature checks are pure per-transaction work; 4 is a low floor
+  // because a single Schnorr verify already dwarfs the dispatch cost.
+  parallel_for(
+      block.txs.size(),
+      [&](std::size_t i) {
+        verdicts[i] = block.txs[i].verify_signature() ? 1 : 0;
+      },
+      /*min_per_thread=*/4);
+  return verdicts;
+}
+
+Status Blockchain::validate_block(const Block& block) const {
+  if (auto s = validate_header(block); !s.ok()) return s;
+  const auto verdicts = verify_signatures_parallel(block);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    if (!verdicts[i]) {
+      return Status(ErrorCode::kUnauthenticated,
+                    "bad signature on tx " + std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
 Receipt Blockchain::execute_tx(const Transaction& tx,
-                               std::vector<Event>& events) {
+                               std::vector<Event>& events,
+                               const unsigned char* sig_verdict) {
   Receipt receipt;
   receipt.tx_id = tx.id();
   GasMeter gas(tx.gas_limit);
@@ -87,7 +117,8 @@ Receipt Blockchain::execute_tx(const Transaction& tx,
     if (auto s = gas.charge(config_.gas_costs.sig_verify); !s.ok()) {
       return fail(s);
     }
-    if (!tx.verify_signature()) {
+    const bool sig_ok = sig_verdict ? *sig_verdict != 0 : tx.verify_signature();
+    if (!sig_ok) {
       return fail(Status(ErrorCode::kUnauthenticated, "bad signature"));
     }
   }
@@ -135,11 +166,18 @@ Receipt Blockchain::execute_tx(const Transaction& tx,
 Status Blockchain::apply_block(const Block& block) {
   if (auto s = validate_header(block); !s.ok()) return s;
 
+  // Phase 1 (parallel): verify every signature up front. Phase 2 (serial):
+  // apply transactions in order, consuming the per-index verdicts — gas
+  // accounting and receipt contents match the serial path exactly.
+  const auto sig_verdicts = verify_signatures_parallel(block);
+
   BlockResult result;
   result.receipts.reserve(block.txs.size());
   pending_block_time_ = block.header.timestamp;
-  for (const auto& tx : block.txs) {
-    Receipt receipt = execute_tx(tx, result.events);
+  for (std::size_t i = 0; i < block.txs.size(); ++i) {
+    const auto& tx = block.txs[i];
+    Receipt receipt = execute_tx(
+        tx, result.events, sig_verdicts.empty() ? nullptr : &sig_verdicts[i]);
     total_gas_used_ += receipt.gas_used;
     if (!receipt.success) {
       log_debug("tx ", receipt.tx_id.short_hex(), " failed: ", receipt.error);

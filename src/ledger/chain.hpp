@@ -85,9 +85,19 @@ class Blockchain {
     return validate_header(block);
   }
 
-  /// Full validation + execution + append. On any header-level failure the
-  /// chain is untouched. Individual failed transactions are recorded in
-  /// their receipts.
+  /// Full block validation without execution: the header checks plus a
+  /// signature check of every transaction, verified in parallel on the
+  /// global pool. Per-index verdicts are collected so the reported error
+  /// names the lowest failing transaction index — identical to what a
+  /// serial front-to-back scan would report.
+  [[nodiscard]] Status validate_block(const Block& block) const;
+
+  /// Full validation + execution + append. Transaction signatures are
+  /// verified in parallel up front; the serial state-apply pass then
+  /// consumes the per-index verdicts, so receipts (order, gas, error
+  /// strings) are bit-identical to the all-serial path. On any
+  /// header-level failure the chain is untouched. Individual failed
+  /// transactions are recorded in their receipts.
   Status apply_block(const Block& block);
 
   [[nodiscard]] std::uint64_t height() const {
@@ -114,7 +124,14 @@ class Blockchain {
 
  private:
   Status validate_header(const Block& block) const;
-  Receipt execute_tx(const Transaction& tx, std::vector<Event>& events);
+  /// Verifies all tx signatures on the global pool. Returns one verdict
+  /// per transaction (empty when signature checking is disabled).
+  std::vector<unsigned char> verify_signatures_parallel(
+      const Block& block) const;
+  /// `sig_verdict` is the pre-computed signature check for this tx, or
+  /// nullptr to verify inline (serial path).
+  Receipt execute_tx(const Transaction& tx, std::vector<Event>& events,
+                     const unsigned char* sig_verdict = nullptr);
 
   TransactionExecutor& executor_;
   ChainConfig config_;

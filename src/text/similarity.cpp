@@ -1,7 +1,10 @@
 #include "text/similarity.hpp"
 
 #include <algorithm>
+#include <unordered_set>
+#include <utility>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace tnp::text {
@@ -23,10 +26,19 @@ ShingleSet shingles(const Tokens& tokens, std::size_t k) {
   ShingleSet out;
   if (tokens.empty()) return out;
   if (tokens.size() < k) k = tokens.size();
+  // Hash every token exactly once; each window then combines the cached
+  // hashes with a position-weighted polynomial (the multiplier powers keep
+  // within-window order significant), so the string bytes are scanned once
+  // instead of k times per sliding window.
+  std::vector<std::uint64_t> token_hashes(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    token_hashes[i] = hash_token(tokens[i], 0);
+  }
+  out.reserve(tokens.size() - k + 1);
   for (std::size_t i = 0; i + k <= tokens.size(); ++i) {
     std::uint64_t h = 0x517cc1b727220a95ULL;
     for (std::size_t j = 0; j < k; ++j) {
-      h = h * 0x2545F4914F6CDD1DULL + hash_token(tokens[i + j], j);
+      h = h * 0x2545F4914F6CDD1DULL + token_hashes[i + j];
     }
     std::uint64_t s = h;
     out.insert(splitmix64(s));
@@ -101,16 +113,69 @@ double lcs_similarity(const Tokens& a, const Tokens& b) {
          static_cast<double>(a.size() + b.size());
 }
 
-DiffStats diff_stats(const Tokens& parent, const Tokens& child,
-                     std::size_t shingle_k) {
-  const ShingleSet ps = shingles(parent, shingle_k);
-  const ShingleSet cs = shingles(child, shingle_k);
+DiffStats diff_stats_precomputed(const Tokens& parent, const ShingleSet& ps,
+                                 const Tokens& child, const ShingleSet& cs) {
   DiffStats stats;
   stats.jaccard = jaccard(ps, cs);
   stats.lcs = lcs_similarity(parent, child);
   stats.parent_in_child = containment(ps, cs);
   stats.child_in_parent = containment(cs, ps);
   return stats;
+}
+
+DiffStats diff_stats(const Tokens& parent, const Tokens& child,
+                     std::size_t shingle_k) {
+  return diff_stats_precomputed(parent, shingles(parent, shingle_k), child,
+                                shingles(child, shingle_k));
+}
+
+BatchSimilarity::BatchSimilarity(std::size_t shingle_k)
+    : shingle_k_(shingle_k) {}
+
+const BatchSimilarity::Doc* BatchSimilarity::cached(std::uint64_t key) const {
+  const auto it = cache_.find(key);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+std::vector<DiffStats> BatchSimilarity::run(
+    const std::vector<Request>& requests) {
+  // Phase 1 (parallel): tokenize + shingle every document not yet cached,
+  // once per unique key. The cache is only written on the serial side of
+  // the barrier, so phase 2 reads it lock-free.
+  std::vector<std::pair<std::uint64_t, std::string_view>> missing;
+  {
+    std::unordered_set<std::uint64_t> queued;
+    auto need = [&](std::uint64_t key, std::string_view text) {
+      if (!cache_.contains(key) && queued.insert(key).second) {
+        missing.emplace_back(key, text);
+      }
+    };
+    for (const auto& req : requests) {
+      need(req.parent_key, req.parent_text);
+      need(req.child_key, req.child_text);
+    }
+  }
+  auto docs = parallel_map(
+      missing,
+      [&](const std::pair<std::uint64_t, std::string_view>& item) {
+        Doc doc;
+        doc.tokens = tokenize(item.second);
+        doc.shingles = shingles(doc.tokens, shingle_k_);
+        return doc;
+      });
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    cache_.emplace(missing[i].first, std::move(docs[i]));
+  }
+
+  // Phase 2 (parallel): pairwise stats over the read-only cache. Same
+  // jaccard/containment/LCS calls as the serial diff_stats, on the same
+  // token/shingle inputs, so results are bit-identical.
+  return parallel_map(requests, [&](const Request& req) {
+    const Doc& parent = cache_.at(req.parent_key);
+    const Doc& child = cache_.at(req.child_key);
+    return diff_stats_precomputed(parent.tokens, parent.shingles, child.tokens,
+                                  child.shingles);
+  });
 }
 
 }  // namespace tnp::text

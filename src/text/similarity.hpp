@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -65,5 +67,51 @@ struct DiffStats {
 
 [[nodiscard]] DiffStats diff_stats(const Tokens& parent, const Tokens& child,
                                    std::size_t shingle_k = 3);
+
+/// diff_stats on already-tokenized/shingled documents — the shared core
+/// both the one-shot path and BatchSimilarity go through.
+[[nodiscard]] DiffStats diff_stats_precomputed(const Tokens& parent,
+                                               const ShingleSet& ps,
+                                               const Tokens& child,
+                                               const ShingleSet& cs);
+
+/// Batched DiffStats over many (parent, child) document pairs.
+///
+/// Each unique document is tokenized and shingled exactly once — the cache
+/// is keyed by a caller-supplied 64-bit content key (fold of the content
+/// hash; the caller guarantees distinct contents get distinct keys) and
+/// persists across run() calls. Both the per-document preprocessing and
+/// the per-pair stats execute on the global thread pool, and results are
+/// bit-identical to calling diff_stats() on each pair serially.
+///
+/// Not thread-safe: one BatchSimilarity per analysis pass.
+class BatchSimilarity {
+ public:
+  explicit BatchSimilarity(std::size_t shingle_k = 3);
+
+  struct Request {
+    std::uint64_t parent_key = 0;
+    std::string_view parent_text;
+    std::uint64_t child_key = 0;
+    std::string_view child_text;
+  };
+
+  /// out[i] = diff_stats(tokenize(requests[i].parent_text),
+  ///                     tokenize(requests[i].child_text), shingle_k).
+  [[nodiscard]] std::vector<DiffStats> run(
+      const std::vector<Request>& requests);
+
+  struct Doc {
+    Tokens tokens;
+    ShingleSet shingles;
+  };
+  /// Cached preprocessing for `key`, or nullptr if never seen.
+  [[nodiscard]] const Doc* cached(std::uint64_t key) const;
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  std::size_t shingle_k_;
+  std::unordered_map<std::uint64_t, Doc> cache_;
+};
 
 }  // namespace tnp::text
