@@ -2,8 +2,19 @@
 // construction/proofs, U256 modular arithmetic vs the specialized
 // secp256k1 field path, and Schnorr sign/verify — the numbers behind the
 // MAC-vs-signature cost model used by the consensus layer (E8).
+//
+// main() first runs the google-benchmark registrations, then a fixed
+// speedup harness that times the fast EC engine (fixed-base table, wNAF,
+// Strauss, batch verification) against the naive double-and-add baselines
+// and writes BENCH_crypto.json for cross-commit diffing.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "crypto/hash.hpp"
 #include "crypto/merkle.hpp"
@@ -92,6 +103,27 @@ void BM_ScalarMulBase(benchmark::State& state) {
 }
 BENCHMARK(BM_ScalarMulBase);
 
+void BM_ScalarMulBaseNaive(benchmark::State& state) {
+  Rng rng(3);
+  const U256 k = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()),
+                     secp::group_order());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(secp::scalar_mul_base_naive(k));
+  }
+}
+BENCHMARK(BM_ScalarMulBaseNaive);
+
+void BM_ScalarMulWnaf(benchmark::State& state) {
+  Rng rng(4);
+  const U256 k = mod(U256(rng.next(), rng.next(), rng.next(), rng.next()),
+                     secp::group_order());
+  const secp::Point p = secp::to_affine(secp::scalar_mul_base(U256(12345)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(secp::scalar_mul(k, p));
+  }
+}
+BENCHMARK(BM_ScalarMulWnaf);
+
 void BM_SchnorrSign(benchmark::State& state) {
   const auto key = schnorr::PrivateKey::from_seed(to_bytes("bench"));
   const Bytes message = to_bytes("a typical consensus message payload");
@@ -112,6 +144,36 @@ void BM_SchnorrVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_SchnorrVerify);
 
+// A batch of n distinct signers/messages, shared by the batch benches.
+struct SigBatch {
+  std::vector<Bytes> message_bytes;
+  std::vector<schnorr::PublicKey> keys;
+  std::vector<BytesView> messages;
+  std::vector<schnorr::Signature> sigs;
+};
+
+SigBatch make_sig_batch(std::size_t n) {
+  SigBatch b;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto key =
+        schnorr::PrivateKey::from_seed(to_bytes("bench-" + std::to_string(i)));
+    b.message_bytes.push_back(to_bytes("payload " + std::to_string(i)));
+    b.keys.push_back(key.public_key());
+    b.sigs.push_back(schnorr::sign(key, BytesView(b.message_bytes.back())));
+  }
+  for (const Bytes& m : b.message_bytes) b.messages.emplace_back(m);
+  return b;
+}
+
+void BM_SchnorrBatchVerify(benchmark::State& state) {
+  const SigBatch b = make_sig_batch(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr::batch_verify(b.keys, b.messages, b.sigs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchnorrBatchVerify)->Arg(8)->Arg(64)->Arg(256);
+
 void BM_HmacSimSignVerify(benchmark::State& state) {
   const auto kp = KeyPair::generate(SigScheme::kHmacSim, 9);
   const Bytes message = to_bytes("a typical consensus message payload");
@@ -125,6 +187,121 @@ void BM_HmacSimSignVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_HmacSimSignVerify);
 
+// ------------------------------------------------------- speedup harness
+
+/// Best-of-3 wall time for `reps` calls of `fn`.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e100;
+  for (int round = 0; round < 3; ++round) {
+    const bench::WallTimer timer;
+    for (int i = 0; i < reps; ++i) fn(i);
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+int run_speedup_report() {
+  bench::banner("bench_crypto",
+                "Fast EC engine vs naive double-and-add: fixed-base table, "
+                "wNAF, Strauss interleaving, and Schnorr batch verification "
+                "(speedup = naive seconds / fast seconds, single thread).");
+
+  Rng rng(42);
+  auto rand_scalar = [&] {
+    return mod(U256(rng.next(), rng.next(), rng.next(), rng.next()),
+               secp::group_order());
+  };
+  constexpr int kOps = 64;
+  std::vector<U256> ks, ls;
+  std::vector<secp::Point> ps;
+  for (int i = 0; i < kOps; ++i) {
+    ks.push_back(rand_scalar());
+    ls.push_back(rand_scalar());
+    ps.push_back(secp::to_affine(secp::scalar_mul_base(rand_scalar())));
+  }
+  (void)secp::scalar_mul_base(ks[0]);  // build the tables outside the timers
+
+  bench::Table table({"path", "n", "fast µs/op", "naive µs/op", "speedup"});
+  bench::JsonReport report("crypto");
+  auto record = [&](const std::string& path, std::size_t n, double fast_s,
+                    double naive_s, std::size_t ops) {
+    const double speedup = naive_s / fast_s;
+    table.row({path, static_cast<std::uint64_t>(n),
+               fast_s * 1e6 / static_cast<double>(ops),
+               naive_s * 1e6 / static_cast<double>(ops), speedup});
+    report.sample(path, 1, fast_s, static_cast<double>(ops) / fast_s, speedup);
+    return speedup;
+  };
+
+  const double fixed_fast = best_seconds(
+      kOps, [&](int i) { benchmark::DoNotOptimize(secp::scalar_mul_base(ks[i])); });
+  const double fixed_naive = best_seconds(kOps, [&](int i) {
+    benchmark::DoNotOptimize(secp::scalar_mul_base_naive(ks[i]));
+  });
+  const double fixed_speedup =
+      record("ec/fixed_base_mul", 1, fixed_fast, fixed_naive, kOps);
+
+  const double var_fast = best_seconds(kOps, [&](int i) {
+    benchmark::DoNotOptimize(secp::scalar_mul(ks[i], ps[i]));
+  });
+  const double var_naive = best_seconds(kOps, [&](int i) {
+    benchmark::DoNotOptimize(secp::scalar_mul_naive(ks[i], ps[i]));
+  });
+  record("ec/wnaf_var_mul", 1, var_fast, var_naive, kOps);
+
+  const double strauss_fast = best_seconds(kOps, [&](int i) {
+    benchmark::DoNotOptimize(secp::double_scalar_mul(ks[i], ls[i], ps[i]));
+  });
+  const double strauss_naive = best_seconds(kOps, [&](int i) {
+    benchmark::DoNotOptimize(
+        secp::double_scalar_mul_naive(ks[i], ls[i], ps[i]));
+  });
+  record("ec/strauss_double_mul", 1, strauss_fast, strauss_naive, kOps);
+
+  const auto sign_key = schnorr::PrivateKey::from_seed(to_bytes("report"));
+  const Bytes sign_msg = to_bytes("a typical consensus message payload");
+  const double sign_s = best_seconds(kOps, [&](int) {
+    benchmark::DoNotOptimize(schnorr::sign(sign_key, BytesView(sign_msg)));
+  });
+  record("schnorr/sign", 1, sign_s, sign_s, kOps);
+
+  double batch64_speedup = 0.0;
+  for (const std::size_t n : {std::size_t{8}, std::size_t{64},
+                              std::size_t{256}}) {
+    const SigBatch b = make_sig_batch(n);
+    const int reps = std::max<int>(1, 256 / static_cast<int>(n));
+    const double batch_s = best_seconds(reps, [&](int) {
+      benchmark::DoNotOptimize(schnorr::batch_verify(b.keys, b.messages,
+                                                     b.sigs));
+    });
+    const double loop_s = best_seconds(reps, [&](int) {
+      bool ok = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        ok = ok && schnorr::verify(b.keys[i], b.messages[i], b.sigs[i]);
+      }
+      benchmark::DoNotOptimize(ok);
+    });
+    const double speedup =
+        record("schnorr/batch_verify", n, batch_s, loop_s,
+               static_cast<std::size_t>(reps) * n);
+    if (n == 64) batch64_speedup = speedup;
+  }
+
+  table.print();
+  const bool ok = fixed_speedup >= 5.0 && batch64_speedup >= 2.0;
+  bench::verdict(ok,
+                 "fixed-base mul >= 5x naive and batch-verify(64) >= 2x "
+                 "per-signature loop");
+  return report.write() && ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_speedup_report();
+}

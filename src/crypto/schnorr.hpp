@@ -5,6 +5,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "common/bytes.hpp"
 #include "crypto/hash.hpp"
@@ -52,5 +53,26 @@ struct Signature {
 /// Verifies s*G == R + e*P with e = H(R || P || m).
 [[nodiscard]] bool verify(const PublicKey& key, BytesView message,
                           const Signature& sig);
+
+/// Challenge scalar e = H(R || P || m) mod n — exposed so tests and benches
+/// can reconstruct the verification equation.
+[[nodiscard]] U256 challenge_scalar(const secp::Point& r, const PublicKey& pub,
+                                    BytesView message);
+
+/// Verifies n signatures at once with a single random-linear-combination
+/// multi-scalar multiplication:
+///
+///   sum_i z_i * (s_i*G - R_i - e_i*P_i) == O
+///
+/// with 128-bit coefficients z_i drawn from a deterministic RNG seeded by
+/// hashing the whole batch, so results are reproducible across runs and
+/// replicas. Returns true iff the combined equation holds; a false return
+/// means at least one signature is bad (callers fall back to per-signature
+/// verification to identify which). A true return is identical to per-
+/// signature acceptance up to the standard ~2^-128 RLC soundness bound.
+/// The three spans must have equal length.
+[[nodiscard]] bool batch_verify(std::span<const PublicKey> keys,
+                                std::span<const BytesView> messages,
+                                std::span<const Signature> sigs);
 
 }  // namespace tnp::schnorr

@@ -1,6 +1,10 @@
 #include "crypto/secp256k1.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cassert>
+#include <memory>
+#include <mutex>
 
 namespace tnp::secp {
 
@@ -117,6 +121,25 @@ U256 fe_inv(const U256& a) {
   return fe_pow(a, p_minus_2);
 }
 
+void fe_inv_batch(U256* elems, std::size_t n) {
+  if (n == 0) return;
+  // Montgomery's trick: prefix[i] = elems[0]*...*elems[i]; invert the total
+  // once, then walk back multiplying by the prefix on one side and the
+  // original element on the other.
+  std::vector<U256> prefix(n);
+  prefix[0] = elems[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    prefix[i] = fe_mul(prefix[i - 1], elems[i]);
+  }
+  U256 inv = fe_inv(prefix[n - 1]);
+  for (std::size_t i = n; i-- > 1;) {
+    const U256 elem_inv = fe_mul(inv, prefix[i - 1]);
+    inv = fe_mul(inv, elems[i]);
+    elems[i] = elem_inv;
+  }
+  elems[0] = inv;
+}
+
 U256 fe_from(const U256& x) { return x >= kP ? x - kP : x; }
 
 bool Point::on_curve() const {
@@ -142,6 +165,31 @@ Point to_affine(const PointJ& p) {
   const U256 z_inv2 = fe_sqr(z_inv);
   const U256 z_inv3 = fe_mul(z_inv2, z_inv);
   return Point{fe_mul(p.X, z_inv2), fe_mul(p.Y, z_inv3), false};
+}
+
+std::vector<Point> batch_normalize(const std::vector<PointJ>& pts) {
+  std::vector<Point> out(pts.size());
+  std::vector<U256> zs;
+  zs.reserve(pts.size());
+  for (const auto& p : pts) {
+    if (!p.is_infinity()) zs.push_back(p.Z);
+  }
+  fe_inv_batch(zs.data(), zs.size());
+  std::size_t zi = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const PointJ& p = pts[i];
+    if (p.is_infinity()) continue;  // out[i] stays the affine identity
+    const U256& z_inv = zs[zi++];
+    const U256 z_inv2 = fe_sqr(z_inv);
+    out[i] = Point{fe_mul(p.X, z_inv2), fe_mul(p.Y, fe_mul(z_inv2, z_inv)),
+                   false};
+  }
+  return out;
+}
+
+Point neg(const Point& p) {
+  if (p.infinity) return p;
+  return Point{p.x, p.y.is_zero() ? p.y : kP - p.y, false};
 }
 
 PointJ dbl(const PointJ& p) {
@@ -211,7 +259,7 @@ PointJ add_affine(const PointJ& p, const Point& q) {
   return PointJ{x3, y3, z3};
 }
 
-PointJ scalar_mul(const U256& k, const Point& p) {
+PointJ scalar_mul_naive(const U256& k, const Point& p) {
   PointJ acc{};
   const int top = k.highest_bit();
   for (int i = top; i >= 0; --i) {
@@ -221,9 +269,11 @@ PointJ scalar_mul(const U256& k, const Point& p) {
   return acc;
 }
 
-PointJ scalar_mul_base(const U256& k) { return scalar_mul(k, generator()); }
+PointJ scalar_mul_base_naive(const U256& k) {
+  return scalar_mul_naive(k, generator());
+}
 
-PointJ double_scalar_mul(const U256& a, const U256& b, const Point& p) {
+PointJ double_scalar_mul_naive(const U256& a, const U256& b, const Point& p) {
   const Point& g = generator();
   // Precompute G + P once for the interleaved pass.
   const Point gp = to_affine(add_affine(to_jacobian(g), p));
@@ -239,6 +289,226 @@ PointJ double_scalar_mul(const U256& a, const U256& b, const Point& p) {
       acc = add_affine(acc, g);
     } else if (bb) {
       acc = add_affine(acc, p);
+    }
+  }
+  return acc;
+}
+
+// ===================================================== fast scalar engine
+
+namespace {
+
+// ---- wNAF recoding ----
+//
+// Rewrites k as sum_i digit[i] * 2^i with digits either zero or odd in
+// [-(2^(w-1)-1), 2^(w-1)-1], so at most one in w+1 consecutive digits is
+// nonzero. Works on a 5-limb copy: the intermediate k + 2^(w-1) can reach
+// 2^256 for k near the top of the range, which a U256 cannot hold.
+struct Wnaf {
+  std::array<std::int8_t, 258> digit{};
+  int len = 0;  // number of meaningful positions
+};
+
+Wnaf wnaf(const U256& k, int w) {
+  Wnaf out;
+  std::uint64_t v[5] = {k.limb[0], k.limb[1], k.limb[2], k.limb[3], 0};
+  const std::uint64_t mask = (1ULL << w) - 1;
+  const std::uint64_t half = 1ULL << (w - 1);
+  int pos = 0;
+  while ((v[0] | v[1] | v[2] | v[3] | v[4]) != 0) {
+    std::int8_t d = 0;
+    if (v[0] & 1) {
+      const std::uint64_t u = v[0] & mask;
+      if (u >= half) {
+        d = static_cast<std::int8_t>(static_cast<std::int64_t>(u) -
+                                     (1LL << w));
+        // v += 2^w - u (carry-propagating small add).
+        std::uint64_t carry = (1ULL << w) - u;
+        for (int i = 0; i < 5 && carry != 0; ++i) {
+          const unsigned __int128 cur =
+              static_cast<unsigned __int128>(v[i]) + carry;
+          v[i] = static_cast<std::uint64_t>(cur);
+          carry = static_cast<std::uint64_t>(cur >> 64);
+        }
+      } else {
+        d = static_cast<std::int8_t>(u);
+        v[0] -= u;  // low bits equal u, no borrow
+      }
+    }
+    out.digit[static_cast<std::size_t>(pos)] = d;
+    if (d != 0) out.len = pos + 1;
+    // v >>= 1.
+    for (int i = 0; i < 4; ++i) v[i] = (v[i] >> 1) | (v[i + 1] << 63);
+    v[4] >>= 1;
+    ++pos;
+  }
+  return out;
+}
+
+// Variable-base wNAF width: 5 -> odd multiples {1,3,...,15}P, 8 entries.
+constexpr int kVarWidth = 5;
+constexpr std::size_t kVarEntries = 1u << (kVarWidth - 2);
+// Fixed-G side of Strauss–Shamir: width 7 -> {1,3,...,63}G, 32 entries,
+// precomputed once.
+constexpr int kGenWidth = 7;
+constexpr std::size_t kGenEntries = 1u << (kGenWidth - 2);
+
+/// Appends the kVarEntries odd multiples P, 3P, ..., (2^w-1)P of `p` to
+/// `out` in Jacobian form (caller batch-normalizes).
+void append_odd_multiples(const Point& p, std::vector<PointJ>& out) {
+  PointJ cur = to_jacobian(p);
+  const PointJ twice = dbl(cur);
+  for (std::size_t i = 0; i < kVarEntries; ++i) {
+    out.push_back(cur);
+    if (i + 1 < kVarEntries) cur = add(cur, twice);
+  }
+}
+
+/// acc += d * table-entry, where `table` holds the affine odd multiples
+/// {1,3,...}·P and d is an odd wNAF digit.
+PointJ add_digit(PointJ acc, const Point* table, int d) {
+  if (d > 0) return add_affine(acc, table[(d - 1) / 2]);
+  return add_affine(acc, neg(table[(-d - 1) / 2]));
+}
+
+// ---- fixed-base window table ----
+//
+// win[i][j-1] = j * 2^(8i) * G for j in [1, 255]: one 8-bit window per byte
+// position of the scalar, so k*G is just a table lookup and mixed add per
+// nonzero byte (<= 32 adds, no doublings). 32 * 255 affine points ~ 0.6 MiB.
+struct FixedBaseTable {
+  std::array<std::array<Point, 255>, 32> win;
+};
+
+FixedBaseTable* build_fixed_base_table() {
+  auto* tbl = new FixedBaseTable;
+  std::vector<PointJ> jac;
+  jac.reserve(32 * 255);
+  PointJ base = to_jacobian(generator());  // 2^(8i) * G
+  for (int i = 0; i < 32; ++i) {
+    PointJ cur = base;  // j * base
+    for (int j = 1; j <= 255; ++j) {
+      jac.push_back(cur);
+      cur = add(cur, base);
+    }
+    base = cur;  // 256 * base
+  }
+  const std::vector<Point> aff = batch_normalize(jac);
+  for (int i = 0; i < 32; ++i) {
+    for (int j = 0; j < 255; ++j) {
+      tbl->win[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          aff[static_cast<std::size_t>(i * 255 + j)];
+    }
+  }
+  return tbl;
+}
+
+const FixedBaseTable& fixed_base_table() {
+  static std::once_flag once;
+  static FixedBaseTable* tbl = nullptr;
+  std::call_once(once, [] { tbl = build_fixed_base_table(); });
+  return *tbl;
+}
+
+/// Odd multiples {1,3,...,63}G for the G side of Strauss–Shamir.
+const std::array<Point, kGenEntries>& generator_odd_multiples() {
+  static std::once_flag once;
+  static std::array<Point, kGenEntries>* tbl = nullptr;
+  std::call_once(once, [] {
+    std::vector<PointJ> jac;
+    PointJ cur = to_jacobian(generator());
+    const PointJ twice = dbl(cur);
+    for (std::size_t i = 0; i < kGenEntries; ++i) {
+      jac.push_back(cur);
+      cur = add(cur, twice);
+    }
+    const std::vector<Point> aff = batch_normalize(jac);
+    tbl = new std::array<Point, kGenEntries>;
+    std::copy(aff.begin(), aff.end(), tbl->begin());
+  });
+  return *tbl;
+}
+
+}  // namespace
+
+PointJ scalar_mul_base(const U256& k) {
+  const FixedBaseTable& t = fixed_base_table();
+  PointJ acc{};
+  for (unsigned i = 0; i < 32; ++i) {
+    const unsigned b = k.byte_at(i);
+    if (b != 0) acc = add_affine(acc, t.win[i][b - 1]);
+  }
+  return acc;
+}
+
+PointJ scalar_mul(const U256& k, const Point& p) {
+  if (p.infinity || k.is_zero()) return PointJ{};
+  std::vector<PointJ> jac;
+  jac.reserve(kVarEntries);
+  append_odd_multiples(p, jac);
+  const std::vector<Point> table = batch_normalize(jac);
+  const Wnaf naf = wnaf(k, kVarWidth);
+  PointJ acc{};
+  for (int i = naf.len - 1; i >= 0; --i) {
+    acc = dbl(acc);
+    const int d = naf.digit[static_cast<std::size_t>(i)];
+    if (d != 0) acc = add_digit(acc, table.data(), d);
+  }
+  return acc;
+}
+
+PointJ double_scalar_mul(const U256& a, const U256& b, const Point& p) {
+  if (p.infinity || b.is_zero()) return scalar_mul_base(a);
+  const auto& gtab = generator_odd_multiples();
+  std::vector<PointJ> jac;
+  jac.reserve(kVarEntries);
+  append_odd_multiples(p, jac);
+  const std::vector<Point> ptab = batch_normalize(jac);
+  const Wnaf na = wnaf(a, kGenWidth);
+  const Wnaf nb = wnaf(b, kVarWidth);
+  PointJ acc{};
+  for (int i = std::max(na.len, nb.len) - 1; i >= 0; --i) {
+    acc = dbl(acc);
+    if (i < na.len) {
+      const int d = na.digit[static_cast<std::size_t>(i)];
+      if (d != 0) acc = add_digit(acc, gtab.data(), d);
+    }
+    if (i < nb.len) {
+      const int d = nb.digit[static_cast<std::size_t>(i)];
+      if (d != 0) acc = add_digit(acc, ptab.data(), d);
+    }
+  }
+  return acc;
+}
+
+PointJ multi_scalar_mul(const std::vector<U256>& scalars,
+                        const std::vector<Point>& points) {
+  assert(scalars.size() == points.size());
+  // Drop trivial terms, then build every odd-multiples table in Jacobian
+  // form and normalize them all with ONE field inversion.
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].infinity && !scalars[i].is_zero()) live.push_back(i);
+  }
+  if (live.empty()) return PointJ{};
+  std::vector<PointJ> jac;
+  jac.reserve(live.size() * kVarEntries);
+  std::vector<Wnaf> nafs;
+  nafs.reserve(live.size());
+  int top = 0;
+  for (const std::size_t i : live) {
+    append_odd_multiples(points[i], jac);
+    nafs.push_back(wnaf(scalars[i], kVarWidth));
+    top = std::max(top, nafs.back().len);
+  }
+  const std::vector<Point> tables = batch_normalize(jac);
+  PointJ acc{};
+  for (int i = top - 1; i >= 0; --i) {
+    acc = dbl(acc);
+    for (std::size_t t = 0; t < nafs.size(); ++t) {
+      if (i >= nafs[t].len) continue;
+      const int d = nafs[t].digit[static_cast<std::size_t>(i)];
+      if (d != 0) acc = add_digit(acc, tables.data() + t * kVarEntries, d);
     }
   }
   return acc;

@@ -2,7 +2,20 @@
 // p = 2^256 - 2^32 - 977), Jacobian point arithmetic (a = 0, b = 7), and
 // scalar multiplication. Simulation-grade: correct, tested against known
 // vectors, NOT constant-time or side-channel hardened.
+//
+// Scalar multiplication runs on a fast engine (libsecp256k1-style, scaled
+// down): fixed-base multiplication reads a lazily built table of window
+// multiples of G (8-bit windows over the 32 byte positions, ~0.6 MiB,
+// built once under std::call_once); variable-base multiplication uses
+// w-NAF recoding over a per-call odd-multiples table; a*G + b*P and
+// general multi-scalar sums interleave the wNAF passes (Strauss–Shamir).
+// All precomputed tables are normalized to affine with one shared field
+// inversion (Montgomery's trick, fe_inv_batch). The naive double-and-add
+// reference paths stay exported for cross-checks and benchmarks.
 #pragma once
+
+#include <cstddef>
+#include <vector>
 
 #include "crypto/u256.hpp"
 
@@ -22,6 +35,9 @@ namespace tnp::secp {
 [[nodiscard]] U256 fe_pow(const U256& a, const U256& e);
 /// Multiplicative inverse via Fermat (a != 0).
 [[nodiscard]] U256 fe_inv(const U256& a);
+/// Montgomery batch inversion: replaces elems[i] with elems[i]^-1 using
+/// 3(n-1) multiplications plus ONE field inversion. All inputs nonzero.
+void fe_inv_batch(U256* elems, std::size_t n);
 /// Canonicalizes an arbitrary 256-bit value into [0, p).
 [[nodiscard]] U256 fe_from(const U256& x);
 
@@ -50,18 +66,39 @@ struct PointJ {
 
 [[nodiscard]] PointJ to_jacobian(const Point& p);
 [[nodiscard]] Point to_affine(const PointJ& p);
+/// Converts a whole set of Jacobian points to affine with one shared field
+/// inversion (Montgomery's trick); infinities map to the affine identity.
+[[nodiscard]] std::vector<Point> batch_normalize(const std::vector<PointJ>& pts);
+/// -P (y -> p - y); infinity negates to itself.
+[[nodiscard]] Point neg(const Point& p);
 
 [[nodiscard]] PointJ dbl(const PointJ& p);
 [[nodiscard]] PointJ add(const PointJ& p, const PointJ& q);
 [[nodiscard]] PointJ add_affine(const PointJ& p, const Point& q);
 
-/// k * P (double-and-add). k taken mod n implicitly by the caller.
+/// k * P via width-5 wNAF over an odd-multiples table. Handles any k in
+/// [0, 2^256); same group element as the naive reference for every input.
 [[nodiscard]] PointJ scalar_mul(const U256& k, const Point& p);
-/// k * G.
+/// k * G via the lazily built fixed-base window table (~32 mixed adds, no
+/// doublings) — the signing / key-derivation hot path.
 [[nodiscard]] PointJ scalar_mul_base(const U256& k);
 
-/// a*G + b*P in one interleaved pass (Strauss–Shamir) — the verify hot path.
+/// a*G + b*P in one interleaved wNAF pass (Strauss–Shamir) using the
+/// static odd-multiples-of-G table — the single-signature verify hot path.
 [[nodiscard]] PointJ double_scalar_mul(const U256& a, const U256& b,
                                        const Point& p);
+
+/// sum_i scalars[i] * points[i] in one interleaved wNAF pass with a single
+/// batch-normalized table build — the batch-verification hot path.
+[[nodiscard]] PointJ multi_scalar_mul(const std::vector<U256>& scalars,
+                                      const std::vector<Point>& points);
+
+// ---- Naive reference paths (bit-by-bit double-and-add). Kept exported so
+// tests can cross-check the table/wNAF engines and benches can report the
+// speedup against the same host.
+[[nodiscard]] PointJ scalar_mul_naive(const U256& k, const Point& p);
+[[nodiscard]] PointJ scalar_mul_base_naive(const U256& k);
+[[nodiscard]] PointJ double_scalar_mul_naive(const U256& a, const U256& b,
+                                             const Point& p);
 
 }  // namespace tnp::secp

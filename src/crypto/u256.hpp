@@ -32,6 +32,11 @@ struct U256 {
   [[nodiscard]] constexpr bool bit(unsigned i) const {
     return (limb[i / 64] >> (i % 64)) & 1;
   }
+  /// Byte i of the little-endian byte representation (i < 32) — the window
+  /// index the fixed-base multiplication tables consume.
+  [[nodiscard]] constexpr std::uint8_t byte_at(unsigned i) const {
+    return static_cast<std::uint8_t>(limb[i / 8] >> ((i % 8) * 8));
+  }
   /// Index of highest set bit, or -1 if zero.
   [[nodiscard]] int highest_bit() const;
 

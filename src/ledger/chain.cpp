@@ -2,11 +2,68 @@
 
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "crypto/schnorr.hpp"
 
 namespace tnp::ledger {
 
+namespace {
+
+/// Verifies the signatures of txs[begin, end), writing per-index verdicts.
+/// Schnorr transactions in the range are checked with one algebraic batch
+/// verification; if the batch rejects (or a key/signature fails to parse),
+/// the affected transactions fall back to individual verification, so the
+/// verdict vector is identical to a per-signature scan. `skip[i]` marks
+/// transactions already known valid (verified-signature cache hits).
+void verify_tx_range(const std::vector<Transaction>& txs, std::size_t begin,
+                     std::size_t end, const std::vector<unsigned char>& skip,
+                     std::vector<unsigned char>& verdicts) {
+  std::vector<std::size_t> batch_index;
+  std::vector<schnorr::PublicKey> keys;
+  std::vector<Bytes> preimages;
+  std::vector<schnorr::Signature> sigs;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (skip[i]) {
+      verdicts[i] = 1;
+      continue;
+    }
+    const Transaction& tx = txs[i];
+    if (tx.scheme != SigScheme::kSchnorr) {
+      verdicts[i] = tx.verify_signature() ? 1 : 0;
+      continue;
+    }
+    auto key = schnorr::PublicKey::deserialize(BytesView(tx.sender_material));
+    auto sig = schnorr::Signature::deserialize(BytesView(tx.signature));
+    if (!key.ok() || !sig.ok()) {
+      verdicts[i] = 0;
+      continue;
+    }
+    batch_index.push_back(i);
+    keys.push_back(std::move(*key));
+    preimages.push_back(tx.encode(false));
+    sigs.push_back(std::move(*sig));
+  }
+  if (batch_index.empty()) return;
+  std::vector<BytesView> messages;
+  messages.reserve(preimages.size());
+  for (const Bytes& m : preimages) messages.emplace_back(m);
+  if (schnorr::batch_verify(keys, messages, sigs)) {
+    for (const std::size_t i : batch_index) verdicts[i] = 1;
+    return;
+  }
+  // Batch rejected: at least one bad signature. Re-verify individually so
+  // every index gets its exact serial verdict.
+  for (std::size_t j = 0; j < batch_index.size(); ++j) {
+    verdicts[batch_index[j]] =
+        schnorr::verify(keys[j], messages[j], sigs[j]) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
 Blockchain::Blockchain(TransactionExecutor& executor, ChainConfig config)
-    : executor_(executor), config_(config) {
+    : executor_(executor),
+      config_(config),
+      sig_cache_(config.sig_cache_capacity) {
   // Genesis: empty block at height 0 committing to the empty state.
   Block genesis;
   genesis.header.height = 0;
@@ -28,8 +85,16 @@ std::uint64_t Blockchain::expected_nonce(const AccountId& account) const {
 }
 
 Status Blockchain::precheck(const Transaction& tx) const {
-  if (config_.verify_signatures && !tx.verify_signature()) {
-    return Status(ErrorCode::kUnauthenticated, "bad transaction signature");
+  if (config_.verify_signatures) {
+    const Hash256 id = tx.id();
+    if (!sig_cache_.contains(id)) {
+      if (!tx.verify_signature()) {
+        return Status(ErrorCode::kUnauthenticated, "bad transaction signature");
+      }
+      // Remember the admission-time verdict so block commit skips the EC
+      // math for this exact signed payload.
+      sig_cache_.insert(id);
+    }
   }
   if (tx.nonce < expected_nonce(tx.sender())) {
     return Status(ErrorCode::kFailedPrecondition, "stale nonce");
@@ -72,15 +137,25 @@ std::vector<unsigned char> Blockchain::verify_signatures_parallel(
     const Block& block) const {
   std::vector<unsigned char> verdicts;
   if (!config_.verify_signatures) return verdicts;
-  verdicts.resize(block.txs.size());
-  // Signature checks are pure per-transaction work; 4 is a low floor
-  // because a single Schnorr verify already dwarfs the dispatch cost.
-  parallel_for(
-      block.txs.size(),
-      [&](std::size_t i) {
-        verdicts[i] = block.txs[i].verify_signature() ? 1 : 0;
-      },
-      /*min_per_thread=*/4);
+  const std::size_t n = block.txs.size();
+  verdicts.resize(n);
+  // Serial pre-pass: memoized ids + cache lookups, so the parallel phase
+  // touches neither the id cache nor the sig-cache mutex.
+  std::vector<unsigned char> cached(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cached[i] = sig_cache_.contains(block.txs[i].id()) ? 1 : 0;
+  }
+  // Each pool thread takes a contiguous sub-batch and verifies its Schnorr
+  // signatures with one multi-scalar multiplication — the thread-level and
+  // algebraic batching multiply. 4 is a low floor because a single Schnorr
+  // verify already dwarfs the dispatch cost.
+  global_pool().for_chunks(
+      n, /*min_per_chunk=*/4, [&](std::size_t begin, std::size_t end) {
+        verify_tx_range(block.txs, begin, end, cached, verdicts);
+      });
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!cached[i] && verdicts[i]) sig_cache_.insert(block.txs[i].id());
+  }
   return verdicts;
 }
 

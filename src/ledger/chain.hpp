@@ -10,7 +10,10 @@
 // effects (per-transaction overlay rollback).
 #pragma once
 
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "ledger/block.hpp"
@@ -58,6 +61,43 @@ struct BlockResult {
 struct ChainConfig {
   GasCosts gas_costs{};
   bool verify_signatures = true;  // disable to isolate consensus cost (E8)
+  /// Bound on the verified-signature cache (0 disables it). Transactions
+  /// whose signatures already checked out at mempool admission (precheck)
+  /// are not re-verified at block commit.
+  std::size_t sig_cache_capacity = 1 << 16;
+};
+
+/// Bounded FIFO set of transaction ids whose signatures have verified.
+/// Thread-safe; the ledger consults it serially around the parallel verify
+/// phase, the mutex only guards against concurrent prechecks.
+class VerifiedSigCache {
+ public:
+  explicit VerifiedSigCache(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool contains(const Hash256& id) const {
+    std::lock_guard lock(mu_);
+    return set_.contains(id);
+  }
+  void insert(const Hash256& id) {
+    if (capacity_ == 0) return;
+    std::lock_guard lock(mu_);
+    if (!set_.insert(id).second) return;
+    order_.push_back(id);
+    while (order_.size() > capacity_) {
+      set_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return set_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::unordered_set<Hash256> set_;
+  std::deque<Hash256> order_;
 };
 
 class Blockchain {
@@ -121,11 +161,20 @@ class Blockchain {
 
   [[nodiscard]] std::uint64_t total_gas_used() const { return total_gas_used_; }
   [[nodiscard]] std::uint64_t tx_count() const { return tx_count_; }
+  /// Number of transaction ids currently held by the verified-signature
+  /// cache (observability / tests).
+  [[nodiscard]] std::size_t sig_cache_size() const { return sig_cache_.size(); }
 
  private:
   Status validate_header(const Block& block) const;
-  /// Verifies all tx signatures on the global pool. Returns one verdict
-  /// per transaction (empty when signature checking is disabled).
+  /// Verifies all tx signatures on the global pool. Each thread gets a
+  /// contiguous sub-batch; Schnorr signatures inside a sub-batch are
+  /// checked with one algebraic batch verification (falling back to
+  /// per-signature checks when the batch rejects, so verdicts — and the
+  /// lowest-failing-index error — match the serial path exactly).
+  /// Transactions whose ids are in the verified-signature cache skip
+  /// re-verification. Returns one verdict per transaction (empty when
+  /// signature checking is disabled).
   std::vector<unsigned char> verify_signatures_parallel(
       const Block& block) const;
   /// `sig_verdict` is the pre-computed signature check for this tx, or
@@ -135,6 +184,10 @@ class Blockchain {
 
   TransactionExecutor& executor_;
   ChainConfig config_;
+  /// Ids of transactions whose signatures verified (at precheck or in a
+  /// previous block validation) — performance-only: hits skip the EC math
+  /// but verdicts are identical since only valid signatures are inserted.
+  mutable VerifiedSigCache sig_cache_;
   WorldState state_;
   std::vector<Block> blocks_;        // blocks_[0] is genesis
   std::vector<BlockResult> results_; // parallel to blocks_

@@ -45,6 +45,8 @@ std::vector<Transaction> Mempool::take_batch(std::size_t max_txs) {
 }
 
 void Mempool::remove_committed(const std::vector<Transaction>& committed) {
+  // tx.id() below is memoized on the transaction, so this pass (and the
+  // queue scan) costs hash-map lookups, not repeated SHA-256 work.
   std::unordered_set<Hash256> gone;
   for (const auto& tx : committed) {
     const Hash256 id = tx.id();

@@ -51,10 +51,32 @@ Expected<Transaction> Transaction::decode(BytesView bytes) {
   return tx;
 }
 
+Transaction& Transaction::operator=(const Transaction& o) {
+  scheme = o.scheme;
+  sender_material = o.sender_material;
+  nonce = o.nonce;
+  contract = o.contract;
+  method = o.method;
+  args = o.args;
+  gas_limit = o.gas_limit;
+  signature = o.signature;
+  id_cached_ = false;  // the copy is what callers mutate; force a re-hash
+  return *this;
+}
+
+Hash256 Transaction::id() const {
+  if (!id_cached_) {
+    id_cache_ = sha256(BytesView(encode(true)));
+    id_cached_ = true;
+  }
+  return id_cache_;
+}
+
 void Transaction::sign_with(const KeyPair& key) {
   scheme = key.scheme();
   sender_material = key.public_material();
   signature = key.sign(BytesView(encode(false)));
+  id_cached_ = false;
 }
 
 bool Transaction::verify_signature() const {

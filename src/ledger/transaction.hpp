@@ -33,8 +33,14 @@ struct Transaction {
   [[nodiscard]] Bytes encode(bool include_signature = true) const;
   static Expected<Transaction> decode(BytesView bytes);
 
-  /// Content id (hash of the fully signed encoding).
-  [[nodiscard]] Hash256 id() const { return sha256(BytesView(encode(true))); }
+  /// Content id (hash of the fully signed encoding). Memoized: the first
+  /// call hashes, later calls return the cached digest — mempool add /
+  /// take_batch / remove_committed and Merkle tx-root construction all hit
+  /// the same id without re-hashing. Copies drop the cache (a copy is how
+  /// tamper/fork scenarios mutate a transaction), moves keep it. Mutating
+  /// fields in place after calling id() on the same object is not
+  /// supported — copy first or re-sign.
+  [[nodiscard]] Hash256 id() const;
 
   /// Fills scheme/material/signature from `key`. Call after all other
   /// fields are final.
@@ -43,7 +49,22 @@ struct Transaction {
   /// Verifies the embedded signature against the embedded material.
   [[nodiscard]] bool verify_signature() const;
 
-  friend bool operator==(const Transaction&, const Transaction&) = default;
+  Transaction() = default;
+  Transaction(Transaction&&) = default;
+  Transaction& operator=(Transaction&&) = default;
+  Transaction(const Transaction& o) { *this = o; }
+  Transaction& operator=(const Transaction& o);
+
+  friend bool operator==(const Transaction& a, const Transaction& b) {
+    return a.scheme == b.scheme && a.sender_material == b.sender_material &&
+           a.nonce == b.nonce && a.contract == b.contract &&
+           a.method == b.method && a.args == b.args &&
+           a.gas_limit == b.gas_limit && a.signature == b.signature;
+  }
+
+ private:
+  mutable Hash256 id_cache_{};
+  mutable bool id_cached_ = false;
 };
 
 /// Execution outcome recorded per transaction in a block.

@@ -318,6 +318,139 @@ TEST(SecpTest, DoubleScalarMatchesSeparate) {
   EXPECT_EQ(combined, separate);
 }
 
+// ------------------------------------------------- secp256k1: fast engine
+
+/// Edge scalars the table/wNAF recodings must get exactly right.
+std::vector<U256> edge_scalars() {
+  const U256& n = secp::group_order();
+  U256 n_minus_1;
+  U256::sub_borrow(n, U256(1), n_minus_1);
+  return {U256{}, U256(1), U256(2), U256(3), n_minus_1, n, n + U256(1),
+          U256(255), U256(256), U256(0xFFFFFFFFFFFFFFFFULL),
+          U256(~0ULL, ~0ULL, ~0ULL, ~0ULL)};  // 2^256 - 1
+}
+
+U256 random_u256(Rng& rng) {
+  return U256(rng.next(), rng.next(), rng.next(), rng.next());
+}
+
+TEST(SecpFastTest, FixedBaseMatchesNaiveOnEdgeAndRandomScalars) {
+  for (const U256& k : edge_scalars()) {
+    EXPECT_EQ(secp::to_affine(secp::scalar_mul_base(k)),
+              secp::to_affine(secp::scalar_mul_base_naive(k)))
+        << "k=" << k.hex();
+  }
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    const U256 k = random_u256(rng);
+    EXPECT_EQ(secp::to_affine(secp::scalar_mul_base(k)),
+              secp::to_affine(secp::scalar_mul_base_naive(k)))
+        << "k=" << k.hex();
+  }
+}
+
+TEST(SecpFastTest, WnafMulMatchesNaiveOnEdgeAndRandomScalars) {
+  const secp::Point p =
+      secp::to_affine(secp::scalar_mul_base(U256(0xDEADBEEFULL)));
+  for (const U256& k : edge_scalars()) {
+    EXPECT_EQ(secp::to_affine(secp::scalar_mul(k, p)),
+              secp::to_affine(secp::scalar_mul_naive(k, p)))
+        << "k=" << k.hex();
+  }
+  Rng rng(22);
+  for (int i = 0; i < 100; ++i) {
+    const U256 k = random_u256(rng);
+    const secp::Point q =
+        secp::to_affine(secp::scalar_mul_base(mod(random_u256(rng),
+                                                  secp::group_order())));
+    EXPECT_EQ(secp::to_affine(secp::scalar_mul(k, q)),
+              secp::to_affine(secp::scalar_mul_naive(k, q)))
+        << "k=" << k.hex();
+  }
+  // Multiplying the identity stays the identity.
+  EXPECT_TRUE(secp::scalar_mul(U256(7), secp::Point{}).is_infinity());
+}
+
+TEST(SecpFastTest, StraussMatchesNaiveOnEdgeAndRandomScalars) {
+  const secp::Point p =
+      secp::to_affine(secp::scalar_mul_base(U256(424242ULL)));
+  for (const U256& a : edge_scalars()) {
+    for (const U256& b : {U256{}, U256(1), a}) {
+      EXPECT_EQ(secp::to_affine(secp::double_scalar_mul(a, b, p)),
+                secp::to_affine(secp::double_scalar_mul_naive(a, b, p)))
+          << "a=" << a.hex() << " b=" << b.hex();
+    }
+  }
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const U256 a = random_u256(rng);
+    const U256 b = random_u256(rng);
+    EXPECT_EQ(secp::to_affine(secp::double_scalar_mul(a, b, p)),
+              secp::to_affine(secp::double_scalar_mul_naive(a, b, p)))
+        << "a=" << a.hex() << " b=" << b.hex();
+  }
+}
+
+TEST(SecpFastTest, FeInvBatchMatchesFeInv) {
+  Rng rng(24);
+  const U256& p = secp::field_prime();
+  std::vector<U256> elems;
+  for (int i = 0; i < 37; ++i) {
+    U256 v = mod(random_u256(rng), p);
+    if (v.is_zero()) v = U256(1);
+    elems.push_back(v);
+  }
+  std::vector<U256> inverted = elems;
+  secp::fe_inv_batch(inverted.data(), inverted.size());
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    EXPECT_EQ(inverted[i], secp::fe_inv(elems[i])) << "i=" << i;
+  }
+  secp::fe_inv_batch(nullptr, 0);  // empty batch is a no-op
+  U256 one(1);
+  secp::fe_inv_batch(&one, 1);
+  EXPECT_EQ(one, U256(1));
+}
+
+TEST(SecpFastTest, BatchNormalizeMatchesToAffine) {
+  Rng rng(25);
+  std::vector<secp::PointJ> pts;
+  for (int i = 0; i < 17; ++i) {
+    pts.push_back(secp::scalar_mul_base(mod(random_u256(rng),
+                                            secp::group_order())));
+  }
+  pts.insert(pts.begin() + 5, secp::PointJ{});  // infinity mid-batch
+  pts.push_back(secp::PointJ{});
+  const auto affine = secp::batch_normalize(pts);
+  ASSERT_EQ(affine.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(affine[i], secp::to_affine(pts[i])) << "i=" << i;
+  }
+}
+
+TEST(SecpFastTest, MultiScalarMulMatchesTermByTermSum) {
+  Rng rng(26);
+  const U256& n = secp::group_order();
+  std::vector<U256> scalars;
+  std::vector<secp::Point> points;
+  for (int i = 0; i < 9; ++i) {
+    scalars.push_back(mod(random_u256(rng), n));
+    points.push_back(
+        secp::to_affine(secp::scalar_mul_base(mod(random_u256(rng), n))));
+  }
+  scalars.push_back(U256{});           // zero coefficient drops out
+  points.push_back(points[0]);
+  scalars.push_back(U256(5));          // identity point drops out
+  points.push_back(secp::Point{});
+  secp::PointJ expected{};
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    expected = secp::add(expected, secp::scalar_mul_naive(scalars[i],
+                                                          points[i]));
+  }
+  EXPECT_EQ(secp::to_affine(secp::multi_scalar_mul(scalars, points)),
+            secp::to_affine(expected));
+  EXPECT_TRUE(secp::multi_scalar_mul({}, {}).is_infinity());
+}
+
 TEST(SecpTest, InfinityIsIdentity) {
   const secp::PointJ inf{};
   const secp::PointJ g = secp::to_jacobian(secp::generator());
@@ -364,6 +497,88 @@ TEST(SchnorrTest, DeterministicSignatures) {
   const Bytes msg = to_bytes("same message");
   EXPECT_EQ(schnorr::sign(key, BytesView(msg)),
             schnorr::sign(key, BytesView(msg)));
+}
+
+// A batch of n distinct keys, messages, and valid signatures.
+struct SchnorrBatch {
+  std::vector<Bytes> message_bytes;
+  std::vector<schnorr::PublicKey> keys;
+  std::vector<BytesView> messages;
+  std::vector<schnorr::Signature> sigs;
+};
+
+SchnorrBatch make_schnorr_batch(std::size_t n) {
+  SchnorrBatch b;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto key =
+        schnorr::PrivateKey::from_seed(to_bytes("signer-" + std::to_string(i)));
+    b.message_bytes.push_back(to_bytes("batch message " + std::to_string(i)));
+    b.keys.push_back(key.public_key());
+    b.sigs.push_back(schnorr::sign(key, BytesView(b.message_bytes.back())));
+  }
+  for (const Bytes& m : b.message_bytes) b.messages.emplace_back(m);
+  return b;
+}
+
+TEST(SchnorrBatchTest, AcceptsAllValidBatches) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{8}, std::size_t{33}}) {
+    const auto b = make_schnorr_batch(n);
+    EXPECT_TRUE(schnorr::batch_verify(b.keys, b.messages, b.sigs)) << "n=" << n;
+  }
+}
+
+TEST(SchnorrBatchTest, RejectsAnySingleTamperedSignature) {
+  const std::size_t n = 8;
+  for (std::size_t bad = 0; bad < n; ++bad) {
+    auto b = make_schnorr_batch(n);
+    b.sigs[bad].s = addmod(b.sigs[bad].s, U256(1), secp::group_order());
+    EXPECT_FALSE(schnorr::batch_verify(b.keys, b.messages, b.sigs))
+        << "tampered index " << bad;
+  }
+}
+
+TEST(SchnorrBatchTest, RejectsAnySingleFlippedMessageByte) {
+  const std::size_t n = 8;
+  for (std::size_t bad = 0; bad < n; ++bad) {
+    auto b = make_schnorr_batch(n);
+    b.message_bytes[bad][0] ^= 0x01;
+    b.messages.clear();
+    for (const Bytes& m : b.message_bytes) b.messages.emplace_back(m);
+    EXPECT_FALSE(schnorr::batch_verify(b.keys, b.messages, b.sigs))
+        << "flipped message " << bad;
+  }
+}
+
+TEST(SchnorrBatchTest, RejectsWrongKeyAndSizeMismatch) {
+  auto b = make_schnorr_batch(4);
+  std::swap(b.keys[1], b.keys[2]);  // sigs no longer match their keys
+  EXPECT_FALSE(schnorr::batch_verify(b.keys, b.messages, b.sigs));
+
+  const auto good = make_schnorr_batch(4);
+  std::vector<schnorr::Signature> short_sigs(good.sigs.begin(),
+                                             good.sigs.end() - 1);
+  EXPECT_FALSE(schnorr::batch_verify(good.keys, good.messages, short_sigs));
+}
+
+TEST(SchnorrBatchTest, DeterministicAcrossRuns) {
+  const auto b = make_schnorr_batch(16);
+  // Same inputs, same coefficients, same verdict — no flaky randomness.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(schnorr::batch_verify(b.keys, b.messages, b.sigs));
+  }
+}
+
+TEST(SchnorrBatchTest, AgreesWithSingleVerifyOnMixedBatch) {
+  auto b = make_schnorr_batch(12);
+  b.sigs[7].s = addmod(b.sigs[7].s, U256(1), secp::group_order());
+  bool all_single = true;
+  for (std::size_t i = 0; i < b.keys.size(); ++i) {
+    all_single = all_single &&
+                 schnorr::verify(b.keys[i], b.messages[i], b.sigs[i]);
+  }
+  EXPECT_FALSE(all_single);
+  EXPECT_FALSE(schnorr::batch_verify(b.keys, b.messages, b.sigs));
 }
 
 TEST(SchnorrTest, SerializationRoundTrip) {

@@ -249,7 +249,11 @@ TEST_F(ChainTest, WrongParentRejected) {
 
 TEST_F(ChainTest, TamperedTxRootRejected) {
   Block block = chain_.make_block({make_set_tx(key_, 0, "a", "b")}, 0, 0);
-  block.txs[0].args.push_back(1);  // content no longer matches root
+  // Tamper via a copy: copying drops the memoized tx id, as in-place field
+  // mutation after id() is outside the Transaction contract.
+  Transaction tampered = block.txs[0];
+  tampered.args.push_back(1);  // content no longer matches root
+  block.txs[0] = tampered;
   EXPECT_FALSE(chain_.apply_block(block).ok());
 }
 

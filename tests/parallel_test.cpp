@@ -218,7 +218,6 @@ TEST(ParallelEquivalenceTest, ValidateBlockReportsLowestFailingIndex) {
       << status.error().message();
 
   // A fully valid block passes.
-  block.txs[3].nonce = 0;  // untouched; re-make a clean block instead
   std::vector<ledger::Transaction> clean;
   for (std::uint64_t i = 0; i < 4; ++i) {
     const auto key = KeyPair::generate(SigScheme::kHmacSim, 300 + i);
@@ -226,6 +225,124 @@ TEST(ParallelEquivalenceTest, ValidateBlockReportsLowestFailingIndex) {
   }
   EXPECT_TRUE(chain.validate_block(chain.make_block(std::move(clean), 0, 1))
                   .ok());
+}
+
+// Validation verdicts must be identical whether signatures are checked one
+// at a time (1 thread → one batch), across threads (each thread batches its
+// sub-range), or with batching effectively disabled by tiny chunks.
+ChainRun run_schnorr_chain(std::size_t threads, bool corrupt) {
+  set_global_thread_count(threads);
+  KvExecutor executor;
+  ledger::Blockchain chain(executor);
+  std::vector<ledger::Transaction> txs;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    const auto key = KeyPair::generate(SigScheme::kSchnorr, 700 + i);
+    auto tx = make_set_tx(key, 0, "s" + std::to_string(i),
+                          "v" + std::to_string(i));
+    if (corrupt && (i == 5 || i == 17)) tx.signature.back() ^= 0x01;
+    txs.push_back(std::move(tx));
+  }
+  const auto block = chain.make_block(std::move(txs), 0, 5);
+  EXPECT_TRUE(chain.apply_block(block).ok());
+  return ChainRun{chain.state().root(), chain.tip_hash(),
+                  chain.result_at(1).receipts};
+}
+
+TEST(ParallelEquivalenceTest, SchnorrBatchedValidationMatchesSerial) {
+  for (const bool corrupt : {false, true}) {
+    const ChainRun serial = run_schnorr_chain(1, corrupt);
+    const ChainRun threaded = run_schnorr_chain(4, corrupt);
+    set_global_thread_count(0);
+    EXPECT_EQ(serial.state_root, threaded.state_root);
+    EXPECT_EQ(serial.tip, threaded.tip);
+    ASSERT_EQ(serial.receipts.size(), threaded.receipts.size());
+    for (std::size_t i = 0; i < serial.receipts.size(); ++i) {
+      EXPECT_EQ(serial.receipts[i].success, threaded.receipts[i].success);
+      EXPECT_EQ(serial.receipts[i].error, threaded.receipts[i].error);
+    }
+    if (corrupt) {
+      // The batch rejects, and the per-signature fallback pins the exact txs.
+      EXPECT_FALSE(serial.receipts[5].success);
+      EXPECT_EQ(serial.receipts[5].error, "UNAUTHENTICATED: bad signature");
+      EXPECT_FALSE(serial.receipts[17].success);
+      EXPECT_TRUE(serial.receipts[0].success);
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, SchnorrValidateBlockReportsLowestFailingIndex) {
+  KvExecutor executor;
+  ledger::Blockchain chain(executor);
+  std::vector<ledger::Transaction> txs;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const auto key = KeyPair::generate(SigScheme::kSchnorr, 800 + i);
+    auto tx = make_set_tx(key, 0, "x" + std::to_string(i), "y");
+    if (i == 4 || i == 10) tx.signature.back() ^= 0x01;
+    txs.push_back(std::move(tx));
+  }
+  const auto block = chain.make_block(std::move(txs), 0, 1);
+  const Status status = chain.validate_block(block);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kUnauthenticated);
+  EXPECT_NE(status.error().message().find("tx 4"), std::string::npos)
+      << status.error().message();
+}
+
+TEST(VerifiedSigCacheTest, PrecheckedTxsSkipReVerificationAtCommit) {
+  KvExecutor executor;
+  ledger::Blockchain chain(executor);
+  std::vector<ledger::Transaction> txs;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto key = KeyPair::generate(SigScheme::kSchnorr, 900 + i);
+    txs.push_back(make_set_tx(key, 0, "p" + std::to_string(i), "q"));
+  }
+  EXPECT_EQ(chain.sig_cache_size(), 0u);
+  for (const auto& tx : txs) {
+    EXPECT_TRUE(chain.precheck(tx).ok());  // mempool-admission path
+  }
+  EXPECT_EQ(chain.sig_cache_size(), 8u);
+  // Commit succeeds; the cache does not change the verdict, only the cost.
+  EXPECT_TRUE(chain.apply_block(chain.make_block(std::move(txs), 0, 5)).ok());
+  EXPECT_EQ(chain.sig_cache_size(), 8u);
+}
+
+TEST(VerifiedSigCacheTest, CacheNeverAdmitsABadSignature) {
+  KvExecutor executor;
+  ledger::Blockchain chain(executor);
+  const auto key = KeyPair::generate(SigScheme::kSchnorr, 950);
+  auto good = make_set_tx(key, 0, "cache", "hit");
+  EXPECT_TRUE(chain.precheck(good).ok());
+  // Tampering through a copy drops the memoized id, so the tampered tx
+  // cannot alias the cached entry.
+  ledger::Transaction bad = good;
+  bad.signature.back() ^= 0x01;
+  const Status status = chain.precheck(bad);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kUnauthenticated);
+}
+
+TEST(VerifiedSigCacheTest, CapacityZeroDisablesCaching) {
+  KvExecutor executor;
+  ledger::ChainConfig config;
+  config.sig_cache_capacity = 0;
+  ledger::Blockchain chain(executor, config);
+  const auto key = KeyPair::generate(SigScheme::kSchnorr, 960);
+  EXPECT_TRUE(chain.precheck(make_set_tx(key, 0, "no", "cache")).ok());
+  EXPECT_EQ(chain.sig_cache_size(), 0u);
+}
+
+TEST(VerifiedSigCacheTest, FifoEvictionBoundsMemory) {
+  KvExecutor executor;
+  ledger::ChainConfig config;
+  config.sig_cache_capacity = 4;
+  ledger::Blockchain chain(executor, config);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const auto key = KeyPair::generate(SigScheme::kSchnorr, 970 + i);
+    EXPECT_TRUE(chain.precheck(make_set_tx(key, 0, "e" + std::to_string(i),
+                                           "v")).ok());
+    EXPECT_LE(chain.sig_cache_size(), 4u);
+  }
+  EXPECT_EQ(chain.sig_cache_size(), 4u);
 }
 
 // ------------------------------------------- serial ≡ parallel: the crypto
