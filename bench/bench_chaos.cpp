@@ -1,0 +1,163 @@
+// E16: fault injection & recovery. Seeded random fault plans (crashes,
+// partitions, loss, duplication, reordering, corruption) sweep three
+// intensity levels against a 7-replica PBFT cluster; the chaos harness
+// reports availability, recovery time after the last fault clears, view
+// changes, and invariant violations. The same (level, seed) pair must
+// reproduce bit-identically — chaos failures are replayable by seed.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/log.hpp"
+#include "contracts/host.hpp"
+#include "contracts/txbuilder.hpp"
+#include "fault/chaos.hpp"
+#include "fault/plan.hpp"
+
+using namespace tnp;
+using namespace tnp::bench;
+
+namespace {
+
+struct Level {
+  const char* name;
+  fault::FaultPlan::RandomConfig plan;
+};
+
+std::vector<Level> intensity_levels() {
+  std::vector<Level> levels;
+
+  Level calm;
+  calm.name = "calm";
+  calm.plan.episodes = 2;
+  calm.plan.max_loss = 0.05;
+  calm.plan.max_profile = {.duplicate_p = 0.1,
+                           .reorder_p = 0.1,
+                           .reorder_max_delay = 20 * sim::kMillisecond,
+                           .corrupt_p = 0.05};
+  levels.push_back(calm);
+
+  Level moderate;
+  moderate.name = "moderate";  // FaultPlan::RandomConfig defaults
+  levels.push_back(moderate);
+
+  Level hostile;
+  hostile.name = "hostile";
+  hostile.plan.episodes = 10;
+  hostile.plan.max_loss = 0.3;
+  hostile.plan.max_profile = {.duplicate_p = 0.6,
+                              .reorder_p = 0.6,
+                              .reorder_max_delay = 300 * sim::kMillisecond,
+                              .corrupt_p = 0.4};
+  levels.push_back(hostile);
+
+  return levels;
+}
+
+fault::ChaosConfig chaos_config(std::uint64_t seed) {
+  fault::ChaosConfig config;
+  config.cluster.protocol = consensus::Protocol::kPbft;
+  config.cluster.replicas = 7;
+  config.cluster.auth_mode = consensus::AuthMode::kMac;
+  config.cluster.block_interval = 20 * sim::kMillisecond;
+  config.cluster.view_timeout = 250 * sim::kMillisecond;
+  config.cluster.seed = seed;
+  config.run_until = 20 * sim::kSecond;
+  config.liveness_bound = 10 * sim::kSecond;
+  config.seed = seed;
+  return config;
+}
+
+fault::ChaosResult run_level(const Level& level, std::uint64_t seed) {
+  const fault::FaultPlan plan = fault::FaultPlan::random(level.plan, seed);
+  return fault::run_chaos(
+      chaos_config(seed), plan,
+      [] { return contracts::ContractHost::standard(); },
+      [](std::uint64_t index) {
+        // Identity registrations as a uniform workload; fresh key per tx so
+        // replicas that missed traffic never wedge on a nonce gap.
+        return contracts::txb::register_identity(
+            KeyPair::generate(SigScheme::kHmacSim, 0xC0FFEE + index), 0,
+            "user" + std::to_string(index), contracts::Role::kConsumer);
+      });
+}
+
+}  // namespace
+
+int main() {
+  // Injected corruption makes replicas warn on every bad-auth drop; the
+  // counters in the table already tell that story.
+  set_log_level(LogLevel::kError);
+  banner("E16 — chaos sweep (fault injection & recovery instrumentation)",
+         "Claim: a permissioned PBFT news chain rides out crashes, "
+         "partitions, loss, duplication, reordering and corruption without "
+         "safety violations; availability degrades and recovery time grows "
+         "with fault intensity, and every run reproduces by seed.");
+
+  constexpr std::uint64_t kSeeds = 6;
+  JsonReport json("chaos");
+  Table table({"level", "seed", "availability", "recovery_ms", "committed",
+               "view_changes", "corrupted", "auth_fail", "violations"});
+
+  std::uint64_t total_violations = 0;
+  std::uint64_t hostile_corrupted = 0;
+  double calm_avail = 0.0, hostile_avail = 0.0;
+  for (const Level& level : intensity_levels()) {
+    double avail_sum = 0.0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const fault::ChaosResult r = run_level(level, seed);
+      total_violations += r.report.violations.size();
+      avail_sum += r.availability;
+      if (std::string(level.name) == "hostile") {
+        hostile_corrupted += r.net.corrupted;
+      }
+      table.row({std::string(level.name), seed, r.availability, r.recovery_ms,
+                 r.committed_txs, r.view_changes, r.net.corrupted,
+                 r.auth_failures, std::uint64_t(r.report.violations.size())});
+      char buf[320];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"level\": \"%s\", \"seed\": %llu, "
+                    "\"availability\": %.4f, \"recovery_ms\": %.3f, "
+                    "\"committed_txs\": %llu, \"view_changes\": %llu, "
+                    "\"corrupted\": %llu, \"auth_failures\": %llu, "
+                    "\"violations\": %zu, \"fingerprint\": \"%016llx\"}",
+                    level.name, static_cast<unsigned long long>(seed),
+                    r.availability, r.recovery_ms,
+                    static_cast<unsigned long long>(r.committed_txs),
+                    static_cast<unsigned long long>(r.view_changes),
+                    static_cast<unsigned long long>(r.net.corrupted),
+                    static_cast<unsigned long long>(r.auth_failures),
+                    r.report.violations.size(),
+                    static_cast<unsigned long long>(r.fingerprint()));
+      json.raw(buf);
+    }
+    if (std::string(level.name) == "calm") calm_avail = avail_sum / kSeeds;
+    if (std::string(level.name) == "hostile") {
+      hostile_avail = avail_sum / kSeeds;
+    }
+  }
+  table.print();
+
+  // Same (level, seed) must reproduce bit-identically: counters, invariant
+  // report, and the final tip hash all feed the fingerprint.
+  const Level moderate = intensity_levels()[1];
+  const std::uint64_t fp_a = run_level(moderate, 3).fingerprint();
+  const std::uint64_t fp_b = run_level(moderate, 3).fingerprint();
+  std::printf("\ndeterminism: moderate/seed=3 fingerprints %016llx vs %016llx"
+              " (%s)\n",
+              static_cast<unsigned long long>(fp_a),
+              static_cast<unsigned long long>(fp_b),
+              fp_a == fp_b ? "identical" : "DIVERGED");
+
+  json.write();
+
+  const bool shape = total_violations == 0 && fp_a == fp_b &&
+                     hostile_corrupted > 0 && calm_avail >= hostile_avail &&
+                     calm_avail > 0.9;
+  verdict(shape,
+          "zero invariant violations at every intensity, corruption "
+          "exercised under hostile faults, availability no worse calm than "
+          "hostile, and same-seed runs bit-identical");
+  return shape ? 0 : 1;
+}

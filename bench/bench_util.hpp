@@ -95,6 +95,10 @@ class JsonReport {
     lines_.emplace_back(buf);
   }
 
+  /// Appends a pre-rendered JSON object for benches whose samples do not
+  /// fit the sample() schema; `object` must be a complete object literal.
+  void raw(const std::string& object) { lines_.push_back("  " + object); }
+
   /// Writes BENCH_<name>.json into the working directory; returns success.
   bool write() const {
     const std::string file = "BENCH_" + bench_name_ + ".json";

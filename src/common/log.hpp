@@ -3,6 +3,8 @@
 // callers build strings with operator<< style via Logf's variadic append.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -45,4 +47,50 @@ void log_error(Args&&... args) {
   log(LogLevel::kError, std::forward<Args>(args)...);
 }
 
+namespace detail {
+/// Per-call-site admission state for TNP_LOG_EVERY_N. Thread-safe; a plain
+/// counter, not a token bucket — 1-in-n is predictable and cheap.
+class LogRateLimiter {
+ public:
+  /// Admits the 1st, (n+1)th, (2n+1)th… call; `suppressed` receives how many
+  /// calls were dropped since the previous admitted one.
+  bool admit(std::uint64_t n, std::uint64_t& suppressed) {
+    const std::uint64_t count = count_.fetch_add(1, std::memory_order_relaxed);
+    if (n <= 1) {
+      suppressed = 0;
+      return true;
+    }
+    if (count % n != 0) return false;
+    suppressed = count == 0 ? 0 : n - 1;
+    return true;
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+};
+}  // namespace detail
+
 }  // namespace tnp
+
+/// Rate-limited logging: emits one message out of every `n` hits of this
+/// call site, annotating how many were suppressed in between. Keeps
+/// per-message fault paths (e.g. corrupted-auth drops during chaos runs)
+/// readable without losing the signal entirely.
+#define TNP_LOG_EVERY_N(level, n, ...)                                   \
+  do {                                                                   \
+    static ::tnp::detail::LogRateLimiter tnp_log_limiter_;               \
+    std::uint64_t tnp_log_suppressed_ = 0;                               \
+    if (tnp_log_limiter_.admit((n), tnp_log_suppressed_)) {              \
+      if (tnp_log_suppressed_ > 0) {                                     \
+        ::tnp::log((level), __VA_ARGS__, " [", tnp_log_suppressed_,      \
+                   " similar suppressed]");                              \
+      } else {                                                           \
+        ::tnp::log((level), __VA_ARGS__);                                \
+      }                                                                  \
+    }                                                                    \
+  } while (0)
+
+#define TNP_LOG_WARN_EVERY_N(n, ...) \
+  TNP_LOG_EVERY_N(::tnp::LogLevel::kWarn, (n), __VA_ARGS__)
+#define TNP_LOG_ERROR_EVERY_N(n, ...) \
+  TNP_LOG_EVERY_N(::tnp::LogLevel::kError, (n), __VA_ARGS__)

@@ -36,6 +36,7 @@ Cluster::Cluster(net::Network& network, ExecutorFactory make_executor,
     auto replica = std::make_unique<Replica>(
         static_cast<std::uint32_t>(i),
         KeyPair::generate(scheme, config_.seed * 1000003ULL + i));
+    replica->timer_rng = Rng(config_.seed * 0x9E3779B97F4A7C15ULL + 7919 * (i + 1));
     replica->executor = make_executor();
     replica->chain =
         std::make_unique<ledger::Blockchain>(*replica->executor, config_.chain);
@@ -77,14 +78,19 @@ void Cluster::submit(ledger::Transaction tx) {
 }
 
 void Cluster::crash(std::size_t replica) {
-  replicas_.at(replica)->crashed = true;
+  Replica& r = *replicas_.at(replica);
+  r.crashed = true;
+  ++r.timer_epoch;  // orphan any pending self-rearming timer chains
 }
 
 void Cluster::recover(std::size_t replica) {
   Replica& r = *replicas_.at(replica);
   if (!r.crashed) return;
   r.crashed = false;
+  ++r.timer_epoch;
   r.cpu_available = simulator().now();
+  r.backoff_failures = 0;
+  r.sync_inflight = false;  // a pre-crash sync response may never arrive
   if (started_) {
     if (config_.protocol == Protocol::kPbft) {
       arm_propose_timer(r);
@@ -101,6 +107,14 @@ void Cluster::set_equivocating(std::size_t replica, bool value) {
 
 const ledger::Blockchain& Cluster::chain(std::size_t replica) const {
   return *replicas_.at(replica)->chain;
+}
+
+std::uint64_t Cluster::view_of(std::size_t replica) const {
+  return replicas_.at(replica)->view;
+}
+
+net::NodeId Cluster::node_of(std::size_t replica) const {
+  return replicas_.at(replica)->node;
 }
 
 bool Cluster::chains_consistent() const {
@@ -173,7 +187,8 @@ void Cluster::on_network_message(std::size_t replica_index,
   if (r.crashed) return;
   auto decoded = ConsensusMsg::decode(BytesView(m.payload));
   if (!decoded) {
-    log_warn("replica ", r.index, " got malformed consensus message");
+    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+                         " got malformed consensus message");
     return;
   }
   // Model verify cost on the receiving CPU, then handle when it is done.
@@ -184,7 +199,10 @@ void Cluster::on_network_message(std::size_t replica_index,
     Replica& replica = *replicas_[replica_index];
     if (replica.crashed) return;
     if (!check_auth(replica, msg)) {
-      log_warn("replica ", replica.index, " dropped message with bad auth");
+      // Corruption-heavy chaos runs hit this per message; rate-limit so the
+      // log stays readable while the drop stays observable.
+      TNP_LOG_WARN_EVERY_N(64, "replica ", replica.index,
+                           " dropped message with bad auth");
       return;
     }
     handle(replica, msg);
@@ -284,19 +302,35 @@ void Cluster::on_sync_response(Replica& r, const ConsensusMsg& msg) {
 // ------------------------------------------------------------------ PBFT
 
 void Cluster::arm_propose_timer(Replica& r) {
-  simulator().schedule(config_.block_interval, [this, index = r.index]() {
+  simulator().schedule(config_.block_interval,
+                       [this, index = r.index, epoch = r.timer_epoch]() {
     Replica& replica = *replicas_[index];
-    if (replica.crashed) return;
+    if (replica.crashed || replica.timer_epoch != epoch) return;
     if (config_.protocol != Protocol::kPbft) return;
     pbft_propose(replica);
     arm_propose_timer(replica);  // periodic: retries when mempool was empty
   });
 }
 
+sim::SimTime Cluster::progress_check_delay(Replica& r) {
+  const std::uint64_t cap = std::max<std::uint64_t>(1, config_.view_backoff_cap);
+  std::uint64_t mult = 1;
+  for (std::uint32_t i = 0; i < r.backoff_failures && mult < cap; ++i) {
+    mult <<= 1;
+  }
+  if (mult > cap) mult = cap;
+  sim::SimTime delay = config_.view_timeout * mult;
+  // Deterministic jitter in [0, delay/2): replicas that stalled together
+  // stop firing (and re-voting) together.
+  delay += r.timer_rng.uniform(std::max<sim::SimTime>(delay / 2, 1));
+  return delay;
+}
+
 void Cluster::arm_progress_timer(Replica& r) {
-  simulator().schedule(config_.view_timeout, [this, index = r.index]() {
+  simulator().schedule(progress_check_delay(r),
+                       [this, index = r.index, epoch = r.timer_epoch]() {
     Replica& replica = *replicas_[index];
-    if (replica.crashed) return;
+    if (replica.crashed || replica.timer_epoch != epoch) return;
     pbft_check_progress(replica);
     arm_progress_timer(replica);
   });
@@ -306,7 +340,46 @@ void Cluster::pbft_propose(Replica& r) {
   if (primary_of(r.view) != r.index) return;
   const std::uint64_t seq = r.chain->height() + 1;
   auto it = r.slots.find(seq);
-  if (it != r.slots.end() && it->second.pre_prepared) return;  // in flight
+  if (it != r.slots.end() && it->second.pre_prepared) {
+    // In flight: re-broadcast the pre-prepare on this propose tick. Under
+    // message loss or corruption every phase is one-shot, so a round that
+    // narrowly missed quorum would otherwise stay dead until a view change;
+    // backups react to the duplicate by re-sending their prepare/commit
+    // (set-insert at receivers keeps all of this idempotent).
+    if (!it->second.committed && !r.equivocate) {
+      ConsensusMsg msg;
+      msg.type = MsgType::kPrePrepare;
+      msg.sender = r.index;
+      msg.view = r.view;
+      msg.seq = seq;
+      msg.digest = it->second.digest;
+      msg.block = it->second.block_bytes;
+      authenticate(r, msg);
+      send_to_all(r, msg);
+    }
+    return;
+  }
+  // A prepared certificate from an earlier view pins this height: re-propose
+  // exactly that block — some replica may have already committed it, and
+  // proposing anything else would fork the chain.
+  if (const auto ev = r.prepared_evidence.find(seq);
+      ev != r.prepared_evidence.end()) {
+    auto pinned = ledger::Block::decode(BytesView(ev->second));
+    if (pinned && r.chain->check_candidate(*pinned).ok()) {
+      ConsensusMsg msg;
+      msg.type = MsgType::kPrePrepare;
+      msg.sender = r.index;
+      msg.view = r.view;
+      msg.seq = seq;
+      msg.digest = pinned->hash();
+      msg.block = ev->second;
+      authenticate(r, msg);
+      send_to_all(r, msg);
+      pbft_on_pre_prepare(r, msg);
+      return;
+    }
+    r.prepared_evidence.erase(ev);  // stale or invalid: fall through
+  }
   auto batch = r.mempool.take_batch(config_.max_block_txs);
   if (batch.empty()) return;
 
@@ -354,15 +427,39 @@ void Cluster::pbft_on_pre_prepare(Replica& r, const ConsensusMsg& msg) {
   if (msg.seq > next) {
     // The primary pipelines: it proposes seq+1 as soon as it commits seq,
     // which can outrun a backup still collecting commits. Stash and replay
-    // once this replica catches up.
+    // once this replica catches up. (Stashing is not a vote, so this runs
+    // even while voted_view abstains us — the replay after catch-up resets
+    // voted_view via commit_block first.)
     r.stashed_pre_prepares.emplace(msg.seq, msg);
     return;
   }
+  if (r.voted_view > r.view) return;  // leaving this view: no more votes
 
   Slot& slot = r.slots[msg.seq];
   if (slot.pre_prepared) {
     if (slot.digest != msg.digest) {
       log_warn("replica ", r.index, " detected equivocation at seq ", msg.seq);
+      return;
+    }
+    // Primary retransmit: our earlier prepare (and commit) may have been
+    // lost or corrupted in flight — re-send them for this round.
+    ConsensusMsg prepare;
+    prepare.type = MsgType::kPrepare;
+    prepare.sender = r.index;
+    prepare.view = r.view;
+    prepare.seq = msg.seq;
+    prepare.digest = slot.digest;
+    authenticate(r, prepare);
+    send_to_all(r, prepare);
+    if (slot.sent_commit) {
+      ConsensusMsg commit;
+      commit.type = MsgType::kCommit;
+      commit.sender = r.index;
+      commit.view = r.view;
+      commit.seq = msg.seq;
+      commit.digest = slot.digest;
+      authenticate(r, commit);
+      send_to_all(r, commit);
     }
     return;
   }
@@ -402,6 +499,7 @@ void Cluster::pbft_on_prepare(Replica& r, const ConsensusMsg& msg) {
 void Cluster::pbft_maybe_prepared(Replica& r, std::uint64_t seq) {
   Slot& slot = r.slots[seq];
   if (!slot.pre_prepared || slot.sent_commit) return;
+  if (r.voted_view > r.view) return;  // leaving this view: no more votes
   if (slot.prepares.size() < quorum()) return;
   slot.sent_commit = true;
   slot.commits.insert(r.index);
@@ -460,15 +558,40 @@ void Cluster::pbft_check_progress(Replica& r) {
   const bool idle = r.mempool.empty() && r.slots.empty();
   if (height > r.last_progress_height || idle) {
     r.last_progress_height = height;
+    r.backoff_failures = 0;
     return;
   }
-  // Stalled with work pending: vote to replace the primary.
-  const std::uint64_t target = r.view + 1;
+  // Stalled with work pending: vote to replace the primary. Each
+  // consecutive failure doubles the next check's delay (progress_check_delay)
+  // so a partitioned minority cannot sustain a view-change storm.
+  if (r.backoff_failures < 32) ++r.backoff_failures;
+  pbft_vote_view(r, r.view + 1);
+}
+
+void Cluster::pbft_vote_view(Replica& r, std::uint64_t target) {
+  ++stats_.view_change_votes;
   ConsensusMsg vc;
   vc.type = MsgType::kViewChange;
   vc.sender = r.index;
   vc.view = target;
-  vc.seq = height;
+  vc.seq = r.chain->height();
+  // Attach our prepared certificate for the next height, if any: having
+  // sent a commit vote means a commit quorum may have fired at some peer,
+  // so the block must survive the view change verbatim. Stashed into
+  // prepared_evidence first because adoption clears the slot table.
+  const std::uint64_t next = r.chain->height() + 1;
+  if (const auto slot = r.slots.find(next);
+      slot != r.slots.end() && slot->second.sent_commit) {
+    r.prepared_evidence[next] = slot->second.block_bytes;
+  }
+  if (const auto ev = r.prepared_evidence.find(next);
+      ev != r.prepared_evidence.end()) {
+    if (auto block = ledger::Block::decode(BytesView(ev->second))) {
+      vc.digest = block->hash();
+      vc.block = ev->second;
+    }
+  }
+  if (target > r.voted_view) r.voted_view = target;
   authenticate(r, vc);
   send_to_all(r, vc);
   r.view_votes[target].insert(r.index);
@@ -477,8 +600,25 @@ void Cluster::pbft_check_progress(Replica& r) {
 
 void Cluster::pbft_on_view_change(Replica& r, const ConsensusMsg& msg) {
   if (msg.view <= r.view) return;
+  // Harvest the vote's prepared certificate (authenticated alongside the
+  // vote); whoever ends up primary is bound by it when proposing.
+  if (!msg.block.empty()) {
+    if (auto block = ledger::Block::decode(BytesView(msg.block));
+        block && block->hash() == msg.digest &&
+        block->header.height > r.chain->height()) {
+      r.prepared_evidence[block->header.height] = msg.block;
+    }
+  }
   auto& voters = r.view_votes[msg.view];
   voters.insert(msg.sender);
+  // Join rule: f+1 distinct peers already target this view, so at least one
+  // honest replica stalled — adopt the vote (once) so stalled replicas
+  // converge on a single target instead of splintering across views when
+  // vote messages are lost or corrupted.
+  if (voters.size() > max_faulty() && voters.count(r.index) == 0) {
+    pbft_vote_view(r, msg.view);  // re-evaluates quorum after the echo
+    return;
+  }
   if (voters.size() < quorum()) return;
   // Adopt the new view; drop in-flight slots (crash-fault simplification:
   // nothing prepared-but-uncommitted survives; the new primary re-proposes
@@ -495,9 +635,10 @@ void Cluster::pbft_on_view_change(Replica& r, const ConsensusMsg& msg) {
 // ------------------------------------------------------------------- PoA
 
 void Cluster::poa_tick(Replica& r) {
-  simulator().schedule(config_.block_interval, [this, index = r.index]() {
+  simulator().schedule(config_.block_interval,
+                       [this, index = r.index, epoch = r.timer_epoch]() {
     Replica& replica = *replicas_[index];
-    if (replica.crashed) return;
+    if (replica.crashed || replica.timer_epoch != epoch) return;
     const std::uint64_t next = replica.chain->height() + 1;
     if (next % replicas_.size() == replica.index && !replica.mempool.empty()) {
       auto batch = replica.mempool.take_batch(config_.max_block_txs);
@@ -539,6 +680,14 @@ void Cluster::commit_block(Replica& r, const ledger::Block& block) {
   }
   r.mempool.remove_committed(block.txs);
   r.last_progress_height = r.chain->height();
+  r.backoff_failures = 0;  // progress: view-timeout backoff resets
+  // Progress also withdraws any pending view-change abstention: the current
+  // view demonstrably works, so rejoin it. (Commit votes cast from here on
+  // are covered by the certificate rule again — any later view-change vote
+  // re-advertises the new prepared state.)
+  r.voted_view = r.view;
+  r.prepared_evidence.erase(r.prepared_evidence.begin(),
+                            r.prepared_evidence.upper_bound(r.chain->height()));
   if (r.index == 0) {
     ++stats_.committed_blocks;
     stats_.committed_txs += block.txs.size();
@@ -553,6 +702,7 @@ void Cluster::commit_block(Replica& r, const ledger::Block& block) {
       }
     }
   }
+  if (commit_hook_) commit_hook_(r.index, block);
 }
 
 }  // namespace tnp::consensus

@@ -53,6 +53,10 @@ struct ClusterConfig {
   sim::SimTime block_interval = 50 * sim::kMillisecond;
   std::size_t max_block_txs = 256;
   sim::SimTime view_timeout = 3 * sim::kSecond;
+  // Consecutive failed progress checks double the next check's delay, up to
+  // view_timeout * view_backoff_cap, with deterministic per-replica jitter —
+  // partitioned replicas stop re-voting view changes in lockstep.
+  std::uint64_t view_backoff_cap = 8;
   ledger::ChainConfig chain{};
   CryptoCostModel crypto{};
   std::uint64_t seed = 1;
@@ -62,6 +66,7 @@ struct ClusterStats {
   std::uint64_t committed_blocks = 0;  // at replica 0
   std::uint64_t committed_txs = 0;
   std::uint64_t view_changes = 0;
+  std::uint64_t view_change_votes = 0;  // votes broadcast by any replica
   std::uint64_t auth_failures = 0;
   Samples commit_latency_ms;  // submit → commit at replica 0
 };
@@ -70,6 +75,10 @@ class Cluster {
  public:
   using ExecutorFactory =
       std::function<std::unique_ptr<ledger::TransactionExecutor>()>;
+  /// Observer invoked after every successful block commit on any replica
+  /// (fault-injection invariant checkers, metrics).
+  using CommitHook =
+      std::function<void(std::size_t replica, const ledger::Block& block)>;
 
   Cluster(net::Network& network, ExecutorFactory make_executor,
           ClusterConfig config);
@@ -89,8 +98,15 @@ class Cluster {
   /// Byzantine primary for tests: equivocates on proposals while set.
   void set_equivocating(std::size_t replica, bool value);
 
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
   [[nodiscard]] const ledger::Blockchain& chain(std::size_t replica) const;
   [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  /// Current PBFT view of a replica (backoff tests, invariant checkers).
+  [[nodiscard]] std::uint64_t view_of(std::size_t replica) const;
+  /// Network node backing a replica (fault injectors address links/groups
+  /// by replica index).
+  [[nodiscard]] net::NodeId node_of(std::size_t replica) const;
   [[nodiscard]] const ClusterStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t quorum() const { return 2 * max_faulty() + 1; }
   [[nodiscard]] std::size_t max_faulty() const {
@@ -131,9 +147,27 @@ class Cluster {
     bool sync_inflight = false;
     std::uint32_t sync_peer_rotation = 0;
     std::map<std::uint64_t, std::set<std::uint32_t>> view_votes;  // view → voters
+    // Highest view this replica has voted for. While voted_view > view the
+    // replica casts no prepare/commit votes in the old view: its view-change
+    // vote already advertised its prepared state, and voting afterwards
+    // would invalidate the quorum-intersection argument that makes prepared
+    // certificates sound.
+    std::uint64_t voted_view = 0;
+    // Prepared certificates (height → encoded block) carried by view-change
+    // votes: a block this or some peer replica prepared but did not commit
+    // before a view change. The new primary must re-propose it verbatim —
+    // a commit quorum may already have fired elsewhere for that height.
+    std::map<std::uint64_t, Bytes> prepared_evidence;
     KeyPair key;
     sim::SimTime cpu_available = 0;
     std::uint64_t last_progress_height = 0;
+    // View-change backoff: consecutive stalled progress checks (reset on
+    // commit or observed progress) and a per-replica jitter stream.
+    std::uint32_t backoff_failures = 0;
+    Rng timer_rng{0};
+    // Bumped on crash/recover so stale self-rearming timer chains die
+    // instead of multiplying across crash/recover cycles.
+    std::uint64_t timer_epoch = 0;
 
     Replica(std::uint32_t idx, KeyPair kp) : index(idx), key(std::move(kp)) {}
   };
@@ -162,9 +196,11 @@ class Cluster {
   void pbft_maybe_prepared(Replica& r, std::uint64_t seq);
   void pbft_maybe_committed(Replica& r, std::uint64_t seq);
   void pbft_on_view_change(Replica& r, const ConsensusMsg& msg);
+  void pbft_vote_view(Replica& r, std::uint64_t target);
   void pbft_check_progress(Replica& r);
   void arm_propose_timer(Replica& r);
   void arm_progress_timer(Replica& r);
+  [[nodiscard]] sim::SimTime progress_check_delay(Replica& r);
 
   // PoA handlers.
   void poa_tick(Replica& r);
@@ -185,6 +221,7 @@ class Cluster {
   KeyDirectory directory_;
   std::vector<AccountId> replica_accounts_;
   ClusterStats stats_;
+  CommitHook commit_hook_;
   std::unordered_map<Hash256, sim::SimTime> submit_times_;
   bool started_ = false;
 };

@@ -1,0 +1,109 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace tnp::fault {
+
+namespace {
+
+/// Fraction of [0, run_until] not covered by commit gaps exceeding
+/// `stall_threshold` (only the excess over the threshold counts as outage).
+double availability_from(const std::vector<sim::SimTime>& commit_times,
+                         sim::SimTime run_until, sim::SimTime stall_threshold) {
+  if (run_until == 0) return 1.0;
+  sim::SimTime stalled = 0;
+  sim::SimTime prev = 0;
+  for (const sim::SimTime t : commit_times) {
+    const sim::SimTime gap = t - prev;
+    if (gap > stall_threshold) stalled += gap - stall_threshold;
+    prev = t;
+  }
+  if (run_until > prev) {
+    const sim::SimTime tail = run_until - prev;
+    if (tail > stall_threshold) stalled += tail - stall_threshold;
+  }
+  return 1.0 - static_cast<double>(stalled) / static_cast<double>(run_until);
+}
+
+}  // namespace
+
+std::uint64_t ChaosResult::fingerprint() const {
+  std::uint64_t state = 0x5DEECE66DULL;
+  auto mix = [&state](std::uint64_t v) {
+    state ^= v + 0x9E3779B97F4A7C15ULL + (state << 6) + (state >> 2);
+    (void)splitmix64(state);
+  };
+  mix(committed_blocks);
+  mix(committed_txs);
+  mix(view_changes);
+  mix(view_change_votes);
+  mix(auth_failures);
+  mix(txs_submitted);
+  mix(fault_events_applied);
+  mix(report.commits_checked);
+  mix(report.violations.size());
+  mix(net.sent);
+  mix(net.delivered);
+  mix(net.dropped_random);
+  mix(net.dropped_partition);
+  mix(net.dropped_link);
+  mix(net.dropped_fault);
+  mix(net.duplicated);
+  mix(net.corrupted);
+  mix(net.delayed_extra);
+  for (const char c : tip) mix(static_cast<std::uint64_t>(c));
+  return state;
+}
+
+ChaosResult run_chaos(const ChaosConfig& config, const FaultPlan& plan,
+                      const consensus::Cluster::ExecutorFactory& make_executor,
+                      const TxFactory& make_tx) {
+  sim::Simulator simulator;
+  net::Network network(simulator, config.seed + 17, config.latency);
+  consensus::Cluster cluster(network, make_executor, config.cluster);
+  // Checker after cluster: its destructor clears the commit hook while the
+  // cluster is still alive.
+  InvariantChecker checker(cluster, simulator);
+  FaultInjector injector(network, cluster, config.seed + 31);
+  injector.arm(plan);
+  const std::optional<sim::SimTime> all_clear = plan.all_clear_time();
+  if (all_clear) checker.note_all_clear(*all_clear);
+
+  cluster.start();
+  std::uint64_t submitted = 0;
+  for (sim::SimTime t = config.tx_interval; t < config.run_until;
+       t += config.tx_interval) {
+    const std::uint64_t index = submitted++;
+    simulator.schedule_at(
+        t, [&cluster, &make_tx, index]() { cluster.submit(make_tx(index)); });
+  }
+  simulator.run_until(config.run_until);
+
+  ChaosResult result;
+  result.report = checker.finish(config.liveness_bound);
+  result.net = network.stats();
+  result.committed_blocks = cluster.stats().committed_blocks;
+  result.committed_txs = cluster.stats().committed_txs;
+  result.view_changes = cluster.stats().view_changes;
+  result.view_change_votes = cluster.stats().view_change_votes;
+  result.auth_failures = cluster.stats().auth_failures;
+  result.txs_submitted = submitted;
+  result.fault_events_applied = injector.events_applied();
+  result.all_clear = all_clear;
+  result.availability = availability_from(
+      checker.height_commit_times(), config.run_until, config.stall_threshold);
+  if (all_clear && result.report.first_commit_after_clear) {
+    result.recovery_ms =
+        static_cast<double>(*result.report.first_commit_after_clear -
+                            *all_clear) /
+        static_cast<double>(sim::kMillisecond);
+  }
+  result.tip = cluster.chain(0).tip_hash().short_hex();
+  return result;
+}
+
+}  // namespace tnp::fault

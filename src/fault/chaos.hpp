@@ -1,0 +1,70 @@
+// One-call chaos harness: Simulator + Network + Cluster + FaultInjector +
+// InvariantChecker wired together, a steady client workload pumped in, and
+// the whole run reduced to a ChaosResult — invariant report, fault counters,
+// availability fraction, recovery time — plus a fingerprint so the same
+// (config, plan, seed) provably reproduces bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "consensus/cluster.hpp"
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
+#include "net/network.hpp"
+#include "sim/latency.hpp"
+
+namespace tnp::fault {
+
+struct ChaosConfig {
+  consensus::ClusterConfig cluster{};
+  sim::LatencyModel latency = sim::LatencyModel::datacenter();
+  sim::SimTime run_until = 20 * sim::kSecond;
+  sim::SimTime tx_interval = 100 * sim::kMillisecond;  // client workload rate
+  /// Liveness-after-heal bound handed to the InvariantChecker.
+  sim::SimTime liveness_bound = 10 * sim::kSecond;
+  /// Commit gaps beyond this count as unavailability (shorter gaps are
+  /// normal block cadence, not an outage).
+  sim::SimTime stall_threshold = 2 * sim::kSecond;
+  std::uint64_t seed = 1;
+};
+
+struct ChaosResult {
+  InvariantReport report;
+  net::NetworkStats net{};
+  std::uint64_t committed_blocks = 0;
+  std::uint64_t committed_txs = 0;
+  std::uint64_t view_changes = 0;
+  std::uint64_t view_change_votes = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t txs_submitted = 0;
+  std::uint64_t fault_events_applied = 0;
+  std::optional<sim::SimTime> all_clear;  // from the plan, if it clears
+  /// Fraction of the run not spent in commit stalls longer than
+  /// stall_threshold; 1.0 = no stall ever exceeded the threshold.
+  double availability = 0.0;
+  /// Virtual ms from all-clear to the first subsequent commit; negative when
+  /// not applicable (plan never clears, or nothing committed after heal).
+  double recovery_ms = -1.0;
+  std::string tip;  // replica-0 tip hash (short) — part of the fingerprint
+
+  [[nodiscard]] bool ok() const { return report.ok(); }
+  /// Deterministic digest of every counter plus the final tip: equal
+  /// fingerprints ⇒ the two runs were bit-identical.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// Transaction factory for the client workload; `index` is the submission
+/// ordinal. Use a fresh key per transaction (nonce 0) unless the run is
+/// meant to exercise nonce ordering.
+using TxFactory = std::function<ledger::Transaction(std::uint64_t index)>;
+
+/// Runs `plan` against a fresh cluster under a steady workload and returns
+/// the reduced result. Deterministic: same arguments → same fingerprint.
+ChaosResult run_chaos(const ChaosConfig& config, const FaultPlan& plan,
+                      const consensus::Cluster::ExecutorFactory& make_executor,
+                      const TxFactory& make_tx);
+
+}  // namespace tnp::fault

@@ -1,0 +1,70 @@
+#include "fault/injector.hpp"
+
+#include "common/log.hpp"
+
+namespace tnp::fault {
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  network_.set_fault_hook(
+      [this](net::NodeId, net::NodeId, const Bytes&) { return on_message(); });
+  for (const FaultEvent& e : plan.chronological()) {
+    network_.simulator().schedule_at(e.at, [this, e]() { apply(e); });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+  ++applied_;
+  log_info("fault: ", e.name);
+  switch (e.kind) {
+    case FaultKind::kCrash:
+      cluster_.crash(e.targets.at(0));
+      break;
+    case FaultKind::kRecover:
+      cluster_.recover(e.targets.at(0));
+      break;
+    case FaultKind::kPartition: {
+      std::vector<std::vector<net::NodeId>> groups;
+      groups.reserve(e.groups.size());
+      for (const auto& g : e.groups) {
+        std::vector<net::NodeId> nodes;
+        nodes.reserve(g.size());
+        for (const std::uint32_t replica : g) {
+          nodes.push_back(cluster_.node_of(replica));
+        }
+        groups.push_back(std::move(nodes));
+      }
+      network_.partition(groups);
+      break;
+    }
+    case FaultKind::kHeal:
+      network_.heal();
+      break;
+    case FaultKind::kLinkLoss:
+      network_.set_link_drop_rate(cluster_.node_of(e.targets.at(0)),
+                                  cluster_.node_of(e.targets.at(1)), e.rate);
+      break;
+    case FaultKind::kGlobalLoss:
+      network_.set_drop_rate(e.rate);
+      break;
+    case FaultKind::kMessageFaults:
+      profile_ = e.profile;
+      break;
+  }
+}
+
+net::FaultVerdict FaultInjector::on_message() {
+  net::FaultVerdict v;
+  if (!profile_.any()) return v;
+  if (profile_.duplicate_p > 0 && rng_.chance(profile_.duplicate_p)) {
+    v.duplicates = 1;
+  }
+  if (profile_.reorder_p > 0 && rng_.chance(profile_.reorder_p)) {
+    v.extra_delay = rng_.uniform(profile_.reorder_max_delay + 1);
+  }
+  if (profile_.corrupt_p > 0 && rng_.chance(profile_.corrupt_p)) {
+    v.corrupt = true;
+  }
+  return v;
+}
+
+}  // namespace tnp::fault

@@ -1,0 +1,49 @@
+// Applies a FaultPlan to a live (Network, Cluster) pair.
+//
+// Topology-level events (crash/recover, partition/heal, loss rates) are
+// scheduled on the shared Simulator at their scripted virtual times;
+// message-level faults (duplication, reordering jitter, payload corruption)
+// are applied through the network's fault hook, consulting the currently
+// active MessageFaultProfile per message with a dedicated seeded Rng. The
+// same (plan, seed) pair therefore produces a bit-identical fault schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "consensus/cluster.hpp"
+#include "fault/plan.hpp"
+#include "net/network.hpp"
+
+namespace tnp::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(net::Network& network, consensus::Cluster& cluster,
+                std::uint64_t seed)
+      : network_(network), cluster_(cluster), rng_(seed) {}
+  ~FaultInjector() { network_.set_fault_hook({}); }
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every plan event on the simulator and installs the
+  /// message-fault hook. Call once, before running the simulator.
+  void arm(const FaultPlan& plan);
+
+  [[nodiscard]] const MessageFaultProfile& active_profile() const {
+    return profile_;
+  }
+  [[nodiscard]] std::uint64_t events_applied() const { return applied_; }
+
+ private:
+  void apply(const FaultEvent& event);
+  net::FaultVerdict on_message();
+
+  net::Network& network_;
+  consensus::Cluster& cluster_;
+  Rng rng_;
+  MessageFaultProfile profile_{};
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace tnp::fault

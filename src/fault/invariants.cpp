@@ -1,0 +1,96 @@
+#include "fault/invariants.hpp"
+
+#include <sstream>
+
+namespace tnp::fault {
+
+namespace {
+constexpr std::size_t kMaxRecordedViolations = 32;
+
+std::string ms(sim::SimTime t) {
+  std::ostringstream oss;
+  oss << static_cast<double>(t) / static_cast<double>(sim::kMillisecond) << "ms";
+  return oss.str();
+}
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  std::ostringstream oss;
+  oss << "commits=" << commits_checked
+      << " violations=" << violations.size();
+  for (const std::string& v : violations) oss << "\n  " << v;
+  return oss.str();
+}
+
+InvariantChecker::InvariantChecker(consensus::Cluster& cluster,
+                                   sim::Simulator& simulator)
+    : cluster_(cluster),
+      simulator_(simulator),
+      heights_(cluster.replica_count(), 0) {
+  cluster_.set_commit_hook([this](std::size_t replica,
+                                  const ledger::Block& block) {
+    on_commit(replica, block);
+  });
+}
+
+InvariantChecker::~InvariantChecker() { cluster_.set_commit_hook({}); }
+
+void InvariantChecker::violation(std::string what) {
+  if (violations_.size() < kMaxRecordedViolations) {
+    violations_.push_back(std::move(what));
+  }
+}
+
+void InvariantChecker::on_commit(std::size_t replica,
+                                 const ledger::Block& block) {
+  ++commits_checked_;
+  const std::uint64_t height = block.header.height;
+  std::uint64_t& last = heights_.at(replica);
+  if (height != last + 1) {
+    std::ostringstream oss;
+    oss << "monotonicity: replica " << replica << " jumped from height "
+        << last << " to " << height;
+    violation(oss.str());
+  }
+  last = height;
+
+  const Hash256 hash = block.hash();
+  const auto [it, inserted] = canonical_.try_emplace(
+      height, FirstCommit{hash, replica});
+  if (!inserted && it->second.hash != hash) {
+    std::ostringstream oss;
+    oss << "agreement: height " << height << " committed as "
+        << it->second.hash.short_hex() << " by replica " << it->second.replica
+        << " but as " << hash.short_hex() << " by replica " << replica;
+    violation(oss.str());
+  }
+  if (inserted) height_commit_times_.push_back(simulator_.now());
+
+  if (all_clear_ && !first_commit_after_clear_ &&
+      simulator_.now() > *all_clear_) {
+    first_commit_after_clear_ = simulator_.now();
+  }
+}
+
+InvariantReport InvariantChecker::finish(sim::SimTime liveness_bound) {
+  InvariantReport report;
+  if (all_clear_) {
+    if (!first_commit_after_clear_) {
+      violation("liveness: no commit after faults cleared at " +
+                ms(*all_clear_));
+    } else if (*first_commit_after_clear_ > *all_clear_ + liveness_bound) {
+      violation("liveness: first commit after heal took " +
+                ms(*first_commit_after_clear_ - *all_clear_) + " > bound " +
+                ms(liveness_bound));
+    }
+  }
+  if (!cluster_.chains_consistent()) {
+    violation("fork: replica chains disagree on their common prefix at end");
+  }
+  report.commits_checked = commits_checked_;
+  report.violations = violations_;
+  report.first_commit_after_clear = first_commit_after_clear_;
+  return report;
+}
+
+}  // namespace tnp::fault

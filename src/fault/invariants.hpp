@@ -1,0 +1,76 @@
+// Consensus safety/liveness invariants checked live during a chaos run.
+//
+// The checker installs itself as the cluster's commit hook and verifies,
+// on every committed block:
+//   * agreement — no two replicas ever commit different blocks at the same
+//     height (crashed replicas cannot commit, so "live" is implicit);
+//   * monotone heights — each replica's chain grows by exactly one block
+//     per commit, never skipping or rewinding.
+// finish() adds the end-of-plan checks:
+//   * no-fork-after-heal — all replica chains agree on their common prefix;
+//   * liveness-after-heal — some replica commits within `liveness_bound`
+//     after the last fault cleared (note_all_clear).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "consensus/cluster.hpp"
+#include "sim/simulator.hpp"
+
+namespace tnp::fault {
+
+struct InvariantReport {
+  std::uint64_t commits_checked = 0;
+  std::vector<std::string> violations;
+  std::optional<sim::SimTime> first_commit_after_clear;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class InvariantChecker {
+ public:
+  /// Installs itself as `cluster`'s commit hook; the cluster must outlive
+  /// the checker.
+  InvariantChecker(consensus::Cluster& cluster, sim::Simulator& simulator);
+  ~InvariantChecker();
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Declares that all faults have cleared as of virtual time `t`; the
+  /// liveness-after-heal clock starts here.
+  void note_all_clear(sim::SimTime t) { all_clear_ = t; }
+
+  /// End-of-run checks; returns the accumulated report.
+  [[nodiscard]] InvariantReport finish(sim::SimTime liveness_bound);
+
+  /// Virtual times of the first commit of each height (cluster-wide) —
+  /// the availability metric is derived from the gaps between these.
+  [[nodiscard]] const std::vector<sim::SimTime>& height_commit_times() const {
+    return height_commit_times_;
+  }
+
+ private:
+  void on_commit(std::size_t replica, const ledger::Block& block);
+  void violation(std::string what);
+
+  consensus::Cluster& cluster_;
+  sim::Simulator& simulator_;
+  std::vector<std::uint64_t> heights_;  // last committed height per replica
+  struct FirstCommit {
+    Hash256 hash{};
+    std::size_t replica = 0;
+  };
+  std::unordered_map<std::uint64_t, FirstCommit> canonical_;  // height → first
+  std::vector<sim::SimTime> height_commit_times_;
+  std::uint64_t commits_checked_ = 0;
+  std::vector<std::string> violations_;
+  std::optional<sim::SimTime> all_clear_;
+  std::optional<sim::SimTime> first_commit_after_clear_;
+};
+
+}  // namespace tnp::fault

@@ -1,0 +1,239 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace tnp::fault {
+
+namespace {
+
+std::string time_tag(sim::SimTime t) {
+  std::ostringstream oss;
+  oss << static_cast<double>(t) / static_cast<double>(sim::kSecond) << "s";
+  return oss.str();
+}
+
+std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
+  return (std::uint64_t(a) << 32) | b;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(sim::SimTime at, std::uint32_t replica) {
+  return add({.at = at,
+              .kind = FaultKind::kCrash,
+              .name = "crash r" + std::to_string(replica) + " @" + time_tag(at),
+              .targets = {replica}});
+}
+
+FaultPlan& FaultPlan::recover(sim::SimTime at, std::uint32_t replica) {
+  return add({.at = at,
+              .kind = FaultKind::kRecover,
+              .name = "recover r" + std::to_string(replica) + " @" + time_tag(at),
+              .targets = {replica}});
+}
+
+FaultPlan& FaultPlan::partition(sim::SimTime at,
+                                std::vector<std::vector<std::uint32_t>> groups) {
+  FaultEvent e{.at = at, .kind = FaultKind::kPartition};
+  std::ostringstream oss;
+  oss << "partition";
+  for (const auto& g : groups) {
+    oss << " {";
+    for (std::size_t i = 0; i < g.size(); ++i) oss << (i ? "," : "") << g[i];
+    oss << "}";
+  }
+  oss << " @" << time_tag(at);
+  e.name = oss.str();
+  e.groups = std::move(groups);
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::heal(sim::SimTime at) {
+  return add({.at = at, .kind = FaultKind::kHeal, .name = "heal @" + time_tag(at)});
+}
+
+FaultPlan& FaultPlan::link_loss(sim::SimTime at, std::uint32_t a,
+                                std::uint32_t b, double rate) {
+  return add({.at = at,
+              .kind = FaultKind::kLinkLoss,
+              .name = "link-loss " + std::to_string(a) + "->" +
+                      std::to_string(b) + " p=" + std::to_string(rate) + " @" +
+                      time_tag(at),
+              .targets = {a, b},
+              .rate = rate});
+}
+
+FaultPlan& FaultPlan::global_loss(sim::SimTime at, double rate) {
+  return add({.at = at,
+              .kind = FaultKind::kGlobalLoss,
+              .name = "global-loss p=" + std::to_string(rate) + " @" + time_tag(at),
+              .rate = rate});
+}
+
+FaultPlan& FaultPlan::message_faults(sim::SimTime at,
+                                     MessageFaultProfile profile) {
+  std::ostringstream oss;
+  if (profile.any()) {
+    oss << "message-faults dup=" << profile.duplicate_p
+        << " reorder=" << profile.reorder_p << " corrupt=" << profile.corrupt_p;
+  } else {
+    oss << "clear-message-faults";
+  }
+  oss << " @" << time_tag(at);
+  return add({.at = at,
+              .kind = FaultKind::kMessageFaults,
+              .name = oss.str(),
+              .profile = profile});
+}
+
+FaultPlan& FaultPlan::named(std::string name) {
+  if (!events_.empty()) events_.back().name = std::move(name);
+  return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::chronological() const {
+  std::vector<FaultEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return sorted;
+}
+
+std::optional<sim::SimTime> FaultPlan::all_clear_time() const {
+  std::set<std::uint32_t> crashed;
+  bool partitioned = false;
+  double global_loss = 0.0;
+  std::map<std::uint64_t, double> link_loss;
+  MessageFaultProfile profile{};
+  sim::SimTime last = 0;
+  for (const FaultEvent& e : chronological()) {
+    last = e.at;
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        if (!e.targets.empty()) crashed.insert(e.targets[0]);
+        break;
+      case FaultKind::kRecover:
+        if (!e.targets.empty()) crashed.erase(e.targets[0]);
+        break;
+      case FaultKind::kPartition: partitioned = true; break;
+      case FaultKind::kHeal: partitioned = false; break;
+      case FaultKind::kLinkLoss:
+        if (e.targets.size() >= 2) {
+          const std::uint64_t key = pair_key(e.targets[0], e.targets[1]);
+          if (e.rate > 0.0) {
+            link_loss[key] = e.rate;
+          } else {
+            link_loss.erase(key);
+          }
+        }
+        break;
+      case FaultKind::kGlobalLoss: global_loss = e.rate; break;
+      case FaultKind::kMessageFaults: profile = e.profile; break;
+    }
+  }
+  const bool clean = crashed.empty() && !partitioned && global_loss == 0.0 &&
+                     link_loss.empty() && !profile.any();
+  if (!clean) return std::nullopt;
+  return last;  // conservative: the time of the final event
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream oss;
+  for (const FaultEvent& e : chronological()) oss << "  " << e.name << "\n";
+  return oss.str();
+}
+
+FaultPlan FaultPlan::random(const RandomConfig& config, std::uint64_t seed) {
+  FaultPlan plan;
+  std::uint64_t sm = seed;
+  Rng rng(splitmix64(sm));
+  // Per-resource busy windows keep episodes non-overlapping where the
+  // underlying state is a single slot (one partition, one message-fault
+  // profile, one window per replica / per link).
+  std::vector<sim::SimTime> replica_busy(config.replicas, 0);
+  sim::SimTime partition_busy = 0;
+  sim::SimTime message_busy = 0;
+  sim::SimTime global_busy = 0;
+  std::map<std::uint64_t, sim::SimTime> link_busy;
+
+  const sim::SimTime min_dur = std::max<sim::SimTime>(config.min_duration, 1);
+  const sim::SimTime max_dur = std::max(config.max_duration, min_dur);
+  for (std::size_t episode = 0; episode < config.episodes; ++episode) {
+    if (config.horizon <= min_dur) break;
+    const sim::SimTime start = rng.uniform(config.horizon - min_dur);
+    const sim::SimTime duration = min_dur + rng.uniform(max_dur - min_dur + 1);
+    const sim::SimTime end = std::min(start + duration, config.horizon);
+    switch (rng.uniform(5)) {
+      case 0: {  // crash → recover
+        const auto r = static_cast<std::uint32_t>(rng.uniform(config.replicas));
+        if (replica_busy[r] > start) break;
+        replica_busy[r] = end;
+        plan.crash(start, r);
+        plan.recover(end, r);
+        break;
+      }
+      case 1: {  // partition → heal (random 2-way split)
+        if (partition_busy > start || config.replicas < 2) break;
+        partition_busy = end;
+        std::vector<std::uint32_t> order(config.replicas);
+        for (std::uint32_t i = 0; i < config.replicas; ++i) order[i] = i;
+        rng.shuffle(order);
+        const std::size_t cut = 1 + rng.uniform(config.replicas - 1);
+        std::vector<std::uint32_t> a(order.begin(), order.begin() + cut);
+        std::vector<std::uint32_t> b(order.begin() + cut, order.end());
+        plan.partition(start, {std::move(a), std::move(b)});
+        plan.heal(end);
+        break;
+      }
+      case 2: {  // directed link loss
+        if (config.replicas < 2) break;
+        const auto a = static_cast<std::uint32_t>(rng.uniform(config.replicas));
+        auto b = static_cast<std::uint32_t>(rng.uniform(config.replicas - 1));
+        if (b >= a) ++b;
+        const std::uint64_t key = pair_key(a, b);
+        const auto it = link_busy.find(key);
+        if (it != link_busy.end() && it->second > start) break;
+        link_busy[key] = end;
+        plan.link_loss(start, a, b, rng.uniform_real(0.05, config.max_loss));
+        plan.link_loss(end, a, b, 0.0);
+        break;
+      }
+      case 3: {  // global loss
+        if (global_busy > start) break;
+        global_busy = end;
+        plan.global_loss(start, rng.uniform_real(0.01, config.max_loss));
+        plan.global_loss(end, 0.0);
+        break;
+      }
+      case 4: {  // message faults (duplication / reordering / corruption)
+        if (message_busy > start) break;
+        message_busy = end;
+        MessageFaultProfile p;
+        p.duplicate_p = rng.uniform01() * config.max_profile.duplicate_p;
+        p.reorder_p = rng.uniform01() * config.max_profile.reorder_p;
+        p.reorder_max_delay = config.max_profile.reorder_max_delay > 0
+                                  ? rng.uniform(config.max_profile.reorder_max_delay + 1)
+                                  : 0;
+        p.corrupt_p = rng.uniform01() * config.max_profile.corrupt_p;
+        if (!p.any()) p.corrupt_p = config.max_profile.corrupt_p;
+        plan.message_faults(start, p);
+        plan.clear_message_faults(end);
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace tnp::fault

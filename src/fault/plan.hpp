@@ -1,0 +1,114 @@
+// Deterministic fault scripting for chaos runs.
+//
+// A FaultPlan is an ordered script of named fault events over virtual time:
+// crash/recover of replicas, partition/heal of node groups, per-link and
+// global message loss, and message-level faults (duplication, reordering
+// jitter, payload corruption). Plans are hand-built with the fluent API or
+// generated from a seed — the same (config, seed) pair always yields the
+// same plan, so any chaos failure reproduces bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace tnp::fault {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,          // targets = {replica}
+  kRecover,        // targets = {replica}
+  kPartition,      // groups = node groups (cross-group traffic drops)
+  kHeal,           // clears the partition
+  kLinkLoss,       // targets = {a, b}, rate = loss probability (0 clears)
+  kGlobalLoss,     // rate = uniform loss probability (0 clears)
+  kMessageFaults,  // profile = intensities (all-zero profile clears)
+};
+
+/// Message-level fault intensities applied while active (FaultInjector
+/// consults these per message).
+struct MessageFaultProfile {
+  double duplicate_p = 0.0;            // P(queue one extra copy)
+  double reorder_p = 0.0;              // P(add extra delivery delay)
+  sim::SimTime reorder_max_delay = 0;  // uniform bound for the extra delay
+  double corrupt_p = 0.0;              // P(flip payload bits — must be
+                                       // caught by MAC/Schnorr auth)
+
+  [[nodiscard]] bool any() const {
+    return duplicate_p > 0 || reorder_p > 0 || corrupt_p > 0;
+  }
+};
+
+struct FaultEvent {
+  sim::SimTime at = 0;
+  FaultKind kind = FaultKind::kHeal;
+  std::string name;  // human-readable label for logs and repro reports
+  std::vector<std::uint32_t> targets;
+  std::vector<std::vector<std::uint32_t>> groups;
+  double rate = 0.0;
+  MessageFaultProfile profile{};
+};
+
+class FaultPlan {
+ public:
+  FaultPlan& crash(sim::SimTime at, std::uint32_t replica);
+  FaultPlan& recover(sim::SimTime at, std::uint32_t replica);
+  FaultPlan& partition(sim::SimTime at,
+                       std::vector<std::vector<std::uint32_t>> groups);
+  FaultPlan& heal(sim::SimTime at);
+  FaultPlan& link_loss(sim::SimTime at, std::uint32_t a, std::uint32_t b,
+                       double rate);
+  FaultPlan& global_loss(sim::SimTime at, double rate);
+  FaultPlan& message_faults(sim::SimTime at, MessageFaultProfile profile);
+  FaultPlan& clear_message_faults(sim::SimTime at) {
+    return message_faults(at, {});
+  }
+  /// Renames the most recently added event (auto-named otherwise).
+  FaultPlan& named(std::string name);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Events sorted by time (stable: insertion order breaks ties) — the order
+  /// the injector applies them in.
+  [[nodiscard]] std::vector<FaultEvent> chronological() const;
+
+  /// Virtual time after which no scripted fault remains active (every crash
+  /// recovered, partition healed, loss rate zeroed, message faults cleared),
+  /// or nullopt if the plan leaves some fault active forever. Liveness
+  /// checks measure from this instant.
+  [[nodiscard]] std::optional<sim::SimTime> all_clear_time() const;
+
+  /// One line per event, chronological — for logs and failure reports.
+  [[nodiscard]] std::string summary() const;
+
+  /// Knobs for random(): every generated fault episode starts and clears
+  /// inside [0, horizon], so all_clear_time() is always available.
+  struct RandomConfig {
+    std::size_t replicas = 7;
+    sim::SimTime horizon = 10 * sim::kSecond;
+    std::size_t episodes = 6;  // fault windows to attempt (overlaps skipped)
+    sim::SimTime min_duration = 500 * sim::kMillisecond;
+    sim::SimTime max_duration = 3 * sim::kSecond;
+    double max_loss = 0.2;  // cap for link/global loss rates
+    MessageFaultProfile max_profile{
+        .duplicate_p = 0.5,
+        .reorder_p = 0.5,
+        .reorder_max_delay = 200 * sim::kMillisecond,
+        .corrupt_p = 0.3,
+    };
+  };
+
+  /// Seeded random plan; same (config, seed) → identical plan.
+  static FaultPlan random(const RandomConfig& config, std::uint64_t seed);
+
+ private:
+  FaultPlan& add(FaultEvent event);
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace tnp::fault

@@ -29,6 +29,15 @@ void Network::set_link_latency(NodeId a, NodeId b, sim::LatencyModel model,
   if (symmetric) link_overrides_[link_key(b, a)] = model;
 }
 
+void Network::set_link_drop_rate(NodeId a, NodeId b, double p, bool symmetric) {
+  if (p > 0.0) {
+    link_drop_[link_key(a, b)] = p;
+  } else {
+    link_drop_.erase(link_key(a, b));
+  }
+  if (symmetric) set_link_drop_rate(b, a, p, false);
+}
+
 void Network::partition(const std::vector<std::vector<NodeId>>& groups) {
   for (auto& node : nodes_) node.group = 0;
   std::uint32_t group_id = 1;
@@ -56,6 +65,29 @@ bool Network::partitioned(NodeId a, NodeId b) const {
   return partitioned_ && nodes_[a].group != nodes_[b].group;
 }
 
+void Network::corrupt_payload(Bytes& payload) {
+  if (payload.empty()) return;
+  const std::uint64_t flips = 1 + rng_.uniform(3);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::uint64_t bit = rng_.uniform(payload.size() * 8);
+    payload[bit >> 3] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+  }
+}
+
+void Network::deliver(NodeId from, NodeId to, sim::SimTime latency,
+                      Bytes payload) {
+  simulator_.schedule(latency, [this, from, to,
+                                payload = std::move(payload)]() mutable {
+    ++stats_.delivered;
+    auto& handler = nodes_[to].handler;
+    if (handler) {
+      handler(Message{from, to, std::move(payload)});
+    } else {
+      log_debug("message to node ", to, " discarded: no handler");
+    }
+  });
+}
+
 bool Network::send(NodeId from, NodeId to, Bytes payload) {
   if (from >= nodes_.size() || to >= nodes_.size() || from == to) {
     return false;
@@ -70,17 +102,29 @@ bool Network::send(NodeId from, NodeId to, Bytes payload) {
     ++stats_.dropped_random;
     return false;
   }
-  const sim::SimTime latency = link_latency(from, to).sample(rng_);
-  simulator_.schedule(latency, [this, from, to,
-                                payload = std::move(payload)]() mutable {
-    ++stats_.delivered;
-    auto& handler = nodes_[to].handler;
-    if (handler) {
-      handler(Message{from, to, std::move(payload)});
-    } else {
-      log_debug("message to node ", to, " discarded: no handler");
+  if (!link_drop_.empty()) {
+    const auto it = link_drop_.find(link_key(from, to));
+    if (it != link_drop_.end() && rng_.chance(it->second)) {
+      ++stats_.dropped_link;
+      return false;
     }
-  });
+  }
+  FaultVerdict fault;
+  if (fault_hook_) fault = fault_hook_(from, to, payload);
+  if (fault.drop) {
+    ++stats_.dropped_fault;
+    return false;
+  }
+  stats_.duplicated += fault.duplicates;
+  if (fault.corrupt) ++stats_.corrupted;
+  if (fault.extra_delay > 0) ++stats_.delayed_extra;
+  const sim::LatencyModel& link = link_latency(from, to);
+  for (std::uint32_t copy = 0; copy <= fault.duplicates; ++copy) {
+    // Each copy samples its own latency, so duplicates also reorder.
+    Bytes body = copy == fault.duplicates ? std::move(payload) : payload;
+    if (fault.corrupt) corrupt_payload(body);
+    deliver(from, to, link.sample(rng_) + fault.extra_delay, std::move(body));
+  }
   return true;
 }
 

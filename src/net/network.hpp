@@ -2,9 +2,11 @@
 //
 // Nodes register a receive handler and exchange byte payloads; deliveries
 // are events on the shared Simulator with latency drawn from per-link
-// models. Supports loss and group partitions so consensus can be tested
-// under failure. All state is owned here — "the network" is the single
-// mutable substrate everything distributed runs on.
+// models. Supports loss (uniform and per-directed-link), group partitions,
+// and an injectable fault hook (drop / duplicate / delay / corrupt per
+// message) so consensus can be tested under failure. All state is owned
+// here — "the network" is the single mutable substrate everything
+// distributed runs on.
 #pragma once
 
 #include <cstdint>
@@ -33,12 +35,29 @@ struct NetworkStats {
   std::uint64_t delivered = 0;
   std::uint64_t dropped_random = 0;
   std::uint64_t dropped_partition = 0;
+  std::uint64_t dropped_link = 0;    // per-link loss (set_link_drop_rate)
+  std::uint64_t dropped_fault = 0;   // dropped by the fault hook
+  std::uint64_t duplicated = 0;      // extra copies queued by the fault hook
+  std::uint64_t corrupted = 0;       // payloads bit-flipped by the fault hook
+  std::uint64_t delayed_extra = 0;   // messages given extra fault delay
   std::uint64_t bytes_sent = 0;
+};
+
+/// Per-message fault verdict returned by a FaultHook. The hook decides
+/// policy; the network applies the mechanics (drop, extra copies, added
+/// delay, payload bit flips) with its own deterministic Rng.
+struct FaultVerdict {
+  bool drop = false;
+  std::uint32_t duplicates = 0;  // extra copies to queue
+  sim::SimTime extra_delay = 0;  // added to every copy's sampled latency
+  bool corrupt = false;          // flip 1–3 random payload bits per copy
 };
 
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
+  using FaultHook =
+      std::function<FaultVerdict(NodeId from, NodeId to, const Bytes& payload)>;
 
   Network(sim::Simulator& simulator, std::uint64_t seed,
           sim::LatencyModel default_latency = sim::LatencyModel::datacenter())
@@ -60,6 +79,15 @@ class Network {
   /// Uniform probability that any message is silently lost.
   void set_drop_rate(double p) { drop_rate_ = p; }
 
+  /// Loss probability for the directed link a→b (and b→a if `symmetric`),
+  /// layered over the global rate: a message survives only if it dodges
+  /// both. p = 0 removes the override.
+  void set_link_drop_rate(NodeId a, NodeId b, double p, bool symmetric = false);
+
+  /// Installs (or clears, with {}) the message-fault hook consulted for
+  /// every send that survives partition and loss checks.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   /// Splits nodes into groups; messages across groups are dropped until
   /// heal(). Nodes absent from every group stay in group 0.
   void partition(const std::vector<std::vector<NodeId>>& groups);
@@ -78,6 +106,8 @@ class Network {
  private:
   [[nodiscard]] const sim::LatencyModel& link_latency(NodeId a, NodeId b) const;
   [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
+  void corrupt_payload(Bytes& payload);
+  void deliver(NodeId from, NodeId to, sim::SimTime latency, Bytes payload);
 
   struct NodeState {
     Handler handler;
@@ -89,8 +119,10 @@ class Network {
   sim::LatencyModel default_latency_;
   std::vector<NodeState> nodes_;
   std::unordered_map<std::uint64_t, sim::LatencyModel> link_overrides_;
+  std::unordered_map<std::uint64_t, double> link_drop_;
   double drop_rate_ = 0.0;
   bool partitioned_ = false;
+  FaultHook fault_hook_;
   NetworkStats stats_;
 };
 

@@ -290,6 +290,64 @@ TEST(PbftSyncTest, WanLatencyStillCommits) {
   EXPECT_GT(f.cluster.stats().commit_latency_ms.min(), 60.0);
 }
 
+TEST(PbftBackoffTest, PartitionWithoutQuorumDoesNotStormViewChanges) {
+  // Split 7 replicas 4|3: neither side holds quorum 5, so no view change can
+  // complete and every replica keeps stalling. Without backoff each replica
+  // re-votes every view_timeout in lockstep — ~60 rounds × 7 replicas here.
+  // Exponential backoff with per-replica jitter must keep the vote volume an
+  // order of magnitude below that storm.
+  ClusterConfig config = pbft_config(7);
+  config.view_timeout = 500 * sim::kMillisecond;
+  Fixture f(config);
+  f.cluster.start();
+  f.submit_n(3);
+  f.simulator.run_until(500 * sim::kMillisecond);  // initial txs commit
+  f.network.partition({{f.cluster.node_of(0), f.cluster.node_of(1),
+                        f.cluster.node_of(2), f.cluster.node_of(3)},
+                       {f.cluster.node_of(4), f.cluster.node_of(5),
+                        f.cluster.node_of(6)}});
+  // Pending work during the partition keeps every progress check stalling
+  // (client submission reaches all mempools directly).
+  f.submit_n(3, 3);
+  f.simulator.run_until(30 * sim::kSecond);
+
+  const std::uint64_t lockstep_votes = 7 * (30'000 / 500);  // no-backoff bound
+  EXPECT_GT(f.cluster.stats().view_change_votes, 0u);
+  EXPECT_LT(f.cluster.stats().view_change_votes, lockstep_votes / 4);
+  // No quorum anywhere ⇒ no replica can actually advance views far.
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_LE(f.cluster.view_of(i), 2u) << "replica " << i;
+  }
+
+  // Heal: liveness returns, backoff resets on progress, chains agree.
+  f.network.heal();
+  f.simulator.run_until(60 * sim::kSecond);
+  EXPECT_EQ(f.cluster.stats().committed_txs, 6u);
+  EXPECT_TRUE(f.cluster.chains_consistent());
+}
+
+TEST(PbftBackoffTest, JitterDesynchronizesReplicas) {
+  // Same no-quorum stall; the per-replica jitter streams must spread the
+  // progress checks so replicas do not fire in the same instant forever.
+  ClusterConfig config = pbft_config(7);
+  config.view_timeout = 500 * sim::kMillisecond;
+  Fixture f(config);
+  f.cluster.start();
+  f.submit_n(2);
+  f.simulator.run_until(200 * sim::kMillisecond);
+  f.network.partition({{f.cluster.node_of(0), f.cluster.node_of(1),
+                        f.cluster.node_of(2), f.cluster.node_of(3)},
+                       {f.cluster.node_of(4), f.cluster.node_of(5),
+                        f.cluster.node_of(6)}});
+  f.submit_n(2, 2);  // pending work during the stall
+  const std::uint64_t before = f.cluster.stats().view_change_votes;
+  f.simulator.run_until(20 * sim::kSecond);
+  const std::uint64_t total = f.cluster.stats().view_change_votes - before;
+  EXPECT_GT(total, 6u);  // every replica stalled at least once
+  // Bounded growth: doubling delays cap the rounds well below lockstep.
+  EXPECT_LT(total, 7u * 10u);
+}
+
 TEST(ClusterTest, ChainsConsistentIgnoresCrashed) {
   Fixture f(pbft_config(4));
   f.cluster.start();

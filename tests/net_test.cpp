@@ -104,6 +104,124 @@ TEST(NetworkTest, PerLinkLatencyOverride) {
   EXPECT_EQ(arrival[0], 5000u);
 }
 
+TEST(NetworkTest, LinkDropRateIsDirected) {
+  sim::Simulator simulator;
+  Network network(simulator, 5);
+  int at_a = 0, at_b = 0;
+  const NodeId a = network.add_node([&](const Message&) { ++at_a; });
+  const NodeId b = network.add_node([&](const Message&) { ++at_b; });
+  network.set_link_drop_rate(a, b, 1.0);  // only a→b is lossy
+  EXPECT_FALSE(network.send(a, b, to_bytes("lost")));
+  EXPECT_TRUE(network.send(b, a, to_bytes("fine")));
+  simulator.run();
+  EXPECT_EQ(at_b, 0);
+  EXPECT_EQ(at_a, 1);
+  EXPECT_EQ(network.stats().dropped_link, 1u);
+}
+
+TEST(NetworkTest, LinkDropRateSymmetricAndCleared) {
+  sim::Simulator simulator;
+  Network network(simulator, 6);
+  int received = 0;
+  const NodeId a = network.add_node([&](const Message&) { ++received; });
+  const NodeId b = network.add_node([&](const Message&) { ++received; });
+  network.set_link_drop_rate(a, b, 1.0, /*symmetric=*/true);
+  EXPECT_FALSE(network.send(a, b, to_bytes("x")));
+  EXPECT_FALSE(network.send(b, a, to_bytes("y")));
+  network.set_link_drop_rate(a, b, 0.0, /*symmetric=*/true);  // clears
+  EXPECT_TRUE(network.send(a, b, to_bytes("z")));
+  EXPECT_TRUE(network.send(b, a, to_bytes("w")));
+  simulator.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(network.stats().dropped_link, 2u);
+}
+
+TEST(NetworkTest, LinkDropLayersOverGlobalRate) {
+  sim::Simulator simulator;
+  Network network(simulator, 8);
+  int received = 0;
+  const NodeId a = network.add_node();
+  const NodeId b = network.add_node([&](const Message&) { ++received; });
+  network.set_drop_rate(0.5);
+  network.set_link_drop_rate(a, b, 0.5);
+  int queued = 0;
+  for (int i = 0; i < 4000; ++i) queued += network.send(a, b, to_bytes("m"));
+  simulator.run();
+  EXPECT_EQ(received, queued);
+  // Survival requires dodging both coins: p ≈ 0.25.
+  EXPECT_NEAR(static_cast<double>(queued) / 4000.0, 0.25, 0.05);
+  EXPECT_GT(network.stats().dropped_random, 0u);
+  EXPECT_GT(network.stats().dropped_link, 0u);
+}
+
+TEST(NetworkTest, FaultHookDuplicates) {
+  sim::Simulator simulator;
+  Network network(simulator, 9);
+  int received = 0;
+  const NodeId a = network.add_node();
+  const NodeId b = network.add_node([&](const Message&) { ++received; });
+  network.set_fault_hook([](NodeId, NodeId, const Bytes&) {
+    return FaultVerdict{.duplicates = 2};
+  });
+  EXPECT_TRUE(network.send(a, b, to_bytes("thrice")));
+  simulator.run();
+  EXPECT_EQ(received, 3);  // original + 2 extra copies
+  EXPECT_EQ(network.stats().duplicated, 2u);
+  EXPECT_EQ(network.stats().delivered, 3u);
+  network.set_fault_hook({});  // cleared hook is inert
+  EXPECT_TRUE(network.send(a, b, to_bytes("once")));
+  simulator.run();
+  EXPECT_EQ(received, 4);
+}
+
+TEST(NetworkTest, FaultHookCorruptsPayload) {
+  sim::Simulator simulator;
+  Network network(simulator, 10);
+  std::vector<Bytes> received;
+  const NodeId a = network.add_node();
+  const NodeId b =
+      network.add_node([&](const Message& m) { received.push_back(m.payload); });
+  network.set_fault_hook([](NodeId, NodeId, const Bytes&) {
+    return FaultVerdict{.corrupt = true};
+  });
+  const Bytes original = to_bytes("pristine payload");
+  EXPECT_TRUE(network.send(a, b, original));
+  simulator.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].size(), original.size());  // bit flips, not truncation
+  EXPECT_NE(received[0], original);
+  EXPECT_EQ(network.stats().corrupted, 1u);
+}
+
+TEST(NetworkTest, FaultHookDropAndExtraDelay) {
+  sim::Simulator simulator;
+  Network network(simulator, 11,
+                  sim::LatencyModel{.base = 100, .jitter = 0, .tail_prob = 0,
+                                    .tail_mean = 0, .floor = 0});
+  std::vector<std::uint64_t> arrival;
+  const NodeId a = network.add_node();
+  const NodeId b =
+      network.add_node([&](const Message&) { arrival.push_back(simulator.now()); });
+  bool drop_next = true;
+  network.set_fault_hook([&](NodeId, NodeId, const Bytes&) {
+    FaultVerdict v;
+    if (drop_next) {
+      v.drop = true;
+    } else {
+      v.extra_delay = 5000;
+    }
+    return v;
+  });
+  EXPECT_FALSE(network.send(a, b, to_bytes("dropped")));
+  drop_next = false;
+  EXPECT_TRUE(network.send(a, b, to_bytes("late")));
+  simulator.run();
+  ASSERT_EQ(arrival.size(), 1u);
+  EXPECT_EQ(arrival[0], 5100u);  // base latency + fault delay
+  EXPECT_EQ(network.stats().dropped_fault, 1u);
+  EXPECT_EQ(network.stats().delayed_extra, 1u);
+}
+
 // ------------------------------------------------------------- topology
 
 TEST(TopologyTest, FullMesh) {
