@@ -211,6 +211,33 @@ void Cluster::on_network_message(std::size_t replica_index,
 
 void Cluster::handle(Replica& r, const ConsensusMsg& msg) {
   note_cluster_progress(r, msg);
+  // A prepare/commit in view v — both are only ever sent while the sender
+  // is not abstaining — or a view-change vote for v supersedes any earlier
+  // view-change vote by that sender for a view above v: the sender is
+  // demonstrably voting at v again (commit_block withdraws the abstention
+  // on progress), so its old vote — whose prepared certificate predates any
+  // commit votes cast after the withdrawal — must not linger and later
+  // complete a quorum that misses the current prepared state. The sender
+  // rejoins a pending view change only via a fresh certificate-bearing vote
+  // (the f+1 join rule). Pre-prepares prove nothing here: a stalled primary
+  // re-broadcasts them even while abstaining.
+  switch (msg.type) {
+    case MsgType::kPrepare:
+    case MsgType::kCommit:
+    case MsgType::kViewChange:
+      for (auto it = r.view_votes.upper_bound(msg.view);
+           it != r.view_votes.end();) {
+        it->second.erase(msg.sender);
+        if (it->second.empty()) {
+          it = r.view_votes.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    default:
+      break;
+  }
   switch (msg.type) {
     case MsgType::kPrePrepare: pbft_on_pre_prepare(r, msg); break;
     case MsgType::kPrepare: pbft_on_prepare(r, msg); break;
@@ -247,15 +274,20 @@ void Cluster::note_cluster_progress(Replica& r, const ConsensusMsg& msg) {
 
 void Cluster::request_sync(Replica& r) {
   if (r.sync_inflight) return;
+  if (replicas_.size() < 2) return;  // nobody to sync from
   r.sync_inflight = true;
   ConsensusMsg req;
   req.type = MsgType::kSyncRequest;
   req.sender = r.index;
   req.seq = r.chain->height() + 1;
   authenticate(r, req);
-  // Round-robin over peers so one crashed peer cannot starve catch-up.
+  // Round-robin over the n-1 peers (never self: a self-addressed request
+  // goes nowhere and wedges sync_inflight until the next progress check,
+  // slow enough that a laggard loses the race against block production) so
+  // one crashed peer cannot starve catch-up.
   const auto peer_index =
-      (r.index + 1 + r.sync_peer_rotation++) % replicas_.size();
+      (r.index + 1 + r.sync_peer_rotation++ % (replicas_.size() - 1)) %
+      replicas_.size();
   occupy_cpu(r, config_.crypto.sign_cost(config_.auth_mode));
   network_.send(r.node, replicas_[peer_index]->node, req.encode(true));
 }
@@ -599,9 +631,10 @@ void Cluster::pbft_vote_view(Replica& r, std::uint64_t target) {
 }
 
 void Cluster::pbft_on_view_change(Replica& r, const ConsensusMsg& msg) {
-  if (msg.view <= r.view) return;
   // Harvest the vote's prepared certificate (authenticated alongside the
-  // vote); whoever ends up primary is bound by it when proposing.
+  // vote); whoever ends up primary is bound by it when proposing. Harvested
+  // even when the vote itself is stale (msg.view <= r.view): late evidence
+  // can still pin a primary that has not yet proposed at that height.
   if (!msg.block.empty()) {
     if (auto block = ledger::Block::decode(BytesView(msg.block));
         block && block->hash() == msg.digest &&
@@ -609,6 +642,7 @@ void Cluster::pbft_on_view_change(Replica& r, const ConsensusMsg& msg) {
       r.prepared_evidence[block->header.height] = msg.block;
     }
   }
+  if (msg.view <= r.view) return;
   auto& voters = r.view_votes[msg.view];
   voters.insert(msg.sender);
   // Join rule: f+1 distinct peers already target this view, so at least one
@@ -620,10 +654,17 @@ void Cluster::pbft_on_view_change(Replica& r, const ConsensusMsg& msg) {
     return;
   }
   if (voters.size() < quorum()) return;
-  // Adopt the new view; drop in-flight slots (crash-fault simplification:
-  // nothing prepared-but-uncommitted survives; the new primary re-proposes
-  // from its mempool).
+  // Adopt the new view. In-flight slots are dropped, but a slot we already
+  // commit-voted may have completed a commit quorum at some peer — stash
+  // those as prepared evidence first, so if we later propose or vote another
+  // view change that block survives verbatim instead of vanishing with the
+  // slot table.
   r.view = msg.view;
+  for (const auto& [seq, slot] : r.slots) {
+    if (slot.sent_commit && !slot.committed) {
+      r.prepared_evidence[seq] = slot.block_bytes;
+    }
+  }
   r.slots.clear();
   r.stashed_pre_prepares.clear();
   r.view_votes.erase(r.view_votes.begin(), r.view_votes.upper_bound(msg.view));
@@ -679,12 +720,31 @@ void Cluster::commit_block(Replica& r, const ledger::Block& block) {
     return;
   }
   r.mempool.remove_committed(block.txs);
-  r.last_progress_height = r.chain->height();
+  // Deliberately NOT updating last_progress_height here: it is the progress
+  // check's own snapshot of the height it last saw. If commits bumped it, a
+  // check could never observe height > last_progress_height and stall
+  // detection would degenerate to the racy `idle` test — any replica caught
+  // mid-round at the check instant would cast a spurious view-change vote.
   r.backoff_failures = 0;  // progress: view-timeout backoff resets
   // Progress also withdraws any pending view-change abstention: the current
-  // view demonstrably works, so rejoin it. (Commit votes cast from here on
-  // are covered by the certificate rule again — any later view-change vote
-  // re-advertises the new prepared state.)
+  // view demonstrably works, so rejoin it. The withdrawn vote must not keep
+  // counting — commit votes cast from here on are not covered by its (now
+  // stale) prepared certificate — so strike ourselves from the local tally
+  // for every higher view. Peers do the same when they see our renewed
+  // current-view traffic (vote superseding in handle()), and the f+1 join
+  // rule re-fires for us, re-broadcasting a fresh certificate-bearing vote,
+  // if a view we left keeps gathering support.
+  if (r.voted_view > r.view) {
+    for (auto it = r.view_votes.upper_bound(r.view);
+         it != r.view_votes.end();) {
+      it->second.erase(r.index);
+      if (it->second.empty()) {
+        it = r.view_votes.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   r.voted_view = r.view;
   r.prepared_evidence.erase(r.prepared_evidence.begin(),
                             r.prepared_evidence.upper_bound(r.chain->height()));

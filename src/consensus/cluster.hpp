@@ -146,12 +146,20 @@ class Cluster {
     std::uint64_t known_committed = 0;
     bool sync_inflight = false;
     std::uint32_t sync_peer_rotation = 0;
-    std::map<std::uint64_t, std::set<std::uint32_t>> view_votes;  // view → voters
+    // view → voters. Entries are superseded, not only accumulated: a
+    // prepare/commit in view v or a view-change vote for v erases the
+    // sender from every tally above v, so a vote withdrawn by progress (see
+    // voted_view) cannot linger across stall epochs and complete a later
+    // quorum with a stale prepared certificate.
+    std::map<std::uint64_t, std::set<std::uint32_t>> view_votes;
     // Highest view this replica has voted for. While voted_view > view the
     // replica casts no prepare/commit votes in the old view: its view-change
     // vote already advertised its prepared state, and voting afterwards
     // would invalidate the quorum-intersection argument that makes prepared
-    // certificates sound.
+    // certificates sound. Committing a block withdraws the abstention
+    // (progress proves the view works); the withdrawal also strikes the
+    // replica's own stale votes so re-joining a view change always means
+    // broadcasting a fresh certificate-bearing vote.
     std::uint64_t voted_view = 0;
     // Prepared certificates (height → encoded block) carried by view-change
     // votes: a block this or some peer replica prepared but did not commit
@@ -160,6 +168,9 @@ class Cluster {
     std::map<std::uint64_t, Bytes> prepared_evidence;
     KeyPair key;
     sim::SimTime cpu_available = 0;
+    // Chain height as of the last progress check — owned by the check alone
+    // (commit_block must not touch it, or the check could never observe
+    // growth and stall detection would collapse to the racy idle test).
     std::uint64_t last_progress_height = 0;
     // View-change backoff: consecutive stalled progress checks (reset on
     // commit or observed progress) and a per-replica jitter stream.

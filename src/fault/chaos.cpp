@@ -72,16 +72,23 @@ ChaosResult run_chaos(const ChaosConfig& config, const FaultPlan& plan,
   injector.arm(plan);
   const std::optional<sim::SimTime> all_clear = plan.all_clear_time();
   if (all_clear) checker.note_all_clear(*all_clear);
+  // Leave the full liveness budget after the last clearing event (workload
+  // included): a plan that clears close to config.run_until must not flag
+  // "no commit after heal" merely because the simulation ended first.
+  const sim::SimTime run_until =
+      all_clear
+          ? std::max(config.run_until, *all_clear + config.liveness_bound)
+          : config.run_until;
 
   cluster.start();
   std::uint64_t submitted = 0;
-  for (sim::SimTime t = config.tx_interval; t < config.run_until;
+  for (sim::SimTime t = config.tx_interval; t < run_until;
        t += config.tx_interval) {
     const std::uint64_t index = submitted++;
     simulator.schedule_at(
         t, [&cluster, &make_tx, index]() { cluster.submit(make_tx(index)); });
   }
-  simulator.run_until(config.run_until);
+  simulator.run_until(run_until);
 
   ChaosResult result;
   result.report = checker.finish(config.liveness_bound);
@@ -95,7 +102,7 @@ ChaosResult run_chaos(const ChaosConfig& config, const FaultPlan& plan,
   result.fault_events_applied = injector.events_applied();
   result.all_clear = all_clear;
   result.availability = availability_from(
-      checker.height_commit_times(), config.run_until, config.stall_threshold);
+      checker.height_commit_times(), run_until, config.stall_threshold);
   if (all_clear && result.report.first_commit_after_clear) {
     result.recovery_ms =
         static_cast<double>(*result.report.first_commit_after_clear -

@@ -21,6 +21,9 @@ namespace tnp::fault {
 struct ChaosConfig {
   consensus::ClusterConfig cluster{};
   sim::LatencyModel latency = sim::LatencyModel::datacenter();
+  /// Minimum virtual run length. When the plan clears, the run (and the
+  /// client workload) is extended to at least all-clear + liveness_bound so
+  /// the liveness check always gets its full post-heal budget.
   sim::SimTime run_until = 20 * sim::kSecond;
   sim::SimTime tx_interval = 100 * sim::kMillisecond;  // client workload rate
   /// Liveness-after-heal bound handed to the InvariantChecker.

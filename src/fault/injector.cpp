@@ -5,10 +5,19 @@
 namespace tnp::fault {
 
 void FaultInjector::arm(const FaultPlan& plan) {
+  // Every callback handed to the network or simulator is guarded by a weak
+  // reference to alive_: destroying the injector (which releases alive_)
+  // turns already-scheduled events and the fault hook into no-ops instead
+  // of use-after-free.
+  const std::weak_ptr<void> alive = alive_;
   network_.set_fault_hook(
-      [this](net::NodeId, net::NodeId, const Bytes&) { return on_message(); });
+      [this, alive](net::NodeId, net::NodeId, const Bytes&) {
+        return alive.expired() ? net::FaultVerdict{} : on_message();
+      });
   for (const FaultEvent& e : plan.chronological()) {
-    network_.simulator().schedule_at(e.at, [this, e]() { apply(e); });
+    network_.simulator().schedule_at(e.at, [this, e, alive]() {
+      if (!alive.expired()) apply(e);
+    });
   }
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "consensus/cluster.hpp"
@@ -27,7 +28,9 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Schedules every plan event on the simulator and installs the
-  /// message-fault hook. Call once, before running the simulator.
+  /// message-fault hook. Call once, before running the simulator. The
+  /// injector may be destroyed before scheduled events fire: each callback
+  /// holds a liveness token and becomes a no-op once the injector is gone.
   void arm(const FaultPlan& plan);
 
   [[nodiscard]] const MessageFaultProfile& active_profile() const {
@@ -44,6 +47,9 @@ class FaultInjector {
   Rng rng_;
   MessageFaultProfile profile_{};
   std::uint64_t applied_ = 0;
+  // Liveness token: scheduled callbacks hold a weak reference and fire only
+  // while this is alive, so the injector can die before the simulator drains.
+  std::shared_ptr<void> alive_ = std::make_shared<int>(0);
 };
 
 }  // namespace tnp::fault

@@ -67,7 +67,7 @@ void InvariantChecker::on_commit(std::size_t replica,
   if (inserted) height_commit_times_.push_back(simulator_.now());
 
   if (all_clear_ && !first_commit_after_clear_ &&
-      simulator_.now() > *all_clear_) {
+      simulator_.now() >= *all_clear_) {
     first_commit_after_clear_ = simulator_.now();
   }
 }

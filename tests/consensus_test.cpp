@@ -348,6 +348,57 @@ TEST(PbftBackoffTest, JitterDesynchronizesReplicas) {
   EXPECT_LT(total, 7u * 10u);
 }
 
+TEST(PbftViewChangeTest, WithdrawnViewVotesDoNotFormSpuriousQuorum) {
+  // Regression: a replica that stalls, broadcasts a view-change vote, then
+  // catches up and resumes committing has withdrawn that vote. Three such
+  // episodes (f + 1 of 7, staggered so the cluster is healthy in between)
+  // must not leave stale votes accumulating at peers until they trigger the
+  // f+1 join cascade and a spurious view change: every prepare/commit a
+  // rejoined replica sends supersedes its older votes.
+  ClusterConfig config = pbft_config(7);
+  config.seed = 61;
+  Fixture f(config);
+  f.cluster.start();
+  // Steady workload so a stalled replica always has pending work (idle
+  // replicas do not vote view changes).
+  for (std::uint64_t i = 0; i < 140; ++i) {
+    f.simulator.schedule_at((i + 1) * 100 * sim::kMillisecond, [&f, i]() {
+      f.cluster.submit(make_set_tx(f.client, i, "k" + std::to_string(i), "v"));
+    });
+  }
+  // One replica at a time loses all incoming traffic for 1.5 s — long
+  // enough to time out and vote (its outbound links stay up, so the vote
+  // reaches every peer) — then heals and catches up via sync well before
+  // the next episode begins.
+  const auto isolate = [&f](std::size_t victim, double rate) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      if (j == victim) continue;
+      f.network.set_link_drop_rate(f.cluster.node_of(j),
+                                   f.cluster.node_of(victim), rate);
+    }
+  };
+  for (std::size_t episode = 0; episode < 3; ++episode) {
+    const std::size_t victim = 4 + episode;
+    const sim::SimTime start = (1 + 4 * episode) * sim::kSecond;
+    f.simulator.schedule_at(start,
+                            [&isolate, victim]() { isolate(victim, 1.0); });
+    f.simulator.schedule_at(start + 1500 * sim::kMillisecond,
+                            [&isolate, victim]() { isolate(victim, 0.0); });
+  }
+  f.simulator.run_until(16 * sim::kSecond);
+
+  // The episodes really produced view-change votes…
+  EXPECT_GT(f.cluster.stats().view_change_votes, 0u);
+  // …but withdrawn votes never combined across episodes: the healthy
+  // cluster stays in view 0 and commits the full workload consistently.
+  EXPECT_EQ(f.cluster.stats().view_changes, 0u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(f.cluster.view_of(i), 0u) << "replica " << i;
+  }
+  EXPECT_EQ(f.cluster.stats().committed_txs, 140u);
+  EXPECT_TRUE(f.cluster.chains_consistent());
+}
+
 TEST(ClusterTest, ChainsConsistentIgnoresCrashed) {
   Fixture f(pbft_config(4));
   f.cluster.start();

@@ -215,6 +215,47 @@ TEST(ChaosHarnessTest, LivenessViolationIsDetected) {
   EXPECT_NE(r.report.violations[0].find("liveness"), std::string::npos);
 }
 
+TEST(ChaosHarnessTest, LateClearingPlanGetsFullLivenessBudget) {
+  // The plan heals only 500 ms before run_until. The harness must extend
+  // the run (and its workload) to all-clear + liveness_bound instead of
+  // flagging "no commit after heal" merely because the simulation ended.
+  ChaosConfig config = chaos_config(13);
+  config.run_until = 5 * sim::kSecond;
+  FaultPlan plan;
+  plan.partition(1 * sim::kSecond, {{0, 1, 2}, {3, 4, 5, 6}})
+      .heal(4500 * sim::kMillisecond);
+  const ChaosResult r = run_chaos(config, plan, kv_executor, chaos_tx);
+  EXPECT_TRUE(r.ok()) << r.report.to_string();
+  EXPECT_GE(r.recovery_ms, 0.0);
+}
+
+TEST(FaultInjectorTest, DiscardedInjectorLeavesNoDanglingCallbacks) {
+  // Arming schedules simulator events; destroying the injector before they
+  // fire must orphan them (liveness token), not leave dangling callbacks —
+  // and none of the discarded plan may be applied.
+  ClusterUnderTest t(pbft7(53));
+  {
+    FaultInjector doomed(t.network, t.cluster, 7);
+    FaultPlan plan;
+    plan.crash(1 * sim::kSecond, 0)
+        .message_faults(500 * sim::kMillisecond,
+                        {.duplicate_p = 1.0, .corrupt_p = 1.0});
+    doomed.arm(plan);
+  }  // destroyed with both events still queued and the hook installed
+  t.cluster.start();
+  const KeyPair client = KeyPair::generate(SigScheme::kHmacSim, 5353);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.cluster.submit(make_set_tx(client, i, "k" + std::to_string(i), "v"));
+  }
+  t.simulator.run_until(5 * sim::kSecond);
+
+  // Replica 0 was never crashed and no message fault fired.
+  EXPECT_EQ(t.network.stats().duplicated, 0u);
+  EXPECT_EQ(t.network.stats().corrupted, 0u);
+  EXPECT_EQ(t.cluster.stats().committed_txs, 10u);
+  EXPECT_TRUE(t.cluster.chains_consistent());
+}
+
 TEST(ChaosHarnessTest, SameSeedReproducesBitIdentically) {
   FaultPlan::RandomConfig rc;
   const FaultPlan plan = FaultPlan::random(rc, 99);
