@@ -1,0 +1,205 @@
+// Storage engine benchmark (EXPERIMENTS.md: durability): WAL append
+// throughput under different group-commit policies (simulated disk and the
+// real filesystem), and crash-recovery time as a function of WAL length and
+// snapshot interval. Emits BENCH_storage.json for cross-commit diffing.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "ledger/chain.hpp"
+#include "storage/file_backend.hpp"
+#include "storage/ledger_store.hpp"
+#include "storage/wal.hpp"
+
+namespace tnp {
+namespace {
+
+/// Minimal executor so recovery re-execution has real (cheap) work to do.
+class KvExecutor final : public ledger::TransactionExecutor {
+ public:
+  Status execute(const ledger::Transaction& tx, ledger::OverlayState& state,
+                 ledger::ExecContext& ctx) override {
+    ByteReader r{BytesView(tx.args)};
+    auto key = r.str();
+    auto value = r.str();
+    if (!key || !value) {
+      return Status(ErrorCode::kInvalidArgument, "set(key, value)");
+    }
+    if (auto s = ctx.charge(ctx.costs->state_write); !s.ok()) return s;
+    state.set("kv/" + *key, to_bytes(*value));
+    return Status::Ok();
+  }
+};
+
+ledger::Transaction bench_tx(std::uint64_t serial) {
+  ledger::Transaction tx;
+  tx.nonce = 0;
+  tx.contract = "kv";
+  tx.method = "set";
+  ByteWriter w;
+  w.str("k" + std::to_string(serial));
+  w.str("v" + std::to_string(serial));
+  tx.args = w.take();
+  tx.sign_with(KeyPair::generate(SigScheme::kHmacSim, 0xBE7C4 + serial));
+  return tx;
+}
+
+/// Appends `frames` fixed-size payloads, fsyncing every `group` appends
+/// (group 0 = one final sync). Returns appends/second.
+double wal_throughput(storage::FileBackend& disk, std::uint64_t frames,
+                      std::uint64_t group) {
+  auto wal = storage::Wal::open(disk, storage::WalOptions{4 << 20});
+  if (!wal.ok()) return 0.0;
+  const Bytes payload(4096, 0xAB);
+  bench::WallTimer timer;
+  for (std::uint64_t i = 1; i <= frames; ++i) {
+    if (!wal->append(storage::kWalFrameBlock, i, BytesView(payload)).ok()) {
+      return 0.0;
+    }
+    if (group != 0 && i % group == 0 && !wal->sync().ok()) return 0.0;
+  }
+  if (!wal->sync().ok()) return 0.0;
+  return static_cast<double>(frames) / timer.seconds();
+}
+
+/// Builds an `n`-block store with the given snapshot interval, then times
+/// a cold open + recover_chain. Returns {recovery_seconds, blocks_replayed}.
+struct RecoveryCost {
+  double seconds = 0.0;
+  std::uint64_t from_wal = 0;
+  std::uint64_t from_store = 0;
+};
+
+RecoveryCost recovery_cost(std::uint64_t n, std::uint64_t snapshot_interval) {
+  auto disk = std::make_shared<storage::MemoryBackend>();
+  storage::StoreOptions options;
+  options.group_commit = 1;
+  options.snapshot_interval = snapshot_interval;
+  {
+    auto store = storage::LedgerStore::open(disk, options);
+    if (!store.ok()) return {};
+    KvExecutor executor;
+    ledger::Blockchain chain(executor);
+    if (!(*store)->recover_chain(chain).ok()) return {};
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t serial = chain.height();
+      ledger::Block block =
+          chain.make_block({bench_tx(serial)}, 0, serial + 1);
+      if (!chain.apply_block(block).ok()) return {};
+      if (!(*store)->append_block(block).ok()) return {};
+      if (!(*store)->maybe_snapshot(chain).ok()) return {};
+    }
+  }
+  disk->power_cycle();
+
+  RecoveryCost cost;
+  bench::WallTimer timer;
+  auto store = storage::LedgerStore::open(disk, options);
+  if (!store.ok()) return {};
+  KvExecutor executor;
+  ledger::Blockchain chain(executor);
+  auto restored = (*store)->recover_chain(chain);
+  cost.seconds = timer.seconds();
+  if (!restored.ok() || *restored != n) {
+    std::printf("  !! recovery mismatch at n=%llu\n",
+                static_cast<unsigned long long>(n));
+    return {};
+  }
+  cost.from_wal = (*store)->recovery().blocks_from_wal;
+  cost.from_store = (*store)->recovery().blocks_from_store;
+  return cost;
+}
+
+}  // namespace
+}  // namespace tnp
+
+int main() {
+  using namespace tnp;
+  bench::banner("storage durability",
+                "Group commit amortizes the fsync cost of the write-ahead "
+                "log; snapshots bound recovery time by the interval, not the "
+                "chain length.");
+  bench::JsonReport report("storage");
+
+  // ---- WAL append throughput vs group-commit policy -----------------------
+  constexpr std::uint64_t kFrames = 2000;
+  bench::Table wal_table({"backend", "group_commit", "appends_per_sec",
+                          "fsyncs"});
+  double mem_every = 0.0;
+  double mem_grouped = 0.0;
+  for (const std::uint64_t group : {1ull, 8ull, 64ull, 0ull}) {
+    storage::MemoryBackend disk;
+    const double rate = wal_throughput(disk, kFrames, group);
+    if (group == 1) mem_every = rate;
+    if (group == 64) mem_grouped = rate;
+    const std::string label = group == 0 ? "final-only" : std::to_string(group);
+    wal_table.row({std::string("memory"), label, rate, disk.stats().fsyncs});
+    report.raw("{\"metric\": \"wal_append\", \"backend\": \"memory\", "
+               "\"group_commit\": " + std::to_string(group) +
+               ", \"appends_per_sec\": " + std::to_string(rate) + "}");
+  }
+  const std::string root = "bench_storage.tmp";
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  double disk_every = 0.0;
+  double disk_grouped = 0.0;
+  for (const std::uint64_t group : {1ull, 64ull}) {
+    storage::DiskBackend disk(root);
+    const double rate = wal_throughput(disk, kFrames / 4, group);
+    if (group == 1) disk_every = rate;
+    if (group == 64) disk_grouped = rate;
+    wal_table.row({std::string("disk"), std::to_string(group), rate,
+                   disk.stats().fsyncs});
+    report.raw("{\"metric\": \"wal_append\", \"backend\": \"disk\", "
+               "\"group_commit\": " + std::to_string(group) +
+               ", \"appends_per_sec\": " + std::to_string(rate) + "}");
+    std::filesystem::remove_all(root, ec);
+  }
+  wal_table.print();
+
+  // ---- recovery time vs WAL length (no snapshots) -------------------------
+  std::printf("\n");
+  bench::Table replay_table(
+      {"blocks", "snapshot_interval", "recovery_ms", "from_wal", "from_store"});
+  double replay_64 = 0.0;
+  double replay_1024 = 0.0;
+  for (const std::uint64_t n : {64ull, 256ull, 1024ull}) {
+    const RecoveryCost cost = recovery_cost(n, 0);
+    if (n == 64) replay_64 = cost.seconds;
+    if (n == 1024) replay_1024 = cost.seconds;
+    replay_table.row({n, std::string("none"), cost.seconds * 1e3,
+                      cost.from_wal, cost.from_store});
+    report.raw("{\"metric\": \"recovery\", \"blocks\": " + std::to_string(n) +
+               ", \"snapshot_interval\": 0, \"seconds\": " +
+               std::to_string(cost.seconds) + "}");
+  }
+
+  // ---- recovery time vs snapshot interval at fixed length -----------------
+  constexpr std::uint64_t kChain = 512;
+  double snap_none = 0.0;
+  double snap_64 = 0.0;
+  for (const std::uint64_t interval : {0ull, 64ull, 256ull}) {
+    const RecoveryCost cost = recovery_cost(kChain, interval);
+    if (interval == 0) snap_none = cost.seconds;
+    if (interval == 64) snap_64 = cost.seconds;
+    replay_table.row({kChain,
+                      interval == 0 ? std::string("none")
+                                    : std::to_string(interval),
+                      cost.seconds * 1e3, cost.from_wal, cost.from_store});
+    report.raw("{\"metric\": \"recovery\", \"blocks\": " +
+               std::to_string(kChain) + ", \"snapshot_interval\": " +
+               std::to_string(interval) + ", \"seconds\": " +
+               std::to_string(cost.seconds) + "}");
+  }
+  replay_table.print();
+
+  report.write();
+  const bool shape_ok = mem_grouped > mem_every && disk_grouped > disk_every &&
+                        replay_1024 > replay_64 && snap_64 < snap_none;
+  bench::verdict(shape_ok,
+                 "group commit beats per-append fsync on both backends; "
+                 "recovery grows with WAL length and shrinks with snapshots");
+  return 0;
+}

@@ -40,6 +40,10 @@ Cluster::Cluster(net::Network& network, ExecutorFactory make_executor,
     replica->executor = make_executor();
     replica->chain =
         std::make_unique<ledger::Blockchain>(*replica->executor, config_.chain);
+    if (config_.storage_factory) {
+      replica->disk = config_.storage_factory(i);
+      open_store(*replica);
+    }
     const Status reg = directory_.register_account(replica->key);
     assert(reg.ok());
     (void)reg;
@@ -77,10 +81,38 @@ void Cluster::submit(ledger::Transaction tx) {
   }
 }
 
+void Cluster::open_store(Replica& r) {
+  // Opening the store IS recovery: it replays whatever the disk durably
+  // holds and replaces the replica's chain with the exact verified prefix.
+  auto store = storage::LedgerStore::open(r.disk, config_.store);
+  if (!store.ok()) {
+    log_error("replica ", r.index,
+              " failed to open ledger store: ", store.error().to_string());
+    return;
+  }
+  r.store = std::move(*store);
+  auto chain =
+      std::make_unique<ledger::Blockchain>(*r.executor, config_.chain);
+  auto restored = r.store->recover_chain(*chain);
+  if (!restored.ok()) {
+    log_error("replica ", r.index,
+              " failed to recover chain: ", restored.error().to_string());
+    r.store.reset();
+    return;
+  }
+  r.chain = std::move(chain);
+}
+
 void Cluster::crash(std::size_t replica) {
   Replica& r = *replicas_.at(replica);
   r.crashed = true;
   ++r.timer_epoch;  // orphan any pending self-rearming timer chains
+  if (r.disk) {
+    // Machine death: the engine (with any un-synced buffers) is gone, the
+    // disk loses everything past its last fsync.
+    r.store.reset();
+    r.disk->simulate_crash();
+  }
 }
 
 void Cluster::recover(std::size_t replica) {
@@ -91,6 +123,24 @@ void Cluster::recover(std::size_t replica) {
   r.cpu_available = simulator().now();
   r.backoff_failures = 0;
   r.sync_inflight = false;  // a pre-crash sync response may never arrive
+  if (r.disk) {
+    // Restart from persisted state, not RAM: the chain is rebuilt from the
+    // store, and every piece of volatile consensus state — slots, stashed
+    // proposals, view-change votes, prepared certificates, the mempool —
+    // is dropped exactly as a real process restart would drop it. Safe
+    // under the crash-fault model: the replica re-learns views and heights
+    // from peer traffic (note_cluster_progress + sync).
+    open_store(r);
+    r.slots.clear();
+    r.stashed_pre_prepares.clear();
+    r.view_votes.clear();
+    r.prepared_evidence.clear();
+    r.voted_view = 0;
+    r.view = 0;
+    r.known_committed = 0;
+    r.mempool = ledger::Mempool{};
+    r.last_progress_height = r.chain->height();
+  }
   if (started_) {
     if (config_.protocol == Protocol::kPbft) {
       arm_propose_timer(r);
@@ -718,6 +768,19 @@ void Cluster::commit_block(Replica& r, const ledger::Block& block) {
     log_error("replica ", r.index, " failed to apply block ",
               block.header.height, ": ", applied.to_string());
     return;
+  }
+  if (r.store) {
+    // Persist before acknowledging: with group_commit == 1 an Ok here means
+    // the block survives a power cut, so everything downstream (commit
+    // votes for the next height, the commit hook, client-visible receipts)
+    // only ever builds on durable blocks.
+    if (auto s = r.store->append_block(block); !s.ok()) {
+      log_error("replica ", r.index, " failed to persist block ",
+                block.header.height, ": ", s.to_string());
+    } else if (auto s2 = r.store->maybe_snapshot(*r.chain); !s2.ok()) {
+      log_error("replica ", r.index,
+                " failed to snapshot: ", s2.to_string());
+    }
   }
   r.mempool.remove_committed(block.txs);
   // Deliberately NOT updating last_progress_height here: it is the progress

@@ -29,6 +29,7 @@
 #include "ledger/chain.hpp"
 #include "ledger/mempool.hpp"
 #include "net/network.hpp"
+#include "storage/ledger_store.hpp"
 
 namespace tnp::consensus {
 
@@ -60,6 +61,15 @@ struct ClusterConfig {
   ledger::ChainConfig chain{};
   CryptoCostModel crypto{};
   std::uint64_t seed = 1;
+  /// Durable mode (opt-in): when set, each replica opens a LedgerStore over
+  /// the backend this factory returns for its index, persists every
+  /// committed block before acknowledging it (group_commit forced by
+  /// `store`), and treats crash()/recover() as a machine restart — RAM
+  /// consensus state is lost and the chain is rebuilt from disk rather than
+  /// kept in memory. When unset (default) behavior is unchanged.
+  std::function<std::shared_ptr<storage::FileBackend>(std::size_t)>
+      storage_factory;
+  storage::StoreOptions store{};
 };
 
 struct ClusterStats {
@@ -136,6 +146,11 @@ class Cluster {
     std::uint64_t view = 0;
     std::unique_ptr<ledger::TransactionExecutor> executor;
     std::unique_ptr<ledger::Blockchain> chain;
+    // Durable mode: the simulated disk outlives the engine across crashes —
+    // crash() drops the engine and power-cycles the disk, recover() opens a
+    // fresh engine over it and rebuilds the chain from what survived.
+    std::shared_ptr<storage::FileBackend> disk;
+    std::unique_ptr<storage::LedgerStore> store;
     ledger::Mempool mempool;
     std::map<std::uint64_t, Slot> slots;  // seq → state
     // Pre-prepares that arrived before this replica committed their
@@ -225,6 +240,9 @@ class Cluster {
   void note_cluster_progress(Replica& r, const ConsensusMsg& msg);
 
   void commit_block(Replica& r, const ledger::Block& block);
+  /// Durable mode: (re)opens the LedgerStore over the replica's disk and
+  /// replaces its chain with the recovered one.
+  void open_store(Replica& r);
 
   net::Network& network_;
   ClusterConfig config_;

@@ -64,7 +64,14 @@ ChaosResult run_chaos(const ChaosConfig& config, const FaultPlan& plan,
                       const TxFactory& make_tx) {
   sim::Simulator simulator;
   net::Network network(simulator, config.seed + 17, config.latency);
-  consensus::Cluster cluster(network, make_executor, config.cluster);
+  consensus::ClusterConfig cluster_config = config.cluster;
+  if (config.durable) {
+    cluster_config.store = config.store;
+    cluster_config.storage_factory = [](std::size_t) {
+      return std::make_shared<storage::MemoryBackend>();
+    };
+  }
+  consensus::Cluster cluster(network, make_executor, cluster_config);
   // Checker after cluster: its destructor clears the commit hook while the
   // cluster is still alive.
   InvariantChecker checker(cluster, simulator);

@@ -32,6 +32,13 @@ struct ChaosConfig {
   /// normal block cadence, not an outage).
   sim::SimTime stall_threshold = 2 * sim::kSecond;
   std::uint64_t seed = 1;
+  /// Durable mode (opt-in): every replica gets its own in-memory simulated
+  /// disk (storage::MemoryBackend) and persists committed blocks through
+  /// the ledger store, so plan-driven crash/recover events exercise the
+  /// full crash-recovery path instead of keeping chains in RAM. Off by
+  /// default — non-durable runs stay bit-identical to earlier releases.
+  bool durable = false;
+  storage::StoreOptions store{};
 };
 
 struct ChaosResult {

@@ -238,6 +238,64 @@ Receipt Blockchain::execute_tx(const Transaction& tx,
   return receipt;
 }
 
+ChainCheckpoint Blockchain::checkpoint() const {
+  ChainCheckpoint cp;
+  cp.height = height();
+  cp.tip_hash = tip_hash();
+  cp.state = state_;
+  cp.total_gas_used = total_gas_used_;
+  cp.tx_count = tx_count_;
+  cp.results = results_;
+  return cp;
+}
+
+Expected<std::uint64_t> Blockchain::restore(const std::vector<Block>& blocks,
+                                            const ChainCheckpoint* cp) {
+  if (height() != 0 || total_gas_used_ != 0 || tx_count_ != 0) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "restore requires a fresh chain");
+  }
+  // Pass 1: structural verification, truncating at the first bad link.
+  // Header hashes chain each block to its parent; recomputing the tx root
+  // additionally binds the transaction *bodies*, which the header chain
+  // alone does not cover (a flipped tx byte leaves every header intact).
+  std::uint64_t valid = 0;
+  Hash256 prev = blocks_.front().hash();  // genesis
+  for (const Block& b : blocks) {
+    if (b.header.height != valid + 1) break;
+    if (b.header.parent != prev) break;
+    if (b.header.tx_root != b.compute_tx_root()) break;
+    prev = b.hash();
+    ++valid;
+  }
+
+  std::uint64_t start = 0;  // first height to re-execute is start + 1
+  if (cp && cp->height > 0) {
+    if (cp->height > valid) {
+      return Error(ErrorCode::kFailedPrecondition,
+                   "checkpoint height beyond verifiable blocks");
+    }
+    if (blocks[cp->height - 1].hash() != cp->tip_hash) {
+      return Error(ErrorCode::kCorruptData, "checkpoint tip-hash mismatch");
+    }
+    if (cp->results.size() != cp->height + 1) {
+      return Error(ErrorCode::kCorruptData,
+                   "checkpoint results/height mismatch");
+    }
+    state_ = cp->state;
+    total_gas_used_ = cp->total_gas_used;
+    tx_count_ = cp->tx_count;
+    results_ = cp->results;
+    blocks_.insert(blocks_.end(), blocks.begin(),
+                   blocks.begin() + static_cast<std::ptrdiff_t>(cp->height));
+    start = cp->height;
+  }
+  for (std::uint64_t h = start; h < valid; ++h) {
+    if (!apply_block(blocks[h]).ok()) break;  // keep the verified prefix
+  }
+  return height();
+}
+
 Status Blockchain::apply_block(const Block& block) {
   if (auto s = validate_header(block); !s.ok()) return s;
 

@@ -58,6 +58,20 @@ struct BlockResult {
   std::vector<Event> events;  // all events, in tx order
 };
 
+/// Everything derived state a chain holds at a height: the inputs to
+/// Blockchain::restore() and the payload of a storage-layer snapshot. A
+/// checkpoint is *derived* data — blocks re-executed from genesis produce
+/// an identical one — so persisting it is purely a recovery-time
+/// optimization, never a source of truth.
+struct ChainCheckpoint {
+  std::uint64_t height = 0;
+  Hash256 tip_hash{};             // hash of the block at `height`
+  WorldState state;               // world state after block `height`
+  std::uint64_t total_gas_used = 0;
+  std::uint64_t tx_count = 0;
+  std::vector<BlockResult> results;  // results[h] for h in [0, height]
+};
+
 struct ChainConfig {
   GasCosts gas_costs{};
   bool verify_signatures = true;  // disable to isolate consensus cost (E8)
@@ -158,6 +172,30 @@ class Blockchain {
   [[nodiscard]] const WorldState& state() const { return state_; }
   /// Mutable access for genesis seeding only (before block 1 is applied).
   [[nodiscard]] WorldState& mutable_state_for_genesis() { return state_; }
+
+  /// Snapshot of all derived state at the current height (storage layer).
+  [[nodiscard]] ChainCheckpoint checkpoint() const;
+
+  /// Rebuilds this chain from persisted blocks (heights 1..n, genesis
+  /// excluded) and an optional checkpoint. Only callable on a fresh chain
+  /// (height 0; genesis seeding may already have been applied).
+  ///
+  /// The blocks are first verified as a chain — sequential heights, parent
+  /// hash links, recomputed tx roots — and silently truncated at the first
+  /// violation (recovery's exact-prefix rule). With a checkpoint, state/
+  /// results/counters are restored at cp.height (after cross-checking
+  /// cp.tip_hash against the block at that height) and only later blocks
+  /// are re-executed; without one, every block re-executes from genesis.
+  /// Re-execution runs the full validate+apply path, so a block whose
+  /// recorded pre-state root does not match the rebuilt state stops the
+  /// restore there — the chain keeps the verified prefix.
+  ///
+  /// Returns the restored height. Errors (checkpoint beyond the verifiable
+  /// blocks, tip-hash mismatch, malformed results vector, non-fresh chain)
+  /// leave the chain untouched so the caller can retry without the
+  /// checkpoint.
+  Expected<std::uint64_t> restore(const std::vector<Block>& blocks,
+                                  const ChainCheckpoint* cp = nullptr);
 
   [[nodiscard]] std::uint64_t total_gas_used() const { return total_gas_used_; }
   [[nodiscard]] std::uint64_t tx_count() const { return tx_count_; }

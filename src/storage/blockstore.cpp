@@ -1,0 +1,81 @@
+#include "storage/blockstore.hpp"
+
+#include "storage/crc32.hpp"
+
+namespace tnp::storage {
+
+namespace {
+constexpr std::size_t kFrameOverhead = 4 + 4;  // len + crc
+constexpr std::uint64_t kMaxPayload = 64u << 20;
+}  // namespace
+
+Expected<BlockStore> BlockStore::open(FileBackend& backend) {
+  BlockStore store(backend);
+  if (!backend.exists(kFileName)) return store;
+  auto data = backend.read_file(kFileName);
+  if (!data.ok()) return data.error();
+  store.image_ = std::move(*data);
+
+  std::uint64_t pos = 0;
+  while (pos < store.image_.size()) {
+    const std::uint64_t remaining = store.image_.size() - pos;
+    if (remaining < kFrameOverhead) break;
+    ByteReader header(BytesView(store.image_.data() + pos, 4));
+    const std::uint64_t len = header.u32().value_or(0);
+    if (len > kMaxPayload || kFrameOverhead + len > remaining) break;
+    const BytesView framed(store.image_.data() + pos, 4 + len);
+    ByteReader crc_reader(BytesView(store.image_.data() + pos + 4 + len, 4));
+    if (crc32(framed) != crc_reader.u32().value_or(0)) break;
+    store.frames_.emplace_back(pos + 4, len);
+    pos += kFrameOverhead + len;
+  }
+  if (pos < store.image_.size()) {
+    // Torn or corrupt tail: cut it so future appends start on a frame
+    // boundary.
+    store.torn_bytes_dropped_ = store.image_.size() - pos;
+    store.image_.resize(pos);
+    if (auto s = backend.truncate(kFileName, pos); !s.ok()) return s.error();
+  }
+  return store;
+}
+
+Status BlockStore::append(BytesView encoded_block) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(encoded_block.size()));
+  w.raw(encoded_block);
+  w.u32(crc32(BytesView(w.data())));
+  const Bytes frame = w.take();
+  if (auto s = backend_->append(kFileName, BytesView(frame)); !s.ok()) {
+    return s;
+  }
+  frames_.emplace_back(image_.size() + 4, encoded_block.size());
+  image_.insert(image_.end(), frame.begin(), frame.end());
+  dirty_ = true;
+  return Status::Ok();
+}
+
+Status BlockStore::sync() {
+  if (!dirty_) return Status::Ok();
+  if (auto s = backend_->fsync(kFileName); !s.ok()) return s;
+  dirty_ = false;
+  return Status::Ok();
+}
+
+Expected<BytesView> BlockStore::at(std::uint64_t index) const {
+  if (index >= frames_.size()) {
+    return Error(ErrorCode::kOutOfRange, "block index past store end");
+  }
+  const auto& [offset, len] = frames_[index];
+  return BytesView(image_.data() + offset, len);
+}
+
+Status BlockStore::truncate_to(std::uint64_t count) {
+  if (count >= frames_.size()) return Status::Ok();
+  const std::uint64_t new_size =
+      count == 0 ? 0 : frames_[count].first - 4;
+  frames_.resize(count);
+  image_.resize(new_size);
+  return backend_->truncate(kFileName, new_size);
+}
+
+}  // namespace tnp::storage

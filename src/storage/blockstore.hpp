@@ -1,0 +1,60 @@
+// Append-only block store: the long-term home of committed block bodies.
+//
+// One file (blocks.dat) of CRC frames `u32 len | payload | u32 crc`, one
+// frame per block, heights 1..count() in file order (genesis is derived,
+// never stored). There is no on-disk index: open() scans the file once,
+// truncates any torn/corrupt tail at the first bad frame, and rebuilds the
+// offset index in memory — the log-structured trade: O(file) open, O(1)
+// append, zero index-maintenance write amplification.
+//
+// Appends are volatile until sync(); the engine fsyncs the store only at
+// snapshot points, because the WAL already made every committed block
+// durable — the store is a read-optimized mirror, not the commit record.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "storage/file_backend.hpp"
+
+namespace tnp::storage {
+
+class BlockStore {
+ public:
+  static constexpr const char* kFileName = "blocks.dat";
+
+  /// Scans blocks.dat (absent file = empty store), truncating the file at
+  /// the first invalid frame.
+  static Expected<BlockStore> open(FileBackend& backend);
+
+  /// Appends one encoded block (volatile until sync()).
+  Status append(BytesView encoded_block);
+  Status sync();
+
+  [[nodiscard]] std::uint64_t count() const { return frames_.size(); }
+
+  /// Payload of the index-th block (0-based ⇒ height index+1). The view
+  /// borrows the store's in-memory image; it is invalidated by append/
+  /// truncate_to.
+  [[nodiscard]] Expected<BytesView> at(std::uint64_t index) const;
+
+  /// Drops blocks from the tail until count() == `count` (on disk too).
+  Status truncate_to(std::uint64_t count);
+
+  /// Bytes discarded by open()'s tail truncation (diagnostics).
+  [[nodiscard]] std::uint64_t torn_bytes_dropped() const {
+    return torn_bytes_dropped_;
+  }
+
+ private:
+  explicit BlockStore(FileBackend& backend) : backend_(&backend) {}
+
+  FileBackend* backend_;
+  Bytes image_;  // validated file contents (mirrors blocks.dat)
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> frames_;  // off, len
+  bool dirty_ = false;
+  std::uint64_t torn_bytes_dropped_ = 0;
+};
+
+}  // namespace tnp::storage

@@ -1,0 +1,16 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-frame
+// integrity check for every on-disk structure (WAL frames, block-store
+// frames, snapshots, manifests). A CRC is the right tool here: it catches
+// torn writes and media bit-rot cheaply; end-to-end *content* integrity is
+// separately enforced by block-hash chaining during recovery.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace tnp::storage {
+
+[[nodiscard]] std::uint32_t crc32(BytesView data, std::uint32_t seed = 0);
+
+}  // namespace tnp::storage

@@ -1,0 +1,340 @@
+#include "storage/file_backend.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <dirent.h>
+
+namespace tnp::storage {
+
+namespace {
+
+Status not_found(const std::string& name) {
+  return Status(ErrorCode::kNotFound, "no such file: " + name);
+}
+
+Status device_dead() {
+  return Status(ErrorCode::kUnavailable, "storage device lost power");
+}
+
+}  // namespace
+
+// --------------------------------------------------------- MemoryBackend
+
+bool MemoryBackend::admit_mutation() {
+  if (dead_) return false;
+  if (cut_armed_) {
+    if (cut_budget_ == 0) {
+      dead_ = true;
+      cut_armed_ = false;
+      return false;
+    }
+    --cut_budget_;
+  }
+  return true;
+}
+
+Status MemoryBackend::append(const std::string& name, BytesView data) {
+  if (!admit_mutation()) {
+    if (dead_ && torn_bytes_ > 0) {
+      // The fatal write physically tore: a prefix reached the platter and
+      // will survive the power cycle even though fsync never returned.
+      File& f = files_[name];
+      const std::size_t torn =
+          std::min<std::size_t>(torn_bytes_, data.size());
+      f.data.insert(f.data.end(), data.begin(), data.begin() + torn);
+      f.durable = f.data.size();
+      torn_bytes_ = 0;  // one torn fragment per cut
+    }
+    return device_dead();
+  }
+  ++stats_.appends;
+  stats_.bytes_written += data.size();
+  File& f = files_[name];
+  f.data.insert(f.data.end(), data.begin(), data.end());
+  return Status::Ok();
+}
+
+Status MemoryBackend::write_file(const std::string& name, BytesView data) {
+  if (!admit_mutation()) {
+    if (dead_ && torn_bytes_ > 0) {
+      File& f = files_[name];
+      const std::size_t torn =
+          std::min<std::size_t>(torn_bytes_, data.size());
+      f.data.assign(data.begin(), data.begin() + torn);
+      f.durable = f.data.size();
+      torn_bytes_ = 0;
+    }
+    return device_dead();
+  }
+  ++stats_.writes;
+  stats_.bytes_written += data.size();
+  File& f = files_[name];
+  f.data.assign(data.begin(), data.end());
+  f.durable = 0;  // full rewrite: nothing durable until the next fsync
+  return Status::Ok();
+}
+
+Status MemoryBackend::fsync(const std::string& name) {
+  if (!admit_mutation()) return device_dead();
+  ++stats_.fsyncs;
+  const auto it = files_.find(name);
+  if (it == files_.end()) return not_found(name);
+  it->second.durable = it->second.data.size();
+  return Status::Ok();
+}
+
+Status MemoryBackend::rename(const std::string& from, const std::string& to) {
+  if (!admit_mutation()) return device_dead();
+  ++stats_.renames;
+  const auto it = files_.find(from);
+  if (it == files_.end()) return not_found(from);
+  File moved = std::move(it->second);
+  files_.erase(it);
+  files_[to] = std::move(moved);
+  return Status::Ok();
+}
+
+Status MemoryBackend::remove(const std::string& name) {
+  if (!admit_mutation()) return device_dead();
+  ++stats_.removes;
+  if (files_.erase(name) == 0) return not_found(name);
+  return Status::Ok();
+}
+
+Status MemoryBackend::truncate(const std::string& name, std::uint64_t size) {
+  if (!admit_mutation()) return device_dead();
+  ++stats_.truncates;
+  const auto it = files_.find(name);
+  if (it == files_.end()) return not_found(name);
+  File& f = it->second;
+  if (size < f.data.size()) f.data.resize(size);
+  // Truncation is a metadata operation: the new (shorter) length is the
+  // durable one, and the retained prefix keeps its durability watermark.
+  f.durable = std::min<std::size_t>(f.durable, f.data.size());
+  return Status::Ok();
+}
+
+Expected<Bytes> MemoryBackend::read_file(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error(ErrorCode::kNotFound, "no such file: " + name);
+  }
+  return it->second.data;
+}
+
+Expected<std::uint64_t> MemoryBackend::size(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error(ErrorCode::kNotFound, "no such file: " + name);
+  }
+  return static_cast<std::uint64_t>(it->second.data.size());
+}
+
+bool MemoryBackend::exists(const std::string& name) const {
+  return files_.contains(name);
+}
+
+std::vector<std::string> MemoryBackend::list() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, file] : files_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+const BackendStats& MemoryBackend::stats() const { return stats_; }
+
+void MemoryBackend::set_power_cut(std::uint64_t ops_from_now,
+                                  std::uint64_t torn_bytes) {
+  cut_armed_ = true;
+  cut_budget_ = ops_from_now;
+  torn_bytes_ = torn_bytes;
+}
+
+void MemoryBackend::power_cycle() {
+  for (auto& [name, file] : files_) file.data.resize(file.durable);
+  dead_ = false;
+  cut_armed_ = false;
+  cut_budget_ = 0;
+  torn_bytes_ = 0;
+}
+
+Status MemoryBackend::corrupt(const std::string& name, std::uint64_t offset,
+                              std::uint8_t mask) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) return not_found(name);
+  if (offset >= it->second.data.size()) {
+    return Status(ErrorCode::kOutOfRange, "corrupt offset past EOF");
+  }
+  it->second.data[offset] ^= mask;
+  return Status::Ok();
+}
+
+// ----------------------------------------------------------- DiskBackend
+
+DiskBackend::DiskBackend(std::string root) : root_(std::move(root)) {
+  ::mkdir(root_.c_str(), 0755);  // best effort; ops report real failures
+}
+
+DiskBackend::~DiskBackend() {
+  for (auto& [name, fd] : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+std::string DiskBackend::path(const std::string& name) const {
+  return root_ + "/" + name;
+}
+
+int DiskBackend::fd_for(const std::string& name) {
+  const auto it = fds_.find(name);
+  if (it != fds_.end()) return it->second;
+  const int fd =
+      ::open(path(name).c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  fds_[name] = fd;
+  return fd;
+}
+
+void DiskBackend::close_fd(const std::string& name) {
+  const auto it = fds_.find(name);
+  if (it != fds_.end()) {
+    if (it->second >= 0) ::close(it->second);
+    fds_.erase(it);
+  }
+}
+
+Status DiskBackend::append(const std::string& name, BytesView data) {
+  const int fd = fd_for(name);
+  if (fd < 0) {
+    return Status(ErrorCode::kInternal,
+                  "open failed: " + name + ": " + std::strerror(errno));
+  }
+  ++stats_.appends;
+  stats_.bytes_written += data.size();
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      return Status(ErrorCode::kInternal,
+                    "write failed: " + name + ": " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status DiskBackend::write_file(const std::string& name, BytesView data) {
+  close_fd(name);
+  const int fd =
+      ::open(path(name).c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status(ErrorCode::kInternal,
+                  "open failed: " + name + ": " + std::strerror(errno));
+  }
+  ++stats_.writes;
+  stats_.bytes_written += data.size();
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      return Status(ErrorCode::kInternal,
+                    "write failed: " + name + ": " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status DiskBackend::fsync(const std::string& name) {
+  const int fd = fd_for(name);
+  if (fd < 0) return not_found(name);
+  ++stats_.fsyncs;
+  if (::fsync(fd) != 0) {
+    return Status(ErrorCode::kInternal,
+                  "fsync failed: " + name + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status DiskBackend::rename(const std::string& from, const std::string& to) {
+  close_fd(from);
+  close_fd(to);
+  ++stats_.renames;
+  if (::rename(path(from).c_str(), path(to).c_str()) != 0) {
+    return Status(ErrorCode::kInternal,
+                  "rename failed: " + from + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status DiskBackend::remove(const std::string& name) {
+  close_fd(name);
+  ++stats_.removes;
+  if (::unlink(path(name).c_str()) != 0) return not_found(name);
+  return Status::Ok();
+}
+
+Status DiskBackend::truncate(const std::string& name, std::uint64_t size) {
+  ++stats_.truncates;
+  if (::truncate(path(name).c_str(), static_cast<off_t>(size)) != 0) {
+    return Status(ErrorCode::kInternal,
+                  "truncate failed: " + name + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Expected<Bytes> DiskBackend::read_file(const std::string& name) const {
+  const int fd = ::open(path(name).c_str(), O_RDONLY);
+  if (fd < 0) return Error(ErrorCode::kNotFound, "no such file: " + name);
+  Bytes out;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      ::close(fd);
+      return Error(ErrorCode::kInternal,
+                   "read failed: " + name + ": " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+Expected<std::uint64_t> DiskBackend::size(const std::string& name) const {
+  struct stat st{};
+  if (::stat(path(name).c_str(), &st) != 0) {
+    return Error(ErrorCode::kNotFound, "no such file: " + name);
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+bool DiskBackend::exists(const std::string& name) const {
+  struct stat st{};
+  return ::stat(path(name).c_str(), &st) == 0;
+}
+
+std::vector<std::string> DiskBackend::list() const {
+  std::vector<std::string> names;
+  DIR* dir = ::opendir(root_.c_str());
+  if (!dir) return names;
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+const BackendStats& DiskBackend::stats() const { return stats_; }
+
+}  // namespace tnp::storage

@@ -1,0 +1,169 @@
+// Pluggable file layer under the storage engine.
+//
+// The engine only ever needs a handful of primitives — append, whole-file
+// replace, fsync, atomic rename, truncate — so the backend interface stays
+// small enough for tests to interpose exactly. Durability contract (the one
+// the recovery proofs lean on):
+//   * appended / written data is VOLATILE until fsync(name) returns;
+//   * rename/remove/creation are metadata operations and take effect
+//     durably at once (journaled-metadata model, as ext4 ordered mode);
+//   * a power cut may retain any fsynced prefix plus, at the torn edge,
+//     a partial unflushed write — recovery must treat anything past the
+//     last fsync as untrusted bytes.
+//
+// MemoryBackend implements that contract exactly and adds the fault dials
+// the crash harness drives: a mutating-op budget with an optional torn
+// tail at the cut, plus byte-level corruption hooks. DiskBackend maps the
+// same interface onto a real directory (POSIX), for benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/expected.hpp"
+
+namespace tnp::storage {
+
+/// Mutating-operation counters; the crash sweep uses `mutations` as its
+/// kill-point coordinate and the bench reports `fsyncs` per commit policy.
+struct BackendStats {
+  std::uint64_t appends = 0;
+  std::uint64_t writes = 0;  // whole-file replaces
+  std::uint64_t fsyncs = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t truncates = 0;
+  std::uint64_t bytes_written = 0;
+
+  [[nodiscard]] std::uint64_t mutations() const {
+    return appends + writes + fsyncs + renames + removes + truncates;
+  }
+};
+
+class FileBackend {
+ public:
+  virtual ~FileBackend() = default;
+
+  /// Appends to `name`, creating it if absent. Volatile until fsync.
+  virtual Status append(const std::string& name, BytesView data) = 0;
+  /// Creates or replaces `name` with `data`. Volatile until fsync.
+  virtual Status write_file(const std::string& name, BytesView data) = 0;
+  /// Makes all previously written data of `name` durable.
+  virtual Status fsync(const std::string& name) = 0;
+  /// Atomic, immediately durable rename (replaces any existing target).
+  virtual Status rename(const std::string& from, const std::string& to) = 0;
+  virtual Status remove(const std::string& name) = 0;
+  virtual Status truncate(const std::string& name, std::uint64_t size) = 0;
+
+  [[nodiscard]] virtual Expected<Bytes> read_file(
+      const std::string& name) const = 0;
+  [[nodiscard]] virtual Expected<std::uint64_t> size(
+      const std::string& name) const = 0;
+  [[nodiscard]] virtual bool exists(const std::string& name) const = 0;
+  /// All file names, lexicographically sorted.
+  [[nodiscard]] virtual std::vector<std::string> list() const = 0;
+
+  [[nodiscard]] virtual const BackendStats& stats() const = 0;
+
+  /// Simulates losing power and restarting the machine: all un-fsynced
+  /// data disappears. No-op for backends that cannot model it (real disk).
+  virtual void simulate_crash() {}
+};
+
+/// In-memory backend with the full durability model plus fault injection.
+/// Not thread-safe (the storage engine is driven from one thread, as the
+/// simulated replicas are).
+class MemoryBackend final : public FileBackend {
+ public:
+  Status append(const std::string& name, BytesView data) override;
+  Status write_file(const std::string& name, BytesView data) override;
+  Status fsync(const std::string& name) override;
+  Status rename(const std::string& from, const std::string& to) override;
+  Status remove(const std::string& name) override;
+  Status truncate(const std::string& name, std::uint64_t size) override;
+
+  [[nodiscard]] Expected<Bytes> read_file(
+      const std::string& name) const override;
+  [[nodiscard]] Expected<std::uint64_t> size(
+      const std::string& name) const override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  [[nodiscard]] std::vector<std::string> list() const override;
+  [[nodiscard]] const BackendStats& stats() const override;
+
+  /// Arms a power cut: after `ops_from_now` further mutating operations
+  /// succeed, the next one kills the device. If the fatal operation is an
+  /// append or write, its first `torn_bytes` land durably (a physically
+  /// torn write); everything else un-fsynced is lost at the crash. All
+  /// operations after the cut fail with kUnavailable until power_cycle().
+  void set_power_cut(std::uint64_t ops_from_now, std::uint64_t torn_bytes = 0);
+  [[nodiscard]] bool dead() const { return dead_; }
+
+  /// Power-cycles the machine: drops every un-fsynced byte (keeping any
+  /// torn fragment the cut committed) and brings the device back up.
+  void power_cycle();
+  void simulate_crash() override { power_cycle(); }
+
+  /// Test hook: XORs `mask` into the byte at `offset` of `name`, modelling
+  /// media corruption underneath any fsync guarantee.
+  Status corrupt(const std::string& name, std::uint64_t offset,
+                 std::uint8_t mask);
+
+ private:
+  struct File {
+    Bytes data;
+    std::size_t durable = 0;  // prefix length guaranteed to survive a crash
+  };
+
+  /// Budget gate shared by every mutating op. Returns false when the op
+  /// must fail (device already dead, or this op is the fatal one).
+  bool admit_mutation();
+
+  std::map<std::string, File> files_;
+  BackendStats stats_;
+  bool dead_ = false;
+  bool cut_armed_ = false;
+  std::uint64_t cut_budget_ = 0;
+  std::uint64_t torn_bytes_ = 0;
+  const std::string* fatal_target_ = nullptr;  // set transiently by appends
+};
+
+/// POSIX directory-backed implementation. fsync maps to ::fsync, rename to
+/// ::rename (atomic within a filesystem). simulate_crash() is a no-op.
+class DiskBackend final : public FileBackend {
+ public:
+  /// Creates `root` if missing. Any failure surfaces on the first op.
+  explicit DiskBackend(std::string root);
+  ~DiskBackend() override;
+
+  Status append(const std::string& name, BytesView data) override;
+  Status write_file(const std::string& name, BytesView data) override;
+  Status fsync(const std::string& name) override;
+  Status rename(const std::string& from, const std::string& to) override;
+  Status remove(const std::string& name) override;
+  Status truncate(const std::string& name, std::uint64_t size) override;
+
+  [[nodiscard]] Expected<Bytes> read_file(
+      const std::string& name) const override;
+  [[nodiscard]] Expected<std::uint64_t> size(
+      const std::string& name) const override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  [[nodiscard]] std::vector<std::string> list() const override;
+  [[nodiscard]] const BackendStats& stats() const override;
+
+ private:
+  [[nodiscard]] std::string path(const std::string& name) const;
+  /// Cached O_WRONLY descriptor for append/fsync (opened on demand).
+  int fd_for(const std::string& name);
+  void close_fd(const std::string& name);
+
+  std::string root_;
+  std::map<std::string, int> fds_;
+  BackendStats stats_;
+};
+
+}  // namespace tnp::storage

@@ -1,0 +1,307 @@
+#include "storage/ledger_store.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tnp::storage {
+
+namespace {
+/// Scratch name for the tmp → fsync → rename snapshot/manifest protocol.
+/// A leftover from a crash mid-write is ignored by recovery and
+/// overwritten by the next snapshot.
+constexpr const char* kTmpName = "tmp";
+}  // namespace
+
+Expected<std::unique_ptr<LedgerStore>> LedgerStore::open(
+    std::shared_ptr<FileBackend> backend, StoreOptions options) {
+  if (options.keep_manifests == 0) options.keep_manifests = 1;
+  auto store = std::unique_ptr<LedgerStore>(
+      new LedgerStore(std::move(backend), options));
+  if (auto s = store->recover(); !s.ok()) return s.error();
+  return store;
+}
+
+Status LedgerStore::recover() {
+  // Step 1: newest verifiable manifest, falling back a generation per
+  // failure (corrupt manifest, unreadable or corrupt snapshot).
+  std::vector<std::pair<std::uint64_t, std::string>> manifests;
+  for (const std::string& name : backend_->list()) {
+    std::uint64_t seq = 0;
+    if (parse_manifest_name(name, &seq)) manifests.emplace_back(seq, name);
+  }
+  std::sort(manifests.rbegin(), manifests.rend());
+  manifest_seq_ = manifests.empty() ? 0 : manifests.front().first + 1;
+
+  WalPosition replay_from{};
+  std::optional<std::uint64_t> manifest_block_count;
+  for (const auto& [seq, name] : manifests) {
+    auto data = backend_->read_file(name);
+    if (!data.ok()) {
+      ++info_.manifests_rejected;
+      continue;
+    }
+    auto manifest = Manifest::decode(BytesView(*data));
+    if (!manifest.ok()) {
+      ++info_.manifests_rejected;
+      continue;
+    }
+    if (!manifest->snapshot_file.empty()) {
+      auto snap = backend_->read_file(manifest->snapshot_file);
+      if (!snap.ok()) {
+        ++info_.manifests_rejected;
+        continue;
+      }
+      auto cp = decode_snapshot(BytesView(*snap));
+      if (!cp.ok() || cp->height != manifest->snapshot_height) {
+        ++info_.manifests_rejected;
+        continue;
+      }
+      checkpoint_ = std::move(*cp);
+    }
+    replay_from = manifest->wal_start;
+    manifest_block_count = manifest->block_count;
+    break;
+  }
+  info_.snapshot_height = checkpoint_ ? checkpoint_->height : 0;
+  last_snapshot_height_ = info_.snapshot_height;
+
+  // Step 2: block store scan. The CRC layer already cut any torn tail;
+  // here we additionally stop at the first frame that is not the next
+  // block of the chain.
+  auto bs = BlockStore::open(*backend_);
+  if (!bs.ok()) return bs.error();
+  store_.emplace(std::move(*bs));
+  info_.store_torn_bytes = store_->torn_bytes_dropped();
+  for (std::uint64_t i = 0; i < store_->count(); ++i) {
+    auto view = store_->at(i);
+    if (!view.ok()) return view.error();
+    auto block = ledger::Block::decode(*view);
+    if (!block.ok() || block->header.height != i + 1) {
+      if (auto s = store_->truncate_to(i); !s.ok()) return s;
+      break;
+    }
+    blocks_.push_back(std::move(*block));
+  }
+  info_.blocks_from_store = blocks_.size();
+
+  // The store verified fewer blocks than the manifest recorded as durable
+  // (media corruption under the fsync guarantee, or a lost file). Older
+  // WAL frames below wal_start may still exist — prune keeps everything
+  // back to the previous manifest generation — so restart the replay from
+  // the start of the retained log and let the duplicate cross-check walk
+  // the surviving prefix before extending it.
+  if (manifest_block_count && blocks_.size() < *manifest_block_count) {
+    replay_from = WalPosition{};
+  }
+
+  // Step 3: WAL tail replay. Stops (and truncates) at the first frame that
+  // fails to decode, disagrees with a stored block, or leaves a gap.
+  auto wal = Wal::open(*backend_, WalOptions{options_.wal_segment_bytes});
+  if (!wal.ok()) return wal.error();
+  wal_.emplace(std::move(*wal));
+  std::optional<WalPosition> bad;
+  Status replay_status = wal_->replay(replay_from, [&](const WalFrame& f) {
+    if (f.type != kWalFrameBlock) return true;
+    auto block = ledger::Block::decode(f.payload);
+    if (!block.ok() || f.seq != block->header.height) {
+      bad = f.start;
+      return false;
+    }
+    const std::uint64_t h = block->header.height;
+    if (h != 0 && h <= blocks_.size()) {
+      // Re-persisted block (e.g. the commit crashed between WAL fsync and
+      // store append in a previous life): must match what the store holds.
+      if (blocks_[h - 1] != *block) {
+        bad = f.start;
+        return false;
+      }
+      return true;
+    }
+    if (h != blocks_.size() + 1) {  // gap (or height 0 — never logged)
+      bad = f.start;
+      return false;
+    }
+    wal_positions_[h] = f.start;
+    blocks_.push_back(std::move(*block));
+    ++info_.blocks_from_wal;
+    return true;
+  });
+  if (!replay_status.ok()) return replay_status;
+  if (bad) {
+    if (auto s = wal_->truncate_from(*bad); !s.ok()) return s;
+  }
+  info_.wal_torn_bytes = wal_->torn_bytes_dropped();
+
+  // Catch the store mirror up with WAL-only blocks. Volatile on purpose:
+  // the WAL already holds them durably, and the next snapshot syncs.
+  for (std::uint64_t h = store_->count() + 1; h <= blocks_.size(); ++h) {
+    const Bytes encoded = blocks_[h - 1].encode();
+    if (auto s = store_->append(BytesView(encoded)); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Expected<std::uint64_t> LedgerStore::recover_chain(ledger::Blockchain& chain) {
+  bool used_checkpoint = false;
+  std::uint64_t final_height = 0;
+  if (checkpoint_) {
+    auto restored = chain.restore(blocks_, &*checkpoint_);
+    if (restored.ok()) {
+      used_checkpoint = true;
+      final_height = *restored;
+    } else {
+      // Snapshot disagrees with the (independently verified) block chain:
+      // distrust the snapshot, re-execute everything. restore() left the
+      // chain untouched, so the retry starts clean.
+      info_.checkpoint_rejected = true;
+    }
+  }
+  if (!used_checkpoint) {
+    auto restored = chain.restore(blocks_);
+    if (!restored.ok()) return restored.error();
+    final_height = *restored;
+  }
+
+  if (final_height < blocks_.size()) {
+    // Blocks past the verified prefix are garbage — cut them out of the
+    // store and the WAL so the next append extends clean ground.
+    if (auto s = store_->truncate_to(final_height); !s.ok()) return s.error();
+    auto it = wal_positions_.upper_bound(final_height);
+    if (it != wal_positions_.end()) {
+      if (auto s = wal_->truncate_from(it->second); !s.ok()) return s.error();
+    }
+    drop_stale_manifests(final_height);
+  }
+  if (!used_checkpoint) last_snapshot_height_ = 0;
+
+  blocks_.clear();
+  blocks_.shrink_to_fit();
+  checkpoint_.reset();
+  wal_positions_.clear();
+  return final_height;
+}
+
+void LedgerStore::drop_stale_manifests(std::uint64_t final_height) {
+  for (const std::string& name : backend_->list()) {
+    std::uint64_t seq = 0;
+    if (!parse_manifest_name(name, &seq)) continue;
+    auto data = backend_->read_file(name);
+    if (!data.ok()) continue;
+    auto manifest = Manifest::decode(BytesView(*data));
+    if (!manifest.ok() || manifest->snapshot_height <= final_height) continue;
+    (void)backend_->remove(name);
+    if (!manifest->snapshot_file.empty() &&
+        backend_->exists(manifest->snapshot_file)) {
+      (void)backend_->remove(manifest->snapshot_file);
+    }
+  }
+  if (last_snapshot_height_ > final_height) last_snapshot_height_ = 0;
+}
+
+Status LedgerStore::append_block(const ledger::Block& block) {
+  const Bytes encoded = block.encode();
+  if (auto s = wal_->append(kWalFrameBlock, block.header.height,
+                            BytesView(encoded));
+      !s.ok()) {
+    return s;
+  }
+  ++appends_since_sync_;
+  if (options_.group_commit != 0 &&
+      appends_since_sync_ >= options_.group_commit) {
+    if (auto s = wal_->sync(); !s.ok()) return s;
+    appends_since_sync_ = 0;
+  }
+  return store_->append(BytesView(encoded));
+}
+
+Status LedgerStore::flush() {
+  if (auto s = wal_->sync(); !s.ok()) return s;
+  appends_since_sync_ = 0;
+  return Status::Ok();
+}
+
+Status LedgerStore::snapshot_now(const ledger::Blockchain& chain) {
+  // Everything the manifest will point at must be durable before the
+  // manifest becomes visible: WAL (replay start), store (block_count),
+  // then the snapshot file itself.
+  if (auto s = flush(); !s.ok()) return s;
+  if (auto s = store_->sync(); !s.ok()) return s;
+
+  const ledger::ChainCheckpoint cp = chain.checkpoint();
+  const std::string snap_file = snapshot_name(cp.height);
+  const Bytes snap_bytes = encode_snapshot(cp);
+  if (auto s = backend_->write_file(kTmpName, BytesView(snap_bytes)); !s.ok()) {
+    return s;
+  }
+  if (auto s = backend_->fsync(kTmpName); !s.ok()) return s;
+  if (auto s = backend_->rename(kTmpName, snap_file); !s.ok()) return s;
+
+  Manifest manifest;
+  manifest.snapshot_height = cp.height;
+  manifest.snapshot_file = snap_file;
+  manifest.wal_start = wal_->end();
+  manifest.block_count = store_->count();
+  const Bytes manifest_bytes = manifest.encode();
+  if (auto s = backend_->write_file(kTmpName, BytesView(manifest_bytes));
+      !s.ok()) {
+    return s;
+  }
+  if (auto s = backend_->fsync(kTmpName); !s.ok()) return s;
+  if (auto s = backend_->rename(kTmpName, manifest_name(manifest_seq_));
+      !s.ok()) {
+    return s;
+  }
+  ++manifest_seq_;
+  last_snapshot_height_ = cp.height;
+  return prune_after_snapshot();
+}
+
+Status LedgerStore::prune_after_snapshot() {
+  std::vector<std::pair<std::uint64_t, std::string>> manifests;
+  for (const std::string& name : backend_->list()) {
+    std::uint64_t seq = 0;
+    if (parse_manifest_name(name, &seq)) manifests.emplace_back(seq, name);
+  }
+  std::sort(manifests.rbegin(), manifests.rend());
+
+  // Keep the newest generations; learn which snapshots they reference and
+  // where the oldest kept one starts WAL replay.
+  std::set<std::string> kept_snapshots;
+  std::optional<WalPosition> oldest_start;
+  for (std::size_t i = 0; i < manifests.size(); ++i) {
+    const std::string& name = manifests[i].second;
+    if (i >= options_.keep_manifests) {
+      (void)backend_->remove(name);
+      continue;
+    }
+    auto data = backend_->read_file(name);
+    if (!data.ok()) continue;
+    auto manifest = Manifest::decode(BytesView(*data));
+    if (!manifest.ok()) continue;  // fallback generation is dead weight
+    if (!manifest->snapshot_file.empty()) {
+      kept_snapshots.insert(manifest->snapshot_file);
+    }
+    if (!oldest_start || manifest->wal_start < *oldest_start) {
+      oldest_start = manifest->wal_start;
+    }
+  }
+  for (const std::string& name : backend_->list()) {
+    if (name.rfind("snap-", 0) == 0 && !kept_snapshots.contains(name)) {
+      (void)backend_->remove(name);
+    }
+  }
+  if (oldest_start) {
+    if (auto s = wal_->prune_below(*oldest_start); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status LedgerStore::maybe_snapshot(const ledger::Blockchain& chain) {
+  if (options_.snapshot_interval == 0) return Status::Ok();
+  if (chain.height() < last_snapshot_height_ + options_.snapshot_interval) {
+    return Status::Ok();
+  }
+  return snapshot_now(chain);
+}
+
+}  // namespace tnp::storage

@@ -1,0 +1,135 @@
+// The durable ledger engine: WAL + block store + snapshots, glued into one
+// recovery story.
+//
+// Write path (append_block): the encoded block goes to the WAL first; after
+// `group_commit` appends the WAL is fsynced — at group_commit=1 an Ok
+// return means the block is durable. The block store is a read-optimized
+// mirror appended second and fsynced only at snapshot points, because the
+// WAL is the commit record.
+//
+// Recovery (open):
+//   1. Pick the newest manifest whose armor AND snapshot decode verify,
+//      falling back one generation per failure, then to a full scan.
+//   2. Open the block store (scan, truncate torn tail), decoding blocks
+//      until the first undecodable or out-of-sequence frame.
+//   3. Replay the WAL from the manifest's start position. Frames at or
+//      below the store height must match the stored block exactly
+//      (a duplicate final frame is skipped); the next height extends the
+//      chain; a gap, mismatch, or undecodable payload stops the replay and
+//      the suffix is truncated.
+//   4. recover_chain() hands the surviving blocks to Blockchain::restore,
+//      which re-verifies hash chaining + tx roots and re-executes anything
+//      past the checkpoint. If fewer blocks survive than were read, store
+//      and WAL are truncated to the exact verified prefix.
+//
+// The invariant the crash harness proves: after any power cut, recovery
+// yields an exact prefix of the committed chain, at least as long as the
+// last acknowledged (fsynced) block.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ledger/chain.hpp"
+#include "storage/blockstore.hpp"
+#include "storage/snapshot.hpp"
+#include "storage/wal.hpp"
+
+namespace tnp::storage {
+
+struct StoreOptions {
+  std::uint64_t wal_segment_bytes = 4u << 20;
+  /// fsync the WAL every N block appends. 1 = durable-per-block (what the
+  /// consensus layer uses: persist before ack). 0 = only on flush()/
+  /// snapshot — the caller owns the sync points.
+  std::uint64_t group_commit = 1;
+  /// Snapshot every N blocks via maybe_snapshot(). 0 = never automatic.
+  std::uint64_t snapshot_interval = 0;
+  /// Manifest generations to keep (newest N). Minimum 1.
+  std::uint64_t keep_manifests = 2;
+};
+
+/// What recovery found — diagnostics for tests and operators.
+struct RecoveryInfo {
+  std::uint64_t snapshot_height = 0;   // 0 = recovered without a snapshot
+  std::uint64_t blocks_from_store = 0;
+  std::uint64_t blocks_from_wal = 0;   // blocks only the WAL still had
+  std::uint64_t wal_torn_bytes = 0;
+  std::uint64_t store_torn_bytes = 0;
+  std::uint64_t manifests_rejected = 0;  // corrupt generations skipped
+  bool checkpoint_rejected = false;      // snapshot failed cross-checks
+};
+
+class LedgerStore {
+ public:
+  /// Opens the store and runs steps 1-3 of recovery (see file comment).
+  /// The backend is shared because it outlives the engine across simulated
+  /// crashes: the harness keeps the "disk" and reopens a fresh engine.
+  static Expected<std::unique_ptr<LedgerStore>> open(
+      std::shared_ptr<FileBackend> backend, StoreOptions options = {});
+
+  /// Blocks surviving steps 1-3, heights 1..blocks().size() (consumed by
+  /// recover_chain).
+  [[nodiscard]] const std::vector<ledger::Block>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] const RecoveryInfo& recovery() const { return info_; }
+
+  /// Step 4: restores `chain` (which must be fresh — constructed and, if
+  /// the deployment seeds genesis state, seeded exactly as the original)
+  /// from the recovered blocks. Tries the snapshot checkpoint first and
+  /// falls back to full re-execution if the chain rejects it. Truncates
+  /// store/WAL down to the verified prefix. Returns the recovered height.
+  Expected<std::uint64_t> recover_chain(ledger::Blockchain& chain);
+
+  /// Persists one committed block. With group_commit == 1, Ok means the
+  /// block is durable (will survive a power cut).
+  Status append_block(const ledger::Block& block);
+
+  /// Forces the WAL to disk (ends any open group-commit window).
+  Status flush();
+
+  /// Writes a snapshot + manifest for the chain's current height (tmp →
+  /// fsync → rename), then prunes old manifests, orphan snapshots, and WAL
+  /// segments below the oldest kept manifest's replay start.
+  Status snapshot_now(const ledger::Blockchain& chain);
+
+  /// snapshot_now() if the chain has advanced snapshot_interval blocks
+  /// since the last snapshot. No-op when the interval is 0.
+  Status maybe_snapshot(const ledger::Blockchain& chain);
+
+  [[nodiscard]] std::uint64_t block_count() const { return store_->count(); }
+  [[nodiscard]] WalPosition wal_end() const { return wal_->end(); }
+  [[nodiscard]] std::uint64_t last_snapshot_height() const {
+    return last_snapshot_height_;
+  }
+
+ private:
+  LedgerStore(std::shared_ptr<FileBackend> backend, StoreOptions options)
+      : backend_(std::move(backend)), options_(options) {}
+
+  Status recover();
+  /// Removes manifests (and their snapshots) claiming heights beyond the
+  /// verified prefix, so the next recovery does not chase a stale one.
+  void drop_stale_manifests(std::uint64_t final_height);
+  Status prune_after_snapshot();
+
+  std::shared_ptr<FileBackend> backend_;
+  StoreOptions options_;
+  std::optional<Wal> wal_;
+  std::optional<BlockStore> store_;
+
+  // Recovery artifacts (cleared by recover_chain).
+  std::vector<ledger::Block> blocks_;
+  std::optional<ledger::ChainCheckpoint> checkpoint_;
+  std::map<std::uint64_t, WalPosition> wal_positions_;  // height -> frame
+  RecoveryInfo info_;
+
+  std::uint64_t manifest_seq_ = 0;  // next manifest number to write
+  std::uint64_t appends_since_sync_ = 0;
+  std::uint64_t last_snapshot_height_ = 0;
+};
+
+}  // namespace tnp::storage

@@ -1,0 +1,221 @@
+#include "storage/snapshot.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "storage/crc32.hpp"
+
+namespace tnp::storage {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x534E5054;  // "SNPT"
+constexpr std::uint32_t kManifestMagic = 0x4D464E54;  // "MFNT"
+constexpr std::uint32_t kFormatVersion = 1;
+
+Bytes armor(std::uint32_t magic, Bytes payload) {
+  ByteWriter w;
+  w.u32(magic);
+  w.u32(kFormatVersion);
+  w.raw(BytesView(payload));
+  w.u32(crc32(BytesView(w.data())));
+  return w.take();
+}
+
+Expected<BytesView> unarmor(std::uint32_t magic, BytesView data) {
+  if (data.size() < 12) {
+    return Error(ErrorCode::kCorruptData, "record too short");
+  }
+  ByteReader header(data.first(8));
+  if (header.u32().value_or(0) != magic) {
+    return Error(ErrorCode::kCorruptData, "bad magic");
+  }
+  if (header.u32().value_or(0) != kFormatVersion) {
+    return Error(ErrorCode::kCorruptData, "unsupported format version");
+  }
+  ByteReader crc_reader(data.last(4));
+  if (crc32(data.first(data.size() - 4)) != crc_reader.u32().value_or(0)) {
+    return Error(ErrorCode::kCorruptData, "CRC mismatch");
+  }
+  return data.subspan(8, data.size() - 12);
+}
+
+}  // namespace
+
+Bytes encode_snapshot(const ledger::ChainCheckpoint& cp) {
+  ByteWriter w;
+  w.u64(cp.height);
+  w.raw(cp.tip_hash.view());
+  w.raw(cp.state.root().view());  // decode cross-checks the rebuilt root
+  w.u64(cp.total_gas_used);
+  w.u64(cp.tx_count);
+  std::uint32_t entries = 0;
+  cp.state.scan_prefix("", [&entries](const std::string&, const Bytes&) {
+    ++entries;
+    return true;
+  });
+  w.u32(entries);
+  cp.state.scan_prefix("", [&w](const std::string& key, const Bytes& value) {
+    w.str(key);
+    w.bytes(BytesView(value));
+    return true;
+  });
+  w.u32(static_cast<std::uint32_t>(cp.results.size()));
+  for (const ledger::BlockResult& result : cp.results) {
+    w.u32(static_cast<std::uint32_t>(result.receipts.size()));
+    for (const ledger::Receipt& r : result.receipts) {
+      w.raw(r.tx_id.view());
+      w.u8(r.success ? 1 : 0);
+      w.u64(r.gas_used);
+      w.str(r.error);
+    }
+    w.u32(static_cast<std::uint32_t>(result.events.size()));
+    for (const ledger::Event& e : result.events) {
+      w.str(e.name);
+      w.bytes(BytesView(e.data));
+    }
+  }
+  return armor(kSnapshotMagic, w.take());
+}
+
+Expected<ledger::ChainCheckpoint> decode_snapshot(BytesView data) {
+  auto payload = unarmor(kSnapshotMagic, data);
+  if (!payload.ok()) return payload.error();
+  ByteReader r(*payload);
+  ledger::ChainCheckpoint cp;
+  auto height = r.u64();
+  if (!height) return height.error();
+  cp.height = *height;
+  auto tip = r.raw(32);
+  if (!tip) return tip.error();
+  std::copy(tip->begin(), tip->end(), cp.tip_hash.bytes.begin());
+  auto root = r.raw(32);
+  if (!root) return root.error();
+  Hash256 recorded_root;
+  std::copy(root->begin(), root->end(), recorded_root.bytes.begin());
+  auto gas = r.u64();
+  if (!gas) return gas.error();
+  cp.total_gas_used = *gas;
+  auto txs = r.u64();
+  if (!txs) return txs.error();
+  cp.tx_count = *txs;
+  auto entries = r.u32();
+  if (!entries) return entries.error();
+  for (std::uint32_t i = 0; i < *entries; ++i) {
+    auto key = r.str();
+    if (!key) return key.error();
+    auto value = r.bytes();
+    if (!value) return value.error();
+    cp.state.set(*key, std::move(*value));
+  }
+  if (cp.state.root() != recorded_root) {
+    return Error(ErrorCode::kCorruptData, "snapshot state root mismatch");
+  }
+  auto result_count = r.u32();
+  if (!result_count) return result_count.error();
+  cp.results.reserve(*result_count);
+  for (std::uint32_t i = 0; i < *result_count; ++i) {
+    ledger::BlockResult result;
+    auto receipts = r.u32();
+    if (!receipts) return receipts.error();
+    for (std::uint32_t j = 0; j < *receipts; ++j) {
+      ledger::Receipt receipt;
+      auto id = r.raw(32);
+      if (!id) return id.error();
+      std::copy(id->begin(), id->end(), receipt.tx_id.bytes.begin());
+      auto success = r.u8();
+      if (!success) return success.error();
+      receipt.success = *success != 0;
+      auto used = r.u64();
+      if (!used) return used.error();
+      receipt.gas_used = *used;
+      auto error = r.str();
+      if (!error) return error.error();
+      receipt.error = std::move(*error);
+      result.receipts.push_back(std::move(receipt));
+    }
+    auto events = r.u32();
+    if (!events) return events.error();
+    for (std::uint32_t j = 0; j < *events; ++j) {
+      ledger::Event event;
+      auto name = r.str();
+      if (!name) return name.error();
+      event.name = std::move(*name);
+      auto bytes = r.bytes();
+      if (!bytes) return bytes.error();
+      event.data = std::move(*bytes);
+      result.events.push_back(std::move(event));
+    }
+    cp.results.push_back(std::move(result));
+  }
+  if (!r.done()) {
+    return Error(ErrorCode::kCorruptData, "trailing bytes after snapshot");
+  }
+  return cp;
+}
+
+Bytes Manifest::encode() const {
+  ByteWriter w;
+  w.u64(snapshot_height);
+  w.str(snapshot_file);
+  w.u64(wal_start.segment);
+  w.u64(wal_start.offset);
+  w.u64(block_count);
+  return armor(kManifestMagic, w.take());
+}
+
+Expected<Manifest> Manifest::decode(BytesView data) {
+  auto payload = unarmor(kManifestMagic, data);
+  if (!payload.ok()) return payload.error();
+  ByteReader r(*payload);
+  Manifest m;
+  auto height = r.u64();
+  if (!height) return height.error();
+  m.snapshot_height = *height;
+  auto file = r.str();
+  if (!file) return file.error();
+  m.snapshot_file = std::move(*file);
+  auto segment = r.u64();
+  if (!segment) return segment.error();
+  m.wal_start.segment = *segment;
+  auto offset = r.u64();
+  if (!offset) return offset.error();
+  m.wal_start.offset = *offset;
+  auto blocks = r.u64();
+  if (!blocks) return blocks.error();
+  m.block_count = *blocks;
+  if (!r.done()) {
+    return Error(ErrorCode::kCorruptData, "trailing bytes after manifest");
+  }
+  return m;
+}
+
+std::string snapshot_name(std::uint64_t height) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "snap-%016llu.snap",
+                static_cast<unsigned long long>(height));
+  return buf;
+}
+
+std::string manifest_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "manifest-%010llu",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+bool parse_manifest_name(const std::string& name, std::uint64_t* seq) {
+  constexpr std::string_view kPrefix = "manifest-";
+  if (name.size() != kPrefix.size() + 10) return false;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  std::uint64_t parsed = 0;
+  for (std::size_t i = kPrefix.size(); i < name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+    parsed = parsed * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  *seq = parsed;
+  return true;
+}
+
+}  // namespace tnp::storage

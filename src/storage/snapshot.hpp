@@ -1,0 +1,44 @@
+// On-disk codecs for state snapshots and the manifest.
+//
+// Both are whole-file records with the same armor:
+//   u32 magic | u32 version | payload | u32 crc(everything before)
+// written tmp-file → fsync → atomic rename, so a crash mid-write leaves
+// either the old file or the new one, never a half state. Decoding
+// verifies magic/version/CRC and, for snapshots, recomputes the state
+// root from the decoded entries — a snapshot that does not re-derive its
+// own commitment is rejected as corrupt, never loaded.
+//
+// The manifest is the recovery bootstrap record: which snapshot to load,
+// where WAL replay starts, and how many blocks the store durably held
+// when it was written. Manifests are numbered (manifest-<n>); the engine
+// keeps the newest two so a corrupt newest manifest falls back one
+// generation instead of forcing a from-genesis replay.
+#pragma once
+
+#include <string>
+
+#include "ledger/chain.hpp"
+#include "storage/wal.hpp"
+
+namespace tnp::storage {
+
+[[nodiscard]] Bytes encode_snapshot(const ledger::ChainCheckpoint& cp);
+[[nodiscard]] Expected<ledger::ChainCheckpoint> decode_snapshot(BytesView data);
+
+struct Manifest {
+  std::uint64_t snapshot_height = 0;
+  std::string snapshot_file;  // empty = no snapshot (replay from genesis)
+  WalPosition wal_start{};    // WAL replay begins here
+  std::uint64_t block_count = 0;  // durable block-store frames at write time
+
+  [[nodiscard]] Bytes encode() const;
+  static Expected<Manifest> decode(BytesView data);
+};
+
+[[nodiscard]] std::string snapshot_name(std::uint64_t height);
+[[nodiscard]] std::string manifest_name(std::uint64_t seq);
+/// Parses the sequence number out of a manifest file name.
+[[nodiscard]] bool parse_manifest_name(const std::string& name,
+                                       std::uint64_t* seq);
+
+}  // namespace tnp::storage

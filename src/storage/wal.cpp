@@ -1,0 +1,183 @@
+#include "storage/wal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "storage/crc32.hpp"
+
+namespace tnp::storage {
+
+namespace {
+
+constexpr std::size_t kFrameHeader = 4 + 1 + 8;  // len + type + seq
+constexpr std::size_t kFrameOverhead = kFrameHeader + 4;  // + crc
+/// Upper bound on a single frame payload — a length field beyond this is
+/// treated as garbage (torn write), not an allocation request.
+constexpr std::uint64_t kMaxPayload = 64u << 20;
+
+}  // namespace
+
+std::string Wal::segment_name(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%010llu.log",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+bool Wal::parse_segment_name(const std::string& name, std::uint64_t* id) {
+  unsigned long long parsed = 0;
+  if (name.size() != 4 + 10 + 4) return false;
+  if (std::sscanf(name.c_str(), "wal-%10llu.log", &parsed) != 1) return false;
+  *id = parsed;
+  return true;
+}
+
+Expected<Wal> Wal::open(FileBackend& backend, WalOptions options) {
+  Wal wal(backend, options);
+  for (const std::string& name : backend.list()) {
+    std::uint64_t id = 0;
+    if (parse_segment_name(name, &id)) wal.segments_.push_back(id);
+  }
+  std::sort(wal.segments_.begin(), wal.segments_.end());
+  if (!wal.segments_.empty()) {
+    wal.current_segment_ = wal.segments_.back();
+    auto size = backend.size(segment_name(wal.current_segment_));
+    if (!size.ok()) return size.error();
+    wal.current_size_ = *size;
+  }
+  return wal;
+}
+
+Status Wal::append(std::uint8_t type, std::uint64_t seq, BytesView payload) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u8(type);
+  w.u64(seq);
+  w.raw(payload);
+  w.u32(crc32(BytesView(w.data())));
+  const Bytes frame = w.take();
+
+  if (current_size_ > 0 &&
+      current_size_ + frame.size() > options_.segment_bytes) {
+    // Rotate. The outgoing segment is fsynced first so a torn tail can
+    // only ever live in the newest segment.
+    if (auto s = sync(); !s.ok()) return s;
+    ++current_segment_;
+    current_size_ = 0;
+  }
+  if (auto s = backend_->append(segment_name(current_segment_),
+                                BytesView(frame));
+      !s.ok()) {
+    return s;
+  }
+  if (segments_.empty() || segments_.back() != current_segment_) {
+    segments_.push_back(current_segment_);
+  }
+  current_size_ += frame.size();
+  dirty_ = true;
+  return Status::Ok();
+}
+
+Status Wal::sync() {
+  if (!dirty_) return Status::Ok();
+  if (auto s = backend_->fsync(segment_name(current_segment_)); !s.ok()) {
+    return s;
+  }
+  dirty_ = false;
+  return Status::Ok();
+}
+
+Status Wal::replay(WalPosition from,
+                   const std::function<bool(const WalFrame&)>& fn) {
+  torn_bytes_dropped_ = 0;
+  if (segments_.empty()) return Status::Ok();
+
+  // Locate the starting segment; a pruned start falls forward to the first
+  // surviving segment (its offset is meaningless there, so restart at 0).
+  auto it = std::lower_bound(segments_.begin(), segments_.end(), from.segment);
+  if (it == segments_.end()) return Status::Ok();
+  std::uint64_t offset = (*it == from.segment) ? from.offset : 0;
+
+  std::uint64_t expected_next = *it;  // detect id gaps between segments
+  for (; it != segments_.end(); ++it, offset = 0) {
+    if (*it != expected_next) {
+      // A missing segment means everything after the gap is unusable.
+      return truncate_from({expected_next, 0});
+    }
+    expected_next = *it + 1;
+
+    auto data = backend_->read_file(segment_name(*it));
+    if (!data.ok()) return truncate_from({*it, 0});
+    const Bytes& bytes = *data;
+    if (offset > bytes.size()) return truncate_from({*it, bytes.size()});
+
+    std::uint64_t pos = offset;
+    while (pos < bytes.size()) {
+      const std::uint64_t remaining = bytes.size() - pos;
+      if (remaining < kFrameOverhead) return truncate_from({*it, pos});
+      ByteReader header(BytesView(bytes.data() + pos, kFrameHeader));
+      const std::uint64_t len = header.u32().value_or(0);
+      const std::uint8_t type = header.u8().value_or(0);
+      const std::uint64_t seq = header.u64().value_or(0);
+      if (len > kMaxPayload || kFrameOverhead + len > remaining) {
+        return truncate_from({*it, pos});
+      }
+      const std::uint64_t frame_size = kFrameOverhead + len;
+      const BytesView framed(bytes.data() + pos, kFrameHeader + len);
+      ByteReader crc_reader(
+          BytesView(bytes.data() + pos + kFrameHeader + len, 4));
+      if (crc32(framed) != crc_reader.u32().value_or(0)) {
+        return truncate_from({*it, pos});
+      }
+      WalFrame frame;
+      frame.type = type;
+      frame.seq = seq;
+      frame.payload = BytesView(bytes.data() + pos + kFrameHeader, len);
+      frame.start = {*it, pos};
+      if (!fn(frame)) return Status::Ok();
+      pos += frame_size;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Wal::truncate_from(WalPosition pos) {
+  // Account for what is being dropped (diagnostics only; best effort).
+  for (const std::uint64_t id : segments_) {
+    if (id < pos.segment) continue;
+    const auto size = backend_->size(segment_name(id));
+    if (!size.ok()) continue;
+    torn_bytes_dropped_ +=
+        id == pos.segment ? (*size > pos.offset ? *size - pos.offset : 0)
+                          : *size;
+  }
+  // Remove later segments entirely, newest first.
+  while (!segments_.empty() && segments_.back() > pos.segment) {
+    if (auto s = backend_->remove(segment_name(segments_.back())); !s.ok()) {
+      return s;
+    }
+    segments_.pop_back();
+  }
+  if (!segments_.empty() && segments_.back() == pos.segment) {
+    if (auto s = backend_->truncate(segment_name(pos.segment), pos.offset);
+        !s.ok()) {
+      return s;
+    }
+  }
+  current_segment_ = pos.segment;
+  current_size_ = pos.offset;
+  dirty_ = false;
+  return Status::Ok();
+}
+
+Status Wal::prune_below(WalPosition pos) {
+  while (!segments_.empty() && segments_.front() < pos.segment) {
+    if (auto s = backend_->remove(segment_name(segments_.front())); !s.ok()) {
+      return s;
+    }
+    segments_.erase(segments_.begin());
+  }
+  return Status::Ok();
+}
+
+}  // namespace tnp::storage

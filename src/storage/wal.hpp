@@ -1,0 +1,107 @@
+// Write-ahead log: CRC-framed, length-prefixed, append-only, segmented.
+//
+// Frame layout (all integers little-endian):
+//   u32 payload_len | u8 type | u64 seq | payload | u32 crc
+// with the CRC taken over everything before it. Segments are files named
+// wal-<id>.log (fixed-width decimal, so lexical order == numeric order);
+// the log rotates to a fresh segment once the current one exceeds
+// segment_bytes, fsyncing the old segment first — which is what makes
+// "only the newest segment can be torn" an invariant recovery relies on.
+//
+// Durability: append() buffers in the file layer; sync() is the explicit
+// fsync point. Group commit is the caller batching k appends per sync.
+// Recovery replays frames from a position and stops at the FIRST invalid
+// frame (bad length, CRC mismatch, truncated tail, missing segment); the
+// torn/corrupt suffix is then physically truncated so later appends write
+// over clean ground.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/file_backend.hpp"
+
+namespace tnp::storage {
+
+/// Frame types. The ledger engine only logs committed blocks, but the
+/// framing is generic so future record kinds don't bump the format.
+constexpr std::uint8_t kWalFrameBlock = 1;
+
+struct WalPosition {
+  std::uint64_t segment = 0;
+  std::uint64_t offset = 0;
+
+  friend auto operator<=>(const WalPosition&, const WalPosition&) = default;
+};
+
+struct WalOptions {
+  std::uint64_t segment_bytes = 4u << 20;
+};
+
+struct WalFrame {
+  std::uint8_t type = 0;
+  std::uint64_t seq = 0;
+  BytesView payload{};
+  WalPosition start{};  // where the frame begins (truncation coordinate)
+};
+
+class Wal {
+ public:
+  /// Scans existing wal-*.log files and positions the append cursor at the
+  /// end of the newest segment. Creates nothing until the first append.
+  static Expected<Wal> open(FileBackend& backend, WalOptions options = {});
+
+  /// Appends one frame (volatile until sync()). Rotates segments as
+  /// configured, fsyncing the outgoing segment before the switch.
+  Status append(std::uint8_t type, std::uint64_t seq, BytesView payload);
+
+  /// fsyncs the current segment if any appends are pending.
+  Status sync();
+
+  /// Position one past the last appended byte.
+  [[nodiscard]] WalPosition end() const {
+    return {current_segment_, current_size_};
+  }
+
+  /// Replays frames from `from` in order, invoking `fn` per frame (return
+  /// false to stop early). Stops at the first invalid frame and truncates
+  /// the suffix from there. If `from` points into a pruned segment the
+  /// replay starts at the first existing segment after it.
+  Status replay(WalPosition from, const std::function<bool(const WalFrame&)>& fn);
+
+  /// Cuts the log at `pos`: later segments are removed, the segment at
+  /// `pos` is truncated, and the append cursor moves to `pos`.
+  Status truncate_from(WalPosition pos);
+
+  /// Removes whole segments strictly below `pos.segment` (snapshot
+  /// pruning; the segment containing the replay start always survives).
+  Status prune_below(WalPosition pos);
+
+  /// Bytes discarded by the last replay()'s tail truncation (diagnostics).
+  [[nodiscard]] std::uint64_t torn_bytes_dropped() const {
+    return torn_bytes_dropped_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& segments() const {
+    return segments_;
+  }
+
+  static std::string segment_name(std::uint64_t id);
+  /// Parses a segment id out of a file name; false if not a segment file.
+  static bool parse_segment_name(const std::string& name, std::uint64_t* id);
+
+ private:
+  explicit Wal(FileBackend& backend, WalOptions options)
+      : backend_(&backend), options_(options) {}
+
+  FileBackend* backend_;
+  WalOptions options_;
+  std::vector<std::uint64_t> segments_;  // sorted ids of existing segments
+  std::uint64_t current_segment_ = 0;
+  std::uint64_t current_size_ = 0;
+  bool dirty_ = false;
+  std::uint64_t torn_bytes_dropped_ = 0;
+};
+
+}  // namespace tnp::storage

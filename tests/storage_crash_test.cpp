@@ -1,0 +1,391 @@
+// Crash/corruption harness for the durable ledger store.
+//
+// Part 1 — power-cut sweep: a deterministic workload is driven through a
+// chain + LedgerStore pair on a MemoryBackend armed to kill the device at
+// mutation N (optionally with a torn tail on the fatal write). Every kill
+// point — exhaustively over the full mutation schedule, plus seeded-random
+// points with random torn lengths — must recover to an exact prefix of the
+// committed chain, at least as long as the last acknowledged append, with
+// the state root matching a reference execution, recovery idempotent under
+// a second power cycle, and the store usable for further appends.
+//
+// Part 2 — recovery equivalence: a 4-replica PBFT cluster with per-replica
+// simulated disks runs the full newsroom contract workload while a fault
+// plan crashes and recovers one replica. The recovered replica must restart
+// from its persisted state (not RAM) and end bit-identical — blocks,
+// world state, factual database, provenance graph — to replicas that never
+// crashed.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "consensus/cluster.hpp"
+#include "contracts/host.hpp"
+#include "contracts/txbuilder.hpp"
+#include "core/factdb.hpp"
+#include "core/newsgraph.hpp"
+#include "crypto/hash.hpp"
+#include "fault/chaos.hpp"
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "storage/file_backend.hpp"
+#include "storage/ledger_store.hpp"
+#include "test_util.hpp"
+
+namespace tnp::storage {
+namespace {
+
+using testutil::KvExecutor;
+using testutil::make_set_tx;
+
+// ---------------------------------------------------------- power-cut sweep
+
+constexpr std::uint64_t kSweepBlocks = 18;
+
+KeyPair sweep_key(std::uint64_t serial) {
+  return KeyPair::generate(SigScheme::kHmacSim, 0xCAB00000 + serial);
+}
+
+/// Small segments force WAL rotation mid-run; a snapshot lands every 6
+/// blocks, so kill points hit every phase: append, group-commit fsync,
+/// rotation, snapshot tmp-write/fsync/rename, manifest publish, pruning.
+StoreOptions sweep_options() {
+  StoreOptions options;
+  options.wal_segment_bytes = 1024;
+  options.group_commit = 1;
+  options.snapshot_interval = 6;
+  return options;
+}
+
+struct Reference {
+  std::vector<ledger::Block> blocks;  // heights 1..kSweepBlocks
+  std::vector<Hash256> roots;         // state root by height, 0..kSweepBlocks
+};
+
+/// One reference execution, shared by every kill-point run: the same blocks
+/// are re-applied verbatim, so any divergence after recovery is the storage
+/// engine's fault, not workload noise.
+const Reference& reference() {
+  static const Reference ref = [] {
+    Reference r;
+    KvExecutor executor;
+    ledger::Blockchain chain(executor);
+    r.roots.push_back(chain.state().root());
+    for (std::uint64_t i = 0; i < kSweepBlocks; ++i) {
+      const std::uint64_t serial = chain.height();
+      auto tx = make_set_tx(sweep_key(serial), 0, "k" + std::to_string(serial),
+                            "v" + std::to_string(serial));
+      ledger::Block block = chain.make_block({std::move(tx)}, 0, serial + 1);
+      EXPECT_TRUE(chain.apply_block(block).ok());
+      r.blocks.push_back(block);
+      r.roots.push_back(chain.state().root());
+    }
+    return r;
+  }();
+  return ref;
+}
+
+struct CutOutcome {
+  std::uint64_t committed = 0;  // blocks applied in RAM before the cut
+  std::uint64_t durable = 0;    // last append_block that returned Ok
+  std::uint64_t recovered = 0;
+};
+
+void check_prefix(const ledger::Blockchain& chain, std::uint64_t height,
+                  const std::string& context) {
+  const Reference& ref = reference();
+  ASSERT_LE(height, ref.blocks.size()) << context;
+  EXPECT_EQ(chain.state().root(), ref.roots[height]) << context;
+  for (std::uint64_t h = 1; h <= height; ++h) {
+    ASSERT_EQ(chain.block_at(h).hash(), ref.blocks[h - 1].hash())
+        << context << " diverges at height " << h;
+  }
+}
+
+/// Runs the workload into a power cut at mutation `cut` (with `torn` bytes
+/// of the fatal write landing), then verifies the full recovery contract:
+///   durable ≤ recovered ≤ committed, recovered chain is an exact prefix of
+///   the reference, a second power cycle recovers identically, and the
+///   store accepts the remaining blocks afterwards.
+CutOutcome run_with_cut(std::uint64_t cut, std::uint64_t torn) {
+  const std::string context =
+      "cut=" + std::to_string(cut) + " torn=" + std::to_string(torn);
+  const Reference& ref = reference();
+  auto disk = std::make_shared<MemoryBackend>();
+  CutOutcome out;
+  {
+    auto store = LedgerStore::open(disk, sweep_options());
+    EXPECT_TRUE(store.ok()) << context;
+    if (!store.ok()) return out;
+    KvExecutor executor;
+    ledger::Blockchain chain(executor);
+    EXPECT_TRUE((*store)->recover_chain(chain).ok()) << context;
+    disk->set_power_cut(cut, torn);
+    for (std::uint64_t h = 1; h <= kSweepBlocks && !disk->dead(); ++h) {
+      const ledger::Block& block = ref.blocks[h - 1];
+      EXPECT_TRUE(chain.apply_block(block).ok()) << context;
+      out.committed = h;
+      // Ok requires the group-commit fsync, so an acked block is durable.
+      if ((*store)->append_block(block).ok()) out.durable = h;
+      (void)(*store)->maybe_snapshot(chain);  // may die mid-snapshot
+    }
+  }
+
+  // First recovery after the power cycle.
+  disk->power_cycle();
+  KvExecutor executor;
+  {
+    auto store = LedgerStore::open(disk, sweep_options());
+    EXPECT_TRUE(store.ok()) << context;
+    if (!store.ok()) return out;
+    ledger::Blockchain chain(executor);
+    auto restored = (*store)->recover_chain(chain);
+    EXPECT_TRUE(restored.ok()) << context;
+    if (!restored.ok()) return out;
+    out.recovered = *restored;
+    EXPECT_GE(out.recovered, out.durable) << context;
+    EXPECT_LE(out.recovered, out.committed) << context;
+    check_prefix(chain, out.recovered, context + " (first recovery)");
+  }
+
+  // Second power cycle (dropping recovery's un-fsynced store catch-up):
+  // recovery must be idempotent, and the store must be usable afterwards.
+  disk->power_cycle();
+  auto store = LedgerStore::open(disk, sweep_options());
+  EXPECT_TRUE(store.ok()) << context;
+  if (!store.ok()) return out;
+  ledger::Blockchain chain(executor);
+  auto restored = (*store)->recover_chain(chain);
+  EXPECT_TRUE(restored.ok()) << context;
+  if (!restored.ok()) return out;
+  EXPECT_EQ(*restored, out.recovered) << context << " (second recovery)";
+  check_prefix(chain, *restored, context + " (second recovery)");
+
+  for (std::uint64_t h = out.recovered + 1; h <= kSweepBlocks; ++h) {
+    const ledger::Block& block = ref.blocks[h - 1];
+    EXPECT_TRUE(chain.apply_block(block).ok()) << context;
+    EXPECT_TRUE((*store)->append_block(block).ok()) << context;
+    EXPECT_TRUE((*store)->maybe_snapshot(chain).ok()) << context;
+  }
+  EXPECT_EQ(chain.height(), kSweepBlocks) << context;
+  EXPECT_EQ(chain.state().root(), ref.roots[kSweepBlocks]) << context;
+  return out;
+}
+
+/// Mutation count of an uninterrupted run — the sweep's coordinate space.
+std::uint64_t full_run_mutations() {
+  auto disk = std::make_shared<MemoryBackend>();
+  auto store = LedgerStore::open(disk, sweep_options());
+  EXPECT_TRUE(store.ok());
+  KvExecutor executor;
+  ledger::Blockchain chain(executor);
+  EXPECT_TRUE((*store)->recover_chain(chain).ok());
+  for (const ledger::Block& block : reference().blocks) {
+    EXPECT_TRUE(chain.apply_block(block).ok());
+    EXPECT_TRUE((*store)->append_block(block).ok());
+    EXPECT_TRUE((*store)->maybe_snapshot(chain).ok());
+  }
+  return disk->stats().mutations();
+}
+
+TEST(CrashSweepTest, EveryMutationKillPointRecoversAnExactPrefix) {
+  const std::uint64_t mutations = full_run_mutations();
+  ASSERT_GT(mutations, 3 * kSweepBlocks);  // rotation + snapshots happened
+
+  std::uint64_t cuts_before_first_durable = 0;
+  std::uint64_t cuts_with_data_loss = 0;
+  for (std::uint64_t cut = 0; cut < mutations; ++cut) {
+    const CutOutcome out = run_with_cut(cut, /*torn=*/cut % 7);
+    if (out.durable == 0) ++cuts_before_first_durable;
+    if (out.recovered < out.committed) ++cuts_with_data_loss;
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // The sweep covered both extremes: cuts before anything became durable
+  // and cuts that lost the un-acked tail (otherwise it proved nothing).
+  EXPECT_GT(cuts_before_first_durable, 0u);
+  EXPECT_GT(cuts_with_data_loss, 0u);
+}
+
+TEST(CrashSweepTest, HundredSeededRandomKillPointsWithTornWrites) {
+  const std::uint64_t mutations = full_run_mutations();
+  Rng rng(0x57C4A5A);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t cut = rng.uniform(mutations);
+    const std::uint64_t torn = rng.uniform(40);
+    (void)run_with_cut(cut, torn);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ------------------------------------------------------ recovery equivalence
+
+std::unique_ptr<ledger::TransactionExecutor> contract_executor() {
+  return contracts::ContractHost::standard();
+}
+
+const KeyPair& admin_key() {
+  static const KeyPair key = KeyPair::generate(SigScheme::kHmacSim, 0xAD0001);
+  return key;
+}
+
+/// Single-sender newsroom workload with sequential nonces: identity and
+/// governance bootstrap, platform and room setup, then alternating article
+/// publications and factual-record additions — so the derived structures
+/// (FactualDatabase, ProvenanceGraph) are non-trivial at the end of a run.
+ledger::Transaction newsroom_tx(std::uint64_t index) {
+  namespace txb = contracts::txb;
+  const KeyPair& admin = admin_key();
+  switch (index) {
+    case 0:
+      return txb::register_identity(admin, 0, "ed", contracts::Role::kPublisher);
+    case 1:
+      return txb::bootstrap_governance(admin, 1);
+    case 2:
+      return txb::create_platform(admin, 2, "wire");
+    case 3:
+      return txb::create_room(admin, 3, "wire", "world", "breaking news");
+    default:
+      break;
+  }
+  const std::string tag = std::to_string(index);
+  if (index % 2 == 0) {
+    return txb::publish(admin, index, "wire", "world", sha256("article-" + tag),
+                        "ref-" + tag, contracts::EditType::kOriginal, {});
+  }
+  return txb::add_fact(admin, index, sha256("fact-" + tag), "source-" + tag);
+}
+
+TEST(RecoveryEquivalenceTest, CrashedReplicaRestartsFromDiskAndConverges) {
+  sim::Simulator simulator;
+  net::Network network(simulator, 917);
+
+  consensus::ClusterConfig config;
+  config.protocol = consensus::Protocol::kPbft;
+  config.replicas = 4;
+  config.auth_mode = consensus::AuthMode::kMac;
+  config.block_interval = 20 * sim::kMillisecond;
+  config.view_timeout = 250 * sim::kMillisecond;
+  config.seed = 900;
+  std::vector<std::shared_ptr<MemoryBackend>> disks;
+  for (std::uint32_t i = 0; i < config.replicas; ++i) {
+    disks.push_back(std::make_shared<MemoryBackend>());
+  }
+  config.storage_factory = [&disks](std::size_t i) { return disks[i]; };
+  config.store.group_commit = 1;  // persist-before-ack on every commit
+  config.store.snapshot_interval = 4;
+
+  consensus::Cluster cluster(network, contract_executor, config);
+  fault::InvariantChecker checker(cluster, simulator);
+  fault::FaultInjector injector(network, cluster, 931);
+  fault::FaultPlan plan;
+  plan.crash(3 * sim::kSecond, 2).recover(6 * sim::kSecond, 2);
+  injector.arm(plan);
+  checker.note_all_clear(6 * sim::kSecond);
+
+  cluster.start();
+  std::uint64_t submitted = 0;
+  for (sim::SimTime t = 100 * sim::kMillisecond; t < 15 * sim::kSecond;
+       t += 100 * sim::kMillisecond) {
+    const std::uint64_t index = submitted++;
+    simulator.schedule_at(
+        t, [&cluster, index]() { cluster.submit(newsroom_tx(index)); });
+  }
+
+  // While crashed, replica 2's in-RAM chain is frozen at its crash height;
+  // with group_commit=1 every committed block was persisted before the ack,
+  // so the chain rebuilt from disk at recovery must land exactly there.
+  // The probe at 6 s runs after the injector's recover event (armed first,
+  // same timestamp) but before any network delivery, so no post-recovery
+  // commit can inflate the reading.
+  std::uint64_t frozen_height = 0;
+  std::uint64_t recovered_height = 0;
+  simulator.schedule_at(4 * sim::kSecond, [&cluster, &frozen_height]() {
+    frozen_height = cluster.chain(2).height();
+  });
+  simulator.schedule_at(6 * sim::kSecond, [&cluster, &recovered_height]() {
+    recovered_height = cluster.chain(2).height();
+  });
+
+  simulator.run_until(20 * sim::kSecond);
+
+  const fault::InvariantReport report = checker.finish(10 * sim::kSecond);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(frozen_height, 0u);
+  EXPECT_EQ(recovered_height, frozen_height)
+      << "recovered replica did not restart from its persisted chain";
+  EXPECT_GT(disks[2]->stats().mutations(), 0u);
+
+  // Convergence: every replica ends at the same height with bit-identical
+  // blocks; the once-crashed replica is compared frame by frame.
+  const ledger::Blockchain& healthy = cluster.chain(0);
+  const ledger::Blockchain& revived = cluster.chain(2);
+  const std::uint64_t height = healthy.height();
+  EXPECT_GT(height, frozen_height);
+  for (std::size_t i = 1; i < cluster.replica_count(); ++i) {
+    ASSERT_EQ(cluster.chain(i).height(), height) << "replica " << i;
+    EXPECT_EQ(cluster.chain(i).tip_hash(), healthy.tip_hash())
+        << "replica " << i;
+  }
+  for (std::uint64_t h = 1; h <= height; ++h) {
+    ASSERT_TRUE(revived.block_at(h).encode() == healthy.block_at(h).encode())
+        << "block " << h << " differs after crash recovery";
+  }
+
+  // Derived state equivalence: world state, factual database, provenance.
+  EXPECT_EQ(revived.state().root(), healthy.state().root());
+  core::FactualDatabase facts_healthy;
+  core::FactualDatabase facts_revived;
+  facts_healthy.sync_from_state(healthy.state());
+  facts_revived.sync_from_state(revived.state());
+  EXPECT_GT(facts_healthy.size(), 0u);
+  EXPECT_EQ(facts_revived.size(), facts_healthy.size());
+  EXPECT_EQ(facts_revived.root(), facts_healthy.root());
+
+  const core::ProvenanceGraph graph_healthy =
+      core::ProvenanceGraph::from_state(healthy.state());
+  const core::ProvenanceGraph graph_revived =
+      core::ProvenanceGraph::from_state(revived.state());
+  EXPECT_GT(graph_healthy.article_count(), 0u);
+  EXPECT_EQ(graph_revived.article_count(), graph_healthy.article_count());
+  EXPECT_EQ(graph_revived.fact_root_count(), graph_healthy.fact_root_count());
+}
+
+std::unique_ptr<ledger::TransactionExecutor> kv_executor() {
+  return std::make_unique<KvExecutor>();
+}
+
+ledger::Transaction chaos_kv_tx(std::uint64_t index) {
+  const KeyPair key = KeyPair::generate(SigScheme::kHmacSim, 0xD15C + index);
+  return make_set_tx(key, 0, "durable" + std::to_string(index), "v");
+}
+
+TEST(RecoveryEquivalenceTest, ChaosHarnessDurableModeKeepsInvariants) {
+  fault::ChaosConfig config;
+  config.cluster.protocol = consensus::Protocol::kPbft;
+  config.cluster.replicas = 4;
+  config.cluster.auth_mode = consensus::AuthMode::kMac;
+  config.cluster.block_interval = 20 * sim::kMillisecond;
+  config.cluster.view_timeout = 250 * sim::kMillisecond;
+  config.cluster.seed = 23;
+  config.seed = 23;
+  config.run_until = 12 * sim::kSecond;
+  config.durable = true;
+  config.store.group_commit = 1;
+  config.store.snapshot_interval = 4;
+
+  fault::FaultPlan plan;
+  plan.crash(2 * sim::kSecond, 1)
+      .recover(4 * sim::kSecond, 1)
+      .crash(5 * sim::kSecond, 3)
+      .recover(7 * sim::kSecond, 3);
+  const fault::ChaosResult r =
+      run_chaos(config, plan, kv_executor, chaos_kv_tx);
+  EXPECT_TRUE(r.ok()) << r.report.to_string();
+  EXPECT_EQ(r.fault_events_applied, 4u);
+  EXPECT_GT(r.committed_blocks, 0u);
+}
+
+}  // namespace
+}  // namespace tnp::storage
