@@ -115,13 +115,15 @@ int main() {
       table.row({std::string(level.name), seed, r.availability, r.recovery_ms,
                  r.committed_txs, r.view_changes, r.net.corrupted,
                  r.auth_failures, std::uint64_t(r.report.violations.size())});
-      char buf[320];
+      char buf[448];
       std::snprintf(buf, sizeof(buf),
                     "{\"level\": \"%s\", \"seed\": %llu, "
                     "\"availability\": %.4f, \"recovery_ms\": %.3f, "
                     "\"committed_txs\": %llu, \"view_changes\": %llu, "
                     "\"corrupted\": %llu, \"auth_failures\": %llu, "
-                    "\"violations\": %zu, \"fingerprint\": \"%016llx\"}",
+                    "\"violations\": %zu, \"recon_hits\": %llu, "
+                    "\"recon_misses\": %llu, \"fallbacks\": %llu, "
+                    "\"fingerprint\": \"%016llx\"}",
                     level.name, static_cast<unsigned long long>(seed),
                     r.availability, r.recovery_ms,
                     static_cast<unsigned long long>(r.committed_txs),
@@ -129,6 +131,9 @@ int main() {
                     static_cast<unsigned long long>(r.net.corrupted),
                     static_cast<unsigned long long>(r.auth_failures),
                     r.report.violations.size(),
+                    static_cast<unsigned long long>(r.recon.recon_hits),
+                    static_cast<unsigned long long>(r.recon.recon_misses),
+                    static_cast<unsigned long long>(r.recon.fallbacks),
                     static_cast<unsigned long long>(r.fingerprint()));
       json.raw(buf);
     }

@@ -138,6 +138,10 @@ void Cluster::recover(std::size_t replica) {
     r.voted_view = 0;
     r.view = 0;
     r.known_committed = 0;
+    const auto& retired = r.mempool.stats();
+    recon_retired_.recon_hits += retired.recon_hits;
+    recon_retired_.recon_misses += retired.recon_misses;
+    recon_retired_.fallbacks += retired.fallbacks;
     r.mempool = ledger::Mempool{};
     r.last_progress_height = r.chain->height();
   }
@@ -165,6 +169,17 @@ std::uint64_t Cluster::view_of(std::size_t replica) const {
 
 net::NodeId Cluster::node_of(std::size_t replica) const {
   return replicas_.at(replica)->node;
+}
+
+ledger::Mempool::Stats Cluster::mempool_stats() const {
+  ledger::Mempool::Stats total = recon_retired_;
+  for (const auto& r : replicas_) {
+    const auto& s = r->mempool.stats();
+    total.recon_hits += s.recon_hits;
+    total.recon_misses += s.recon_misses;
+    total.fallbacks += s.fallbacks;
+  }
+  return total;
 }
 
 bool Cluster::chains_consistent() const {
@@ -215,6 +230,21 @@ bool Cluster::check_auth(Replica& receiver, const ConsensusMsg& msg) {
   return ok.ok();
 }
 
+void Cluster::record_wire(MsgType type, std::size_t bytes,
+                          std::size_t copies) {
+  auto& counter = stats_.sent_by_type[static_cast<std::size_t>(type)];
+  counter.msgs += copies;
+  counter.bytes += bytes * copies;
+}
+
+void Cluster::route_wire(Replica& sender, net::NodeId to, Bytes wire) {
+  if (config_.coalesce_messages) {
+    network_.send_buffered(sender.node, to, std::move(wire));
+  } else {
+    network_.send(sender.node, to, std::move(wire));
+  }
+}
+
 void Cluster::send_to_all(Replica& sender, const ConsensusMsg& msg) {
   // MAC authenticators cost one MAC per recipient (Castro–Liskov
   // authenticator vectors); a Schnorr signature is computed once.
@@ -225,17 +255,44 @@ void Cluster::send_to_all(Replica& sender, const ConsensusMsg& msg) {
           : per_msg;
   occupy_cpu(sender, total);
   const Bytes wire = msg.encode(true);
+  record_wire(msg.type, wire.size(), replicas_.size() - 1);
   for (auto& peer : replicas_) {
     if (peer->index == sender.index) continue;
-    network_.send(sender.node, peer->node, wire);
+    route_wire(sender, peer->node, wire);
   }
+}
+
+void Cluster::send_direct(Replica& sender, std::uint32_t peer_index,
+                          const ConsensusMsg& msg) {
+  occupy_cpu(sender, config_.crypto.sign_cost(config_.auth_mode));
+  Bytes wire = msg.encode(true);
+  record_wire(msg.type, wire.size(), 1);
+  route_wire(sender, replicas_[peer_index]->node, std::move(wire));
 }
 
 void Cluster::on_network_message(std::size_t replica_index,
                                  const net::Message& m) {
   Replica& r = *replicas_[replica_index];
   if (r.crashed) return;
-  auto decoded = ConsensusMsg::decode(BytesView(m.payload));
+  if (net::Network::is_coalesced(BytesView(m.payload))) {
+    // Coalesced payload: one decode loop over the packed frames. Each frame
+    // still charges its own verify cost and is handled in send order (the
+    // receiving CPU is serial).
+    auto frames = net::Network::unpack_frames(BytesView(m.payload));
+    if (!frames) {
+      TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+                           " got malformed coalesced payload");
+      return;
+    }
+    for (Bytes& frame : *frames) process_frame(replica_index, std::move(frame));
+    return;
+  }
+  process_frame(replica_index, m.payload);
+}
+
+void Cluster::process_frame(std::size_t replica_index, Bytes frame) {
+  Replica& r = *replicas_[replica_index];
+  auto decoded = ConsensusMsg::decode(BytesView(frame));
   if (!decoded) {
     TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
                          " got malformed consensus message");
@@ -256,6 +313,9 @@ void Cluster::on_network_message(std::size_t replica_index,
       return;
     }
     handle(replica, msg);
+    // End of the event: everything this handler staged leaves as one
+    // payload per link.
+    network_.flush_outbox(replica.node);
   });
 }
 
@@ -297,6 +357,10 @@ void Cluster::handle(Replica& r, const ConsensusMsg& msg) {
     case MsgType::kPoaBlock: poa_on_block(r, msg); break;
     case MsgType::kSyncRequest: on_sync_request(r, msg); break;
     case MsgType::kSyncResponse: on_sync_response(r, msg); break;
+    case MsgType::kCompactPrePrepare: pbft_on_pre_prepare(r, msg); break;
+    case MsgType::kGetTxs: on_get_txs(r, msg); break;
+    case MsgType::kTxs: on_txs(r, msg); break;
+    case MsgType::kGetBlock: on_get_block(r, msg); break;
   }
 }
 
@@ -305,6 +369,7 @@ void Cluster::note_cluster_progress(Replica& r, const ConsensusMsg& msg) {
   std::uint64_t evidence = 0;
   switch (msg.type) {
     case MsgType::kPrePrepare:
+    case MsgType::kCompactPrePrepare:
     case MsgType::kPrepare:
     case MsgType::kCommit:
     case MsgType::kPoaBlock:
@@ -338,8 +403,7 @@ void Cluster::request_sync(Replica& r) {
   const auto peer_index =
       (r.index + 1 + r.sync_peer_rotation++ % (replicas_.size() - 1)) %
       replicas_.size();
-  occupy_cpu(r, config_.crypto.sign_cost(config_.auth_mode));
-  network_.send(r.node, replicas_[peer_index]->node, req.encode(true));
+  send_direct(r, static_cast<std::uint32_t>(peer_index), req);
 }
 
 void Cluster::on_sync_request(Replica& r, const ConsensusMsg& msg) {
@@ -352,8 +416,7 @@ void Cluster::on_sync_request(Replica& r, const ConsensusMsg& msg) {
   resp.block = r.chain->block_at(msg.seq).encode();
   resp.digest = r.chain->block_at(msg.seq).hash();
   authenticate(r, resp);
-  occupy_cpu(r, config_.crypto.sign_cost(config_.auth_mode));
-  network_.send(r.node, replicas_[msg.sender]->node, resp.encode(true));
+  send_direct(r, msg.sender, resp);
 }
 
 void Cluster::on_sync_response(Replica& r, const ConsensusMsg& msg) {
@@ -390,6 +453,7 @@ void Cluster::arm_propose_timer(Replica& r) {
     if (replica.crashed || replica.timer_epoch != epoch) return;
     if (config_.protocol != Protocol::kPbft) return;
     pbft_propose(replica);
+    network_.flush_outbox(replica.node);
     arm_propose_timer(replica);  // periodic: retries when mempool was empty
   });
 }
@@ -414,6 +478,7 @@ void Cluster::arm_progress_timer(Replica& r) {
     Replica& replica = *replicas_[index];
     if (replica.crashed || replica.timer_epoch != epoch) return;
     pbft_check_progress(replica);
+    network_.flush_outbox(replica.node);
     arm_progress_timer(replica);
   });
 }
@@ -436,6 +501,22 @@ void Cluster::pbft_propose(Replica& r) {
       msg.seq = seq;
       msg.digest = it->second.digest;
       msg.block = it->second.block_bytes;
+      if (config_.compact_blocks) {
+        // Retransmit compactly too: receivers that already hold the bytes
+        // answer from their slot; a receiver mid-reconstruction re-drives
+        // its kGetTxs/kGetBlock round off the duplicate.
+        if (auto full = ledger::Block::decode(BytesView(msg.block))) {
+          msg.type = MsgType::kCompactPrePrepare;
+          msg.block =
+              CompactBlock::from_block(*full, config_.compact_short_id_bytes)
+                  .encode();
+          if (it->second.block_bytes.size() > msg.block.size()) {
+            network_.note_compact_savings(
+                (it->second.block_bytes.size() - msg.block.size()) *
+                (replicas_.size() - 1));
+          }
+        }
+      }
       authenticate(r, msg);
       send_to_all(r, msg);
     }
@@ -467,14 +548,28 @@ void Cluster::pbft_propose(Replica& r) {
 
   ledger::Block block =
       r.chain->make_block(std::move(batch), r.index, simulator().now());
+  Bytes full_bytes = block.encode();
 
   ConsensusMsg msg;
-  msg.type = MsgType::kPrePrepare;
   msg.sender = r.index;
   msg.view = r.view;
   msg.seq = seq;
   msg.digest = block.hash();
-  msg.block = block.encode();
+  if (config_.compact_blocks && !r.equivocate) {
+    // Compact relay: ship header + short ids; every replica already saw the
+    // transactions via client broadcast, so the bodies are redundant.
+    msg.type = MsgType::kCompactPrePrepare;
+    msg.block =
+        CompactBlock::from_block(block, config_.compact_short_id_bytes)
+            .encode();
+    if (full_bytes.size() > msg.block.size()) {
+      network_.note_compact_savings((full_bytes.size() - msg.block.size()) *
+                                    (replicas_.size() - 1));
+    }
+  } else {
+    msg.type = MsgType::kPrePrepare;
+    msg.block = full_bytes;
+  }
   authenticate(r, msg);
 
   if (r.equivocate) {
@@ -487,18 +582,22 @@ void Cluster::pbft_propose(Replica& r) {
     twin_msg.digest = twin.hash();
     twin_msg.block = twin.encode();
     authenticate(r, twin_msg);
-    const Bytes wire_a = msg.encode(true);
-    const Bytes wire_b = twin_msg.encode(true);
+    Bytes wire_a = msg.encode(true);
+    Bytes wire_b = twin_msg.encode(true);
+    record_wire(msg.type, wire_a.size(), replicas_.size() - 1);
     for (auto& peer : replicas_) {
       if (peer->index == r.index) continue;
       const bool second_half = peer->index >= replicas_.size() / 2;
-      network_.send(r.node, peer->node, second_half ? wire_b : wire_a);
+      route_wire(r, peer->node, second_half ? wire_b : wire_a);
     }
-  } else {
-    send_to_all(r, msg);
+    pbft_on_pre_prepare(r, msg);
+    return;
   }
-  // Process own pre-prepare locally.
-  pbft_on_pre_prepare(r, msg);
+  send_to_all(r, msg);
+  // Process the proposal locally through the full-block path: take_batch
+  // drained the primary's own mempool, so reconstructing our own compact
+  // announcement would miss every id.
+  pbft_accept_pre_prepare(r, seq, msg.digest, block, std::move(full_bytes));
 }
 
 void Cluster::pbft_on_pre_prepare(Replica& r, const ConsensusMsg& msg) {
@@ -545,28 +644,254 @@ void Cluster::pbft_on_pre_prepare(Replica& r, const ConsensusMsg& msg) {
     }
     return;
   }
+  if (msg.type == MsgType::kCompactPrePrepare) {
+    pbft_on_compact_pre_prepare(r, msg);
+    return;
+  }
   auto block = ledger::Block::decode(BytesView(msg.block));
   if (!block) return;
   if (block->hash() != msg.digest || block->header.height != msg.seq) return;
-  if (auto s = r.chain->check_candidate(*block); !s.ok()) {
-    log_debug("replica ", r.index, " rejected candidate: ", s.to_string());
-    return;
-  }
+  pbft_accept_pre_prepare(r, msg.seq, msg.digest, *block, msg.block);
+}
 
+bool Cluster::pbft_accept_pre_prepare(Replica& r, std::uint64_t seq,
+                                      const Hash256& digest,
+                                      const ledger::Block& block,
+                                      Bytes block_bytes) {
+  if (auto s = r.chain->check_candidate(block); !s.ok()) {
+    log_debug("replica ", r.index, " rejected candidate: ", s.to_string());
+    return false;
+  }
+  Slot& slot = r.slots[seq];
+  slot.pending.reset();  // reconstruction (if any) is done with
   slot.pre_prepared = true;
-  slot.digest = msg.digest;
-  slot.block_bytes = msg.block;
+  slot.digest = digest;
+  slot.block_bytes = std::move(block_bytes);
   slot.prepares.insert(r.index);
 
   ConsensusMsg prepare;
   prepare.type = MsgType::kPrepare;
   prepare.sender = r.index;
   prepare.view = r.view;
-  prepare.seq = msg.seq;
-  prepare.digest = msg.digest;
+  prepare.seq = seq;
+  prepare.digest = digest;
   authenticate(r, prepare);
   send_to_all(r, prepare);
-  pbft_maybe_prepared(r, msg.seq);
+  pbft_maybe_prepared(r, seq);
+  return true;
+}
+
+void Cluster::pbft_on_compact_pre_prepare(Replica& r,
+                                          const ConsensusMsg& msg) {
+  auto cb = CompactBlock::decode(BytesView(msg.block));
+  if (!cb) return;
+  // The digest IS the header hash, so the header (and with it the tx root
+  // every reconstruction is judged against) is pinned by the authenticated
+  // message — a rebuilt block can be wrong, but never wrongly accepted.
+  if (cb->header.hash() != msg.digest || cb->header.height != msg.seq) return;
+  Slot& slot = r.slots[msg.seq];
+  if (!slot.pending || slot.pending->compact.header.hash() != msg.digest) {
+    // Fresh round (or the primary switched blocks before we voted — a
+    // pending reconstruction is not a vote, so replacing it is safe).
+    Slot::PendingCompact pending;
+    pending.compact = std::move(*cb);
+    pending.from = msg.sender;
+    pending.txs.assign(pending.compact.short_ids.size(), std::nullopt);
+    slot.pending = std::move(pending);
+  }
+  // A duplicate (propose-tick retransmit) falls through to re-drive the
+  // round, re-sending a kGetTxs/kGetBlock that may have been lost.
+  pbft_continue_compact(r, msg.seq);
+}
+
+void Cluster::pbft_continue_compact(Replica& r, std::uint64_t seq) {
+  const auto it = r.slots.find(seq);
+  if (it == r.slots.end() || !it->second.pending) return;
+  auto& p = *it->second.pending;
+  const Hash256 digest = p.compact.header.hash();
+  const auto request_full = [&] {
+    ConsensusMsg req;
+    req.type = MsgType::kGetBlock;
+    req.sender = r.index;
+    req.view = r.view;
+    req.seq = seq;
+    req.digest = digest;
+    authenticate(r, req);
+    send_direct(r, p.from, req);
+  };
+  if (p.awaiting_full) {
+    // Reconstruction already failed the tx-root cross-check; only the full
+    // block can finish this round.
+    request_full();
+    return;
+  }
+  // Probe the mempool for whatever is still missing — new client
+  // submissions may have closed gaps since the last attempt.
+  std::vector<std::uint32_t> missing;
+  std::vector<std::uint64_t> missing_ids;
+  for (std::size_t i = 0; i < p.txs.size(); ++i) {
+    if (!p.txs[i]) {
+      missing.push_back(static_cast<std::uint32_t>(i));
+      missing_ids.push_back(p.compact.short_ids[i]);
+    }
+  }
+  if (!missing.empty()) {
+    auto found = r.mempool.reconstruct(missing_ids, p.compact.short_id_bytes);
+    std::vector<std::uint32_t> still_missing;
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      if (found[i]) {
+        p.txs[missing[i]] = std::move(found[i]);
+      } else {
+        still_missing.push_back(missing[i]);
+      }
+    }
+    if (!still_missing.empty()) {
+      ConsensusMsg req;
+      req.type = MsgType::kGetTxs;
+      req.sender = r.index;
+      req.view = r.view;
+      req.seq = seq;
+      req.digest = digest;
+      ByteWriter w;
+      w.u32(static_cast<std::uint32_t>(still_missing.size()));
+      for (std::uint32_t idx : still_missing) w.u32(idx);
+      req.block = w.take();
+      authenticate(r, req);
+      send_direct(r, p.from, req);
+      return;
+    }
+  }
+  // Complete: assemble and cross-check against the header's tx root. A
+  // short-id collision (or any otherwise-corrupt rebuild) lands here with
+  // the wrong transaction and a mismatching root — never in a vote.
+  ledger::Block block;
+  block.header = p.compact.header;
+  block.txs.reserve(p.txs.size());
+  for (auto& tx : p.txs) block.txs.push_back(std::move(*tx));
+  if (block.compute_tx_root() != p.compact.header.tx_root) {
+    log_debug("replica ", r.index, " compact rebuild failed tx-root check at ",
+              seq, ": falling back to full block");
+    p.awaiting_full = true;
+    p.txs.assign(p.compact.short_ids.size(), std::nullopt);
+    r.mempool.note_fallback();
+    request_full();
+    return;
+  }
+  Bytes bytes = block.encode();
+  if (!pbft_accept_pre_prepare(r, seq, digest, block, std::move(bytes))) {
+    // Stale/invalid header (not a reconstruction artifact — the header is
+    // authenticated): drop the round so a retransmit starts clean.
+    if (const auto it2 = r.slots.find(seq); it2 != r.slots.end()) {
+      it2->second.pending.reset();
+    }
+  }
+}
+
+void Cluster::on_get_txs(Replica& r, const ConsensusMsg& msg) {
+  if (msg.sender >= replicas_.size() || msg.sender == r.index) return;
+  // Serve from the live slot when we pre-prepared this digest, else from
+  // the committed chain (the proposer may have committed and GC'd its
+  // slot before a laggard asked).
+  std::optional<ledger::Block> decoded;
+  const ledger::Block* block = nullptr;
+  if (const auto it = r.slots.find(msg.seq);
+      it != r.slots.end() && it->second.pre_prepared &&
+      it->second.digest == msg.digest) {
+    auto b = ledger::Block::decode(BytesView(it->second.block_bytes));
+    if (!b) return;
+    decoded = std::move(*b);
+    block = &*decoded;
+  } else if (msg.seq >= 1 && msg.seq <= r.chain->height()) {
+    const ledger::Block& b = r.chain->block_at(msg.seq);
+    if (b.hash() != msg.digest) return;
+    block = &b;
+  } else {
+    return;
+  }
+  ByteReader req(BytesView(msg.block));
+  const auto count = req.u32();
+  if (!count || *count == 0 || *count > block->txs.size()) return;
+  ConsensusMsg resp;
+  resp.type = MsgType::kTxs;
+  resp.sender = r.index;
+  resp.view = r.view;
+  resp.seq = msg.seq;
+  resp.digest = msg.digest;
+  ByteWriter w;
+  w.u32(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto idx = req.u32();
+    if (!idx || *idx >= block->txs.size()) return;  // malformed request
+    w.u32(*idx);
+    w.bytes(BytesView(block->txs[*idx].encode(true)));
+  }
+  if (!req.done()) return;
+  resp.block = w.take();
+  authenticate(r, resp);
+  send_direct(r, msg.sender, resp);
+}
+
+void Cluster::on_txs(Replica& r, const ConsensusMsg& msg) {
+  const auto it = r.slots.find(msg.seq);
+  if (it == r.slots.end() || it->second.pre_prepared || !it->second.pending) {
+    return;  // already voted (or never asked): nothing to fill
+  }
+  auto& p = *it->second.pending;
+  if (p.awaiting_full) return;
+  if (p.compact.header.hash() != msg.digest) return;
+  const std::uint64_t id_mask = ledger::short_tx_id_mask(p.compact.short_id_bytes);
+  ByteReader rd(BytesView(msg.block));
+  const auto count = rd.u32();
+  if (!count) return;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto idx = rd.u32();
+    if (!idx || *idx >= p.txs.size()) return;
+    auto tx_bytes = rd.bytes();
+    if (!tx_bytes) return;
+    auto tx = ledger::Transaction::decode(BytesView(*tx_bytes));
+    if (!tx) return;
+    // Every fill must match the advertised short id; anything else is a
+    // corrupt or confused response.
+    if (ledger::short_tx_id(tx->id(), p.compact.short_id_bytes) !=
+        (p.compact.short_ids[*idx] & id_mask)) {
+      return;
+    }
+    if (!p.txs[*idx]) p.txs[*idx] = std::move(*tx);
+  }
+  pbft_continue_compact(r, msg.seq);
+}
+
+void Cluster::on_get_block(Replica& r, const ConsensusMsg& msg) {
+  if (msg.sender >= replicas_.size() || msg.sender == r.index) return;
+  if (msg.seq >= 1 && msg.seq <= r.chain->height()) {
+    // Already committed here: serve it as crash-fault state transfer, the
+    // same shape (and handler) as sync catch-up.
+    ConsensusMsg resp;
+    resp.type = MsgType::kSyncResponse;
+    resp.sender = r.index;
+    resp.seq = msg.seq;
+    resp.block = r.chain->block_at(msg.seq).encode();
+    resp.digest = r.chain->block_at(msg.seq).hash();
+    authenticate(r, resp);
+    send_direct(r, msg.sender, resp);
+    return;
+  }
+  const auto it = r.slots.find(msg.seq);
+  if (it == r.slots.end() || !it->second.pre_prepared ||
+      it->second.digest != msg.digest) {
+    return;
+  }
+  // Still in flight: re-send the classic full pre-prepare; the requester
+  // takes the normal full-block acceptance path (digest re-checked there).
+  ConsensusMsg resp;
+  resp.type = MsgType::kPrePrepare;
+  resp.sender = r.index;
+  resp.view = r.view;
+  resp.seq = msg.seq;
+  resp.digest = it->second.digest;
+  resp.block = it->second.block_bytes;
+  authenticate(r, resp);
+  send_direct(r, msg.sender, resp);
 }
 
 void Cluster::pbft_on_prepare(Replica& r, const ConsensusMsg& msg) {
@@ -745,6 +1070,7 @@ void Cluster::poa_tick(Replica& r) {
       send_to_all(replica, msg);
       commit_block(replica, block);
     }
+    network_.flush_outbox(replica.node);
     poa_tick(replica);
   });
 }

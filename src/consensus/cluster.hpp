@@ -17,6 +17,7 @@
 // are real, not simulated.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
@@ -25,6 +26,7 @@
 #include <unordered_map>
 
 #include "common/stats.hpp"
+#include "consensus/compact.hpp"
 #include "consensus/messages.hpp"
 #include "ledger/chain.hpp"
 #include "ledger/mempool.hpp"
@@ -61,6 +63,18 @@ struct ClusterConfig {
   ledger::ChainConfig chain{};
   CryptoCostModel crypto{};
   std::uint64_t seed = 1;
+  /// Compact relay (PBFT only): pre-prepares carry the block header plus
+  /// short tx ids (kCompactPrePrepare) instead of the encoded block;
+  /// replicas rebuild from their mempool, pulling missing txs via
+  /// kGetTxs/kTxs and falling back to a full-block re-request (kGetBlock)
+  /// when the rebuilt block fails the header's tx-root cross-check.
+  bool compact_blocks = true;
+  /// Width of a compact short id in bytes (1..8). 8 makes crafted
+  /// collisions infeasible; tests shrink it to force the fallback path.
+  std::uint8_t compact_short_id_bytes = 8;
+  /// Stage consensus sends in the network's per-link outbox and flush once
+  /// per event, so same-tick traffic to a peer rides one framed payload.
+  bool coalesce_messages = true;
   /// Durable mode (opt-in): when set, each replica opens a LedgerStore over
   /// the backend this factory returns for its index, persists every
   /// committed block before acknowledging it (group_commit forced by
@@ -79,6 +93,14 @@ struct ClusterStats {
   std::uint64_t view_change_votes = 0;  // votes broadcast by any replica
   std::uint64_t auth_failures = 0;
   Samples commit_latency_ms;  // submit → commit at replica 0
+  /// Per-MsgType wire histogram: messages and payload bytes handed to the
+  /// network by any replica (pre-loss, per recipient copy). Index by
+  /// static_cast<std::size_t>(MsgType).
+  struct WireCounter {
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::array<WireCounter, kMsgTypeCount> sent_by_type{};
 };
 
 class Cluster {
@@ -118,6 +140,9 @@ class Cluster {
   /// by replica index).
   [[nodiscard]] net::NodeId node_of(std::size_t replica) const;
   [[nodiscard]] const ClusterStats& stats() const { return stats_; }
+  /// Compact-relay reconstruction counters summed across all replicas
+  /// (including pools retired by durable-mode recovery).
+  [[nodiscard]] ledger::Mempool::Stats mempool_stats() const;
   [[nodiscard]] std::size_t quorum() const { return 2 * max_faulty() + 1; }
   [[nodiscard]] std::size_t max_faulty() const {
     return (replicas_.size() - 1) / 3;
@@ -136,6 +161,17 @@ class Cluster {
     bool pre_prepared = false;
     bool sent_commit = false;
     bool committed = false;
+    // Compact reconstruction in progress. Not a vote: it is dropped freely
+    // with the slot (commit GC, view adoption) and carries no evidence.
+    struct PendingCompact {
+      CompactBlock compact;
+      // Per-index recovered txs (mempool, then kTxs fills); nullopt = still
+      // missing.
+      std::vector<std::optional<ledger::Transaction>> txs;
+      std::uint32_t from = 0;     // whom to ask for txs / the full block
+      bool awaiting_full = false; // kGetBlock sent; kTxs no longer wanted
+    };
+    std::optional<PendingCompact> pending;
   };
 
   struct Replica {
@@ -211,12 +247,31 @@ class Cluster {
   [[nodiscard]] bool check_auth(Replica& receiver, const ConsensusMsg& msg);
 
   void send_to_all(Replica& sender, const ConsensusMsg& msg);
+  /// Unicast: authenticates-costs the sender CPU, records wire stats and
+  /// routes through the outbox (or directly when coalescing is off).
+  void send_direct(Replica& sender, std::uint32_t peer_index,
+                   const ConsensusMsg& msg);
+  void route_wire(Replica& sender, net::NodeId to, Bytes wire);
+  void record_wire(MsgType type, std::size_t bytes, std::size_t copies);
   void on_network_message(std::size_t replica_index, const net::Message& m);
+  void process_frame(std::size_t replica_index, Bytes frame);
   void handle(Replica& r, const ConsensusMsg& msg);
 
   // PBFT handlers.
   void pbft_propose(Replica& r);
   void pbft_on_pre_prepare(Replica& r, const ConsensusMsg& msg);
+  // Compact relay: reconstruction rounds behind pbft_on_pre_prepare.
+  void pbft_on_compact_pre_prepare(Replica& r, const ConsensusMsg& msg);
+  void pbft_continue_compact(Replica& r, std::uint64_t seq);
+  /// Shared tail of the full and compact paths: candidate-check the block,
+  /// mark the slot pre-prepared and broadcast our prepare. Returns false if
+  /// the candidate was rejected.
+  bool pbft_accept_pre_prepare(Replica& r, std::uint64_t seq,
+                               const Hash256& digest,
+                               const ledger::Block& block, Bytes block_bytes);
+  void on_get_txs(Replica& r, const ConsensusMsg& msg);
+  void on_txs(Replica& r, const ConsensusMsg& msg);
+  void on_get_block(Replica& r, const ConsensusMsg& msg);
   void pbft_on_prepare(Replica& r, const ConsensusMsg& msg);
   void pbft_on_commit(Replica& r, const ConsensusMsg& msg);
   void pbft_maybe_prepared(Replica& r, std::uint64_t seq);
@@ -252,6 +307,9 @@ class Cluster {
   ClusterStats stats_;
   CommitHook commit_hook_;
   std::unordered_map<Hash256, sim::SimTime> submit_times_;
+  // Reconstruction counters of mempools retired by durable-mode recovery
+  // (recover() replaces the pool; the history must survive the swap).
+  ledger::Mempool::Stats recon_retired_;
   bool started_ = false;
 };
 

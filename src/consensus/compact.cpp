@@ -1,0 +1,67 @@
+#include "consensus/compact.hpp"
+
+#include <algorithm>
+
+namespace tnp::consensus {
+
+std::uint64_t CompactBlock::mask(std::uint8_t width) {
+  return ledger::short_tx_id_mask(width);
+}
+
+std::uint64_t CompactBlock::short_id(const Hash256& txid, std::uint8_t width) {
+  return ledger::short_tx_id(txid, width);
+}
+
+CompactBlock CompactBlock::from_block(const ledger::Block& block,
+                                      std::uint8_t width) {
+  CompactBlock cb;
+  cb.header = block.header;
+  cb.short_id_bytes = std::clamp<std::uint8_t>(width, 1, 8);
+  cb.short_ids.reserve(block.txs.size());
+  for (const auto& tx : block.txs) {
+    cb.short_ids.push_back(short_id(tx.id(), cb.short_id_bytes));
+  }
+  return cb;
+}
+
+Bytes CompactBlock::encode() const {
+  ByteWriter w;
+  w.bytes(BytesView(header.encode()));
+  w.u8(short_id_bytes);
+  w.u32(static_cast<std::uint32_t>(short_ids.size()));
+  for (std::uint64_t id : short_ids) w.u64(id);
+  return w.take();
+}
+
+Expected<CompactBlock> CompactBlock::decode(BytesView bytes) {
+  ByteReader r(bytes);
+  CompactBlock cb;
+  auto header_bytes = r.bytes();
+  if (!header_bytes) return header_bytes.error();
+  auto header = ledger::BlockHeader::decode(BytesView(*header_bytes));
+  if (!header) return header.error();
+  cb.header = *header;
+  auto width = r.u8();
+  if (!width) return width.error();
+  if (*width < 1 || *width > 8) {
+    return Error(ErrorCode::kCorruptData, "bad short id width");
+  }
+  cb.short_id_bytes = *width;
+  auto count = r.u32();
+  if (!count) return count.error();
+  if (*count > r.remaining() / 8) {
+    return Error(ErrorCode::kCorruptData, "short id count overruns payload");
+  }
+  cb.short_ids.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto id = r.u64();
+    if (!id) return id.error();
+    cb.short_ids.push_back(*id);
+  }
+  if (!r.done()) {
+    return Error(ErrorCode::kCorruptData, "trailing bytes in compact block");
+  }
+  return cb;
+}
+
+}  // namespace tnp::consensus

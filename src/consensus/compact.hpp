@@ -1,0 +1,41 @@
+// Compact block relay (BIP152-style). A kCompactPrePrepare carries the
+// block header plus one short transaction id per tx instead of the encoded
+// block; replicas rebuild the block from their mempool (clients already
+// broadcast every transaction to all replicas), so the dominant pre-prepare
+// cost — re-shipping transaction bodies the receiver already holds — is
+// paid only by replicas with mempool gaps, via a kGetTxs/kTxs round or a
+// full-block re-request. A short id is the first `short_id_bytes` bytes of
+// the transaction's content id, so collisions are possible by construction;
+// the header's tx-merkle root cross-check is what makes reconstruction
+// safe, never the short ids themselves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ledger/block.hpp"
+
+namespace tnp::consensus {
+
+struct CompactBlock {
+  ledger::BlockHeader header;
+  std::uint8_t short_id_bytes = 8;     // 1..8; width of each short id
+  std::vector<std::uint64_t> short_ids;  // one per tx, block order
+
+  /// First `width` bytes of `txid` as a little-endian integer.
+  static std::uint64_t short_id(const Hash256& txid, std::uint8_t width);
+
+  /// Mask selecting the low `width` bytes of a u64.
+  static std::uint64_t mask(std::uint8_t width);
+
+  static CompactBlock from_block(const ledger::Block& block,
+                                 std::uint8_t width);
+
+  /// Wire format (frozen; golden-digest tested):
+  ///   u32 header_len | header | u8 short_id_bytes | u32 count | count × u64
+  [[nodiscard]] Bytes encode() const;
+  static Expected<CompactBlock> decode(BytesView bytes);
+};
+
+}  // namespace tnp::consensus

@@ -2,15 +2,36 @@
 
 namespace tnp::consensus {
 
+ConsensusMsg& ConsensusMsg::operator=(const ConsensusMsg& o) {
+  if (this == &o) return *this;
+  type = o.type;
+  sender = o.sender;
+  view = o.view;
+  seq = o.seq;
+  digest = o.digest;
+  block = o.block;
+  auth = o.auth;
+  body_cached_ = false;  // copies are how tests mutate messages; drop the memo
+  body_cache_.clear();
+  return *this;
+}
+
 Bytes ConsensusMsg::encode(bool include_auth) const {
+  if (!body_cached_) {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(type));
+    w.u32(sender);
+    w.u64(view);
+    w.u64(seq);
+    w.raw(digest.view());
+    w.bytes(BytesView(block));
+    body_cache_ = w.take();
+    body_cached_ = true;
+  }
+  if (!include_auth) return body_cache_;
   ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u32(sender);
-  w.u64(view);
-  w.u64(seq);
-  w.raw(digest.view());
-  w.bytes(BytesView(block));
-  if (include_auth) w.bytes(BytesView(auth));
+  w.raw(BytesView(body_cache_));
+  w.bytes(BytesView(auth));
   return w.take();
 }
 
@@ -19,7 +40,7 @@ Expected<ConsensusMsg> ConsensusMsg::decode(BytesView bytes) {
   ConsensusMsg m;
   auto type = r.u8();
   if (!type) return type.error();
-  if (*type > static_cast<std::uint8_t>(MsgType::kSyncResponse)) {
+  if (*type > static_cast<std::uint8_t>(MsgType::kGetBlock)) {
     return Error(ErrorCode::kCorruptData, "unknown consensus message type");
   }
   m.type = static_cast<MsgType>(*type);

@@ -19,9 +19,16 @@ enum class MsgType : std::uint8_t {
   kViewChange = 3,
   kNewView = 4,
   kPoaBlock = 5,
-  kSyncRequest = 6,   // seq = first height the sender is missing
-  kSyncResponse = 7,  // block = committed block at `seq`
+  kSyncRequest = 6,        // seq = first height the sender is missing
+  kSyncResponse = 7,       // block = committed block at `seq`
+  kCompactPrePrepare = 8,  // block = CompactBlock (header + short tx ids)
+  kGetTxs = 9,             // block = indexes of short ids missing from mempool
+  kTxs = 10,               // block = (index, encoded tx) pairs filling kGetTxs
+  kGetBlock = 11,          // full-block fallback when reconstruction fails
 };
+
+/// Number of distinct MsgType values (for per-type wire accounting).
+inline constexpr std::size_t kMsgTypeCount = 12;
 
 struct ConsensusMsg {
   MsgType type = MsgType::kPrepare;
@@ -29,12 +36,27 @@ struct ConsensusMsg {
   std::uint64_t view = 0;
   std::uint64_t seq = 0;     // block height being agreed
   Hash256 digest{};          // block hash (quorum votes) or zero
-  Bytes block;               // encoded block (kPrePrepare / kPoaBlock only)
+  Bytes block;               // payload (see MsgType comments); empty for votes
   Bytes auth;                // authenticator over encode(false)
 
-  /// Canonical encoding; `include_auth=false` is the authentication preimage.
+  /// Canonical encoding; `include_auth=false` is the authentication
+  /// preimage. The preimage (body) is memoized — authenticate + send hit
+  /// the same buffer instead of serializing twice (mirrors the
+  /// `Transaction::id()` memo: copies drop the cache, moves keep it).
+  /// Mutating fields in place after calling encode() on the same object is
+  /// not supported — copy first.
   [[nodiscard]] Bytes encode(bool include_auth = true) const;
   static Expected<ConsensusMsg> decode(BytesView bytes);
+
+  ConsensusMsg() = default;
+  ConsensusMsg(ConsensusMsg&&) = default;
+  ConsensusMsg& operator=(ConsensusMsg&&) = default;
+  ConsensusMsg(const ConsensusMsg& o) { *this = o; }
+  ConsensusMsg& operator=(const ConsensusMsg& o);
+
+ private:
+  mutable Bytes body_cache_;  // encode(false) memo
+  mutable bool body_cached_ = false;
 };
 
 }  // namespace tnp::consensus

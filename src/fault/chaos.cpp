@@ -55,6 +55,11 @@ std::uint64_t ChaosResult::fingerprint() const {
   mix(net.duplicated);
   mix(net.corrupted);
   mix(net.delayed_extra);
+  mix(net.bytes_sent);
+  mix(net.bytes_delivered);
+  mix(recon.recon_hits);
+  mix(recon.recon_misses);
+  mix(recon.fallbacks);
   for (const char c : tip) mix(static_cast<std::uint64_t>(c));
   return state;
 }
@@ -107,6 +112,7 @@ ChaosResult run_chaos(const ChaosConfig& config, const FaultPlan& plan,
   result.auth_failures = cluster.stats().auth_failures;
   result.txs_submitted = submitted;
   result.fault_events_applied = injector.events_applied();
+  result.recon = cluster.mempool_stats();
   result.all_clear = all_clear;
   result.availability = availability_from(
       checker.height_commit_times(), run_until, config.stall_threshold);

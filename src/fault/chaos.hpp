@@ -51,6 +51,9 @@ struct ChaosResult {
   std::uint64_t auth_failures = 0;
   std::uint64_t txs_submitted = 0;
   std::uint64_t fault_events_applied = 0;
+  /// Compact-relay reconstruction counters summed over all replicas
+  /// (zero when the cluster runs full-block relay).
+  ledger::Mempool::Stats recon{};
   std::optional<sim::SimTime> all_clear;  // from the plan, if it clears
   /// Fraction of the run not spent in commit stalls longer than
   /// stall_threshold; 1.0 = no stall ever exceeded the threshold.

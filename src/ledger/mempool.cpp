@@ -44,6 +44,30 @@ std::vector<Transaction> Mempool::take_batch(std::size_t max_txs) {
   return batch;
 }
 
+std::vector<std::optional<Transaction>> Mempool::reconstruct(
+    const std::vector<std::uint64_t>& short_ids, std::uint8_t width) const {
+  // First FIFO occurrence wins: deterministic across replicas that hold the
+  // same pool, and the cheapest policy when collisions are rare anyway.
+  std::unordered_map<std::uint64_t, const Transaction*> by_short_id;
+  for (const auto& tx : queue_) {
+    by_short_id.try_emplace(short_tx_id(tx.id(), width), &tx);
+  }
+  std::vector<std::optional<Transaction>> out;
+  out.reserve(short_ids.size());
+  const std::uint64_t m = short_tx_id_mask(width);
+  for (std::uint64_t id : short_ids) {
+    const auto it = by_short_id.find(id & m);
+    if (it == by_short_id.end()) {
+      ++stats_.recon_misses;
+      out.emplace_back(std::nullopt);
+    } else {
+      ++stats_.recon_hits;
+      out.emplace_back(*it->second);
+    }
+  }
+  return out;
+}
+
 void Mempool::remove_committed(const std::vector<Transaction>& committed) {
   // tx.id() below is memoized on the transaction, so this pass (and the
   // queue scan) costs hash-map lookups, not repeated SHA-256 work.

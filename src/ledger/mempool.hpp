@@ -4,6 +4,7 @@
 #pragma once
 
 #include <deque>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -13,6 +14,13 @@ namespace tnp::ledger {
 
 class Mempool {
  public:
+  /// Compact-relay reconstruction counters (see reconstruct()).
+  struct Stats {
+    std::uint64_t recon_hits = 0;    // short ids resolved from the pool
+    std::uint64_t recon_misses = 0;  // short ids with no pool match
+    std::uint64_t fallbacks = 0;     // reconstructions abandoned for a full block
+  };
+
   explicit Mempool(std::size_t capacity = 100'000) : capacity_(capacity) {}
 
   /// Adds a transaction. Rejects duplicates and overflow.
@@ -27,6 +35,21 @@ class Mempool {
   /// (called after a block commits).
   void remove_committed(const std::vector<Transaction>& committed);
 
+  /// Compact-relay reconstruction: resolves each short id (low `width`
+  /// bytes of a tx id, see short_tx_id) against the pool, returning the
+  /// first FIFO match per id or nullopt for a miss. Pool contents are
+  /// untouched — the caller only learns which txs it can supply; a
+  /// colliding short id can resolve to the wrong transaction, which the
+  /// caller's tx-root cross-check must catch. Updates recon_hits/misses.
+  [[nodiscard]] std::vector<std::optional<Transaction>> reconstruct(
+      const std::vector<std::uint64_t>& short_ids, std::uint8_t width) const;
+
+  /// Records a reconstruction abandoned for a full-block fetch
+  /// (short-id collision or corrupt rebuild caught by the tx-root check).
+  void note_fallback() { ++stats_.fallbacks; }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
   [[nodiscard]] std::size_t size() const { return queue_.size(); }
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] bool contains(const Hash256& id) const {
@@ -37,6 +60,7 @@ class Mempool {
   std::size_t capacity_;
   std::deque<Transaction> queue_;
   std::unordered_set<Hash256> ids_;
+  mutable Stats stats_;  // reconstruct() is read-only on the pool itself
 };
 
 }  // namespace tnp::ledger

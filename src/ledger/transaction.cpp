@@ -1,6 +1,22 @@
 #include "ledger/transaction.hpp"
 
+#include <algorithm>
+
 namespace tnp::ledger {
+
+std::uint64_t short_tx_id_mask(std::uint8_t width) {
+  const std::uint8_t w = std::clamp<std::uint8_t>(width, 1, 8);
+  if (w == 8) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << (8 * w)) - 1;
+}
+
+std::uint64_t short_tx_id(const Hash256& id, std::uint8_t width) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | id.bytes[static_cast<std::size_t>(i)];
+  }
+  return v & short_tx_id_mask(width);
+}
 
 Bytes Transaction::encode(bool include_signature) const {
   ByteWriter w;

@@ -67,6 +67,15 @@ struct Transaction {
   mutable bool id_cached_ = false;
 };
 
+/// First `width` (1..8) bytes of a transaction id as a little-endian
+/// integer — the compact-relay short id. Collisions are expected by
+/// construction at small widths; callers must verify reconstructed content
+/// against a Merkle root, never trust short ids alone.
+[[nodiscard]] std::uint64_t short_tx_id(const Hash256& id, std::uint8_t width);
+
+/// Mask selecting the low `width` (1..8) bytes of a u64.
+[[nodiscard]] std::uint64_t short_tx_id_mask(std::uint8_t width);
+
 /// Execution outcome recorded per transaction in a block.
 struct Receipt {
   Hash256 tx_id;

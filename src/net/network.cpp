@@ -79,6 +79,7 @@ void Network::deliver(NodeId from, NodeId to, sim::SimTime latency,
   simulator_.schedule(latency, [this, from, to,
                                 payload = std::move(payload)]() mutable {
     ++stats_.delivered;
+    stats_.bytes_delivered += payload.size();
     auto& handler = nodes_[to].handler;
     if (handler) {
       handler(Message{from, to, std::move(payload)});
@@ -126,6 +127,69 @@ bool Network::send(NodeId from, NodeId to, Bytes payload) {
     deliver(from, to, link.sample(rng_) + fault.extra_delay, std::move(body));
   }
   return true;
+}
+
+bool Network::send_buffered(NodeId from, NodeId to, Bytes frame) {
+  if (from >= nodes_.size() || to >= nodes_.size() || from == to) {
+    return false;
+  }
+  outbox_[link_key(from, to)].push_back(std::move(frame));
+  return true;
+}
+
+void Network::flush_outbox(NodeId from) {
+  if (outbox_.empty()) return;
+  const auto begin = outbox_.lower_bound(link_key(from, 0));
+  const auto end = from + 1 < nodes_.size()
+                       ? outbox_.lower_bound(link_key(from + 1, 0))
+                       : outbox_.end();
+  // Collect first: send() may re-enter via handlers scheduled at zero
+  // latency only through the simulator, but keep the erase simple anyway.
+  std::vector<std::pair<NodeId, std::vector<Bytes>>> staged;
+  for (auto it = begin; it != end; ++it) {
+    staged.emplace_back(static_cast<NodeId>(it->first & 0xffffffffu),
+                        std::move(it->second));
+  }
+  outbox_.erase(begin, end);
+  for (auto& [to, frames] : staged) {
+    if (frames.size() > 1) {
+      ++stats_.coalesced_payloads;
+      stats_.coalesced_frames += frames.size();
+    }
+    send(from, to, pack_frames(std::move(frames)));
+  }
+}
+
+Bytes Network::pack_frames(std::vector<Bytes> frames) {
+  if (frames.empty()) return {};
+  if (frames.size() == 1) return std::move(frames.front());
+  ByteWriter w;
+  w.u8(kCoalescedMarker);
+  w.u32(static_cast<std::uint32_t>(frames.size()));
+  for (const Bytes& frame : frames) w.bytes(BytesView(frame));
+  return w.take();
+}
+
+Expected<std::vector<Bytes>> Network::unpack_frames(BytesView payload) {
+  ByteReader r(payload);
+  auto marker = r.u8();
+  if (!marker) return marker.error();
+  if (*marker != kCoalescedMarker) {
+    return Error(ErrorCode::kCorruptData, "not a coalesced payload");
+  }
+  auto count = r.u32();
+  if (!count) return count.error();
+  std::vector<Bytes> frames;
+  frames.reserve(std::min<std::uint32_t>(*count, 1024));
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto frame = r.bytes();
+    if (!frame) return frame.error();
+    frames.push_back(std::move(*frame));
+  }
+  if (!r.done()) {
+    return Error(ErrorCode::kCorruptData, "trailing bytes after frames");
+  }
+  return frames;
 }
 
 std::size_t Network::broadcast(NodeId from, const Bytes& payload) {

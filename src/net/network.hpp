@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +42,12 @@ struct NetworkStats {
   std::uint64_t corrupted = 0;       // payloads bit-flipped by the fault hook
   std::uint64_t delayed_extra = 0;   // messages given extra fault delay
   std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;  // payload bytes that reached a handler
+  // Bytes a compact payload saved vs shipping the full encoding, credited
+  // by the sender via note_compact_savings (gross, pre-loss).
+  std::uint64_t bytes_saved_compact = 0;
+  std::uint64_t coalesced_payloads = 0;  // flushed payloads holding ≥2 frames
+  std::uint64_t coalesced_frames = 0;    // frames that rode in those payloads
 };
 
 /// Per-message fault verdict returned by a FaultHook. The hook decides
@@ -100,6 +107,41 @@ class Network {
   /// send() to every other node. Returns count queued.
   std::size_t broadcast(NodeId from, const Bytes& payload);
 
+  /// Stages `frame` in the per-link outbox instead of sending immediately.
+  /// flush_outbox(from) packs all frames staged for the same link into one
+  /// payload (one latency sample, one loss roll — coalescing is what makes
+  /// same-tick consensus traffic count as one message). Returns false only
+  /// for an invalid address.
+  bool send_buffered(NodeId from, NodeId to, Bytes frame);
+
+  /// Sends every staged outbox payload originating at `from`. Links are
+  /// flushed in peer order (deterministic). No-op when nothing is staged.
+  void flush_outbox(NodeId from);
+
+  /// True if any frame is staged anywhere (test/debug aid: a nonempty
+  /// outbox outside a handler means a missing flush).
+  [[nodiscard]] bool outbox_empty() const { return outbox_.empty(); }
+
+  /// Credits bytes a compact encoding saved versus the full one.
+  void note_compact_savings(std::uint64_t bytes) {
+    stats_.bytes_saved_compact += bytes;
+  }
+
+  /// First byte of a multi-frame payload. Consensus/gossip frames never
+  /// start with it (their tags are small), so receivers can branch on it.
+  static constexpr std::uint8_t kCoalescedMarker = 0xC1;
+
+  /// One frame → the frame itself, bit-identical to an unbuffered send.
+  /// Two or more → kCoalescedMarker | u32 count | count × (u32 len | frame).
+  static Bytes pack_frames(std::vector<Bytes> frames);
+
+  [[nodiscard]] static bool is_coalesced(BytesView payload) {
+    return !payload.empty() && payload[0] == kCoalescedMarker;
+  }
+
+  /// Splits a kCoalescedMarker payload back into frames (order preserved).
+  static Expected<std::vector<Bytes>> unpack_frames(BytesView payload);
+
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
 
@@ -124,6 +166,9 @@ class Network {
   bool partitioned_ = false;
   FaultHook fault_hook_;
   NetworkStats stats_;
+  // Staged frames keyed by (from << 32 | to); ordered so flush order is
+  // deterministic across runs.
+  std::map<std::uint64_t, std::vector<Bytes>> outbox_;
 };
 
 }  // namespace tnp::net

@@ -1,0 +1,370 @@
+// Compact block relay: short-id derivation, wire codecs (with golden
+// digests freezing the frame formats), mempool reconstruction, the
+// ConsensusMsg body memo, and cluster-level compact-vs-full equivalence
+// including the kGetTxs and full-block fallback rounds.
+#include <gtest/gtest.h>
+
+#include "consensus/cluster.hpp"
+#include "consensus/compact.hpp"
+#include "net/network.hpp"
+#include "test_util.hpp"
+
+namespace tnp::consensus {
+namespace {
+
+using testutil::KvExecutor;
+using testutil::make_set_tx;
+
+// ------------------------------------------------------------- short ids
+
+TEST(ShortIdTest, MaskSelectsLowBytes) {
+  EXPECT_EQ(ledger::short_tx_id_mask(1), 0xffull);
+  EXPECT_EQ(ledger::short_tx_id_mask(4), 0xffffffffull);
+  EXPECT_EQ(ledger::short_tx_id_mask(8), ~std::uint64_t{0});
+}
+
+TEST(ShortIdTest, DerivesFromLeadingIdBytesLittleEndian) {
+  Hash256 id{};
+  id.bytes[0] = 0xEF;
+  id.bytes[1] = 0xBE;
+  id.bytes[2] = 0xAD;
+  id.bytes[3] = 0xDE;
+  EXPECT_EQ(ledger::short_tx_id(id, 4), 0xDEADBEEFull);
+  EXPECT_EQ(ledger::short_tx_id(id, 2), 0xBEEFull);
+  EXPECT_EQ(ledger::short_tx_id(id, 1), 0xEFull);
+  // The consensus-side helper is the same derivation.
+  EXPECT_EQ(CompactBlock::short_id(id, 4), ledger::short_tx_id(id, 4));
+}
+
+// ----------------------------------------------------------- wire codecs
+
+TEST(CompactBlockTest, RoundTrip) {
+  CompactBlock cb;
+  cb.header.height = 9;
+  cb.header.timestamp = 77;
+  cb.header.proposer = 1;
+  cb.short_id_bytes = 6;
+  cb.short_ids = {42, 0xBADC0FFEEull, 7};
+  const auto decoded = CompactBlock::decode(BytesView(cb.encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header, cb.header);
+  EXPECT_EQ(decoded->short_id_bytes, cb.short_id_bytes);
+  EXPECT_EQ(decoded->short_ids, cb.short_ids);
+}
+
+TEST(CompactBlockTest, FromBlockMasksIds) {
+  ledger::Block block;
+  const KeyPair key = KeyPair::generate(SigScheme::kHmacSim, 5);
+  block.txs.push_back(make_set_tx(key, 0, "a", "b"));
+  block.txs.push_back(make_set_tx(key, 1, "c", "d"));
+  const CompactBlock cb = CompactBlock::from_block(block, 2);
+  ASSERT_EQ(cb.short_ids.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(cb.short_ids[i], ledger::short_tx_id(block.txs[i].id(), 2));
+    EXPECT_LE(cb.short_ids[i], 0xffffull);
+  }
+}
+
+TEST(CompactBlockTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(CompactBlock::decode(BytesView(to_bytes("nope"))).ok());
+  CompactBlock cb;
+  cb.short_ids = {1};
+  Bytes wire = cb.encode();
+  wire.pop_back();  // truncate
+  EXPECT_FALSE(CompactBlock::decode(BytesView(wire)).ok());
+}
+
+// The frame encodings are frozen: any change to ConsensusMsg, CompactBlock
+// or the coalescing wrapper is a wire-format break and must consciously
+// update these goldens (and bump whatever needs bumping downstream).
+TEST(GoldenWireFormatTest, FrameDigestsAreFrozen) {
+  const char* const kGoldens[kMsgTypeCount] = {
+      "9a504afae723468c6e2cb4a913f731b63498af2a44683605bdccdac9cee2a87f",
+      "77d55eaa3647617a82bc7b54f63cd6f3416463041e606d24e86d4ee1fefa0f83",
+      "d74dd25ac162533240695825c180121aa5b261e09520f3cf6fe12aad4c68ced1",
+      "b0cc759f7db0f2ac81196a7662fa53ddf3b59164eec32b23bc60dda792b80614",
+      "5acfb3406ca575aa4d994f6c856d855381e314da9554e87c7a85463bfd004398",
+      "1489b83a350c3629719127840f799e1a62b9d0640d96d894fa97fa362c19db79",
+      "bf83658887f55bb6998d44f1093ac643b13c7653b5d7bbaf807a5c1d2e3c8928",
+      "e5d820abdc2890bf2b20521b8bf47156341cb31850f01754307b5537f1817398",
+      "eb763abf33fad342a00982dd87a326450b0b2c22610fddcf1a6d6278e6b4f537",
+      "48bfa7cdb6a0f216ba2d154ac68485dcf5a60f26943c27145e4a5189e54d2059",
+      "8d575d98517bd9232c516cfba36339ecbcc91467b16e5473c1d2771983e0bdeb",
+      "821ecc0ee94a4838cc9e817602af5c1ae8c322fda191a073b91ec1c5e0645019",
+  };
+  for (std::uint8_t t = 0; t < kMsgTypeCount; ++t) {
+    ConsensusMsg m;
+    m.type = static_cast<MsgType>(t);
+    m.sender = 3;
+    m.view = 7;
+    m.seq = 42;
+    for (std::size_t i = 0; i < 32; ++i) {
+      m.digest.bytes[i] = static_cast<std::uint8_t>(i * 5 + t);
+    }
+    m.block = to_bytes("frame-payload-" + std::to_string(int(t)));
+    m.auth = to_bytes("authenticator");
+    EXPECT_EQ(sha256(BytesView(m.encode(true))).hex(), kGoldens[t])
+        << "wire format changed for MsgType " << int(t);
+  }
+
+  CompactBlock cb;
+  cb.header.height = 5;
+  for (std::size_t i = 0; i < 32; ++i) {
+    cb.header.parent.bytes[i] = static_cast<std::uint8_t>(0xA0 + i);
+    cb.header.tx_root.bytes[i] = static_cast<std::uint8_t>(0xB0 + i);
+    cb.header.state_root.bytes[i] = static_cast<std::uint8_t>(0xC0 + i);
+  }
+  cb.header.timestamp = 123456;
+  cb.header.proposer = 2;
+  cb.short_id_bytes = 8;
+  cb.short_ids = {1, 0xDEADBEEFull, 0x0123456789ABCDEFull};
+  EXPECT_EQ(sha256(BytesView(cb.encode())).hex(),
+            "eb05dc6e66c94b6f27f45594d999580537a2ecc4cdcaf932a1c67c51714bf0cf");
+
+  std::vector<Bytes> frames{to_bytes("alpha"), to_bytes("beta")};
+  EXPECT_EQ(sha256(BytesView(net::Network::pack_frames(frames))).hex(),
+            "38e67a5735a10673d33fb343aed4c89ee4303760825a64a382a140e44afc30d0");
+}
+
+// --------------------------------------------------------- encode memo
+
+TEST(ConsensusMsgMemoTest, BodyEncodingIsStableAndAuthFramedOnTop) {
+  ConsensusMsg m;
+  m.type = MsgType::kPrepare;
+  m.sender = 2;
+  m.view = 1;
+  m.seq = 10;
+  m.auth = to_bytes("mac");
+  const Bytes body_first = m.encode(false);
+  const Bytes body_again = m.encode(false);  // memoized path
+  EXPECT_EQ(body_first, body_again);
+  // encode(true) is body + length-prefixed auth, reusing the memo.
+  const Bytes full = m.encode(true);
+  ASSERT_GT(full.size(), body_first.size());
+  EXPECT_TRUE(std::equal(body_first.begin(), body_first.end(), full.begin()));
+  const auto decoded = ConsensusMsg::decode(BytesView(full));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->auth, m.auth);
+}
+
+TEST(ConsensusMsgMemoTest, CopyDropsMemoMoveKeepsIt) {
+  ConsensusMsg m;
+  m.type = MsgType::kCommit;
+  m.sender = 1;
+  m.seq = 5;
+  const Bytes original = m.encode(false);
+  // Copies are how tests and the equivocation path mutate messages: the
+  // copy must re-encode, not replay the source's memo.
+  ConsensusMsg copy = m;
+  copy.seq = 6;
+  EXPECT_NE(copy.encode(false), original);
+  EXPECT_EQ(m.encode(false), original);
+  // Moves keep the memo (and the bytes stay right).
+  ConsensusMsg moved = std::move(m);
+  EXPECT_EQ(moved.encode(false), original);
+}
+
+// -------------------------------------------------- mempool reconstruction
+
+TEST(MempoolReconstructTest, HitsAndMissesAreCountedAndPoolUntouched) {
+  ledger::Mempool pool;
+  const KeyPair key = KeyPair::generate(SigScheme::kHmacSim, 9);
+  std::vector<ledger::Transaction> txs;
+  for (int i = 0; i < 4; ++i) {
+    txs.push_back(make_set_tx(key, i, "k" + std::to_string(i), "v"));
+    ASSERT_TRUE(pool.add(txs.back()).ok());
+  }
+  std::vector<std::uint64_t> ids;
+  for (const auto& tx : txs) ids.push_back(ledger::short_tx_id(tx.id(), 8));
+  ids.push_back(0x1234567890ull);  // unknown
+  const auto out = pool.reconstruct(ids, 8);
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(out[static_cast<std::size_t>(i)].has_value());
+    EXPECT_EQ(out[static_cast<std::size_t>(i)]->id(), txs[static_cast<std::size_t>(i)].id());
+  }
+  EXPECT_FALSE(out[4].has_value());
+  EXPECT_EQ(pool.stats().recon_hits, 4u);
+  EXPECT_EQ(pool.stats().recon_misses, 1u);
+  EXPECT_EQ(pool.size(), 4u);  // reconstruction never drains the pool
+  pool.note_fallback();
+  EXPECT_EQ(pool.stats().fallbacks, 1u);
+}
+
+// Deliberately craft two transactions whose 1-byte short ids collide, hold
+// only the wrong one in the pool, and prove the Merkle tx-root cross-check
+// rejects the rebuilt block — the short id alone must never be trusted.
+TEST(MempoolReconstructTest, CraftedCollisionIsCaughtByTxRootCheck) {
+  const KeyPair key = KeyPair::generate(SigScheme::kHmacSim, 11);
+  const ledger::Transaction wanted = make_set_tx(key, 0, "wanted", "v");
+  const std::uint64_t target = ledger::short_tx_id(wanted.id(), 1);
+  std::optional<ledger::Transaction> impostor;
+  for (std::uint64_t nonce = 1; nonce < 4096; ++nonce) {
+    ledger::Transaction probe =
+        make_set_tx(key, nonce, "impostor" + std::to_string(nonce), "v");
+    if (probe.id() != wanted.id() &&
+        ledger::short_tx_id(probe.id(), 1) == target) {
+      impostor = std::move(probe);
+      break;
+    }
+  }
+  ASSERT_TRUE(impostor.has_value()) << "no 1-byte collision in 4096 tries?!";
+
+  ledger::Mempool pool;
+  ASSERT_TRUE(pool.add(*impostor).ok());
+
+  ledger::Block block;
+  block.txs.push_back(wanted);
+  block.header.tx_root = block.compute_tx_root();
+  const CompactBlock cb = CompactBlock::from_block(block, 1);
+
+  const auto out = pool.reconstruct(cb.short_ids, cb.short_id_bytes);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_TRUE(out[0].has_value());         // the pool "resolved" the id...
+  EXPECT_EQ(out[0]->id(), impostor->id()); // ...to the wrong transaction
+  ledger::Block rebuilt;
+  rebuilt.header = block.header;
+  rebuilt.txs.push_back(*out[0]);
+  EXPECT_NE(rebuilt.compute_tx_root(), rebuilt.header.tx_root)
+      << "the cross-check must flag the collision and force a full fetch";
+}
+
+// ------------------------------------------------------- cluster behavior
+
+struct Fixture {
+  sim::Simulator simulator;
+  net::Network network;
+  Cluster cluster;
+  KeyPair client = KeyPair::generate(SigScheme::kHmacSim, 777);
+
+  explicit Fixture(ClusterConfig config)
+      : network(simulator, config.seed + 100),
+        cluster(network, [] { return std::make_unique<KvExecutor>(); },
+                config) {}
+
+  void submit_n(std::size_t n, std::uint64_t start_nonce = 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      cluster.submit(make_set_tx(client, start_nonce + i,
+                                 "k" + std::to_string(start_nonce + i), "v"));
+    }
+  }
+};
+
+ClusterConfig pbft_config(std::size_t n) {
+  ClusterConfig config;
+  config.protocol = Protocol::kPbft;
+  config.replicas = n;
+  config.auth_mode = AuthMode::kMac;
+  config.block_interval = 20 * sim::kMillisecond;
+  config.view_timeout = 500 * sim::kMillisecond;
+  return config;
+}
+
+// In a calm run the compact cluster must commit the exact same chain as a
+// full-block cluster — blocks, state roots and receipts bit-identical —
+// because latency sampling is size-independent and the message sequence is
+// unchanged when every reconstruction hits.
+TEST(CompactClusterTest, CalmRunCommitsBitIdenticalChainToFullRelay) {
+  ClusterConfig compact_cfg = pbft_config(4);
+  compact_cfg.compact_blocks = true;
+  ClusterConfig full_cfg = pbft_config(4);
+  full_cfg.compact_blocks = false;
+
+  Fixture compact_f(compact_cfg);
+  Fixture full_f(full_cfg);
+  for (Fixture* f : {&compact_f, &full_f}) {
+    f->cluster.start();
+    f->submit_n(30);
+    f->simulator.run_until(5 * sim::kSecond);
+  }
+  const std::uint64_t height = compact_f.cluster.chain(0).height();
+  ASSERT_GT(height, 0u);
+  ASSERT_EQ(full_f.cluster.chain(0).height(), height);
+  for (std::uint64_t h = 1; h <= height; ++h) {
+    const auto& cb = compact_f.cluster.chain(0).block_at(h);
+    const auto& fb = full_f.cluster.chain(0).block_at(h);
+    EXPECT_EQ(cb.encode(), fb.encode()) << "block " << h << " diverged";
+    EXPECT_EQ(cb.header.state_root, fb.header.state_root);
+    const auto& cr = compact_f.cluster.chain(0).result_at(h);
+    const auto& fr = full_f.cluster.chain(0).result_at(h);
+    ASSERT_EQ(cr.receipts.size(), fr.receipts.size());
+    for (std::size_t i = 0; i < cr.receipts.size(); ++i) {
+      EXPECT_EQ(cr.receipts[i].tx_id, fr.receipts[i].tx_id);
+      EXPECT_EQ(cr.receipts[i].success, fr.receipts[i].success);
+      EXPECT_EQ(cr.receipts[i].gas_used, fr.receipts[i].gas_used);
+    }
+  }
+  // And the compact run must actually have reconstructed from mempools.
+  const auto recon = compact_f.cluster.mempool_stats();
+  EXPECT_GT(recon.recon_hits, 0u);
+  EXPECT_GT(compact_f.network.stats().bytes_saved_compact, 0u);
+  EXPECT_LT(compact_f.network.stats().bytes_sent,
+            full_f.network.stats().bytes_sent);
+}
+
+// A replica that was down while clients broadcast (its mempool has gaps)
+// must recover the missing bodies via the kGetTxs/kTxs round and still land
+// on the identical chain.
+TEST(CompactClusterTest, MempoolGapIsFilledViaGetTxsRound) {
+  Fixture f(pbft_config(4));
+  f.cluster.start();
+  // Replica 3 is down exactly while the client broadcasts, then back up
+  // before the next proposal: it votes on compact blocks whose bodies it
+  // never received and must pull them.
+  f.cluster.crash(3);
+  f.submit_n(20);
+  f.cluster.recover(3);
+  f.simulator.run_until(10 * sim::kSecond);
+  EXPECT_GT(f.cluster.chain(0).height(), 0u);
+  EXPECT_GT(f.cluster.chain(3).height(), 0u);
+  EXPECT_TRUE(f.cluster.chains_consistent());
+  const auto recon = f.cluster.mempool_stats();
+  EXPECT_GT(recon.recon_misses, 0u)
+      << "the recovered replica should have missed ids and pulled them";
+}
+
+// With 1-byte short ids and a large block, in-block collisions are
+// near-certain; every backup's rebuild fails the tx-root cross-check and
+// recovers via the full-block fallback — and the chain still commits and
+// stays consistent.
+TEST(CompactClusterTest, ShortIdCollisionTriggersFullBlockFallback) {
+  ClusterConfig config = pbft_config(4);
+  config.compact_short_id_bytes = 1;
+  Fixture f(config);
+  f.cluster.start();
+  f.submit_n(120);
+  f.simulator.run_until(10 * sim::kSecond);
+  EXPECT_GT(f.cluster.chain(0).height(), 0u);
+  EXPECT_TRUE(f.cluster.chains_consistent());
+  const auto recon = f.cluster.mempool_stats();
+  EXPECT_GT(recon.fallbacks, 0u)
+      << "120 txs at 1-byte ids must collide and force full-block recovery";
+  std::uint64_t committed = 0;
+  for (std::size_t rep = 0; rep < 4; ++rep) {
+    committed = std::max(committed, f.cluster.chain(rep).height());
+  }
+  EXPECT_GT(committed, 0u);
+}
+
+// Wire accounting: compact pre-prepares dominate the byte histogram far
+// less than full blocks would, and the per-type counters add up.
+TEST(CompactClusterTest, PerTypeWireHistogramTracksCompactTraffic) {
+  Fixture f(pbft_config(4));
+  f.cluster.start();
+  f.submit_n(40);
+  f.simulator.run_until(5 * sim::kSecond);
+  const auto& by_type = f.cluster.stats().sent_by_type;
+  const auto at = [&](MsgType t) {
+    return by_type[static_cast<std::size_t>(t)];
+  };
+  EXPECT_GT(at(MsgType::kCompactPrePrepare).msgs, 0u);
+  EXPECT_EQ(at(MsgType::kPrePrepare).msgs, 0u);  // calm: no fallbacks
+  EXPECT_GT(at(MsgType::kPrepare).msgs, 0u);
+  EXPECT_GT(at(MsgType::kCommit).msgs, 0u);
+  // Average compact pre-prepare is small: header + 8 bytes per tx.
+  const auto cpp = at(MsgType::kCompactPrePrepare);
+  EXPECT_LT(cpp.bytes / cpp.msgs, 1024u);
+}
+
+}  // namespace
+}  // namespace tnp::consensus

@@ -300,5 +300,64 @@ TEST(ChaosPropertyTest, HundredRandomPlansKeepEveryInvariant) {
   EXPECT_GT(total_auth_failures, 0u);
 }
 
+// Compact relay under chaos: every seed must stay invariant-clean, and for
+// seeds where every reconstruction hit (no kGetTxs / full-block round), the
+// compact run sends the exact same message sequence as full-block relay —
+// so the committed chain must be bit-identical (tip hash pins every block).
+// 1-byte short ids make in-pool collisions realistic, exercising the
+// tx-root cross-check and full-block fallback across the sweep.
+TEST(ChaosPropertyTest, CompactRelaySurvivesHundredRandomPlans) {
+  FaultPlan::RandomConfig rc;
+  rc.horizon = 8 * sim::kSecond;
+  std::uint64_t total_violations = 0;
+  std::uint64_t total_hits = 0;
+  std::uint64_t total_misses = 0;
+  std::uint64_t total_fallbacks = 0;
+  std::uint64_t compact_bytes = 0;
+  std::uint64_t full_bytes = 0;
+  std::uint64_t identical_seeds = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const FaultPlan plan = FaultPlan::random(rc, seed);
+    ChaosConfig compact_cfg = chaos_config(seed);
+    compact_cfg.cluster.compact_short_id_bytes = 1;
+    const ChaosResult compact =
+        run_chaos(compact_cfg, plan, kv_executor, chaos_tx);
+    EXPECT_TRUE(compact.ok()) << "seed " << seed << "\nplan:\n"
+                              << plan.summary() << compact.report.to_string();
+    EXPECT_GT(compact.committed_blocks, 0u) << "seed " << seed;
+    total_violations += compact.report.violations.size();
+    total_hits += compact.recon.recon_hits;
+    total_misses += compact.recon.recon_misses;
+    total_fallbacks += compact.recon.fallbacks;
+    compact_bytes += compact.net.bytes_sent;
+
+    ChaosConfig full_cfg = chaos_config(seed);
+    full_cfg.cluster.compact_blocks = false;
+    const ChaosResult full = run_chaos(full_cfg, plan, kv_executor, chaos_tx);
+    EXPECT_TRUE(full.ok()) << "seed " << seed;
+    full_bytes += full.net.bytes_sent;
+    // Corruption flips a bit at an index drawn from the payload *size*, so
+    // the same draw hits different fields in compact vs full payloads and
+    // kills different frames — identity only holds on corruption-free runs.
+    if (compact.recon.recon_misses == 0 && compact.recon.fallbacks == 0 &&
+        compact.net.corrupted == 0) {
+      ++identical_seeds;
+      EXPECT_EQ(compact.tip, full.tip) << "seed " << seed;
+      EXPECT_EQ(compact.committed_blocks, full.committed_blocks)
+          << "seed " << seed;
+    }
+  }
+  EXPECT_EQ(total_violations, 0u);
+  // The sweep must exercise every reconstruction outcome: plain hits,
+  // misses pulled via kGetTxs, and collision-forced full-block fallbacks.
+  EXPECT_GT(total_hits, 0u);
+  EXPECT_GT(total_misses, 0u);
+  EXPECT_GT(total_fallbacks, 0u);
+  // And the bit-identity property must actually have been checked.
+  EXPECT_GT(identical_seeds, 0u);
+  // Compact relay saves bytes in aggregate even with pull/fallback rounds.
+  EXPECT_LT(compact_bytes, full_bytes);
+}
+
 }  // namespace
 }  // namespace tnp::fault
