@@ -78,6 +78,22 @@ void parallel_for(std::size_t n, F&& fn, std::size_t min_per_thread = 1,
                });
 }
 
+/// Wave scheduling: runs fn(indices[k]) for every element of a sparse
+/// index list, chunked contiguously across the pool. The optimistic
+/// execution engine uses this to re-run exactly the set of invalidated
+/// transaction indices each round; successive waves are separated by the
+/// pool's join barrier, so wave N's writes happen-before wave N+1's reads.
+template <typename F>
+void parallel_for_indices(const std::vector<std::size_t>& indices, F&& fn,
+                          std::size_t min_per_thread = 1,
+                          ThreadPool* pool = nullptr) {
+  ThreadPool& p = pool ? *pool : global_pool();
+  p.for_chunks(indices.size(), min_per_thread,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t k = begin; k < end; ++k) fn(indices[k]);
+               });
+}
+
 /// out[i] = fn(items[i]) for every i, in parallel, order preserved. The
 /// result type must be default-constructible.
 template <typename T, typename F>

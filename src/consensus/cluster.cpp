@@ -100,6 +100,12 @@ void Cluster::open_store(Replica& r) {
     r.store.reset();
     return;
   }
+  // The outgoing chain's execution counters move to the retired
+  // accumulator so exec_stats() survives the swap — the same pitfall
+  // mempool_stats() hit when recover() replaced the pool. (Constructor-
+  // time opens retire a fresh chain, contributing zero; re-execution
+  // during recover_chain is counted by the *new* chain, which is live.)
+  if (r.chain) exec_retired_ += r.chain->exec_stats();
   r.chain = std::move(chain);
 }
 
@@ -178,6 +184,14 @@ ledger::Mempool::Stats Cluster::mempool_stats() const {
     total.recon_hits += s.recon_hits;
     total.recon_misses += s.recon_misses;
     total.fallbacks += s.fallbacks;
+  }
+  return total;
+}
+
+ledger::ExecStats Cluster::exec_stats() const {
+  ledger::ExecStats total = exec_retired_;
+  for (const auto& r : replicas_) {
+    if (r->chain) total += r->chain->exec_stats();
   }
   return total;
 }

@@ -143,6 +143,10 @@ class Cluster {
   /// Compact-relay reconstruction counters summed across all replicas
   /// (including pools retired by durable-mode recovery).
   [[nodiscard]] ledger::Mempool::Stats mempool_stats() const;
+  /// Execution-engine counters summed across all replicas (including
+  /// chains retired by durable-mode recovery — same survival rule as
+  /// mempool_stats()).
+  [[nodiscard]] ledger::ExecStats exec_stats() const;
   [[nodiscard]] std::size_t quorum() const { return 2 * max_faulty() + 1; }
   [[nodiscard]] std::size_t max_faulty() const {
     return (replicas_.size() - 1) / 3;
@@ -310,6 +314,10 @@ class Cluster {
   // Reconstruction counters of mempools retired by durable-mode recovery
   // (recover() replaces the pool; the history must survive the swap).
   ledger::Mempool::Stats recon_retired_;
+  // Execution counters of chains retired when open_store() replaces a
+  // replica's chain with the recovered one (same pitfall: the old chain's
+  // history must survive the swap).
+  ledger::ExecStats exec_retired_;
   bool started_ = false;
 };
 

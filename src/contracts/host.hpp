@@ -14,6 +14,14 @@ namespace tnp::contracts {
 /// One named smart contract. `call` runs inside a transaction: state writes
 /// go to the overlay (rolled back if the call fails) and every resource use
 /// must be charged to ctx.gas.
+///
+/// Concurrency contract: the optimistic parallel execution engine
+/// (ledger/chain.cpp) may run `call` for different transactions on
+/// different threads at once, each against its own overlay. Contracts must
+/// therefore be stateless — all state through the overlay, no mutable
+/// members, no globals — and deterministic: outputs, gas charges, and
+/// events are functions of (tx, reads, ctx) only, so a re-execution after
+/// a conflict abort replays identically. Every built-in satisfies both.
 class Contract {
  public:
   virtual ~Contract() = default;

@@ -204,7 +204,7 @@ class NewsContract final : public Contract {
     if (room->find('/') != std::string::npos) {
       return invalid("room name must not contain '/'");
     }
-    const auto platform_raw = state.get(keys::platform(*platform));
+    const Bytes* platform_raw = state.get_ptr(keys::platform(*platform));
     if (!platform_raw) return missing("platform " + *platform);
     ByteReader pr{BytesView(*platform_raw)};
     auto owner = read_account(pr);
@@ -228,7 +228,7 @@ class NewsContract final : public Contract {
     auto platform = args.str();
     auto who = read_account(args);
     if (!platform || !who) return invalid("authorize(platform, account)");
-    const auto platform_raw = state.get(keys::platform(*platform));
+    const Bytes* platform_raw = state.get_ptr(keys::platform(*platform));
     if (!platform_raw) return missing("platform " + *platform);
     ByteReader pr{BytesView(*platform_raw)};
     auto owner = read_account(pr);
@@ -260,7 +260,7 @@ class NewsContract final : public Contract {
       return missing("room " + *platform + "/" + *room);
     }
     // Authorization: platform owner or explicitly authorized journalist.
-    const auto platform_raw = state.get(keys::platform(*platform));
+    const Bytes* platform_raw = state.get_ptr(keys::platform(*platform));
     if (!platform_raw) return missing("platform " + *platform);
     ByteReader pr{BytesView(*platform_raw)};
     const auto owner = read_account(pr);
@@ -410,7 +410,7 @@ class RankingContract final : public Contract {
 
   static std::optional<Round> get_round(const ledger::StateReader& state,
                                         const Hash256& article) {
-    const auto raw = state.get(keys::rank_round(article));
+    const Bytes* raw = state.get_ptr(keys::rank_round(article));
     if (!raw) return std::nullopt;
     ByteReader r{BytesView(*raw)};
     Round round;
@@ -510,7 +510,7 @@ class RankingContract final : public Contract {
     double factual_weight = 0.0, total_weight = 0.0;
     for (std::uint64_t i = 0; i < round->vote_count; ++i) {
       if (auto s = ctx.charge(ctx.costs->state_read); !s.ok()) return s;
-      const auto raw = state.get(keys::rank_vote(*article, i));
+      const Bytes* raw = state.get_ptr(keys::rank_vote(*article, i));
       if (!raw) continue;
       auto vote = VoteRecord::decode(BytesView(*raw));
       if (!vote) continue;
@@ -724,15 +724,16 @@ class DetectorRegistryContract final : public Contract {
       if (!is_admin(state, ctx.sender)) {
         return denied("only governance records detector outcomes");
       }
-      const auto raw = state.get(keys::detector(*display_name));
-      if (!raw) return missing("unknown detector");
+      if (!state.contains(keys::detector(*display_name))) {
+        return missing("unknown detector");
+      }
       if (auto s = ctx.charge(2 * ctx.costs->state_write); !s.ok()) return s;
       // Multiplicative weight, same family as validator reputation.
       const double weight =
           get_f64(state, keys::detector_weight(*display_name), 1.0);
       set_f64(state, keys::detector_weight(*display_name),
               std::clamp(weight * (*agreed != 0 ? 1.05 : 0.90), 0.01, 10.0));
-      const auto stats_raw = state.get(keys::detector_stats(*display_name));
+      const Bytes* stats_raw = state.get_ptr(keys::detector_stats(*display_name));
       std::uint64_t total = 0, agreed_count = 0;
       if (stats_raw) {
         ByteReader sr{BytesView(*stats_raw)};
@@ -748,7 +749,7 @@ class DetectorRegistryContract final : public Contract {
     if (method == "deactivate") {
       auto display_name = args.str();
       if (!display_name) return invalid("deactivate(name)");
-      const auto raw = state.get(keys::detector(*display_name));
+      const Bytes* raw = state.get_ptr(keys::detector(*display_name));
       if (!raw) return missing("unknown detector");
       auto record = DetectorRecord::decode(BytesView(*raw));
       if (!record) return Status(ErrorCode::kCorruptData, "bad record");
@@ -775,8 +776,8 @@ class LedgerVmEnv final : public VmEnv {
       : address_(address), state_(state), ctx_(ctx) {}
 
   Bytes load(const Bytes& key) override {
-    const auto v = state_.get(keys::vm_data(address_, to_hex(BytesView(key))));
-    return v.value_or(Bytes{});
+    const Bytes* v = state_.get_ptr(keys::vm_data(address_, to_hex(BytesView(key))));
+    return v ? *v : Bytes{};
   }
   void store(const Bytes& key, const Bytes& value) override {
     state_.set(keys::vm_data(address_, to_hex(BytesView(key))), value);
@@ -825,7 +826,9 @@ class VmContract final : public Contract {
       auto address = read_hash(args);
       auto input = args.bytes();
       if (!address || !input) return invalid("invoke(address, input)");
-      const auto code = state.get(keys::vm_code(*address));
+      // Borrowed pointer: map nodes are stable, so VM stores into the
+      // overlay during execution cannot invalidate the code bytes.
+      const Bytes* code = state.get_ptr(keys::vm_code(*address));
       if (!code) return missing("no code at address");
       LedgerVmEnv env(*address, state, ctx);
       auto result =

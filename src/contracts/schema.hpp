@@ -260,9 +260,13 @@ inline std::string vm_data(const Hash256& address, const std::string& key_hex) {
 
 // -------------------------------------------------------- value helpers
 
+// Decoders borrow the stored bytes via StateReader::get_ptr — no value
+// copy on the read path (overlay reads memoize the base walk, so repeated
+// reads of one key are a single map probe).
+
 inline std::uint64_t get_u64(const ledger::StateReader& state,
                              std::string_view key, std::uint64_t fallback = 0) {
-  const auto raw = state.get(key);
+  const Bytes* raw = state.get_ptr(key);
   if (!raw) return fallback;
   ByteReader r{BytesView(*raw)};
   return r.u64().value_or(fallback);
@@ -277,7 +281,7 @@ void set_u64(State& state, std::string_view key, std::uint64_t value) {
 
 inline double get_f64(const ledger::StateReader& state, std::string_view key,
                       double fallback = 0.0) {
-  const auto raw = state.get(key);
+  const Bytes* raw = state.get_ptr(key);
   if (!raw) return fallback;
   ByteReader r{BytesView(*raw)};
   return r.f64().value_or(fallback);
@@ -292,7 +296,7 @@ void set_f64(State& state, std::string_view key, double value) {
 
 inline std::optional<AccountId> get_account(const ledger::StateReader& state,
                                             std::string_view key) {
-  const auto raw = state.get(key);
+  const Bytes* raw = state.get_ptr(key);
   if (!raw || raw->size() != 32) return std::nullopt;
   AccountId id;
   std::copy(raw->begin(), raw->end(), id.bytes.begin());
@@ -306,7 +310,7 @@ void set_account(State& state, std::string_view key, const AccountId& id) {
 
 inline std::optional<Profile> get_profile(const ledger::StateReader& state,
                                           const AccountId& account) {
-  const auto raw = state.get(keys::profile(account));
+  const Bytes* raw = state.get_ptr(keys::profile(account));
   if (!raw) return std::nullopt;
   return Profile::decode(BytesView(*raw));
 }

@@ -50,6 +50,13 @@ enum class Op : std::uint8_t {
 
 /// Where the VM reads/writes persistent data and emits events. Bridged to
 /// the ledger by the "vm" native contract; tests may use an in-memory impl.
+///
+/// Under optimistic parallel execution the ledger bridge routes load()
+/// through the transaction's instrumented state view, so VM reads enter
+/// the read set like any contract read, and gas stays deterministic on
+/// re-execution: every charge is a function of the opcode stream and the
+/// loaded values alone (kStore charges by value length, never by what was
+/// previously stored).
 class VmEnv {
  public:
   virtual ~VmEnv() = default;

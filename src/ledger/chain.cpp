@@ -1,5 +1,7 @@
 #include "ledger/chain.hpp"
 
+#include <numeric>
+
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "crypto/schnorr.hpp"
@@ -7,6 +9,13 @@
 namespace tnp::ledger {
 
 namespace {
+
+/// Nonce wire format shared by the serial and speculative read paths.
+std::uint64_t decode_nonce(const Bytes* raw) {
+  if (raw == nullptr) return 0;
+  ByteReader r{BytesView(*raw)};
+  return r.u64().value_or(0);
+}
 
 /// Verifies the signatures of txs[begin, end), writing per-index verdicts.
 /// Schnorr transactions in the range are checked with one algebraic batch
@@ -78,10 +87,7 @@ std::string Blockchain::nonce_key(const AccountId& account) {
 }
 
 std::uint64_t Blockchain::expected_nonce(const AccountId& account) const {
-  const auto raw = state_.get(nonce_key(account));
-  if (!raw) return 0;
-  ByteReader r{BytesView(*raw)};
-  return r.u64().value_or(0);
+  return decode_nonce(state_.get_ptr(nonce_key(account)));
 }
 
 Status Blockchain::precheck(const Transaction& tx) const {
@@ -238,6 +244,168 @@ Receipt Blockchain::execute_tx(const Transaction& tx,
   return receipt;
 }
 
+Blockchain::SpecResult Blockchain::speculate_tx(
+    const Block& block, std::size_t index, const MultiVersionState& mv,
+    const unsigned char* sig_verdict) const {
+  const Transaction& tx = block.txs[index];
+  SpecResult out;
+  Receipt& receipt = out.receipt;
+  receipt.tx_id = tx.id();
+  GasMeter gas(tx.gas_limit);
+
+  // All reads flow through the instrumented view (recording versions for
+  // validation); all writes buffer in the outer overlay until harvested.
+  SpeculativeStateView view(mv, index);
+  OverlayState tx_state(static_cast<const StateReader&>(view));
+
+  auto fail = [&](const Status& status) {
+    receipt.success = false;
+    receipt.error = status.error().to_string();
+    receipt.gas_used = gas.used();
+  };
+
+  // Mirrors execute_tx decision-for-decision; any divergence here breaks
+  // the bit-identical guarantee the equivalence tests enforce.
+  [&] {
+    if (auto s = gas.charge(config_.gas_costs.base_tx); !s.ok()) {
+      return fail(s);
+    }
+    const AccountId sender = tx.sender();
+    if (config_.verify_signatures) {
+      if (auto s = gas.charge(config_.gas_costs.sig_verify); !s.ok()) {
+        return fail(s);
+      }
+      const bool sig_ok =
+          sig_verdict ? *sig_verdict != 0 : tx.verify_signature();
+      if (!sig_ok) {
+        return fail(Status(ErrorCode::kUnauthenticated, "bad signature"));
+      }
+    }
+
+    const std::uint64_t expected =
+        decode_nonce(tx_state.get_ptr(nonce_key(sender)));
+    if (tx.nonce != expected) {
+      return fail(Status(ErrorCode::kFailedPrecondition,
+                         "nonce " + std::to_string(tx.nonce) + " != expected " +
+                             std::to_string(expected)));
+    }
+    // Nonce advances regardless of execution outcome (replay protection):
+    // written to the outer overlay, so it survives a contract rollback —
+    // the speculative analogue of the serial path's direct state_ write.
+    {
+      ByteWriter w;
+      w.u64(expected + 1);
+      tx_state.set(nonce_key(sender), w.take());
+    }
+
+    OverlayState scratch(tx_state);
+    std::vector<Event> tx_events;
+    ExecContext ctx{
+        .block_height = height() + 1,
+        .block_time = block.header.timestamp,
+        .sender = sender,
+        .tx_id = receipt.tx_id,
+        .gas = &gas,
+        .events = &tx_events,
+        .costs = &config_.gas_costs,
+    };
+    const Status status = executor_.execute(tx, scratch, ctx);
+    receipt.gas_used = gas.used();
+    if (status.ok()) {
+      scratch.commit();  // flushes into tx_state
+      receipt.success = true;
+      out.events = std::move(tx_events);
+    } else {
+      scratch.rollback();
+      receipt.success = false;
+      receipt.error = status.error().to_string();
+    }
+  }();
+
+  out.writes = tx_state.take_writes();
+  out.reads = view.take_reads();  // kept even on failure: a failed tx's
+                                  // decision may rest on stale reads
+  return out;
+}
+
+void Blockchain::apply_txs_parallel(
+    const Block& block, const std::vector<unsigned char>& sig_verdicts,
+    BlockResult& result) {
+  const std::size_t n = block.txs.size();
+  MultiVersionState mv(state_, n);
+  std::vector<SpecResult> rec(n);
+  std::vector<unsigned char> final_tx(n, 0);  // validated; never re-runs
+  std::vector<std::size_t> wave(n);
+  std::iota(wave.begin(), wave.end(), std::size_t{0});
+
+  std::uint64_t speculated = 0, waves = 0, aborted = 0;
+  while (!wave.empty()) {
+    ++waves;
+    speculated += wave.size();
+    parallel_for_indices(wave, [&](std::size_t i) {
+      SpecResult r = speculate_tx(
+          block, i, mv, sig_verdicts.empty() ? nullptr : &sig_verdicts[i]);
+      mv.publish(i, r.writes);
+      rec[i] = std::move(r);
+    });
+    // In-order validation: tx i is final once every read still resolves to
+    // the version it observed AND that version's writer is itself final —
+    // a matching version from a non-final writer may be a doomed
+    // speculation about to republish. Validating in index order means a
+    // writer validated earlier in this same pass already counts, and the
+    // lowest pending tx (whose reads can only hit final writers) always
+    // finalizes, so the loop runs at most n waves.
+    std::vector<std::size_t> next;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (final_tx[i]) continue;
+      bool valid = true;
+      for (const auto& [key, seen] : rec[i].reads) {
+        if (seen.version.writer != ReadVersion::kBase &&
+            !final_tx[static_cast<std::size_t>(seen.version.writer)]) {
+          valid = false;
+          break;
+        }
+        if (!(mv.current_version(key, i) == seen.version)) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) {
+        final_tx[i] = 1;
+      } else {
+        next.push_back(i);
+      }
+    }
+    aborted += next.size();
+    wave = std::move(next);
+  }
+  ++exec_stats_.parallel_blocks;
+  exec_stats_.waves += waves;
+  exec_stats_.speculated += speculated;
+  exec_stats_.aborted += aborted;
+  exec_stats_.reexecuted += speculated - n;
+
+  // Serial commit in tx order: the exact writes the serial loop would
+  // make, applied in the same order — state root, receipts, events, and
+  // gas totals are bit-identical to serial execution.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& [key, value] : rec[i].writes) {
+      if (value.has_value()) {
+        state_.set(key, std::move(*value));
+      } else {
+        state_.erase(key);
+      }
+    }
+    Receipt& receipt = rec[i].receipt;
+    total_gas_used_ += receipt.gas_used;
+    if (!receipt.success) {
+      log_debug("tx ", receipt.tx_id.short_hex(), " failed: ", receipt.error);
+    }
+    for (auto& ev : rec[i].events) result.events.push_back(std::move(ev));
+    result.receipts.push_back(std::move(receipt));
+  }
+}
+
 ChainCheckpoint Blockchain::checkpoint() const {
   ChainCheckpoint cp;
   cp.height = height();
@@ -307,15 +475,23 @@ Status Blockchain::apply_block(const Block& block) {
   BlockResult result;
   result.receipts.reserve(block.txs.size());
   pending_block_time_ = block.header.timestamp;
-  for (std::size_t i = 0; i < block.txs.size(); ++i) {
-    const auto& tx = block.txs[i];
-    Receipt receipt = execute_tx(
-        tx, result.events, sig_verdicts.empty() ? nullptr : &sig_verdicts[i]);
-    total_gas_used_ += receipt.gas_used;
-    if (!receipt.success) {
-      log_debug("tx ", receipt.tx_id.short_hex(), " failed: ", receipt.error);
+  const bool speculative = config_.parallel_execution &&
+                           block.txs.size() >= config_.parallel_min_txs &&
+                           global_pool().width() > 1;
+  if (speculative) {
+    apply_txs_parallel(block, sig_verdicts, result);
+  } else {
+    ++exec_stats_.serial_blocks;
+    for (std::size_t i = 0; i < block.txs.size(); ++i) {
+      const auto& tx = block.txs[i];
+      Receipt receipt = execute_tx(
+          tx, result.events, sig_verdicts.empty() ? nullptr : &sig_verdicts[i]);
+      total_gas_used_ += receipt.gas_used;
+      if (!receipt.success) {
+        log_debug("tx ", receipt.tx_id.short_hex(), " failed: ", receipt.error);
+      }
+      result.receipts.push_back(std::move(receipt));
     }
-    result.receipts.push_back(std::move(receipt));
   }
   tx_count_ += block.txs.size();
   blocks_.push_back(block);

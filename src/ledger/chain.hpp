@@ -58,6 +58,30 @@ struct BlockResult {
   std::vector<Event> events;  // all events, in tx order
 };
 
+/// Counters from the execution engine, cumulative across applied blocks.
+/// Observability only — never part of committed state, receipts, or chaos
+/// fingerprints: abort/re-execution counts depend on thread scheduling and
+/// are not deterministic run to run (unlike every committed artifact,
+/// which is bit-identical to serial execution by construction).
+struct ExecStats {
+  std::uint64_t serial_blocks = 0;    // blocks run on the serial baseline path
+  std::uint64_t parallel_blocks = 0;  // blocks run through the speculative engine
+  std::uint64_t speculated = 0;       // speculative tx executions (incl. re-runs)
+  std::uint64_t aborted = 0;          // read-set validation failures
+  std::uint64_t reexecuted = 0;       // executions beyond the first, per tx
+  std::uint64_t waves = 0;            // scheduling waves across parallel blocks
+
+  ExecStats& operator+=(const ExecStats& o) {
+    serial_blocks += o.serial_blocks;
+    parallel_blocks += o.parallel_blocks;
+    speculated += o.speculated;
+    aborted += o.aborted;
+    reexecuted += o.reexecuted;
+    waves += o.waves;
+    return *this;
+  }
+};
+
 /// Everything derived state a chain holds at a height: the inputs to
 /// Blockchain::restore() and the payload of a storage-layer snapshot. A
 /// checkpoint is *derived* data — blocks re-executed from genesis produce
@@ -79,6 +103,16 @@ struct ChainConfig {
   /// whose signatures already checked out at mempool admission (precheck)
   /// are not re-verified at block commit.
   std::size_t sig_cache_capacity = 1 << 16;
+  /// Optimistic parallel execution (Block-STM family): execute block
+  /// transactions speculatively on the global thread pool against a
+  /// multi-version overlay, validate read sets in transaction order,
+  /// re-execute conflicters, then commit serially in block order. Results
+  /// — state root, receipts, events, gas — are bit-identical to the serial
+  /// path, which remains the fallback when the pool width is 1
+  /// (TNP_THREADS=1) or the block is below parallel_min_txs.
+  bool parallel_execution = true;
+  /// Smallest block worth speculating on; below this the serial loop wins.
+  std::size_t parallel_min_txs = 4;
 };
 
 /// Bounded FIFO set of transaction ids whose signatures have verified.
@@ -202,6 +236,8 @@ class Blockchain {
   /// Number of transaction ids currently held by the verified-signature
   /// cache (observability / tests).
   [[nodiscard]] std::size_t sig_cache_size() const { return sig_cache_.size(); }
+  /// Execution-engine counters (cumulative; see ExecStats for caveats).
+  [[nodiscard]] const ExecStats& exec_stats() const { return exec_stats_; }
 
  private:
   Status validate_header(const Block& block) const;
@@ -220,6 +256,27 @@ class Blockchain {
   Receipt execute_tx(const Transaction& tx, std::vector<Event>& events,
                      const unsigned char* sig_verdict = nullptr);
 
+  /// One transaction's speculative execution artifacts, harvested for
+  /// validation and (if it survives) the serial commit pass.
+  struct SpecResult {
+    OverlayState::WriteSet writes;
+    SpeculativeStateView::ReadSet reads;
+    Receipt receipt;
+    std::vector<Event> events;
+  };
+  /// Executes block.txs[index] against the multi-version overlay, reads
+  /// instrumented through a SpeculativeStateView. Mirrors execute_tx
+  /// decision-for-decision (gas charges, nonce handling, rollback) so a
+  /// validated result is bit-identical to what the serial path produces.
+  SpecResult speculate_tx(const Block& block, std::size_t index,
+                          const MultiVersionState& mv,
+                          const unsigned char* sig_verdict) const;
+  /// The optimistic engine: wave-parallel speculation, in-order read-set
+  /// validation, abort/re-execute, then a serial commit in tx order.
+  void apply_txs_parallel(const Block& block,
+                          const std::vector<unsigned char>& sig_verdicts,
+                          BlockResult& result);
+
   TransactionExecutor& executor_;
   ChainConfig config_;
   /// Ids of transactions whose signatures verified (at precheck or in a
@@ -231,6 +288,7 @@ class Blockchain {
   std::vector<BlockResult> results_; // parallel to blocks_
   std::uint64_t total_gas_used_ = 0;
   std::uint64_t tx_count_ = 0;
+  ExecStats exec_stats_;
   sim::SimTime pending_block_time_ = 0;  // timestamp of the block being applied
 };
 

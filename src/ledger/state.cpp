@@ -1,5 +1,7 @@
 #include "ledger/state.hpp"
 
+#include <mutex>
+
 namespace tnp::ledger {
 
 Hash256 WorldState::entry_digest(std::string_view key, BytesView value) {
@@ -17,10 +19,10 @@ void WorldState::xor_into_root(const Hash256& digest) {
   }
 }
 
-std::optional<Bytes> WorldState::get(std::string_view key) const {
+const Bytes* WorldState::get_ptr(std::string_view key) const {
   const auto it = entries_.find(key);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
 }
 
 void WorldState::set(std::string_view key, Bytes value) {
@@ -41,10 +43,18 @@ void WorldState::erase(std::string_view key) {
   entries_.erase(it);
 }
 
-std::optional<Bytes> OverlayState::get(std::string_view key) const {
+const Bytes* OverlayState::get_ptr(std::string_view key) const {
   const auto it = writes_.find(key);
-  if (it != writes_.end()) return it->second;  // nullopt == deleted
-  return base_.get(key);
+  if (it != writes_.end()) {
+    // Map nodes are stable, so pointers into the buffered write survive
+    // later set/erase calls (until commit/rollback/take_writes).
+    return it->second.has_value() ? &*it->second : nullptr;
+  }
+  const auto memo = read_memo_.find(key);
+  if (memo != read_memo_.end()) return memo->second;
+  const Bytes* value = base_->get_ptr(key);
+  read_memo_.emplace(std::string(key), value);
+  return value;
 }
 
 void OverlayState::set(std::string_view key, Bytes value) {
@@ -58,12 +68,84 @@ void OverlayState::erase(std::string_view key) {
 void OverlayState::commit() {
   for (auto& [key, value] : writes_) {
     if (value.has_value()) {
-      base_.set(key, std::move(*value));
+      target_->set(key, std::move(*value));
     } else {
-      base_.erase(key);
+      target_->erase(key);
     }
   }
   writes_.clear();
+  read_memo_.clear();  // base just mutated; cached pointers are stale
+}
+
+OverlayState::WriteSet OverlayState::take_writes() {
+  WriteSet out = std::move(writes_);
+  writes_.clear();
+  return out;
+}
+
+MultiVersionState::Resolved MultiVersionState::read(std::string_view key,
+                                                    std::size_t reader) const {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = table_.find(key);
+    if (it != table_.end()) {
+      const auto& versions = it->second;
+      auto v = versions.lower_bound(reader);
+      if (v != versions.begin()) {
+        --v;  // highest writer strictly below the reader
+        Resolved out;
+        out.pin = v->second.value;
+        out.value = out.pin.get();  // null pin = tombstone = absent
+        out.version = {static_cast<std::int32_t>(v->first),
+                       v->second.incarnation};
+        return out;
+      }
+    }
+  }
+  // Pre-block state: immutable while the block executes, so the borrowed
+  // pointer needs no pin and no lock.
+  Resolved out;
+  out.value = base_.get_ptr(key);
+  return out;
+}
+
+ReadVersion MultiVersionState::current_version(std::string_view key,
+                                               std::size_t reader) const {
+  std::shared_lock lock(mu_);
+  const auto it = table_.find(key);
+  if (it != table_.end()) {
+    const auto& versions = it->second;
+    auto v = versions.lower_bound(reader);
+    if (v != versions.begin()) {
+      --v;
+      return {static_cast<std::int32_t>(v->first), v->second.incarnation};
+    }
+  }
+  return {};  // resolves to base
+}
+
+void MultiVersionState::publish(std::size_t writer,
+                                const OverlayState::WriteSet& writes) {
+  std::unique_lock lock(mu_);
+  const std::uint32_t incarnation = ++incarnation_[writer];
+  // Drop keys the previous incarnation wrote but this one does not.
+  for (const auto& key : written_[writer]) {
+    if (writes.find(key) != writes.end()) continue;
+    const auto it = table_.find(key);
+    if (it == table_.end()) continue;
+    it->second.erase(writer);
+    if (it->second.empty()) table_.erase(it);
+  }
+  auto& recorded = written_[writer];
+  recorded.clear();
+  recorded.reserve(writes.size());
+  for (const auto& [key, value] : writes) {
+    recorded.push_back(key);
+    Write w;
+    w.incarnation = incarnation;
+    if (value.has_value()) w.value = std::make_shared<const Bytes>(*value);
+    table_[key][writer] = std::move(w);
+  }
 }
 
 }  // namespace tnp::ledger

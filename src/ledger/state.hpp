@@ -9,33 +9,66 @@
 // simulation-grade substitution in DESIGN.md.
 //
 // OverlayState buffers writes for one transaction so a failed execution
-// rolls back atomically.
+// rolls back atomically. MultiVersionState + SpeculativeStateView are the
+// block-level multi-version overlay the optimistic parallel execution
+// engine (chain.cpp) speculates against: per key, the write of every
+// transaction index that touched it, so a reader at index i resolves to
+// the highest writer below i and records the version it saw for
+// commit-time validation.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "crypto/hash.hpp"
 
 namespace tnp::ledger {
 
-/// Read interface shared by WorldState and OverlayState.
+/// Read interface shared by every state view. The primitive is get_ptr —
+/// a borrowed pointer into the store — so hot paths (schema decoders, VM
+/// loads, nested overlay walks) avoid copying value bytes. The pointer is
+/// valid until the underlying store mutates; callers that outlive the next
+/// write copy via get().
 class StateReader {
  public:
   virtual ~StateReader() = default;
-  [[nodiscard]] virtual std::optional<Bytes> get(std::string_view key) const = 0;
-  [[nodiscard]] virtual bool contains(std::string_view key) const {
-    return get(key).has_value();
+
+  /// Pointer to the stored value, or nullptr when the key is absent (or
+  /// deleted by an overlay tombstone).
+  [[nodiscard]] virtual const Bytes* get_ptr(std::string_view key) const = 0;
+
+  /// Copying convenience wrapper over get_ptr.
+  [[nodiscard]] std::optional<Bytes> get(std::string_view key) const {
+    const Bytes* value = get_ptr(key);
+    if (value == nullptr) return std::nullopt;
+    return *value;
+  }
+
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return get_ptr(key) != nullptr;
   }
 };
 
-class WorldState final : public StateReader {
+/// Write interface shared by WorldState and OverlayState so an overlay can
+/// commit into either (nested overlays flush into their parent).
+class WritableState {
  public:
-  [[nodiscard]] std::optional<Bytes> get(std::string_view key) const override;
-  void set(std::string_view key, Bytes value);
-  void erase(std::string_view key);
+  virtual ~WritableState() = default;
+  virtual void set(std::string_view key, Bytes value) = 0;
+  virtual void erase(std::string_view key) = 0;
+};
+
+class WorldState final : public StateReader, public WritableState {
+ public:
+  [[nodiscard]] const Bytes* get_ptr(std::string_view key) const override;
+  void set(std::string_view key, Bytes value) override;
+  void erase(std::string_view key) override;
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const Hash256& root() const { return root_; }
@@ -61,27 +94,135 @@ class WorldState final : public StateReader {
 };
 
 /// Copy-on-write view over a base state. Writes and tombstones live in the
-/// overlay until commit() flushes them into the base.
-class OverlayState final : public StateReader {
+/// overlay until commit() flushes them into the base (or take_writes()
+/// hands them to the caller for deferred application).
+///
+/// Reads that fall through to the base are memoized, so a chain of nested
+/// overlays walks each layer at most once per key; the memo stays valid
+/// because the base cannot mutate while the overlay buffers (own writes are
+/// consulted before the memo).
+class OverlayState final : public StateReader, public WritableState {
  public:
-  explicit OverlayState(WorldState& base) : base_(base) {}
+  /// Overlay whose commit() flushes into a world state.
+  explicit OverlayState(WorldState& base) : base_(&base), target_(&base) {}
+  /// Nested overlay: commit() flushes into the parent overlay. (This
+  /// doubles as the copy-constructor slot — overlays are not copyable.)
+  explicit OverlayState(OverlayState& parent) : base_(&parent), target_(&parent) {}
+  /// Overlay over a read-only view (speculative execution): commit() is
+  /// unavailable; the engine harvests buffered ops with take_writes().
+  explicit OverlayState(const StateReader& base) : base_(&base) {}
 
-  [[nodiscard]] std::optional<Bytes> get(std::string_view key) const override;
-  void set(std::string_view key, Bytes value);
-  void erase(std::string_view key);
+  [[nodiscard]] const Bytes* get_ptr(std::string_view key) const override;
+  void set(std::string_view key, Bytes value) override;
+  void erase(std::string_view key) override;
 
   /// Number of buffered operations (writes + tombstones).
   [[nodiscard]] std::size_t pending() const { return writes_.size(); }
 
-  /// Applies buffered ops to the base state and clears the overlay.
+  /// nullopt value = tombstone.
+  using WriteSet = std::map<std::string, std::optional<Bytes>, std::less<>>;
+
+  /// Applies buffered ops to the writable base and clears the overlay.
+  /// Requires a writable base (WorldState or parent overlay).
   void commit();
   /// Drops all buffered ops.
   void rollback() { writes_.clear(); }
+  /// Moves the buffered ops out (leaving the overlay empty) without
+  /// touching the base — the parallel engine applies them at commit order.
+  [[nodiscard]] WriteSet take_writes();
 
  private:
-  WorldState& base_;
-  // nullopt value = tombstone.
-  std::map<std::string, std::optional<Bytes>, std::less<>> writes_;
+  const StateReader* base_;
+  WritableState* target_ = nullptr;  // null when the base is read-only
+  WriteSet writes_;
+  // Memoized base fall-throughs (nullptr = base miss). Cleared on commit,
+  // since committing mutates the base the cached pointers borrow from.
+  mutable std::map<std::string, const Bytes*, std::less<>> read_memo_;
+};
+
+/// Version observed by a speculative read: which transaction's write was
+/// visible (kBase = the block's pre-state) and that transaction's
+/// incarnation (re-execution count) at the time of the read.
+struct ReadVersion {
+  static constexpr std::int32_t kBase = -1;
+  std::int32_t writer = kBase;
+  std::uint32_t incarnation = 0;
+  friend bool operator==(const ReadVersion&, const ReadVersion&) = default;
+};
+
+/// Block-level multi-version overlay for optimistic parallel execution.
+/// Per key it holds the write (value or tombstone) of every transaction
+/// index that published one, so a reader at index i resolves to the
+/// highest writer strictly below i, falling back to the pre-block world
+/// state. Thread-safe: reads take a shared lock, publishes an exclusive
+/// one. Values are shared_ptr-owned so a reader can pin what it observed
+/// while a concurrent re-execution republishes the same slot.
+class MultiVersionState {
+ public:
+  MultiVersionState(const WorldState& base, std::size_t tx_count)
+      : base_(base), written_(tx_count), incarnation_(tx_count, 0) {}
+
+  struct Resolved {
+    const Bytes* value = nullptr;      // nullptr = absent or deleted
+    std::shared_ptr<const Bytes> pin;  // keeps overlay-owned values alive
+    ReadVersion version{};
+  };
+
+  /// Value visible to transaction `reader` right now.
+  [[nodiscard]] Resolved read(std::string_view key, std::size_t reader) const;
+
+  /// Version transaction `reader` would observe for `key` right now —
+  /// validation compares this against the ReadVersion recorded at
+  /// execution time.
+  [[nodiscard]] ReadVersion current_version(std::string_view key,
+                                            std::size_t reader) const;
+
+  /// Replaces transaction `writer`'s write set (bumping its incarnation):
+  /// keys from the previous publish that the re-execution no longer
+  /// writes are removed.
+  void publish(std::size_t writer, const OverlayState::WriteSet& writes);
+
+ private:
+  struct Write {
+    std::shared_ptr<const Bytes> value;  // null = tombstone
+    std::uint32_t incarnation = 0;
+  };
+
+  const WorldState& base_;
+  mutable std::shared_mutex mu_;
+  // key -> (writer tx index -> write)
+  std::map<std::string, std::map<std::size_t, Write>, std::less<>> table_;
+  std::vector<std::vector<std::string>> written_;  // per tx: last published keys
+  std::vector<std::uint32_t> incarnation_;
+};
+
+/// Instrumented reader for one speculative transaction execution. Every
+/// resolved read is memoized and recorded with the version it observed, so
+/// (a) commit-time validation can replay the read set against the final
+/// overlay, and (b) re-reading a key mid-execution stays stable even while
+/// other transactions republish underneath.
+class SpeculativeStateView final : public StateReader {
+ public:
+  SpeculativeStateView(const MultiVersionState& mv, std::size_t reader)
+      : mv_(mv), reader_(reader) {}
+
+  [[nodiscard]] const Bytes* get_ptr(std::string_view key) const override {
+    auto it = reads_.find(key);
+    if (it == reads_.end()) {
+      it = reads_.emplace(std::string(key), mv_.read(key, reader_)).first;
+    }
+    return it->second.value;
+  }
+
+  /// Read set: key -> the resolved value/version observed first.
+  using ReadSet = std::map<std::string, MultiVersionState::Resolved, std::less<>>;
+  [[nodiscard]] const ReadSet& reads() const { return reads_; }
+  [[nodiscard]] ReadSet take_reads() { return std::move(reads_); }
+
+ private:
+  const MultiVersionState& mv_;
+  std::size_t reader_;
+  mutable ReadSet reads_;
 };
 
 }  // namespace tnp::ledger

@@ -10,6 +10,7 @@ namespace tnp::testutil {
 /// Minimal executor: contract "kv" with methods
 ///   set(key str, value str) — writes the pair
 ///   del(key str)            — erases
+///   add(key str, delta u64) — read-modify-write counter (conflict workload)
 ///   fail()                  — always fails (tests rollback)
 ///   burn(amount u64)        — charges `amount` gas
 /// Anything else: kNotFound.
@@ -40,6 +41,29 @@ class KvExecutor final : public ledger::TransactionExecutor {
       state.erase("kv/" + *key);
       return Status::Ok();
     }
+    if (tx.method == "add") {
+      // Read-modify-write: the conflicting workload for the optimistic
+      // parallel engine — txs adding to one key must serialize.
+      auto key = r.str();
+      auto delta = r.u64();
+      if (!key || !delta) {
+        return Status(ErrorCode::kInvalidArgument, "add(key, delta)");
+      }
+      if (auto s = ctx.charge(ctx.costs->state_read + ctx.costs->state_write);
+          !s.ok()) {
+        return s;
+      }
+      std::uint64_t current = 0;
+      if (const Bytes* raw = state.get_ptr("kv/" + *key)) {
+        ByteReader vr{BytesView(*raw)};
+        current = vr.u64().value_or(0);
+      }
+      ByteWriter w;
+      w.u64(current + *delta);
+      state.set("kv/" + *key, w.take());
+      ctx.emit("kv.add", to_bytes(*key));
+      return Status::Ok();
+    }
     if (tx.method == "fail") {
       // Writes then fails: the write must be rolled back.
       state.set("kv/should-not-exist", to_bytes("x"));
@@ -64,6 +88,21 @@ inline ledger::Transaction make_set_tx(const KeyPair& key, std::uint64_t nonce,
   ByteWriter w;
   w.str(k);
   w.str(v);
+  tx.args = w.take();
+  tx.sign_with(key);
+  return tx;
+}
+
+inline ledger::Transaction make_add_tx(const KeyPair& key, std::uint64_t nonce,
+                                       const std::string& k,
+                                       std::uint64_t delta) {
+  ledger::Transaction tx;
+  tx.nonce = nonce;
+  tx.contract = "kv";
+  tx.method = "add";
+  ByteWriter w;
+  w.str(k);
+  w.u64(delta);
   tx.args = w.take();
   tx.sign_with(key);
   return tx;
