@@ -1,6 +1,8 @@
 #include "consensus/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
 
 #include "common/log.hpp"
 
@@ -37,6 +39,7 @@ Cluster::Cluster(net::Network& network, ExecutorFactory make_executor,
         static_cast<std::uint32_t>(i),
         KeyPair::generate(scheme, config_.seed * 1000003ULL + i));
     replica->timer_rng = Rng(config_.seed * 0x9E3779B97F4A7C15ULL + 7919 * (i + 1));
+    replica->peer_claims.assign(config_.replicas, 0);
     replica->executor = make_executor();
     replica->chain =
         std::make_unique<ledger::Blockchain>(*replica->executor, config_.chain);
@@ -128,7 +131,7 @@ void Cluster::recover(std::size_t replica) {
   ++r.timer_epoch;
   r.cpu_available = simulator().now();
   r.backoff_failures = 0;
-  r.sync_inflight = false;  // a pre-crash sync response may never arrive
+  r.sync.reset();  // pre-crash sync responses may never arrive
   if (r.disk) {
     // Restart from persisted state, not RAM: the chain is rebuilt from the
     // store, and every piece of volatile consensus state — slots, stashed
@@ -144,6 +147,9 @@ void Cluster::recover(std::size_t replica) {
     r.voted_view = 0;
     r.view = 0;
     r.known_committed = 0;
+    r.peer_claims.assign(replicas_.size(), 0);
+    r.serve_counts.clear();
+    r.serve_window = 0;
     const auto& retired = r.mempool.stats();
     recon_retired_.recon_hits += retired.recon_hits;
     recon_retired_.recon_misses += retired.recon_misses;
@@ -163,6 +169,34 @@ void Cluster::recover(std::size_t replica) {
 
 void Cluster::set_equivocating(std::size_t replica, bool value) {
   replicas_.at(replica)->equivocate = value;
+}
+
+void Cluster::set_adversary(std::size_t replica, AdversaryHook hook) {
+  replicas_.at(replica)->adversary = std::move(hook);
+}
+
+void Cluster::adversary_send(std::size_t replica,
+                             std::optional<std::uint32_t> peer,
+                             ConsensusMsg msg) {
+  Replica& r = *replicas_.at(replica);
+  if (r.crashed) return;
+  occupy_cpu(r, config_.crypto.sign_cost(config_.auth_mode));
+  authenticate(r, msg);
+  const Bytes wire = msg.encode(true);
+  if (peer) {
+    if (*peer >= replicas_.size() || *peer == r.index) return;
+    record_wire(msg.type, wire.size(), 1);
+    route_wire(r, replicas_[*peer]->node, wire);
+  } else {
+    record_wire(msg.type, wire.size(), replicas_.size() - 1);
+    for (auto& p : replicas_) {
+      if (p->index == r.index) continue;
+      route_wire(r, p->node, wire);
+    }
+  }
+  // Attack ticks fire outside any handler, so nothing downstream flushes
+  // the outbox for us.
+  network_.flush_outbox(r.node);
 }
 
 const ledger::Blockchain& Cluster::chain(std::size_t replica) const {
@@ -196,16 +230,16 @@ ledger::ExecStats Cluster::exec_stats() const {
   return total;
 }
 
-bool Cluster::chains_consistent() const {
+bool Cluster::chains_consistent(const std::set<std::size_t>& exclude) const {
   std::uint64_t min_height = UINT64_MAX;
   for (const auto& r : replicas_) {
-    if (r->crashed) continue;
+    if (r->crashed || exclude.count(r->index)) continue;
     min_height = std::min(min_height, r->chain->height());
   }
   if (min_height == UINT64_MAX) return true;
   const ledger::Blockchain* reference = nullptr;
   for (const auto& r : replicas_) {
-    if (r->crashed) continue;
+    if (r->crashed || exclude.count(r->index)) continue;
     if (!reference) {
       reference = r->chain.get();
       continue;
@@ -268,6 +302,13 @@ void Cluster::send_to_all(Replica& sender, const ConsensusMsg& msg) {
           ? per_msg * static_cast<sim::SimTime>(replicas_.size() - 1)
           : per_msg;
   occupy_cpu(sender, total);
+  if (sender.adversary) {
+    for (auto& peer : replicas_) {
+      if (peer->index == sender.index) continue;
+      deliver_adversarial(sender, *peer, msg);
+    }
+    return;
+  }
   const Bytes wire = msg.encode(true);
   record_wire(msg.type, wire.size(), replicas_.size() - 1);
   for (auto& peer : replicas_) {
@@ -279,9 +320,23 @@ void Cluster::send_to_all(Replica& sender, const ConsensusMsg& msg) {
 void Cluster::send_direct(Replica& sender, std::uint32_t peer_index,
                           const ConsensusMsg& msg) {
   occupy_cpu(sender, config_.crypto.sign_cost(config_.auth_mode));
+  if (sender.adversary) {
+    deliver_adversarial(sender, *replicas_[peer_index], msg);
+    return;
+  }
   Bytes wire = msg.encode(true);
   record_wire(msg.type, wire.size(), 1);
   route_wire(sender, replicas_[peer_index]->node, std::move(wire));
+}
+
+void Cluster::deliver_adversarial(Replica& sender, Replica& peer,
+                                  const ConsensusMsg& msg) {
+  for (ConsensusMsg& out : sender.adversary(peer.index, msg)) {
+    authenticate(sender, out);
+    Bytes wire = out.encode(true);
+    record_wire(out.type, wire.size(), 1);
+    route_wire(sender, peer.node, std::move(wire));
+  }
 }
 
 void Cluster::on_network_message(std::size_t replica_index,
@@ -395,34 +450,92 @@ void Cluster::note_cluster_progress(Replica& r, const ConsensusMsg& msg) {
     default:
       return;
   }
-  if (evidence > r.known_committed) r.known_committed = evidence;
+  if (msg.sender >= r.peer_claims.size()) return;
+  // One message is one claim, not cluster truth: known_committed advances
+  // only to heights at least f+1 distinct replicas (self included) back, so
+  // f Byzantine senders announcing a phantom height can neither drag us
+  // into syncing a chain that does not exist nor wedge the progress check
+  // (which prefers sync over view voting) forever.
+  auto& claim = r.peer_claims[msg.sender];
+  if (evidence > claim) claim = evidence;
+  std::vector<std::uint64_t> claims = r.peer_claims;
+  claims[r.index] = std::max(claims[r.index], r.chain->height());
+  const std::size_t rank = max_faulty();  // (f+1)-th largest
+  std::nth_element(claims.begin(), claims.begin() + rank, claims.end(),
+                   std::greater<>());
+  if (claims[rank] > r.known_committed) r.known_committed = claims[rank];
   // More than one block behind: the normal pipeline replay cannot close the
   // gap (we missed the traffic entirely) — fetch history.
   if (r.known_committed > r.chain->height() + 1) request_sync(r);
 }
 
 void Cluster::request_sync(Replica& r) {
-  if (r.sync_inflight) return;
   if (replicas_.size() < 2) return;  // nobody to sync from
-  r.sync_inflight = true;
-  ConsensusMsg req;
-  req.type = MsgType::kSyncRequest;
-  req.sender = r.index;
-  req.seq = r.chain->height() + 1;
-  authenticate(r, req);
-  // Round-robin over the n-1 peers (never self: a self-addressed request
-  // goes nowhere and wedges sync_inflight until the next progress check,
-  // slow enough that a laggard loses the race against block production) so
-  // one crashed peer cannot starve catch-up.
-  const auto peer_index =
-      (r.index + 1 + r.sync_peer_rotation++ % (replicas_.size() - 1)) %
-      replicas_.size();
-  send_direct(r, static_cast<std::uint32_t>(peer_index), req);
+  const std::uint64_t want = r.chain->height() + 1;
+  if (r.sync && r.sync->want == want) return;  // round already open
+  r.sync.emplace();
+  r.sync->want = want;
+  // Ask f+1 peers at once (round-robin rotation, never self): adoption
+  // needs f+1 matching digests, and over-asking keeps one crashed or lying
+  // peer from starving catch-up.
+  const std::size_t asks = std::min(max_faulty() + 1, replicas_.size() - 1);
+  for (std::size_t k = 0; k < asks; ++k) sync_ask_next(r);
+}
+
+void Cluster::sync_ask_next(Replica& r) {
+  if (!r.sync) return;
+  const std::size_t n = replicas_.size();
+  for (std::size_t tries = 0; tries + 1 < n; ++tries) {
+    const auto peer = static_cast<std::uint32_t>(
+        (r.index + 1 + r.sync_peer_rotation++ % (n - 1)) % n);
+    if (!r.sync->asked.insert(peer).second) continue;  // already asked
+    ConsensusMsg req;
+    req.type = MsgType::kSyncRequest;
+    req.sender = r.index;
+    req.seq = r.sync->want;
+    authenticate(r, req);
+    send_direct(r, peer, req);
+    return;
+  }
 }
 
 void Cluster::on_sync_request(Replica& r, const ConsensusMsg& msg) {
-  if (msg.seq == 0 || msg.seq > r.chain->height()) return;  // nothing to give
+  if (msg.seq == 0) return;
   if (msg.sender >= replicas_.size()) return;
+  if (!serve_budget_ok(r, msg.sender)) return;
+  // Re-send our commit vote for the requested height — whether we applied
+  // the block (digest from the chain) or only commit-voted it (digest from
+  // the live slot or stashed evidence). A laggard rebuilds the 2f+1 commit
+  // certificate inside its own tallies from these authenticated re-sends;
+  // that is the only safe catch-up path when fewer than f+1 replicas hold
+  // the block itself, e.g. when it committed through votes a Byzantine
+  // peer has since withheld.
+  std::optional<Hash256> vote;
+  if (msg.seq <= r.chain->height()) {
+    vote = r.chain->block_at(msg.seq).hash();
+  } else if (msg.seq == r.chain->height() + 1) {
+    if (const auto slot = r.slots.find(msg.seq);
+        slot != r.slots.end() && slot->second.sent_commit) {
+      vote = slot->second.digest;
+    } else if (const auto ev = r.prepared_evidence.find(msg.seq);
+               ev != r.prepared_evidence.end() && ev->second.own) {
+      vote = ev->second.own;
+    }
+  }
+  if (vote) {
+    ConsensusMsg commit;
+    commit.type = MsgType::kCommit;
+    commit.sender = r.index;
+    // max(view, voted_view), never plain view: vote superseding strikes a
+    // sender's view-change votes above the view a message carries, and this
+    // re-send must not withdraw our own pending view-change vote.
+    commit.view = std::max(r.view, r.voted_view);
+    commit.seq = msg.seq;
+    commit.digest = *vote;
+    authenticate(r, commit);
+    send_direct(r, msg.sender, commit);
+  }
+  if (msg.seq > r.chain->height()) return;  // no block to serve
   ConsensusMsg resp;
   resp.type = MsgType::kSyncResponse;
   resp.sender = r.index;
@@ -433,17 +546,97 @@ void Cluster::on_sync_request(Replica& r, const ConsensusMsg& msg) {
   send_direct(r, msg.sender, resp);
 }
 
+namespace {
+/// Votes in `tally` matching `digest` (per-digest quorum counting).
+std::size_t votes_for(const std::map<Hash256, std::set<std::uint32_t>>& tally,
+                      const Hash256& digest) {
+  const auto it = tally.find(digest);
+  return it == tally.end() ? 0 : it->second.size();
+}
+}  // namespace
+
 void Cluster::on_sync_response(Replica& r, const ConsensusMsg& msg) {
-  r.sync_inflight = false;
+  if (msg.sender >= replicas_.size()) return;
   auto block = ledger::Block::decode(BytesView(msg.block));
-  if (!block) return;
-  if (block->header.height != r.chain->height() + 1) return;  // stale
-  // Crash-fault state transfer: the block chains onto our local tip (parent
-  // hash + pre-state root validated by apply), so an honest peer can only
-  // hand us the canonical block.
-  commit_block(r, *block);
-  r.slots.erase(r.slots.begin(),
-                r.slots.upper_bound(r.chain->height()));
+  if (!block) {
+    ++stats_.rejected.bad_sync_response;
+    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+                         " got malformed sync response from ", msg.sender);
+    return;
+  }
+  const Hash256 digest = block->hash();
+  // Fast path: a full block whose digest our own slot already holds a
+  // commit quorum for is committable no matter who delivered it — the 2f+1
+  // authenticated commit votes are the certificate, not the sender. This is
+  // how a compact-relay kGetBlock fallback heals once the serving peer has
+  // committed (and GC'd its slot) while we were still reconstructing.
+  if (block->header.height == r.chain->height() + 1) {
+    if (const auto it = r.slots.find(block->header.height);
+        it != r.slots.end() &&
+        votes_for(it->second.commits, digest) >= quorum() &&
+        r.chain->validate_block(*block).ok()) {
+      sync_adopt(r, *block);
+      return;
+    }
+  }
+  if (!r.sync) return;  // no open round: a late response after adoption
+  if (!r.sync->asked.count(msg.sender)) {
+    // Unsolicited push while a round is open: only an adversary volunteers
+    // blocks nobody asked for.
+    ++stats_.rejected.bad_sync_response;
+    return;
+  }
+  if (msg.seq != r.sync->want || block->header.height != r.sync->want) {
+    ++stats_.rejected.bad_sync_response;
+    sync_ask_next(r);
+    return;
+  }
+  // Full validation before the block can even become a candidate: it must
+  // link hash-wise from our tip, carry the right heights and roots, and
+  // every tx signature must verify. A peer failing this is struck from the
+  // round (never re-asked) and the next rotation peer is tried instead.
+  if (auto s = r.chain->validate_block(*block); !s.ok()) {
+    ++stats_.rejected.bad_sync_response;
+    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+                         " rejected sync response from ", msg.sender, ": ",
+                         s.to_string());
+    sync_ask_next(r);
+    return;
+  }
+  // Candidate tallies persist across ask-window wraps, so cap the number of
+  // distinct digests one round will track (a lying peer can mint a fresh
+  // valid-looking fork for every re-ask).
+  if (!r.sync->candidates.count(digest) &&
+      r.sync->candidates.size() >= replicas_.size()) {
+    ++stats_.rejected.vote_overflow;
+    return;
+  }
+  auto& cand = r.sync->candidates[digest];
+  cand.first.insert(msg.sender);
+  if (cand.second.empty()) cand.second = msg.block;
+  if (r.sync->candidates.size() > 1) {
+    // Valid-looking but conflicting responses: someone is lying (honest
+    // peers only serve the unique committed block). Keep collecting until
+    // one digest reaches f+1 vouchers.
+    ++stats_.rejected.sync_digest_conflict;
+    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+                         " got conflicting sync responses at height ",
+                         r.sync->want);
+  }
+  if (cand.first.size() < max_faulty() + 1) {
+    if (r.sync->candidates.size() > 1) sync_ask_next(r);
+    return;
+  }
+  // f+1 distinct responders vouch for this exact block: at least one is
+  // honest, and honest peers only serve committed blocks.
+  sync_adopt(r, *block);
+}
+
+void Cluster::sync_adopt(Replica& r, const ledger::Block& block) {
+  r.sync.reset();
+  r.sync_wrapped = false;
+  commit_block(r, block);
+  r.slots.erase(r.slots.begin(), r.slots.upper_bound(r.chain->height()));
   // Keep pulling until the gap is closed, then let stashed pre-prepares
   // resume the live protocol.
   if (r.known_committed > r.chain->height()) {
@@ -538,24 +731,46 @@ void Cluster::pbft_propose(Replica& r) {
   }
   // A prepared certificate from an earlier view pins this height: re-propose
   // exactly that block — some replica may have already committed it, and
-  // proposing anything else would fork the chain.
-  if (const auto ev = r.prepared_evidence.find(seq);
-      ev != r.prepared_evidence.end()) {
-    auto pinned = ledger::Block::decode(BytesView(ev->second));
-    if (pinned && r.chain->check_candidate(*pinned).ok()) {
+  // proposing anything else would fork the chain. Trust our own commit vote
+  // first; otherwise require f+1 carriers so a lone Byzantine voter cannot
+  // plant a pin (commit quorum guarantees f+1 honest carriers).
+  for (;;) {
+    const auto ev = r.prepared_evidence.find(seq);
+    if (ev == r.prepared_evidence.end() || ev->second.candidates.empty()) break;
+    auto pick = ev->second.candidates.end();
+    if (ev->second.own) pick = ev->second.candidates.find(*ev->second.own);
+    if (pick == ev->second.candidates.end()) {
+      for (auto it2 = ev->second.candidates.begin();
+           it2 != ev->second.candidates.end(); ++it2) {
+        if (it2->second.first.size() <= max_faulty()) continue;
+        if (pick == ev->second.candidates.end() ||
+            it2->second.first.size() > pick->second.first.size()) {
+          pick = it2;
+        }
+      }
+    }
+    if (pick == ev->second.candidates.end()) break;  // no credible pin
+    auto pinned = ledger::Block::decode(BytesView(pick->second.second));
+    if (pinned && pinned->hash() == pick->first &&
+        r.chain->check_candidate(*pinned).ok()) {
       ConsensusMsg msg;
       msg.type = MsgType::kPrePrepare;
       msg.sender = r.index;
       msg.view = r.view;
       msg.seq = seq;
-      msg.digest = pinned->hash();
-      msg.block = ev->second;
+      msg.digest = pick->first;
+      msg.block = pick->second.second;
       authenticate(r, msg);
       send_to_all(r, msg);
       pbft_on_pre_prepare(r, msg);
       return;
     }
-    r.prepared_evidence.erase(ev);  // stale or invalid: fall through
+    // Stale or undecodable candidate: discard it and retry the next-best.
+    if (ev->second.own && *ev->second.own == pick->first) {
+      ev->second.own.reset();
+    }
+    ev->second.candidates.erase(pick);
+    if (ev->second.candidates.empty()) r.prepared_evidence.erase(ev);
   }
   auto batch = r.mempool.take_batch(config_.max_block_txs);
   if (batch.empty()) return;
@@ -620,6 +835,14 @@ void Cluster::pbft_on_pre_prepare(Replica& r, const ConsensusMsg& msg) {
   const std::uint64_t next = r.chain->height() + 1;
   if (msg.seq < next) return;  // stale
   if (msg.seq > next) {
+    if (msg.seq > next + kPipelineWindow) {
+      // Far beyond any honest pipeline depth: a spammed horizon would grow
+      // the stash without bound. Real laggards catch up via sync instead.
+      ++stats_.rejected.future_seq;
+      TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+                           " dropped far-future pre-prepare at seq ", msg.seq);
+      return;
+    }
     // The primary pipelines: it proposes seq+1 as soon as it commits seq,
     // which can outrun a backup still collecting commits. Stash and replay
     // once this replica catches up. (Stashing is not a vote, so this runs
@@ -629,11 +852,37 @@ void Cluster::pbft_on_pre_prepare(Replica& r, const ConsensusMsg& msg) {
     return;
   }
   if (r.voted_view > r.view) return;  // leaving this view: no more votes
+  if (const auto ev = r.prepared_evidence.find(msg.seq);
+      ev != r.prepared_evidence.end()) {
+    // A block we ourselves commit-voted — or one ≥ f+1 voters carried
+    // through a view change — may already have committed elsewhere at this
+    // height. Preparing a different block here could complete a conflicting
+    // quorum, so sit out; sync adopts whichever block actually committed.
+    bool conflict = ev->second.own && *ev->second.own != msg.digest;
+    if (!conflict) {
+      for (const auto& [digest, cand] : ev->second.candidates) {
+        if (digest != msg.digest && cand.first.size() > max_faulty()) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    if (conflict) {
+      ++stats_.rejected.evidence_conflict;
+      TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+                           " refused pre-prepare conflicting with prepared "
+                           "evidence at seq ",
+                           msg.seq);
+      return;
+    }
+  }
 
   Slot& slot = r.slots[msg.seq];
   if (slot.pre_prepared) {
     if (slot.digest != msg.digest) {
-      log_warn("replica ", r.index, " detected equivocation at seq ", msg.seq);
+      ++stats_.rejected.equivocation;
+      TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+                           " detected equivocation at seq ", msg.seq);
       return;
     }
     // Primary retransmit: our earlier prepare (and commit) may have been
@@ -673,7 +922,9 @@ bool Cluster::pbft_accept_pre_prepare(Replica& r, std::uint64_t seq,
                                       const ledger::Block& block,
                                       Bytes block_bytes) {
   if (auto s = r.chain->check_candidate(block); !s.ok()) {
-    log_debug("replica ", r.index, " rejected candidate: ", s.to_string());
+    ++stats_.rejected.invalid_candidate;
+    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+                         " rejected candidate: ", s.to_string());
     return false;
   }
   Slot& slot = r.slots[seq];
@@ -681,7 +932,7 @@ bool Cluster::pbft_accept_pre_prepare(Replica& r, std::uint64_t seq,
   slot.pre_prepared = true;
   slot.digest = digest;
   slot.block_bytes = std::move(block_bytes);
-  slot.prepares.insert(r.index);
+  slot.prepares[digest].insert(r.index);
 
   ConsensusMsg prepare;
   prepare.type = MsgType::kPrepare;
@@ -704,9 +955,16 @@ void Cluster::pbft_on_compact_pre_prepare(Replica& r,
   // message — a rebuilt block can be wrong, but never wrongly accepted.
   if (cb->header.hash() != msg.digest || cb->header.height != msg.seq) return;
   Slot& slot = r.slots[msg.seq];
-  if (!slot.pending || slot.pending->compact.header.hash() != msg.digest) {
-    // Fresh round (or the primary switched blocks before we voted — a
-    // pending reconstruction is not a vote, so replacing it is safe).
+  if (slot.pending && slot.pending->compact.header.hash() != msg.digest) {
+    // A second, different announcement for the same seq/view is compact-path
+    // equivocation evidence. First announcement wins: replacing it would let
+    // a flip-flopping primary reset reconstruction forever.
+    ++stats_.rejected.equivocation;
+    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+                         " detected compact equivocation at seq ", msg.seq);
+    return;
+  }
+  if (!slot.pending) {
     Slot::PendingCompact pending;
     pending.compact = std::move(*cb);
     pending.from = msg.sender;
@@ -723,7 +981,18 @@ void Cluster::pbft_continue_compact(Replica& r, std::uint64_t seq) {
   if (it == r.slots.end() || !it->second.pending) return;
   auto& p = *it->second.pending;
   const Hash256 digest = p.compact.header.hash();
+  // Bounded retry per peer: after kCompactRetryPerPeer asks the target
+  // rotates to the next replica, so a mute or lying server cannot stall
+  // reconstruction forever (any replica holding the slot can serve it).
+  const auto bump_target = [&] {
+    if (p.attempts >= kCompactRetryPerPeer) {
+      p.from = next_peer_index(r, p.from);
+      p.attempts = 0;
+    }
+    ++p.attempts;
+  };
   const auto request_full = [&] {
+    bump_target();
     ConsensusMsg req;
     req.type = MsgType::kGetBlock;
     req.sender = r.index;
@@ -760,6 +1029,7 @@ void Cluster::pbft_continue_compact(Replica& r, std::uint64_t seq) {
       }
     }
     if (!still_missing.empty()) {
+      bump_target();
       ConsensusMsg req;
       req.type = MsgType::kGetTxs;
       req.sender = r.index;
@@ -803,6 +1073,7 @@ void Cluster::pbft_continue_compact(Replica& r, std::uint64_t seq) {
 
 void Cluster::on_get_txs(Replica& r, const ConsensusMsg& msg) {
   if (msg.sender >= replicas_.size() || msg.sender == r.index) return;
+  if (!serve_budget_ok(r, msg.sender)) return;
   // Serve from the live slot when we pre-prepared this digest, else from
   // the committed chain (the proposer may have committed and GC'd its
   // slot before a laggard asked).
@@ -853,22 +1124,39 @@ void Cluster::on_txs(Replica& r, const ConsensusMsg& msg) {
   auto& p = *it->second.pending;
   if (p.awaiting_full) return;
   if (p.compact.header.hash() != msg.digest) return;
+  if (msg.sender != p.from) {
+    // Only the peer we actually asked may fill this round; anything else is
+    // an injection attempt (the fills are still id-checked below, but there
+    // is no reason to accept them).
+    ++stats_.rejected.bad_txs_fill;
+    return;
+  }
+  // A malformed or mismatching reply strikes the serving peer: burn its
+  // remaining retry budget and re-drive, which rotates to the next peer.
+  const auto strike = [&] {
+    ++stats_.rejected.bad_txs_fill;
+    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+                         " got bad kTxs fill from peer ", msg.sender,
+                         " at seq ", msg.seq);
+    p.attempts = kCompactRetryPerPeer;
+    pbft_continue_compact(r, msg.seq);
+  };
   const std::uint64_t id_mask = ledger::short_tx_id_mask(p.compact.short_id_bytes);
   ByteReader rd(BytesView(msg.block));
   const auto count = rd.u32();
-  if (!count) return;
+  if (!count) return strike();
   for (std::uint32_t i = 0; i < *count; ++i) {
     const auto idx = rd.u32();
-    if (!idx || *idx >= p.txs.size()) return;
+    if (!idx || *idx >= p.txs.size()) return strike();
     auto tx_bytes = rd.bytes();
-    if (!tx_bytes) return;
+    if (!tx_bytes) return strike();
     auto tx = ledger::Transaction::decode(BytesView(*tx_bytes));
-    if (!tx) return;
+    if (!tx) return strike();
     // Every fill must match the advertised short id; anything else is a
     // corrupt or confused response.
     if (ledger::short_tx_id(tx->id(), p.compact.short_id_bytes) !=
         (p.compact.short_ids[*idx] & id_mask)) {
-      return;
+      return strike();
     }
     if (!p.txs[*idx]) p.txs[*idx] = std::move(*tx);
   }
@@ -877,6 +1165,7 @@ void Cluster::on_txs(Replica& r, const ConsensusMsg& msg) {
 
 void Cluster::on_get_block(Replica& r, const ConsensusMsg& msg) {
   if (msg.sender >= replicas_.size() || msg.sender == r.index) return;
+  if (!serve_budget_ok(r, msg.sender)) return;
   if (msg.seq >= 1 && msg.seq <= r.chain->height()) {
     // Already committed here: serve it as crash-fault state transfer, the
     // same shape (and handler) as sync catch-up.
@@ -911,9 +1200,23 @@ void Cluster::on_get_block(Replica& r, const ConsensusMsg& msg) {
 void Cluster::pbft_on_prepare(Replica& r, const ConsensusMsg& msg) {
   if (msg.view != r.view) return;
   if (msg.seq <= r.chain->height()) return;
+  if (msg.seq > r.chain->height() + kPipelineWindow) {
+    // Votes far past any honest pipeline depth would mint unbounded slots.
+    ++stats_.rejected.future_seq;
+    return;
+  }
   Slot& slot = r.slots[msg.seq];
-  if (slot.pre_prepared && slot.digest != msg.digest) return;
-  slot.prepares.insert(msg.sender);
+  if (slot.pre_prepared && slot.digest != msg.digest) {
+    // Recorded against the sender's claimed digest below, so it can never
+    // count toward our block's quorum — but tally the lie for observability.
+    ++stats_.rejected.mismatched_vote;
+  }
+  if (!slot.prepares.count(msg.digest) &&
+      slot.prepares.size() >= replicas_.size()) {
+    ++stats_.rejected.vote_overflow;  // digest-spam cap per slot
+    return;
+  }
+  slot.prepares[msg.digest].insert(msg.sender);
   pbft_maybe_prepared(r, msg.seq);
 }
 
@@ -921,9 +1224,9 @@ void Cluster::pbft_maybe_prepared(Replica& r, std::uint64_t seq) {
   Slot& slot = r.slots[seq];
   if (!slot.pre_prepared || slot.sent_commit) return;
   if (r.voted_view > r.view) return;  // leaving this view: no more votes
-  if (slot.prepares.size() < quorum()) return;
+  if (votes_for(slot.prepares, slot.digest) < quorum()) return;
   slot.sent_commit = true;
-  slot.commits.insert(r.index);
+  slot.commits[slot.digest].insert(r.index);
 
   ConsensusMsg commit;
   commit.type = MsgType::kCommit;
@@ -938,16 +1241,38 @@ void Cluster::pbft_maybe_prepared(Replica& r, std::uint64_t seq) {
 
 void Cluster::pbft_on_commit(Replica& r, const ConsensusMsg& msg) {
   if (msg.seq <= r.chain->height()) return;
+  if (msg.seq > r.chain->height() + kPipelineWindow) {
+    ++stats_.rejected.future_seq;
+    return;
+  }
   Slot& slot = r.slots[msg.seq];
-  if (slot.pre_prepared && slot.digest != msg.digest) return;
-  slot.commits.insert(msg.sender);
+  if (slot.pre_prepared && slot.digest != msg.digest) {
+    ++stats_.rejected.mismatched_vote;
+  }
+  if (!slot.commits.count(msg.digest) &&
+      slot.commits.size() >= replicas_.size()) {
+    ++stats_.rejected.vote_overflow;  // digest-spam cap per slot
+    return;
+  }
+  slot.commits[msg.digest].insert(msg.sender);
+  // A commit vote implies its sender verified a full prepare quorum, so it
+  // counts as a prepare vote too. Without this, a replica that missed the
+  // prepare phase outright (partition, catch-up after a fault window) can
+  // sit on a complete commit certificate yet never finish its own prepare
+  // quorum to join it — with exactly f Byzantine replicas withholding their
+  // votes that is a permanent wedge, not a delay.
+  if (slot.prepares.count(msg.digest) ||
+      slot.prepares.size() < replicas_.size()) {
+    slot.prepares[msg.digest].insert(msg.sender);
+  }
+  pbft_maybe_prepared(r, msg.seq);
   pbft_maybe_committed(r, msg.seq);
 }
 
 void Cluster::pbft_maybe_committed(Replica& r, std::uint64_t seq) {
   Slot& slot = r.slots[seq];
   if (!slot.pre_prepared || !slot.sent_commit || slot.committed) return;
-  if (slot.commits.size() < quorum()) return;
+  if (votes_for(slot.commits, slot.digest) < quorum()) return;
   auto block = ledger::Block::decode(BytesView(slot.block_bytes));
   if (!block) return;
   slot.committed = true;
@@ -970,11 +1295,20 @@ void Cluster::pbft_check_progress(Replica& r) {
   const std::uint64_t height = r.chain->height();
   if (r.known_committed > height) {
     // We are the laggard, not the primary: fetch history instead of voting
-    // out a primary that is in fact making progress. Also clears a sync
-    // request whose response was lost.
-    r.sync_inflight = false;
-    request_sync(r);
-    return;
+    // out a primary that is in fact making progress. A still-open round gets
+    // WIDENED to fresh peers — adoption needs f+1 matching responses and the
+    // initial f+1-peer window may simply not contain f+1 holders of the
+    // block, so discarding the collected candidates on every check would
+    // wedge catch-up forever. Only once every peer has been asked (responses
+    // lost, or not enough holders yet) does the round restart from scratch.
+    drive_sync_round(r);
+    // Once a full rotation asked every peer without an adoption, catch-up
+    // alone is provably not enough — fall through and keep voting view
+    // changes too. The missing block may live only in commit-voters'
+    // stashed evidence, in which case one of them must rotate into the
+    // primary role and re-propose it; a laggard that abstains from view
+    // changes forever freezes that rotation for the whole cluster.
+    if (!r.sync_wrapped) return;
   }
   const bool idle = r.mempool.empty() && r.slots.empty();
   if (height > r.last_progress_height || idle) {
@@ -986,7 +1320,36 @@ void Cluster::pbft_check_progress(Replica& r) {
   // consecutive failure doubles the next check's delay (progress_check_delay)
   // so a partitioned minority cannot sustain a view-change storm.
   if (r.backoff_failures < 32) ++r.backoff_failures;
+  // Also pull at the next block speculatively. known_committed is
+  // f+1-corroborated, so it can never see a block that committed through a
+  // fault-window quorum whose Byzantine voters have since gone silent —
+  // fewer than f+1 replicas hold such a block, yet it is final and the
+  // cluster cannot move without it. The sync round stays certificate-gated
+  // (f+1 matching responders or a 2f+1 commit tally), so when nobody in
+  // fact has a next block this costs only a few bounded requests.
+  if (r.known_committed <= height) drive_sync_round(r);
   pbft_vote_view(r, r.view + 1);
+}
+
+void Cluster::drive_sync_round(Replica& r) {
+  if (r.sync && r.sync->want != r.chain->height() + 1) r.sync.reset();
+  // A still-open round gets WIDENED to fresh peers — adoption needs f+1
+  // matching responses and the initial f+1-peer window may simply not
+  // contain f+1 holders of the block. Once every peer has been asked, the
+  // ask window re-opens but the candidate tallies are KEPT: vouchers for
+  // the committed block only ever grow (honest holders keep serving the
+  // same digest), and discarding them each wrap starves adoption forever
+  // when fewer than f+1 holders answer within any single rotation.
+  if (r.sync && r.sync->asked.size() + 1 >= replicas_.size()) {
+    r.sync->asked.clear();
+    r.sync_wrapped = true;
+  }
+  if (r.sync) {
+    const std::size_t asks = std::min(max_faulty() + 1, replicas_.size() - 1);
+    for (std::size_t k = 0; k < asks; ++k) sync_ask_next(r);
+  } else {
+    request_sync(r);
+  }
 }
 
 void Cluster::pbft_vote_view(Replica& r, std::uint64_t target) {
@@ -1003,13 +1366,21 @@ void Cluster::pbft_vote_view(Replica& r, std::uint64_t target) {
   const std::uint64_t next = r.chain->height() + 1;
   if (const auto slot = r.slots.find(next);
       slot != r.slots.end() && slot->second.sent_commit) {
-    r.prepared_evidence[next] = slot->second.block_bytes;
+    auto& ev = r.prepared_evidence[next];
+    ev.own = slot->second.digest;
+    auto& cand = ev.candidates[slot->second.digest];
+    cand.first.insert(r.index);
+    if (cand.second.empty()) cand.second = slot->second.block_bytes;
   }
+  // Attach ONLY our own certificate — never relay foreign evidence. If honest
+  // votes re-broadcast what they merely heard, one Byzantine forgery could
+  // accumulate f+1 honest carriers and impersonate a commit quorum.
   if (const auto ev = r.prepared_evidence.find(next);
-      ev != r.prepared_evidence.end()) {
-    if (auto block = ledger::Block::decode(BytesView(ev->second))) {
-      vc.digest = block->hash();
-      vc.block = ev->second;
+      ev != r.prepared_evidence.end() && ev->second.own) {
+    if (const auto cand = ev->second.candidates.find(*ev->second.own);
+        cand != ev->second.candidates.end() && !cand->second.second.empty()) {
+      vc.digest = *ev->second.own;
+      vc.block = cand->second.second;
     }
   }
   if (target > r.voted_view) r.voted_view = target;
@@ -1024,16 +1395,45 @@ void Cluster::pbft_on_view_change(Replica& r, const ConsensusMsg& msg) {
   // vote); whoever ends up primary is bound by it when proposing. Harvested
   // even when the vote itself is stale (msg.view <= r.view): late evidence
   // can still pin a primary that has not yet proposed at that height.
-  if (!msg.block.empty()) {
+  if (!msg.block.empty() && msg.sender < replicas_.size()) {
     if (auto block = ledger::Block::decode(BytesView(msg.block));
         block && block->hash() == msg.digest &&
-        block->header.height > r.chain->height()) {
-      r.prepared_evidence[block->header.height] = msg.block;
+        block->header.height > r.chain->height() &&
+        block->header.height <= r.chain->height() + kPipelineWindow) {
+      // Count the sender as a carrier of this digest; f+1 distinct carriers
+      // make it credible (a commit quorum implies f+1 honest commit-voters,
+      // each of whom carries the block here). A lone voter never pins.
+      auto& ev = r.prepared_evidence[block->header.height];
+      if (ev.candidates.count(msg.digest) ||
+          ev.candidates.size() < replicas_.size()) {
+        auto& cand = ev.candidates[msg.digest];
+        cand.first.insert(msg.sender);
+        if (cand.second.empty()) cand.second = msg.block;
+      } else {
+        ++stats_.rejected.vote_overflow;  // digest-spam cap
+      }
     }
   }
-  if (msg.view <= r.view) return;
+  if (msg.view <= r.view) {
+    ++stats_.rejected.stale_view_vote;
+    return;
+  }
   auto& voters = r.view_votes[msg.view];
   voters.insert(msg.sender);
+  // Cap live tallies so future-view spam cannot grow the map without bound:
+  // evict the highest-view tally that is neither the one just bumped nor one
+  // we ourselves voted for.
+  while (r.view_votes.size() > kMaxViewVoteTallies) {
+    auto victim = r.view_votes.end();
+    for (auto it = r.view_votes.rbegin(); it != r.view_votes.rend(); ++it) {
+      if (it->first == msg.view || it->second.count(r.index)) continue;
+      victim = std::prev(it.base());
+      break;
+    }
+    if (victim == r.view_votes.end()) break;
+    r.view_votes.erase(victim);
+    ++stats_.rejected.vote_overflow;
+  }
   // Join rule: f+1 distinct peers already target this view, so at least one
   // honest replica stalled — adopt the vote (once) so stalled replicas
   // converge on a single target instead of splintering across views when
@@ -1049,12 +1449,39 @@ void Cluster::pbft_on_view_change(Replica& r, const ConsensusMsg& msg) {
   // view change that block survives verbatim instead of vanishing with the
   // slot table.
   r.view = msg.view;
+  // A completed view change is evidence of 2f+1 replicas actively
+  // coordinating — the opposite of the partition the stall backoff guards
+  // against — so recovery gets a fresh (fast) timer. Without this, views
+  // crawl at the backoff cap after a long fault window and f consecutive
+  // useless primaries can eat the whole liveness budget.
+  r.backoff_failures = 0;
   for (const auto& [seq, slot] : r.slots) {
     if (slot.sent_commit && !slot.committed) {
-      r.prepared_evidence[seq] = slot.block_bytes;
+      auto& ev = r.prepared_evidence[seq];
+      ev.own = slot.digest;
+      auto& cand = ev.candidates[slot.digest];
+      cand.first.insert(r.index);
+      if (cand.second.empty()) cand.second = slot.block_bytes;
     }
   }
+  // Commit votes are binding across views — the evidence-conflict refusal
+  // pins every honest commit-voter to one digest per height forever — so
+  // their tallies survive the slot wipe. A laggard slowly rebuilding a
+  // commit certificate from re-sends (on_sync_request) must not lose it to
+  // every view change, or the certificate can never outrun the rotation.
+  // Each kept vote also counts as a prepare (it proves a verified prepare
+  // quorum at its sender); per-view state (pre-prepare, own votes sent) is
+  // dropped as before.
+  std::map<std::uint64_t, std::map<Hash256, std::set<std::uint32_t>>> kept;
+  for (auto& [seq, slot] : r.slots) {
+    if (!slot.commits.empty()) kept.emplace(seq, std::move(slot.commits));
+  }
   r.slots.clear();
+  for (auto& [seq, commits] : kept) {
+    Slot& slot = r.slots[seq];
+    slot.prepares = commits;
+    slot.commits = std::move(commits);
+  }
   r.stashed_pre_prepares.clear();
   r.view_votes.erase(r.view_votes.begin(), r.view_votes.upper_bound(msg.view));
   if (r.index == 0) ++stats_.view_changes;
@@ -1098,6 +1525,32 @@ void Cluster::poa_on_block(Replica& r, const ConsensusMsg& msg) {
 }
 
 // ------------------------------------------------------------------ common
+
+std::uint32_t Cluster::next_peer_index(const Replica& r,
+                                       std::uint32_t from) const {
+  const auto n = static_cast<std::uint32_t>(replicas_.size());
+  std::uint32_t next = (from + 1) % n;
+  if (next == r.index) next = (next + 1) % n;
+  return next;
+}
+
+bool Cluster::serve_budget_ok(Replica& r, std::uint32_t peer) {
+  // The budget window resets whenever this replica commits: an honest peer
+  // needs at most a handful of requests per height, so a counter that only
+  // clears on progress bounds per-peer amplification at kServeCapPerPeer
+  // responses however fast the requests arrive.
+  if (r.serve_window != r.chain->height()) {
+    r.serve_window = r.chain->height();
+    r.serve_counts.clear();
+  }
+  if (++r.serve_counts[peer] > kServeCapPerPeer) {
+    ++stats_.rejected.request_spam;
+    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+                         " throttled request spam from peer ", peer);
+    return false;
+  }
+  return true;
+}
 
 void Cluster::commit_block(Replica& r, const ledger::Block& block) {
   // Per-transaction execution cost on this replica's CPU.

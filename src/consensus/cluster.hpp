@@ -86,12 +86,37 @@ struct ClusterConfig {
   storage::StoreOptions store{};
 };
 
+/// Messages rejected by protocol validation, by reason, summed over all
+/// replicas. Benign runs keep most of these at zero; Byzantine chaos tests
+/// and benches assert that the defenses they target actually fired.
+struct RejectCounters {
+  std::uint64_t equivocation = 0;       // conflicting pre-prepare digests
+  std::uint64_t invalid_candidate = 0;  // pre-prepare failed chain checks
+  std::uint64_t mismatched_vote = 0;    // prepare/commit for a foreign digest
+  std::uint64_t future_seq = 0;         // votes/stashes beyond the window
+  std::uint64_t stale_view_vote = 0;    // view-change vote at/below our view
+  std::uint64_t vote_overflow = 0;      // view-vote/evidence spam evicted
+  std::uint64_t evidence_conflict = 0;  // pre-prepare vs prepared evidence
+  std::uint64_t bad_sync_response = 0;  // malformed/invalid/unsolicited sync
+  std::uint64_t sync_digest_conflict = 0;  // disagreeing sync responders
+  std::uint64_t bad_txs_fill = 0;       // kTxs mismatching ids/sender/shape
+  std::uint64_t request_spam = 0;       // server-side per-peer serve cap hit
+
+  [[nodiscard]] std::uint64_t total() const {
+    return equivocation + invalid_candidate + mismatched_vote + future_seq +
+           stale_view_vote + vote_overflow + evidence_conflict +
+           bad_sync_response + sync_digest_conflict + bad_txs_fill +
+           request_spam;
+  }
+};
+
 struct ClusterStats {
   std::uint64_t committed_blocks = 0;  // at replica 0
   std::uint64_t committed_txs = 0;
   std::uint64_t view_changes = 0;
   std::uint64_t view_change_votes = 0;  // votes broadcast by any replica
   std::uint64_t auth_failures = 0;
+  RejectCounters rejected;
   Samples commit_latency_ms;  // submit → commit at replica 0
   /// Per-MsgType wire histogram: messages and payload bytes handed to the
   /// network by any replica (pre-loss, per recipient copy). Index by
@@ -130,6 +155,22 @@ class Cluster {
   /// Byzantine primary for tests: equivocates on proposals while set.
   void set_equivocating(std::size_t replica, bool value);
 
+  /// Byzantine fault injection (src/fault/byzantine.*): when set, every
+  /// outbound protocol message from `replica` is routed through the hook
+  /// once per recipient. The returned messages are re-authenticated with
+  /// the replica's own key (a Byzantine replica signs its own lies) and
+  /// sent in place of the original — empty vector suppresses, one entry
+  /// passes or rewrites, extras forge. The hook must not call back into
+  /// the cluster.
+  using AdversaryHook = std::function<std::vector<ConsensusMsg>(
+      std::uint32_t peer, const ConsensusMsg& msg)>;
+  void set_adversary(std::size_t replica, AdversaryHook hook);
+  /// Adversary origination (attack ticks): authenticates `msg` as `replica`
+  /// and sends it to `peer`, or to every peer when nullopt, bypassing the
+  /// adversary hook. No-op while the replica is crashed.
+  void adversary_send(std::size_t replica, std::optional<std::uint32_t> peer,
+                      ConsensusMsg msg);
+
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
   [[nodiscard]] const ledger::Blockchain& chain(std::size_t replica) const;
@@ -152,16 +193,44 @@ class Cluster {
     return (replicas_.size() - 1) / 3;
   }
 
-  /// True when all live replicas agree on every block up to the minimum
-  /// committed height.
-  [[nodiscard]] bool chains_consistent() const;
+  /// True when all live replicas outside `exclude` agree on every block up
+  /// to the minimum committed height (Byzantine chaos passes the attacker
+  /// set — honest-only agreement is the invariant).
+  [[nodiscard]] bool chains_consistent(
+      const std::set<std::size_t>& exclude = {}) const;
 
  private:
+  // Votes/stashes more than this far beyond the local chain tip are dropped:
+  // the benign pipeline never runs deeper than a couple of blocks, and an
+  // unbounded horizon lets a vote-spamming adversary grow the slot table
+  // without limit.
+  static constexpr std::uint64_t kPipelineWindow = 8;
+  // Bounded per-peer retry for compact reconstruction requests: after this
+  // many kGetTxs/kGetBlock sends to the current target, rotate to the next
+  // replica so a withholding peer cannot pin the round on itself.
+  static constexpr std::uint32_t kCompactRetryPerPeer = 2;
+  // Server-side anti-amplification: requests served per peer while the
+  // server's height is unchanged. Generous — honest laggards stay far
+  // below it — but finite, so a request-spamming peer cannot multiply
+  // traffic without bound.
+  static constexpr std::uint32_t kServeCapPerPeer = 64;
+  // At most this many view-change tallies are tracked at once; spam for
+  // ever-higher views evicts itself, never the views we voted for.
+  static constexpr std::size_t kMaxViewVoteTallies = 16;
+
   struct Slot {
     Hash256 digest{};
     Bytes block_bytes;
-    std::set<std::uint32_t> prepares;
-    std::set<std::uint32_t> commits;
+    // Per-digest vote tallies (digest → voters): quorum counts only votes
+    // matching the accepted digest, so phantom votes for a never-proposed
+    // digest cannot complete one. Votes are kept per digest rather than per
+    // sender because commit votes carry no view filter — a duplicated stale
+    // vote must not displace the sender's real vote for the re-proposed
+    // block. Honest replicas never commit-vote two digests at one height
+    // (the prepared-evidence refusal rule), so quorum intersection still
+    // yields an honest single-voter. Bounded to n digests per slot.
+    std::map<Hash256, std::set<std::uint32_t>> prepares;
+    std::map<Hash256, std::set<std::uint32_t>> commits;
     bool pre_prepared = false;
     bool sent_commit = false;
     bool committed = false;
@@ -173,9 +242,33 @@ class Cluster {
       // missing.
       std::vector<std::optional<ledger::Transaction>> txs;
       std::uint32_t from = 0;     // whom to ask for txs / the full block
+      std::uint32_t attempts = 0; // requests sent to the current target
       bool awaiting_full = false; // kGetBlock sent; kTxs no longer wanted
     };
     std::optional<PendingCompact> pending;
+  };
+
+  // One sync catch-up round: f+1 peers are asked for the same height and a
+  // block is adopted only once f+1 distinct responders vouch for the same
+  // digest — at least one of them honest, and honest peers only serve
+  // committed blocks, so a forged-but-valid fork can never be adopted.
+  struct SyncRound {
+    std::uint64_t want = 0;            // height being fetched
+    std::set<std::uint32_t> asked;     // peers already requested this round
+    // digest → (responders, encoded block)
+    std::map<Hash256, std::pair<std::set<std::uint32_t>, Bytes>> candidates;
+  };
+
+  // Prepared certificates at one height, by digest. Carriers are the
+  // view-change vote senders that carried the digest — votes carry only the
+  // sender's OWN prepared block, so ≥ f+1 carriers proves at least one
+  // honest replica prepared it (and any block a commit quorum might have
+  // fired for has ≥ f+1 honest carriers). `own` marks the digest this
+  // replica itself commit-voted: authoritative for its proposals and never
+  // displaced by foreign evidence.
+  struct EvidenceSlot {
+    std::map<Hash256, std::pair<std::set<std::uint32_t>, Bytes>> candidates;
+    std::optional<Hash256> own;
   };
 
   struct Replica {
@@ -196,11 +289,26 @@ class Cluster {
     // Pre-prepares that arrived before this replica committed their
     // predecessor (the primary pipelines); replayed after each commit.
     std::map<std::uint64_t, ConsensusMsg> stashed_pre_prepares;
-    // Catch-up state: highest height the rest of the cluster evidently
-    // committed, and whether a sync request is outstanding.
+    // Catch-up state: highest height the cluster evidently committed —
+    // advanced only to heights at least f+1 distinct replicas (self
+    // included) claim, so f liars can neither drag us onto a phantom chain
+    // nor wedge the progress check into eternal sync — plus the per-sender
+    // claims backing it and the open sync round, if any.
     std::uint64_t known_committed = 0;
-    bool sync_inflight = false;
+    std::vector<std::uint64_t> peer_claims;
+    std::optional<SyncRound> sync;
     std::uint32_t sync_peer_rotation = 0;
+    // True once a sync round has asked every peer without adopting: from
+    // then on the progress check also votes view changes (the missing block
+    // may only be recoverable by rotating a commit-voter into the primary
+    // role). Cleared when sync finally adopts a block.
+    bool sync_wrapped = false;
+    // Server-side per-peer serve counters (kGetTxs/kGetBlock/kSyncRequest)
+    // within the current height window; reset whenever our height moves.
+    std::map<std::uint32_t, std::uint32_t> serve_counts;
+    std::uint64_t serve_window = 0;
+    // Byzantine fault injection (set_adversary); empty for honest replicas.
+    AdversaryHook adversary;
     // view → voters. Entries are superseded, not only accumulated: a
     // prepare/commit in view v or a view-change vote for v erases the
     // sender from every tally above v, so a vote withdrawn by progress (see
@@ -216,11 +324,12 @@ class Cluster {
     // replica's own stale votes so re-joining a view change always means
     // broadcasting a fresh certificate-bearing vote.
     std::uint64_t voted_view = 0;
-    // Prepared certificates (height → encoded block) carried by view-change
-    // votes: a block this or some peer replica prepared but did not commit
-    // before a view change. The new primary must re-propose it verbatim —
-    // a commit quorum may already have fired elsewhere for that height.
-    std::map<std::uint64_t, Bytes> prepared_evidence;
+    // Prepared certificates carried by view-change votes (see EvidenceSlot):
+    // a block this or some peer replica prepared but did not commit before a
+    // view change. The new primary re-proposes its own certificate, or any
+    // digest ≥ f+1 voters carried, verbatim — a commit quorum may already
+    // have fired elsewhere for that height.
+    std::map<std::uint64_t, EvidenceSlot> prepared_evidence;
     KeyPair key;
     sim::SimTime cpu_available = 0;
     // Chain height as of the last progress check — owned by the check alone
@@ -255,6 +364,10 @@ class Cluster {
   /// routes through the outbox (or directly when coalescing is off).
   void send_direct(Replica& sender, std::uint32_t peer_index,
                    const ConsensusMsg& msg);
+  /// Adversary-hooked delivery of one message to one peer: the hook decides
+  /// what (if anything) `peer` actually receives.
+  void deliver_adversarial(Replica& sender, Replica& peer,
+                           const ConsensusMsg& msg);
   void route_wire(Replica& sender, net::NodeId to, Bytes wire);
   void record_wire(MsgType type, std::size_t bytes, std::size_t copies);
   void on_network_message(std::size_t replica_index, const net::Message& m);
@@ -291,12 +404,21 @@ class Cluster {
   void poa_tick(Replica& r);
   void poa_on_block(Replica& r, const ConsensusMsg& msg);
 
-  // Catch-up (crash-fault state transfer: blocks are validated against the
-  // local chain, not against a quorum certificate).
+  // Catch-up (Byzantine-tolerant state transfer: responses are fully
+  // validated against the local chain and adopted only on an f+1 digest
+  // match — or immediately when our own slot already holds a commit quorum
+  // for the block's digest).
+  void drive_sync_round(Replica& r);
   void request_sync(Replica& r);
+  void sync_ask_next(Replica& r);
   void on_sync_request(Replica& r, const ConsensusMsg& msg);
   void on_sync_response(Replica& r, const ConsensusMsg& msg);
+  void sync_adopt(Replica& r, const ledger::Block& block);
   void note_cluster_progress(Replica& r, const ConsensusMsg& msg);
+  /// Per-peer serve budget for request-shaped messages; false = throttled.
+  [[nodiscard]] bool serve_budget_ok(Replica& r, std::uint32_t peer);
+  [[nodiscard]] std::uint32_t next_peer_index(const Replica& r,
+                                              std::uint32_t from) const;
 
   void commit_block(Replica& r, const ledger::Block& block);
   /// Durable mode: (re)opens the LedgerStore over the replica's disk and

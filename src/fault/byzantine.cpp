@@ -1,0 +1,520 @@
+#include "fault/byzantine.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "consensus/compact.hpp"
+#include "fault/invariants.hpp"
+#include "ledger/block.hpp"
+#include "sim/simulator.hpp"
+
+namespace tnp::fault {
+
+using consensus::CompactBlock;
+using consensus::ConsensusMsg;
+using consensus::MsgType;
+
+std::string to_string(ByzantineStrategyKind kind) {
+  switch (kind) {
+    case ByzantineStrategyKind::kEquivocate: return "equivocate";
+    case ByzantineStrategyKind::kInvalidBlocks: return "invalid-blocks";
+    case ByzantineStrategyKind::kPhantomVotes: return "phantom-votes";
+    case ByzantineStrategyKind::kViewSpam: return "view-spam";
+    case ByzantineStrategyKind::kLyingSync: return "lying-sync";
+    case ByzantineStrategyKind::kCompactPoison: return "compact-poison";
+    case ByzantineStrategyKind::kMute: return "mute";
+  }
+  return "unknown";
+}
+
+const std::vector<ByzantineStrategyKind>& all_byzantine_strategies() {
+  static const std::vector<ByzantineStrategyKind> kAll = {
+      ByzantineStrategyKind::kEquivocate,
+      ByzantineStrategyKind::kInvalidBlocks,
+      ByzantineStrategyKind::kPhantomVotes,
+      ByzantineStrategyKind::kViewSpam,
+      ByzantineStrategyKind::kLyingSync,
+      ByzantineStrategyKind::kCompactPoison,
+      ByzantineStrategyKind::kMute,
+  };
+  return kAll;
+}
+
+std::vector<ConsensusMsg> ByzantineStrategy::on_send(std::uint32_t /*peer*/,
+                                                     const ConsensusMsg& msg) {
+  ++stats_.intercepted;
+  std::vector<ConsensusMsg> out;
+  out.push_back(msg);  // copy (drops the body memo; re-authenticated on send)
+  return out;
+}
+
+void ByzantineStrategy::on_tick() {}
+
+namespace {
+
+Hash256 random_digest(Rng& rng) {
+  Hash256 h;
+  for (std::size_t i = 0; i < h.bytes.size(); i += 8) {
+    const std::uint64_t word = rng.next();
+    for (std::size_t b = 0; b < 8; ++b) {
+      h.bytes[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  return h;
+}
+
+std::vector<ConsensusMsg> pass(const ConsensusMsg& msg) {
+  std::vector<ConsensusMsg> out;
+  out.push_back(msg);
+  return out;
+}
+
+// --------------------------------------------------------------- equivocate
+
+/// Two conflicting blocks, same seq/view: the first half of the replicas get
+/// the original proposal, the second half a twin with a bumped timestamp
+/// (different digest, same height/parent — both individually valid). Quorum
+/// intersection must keep the halves from committing different blocks.
+class EquivocateStrategy final : public ByzantineStrategy {
+ public:
+  using ByzantineStrategy::ByzantineStrategy;
+  [[nodiscard]] ByzantineStrategyKind kind() const override {
+    return ByzantineStrategyKind::kEquivocate;
+  }
+
+  std::vector<ConsensusMsg> on_send(std::uint32_t peer,
+                                    const ConsensusMsg& msg) override {
+    ++stats_.intercepted;
+    if (msg.type != MsgType::kPrePrepare &&
+        msg.type != MsgType::kCompactPrePrepare) {
+      return pass(msg);
+    }
+    if (peer < cluster_.replica_count() / 2) return pass(msg);
+    ConsensusMsg twin = msg;  // copy first: encode() memoizes the body
+    if (msg.type == MsgType::kPrePrepare) {
+      auto block = ledger::Block::decode(BytesView(msg.block));
+      if (!block) return pass(msg);
+      block->header.timestamp += 1;
+      twin.digest = block->hash();
+      twin.block = block->encode();
+    } else {
+      auto cb = CompactBlock::decode(BytesView(msg.block));
+      if (!cb) return pass(msg);
+      cb->header.timestamp += 1;
+      twin.digest = cb->header.hash();
+      twin.block = cb->encode();
+    }
+    ++stats_.rewritten;
+    std::vector<ConsensusMsg> out;
+    out.push_back(std::move(twin));
+    return out;
+  }
+};
+
+// ------------------------------------------------------------ invalid blocks
+
+/// Proposals that must die in check_candidate: broken parent linkage, a tx
+/// merkle root that doesn't commit to the transactions, or a far-future
+/// height (probing the pipeline window). A fraction passes clean so the run
+/// still makes progress while the attacker holds the primary slot.
+class InvalidBlocksStrategy final : public ByzantineStrategy {
+ public:
+  using ByzantineStrategy::ByzantineStrategy;
+  [[nodiscard]] ByzantineStrategyKind kind() const override {
+    return ByzantineStrategyKind::kInvalidBlocks;
+  }
+
+  std::vector<ConsensusMsg> on_send(std::uint32_t /*peer*/,
+                                    const ConsensusMsg& msg) override {
+    ++stats_.intercepted;
+    if (msg.type != MsgType::kPrePrepare &&
+        msg.type != MsgType::kCompactPrePrepare) {
+      return pass(msg);
+    }
+    if (rng_.chance(0.3)) return pass(msg);  // stay in power occasionally
+    ConsensusMsg bad = msg;
+    const std::uint64_t variant = rng_.uniform(3);
+    if (msg.type == MsgType::kPrePrepare) {
+      auto block = ledger::Block::decode(BytesView(msg.block));
+      if (!block) return pass(msg);
+      corrupt_header(block->header, bad, variant);
+      bad.digest = block->hash();
+      bad.block = block->encode();
+    } else {
+      auto cb = CompactBlock::decode(BytesView(msg.block));
+      if (!cb) return pass(msg);
+      corrupt_header(cb->header, bad, variant);
+      bad.digest = cb->header.hash();
+      bad.block = cb->encode();
+    }
+    ++stats_.rewritten;
+    std::vector<ConsensusMsg> out;
+    out.push_back(std::move(bad));
+    return out;
+  }
+
+ private:
+  static void corrupt_header(ledger::BlockHeader& header, ConsensusMsg& msg,
+                             std::uint64_t variant) {
+    switch (variant) {
+      case 0: header.parent.bytes[0] ^= 0xFF; break;
+      case 1: header.tx_root.bytes[0] ^= 0xFF; break;
+      default:
+        header.height += 40;  // far beyond any honest pipeline depth
+        msg.seq = header.height;
+        break;
+    }
+  }
+};
+
+// ------------------------------------------------------------- phantom votes
+
+/// Prepare/commit votes for digests that were never proposed, plus
+/// occasional votes far past the pipeline window. Per-digest tallies must
+/// keep them from ever completing a quorum for a real block.
+class PhantomVotesStrategy final : public ByzantineStrategy {
+ public:
+  using ByzantineStrategy::ByzantineStrategy;
+  [[nodiscard]] ByzantineStrategyKind kind() const override {
+    return ByzantineStrategyKind::kPhantomVotes;
+  }
+
+  void on_tick() override {
+    ++stats_.ticks;
+    const std::uint64_t height = cluster_.chain(replica_).height();
+    const std::uint64_t view = cluster_.view_of(replica_);
+    for (int burst = 0; burst < 3; ++burst) {
+      ConsensusMsg vote;
+      vote.type = rng_.chance(0.5) ? MsgType::kPrepare : MsgType::kCommit;
+      vote.sender = replica_;
+      vote.view = view;
+      vote.seq = rng_.chance(0.15) ? height + 64  // window probe
+                                   : height + 1 + rng_.uniform(2);
+      vote.digest = random_digest(rng_);
+      ++stats_.forged;
+      cluster_.adversary_send(replica_, std::nullopt, std::move(vote));
+    }
+  }
+};
+
+// ----------------------------------------------------------------- view spam
+
+/// Stale- and future-view vote floods. The votes carry absurd progress
+/// claims (seq = height + 1000, probing known_committed corroboration) and
+/// occasionally a decodable fake "prepared certificate" (probing the f+1
+/// carrier rule on the evidence path).
+class ViewSpamStrategy final : public ByzantineStrategy {
+ public:
+  using ByzantineStrategy::ByzantineStrategy;
+  [[nodiscard]] ByzantineStrategyKind kind() const override {
+    return ByzantineStrategyKind::kViewSpam;
+  }
+
+  void on_tick() override {
+    ++stats_.ticks;
+    const std::uint64_t height = cluster_.chain(replica_).height();
+    const std::uint64_t view = cluster_.view_of(replica_);
+    // Stale vote: current view (strictly ≤ every honest replica's view).
+    ConsensusMsg stale;
+    stale.type = MsgType::kViewChange;
+    stale.sender = replica_;
+    stale.view = view;
+    stale.seq = height + 1000;  // poisoned progress claim
+    ++stats_.forged;
+    cluster_.adversary_send(replica_, std::nullopt, std::move(stale));
+    // Future-view flood: three distinct targets per tick.
+    for (std::uint64_t k = 1; k <= 3; ++k) {
+      ConsensusMsg vote;
+      vote.type = MsgType::kViewChange;
+      vote.sender = replica_;
+      vote.view = view + 1 + rng_.uniform(64) + k;
+      vote.seq = height + 1000;
+      if (rng_.chance(0.25)) {
+        // Fake prepared certificate: a decodable block nobody proposed. One
+        // Byzantine carrier must never pin a height.
+        ledger::Block fake;
+        fake.header.height = height + 1;
+        fake.header.parent = random_digest(rng_);
+        fake.header.tx_root = fake.compute_tx_root();
+        fake.header.proposer = replica_;
+        vote.digest = fake.hash();
+        vote.block = fake.encode();
+      }
+      ++stats_.forged;
+      cluster_.adversary_send(replica_, std::nullopt, std::move(vote));
+    }
+  }
+};
+
+// ---------------------------------------------------------------- lying sync
+
+/// Poisoned catch-up: sync responses are suppressed, made non-linking, or
+/// replaced with a *valid-looking* fork (transactions dropped, tx root
+/// recomputed — every per-block check passes; only f+1 response matching
+/// defends). kTxs fills are starved or garbled too.
+class LyingSyncStrategy final : public ByzantineStrategy {
+ public:
+  using ByzantineStrategy::ByzantineStrategy;
+  [[nodiscard]] ByzantineStrategyKind kind() const override {
+    return ByzantineStrategyKind::kLyingSync;
+  }
+
+  std::vector<ConsensusMsg> on_send(std::uint32_t /*peer*/,
+                                    const ConsensusMsg& msg) override {
+    ++stats_.intercepted;
+    if (msg.type == MsgType::kSyncResponse) {
+      auto block = ledger::Block::decode(BytesView(msg.block));
+      if (!block) return pass(msg);
+      const std::uint64_t variant = rng_.uniform(4);
+      if (variant == 0) {
+        ++stats_.suppressed;  // starve the laggard
+        return {};
+      }
+      ConsensusMsg lie = msg;
+      if (variant == 1 || block->txs.empty()) {
+        block->header.parent.bytes[0] ^= 0xFF;  // non-linking chain
+      } else {
+        // Empty-block fork: drop the payload, recompute the tx root. The
+        // header still links and validates — only response matching against
+        // honest peers catches it.
+        block->txs.clear();
+        block->header.tx_root = block->compute_tx_root();
+      }
+      lie.digest = block->hash();
+      lie.block = block->encode();
+      ++stats_.rewritten;
+      std::vector<ConsensusMsg> out;
+      out.push_back(std::move(lie));
+      return out;
+    }
+    if (msg.type == MsgType::kTxs) {
+      if (rng_.chance(0.5)) {
+        ++stats_.suppressed;
+        return {};
+      }
+      ConsensusMsg garbage = msg;
+      for (std::size_t i = 0; i < garbage.block.size(); i += 7) {
+        garbage.block[i] ^= 0x5A;
+      }
+      ++stats_.rewritten;
+      std::vector<ConsensusMsg> out;
+      out.push_back(std::move(garbage));
+      return out;
+    }
+    return pass(msg);
+  }
+};
+
+// ------------------------------------------------------------ compact poison
+
+/// Compact-relay sabotage: scrambled short ids under an untouched header
+/// (reconstruction yields the wrong transactions — the tx-root cross-check
+/// must catch it), plus withheld or garbage kTxs fills so receivers must
+/// rotate to honest servers.
+class CompactPoisonStrategy final : public ByzantineStrategy {
+ public:
+  using ByzantineStrategy::ByzantineStrategy;
+  [[nodiscard]] ByzantineStrategyKind kind() const override {
+    return ByzantineStrategyKind::kCompactPoison;
+  }
+
+  std::vector<ConsensusMsg> on_send(std::uint32_t /*peer*/,
+                                    const ConsensusMsg& msg) override {
+    ++stats_.intercepted;
+    if (msg.type == MsgType::kCompactPrePrepare && !rng_.chance(0.3)) {
+      auto cb = CompactBlock::decode(BytesView(msg.block));
+      if (!cb || cb->short_ids.empty()) return pass(msg);
+      ConsensusMsg poisoned = msg;
+      for (auto& id : cb->short_ids) {
+        id ^= 1 + rng_.uniform(0xFFFF);  // colliding / dangling short ids
+      }
+      poisoned.block = cb->encode();  // header (and digest) untouched
+      ++stats_.rewritten;
+      std::vector<ConsensusMsg> out;
+      out.push_back(std::move(poisoned));
+      return out;
+    }
+    if (msg.type == MsgType::kTxs) {
+      if (rng_.chance(0.4)) {
+        ++stats_.suppressed;
+        return {};
+      }
+      ConsensusMsg garbage = msg;
+      for (std::size_t i = 0; i < garbage.block.size(); i += 5) {
+        garbage.block[i] ^= 0xA5;
+      }
+      ++stats_.rewritten;
+      std::vector<ConsensusMsg> out;
+      out.push_back(std::move(garbage));
+      return out;
+    }
+    return pass(msg);
+  }
+};
+
+// ---------------------------------------------------------------------- mute
+
+/// Fail-stop the hard way: the replica looks alive (it still receives and
+/// processes) but some or all of its outbound traffic vanishes. Selective
+/// mute (a seeded peer subset) is the nastier variant — different replicas
+/// disagree about whether the attacker is alive.
+class MuteStrategy final : public ByzantineStrategy {
+ public:
+  MuteStrategy(consensus::Cluster& cluster, std::uint32_t replica,
+               std::uint64_t seed)
+      : ByzantineStrategy(cluster, replica, seed) {
+    const bool full = rng_.chance(0.5);
+    for (std::uint32_t p = 0; p < cluster_.replica_count(); ++p) {
+      if (full || rng_.chance(0.5)) muted_.insert(p);
+    }
+    if (muted_.empty()) muted_.insert(0);  // never a silent no-op strategy
+  }
+  [[nodiscard]] ByzantineStrategyKind kind() const override {
+    return ByzantineStrategyKind::kMute;
+  }
+
+  std::vector<ConsensusMsg> on_send(std::uint32_t peer,
+                                    const ConsensusMsg& msg) override {
+    ++stats_.intercepted;
+    if (muted_.count(peer)) {
+      ++stats_.suppressed;
+      return {};
+    }
+    return pass(msg);
+  }
+
+ private:
+  std::set<std::uint32_t> muted_;
+};
+
+}  // namespace
+
+std::unique_ptr<ByzantineStrategy> make_byzantine_strategy(
+    ByzantineStrategyKind kind, consensus::Cluster& cluster,
+    std::uint32_t replica, std::uint64_t seed) {
+  switch (kind) {
+    case ByzantineStrategyKind::kEquivocate:
+      return std::make_unique<EquivocateStrategy>(cluster, replica, seed);
+    case ByzantineStrategyKind::kInvalidBlocks:
+      return std::make_unique<InvalidBlocksStrategy>(cluster, replica, seed);
+    case ByzantineStrategyKind::kPhantomVotes:
+      return std::make_unique<PhantomVotesStrategy>(cluster, replica, seed);
+    case ByzantineStrategyKind::kViewSpam:
+      return std::make_unique<ViewSpamStrategy>(cluster, replica, seed);
+    case ByzantineStrategyKind::kLyingSync:
+      return std::make_unique<LyingSyncStrategy>(cluster, replica, seed);
+    case ByzantineStrategyKind::kCompactPoison:
+      return std::make_unique<CompactPoisonStrategy>(cluster, replica, seed);
+    case ByzantineStrategyKind::kMute:
+      return std::make_unique<MuteStrategy>(cluster, replica, seed);
+  }
+  return nullptr;
+}
+
+std::uint64_t ByzantineResult::fingerprint() const {
+  std::uint64_t state = chaos.fingerprint();
+  auto mix = [&state](std::uint64_t v) {
+    state ^= v + 0x9E3779B97F4A7C15ULL + (state << 6) + (state >> 2);
+    (void)splitmix64(state);
+  };
+  mix(attackers.size());
+  for (const std::uint32_t a : attackers) mix(a);
+  for (const ByzantineStrategyKind s : strategies) {
+    mix(static_cast<std::uint64_t>(s));
+  }
+  mix(actions.intercepted);
+  mix(actions.suppressed);
+  mix(actions.rewritten);
+  mix(actions.forged);
+  mix(actions.ticks);
+  mix(rejects.equivocation);
+  mix(rejects.invalid_candidate);
+  mix(rejects.mismatched_vote);
+  mix(rejects.future_seq);
+  mix(rejects.stale_view_vote);
+  mix(rejects.vote_overflow);
+  mix(rejects.evidence_conflict);
+  mix(rejects.bad_sync_response);
+  mix(rejects.sync_digest_conflict);
+  mix(rejects.bad_txs_fill);
+  mix(rejects.request_spam);
+  return state;
+}
+
+ByzantineResult run_byzantine_chaos(
+    const ByzantineConfig& config, const FaultPlan& plan,
+    const consensus::Cluster::ExecutorFactory& make_executor,
+    const TxFactory& make_tx) {
+  const std::size_t n = config.chaos.cluster.replicas;
+  const std::size_t f = n >= 4 ? (n - 1) / 3 : 0;
+  Rng rng(config.chaos.seed * 0x9E3779B97F4A7C15ULL + 0xB12A);
+
+  ByzantineResult result;
+  result.attackers = config.attackers;
+  if (result.attackers.empty() && config.attacker_count > 0) {
+    // Seeded draw of min(attacker_count, f) distinct replicas.
+    std::vector<std::uint32_t> indexes(n);
+    for (std::uint32_t i = 0; i < n; ++i) indexes[i] = i;
+    for (std::size_t i = 0; i + 1 < indexes.size(); ++i) {
+      const std::size_t j = i + rng.uniform(indexes.size() - i);
+      std::swap(indexes[i], indexes[j]);
+    }
+    indexes.resize(std::min(config.attacker_count, f));
+    std::sort(indexes.begin(), indexes.end());
+    result.attackers = std::move(indexes);
+  }
+  result.strategies = config.strategies;
+  if (result.strategies.size() == 1 && result.attackers.size() > 1) {
+    result.strategies.assign(result.attackers.size(), result.strategies[0]);
+  }
+  while (result.strategies.size() < result.attackers.size()) {
+    result.strategies.push_back(
+        all_byzantine_strategies()[rng.uniform(kByzantineStrategyCount)]);
+  }
+  result.strategies.resize(result.attackers.size());
+
+  // Outlives run_chaos: the cluster's adversary hooks and the scheduled
+  // attack ticks reference the strategies by raw pointer.
+  std::vector<std::unique_ptr<ByzantineStrategy>> strategies;
+
+  ChaosHooks hooks;
+  hooks.on_start = [&](consensus::Cluster& cluster, InvariantChecker& checker,
+                       sim::Simulator& simulator, sim::SimTime run_end) {
+    if (result.attackers.empty()) return;  // bit-identical to run_chaos
+    std::set<std::size_t> byzantine;
+    for (std::size_t i = 0; i < result.attackers.size(); ++i) {
+      const std::uint32_t replica = result.attackers[i];
+      auto strategy = make_byzantine_strategy(
+          result.strategies[i], cluster, replica, rng.next());
+      cluster.set_adversary(
+          replica, [s = strategy.get()](std::uint32_t peer,
+                                        const ConsensusMsg& msg) {
+            return s->on_send(peer, msg);
+          });
+      byzantine.insert(replica);
+      strategies.push_back(std::move(strategy));
+    }
+    checker.set_byzantine(std::move(byzantine));
+    // Pre-schedule every attack tick up front (no recursive reschedule: the
+    // lambda only captures a reference to the outer-scope vector).
+    if (config.attack_tick > 0) {
+      for (sim::SimTime t = config.attack_tick; t < run_end;
+           t += config.attack_tick) {
+        simulator.schedule_at(t, [&strategies]() {
+          for (auto& s : strategies) s->on_tick();
+        });
+      }
+    }
+  };
+  hooks.on_finish = [&](const consensus::Cluster& cluster) {
+    result.rejects = cluster.stats().rejected;
+    for (const auto& s : strategies) result.actions += s->stats();
+  };
+
+  result.chaos =
+      run_chaos(config.chaos, plan, make_executor, make_tx, &hooks);
+  return result;
+}
+
+}  // namespace tnp::fault

@@ -1,0 +1,151 @@
+// Byzantine adversary harness: scripted malicious-replica strategies layered
+// on top of the chaos subsystem. Where the FaultInjector makes replicas
+// unlucky (crashes, partitions, loss), a ByzantineStrategy makes a replica
+// actively hostile: it intercepts every message the replica is about to send
+// (Cluster::set_adversary) and may suppress, rewrite, or multiply it, and it
+// forges unsolicited traffic on a timer (Cluster::adversary_send). The
+// attacks are the ones PBFT's validation paths must defeat:
+//
+//   kEquivocate    — two conflicting blocks, same seq/view, to disjoint peer
+//                    sets (full and compact pre-prepares).
+//   kInvalidBlocks — proposals with broken parent hashes, tx merkle roots,
+//                    or far-future heights.
+//   kPhantomVotes  — prepare/commit votes for digests nobody proposed.
+//   kViewSpam      — stale- and future-view vote floods carrying fake
+//                    progress claims and fake prepared certificates.
+//   kLyingSync     — forged or non-linking sync responses (including valid-
+//                    looking "empty block" forks) and suppressed replies.
+//   kCompactPoison — scrambled short ids, withheld / garbage kTxs fills.
+//   kMute          — full or per-peer silence (fail-stop the hard way).
+//
+// run_byzantine_chaos composes a seeded strategy assignment over ≤f replicas
+// with an ordinary FaultPlan and the InvariantChecker's honest-only
+// invariants, and reduces the run to a deterministic fingerprint. With zero
+// attackers it installs nothing and stays bit-identical to run_chaos.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "consensus/cluster.hpp"
+#include "fault/chaos.hpp"
+#include "fault/plan.hpp"
+
+namespace tnp::fault {
+
+enum class ByzantineStrategyKind : std::uint8_t {
+  kEquivocate = 0,
+  kInvalidBlocks = 1,
+  kPhantomVotes = 2,
+  kViewSpam = 3,
+  kLyingSync = 4,
+  kCompactPoison = 5,
+  kMute = 6,
+};
+
+inline constexpr std::size_t kByzantineStrategyCount = 7;
+
+[[nodiscard]] std::string to_string(ByzantineStrategyKind kind);
+
+/// All strategies, in enum order (for sweeps).
+[[nodiscard]] const std::vector<ByzantineStrategyKind>&
+all_byzantine_strategies();
+
+/// What an adversary actually did during a run — asserted on by tests (an
+/// attack that never fired proves nothing) and reported by benches.
+struct ByzantineActionStats {
+  std::uint64_t intercepted = 0;  // outbound messages seen by the hook
+  std::uint64_t suppressed = 0;   // messages swallowed
+  std::uint64_t rewritten = 0;    // messages altered in flight
+  std::uint64_t forged = 0;       // messages invented (hook or tick)
+  std::uint64_t ticks = 0;        // timer firings that injected traffic
+
+  ByzantineActionStats& operator+=(const ByzantineActionStats& o) {
+    intercepted += o.intercepted;
+    suppressed += o.suppressed;
+    rewritten += o.rewritten;
+    forged += o.forged;
+    ticks += o.ticks;
+    return *this;
+  }
+};
+
+/// One adversarial replica. Wraps the replica's outbound traffic via
+/// Cluster::set_adversary and may inject unsolicited messages on on_tick().
+/// Deterministic: all randomness comes from the seeded Rng.
+class ByzantineStrategy {
+ public:
+  ByzantineStrategy(consensus::Cluster& cluster, std::uint32_t replica,
+                    std::uint64_t seed)
+      : cluster_(cluster), replica_(replica), rng_(seed) {}
+  virtual ~ByzantineStrategy() = default;
+  ByzantineStrategy(const ByzantineStrategy&) = delete;
+  ByzantineStrategy& operator=(const ByzantineStrategy&) = delete;
+
+  [[nodiscard]] virtual ByzantineStrategyKind kind() const = 0;
+
+  /// Intercepts `msg` about to be sent to `peer`; returns the messages that
+  /// actually go out (empty = suppress). Default: pass through unchanged.
+  virtual std::vector<consensus::ConsensusMsg> on_send(
+      std::uint32_t peer, const consensus::ConsensusMsg& msg);
+
+  /// Called on the attack timer; inject forged traffic via
+  /// Cluster::adversary_send. Default: nothing.
+  virtual void on_tick();
+
+  [[nodiscard]] std::uint32_t replica() const { return replica_; }
+  [[nodiscard]] const ByzantineActionStats& stats() const { return stats_; }
+
+ protected:
+  consensus::Cluster& cluster_;
+  std::uint32_t replica_;
+  Rng rng_;
+  ByzantineActionStats stats_;
+};
+
+[[nodiscard]] std::unique_ptr<ByzantineStrategy> make_byzantine_strategy(
+    ByzantineStrategyKind kind, consensus::Cluster& cluster,
+    std::uint32_t replica, std::uint64_t seed);
+
+struct ByzantineConfig {
+  ChaosConfig chaos{};
+  /// Number of attackers drawn (seeded) when `attackers` is empty; clamped
+  /// to f for the configured cluster size.
+  std::size_t attacker_count = 1;
+  /// Explicit attacker replica indexes (e.g. {0} = primary of view 0).
+  /// Empty = draw `attacker_count` distinct replicas from the seed.
+  std::vector<std::uint32_t> attackers;
+  /// Strategy per attacker (parallel to `attackers` / the drawn set; a
+  /// single entry is broadcast to every attacker). Empty = seeded draw.
+  std::vector<ByzantineStrategyKind> strategies;
+  /// Forged-traffic timer period.
+  sim::SimTime attack_tick = 50 * sim::kMillisecond;
+};
+
+struct ByzantineResult {
+  ChaosResult chaos;
+  std::vector<std::uint32_t> attackers;
+  std::vector<ByzantineStrategyKind> strategies;
+  ByzantineActionStats actions;
+  consensus::RejectCounters rejects;
+
+  [[nodiscard]] bool ok() const { return chaos.ok(); }
+  /// chaos.fingerprint() extended with the adversary assignment and every
+  /// action/reject counter: equal fingerprints ⇒ bit-identical runs.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// Runs `plan` plus the configured Byzantine adversaries against a fresh
+/// cluster. Honest-only invariants (agreement, no-invalid-commit, liveness
+/// with ≤f Byzantine) are enforced via InvariantChecker::set_byzantine.
+/// Deterministic: same arguments → same fingerprint.
+ByzantineResult run_byzantine_chaos(
+    const ByzantineConfig& config, const FaultPlan& plan,
+    const consensus::Cluster::ExecutorFactory& make_executor,
+    const TxFactory& make_tx);
+
+}  // namespace tnp::fault

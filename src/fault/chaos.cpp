@@ -66,7 +66,7 @@ std::uint64_t ChaosResult::fingerprint() const {
 
 ChaosResult run_chaos(const ChaosConfig& config, const FaultPlan& plan,
                       const consensus::Cluster::ExecutorFactory& make_executor,
-                      const TxFactory& make_tx) {
+                      const TxFactory& make_tx, const ChaosHooks* hooks) {
   sim::Simulator simulator;
   net::Network network(simulator, config.seed + 17, config.latency);
   consensus::ClusterConfig cluster_config = config.cluster;
@@ -92,6 +92,9 @@ ChaosResult run_chaos(const ChaosConfig& config, const FaultPlan& plan,
           ? std::max(config.run_until, *all_clear + config.liveness_bound)
           : config.run_until;
 
+  if (hooks && hooks->on_start) {
+    hooks->on_start(cluster, checker, simulator, run_until);
+  }
   cluster.start();
   std::uint64_t submitted = 0;
   for (sim::SimTime t = config.tx_interval; t < run_until;
@@ -101,6 +104,7 @@ ChaosResult run_chaos(const ChaosConfig& config, const FaultPlan& plan,
         t, [&cluster, &make_tx, index]() { cluster.submit(make_tx(index)); });
   }
   simulator.run_until(run_until);
+  if (hooks && hooks->on_finish) hooks->on_finish(cluster);
 
   ChaosResult result;
   result.report = checker.finish(config.liveness_bound);

@@ -74,10 +74,26 @@ struct ChaosResult {
 /// meant to exercise nonce ordering.
 using TxFactory = std::function<ledger::Transaction(std::uint64_t index)>;
 
+/// Optional extension points for harnesses built on top of run_chaos (the
+/// Byzantine harness installs adversaries here). A null hook is never
+/// called; passing no hooks leaves the run bit-identical to earlier
+/// releases.
+struct ChaosHooks {
+  /// Called after the cluster, checker, and injector are wired but before
+  /// `cluster.start()` — install adversaries, extra invariants, or ticks.
+  std::function<void(consensus::Cluster&, InvariantChecker&, sim::Simulator&,
+                     sim::SimTime run_end)>
+      on_start;
+  /// Called after the simulator drains, before the cluster is torn down —
+  /// harvest final per-replica state and counters.
+  std::function<void(const consensus::Cluster&)> on_finish;
+};
+
 /// Runs `plan` against a fresh cluster under a steady workload and returns
 /// the reduced result. Deterministic: same arguments → same fingerprint.
 ChaosResult run_chaos(const ChaosConfig& config, const FaultPlan& plan,
                       const consensus::Cluster::ExecutorFactory& make_executor,
-                      const TxFactory& make_tx);
+                      const TxFactory& make_tx,
+                      const ChaosHooks* hooks = nullptr);
 
 }  // namespace tnp::fault

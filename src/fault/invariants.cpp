@@ -43,8 +43,33 @@ void InvariantChecker::violation(std::string what) {
 
 void InvariantChecker::on_commit(std::size_t replica,
                                  const ledger::Block& block) {
+  // Byzantine replicas' own commits prove nothing — they may "commit"
+  // whatever they like. Every invariant quantifies over honest replicas.
+  if (byzantine_.count(replica)) return;
   ++commits_checked_;
   const std::uint64_t height = block.header.height;
+
+  // "No honest replica commits an invalid block": re-validate independently
+  // of the cluster's own checks. The tx root must commit to exactly these
+  // transactions. (Per-transaction signatures are NOT re-checked here:
+  // apply_block deliberately tolerates bad-signature transactions as failed
+  // receipts, so a block carrying one is valid by construction.)
+  if (block.compute_tx_root() != block.header.tx_root) {
+    std::ostringstream oss;
+    oss << "invalid-commit: replica " << replica << " committed height "
+        << height << " with tx root not matching its transactions";
+    violation(oss.str());
+  }
+  if (height > 1) {
+    if (const auto parent = canonical_.find(height - 1);
+        parent != canonical_.end() &&
+        block.header.parent != parent->second.hash) {
+      std::ostringstream oss;
+      oss << "invalid-commit: replica " << replica << " committed height "
+          << height << " whose parent does not link the canonical chain";
+      violation(oss.str());
+    }
+  }
   std::uint64_t& last = heights_.at(replica);
   if (height != last + 1) {
     std::ostringstream oss;
@@ -84,7 +109,7 @@ InvariantReport InvariantChecker::finish(sim::SimTime liveness_bound) {
                 ms(liveness_bound));
     }
   }
-  if (!cluster_.chains_consistent()) {
+  if (!cluster_.chains_consistent(byzantine_)) {
     violation("fork: replica chains disagree on their common prefix at end");
   }
   report.commits_checked = commits_checked_;

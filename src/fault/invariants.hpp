@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,16 @@ class InvariantChecker {
   /// liveness-after-heal clock starts here.
   void note_all_clear(sim::SimTime t) { all_clear_ = t; }
 
+  /// Marks replicas as Byzantine: their commits are excluded from every
+  /// invariant (an adversary lying to itself proves nothing), the agreement
+  /// and fork checks run over honest replicas only, and each honest commit
+  /// is additionally re-validated (tx-merkle-root recomputation and parent
+  /// linkage against the honest canonical chain) — "no honest replica
+  /// commits an invalid block".
+  void set_byzantine(std::set<std::size_t> replicas) {
+    byzantine_ = std::move(replicas);
+  }
+
   /// End-of-run checks; returns the accumulated report.
   [[nodiscard]] InvariantReport finish(sim::SimTime liveness_bound);
 
@@ -71,6 +82,7 @@ class InvariantChecker {
   std::vector<std::string> violations_;
   std::optional<sim::SimTime> all_clear_;
   std::optional<sim::SimTime> first_commit_after_clear_;
+  std::set<std::size_t> byzantine_;
 };
 
 }  // namespace tnp::fault
