@@ -3,12 +3,22 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <vector>
 
 namespace tnp {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+
+// Registry of rate-limiter call sites. Limiters are function-local statics,
+// so they live for the process — raw pointers are safe. Guarded by its own
+// mutex: registration happens once per site, reads only from stats calls.
+std::mutex g_sites_mutex;
+std::vector<const detail::LogRateLimiter*>& sites() {
+  static std::vector<const detail::LogRateLimiter*> v;
+  return v;
+}
 
 constexpr std::string_view level_tag(LogLevel level) {
   switch (level) {
@@ -23,6 +33,45 @@ constexpr std::string_view level_tag(LogLevel level) {
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
+
+std::map<std::string, LogSiteStats> log_site_stats() {
+  std::map<std::string, LogSiteStats> out;
+  const std::scoped_lock lock(g_sites_mutex);
+  // Several call sites may share a name (e.g. the same logical failure in
+  // two handlers): their counts merge.
+  for (const auto* limiter : sites()) {
+    auto& s = out[limiter->site()];
+    s.hits += limiter->hits();
+    s.suppressed += limiter->suppressed_count();
+  }
+  return out;
+}
+
+LogSiteStats log_site_stats(std::string_view site) {
+  LogSiteStats out;
+  const std::scoped_lock lock(g_sites_mutex);
+  for (const auto* limiter : sites()) {
+    if (limiter->site() == site) {
+      out.hits += limiter->hits();
+      out.suppressed += limiter->suppressed_count();
+    }
+  }
+  return out;
+}
+
+void reset_log_site_stats() {
+  const std::scoped_lock lock(g_sites_mutex);
+  for (const auto* limiter : sites()) {
+    const_cast<detail::LogRateLimiter*>(limiter)->reset();
+  }
+}
+
+namespace detail {
+LogRateLimiter::LogRateLimiter(const char* site) : site_(site) {
+  const std::scoped_lock lock(g_sites_mutex);
+  sites().push_back(this);
+}
+}  // namespace detail
 
 namespace detail {
 void log_emit(LogLevel level, std::string_view message) {

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -47,11 +48,32 @@ void log_error(Args&&... args) {
   log(LogLevel::kError, std::forward<Args>(args)...);
 }
 
+/// Cumulative hit/suppression counts for one named TNP_LOG_EVERY_N site.
+/// `hits` counts every occurrence, admitted or not — rate limiting hides
+/// log lines, never the count.
+struct LogSiteStats {
+  std::uint64_t hits = 0;
+  std::uint64_t suppressed = 0;
+};
+
+/// All named rate-limited sites hit so far, by site name. A site appears
+/// after its first hit (call sites register lazily via function-local
+/// statics).
+[[nodiscard]] std::map<std::string, LogSiteStats> log_site_stats();
+/// Stats for one site (zeros if never hit).
+[[nodiscard]] LogSiteStats log_site_stats(std::string_view site);
+/// Test hook: zeroes every registered site counter.
+void reset_log_site_stats();
+
 namespace detail {
 /// Per-call-site admission state for TNP_LOG_EVERY_N. Thread-safe; a plain
-/// counter, not a token bucket — 1-in-n is predictable and cheap.
+/// counter, not a token bucket — 1-in-n is predictable and cheap. Each
+/// instance self-registers under its site name so suppressed occurrences
+/// stay visible through log_site_stats() even when no line is emitted.
 class LogRateLimiter {
  public:
+  explicit LogRateLimiter(const char* site);
+
   /// Admits the 1st, (n+1)th, (2n+1)th… call; `suppressed` receives how many
   /// calls were dropped since the previous admitted one.
   bool admit(std::uint64_t n, std::uint64_t& suppressed) {
@@ -60,13 +82,30 @@ class LogRateLimiter {
       suppressed = 0;
       return true;
     }
-    if (count % n != 0) return false;
+    if (count % n != 0) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     suppressed = count == 0 ? 0 : n - 1;
     return true;
   }
 
+  [[nodiscard]] const char* site() const { return site_; }
+  [[nodiscard]] std::uint64_t hits() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t suppressed_count() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    suppressed_.store(0, std::memory_order_relaxed);
+  }
+
  private:
+  const char* site_;
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
 };
 }  // namespace detail
 
@@ -75,10 +114,12 @@ class LogRateLimiter {
 /// Rate-limited logging: emits one message out of every `n` hits of this
 /// call site, annotating how many were suppressed in between. Keeps
 /// per-message fault paths (e.g. corrupted-auth drops during chaos runs)
-/// readable without losing the signal entirely.
-#define TNP_LOG_EVERY_N(level, n, ...)                                   \
+/// readable without losing the signal entirely. `site` names the call site
+/// in log_site_stats(), where every hit — suppressed ones included — stays
+/// countable so tests can assert on drops the log never printed.
+#define TNP_LOG_EVERY_N(level, n, site, ...)                             \
   do {                                                                   \
-    static ::tnp::detail::LogRateLimiter tnp_log_limiter_;               \
+    static ::tnp::detail::LogRateLimiter tnp_log_limiter_{(site)};       \
     std::uint64_t tnp_log_suppressed_ = 0;                               \
     if (tnp_log_limiter_.admit((n), tnp_log_suppressed_)) {              \
       if (tnp_log_suppressed_ > 0) {                                     \
@@ -90,7 +131,7 @@ class LogRateLimiter {
     }                                                                    \
   } while (0)
 
-#define TNP_LOG_WARN_EVERY_N(n, ...) \
-  TNP_LOG_EVERY_N(::tnp::LogLevel::kWarn, (n), __VA_ARGS__)
-#define TNP_LOG_ERROR_EVERY_N(n, ...) \
-  TNP_LOG_EVERY_N(::tnp::LogLevel::kError, (n), __VA_ARGS__)
+#define TNP_LOG_WARN_EVERY_N(n, site, ...) \
+  TNP_LOG_EVERY_N(::tnp::LogLevel::kWarn, (n), (site), __VA_ARGS__)
+#define TNP_LOG_ERROR_EVERY_N(n, site, ...) \
+  TNP_LOG_EVERY_N(::tnp::LogLevel::kError, (n), (site), __VA_ARGS__)

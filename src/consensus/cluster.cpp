@@ -30,6 +30,12 @@ Cluster::Cluster(net::Network& network, ExecutorFactory make_executor,
                  ClusterConfig config)
     : network_(network), config_(config) {
   assert(config_.replicas >= 1);
+  // The recorder must exist before any replica: chains and stores capture
+  // raw pointers into it at construction.
+  trace_ = std::make_shared<obs::TraceRecorder>(config_.trace_capacity);
+  trace_->set_recording(config_.trace);
+  trace_->set_clock([this] { return simulator().now(); });
+  register_metrics();
   replicas_.reserve(config_.replicas);
   for (std::size_t i = 0; i < config_.replicas; ++i) {
     const SigScheme scheme = config_.auth_mode == AuthMode::kSchnorr
@@ -41,8 +47,8 @@ Cluster::Cluster(net::Network& network, ExecutorFactory make_executor,
     replica->timer_rng = Rng(config_.seed * 0x9E3779B97F4A7C15ULL + 7919 * (i + 1));
     replica->peer_claims.assign(config_.replicas, 0);
     replica->executor = make_executor();
-    replica->chain =
-        std::make_unique<ledger::Blockchain>(*replica->executor, config_.chain);
+    replica->chain = std::make_unique<ledger::Blockchain>(
+        *replica->executor, chain_config_for(replica->index));
     if (config_.storage_factory) {
       replica->disk = config_.storage_factory(i);
       open_store(*replica);
@@ -58,7 +64,18 @@ Cluster::Cluster(net::Network& network, ExecutorFactory make_executor,
   }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // The recorder may outlive the cluster (trace_ptr()); the sim clock must
+  // not.
+  trace_->set_clock({});
+}
+
+ledger::ChainConfig Cluster::chain_config_for(std::uint32_t index) const {
+  ledger::ChainConfig cc = config_.chain;
+  cc.trace = trace_.get();
+  cc.trace_replica = index;
+  return cc;
+}
 
 void Cluster::start() {
   assert(!started_);
@@ -87,15 +104,18 @@ void Cluster::submit(ledger::Transaction tx) {
 void Cluster::open_store(Replica& r) {
   // Opening the store IS recovery: it replays whatever the disk durably
   // holds and replaces the replica's chain with the exact verified prefix.
-  auto store = storage::LedgerStore::open(r.disk, config_.store);
+  storage::StoreOptions store_options = config_.store;
+  store_options.trace = trace_.get();
+  store_options.trace_replica = r.index;
+  auto store = storage::LedgerStore::open(r.disk, store_options);
   if (!store.ok()) {
     log_error("replica ", r.index,
               " failed to open ledger store: ", store.error().to_string());
     return;
   }
   r.store = std::move(*store);
-  auto chain =
-      std::make_unique<ledger::Blockchain>(*r.executor, config_.chain);
+  auto chain = std::make_unique<ledger::Blockchain>(*r.executor,
+                                                    chain_config_for(r.index));
   auto restored = r.store->recover_chain(*chain);
   if (!restored.ok()) {
     log_error("replica ", r.index,
@@ -115,6 +135,8 @@ void Cluster::open_store(Replica& r) {
 void Cluster::crash(std::size_t replica) {
   Replica& r = *replicas_.at(replica);
   r.crashed = true;
+  trace_->record(obs::TraceEventType::kCrash, r.index, r.chain->height(),
+                 r.view);
   ++r.timer_epoch;  // orphan any pending self-rearming timer chains
   if (r.disk) {
     // Machine death: the engine (with any un-synced buffers) is gone, the
@@ -157,6 +179,8 @@ void Cluster::recover(std::size_t replica) {
     r.mempool = ledger::Mempool{};
     r.last_progress_height = r.chain->height();
   }
+  trace_->record(obs::TraceEventType::kRecover, r.index, r.chain->height(),
+                 r.view);
   if (started_) {
     if (config_.protocol == Protocol::kPbft) {
       arm_propose_timer(r);
@@ -228,6 +252,130 @@ ledger::ExecStats Cluster::exec_stats() const {
     if (r->chain) total += r->chain->exec_stats();
   }
   return total;
+}
+
+namespace {
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kPrePrepare: return "pre_prepare";
+    case MsgType::kPrepare: return "prepare";
+    case MsgType::kCommit: return "commit";
+    case MsgType::kViewChange: return "view_change";
+    case MsgType::kNewView: return "new_view";
+    case MsgType::kPoaBlock: return "poa_block";
+    case MsgType::kSyncRequest: return "sync_request";
+    case MsgType::kSyncResponse: return "sync_response";
+    case MsgType::kCompactPrePrepare: return "compact_pre_prepare";
+    case MsgType::kGetTxs: return "get_txs";
+    case MsgType::kTxs: return "txs";
+    case MsgType::kGetBlock: return "get_block";
+  }
+  return "unknown";
+}
+}  // namespace
+
+void Cluster::register_metrics() {
+  // One pull-style collector reading every existing stat struct through its
+  // current accessor. The structs remain the source of truth (and every
+  // accessor keeps its signature), so recover()-survival comes for free:
+  // exec_stats()/mempool_stats() already fold in retired counters.
+  metrics_.add_collector([this](obs::MetricsSnapshot& out) {
+    out.counter("consensus_committed_blocks", {}, stats_.committed_blocks);
+    out.counter("consensus_committed_txs", {}, stats_.committed_txs);
+    out.counter("consensus_view_changes", {}, stats_.view_changes);
+    out.counter("consensus_view_change_votes", {}, stats_.view_change_votes);
+    out.counter("consensus_auth_failures", {}, stats_.auth_failures);
+    const auto reject = [&out](const char* reason, std::uint64_t count) {
+      out.counter("consensus_rejected_total", {{"reason", reason}}, count);
+    };
+    const RejectCounters& rc = stats_.rejected;
+    reject("equivocation", rc.equivocation);
+    reject("invalid_candidate", rc.invalid_candidate);
+    reject("mismatched_vote", rc.mismatched_vote);
+    reject("future_seq", rc.future_seq);
+    reject("stale_view_vote", rc.stale_view_vote);
+    reject("vote_overflow", rc.vote_overflow);
+    reject("evidence_conflict", rc.evidence_conflict);
+    reject("bad_sync_response", rc.bad_sync_response);
+    reject("sync_digest_conflict", rc.sync_digest_conflict);
+    reject("bad_txs_fill", rc.bad_txs_fill);
+    reject("request_spam", rc.request_spam);
+    for (std::size_t t = 0; t < kMsgTypeCount; ++t) {
+      const auto& wire = stats_.sent_by_type[t];
+      const obs::MetricLabels labels{
+          {"type", msg_type_name(static_cast<MsgType>(t))}};
+      out.counter("wire_msgs_total", labels, wire.msgs);
+      out.counter("wire_bytes_total", labels, wire.bytes);
+    }
+    const ledger::ExecStats exec = exec_stats();
+    out.counter("exec_serial_blocks", {}, exec.serial_blocks);
+    out.counter("exec_parallel_blocks", {}, exec.parallel_blocks);
+    out.counter("exec_speculated", {}, exec.speculated);
+    out.counter("exec_aborted", {}, exec.aborted);
+    out.counter("exec_reexecuted", {}, exec.reexecuted);
+    out.counter("exec_waves", {}, exec.waves);
+    const ledger::Mempool::Stats recon = mempool_stats();
+    out.counter("mempool_recon_hits", {}, recon.recon_hits);
+    out.counter("mempool_recon_misses", {}, recon.recon_misses);
+    out.counter("mempool_recon_fallbacks", {}, recon.fallbacks);
+    const net::NetworkStats& net = network_.stats();
+    out.counter("net_sent", {}, net.sent);
+    out.counter("net_delivered", {}, net.delivered);
+    out.counter("net_dropped", {{"cause", "random"}}, net.dropped_random);
+    out.counter("net_dropped", {{"cause", "partition"}}, net.dropped_partition);
+    out.counter("net_dropped", {{"cause", "link"}}, net.dropped_link);
+    out.counter("net_dropped", {{"cause", "fault"}}, net.dropped_fault);
+    out.counter("net_duplicated", {}, net.duplicated);
+    out.counter("net_corrupted", {}, net.corrupted);
+    out.counter("net_bytes_sent", {}, net.bytes_sent);
+    out.counter("net_bytes_delivered", {}, net.bytes_delivered);
+    out.counter("net_bytes_saved_compact", {}, net.bytes_saved_compact);
+    // Per-type trace counts are always-on atomics in the recorder — never
+    // lost to ring eviction or a recording=false run, so storage activity
+    // (WAL/fsync/snapshot) is visible as plain counters too.
+    for (std::uint32_t t = 0; t < obs::kTraceEventTypeCount; ++t) {
+      const auto type = static_cast<obs::TraceEventType>(t);
+      out.counter("trace_events_total", {{"type", obs::to_string(type)}},
+                  trace_->count(type));
+    }
+    out.counter("storage_wal_appends", {},
+                trace_->count(obs::TraceEventType::kWalAppend));
+    out.counter("storage_wal_fsyncs", {},
+                trace_->count(obs::TraceEventType::kWalFsync));
+    out.counter("storage_snapshots", {},
+                trace_->count(obs::TraceEventType::kSnapshot));
+    // Named TNP_LOG_EVERY_N sites: `hits` counts suppressed occurrences
+    // too, so bad-auth/malformed drops stay assertable even when the rate
+    // limiter printed nothing. (Process-global — shared across clusters.)
+    for (const auto& [site, stats] : log_site_stats()) {
+      out.counter("log_hits_total", {{"site", site}}, stats.hits);
+      out.counter("log_suppressed_total", {{"site", site}}, stats.suppressed);
+    }
+  });
+}
+
+obs::MetricsSnapshot Cluster::metrics_snapshot() const {
+  return metrics_.snapshot();
+}
+
+void Cluster::note_reject(Replica& r, RejectReason reason) {
+  RejectCounters& rc = stats_.rejected;
+  switch (reason) {
+    case RejectReason::kEquivocation: ++rc.equivocation; break;
+    case RejectReason::kInvalidCandidate: ++rc.invalid_candidate; break;
+    case RejectReason::kMismatchedVote: ++rc.mismatched_vote; break;
+    case RejectReason::kFutureSeq: ++rc.future_seq; break;
+    case RejectReason::kStaleViewVote: ++rc.stale_view_vote; break;
+    case RejectReason::kVoteOverflow: ++rc.vote_overflow; break;
+    case RejectReason::kEvidenceConflict: ++rc.evidence_conflict; break;
+    case RejectReason::kBadSyncResponse: ++rc.bad_sync_response; break;
+    case RejectReason::kSyncDigestConflict: ++rc.sync_digest_conflict; break;
+    case RejectReason::kBadTxsFill: ++rc.bad_txs_fill; break;
+    case RejectReason::kRequestSpam: ++rc.request_spam; break;
+  }
+  trace_->record(obs::TraceEventType::kByzantineReject, r.index,
+                 r.chain->height(), r.view,
+                 static_cast<std::uint64_t>(reason));
 }
 
 bool Cluster::chains_consistent(const std::set<std::size_t>& exclude) const {
@@ -349,8 +497,8 @@ void Cluster::on_network_message(std::size_t replica_index,
     // receiving CPU is serial).
     auto frames = net::Network::unpack_frames(BytesView(m.payload));
     if (!frames) {
-      TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
-                           " got malformed coalesced payload");
+      TNP_LOG_WARN_EVERY_N(64, "consensus.malformed_coalesced", "replica ",
+                           r.index, " got malformed coalesced payload");
       return;
     }
     for (Bytes& frame : *frames) process_frame(replica_index, std::move(frame));
@@ -363,7 +511,7 @@ void Cluster::process_frame(std::size_t replica_index, Bytes frame) {
   Replica& r = *replicas_[replica_index];
   auto decoded = ConsensusMsg::decode(BytesView(frame));
   if (!decoded) {
-    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+    TNP_LOG_WARN_EVERY_N(64, "consensus.malformed_message", "replica ", r.index,
                          " got malformed consensus message");
     return;
   }
@@ -377,7 +525,7 @@ void Cluster::process_frame(std::size_t replica_index, Bytes frame) {
     if (!check_auth(replica, msg)) {
       // Corruption-heavy chaos runs hit this per message; rate-limit so the
       // log stays readable while the drop stays observable.
-      TNP_LOG_WARN_EVERY_N(64, "replica ", replica.index,
+      TNP_LOG_WARN_EVERY_N(64, "consensus.bad_auth", "replica ", replica.index,
                            " dropped message with bad auth");
       return;
     }
@@ -475,6 +623,8 @@ void Cluster::request_sync(Replica& r) {
   if (r.sync && r.sync->want == want) return;  // round already open
   r.sync.emplace();
   r.sync->want = want;
+  trace_->record(obs::TraceEventType::kSyncRound, r.index, r.chain->height(),
+                 r.view, want, r.known_committed);
   // Ask f+1 peers at once (round-robin rotation, never self): adoption
   // needs f+1 matching digests, and over-asking keeps one crashed or lying
   // peer from starving catch-up.
@@ -559,8 +709,8 @@ void Cluster::on_sync_response(Replica& r, const ConsensusMsg& msg) {
   if (msg.sender >= replicas_.size()) return;
   auto block = ledger::Block::decode(BytesView(msg.block));
   if (!block) {
-    ++stats_.rejected.bad_sync_response;
-    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+    note_reject(r, RejectReason::kBadSyncResponse);
+    TNP_LOG_WARN_EVERY_N(64, "consensus.sync_malformed", "replica ", r.index,
                          " got malformed sync response from ", msg.sender);
     return;
   }
@@ -583,11 +733,11 @@ void Cluster::on_sync_response(Replica& r, const ConsensusMsg& msg) {
   if (!r.sync->asked.count(msg.sender)) {
     // Unsolicited push while a round is open: only an adversary volunteers
     // blocks nobody asked for.
-    ++stats_.rejected.bad_sync_response;
+    note_reject(r, RejectReason::kBadSyncResponse);
     return;
   }
   if (msg.seq != r.sync->want || block->header.height != r.sync->want) {
-    ++stats_.rejected.bad_sync_response;
+    note_reject(r, RejectReason::kBadSyncResponse);
     sync_ask_next(r);
     return;
   }
@@ -596,8 +746,8 @@ void Cluster::on_sync_response(Replica& r, const ConsensusMsg& msg) {
   // every tx signature must verify. A peer failing this is struck from the
   // round (never re-asked) and the next rotation peer is tried instead.
   if (auto s = r.chain->validate_block(*block); !s.ok()) {
-    ++stats_.rejected.bad_sync_response;
-    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+    note_reject(r, RejectReason::kBadSyncResponse);
+    TNP_LOG_WARN_EVERY_N(64, "consensus.sync_rejected", "replica ", r.index,
                          " rejected sync response from ", msg.sender, ": ",
                          s.to_string());
     sync_ask_next(r);
@@ -608,7 +758,7 @@ void Cluster::on_sync_response(Replica& r, const ConsensusMsg& msg) {
   // valid-looking fork for every re-ask).
   if (!r.sync->candidates.count(digest) &&
       r.sync->candidates.size() >= replicas_.size()) {
-    ++stats_.rejected.vote_overflow;
+    note_reject(r, RejectReason::kVoteOverflow);
     return;
   }
   auto& cand = r.sync->candidates[digest];
@@ -618,8 +768,8 @@ void Cluster::on_sync_response(Replica& r, const ConsensusMsg& msg) {
     // Valid-looking but conflicting responses: someone is lying (honest
     // peers only serve the unique committed block). Keep collecting until
     // one digest reaches f+1 vouchers.
-    ++stats_.rejected.sync_digest_conflict;
-    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+    note_reject(r, RejectReason::kSyncDigestConflict);
+    TNP_LOG_WARN_EVERY_N(64, "consensus.sync_conflict", "replica ", r.index,
                          " got conflicting sync responses at height ",
                          r.sync->want);
   }
@@ -635,7 +785,7 @@ void Cluster::on_sync_response(Replica& r, const ConsensusMsg& msg) {
 void Cluster::sync_adopt(Replica& r, const ledger::Block& block) {
   r.sync.reset();
   r.sync_wrapped = false;
-  commit_block(r, block);
+  commit_block(r, block, CommitPath::kSync);
   r.slots.erase(r.slots.begin(), r.slots.upper_bound(r.chain->height()));
   // Keep pulling until the gap is closed, then let stashed pre-prepares
   // resume the live protocol.
@@ -753,6 +903,8 @@ void Cluster::pbft_propose(Replica& r) {
     auto pinned = ledger::Block::decode(BytesView(pick->second.second));
     if (pinned && pinned->hash() == pick->first &&
         r.chain->check_candidate(*pinned).ok()) {
+      trace_->record(obs::TraceEventType::kBlockProposed, r.index, seq, r.view,
+                     pinned->txs.size(), 1);
       ConsensusMsg msg;
       msg.type = MsgType::kPrePrepare;
       msg.sender = r.index;
@@ -778,6 +930,8 @@ void Cluster::pbft_propose(Replica& r) {
   ledger::Block block =
       r.chain->make_block(std::move(batch), r.index, simulator().now());
   Bytes full_bytes = block.encode();
+  trace_->record(obs::TraceEventType::kBlockProposed, r.index, seq, r.view,
+                 block.txs.size(), 0);
 
   ConsensusMsg msg;
   msg.sender = r.index;
@@ -838,9 +992,9 @@ void Cluster::pbft_on_pre_prepare(Replica& r, const ConsensusMsg& msg) {
     if (msg.seq > next + kPipelineWindow) {
       // Far beyond any honest pipeline depth: a spammed horizon would grow
       // the stash without bound. Real laggards catch up via sync instead.
-      ++stats_.rejected.future_seq;
-      TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
-                           " dropped far-future pre-prepare at seq ", msg.seq);
+      note_reject(r, RejectReason::kFutureSeq);
+      TNP_LOG_WARN_EVERY_N(64, "consensus.future_pre_prepare", "replica ",
+                           r.index, " dropped far-future pre-prepare at seq ", msg.seq);
       return;
     }
     // The primary pipelines: it proposes seq+1 as soon as it commits seq,
@@ -868,8 +1022,8 @@ void Cluster::pbft_on_pre_prepare(Replica& r, const ConsensusMsg& msg) {
       }
     }
     if (conflict) {
-      ++stats_.rejected.evidence_conflict;
-      TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+      note_reject(r, RejectReason::kEvidenceConflict);
+      TNP_LOG_WARN_EVERY_N(64, "consensus.evidence_conflict", "replica ", r.index,
                            " refused pre-prepare conflicting with prepared "
                            "evidence at seq ",
                            msg.seq);
@@ -880,8 +1034,8 @@ void Cluster::pbft_on_pre_prepare(Replica& r, const ConsensusMsg& msg) {
   Slot& slot = r.slots[msg.seq];
   if (slot.pre_prepared) {
     if (slot.digest != msg.digest) {
-      ++stats_.rejected.equivocation;
-      TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+      note_reject(r, RejectReason::kEquivocation);
+      TNP_LOG_WARN_EVERY_N(64, "consensus.equivocation", "replica ", r.index,
                            " detected equivocation at seq ", msg.seq);
       return;
     }
@@ -922,8 +1076,8 @@ bool Cluster::pbft_accept_pre_prepare(Replica& r, std::uint64_t seq,
                                       const ledger::Block& block,
                                       Bytes block_bytes) {
   if (auto s = r.chain->check_candidate(block); !s.ok()) {
-    ++stats_.rejected.invalid_candidate;
-    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+    note_reject(r, RejectReason::kInvalidCandidate);
+    TNP_LOG_WARN_EVERY_N(64, "consensus.invalid_candidate", "replica ", r.index,
                          " rejected candidate: ", s.to_string());
     return false;
   }
@@ -959,9 +1113,9 @@ void Cluster::pbft_on_compact_pre_prepare(Replica& r,
     // A second, different announcement for the same seq/view is compact-path
     // equivocation evidence. First announcement wins: replacing it would let
     // a flip-flopping primary reset reconstruction forever.
-    ++stats_.rejected.equivocation;
-    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
-                         " detected compact equivocation at seq ", msg.seq);
+    note_reject(r, RejectReason::kEquivocation);
+    TNP_LOG_WARN_EVERY_N(64, "consensus.compact_equivocation", "replica ",
+                         r.index, " detected compact equivocation at seq ", msg.seq);
     return;
   }
   if (!slot.pending) {
@@ -1128,14 +1282,14 @@ void Cluster::on_txs(Replica& r, const ConsensusMsg& msg) {
     // Only the peer we actually asked may fill this round; anything else is
     // an injection attempt (the fills are still id-checked below, but there
     // is no reason to accept them).
-    ++stats_.rejected.bad_txs_fill;
+    note_reject(r, RejectReason::kBadTxsFill);
     return;
   }
   // A malformed or mismatching reply strikes the serving peer: burn its
   // remaining retry budget and re-drive, which rotates to the next peer.
   const auto strike = [&] {
-    ++stats_.rejected.bad_txs_fill;
-    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+    note_reject(r, RejectReason::kBadTxsFill);
+    TNP_LOG_WARN_EVERY_N(64, "consensus.bad_txs_fill", "replica ", r.index,
                          " got bad kTxs fill from peer ", msg.sender,
                          " at seq ", msg.seq);
     p.attempts = kCompactRetryPerPeer;
@@ -1202,18 +1356,18 @@ void Cluster::pbft_on_prepare(Replica& r, const ConsensusMsg& msg) {
   if (msg.seq <= r.chain->height()) return;
   if (msg.seq > r.chain->height() + kPipelineWindow) {
     // Votes far past any honest pipeline depth would mint unbounded slots.
-    ++stats_.rejected.future_seq;
+    note_reject(r, RejectReason::kFutureSeq);
     return;
   }
   Slot& slot = r.slots[msg.seq];
   if (slot.pre_prepared && slot.digest != msg.digest) {
     // Recorded against the sender's claimed digest below, so it can never
     // count toward our block's quorum — but tally the lie for observability.
-    ++stats_.rejected.mismatched_vote;
+    note_reject(r, RejectReason::kMismatchedVote);
   }
   if (!slot.prepares.count(msg.digest) &&
       slot.prepares.size() >= replicas_.size()) {
-    ++stats_.rejected.vote_overflow;  // digest-spam cap per slot
+    note_reject(r, RejectReason::kVoteOverflow);  // digest-spam cap per slot
     return;
   }
   slot.prepares[msg.digest].insert(msg.sender);
@@ -1226,6 +1380,7 @@ void Cluster::pbft_maybe_prepared(Replica& r, std::uint64_t seq) {
   if (r.voted_view > r.view) return;  // leaving this view: no more votes
   if (votes_for(slot.prepares, slot.digest) < quorum()) return;
   slot.sent_commit = true;
+  trace_->record(obs::TraceEventType::kQuorumPrepared, r.index, seq, r.view);
   slot.commits[slot.digest].insert(r.index);
 
   ConsensusMsg commit;
@@ -1242,16 +1397,16 @@ void Cluster::pbft_maybe_prepared(Replica& r, std::uint64_t seq) {
 void Cluster::pbft_on_commit(Replica& r, const ConsensusMsg& msg) {
   if (msg.seq <= r.chain->height()) return;
   if (msg.seq > r.chain->height() + kPipelineWindow) {
-    ++stats_.rejected.future_seq;
+    note_reject(r, RejectReason::kFutureSeq);
     return;
   }
   Slot& slot = r.slots[msg.seq];
   if (slot.pre_prepared && slot.digest != msg.digest) {
-    ++stats_.rejected.mismatched_vote;
+    note_reject(r, RejectReason::kMismatchedVote);
   }
   if (!slot.commits.count(msg.digest) &&
       slot.commits.size() >= replicas_.size()) {
-    ++stats_.rejected.vote_overflow;  // digest-spam cap per slot
+    note_reject(r, RejectReason::kVoteOverflow);  // digest-spam cap per slot
     return;
   }
   slot.commits[msg.digest].insert(msg.sender);
@@ -1276,7 +1431,7 @@ void Cluster::pbft_maybe_committed(Replica& r, std::uint64_t seq) {
   auto block = ledger::Block::decode(BytesView(slot.block_bytes));
   if (!block) return;
   slot.committed = true;
-  commit_block(r, *block);
+  commit_block(r, *block, CommitPath::kQuorum);
   r.slots.erase(r.slots.begin(), r.slots.upper_bound(seq));
   r.stashed_pre_prepares.erase(r.stashed_pre_prepares.begin(),
                                r.stashed_pre_prepares.upper_bound(seq));
@@ -1410,12 +1565,12 @@ void Cluster::pbft_on_view_change(Replica& r, const ConsensusMsg& msg) {
         cand.first.insert(msg.sender);
         if (cand.second.empty()) cand.second = msg.block;
       } else {
-        ++stats_.rejected.vote_overflow;  // digest-spam cap
+        note_reject(r, RejectReason::kVoteOverflow);  // digest-spam cap
       }
     }
   }
   if (msg.view <= r.view) {
-    ++stats_.rejected.stale_view_vote;
+    note_reject(r, RejectReason::kStaleViewVote);
     return;
   }
   auto& voters = r.view_votes[msg.view];
@@ -1432,7 +1587,7 @@ void Cluster::pbft_on_view_change(Replica& r, const ConsensusMsg& msg) {
     }
     if (victim == r.view_votes.end()) break;
     r.view_votes.erase(victim);
-    ++stats_.rejected.vote_overflow;
+    note_reject(r, RejectReason::kVoteOverflow);
   }
   // Join rule: f+1 distinct peers already target this view, so at least one
   // honest replica stalled — adopt the vote (once) so stalled replicas
@@ -1449,6 +1604,8 @@ void Cluster::pbft_on_view_change(Replica& r, const ConsensusMsg& msg) {
   // view change that block survives verbatim instead of vanishing with the
   // slot table.
   r.view = msg.view;
+  trace_->record(obs::TraceEventType::kViewChange, r.index,
+                 r.chain->height(), r.view);
   // A completed view change is evidence of 2f+1 replicas actively
   // coordinating — the opposite of the partition the stall backoff guards
   // against — so recovery gets a fresh (fast) timer. Without this, views
@@ -1501,6 +1658,8 @@ void Cluster::poa_tick(Replica& r) {
       auto batch = replica.mempool.take_batch(config_.max_block_txs);
       ledger::Block block = replica.chain->make_block(
           std::move(batch), replica.index, simulator().now());
+      trace_->record(obs::TraceEventType::kBlockProposed, replica.index,
+                     block.header.height, replica.view, block.txs.size(), 2);
       ConsensusMsg msg;
       msg.type = MsgType::kPoaBlock;
       msg.sender = replica.index;
@@ -1509,7 +1668,7 @@ void Cluster::poa_tick(Replica& r) {
       msg.block = block.encode();
       authenticate(replica, msg);
       send_to_all(replica, msg);
-      commit_block(replica, block);
+      commit_block(replica, block, CommitPath::kPoa);
     }
     network_.flush_outbox(replica.node);
     poa_tick(replica);
@@ -1521,7 +1680,7 @@ void Cluster::poa_on_block(Replica& r, const ConsensusMsg& msg) {
   if (msg.sender != msg.seq % replicas_.size()) return;  // wrong proposer
   auto block = ledger::Block::decode(BytesView(msg.block));
   if (!block) return;
-  commit_block(r, *block);
+  commit_block(r, *block, CommitPath::kPoa);
 }
 
 // ------------------------------------------------------------------ common
@@ -1544,15 +1703,16 @@ bool Cluster::serve_budget_ok(Replica& r, std::uint32_t peer) {
     r.serve_counts.clear();
   }
   if (++r.serve_counts[peer] > kServeCapPerPeer) {
-    ++stats_.rejected.request_spam;
-    TNP_LOG_WARN_EVERY_N(64, "replica ", r.index,
+    note_reject(r, RejectReason::kRequestSpam);
+    TNP_LOG_WARN_EVERY_N(64, "consensus.request_spam", "replica ", r.index,
                          " throttled request spam from peer ", peer);
     return false;
   }
   return true;
 }
 
-void Cluster::commit_block(Replica& r, const ledger::Block& block) {
+void Cluster::commit_block(Replica& r, const ledger::Block& block,
+                           CommitPath path) {
   // Per-transaction execution cost on this replica's CPU.
   occupy_cpu(r, config_.crypto.per_tx_overhead *
                     static_cast<sim::SimTime>(block.txs.size()));
@@ -1576,6 +1736,9 @@ void Cluster::commit_block(Replica& r, const ledger::Block& block) {
     }
   }
   r.mempool.remove_committed(block.txs);
+  trace_->record(obs::TraceEventType::kBlockCommitted, r.index,
+                 block.header.height, r.view, static_cast<std::uint64_t>(path),
+                 block.txs.size());
   // Deliberately NOT updating last_progress_height here: it is the progress
   // check's own snapshot of the height it last saw. If commits bumped it, a
   // check could never observe height > last_progress_height and stall

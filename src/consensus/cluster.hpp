@@ -31,6 +31,8 @@
 #include "ledger/chain.hpp"
 #include "ledger/mempool.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/ledger_store.hpp"
 
 namespace tnp::consensus {
@@ -84,6 +86,28 @@ struct ClusterConfig {
   std::function<std::shared_ptr<storage::FileBackend>(std::size_t)>
       storage_factory;
   storage::StoreOptions store{};
+  /// Structured-event tracing (src/obs): record protocol, storage, and
+  /// execution events into per-replica rings of `trace_capacity` events
+  /// each. Off by default — per-type event counts still accumulate while
+  /// off (they feed metrics), only event storage is gated.
+  bool trace = false;
+  std::size_t trace_capacity = 1 << 16;
+};
+
+/// Stable codes carried by kByzantineReject trace events (operand `a`).
+/// Mirrors RejectCounters field-for-field — appended to, never renumbered.
+enum class RejectReason : std::uint64_t {
+  kEquivocation = 0,
+  kInvalidCandidate = 1,
+  kMismatchedVote = 2,
+  kFutureSeq = 3,
+  kStaleViewVote = 4,
+  kVoteOverflow = 5,
+  kEvidenceConflict = 6,
+  kBadSyncResponse = 7,
+  kSyncDigestConflict = 8,
+  kBadTxsFill = 9,
+  kRequestSpam = 10,
 };
 
 /// Messages rejected by protocol validation, by reason, summed over all
@@ -188,6 +212,20 @@ class Cluster {
   /// chains retired by durable-mode recovery — same survival rule as
   /// mempool_stats()).
   [[nodiscard]] ledger::ExecStats exec_stats() const;
+  /// Unified registry view: every counter above — plus reject reasons,
+  /// per-MsgType wire traffic, network/exec/mempool stats, storage event
+  /// counts, and log-site counters — in one sorted, JSON-able snapshot.
+  /// Counters survive crash()/recover() exactly like their accessors do.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+  /// Structured event trace. Cluster-owned, so it spans durable-mode
+  /// crash/recover cycles; see ClusterConfig::trace.
+  [[nodiscard]] const obs::TraceRecorder& trace() const { return *trace_; }
+  [[nodiscard]] obs::TraceRecorder& trace() { return *trace_; }
+  /// Shared handle for harnesses whose results outlive the cluster
+  /// (fault::ChaosResult).
+  [[nodiscard]] std::shared_ptr<const obs::TraceRecorder> trace_ptr() const {
+    return trace_;
+  }
   [[nodiscard]] std::size_t quorum() const { return 2 * max_faulty() + 1; }
   [[nodiscard]] std::size_t max_faulty() const {
     return (replicas_.size() - 1) / 3;
@@ -420,7 +458,17 @@ class Cluster {
   [[nodiscard]] std::uint32_t next_peer_index(const Replica& r,
                                               std::uint32_t from) const;
 
-  void commit_block(Replica& r, const ledger::Block& block);
+  /// How a block reached commit_block — operand `a` of kBlockCommitted.
+  enum class CommitPath : std::uint64_t { kQuorum = 0, kSync = 1, kPoa = 2 };
+  void commit_block(Replica& r, const ledger::Block& block, CommitPath path);
+  /// Bumps the RejectCounters field for `reason` and records a
+  /// kByzantineReject trace event attributed to `r`.
+  void note_reject(Replica& r, RejectReason reason);
+  /// Registers the collector that publishes the ad-hoc stat structs
+  /// (ClusterStats, NetworkStats, ExecStats, mempool/recon, log sites)
+  /// through metrics_snapshot(). Called once from the constructor.
+  void register_metrics();
+  [[nodiscard]] ledger::ChainConfig chain_config_for(std::uint32_t index) const;
   /// Durable mode: (re)opens the LedgerStore over the replica's disk and
   /// replaces its chain with the recovered one.
   void open_store(Replica& r);
@@ -440,6 +488,12 @@ class Cluster {
   // replica's chain with the recovered one (same pitfall: the old chain's
   // history must survive the swap).
   ledger::ExecStats exec_retired_;
+  // Cluster-owned (shared so ChaosResult can keep the trace after teardown)
+  // and never reset by crash()/recover() — the recover()-surviving rule all
+  // counters follow. Created before the replicas: chains and stores hold
+  // raw pointers into it.
+  std::shared_ptr<obs::TraceRecorder> trace_;
+  obs::MetricsRegistry metrics_;
   bool started_ = false;
 };
 

@@ -127,6 +127,7 @@ ChaosResult run_chaos(const ChaosConfig& config, const FaultPlan& plan,
         static_cast<double>(sim::kMillisecond);
   }
   result.tip = cluster.chain(0).tip_hash().short_hex();
+  result.trace = cluster.trace_ptr();
   return result;
 }
 

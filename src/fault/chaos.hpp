@@ -62,6 +62,11 @@ struct ChaosResult {
   /// not applicable (plan never clears, or nothing committed after heal).
   double recovery_ms = -1.0;
   std::string tip;  // replica-0 tip hash (short) — part of the fingerprint
+  /// The run's structured event trace (always populated; events are only
+  /// stored when config.cluster.trace was set). Shared so it outlives the
+  /// cluster; deliberately NOT part of fingerprint() — use
+  /// trace->fingerprint() for the trace-level determinism contract.
+  std::shared_ptr<const obs::TraceRecorder> trace;
 
   [[nodiscard]] bool ok() const { return report.ok(); }
   /// Deterministic digest of every counter plus the final tip: equal

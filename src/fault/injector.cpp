@@ -1,6 +1,7 @@
 #include "fault/injector.hpp"
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace tnp::fault {
 
@@ -24,6 +25,12 @@ void FaultInjector::arm(const FaultPlan& plan) {
 void FaultInjector::apply(const FaultEvent& e) {
   ++applied_;
   log_info("fault: ", e.name);
+  const bool targeted =
+      (e.kind == FaultKind::kCrash || e.kind == FaultKind::kRecover) &&
+      !e.targets.empty();
+  cluster_.trace().record(obs::TraceEventType::kFaultEvent,
+                          targeted ? e.targets.at(0) : obs::kNoReplica, 0, 0,
+                          static_cast<std::uint64_t>(e.kind));
   switch (e.kind) {
     case FaultKind::kCrash:
       cluster_.crash(e.targets.at(0));

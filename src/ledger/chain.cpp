@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "crypto/schnorr.hpp"
+#include "obs/trace.hpp"
 
 namespace tnp::ledger {
 
@@ -384,6 +385,19 @@ void Blockchain::apply_txs_parallel(
   exec_stats_.speculated += speculated;
   exec_stats_.aborted += aborted;
   exec_stats_.reexecuted += speculated - n;
+  // Recorded from this serial coordinator, never from workers: one wave
+  // summary (and one abort summary, aborted == reexecuted by construction)
+  // per parallel block.
+  if (config_.trace) {
+    config_.trace->record(obs::TraceEventType::kSpecWave,
+                          config_.trace_replica, block.header.height, 0, waves,
+                          speculated);
+    if (aborted > 0) {
+      config_.trace->record(obs::TraceEventType::kSpecAbort,
+                            config_.trace_replica, block.header.height, 0,
+                            aborted, speculated - n);
+    }
+  }
 
   // Serial commit in tx order: the exact writes the serial loop would
   // make, applied in the same order — state root, receipts, events, and

@@ -20,6 +20,10 @@
 #include "ledger/gas.hpp"
 #include "ledger/state.hpp"
 
+namespace tnp::obs {
+class TraceRecorder;
+}
+
 namespace tnp::ledger {
 
 /// Event emitted by contract execution; recorded in the receipt so
@@ -113,6 +117,13 @@ struct ChainConfig {
   bool parallel_execution = true;
   /// Smallest block worth speculating on; below this the serial loop wins.
   std::size_t parallel_min_txs = 4;
+  /// Optional structured-event sink (src/obs; not owned, must outlive the
+  /// chain). The parallel engine records per-block speculation wave/abort
+  /// events tagged with `trace_replica`. Diagnostic lane: like ExecStats,
+  /// the operands depend on thread scheduling and are excluded from trace
+  /// fingerprints.
+  obs::TraceRecorder* trace = nullptr;
+  std::uint32_t trace_replica = 0;
 };
 
 /// Bounded FIFO set of transaction ids whose signatures have verified.

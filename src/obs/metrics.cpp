@@ -1,0 +1,254 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tnp::obs {
+
+namespace {
+
+std::vector<std::uint64_t> geometric(std::uint64_t lo, std::uint64_t factor,
+                                     std::size_t n) {
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  std::uint64_t v = lo;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+void sort_labels(MetricLabels& labels) {
+  std::sort(labels.begin(), labels.end());
+}
+
+std::string series_id(const std::string& name, const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+}
+
+}  // namespace
+
+const BucketLayout& BucketLayout::latency_us() {
+  static const BucketLayout layout{"latency_us", geometric(1, 4, 14)};
+  return layout;
+}
+
+const BucketLayout& BucketLayout::bytes() {
+  static const BucketLayout layout{"bytes", geometric(64, 4, 10)};
+  return layout;
+}
+
+const BucketLayout& BucketLayout::counts() {
+  static const BucketLayout layout{"counts", geometric(1, 4, 9)};
+  return layout;
+}
+
+Histogram::Histogram(const BucketLayout& layout) : layout_(&layout) {
+  buckets_.reserve(layout.bounds.size() + 1);
+  for (std::size_t i = 0; i <= layout.bounds.size(); ++i) {
+    buckets_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+void Histogram::observe(std::uint64_t value) {
+  std::size_t i = 0;
+  const auto& bounds = layout_->bounds;
+  while (i < bounds.size() && value > bounds[i]) ++i;
+  buckets_[i]->fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::string MetricEntry::id() const { return series_id(name, labels); }
+
+void MetricsSnapshot::counter(std::string name, MetricLabels labels,
+                              std::uint64_t value) {
+  sort_labels(labels);
+  MetricEntry e;
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  e.kind = MetricEntry::Kind::kCounter;
+  e.value = value;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsSnapshot::gauge(std::string name, MetricLabels labels,
+                            std::int64_t value) {
+  sort_labels(labels);
+  MetricEntry e;
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  e.kind = MetricEntry::Kind::kGauge;
+  e.gauge = value;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsSnapshot::histogram(std::string name, MetricLabels labels,
+                                const Histogram& h) {
+  sort_labels(labels);
+  MetricEntry e;
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  e.kind = MetricEntry::Kind::kHistogram;
+  e.layout = h.layout().name;
+  e.bounds = h.layout().bounds;
+  e.buckets = h.bucket_counts();
+  e.value = h.count();
+  e.sum = h.sum();
+  entries_.push_back(std::move(e));
+}
+
+std::optional<std::uint64_t> MetricsSnapshot::counter_value(
+    const std::string& name, const MetricLabels& labels) const {
+  MetricLabels sorted = labels;
+  sort_labels(sorted);
+  const std::string id = series_id(name, sorted);
+  for (const auto& e : entries_) {
+    if (e.kind == MetricEntry::Kind::kCounter && e.id() == id) return e.value;
+  }
+  return std::nullopt;
+}
+
+void MetricsSnapshot::finish() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const MetricEntry& a, const MetricEntry& b) {
+              return a.id() < b.id();
+            });
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& e = entries_[i];
+    if (i != 0) os << ",";
+    os << "\n  {\"name\":\"";
+    json_escape(os, e.name);
+    os << "\",\"labels\":{";
+    for (std::size_t j = 0; j < e.labels.size(); ++j) {
+      if (j != 0) os << ",";
+      os << '"';
+      json_escape(os, e.labels[j].first);
+      os << "\":\"";
+      json_escape(os, e.labels[j].second);
+      os << '"';
+    }
+    os << "}";
+    switch (e.kind) {
+      case MetricEntry::Kind::kCounter:
+        os << ",\"type\":\"counter\",\"value\":" << e.value;
+        break;
+      case MetricEntry::Kind::kGauge:
+        os << ",\"type\":\"gauge\",\"value\":" << e.gauge;
+        break;
+      case MetricEntry::Kind::kHistogram: {
+        os << ",\"type\":\"histogram\",\"layout\":\"" << e.layout
+           << "\",\"count\":" << e.value << ",\"sum\":" << e.sum
+           << ",\"bounds\":[";
+        for (std::size_t j = 0; j < e.bounds.size(); ++j) {
+          if (j != 0) os << ",";
+          os << e.bounds[j];
+        }
+        os << "],\"buckets\":[";
+        for (std::size_t j = 0; j < e.buckets.size(); ++j) {
+          if (j != 0) os << ",";
+          os << e.buckets[j];
+        }
+        os << "]";
+        break;
+      }
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::find_or_create(
+    const std::string& name, MetricLabels labels) {
+  sort_labels(labels);
+  const std::string id = series_id(name, labels);
+  auto it = instruments_.find(id);
+  if (it == instruments_.end()) {
+    Instrument inst;
+    inst.name = name;
+    inst.labels = std::move(labels);
+    it = instruments_.emplace(id, std::move(inst)).first;
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  MetricLabels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Instrument& inst = find_or_create(name, std::move(labels));
+  if (!inst.counter) inst.counter = std::make_unique<Counter>();
+  return *inst.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, MetricLabels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Instrument& inst = find_or_create(name, std::move(labels));
+  if (!inst.gauge) inst.gauge = std::make_unique<Gauge>();
+  return *inst.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const BucketLayout& layout,
+                                      MetricLabels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Instrument& inst = find_or_create(name, std::move(labels));
+  if (!inst.histogram) inst.histogram = std::make_unique<Histogram>(layout);
+  return *inst.histogram;
+}
+
+void MetricsRegistry::add_collector(std::function<void(MetricsSnapshot&)> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [id, inst] : instruments_) {
+    if (inst.counter) snap.counter(inst.name, inst.labels, inst.counter->value());
+    if (inst.gauge) snap.gauge(inst.name, inst.labels, inst.gauge->value());
+    if (inst.histogram) snap.histogram(inst.name, inst.labels, *inst.histogram);
+  }
+  for (const auto& fn : collectors_) fn(snap);
+  snap.finish();
+  return snap;
+}
+
+}  // namespace tnp::obs

@@ -1,0 +1,181 @@
+// Unified metrics registry: the one place every subsystem's counters meet.
+//
+// Instruments are lock-cheap — counters and gauges are single atomics,
+// histograms a fixed array of atomics — handed out as stable references;
+// the registry's mutex guards only registration and snapshotting, never
+// the hot increment path. Identity is (name, sorted label pairs), so
+// `wire_bytes{type=commit}` and `wire_bytes{type=prepare}` are distinct
+// series of one logical metric.
+//
+// Subsystems that already keep their own stat structs (NetworkStats,
+// ClusterStats, ExecStats, Mempool::Stats…) publish through *collectors*:
+// callbacks run at snapshot time that read the live structs behind their
+// existing accessors. The structs stay the source of truth — every present
+// accessor and test keeps working — while snapshot() exposes one merged,
+// deterministically ordered view of everything, serializable to JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tnp::obs {
+
+/// Monotone event count. inc() is one relaxed atomic add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time signed level (queue depth, open rounds).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// A fixed, named set of histogram bucket upper bounds. Layouts are part of
+/// the snapshot schema: two runs using the same layout produce comparable
+/// (and diffable) bucket vectors, which is why they are shared constants
+/// rather than per-call-site ad-hoc vectors.
+struct BucketLayout {
+  const char* name;
+  std::vector<std::uint64_t> bounds;  // inclusive upper bounds, ascending
+
+  /// 1µs … ~67s in ×4 steps — virtual-time latencies.
+  static const BucketLayout& latency_us();
+  /// 64 B … 16 MiB in ×4 steps — payload / frame sizes.
+  static const BucketLayout& bytes();
+  /// 1 … 65536 in ×4 steps — batch sizes, txs per block.
+  static const BucketLayout& counts();
+};
+
+/// Fixed-bucket histogram over unsigned samples. observe() is a linear
+/// bucket scan (layouts are ≤ 16 buckets) plus three relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(const BucketLayout& layout);
+
+  void observe(std::uint64_t value);
+
+  [[nodiscard]] const BucketLayout& layout() const { return *layout_; }
+  /// Cumulative count ≤ bounds[i]; index size() is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const BucketLayout* layout_;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// One rendered series in a snapshot.
+struct MetricEntry {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  MetricLabels labels;  // sorted by key
+  Kind kind = Kind::kCounter;
+  std::uint64_t value = 0;   // counter value / histogram count
+  std::int64_t gauge = 0;    // gauge value
+  // Histogram payload (empty otherwise).
+  std::string layout;
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t sum = 0;
+
+  /// Canonical series id: name{k=v,...} — snapshot sort key.
+  [[nodiscard]] std::string id() const;
+};
+
+/// Point-in-time view of every registered instrument plus everything the
+/// collectors contributed, sorted by series id (deterministic given equal
+/// underlying values).
+class MetricsSnapshot {
+ public:
+  void counter(std::string name, MetricLabels labels, std::uint64_t value);
+  void gauge(std::string name, MetricLabels labels, std::int64_t value);
+  void histogram(std::string name, MetricLabels labels, const Histogram& h);
+
+  [[nodiscard]] const std::vector<MetricEntry>& entries() const {
+    return entries_;
+  }
+  /// Value of the counter series `name{labels}`, or nullopt if absent.
+  [[nodiscard]] std::optional<std::uint64_t> counter_value(
+      const std::string& name, const MetricLabels& labels = {}) const;
+
+  /// Stable JSON: one object per series, sorted by id.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Sorts entries by id — called by MetricsRegistry::snapshot(); callers
+  /// composing snapshots by hand may call it themselves.
+  void finish();
+
+ private:
+  std::vector<MetricEntry> entries_;
+};
+
+/// See the file comment. Thread-safe; instrument references remain valid
+/// for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, MetricLabels labels = {});
+  Gauge& gauge(const std::string& name, MetricLabels labels = {});
+  Histogram& histogram(const std::string& name, const BucketLayout& layout,
+                       MetricLabels labels = {});
+
+  /// Registers a pull-style source consulted at snapshot time. Collectors
+  /// run in registration order; their entries merge with the owned
+  /// instruments into one sorted snapshot.
+  void add_collector(std::function<void(MetricsSnapshot&)> fn);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct Instrument {
+    std::string name;
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument& find_or_create(const std::string& name, MetricLabels labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Instrument> instruments_;  // key = series id
+  std::vector<std::function<void(MetricsSnapshot&)>> collectors_;
+};
+
+}  // namespace tnp::obs

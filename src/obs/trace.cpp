@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "crypto/hash.hpp"
+
+namespace tnp::obs {
+
+const char* to_string(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kBlockProposed: return "block_proposed";
+    case TraceEventType::kQuorumPrepared: return "quorum_prepared";
+    case TraceEventType::kBlockCommitted: return "block_committed";
+    case TraceEventType::kViewChange: return "view_change";
+    case TraceEventType::kSyncRound: return "sync_round";
+    case TraceEventType::kWalAppend: return "wal_append";
+    case TraceEventType::kWalFsync: return "wal_fsync";
+    case TraceEventType::kSnapshot: return "snapshot";
+    case TraceEventType::kCrash: return "crash";
+    case TraceEventType::kRecover: return "recover";
+    case TraceEventType::kFaultEvent: return "fault_event";
+    case TraceEventType::kByzantineReject: return "byzantine_reject";
+    case TraceEventType::kSpecWave: return "spec_wave";
+    case TraceEventType::kSpecAbort: return "spec_abort";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+void TraceRecorder::set_clock(std::function<std::uint64_t()> clock) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_ = std::move(clock);
+}
+
+void TraceRecorder::record(TraceEventType type, std::uint32_t replica,
+                           std::uint64_t height, std::uint64_t view,
+                           std::uint64_t a, std::uint64_t b) {
+  counts_[static_cast<std::uint32_t>(type)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (!recording_.load(std::memory_order_relaxed)) return;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  TraceEvent e;
+  e.seq = next_seq_++;
+  e.time = clock_ ? clock_() : 0;
+  e.type = type;
+  e.replica = replica;
+  e.height = height;
+  e.view = view;
+  e.a = a;
+  e.b = b;
+  auto& ring = rings_[replica];
+  if (ring.size() >= ring_capacity_) {
+    ring.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring.push_back(e);
+}
+
+std::uint64_t TraceRecorder::count(TraceEventType type) const {
+  return counts_[static_cast<std::uint32_t>(type)].load(
+      std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [replica, ring] : rings_) {
+      out.insert(out.end(), ring.begin(), ring.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::events_for(std::uint32_t replica) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rings_.find(replica);
+  if (it == rings_.end()) return {};
+  return std::vector<TraceEvent>(it->second.begin(), it->second.end());
+}
+
+Bytes TraceRecorder::serialize(bool include_diagnostic) const {
+  std::vector<TraceEvent> all = events();
+  ByteWriter w;
+  w.u32(kTraceSchemaVersion);
+  for (const TraceEvent& e : all) {
+    if (!include_diagnostic && is_diagnostic(e.type)) continue;
+    w.u64(e.time);
+    w.u32(static_cast<std::uint32_t>(e.type));
+    w.u32(e.replica);
+    w.u64(e.height);
+    w.u64(e.view);
+    w.u64(e.a);
+    w.u64(e.b);
+  }
+  return w.take();
+}
+
+std::string TraceRecorder::fingerprint() const {
+  Bytes encoded = serialize(false);
+  return sha256(BytesView(encoded.data(), encoded.size())).hex();
+}
+
+}  // namespace tnp::obs

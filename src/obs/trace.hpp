@@ -1,0 +1,144 @@
+// Deterministic structured event trace.
+//
+// Every notable state transition in the stack — proposals, quorum prepares,
+// commits, view changes, sync rounds, WAL appends/fsyncs, snapshots, crash/
+// recover cycles, fault-plan events, Byzantine rejects — records a TraceEvent
+// carrying sim-time, replica id, height/view, and two type-specific operands.
+// Events are all-integer (no floats, no strings) so serialization is exact.
+//
+// Determinism is the contract: identical seeds must yield bit-identical
+// serialized traces, making fingerprint() a regression artifact like the
+// chaos fingerprints. Two things protect that contract:
+//
+//  1. A *diagnostic lane* (is_diagnostic()) for events whose operands depend
+//     on host thread scheduling — speculation waves/aborts from the parallel
+//     executor. Diagnostic events are stored and auditable but excluded from
+//     serialize(false) and fingerprint().
+//  2. serialize() omits the global sequence number, so diagnostic events
+//     interleaving differently between runs cannot shift deterministic bytes.
+//
+// Storage is per-replica bounded rings (evicting oldest on overflow, with a
+// dropped() count so audits can demand a complete window), but per-type
+// counts are always-on atomics that survive eviction — and, because the
+// recorder outlives crash()/recover() cycles, survive recovery too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace tnp::obs {
+
+/// Bumped whenever TraceEvent layout or event-type numbering changes; the
+/// version is the first bytes of the serialized stream, so a bump is the
+/// only sanctioned way golden digests change.
+inline constexpr std::uint32_t kTraceSchemaVersion = 1;
+
+/// Stable numbering — append only, never renumber.
+enum class TraceEventType : std::uint32_t {
+  kBlockProposed = 0,    // a = proposal txs, b = proposal path (see cluster)
+  kQuorumPrepared = 1,   // height/view of the prepared slot
+  kBlockCommitted = 2,   // a = commit path (0 quorum, 1 sync, 2 poa), b = txs
+  kViewChange = 3,       // view = the view being adopted
+  kSyncRound = 4,        // a = from-height requested, b = target height
+  kWalAppend = 5,        // height appended, a = record bytes
+  kWalFsync = 6,         // height of newest durable record, a = batched appends
+  kSnapshot = 7,         // height snapshotted
+  kCrash = 8,            // replica crashed (power-cycle)
+  kRecover = 9,          // replica rebuilt from durable store; height = tip
+  kFaultEvent = 10,      // a = FaultKind, injected by the fault plan
+  kByzantineReject = 11, // a = reject reason code (see cluster RejectReason)
+  kSpecWave = 12,        // diagnostic: a = waves, b = speculated txs
+  kSpecAbort = 13,       // diagnostic: a = aborted, b = reexecuted
+};
+
+inline constexpr std::uint32_t kTraceEventTypeCount = 14;
+
+/// Event affecting the cluster as a whole rather than one replica.
+inline constexpr std::uint32_t kNoReplica = 0xFFFFFFFFu;
+
+[[nodiscard]] constexpr bool is_diagnostic(TraceEventType t) {
+  return t == TraceEventType::kSpecWave || t == TraceEventType::kSpecAbort;
+}
+
+[[nodiscard]] const char* to_string(TraceEventType t);
+
+struct TraceEvent {
+  std::uint64_t seq = 0;   // global record order; NOT serialized
+  std::uint64_t time = 0;  // sim-time µs
+  TraceEventType type = TraceEventType::kBlockProposed;
+  std::uint32_t replica = kNoReplica;
+  std::uint64_t height = 0;
+  std::uint64_t view = 0;
+  std::uint64_t a = 0;  // type-specific operands — see enum comments
+  std::uint64_t b = 0;
+};
+
+/// See the file comment. Thread-safe; designed for the single-threaded
+/// simulator where lock contention is zero, so the recording cost is one
+/// uncontended mutex plus a ring push.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t ring_capacity = 1 << 16);
+
+  /// Gates event *storage* only; per-type counts always accumulate, so a
+  /// recording-disabled recorder still feeds counter metrics at near-zero
+  /// cost (one relaxed atomic add per event).
+  void set_recording(bool on) { recording_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool recording() const {
+    return recording_.load(std::memory_order_relaxed);
+  }
+
+  /// Time source consulted at record() time — the cluster points this at
+  /// simulator().now() so ledger/storage callers need no clock of their own.
+  void set_clock(std::function<std::uint64_t()> clock);
+
+  void record(TraceEventType type, std::uint32_t replica,
+              std::uint64_t height = 0, std::uint64_t view = 0,
+              std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// Cumulative count per type — never reset, never lost to ring eviction.
+  [[nodiscard]] std::uint64_t count(TraceEventType type) const;
+
+  /// Events evicted from rings by the capacity bound. Audits that need a
+  /// complete window assert this is zero.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// All retained events merged across replica rings in record (seq) order.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Retained events for one replica ring, in record order.
+  [[nodiscard]] std::vector<TraceEvent> events_for(std::uint32_t replica) const;
+
+  /// Canonical byte encoding: schema version, then each retained event
+  /// (time, type, replica, height, view, a, b — no seq) in record order.
+  /// include_diagnostic=false (the default and the fingerprint input) skips
+  /// the diagnostic lane entirely.
+  [[nodiscard]] Bytes serialize(bool include_diagnostic = false) const;
+
+  /// SHA-256 hex of serialize(false) — the golden-trace digest.
+  [[nodiscard]] std::string fingerprint() const;
+
+  [[nodiscard]] std::size_t ring_capacity() const { return ring_capacity_; }
+
+ private:
+  std::size_t ring_capacity_;
+  std::atomic<bool> recording_{true};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> counts_[kTraceEventTypeCount] = {};
+
+  mutable std::mutex mu_;
+  std::function<std::uint64_t()> clock_;  // guarded by mu_
+  std::uint64_t next_seq_ = 0;            // guarded by mu_
+  std::map<std::uint32_t, std::deque<TraceEvent>> rings_;  // guarded by mu_
+};
+
+}  // namespace tnp::obs

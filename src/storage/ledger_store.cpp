@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/trace.hpp"
+
 namespace tnp::storage {
 
 namespace {
@@ -205,18 +207,34 @@ Status LedgerStore::append_block(const ledger::Block& block) {
       !s.ok()) {
     return s;
   }
+  if (options_.trace) {
+    options_.trace->record(obs::TraceEventType::kWalAppend,
+                           options_.trace_replica, block.header.height, 0,
+                           encoded.size());
+  }
   ++appends_since_sync_;
   if (options_.group_commit != 0 &&
       appends_since_sync_ >= options_.group_commit) {
+    const std::uint64_t batched = appends_since_sync_;
     if (auto s = wal_->sync(); !s.ok()) return s;
     appends_since_sync_ = 0;
+    if (options_.trace) {
+      options_.trace->record(obs::TraceEventType::kWalFsync,
+                             options_.trace_replica, block.header.height, 0,
+                             batched);
+    }
   }
   return store_->append(BytesView(encoded));
 }
 
 Status LedgerStore::flush() {
+  const std::uint64_t batched = appends_since_sync_;
   if (auto s = wal_->sync(); !s.ok()) return s;
   appends_since_sync_ = 0;
+  if (options_.trace) {
+    options_.trace->record(obs::TraceEventType::kWalFsync,
+                           options_.trace_replica, store_->count(), 0, batched);
+  }
   return Status::Ok();
 }
 
@@ -253,6 +271,11 @@ Status LedgerStore::snapshot_now(const ledger::Blockchain& chain) {
   }
   ++manifest_seq_;
   last_snapshot_height_ = cp.height;
+  if (options_.trace) {
+    options_.trace->record(obs::TraceEventType::kSnapshot,
+                           options_.trace_replica, cp.height, 0,
+                           snap_bytes.size());
+  }
   return prune_after_snapshot();
 }
 

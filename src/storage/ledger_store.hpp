@@ -37,6 +37,10 @@
 #include "storage/snapshot.hpp"
 #include "storage/wal.hpp"
 
+namespace tnp::obs {
+class TraceRecorder;
+}
+
 namespace tnp::storage {
 
 struct StoreOptions {
@@ -49,6 +53,11 @@ struct StoreOptions {
   std::uint64_t snapshot_interval = 0;
   /// Manifest generations to keep (newest N). Minimum 1.
   std::uint64_t keep_manifests = 2;
+  /// Optional structured-event sink (src/obs; not owned, must outlive the
+  /// store): WAL appends, WAL fsyncs, and snapshots are recorded tagged
+  /// with `trace_replica`.
+  obs::TraceRecorder* trace = nullptr;
+  std::uint32_t trace_replica = 0;
 };
 
 /// What recovery found — diagnostics for tests and operators.

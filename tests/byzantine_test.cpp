@@ -10,6 +10,7 @@
 #include "fault/byzantine.hpp"
 #include "fault/plan.hpp"
 #include "test_util.hpp"
+#include "trace_audit.hpp"
 
 namespace tnp::fault {
 namespace {
@@ -278,6 +279,29 @@ TEST(ByzantineTest, ZeroAttackersMatchesPlainChaosBitForBit) {
   EXPECT_EQ(byz.chaos.tip, plain.tip);
   EXPECT_TRUE(byz.attackers.empty());
   EXPECT_EQ(byz.actions.intercepted + byz.actions.forged, 0u);
+}
+
+// ------------------------------------------------------- trace audit
+
+// The causal record must stay clean under every adversary family: whatever
+// a Byzantine replica forges, honest replicas' commit/prepare/fsync/view
+// event ordering still satisfies the audit rules.
+TEST(ByzantineTraceAuditTest, EveryStrategyFamilyZeroViolations) {
+  std::uint64_t seed = 61;
+  for (const ByzantineStrategyKind kind : all_byzantine_strategies()) {
+    ByzantineConfig config = byz_config(7, seed++);
+    config.attackers = {1};
+    config.strategies = {kind};
+    config.chaos.cluster.trace = true;
+    const ByzantineResult result =
+        run_byzantine_chaos(config, clearing_plan(), kv_executor, chaos_tx);
+    EXPECT_TRUE(result.ok()) << to_string(kind) << ": "
+                             << result.chaos.report.to_string();
+    ASSERT_NE(result.chaos.trace, nullptr);
+    const auto report = testutil::audit_trace(*result.chaos.trace);
+    EXPECT_TRUE(report.ok()) << to_string(kind) << ": " << report.to_string();
+    EXPECT_GT(report.events_audited, 0u) << to_string(kind);
+  }
 }
 
 }  // namespace

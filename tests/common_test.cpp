@@ -324,7 +324,7 @@ TEST(RocAucTest, InvertedScoresNearZero) {
 }
 
 TEST(LogRateLimiterTest, AdmitsOneInN) {
-  detail::LogRateLimiter limiter;
+  detail::LogRateLimiter limiter{"test.unit"};
   int admitted = 0;
   std::uint64_t last_suppressed = 0;
   for (int i = 0; i < 100; ++i) {
@@ -339,7 +339,7 @@ TEST(LogRateLimiterTest, AdmitsOneInN) {
 }
 
 TEST(LogRateLimiterTest, FirstCallAlwaysAdmittedWithZeroSuppressed) {
-  detail::LogRateLimiter limiter;
+  detail::LogRateLimiter limiter{"test.unit"};
   std::uint64_t suppressed = 42;
   EXPECT_TRUE(limiter.admit(64, suppressed));
   EXPECT_EQ(suppressed, 0u);
@@ -347,7 +347,7 @@ TEST(LogRateLimiterTest, FirstCallAlwaysAdmittedWithZeroSuppressed) {
 }
 
 TEST(LogRateLimiterTest, NOfOneAdmitsEverything) {
-  detail::LogRateLimiter limiter;
+  detail::LogRateLimiter limiter{"test.unit"};
   for (int i = 0; i < 20; ++i) {
     std::uint64_t suppressed = 99;
     EXPECT_TRUE(limiter.admit(1, suppressed));
@@ -356,7 +356,7 @@ TEST(LogRateLimiterTest, NOfOneAdmitsEverything) {
 }
 
 TEST(LogRateLimiterTest, ThreadSafeAdmissionCount) {
-  detail::LogRateLimiter limiter;
+  detail::LogRateLimiter limiter{"test.unit"};
   constexpr int kThreads = 4;
   constexpr int kPerThread = 1000;
   std::atomic<int> admitted{0};
@@ -382,7 +382,7 @@ TEST(LogRateLimiterTest, MacroCompilesAndRuns) {
   const LogLevel saved = log_level();
   set_log_level(LogLevel::kOff);
   for (int i = 0; i < 256; ++i) {
-    TNP_LOG_WARN_EVERY_N(128, "rate-limited message ", i);
+    TNP_LOG_WARN_EVERY_N(128, "test.rate_limited", "rate-limited message ", i);
   }
   set_log_level(saved);
 }

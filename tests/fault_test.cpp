@@ -7,6 +7,7 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "test_util.hpp"
+#include "trace_audit.hpp"
 
 namespace tnp::fault {
 namespace {
@@ -357,6 +358,30 @@ TEST(ChaosPropertyTest, CompactRelaySurvivesHundredRandomPlans) {
   EXPECT_GT(identical_seeds, 0u);
   // Compact relay saves bytes in aggregate even with pull/fallback rounds.
   EXPECT_LT(compact_bytes, full_bytes);
+}
+
+// ------------------------------------------------------- trace audit
+
+// Every causal rule in the trace-audit harness must hold across a random
+// fault-plan sweep — crashes, partitions, loss, message faults — in both
+// RAM-only and durable (crash-recovery) modes.
+TEST(TraceAuditChaosTest, RandomPlanSeedSweepZeroViolations) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ChaosConfig config = chaos_config(seed);
+    config.cluster.trace = true;
+    if (seed % 2 == 0) {
+      config.durable = true;
+      config.store.snapshot_interval = 16;
+    }
+    const FaultPlan plan = FaultPlan::random({}, seed);
+    const ChaosResult result = run_chaos(config, plan, kv_executor, chaos_tx);
+    EXPECT_TRUE(result.ok()) << "seed " << seed << ": "
+                             << result.report.to_string();
+    ASSERT_NE(result.trace, nullptr);
+    const auto report = testutil::audit_trace(*result.trace);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.to_string();
+    EXPECT_GT(report.events_audited, 0u) << "seed " << seed;
+  }
 }
 
 }  // namespace

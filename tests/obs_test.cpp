@@ -1,0 +1,508 @@
+// Observability tests: MetricsRegistry / TraceRecorder units, the trace
+// determinism contract (same seed ⇒ bit-identical fingerprints, frozen
+// golden digests), the trace-audit rule set over calm and chaotic runs,
+// metric continuity across crash/recover, and the rate-limited-log site
+// registry (suppressed occurrences still count).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "consensus/cluster.hpp"
+#include "crypto/hash.hpp"
+#include "fault/chaos.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+#include "storage/file_backend.hpp"
+#include "test_util.hpp"
+#include "trace_audit.hpp"
+
+namespace tnp {
+namespace {
+
+using obs::TraceEventType;
+using obs::TraceRecorder;
+using testutil::audit_trace;
+using testutil::KvExecutor;
+using testutil::make_set_tx;
+
+// ------------------------------------------------------------- metrics
+
+TEST(MetricsRegistryTest, CounterSeriesAreIndependentAndSnapshot) {
+  obs::MetricsRegistry registry;
+  obs::Counter& plain = registry.counter("requests_total");
+  obs::Counter& labeled =
+      registry.counter("requests_total", {{"kind", "sync"}});
+  plain.inc();
+  plain.inc(4);
+  labeled.inc();
+  // Same (name, labels) resolves to the same instrument.
+  registry.counter("requests_total").inc();
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("requests_total").value_or(0), 6u);
+  EXPECT_EQ(snap.counter_value("requests_total", {{"kind", "sync"}})
+                .value_or(0),
+            1u);
+  EXPECT_FALSE(snap.counter_value("absent").has_value());
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  obs::MetricsRegistry registry;
+  obs::Gauge& g = registry.gauge("queue_depth");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  bool saw = false;
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  for (const obs::MetricEntry& e : snap.entries()) {
+    if (e.name == "queue_depth") {
+      EXPECT_EQ(e.kind, obs::MetricEntry::Kind::kGauge);
+      EXPECT_EQ(e.gauge, 7);
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsCountAndSum) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h =
+      registry.histogram("commit_latency_us", obs::BucketLayout::latency_us());
+  h.observe(1);     // first bucket (<= 1)
+  h.observe(3);     // second bucket (<= 4)
+  h.observe(1u << 30);  // beyond every bound: overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 4u + (1u << 30));
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), obs::BucketLayout::latency_us().bounds.size() + 1);
+  EXPECT_EQ(buckets.front(), 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets.back(), 1u);
+}
+
+TEST(MetricsRegistryTest, CollectorsContributeAtSnapshotTime) {
+  obs::MetricsRegistry registry;
+  std::uint64_t external = 0;
+  registry.add_collector([&external](obs::MetricsSnapshot& out) {
+    out.counter("external_total", {}, external);
+  });
+  external = 41;
+  EXPECT_EQ(registry.snapshot().counter_value("external_total").value_or(0),
+            41u);
+  external = 42;  // collectors pull live state: no staleness
+  EXPECT_EQ(registry.snapshot().counter_value("external_total").value_or(0),
+            42u);
+}
+
+TEST(MetricsRegistryTest, JsonIsSortedAndStable) {
+  obs::MetricsRegistry registry;
+  registry.counter("zzz").inc();
+  registry.counter("aaa", {{"b", "2"}, {"a", "1"}}).inc();
+  const std::string a = registry.snapshot().to_json();
+  const std::string b = registry.snapshot().to_json();
+  EXPECT_EQ(a, b);
+  // Labels are key-sorted into the canonical id, series sorted by id.
+  EXPECT_NE(a.find("\"a\":\"1\",\"b\":\"2\""), std::string::npos);
+  EXPECT_LT(a.find("\"name\":\"aaa\""), a.find("\"name\":\"zzz\""));
+}
+
+// --------------------------------------------------------------- trace
+
+TEST(TraceRecorderTest, CountsAlwaysBumpStorageIsGated) {
+  TraceRecorder rec(16);
+  EXPECT_TRUE(rec.recording());  // storage on by default; Cluster gates it
+  rec.set_recording(false);
+  rec.record(TraceEventType::kBlockCommitted, 0, 1, 0);
+  EXPECT_EQ(rec.count(TraceEventType::kBlockCommitted), 1u);
+  EXPECT_TRUE(rec.events().empty());  // storage gated off
+
+  rec.set_recording(true);
+  rec.record(TraceEventType::kBlockCommitted, 0, 2, 0);
+  EXPECT_EQ(rec.count(TraceEventType::kBlockCommitted), 2u);
+  ASSERT_EQ(rec.events().size(), 1u);
+  EXPECT_EQ(rec.events()[0].height, 2u);
+}
+
+TEST(TraceRecorderTest, RingEvictsOldestAndCountsDropped) {
+  TraceRecorder rec(4);
+  rec.set_recording(true);
+  for (std::uint64_t h = 1; h <= 10; ++h) {
+    rec.record(TraceEventType::kBlockCommitted, 7, h, 0);
+  }
+  const auto events = rec.events_for(7);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().height, 7u);  // 1..6 evicted
+  EXPECT_EQ(events.back().height, 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+}
+
+TEST(TraceRecorderTest, EventsMergeAcrossReplicasInSeqOrder) {
+  TraceRecorder rec(16);
+  rec.set_recording(true);
+  rec.record(TraceEventType::kBlockProposed, 1, 1, 0);
+  rec.record(TraceEventType::kBlockCommitted, 0, 1, 0);
+  rec.record(TraceEventType::kBlockCommitted, 1, 1, 0);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_EQ(events[0].replica, 1u);
+  EXPECT_EQ(events[1].replica, 0u);
+}
+
+TEST(TraceRecorderTest, DiagnosticLaneExcludedFromFingerprint) {
+  TraceRecorder a(16), b(16);
+  a.set_recording(true);
+  b.set_recording(true);
+  a.record(TraceEventType::kBlockCommitted, 0, 1, 0);
+  b.record(TraceEventType::kBlockCommitted, 0, 1, 0);
+  // Thread-scheduling-dependent events must not perturb the digest.
+  b.record(TraceEventType::kSpecWave, 0, 1, 0, 2, 8);
+  b.record(TraceEventType::kSpecAbort, 0, 1, 0, 3, 3);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.serialize(false), b.serialize(false));
+  EXPECT_NE(a.serialize(true), b.serialize(true));
+}
+
+TEST(TraceRecorderTest, SerializationCarriesSchemaVersion) {
+  TraceRecorder rec(4);
+  const Bytes bytes = rec.serialize(false);
+  ASSERT_GE(bytes.size(), 4u);
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data(), sizeof(version));
+  EXPECT_EQ(version, obs::kTraceSchemaVersion);
+  // The version is digested: bumping it is (by construction) a digest
+  // change, which is exactly how golden digests are meant to rotate.
+  Bytes bumped = bytes;
+  bumped[0] ^= 1;
+  EXPECT_NE(sha256(BytesView(bytes)).hex(),
+            sha256(BytesView(bumped)).hex());
+}
+
+TEST(TraceRecorderTest, IdenticalStreamsIdenticalFingerprints) {
+  TraceRecorder a(16), b(16);
+  a.set_recording(true);
+  b.set_recording(true);
+  for (TraceRecorder* r : {&a, &b}) {
+    r->record(TraceEventType::kBlockProposed, 0, 1, 0, 5, 0);
+    r->record(TraceEventType::kQuorumPrepared, 0, 1, 0);
+    r->record(TraceEventType::kBlockCommitted, 0, 1, 0, 0, 5);
+  }
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.record(TraceEventType::kViewChange, 0, 1, 1);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+// ------------------------------------------- cluster runs and goldens
+
+std::unique_ptr<ledger::TransactionExecutor> kv_executor() {
+  return std::make_unique<KvExecutor>();
+}
+
+ledger::Transaction obs_tx(std::uint64_t index) {
+  const KeyPair key = KeyPair::generate(SigScheme::kHmacSim, 0x0B5000 + index);
+  return make_set_tx(key, 0, "obs" + std::to_string(index), "v");
+}
+
+struct CalmRun {
+  sim::Simulator simulator;
+  net::Network network;
+  consensus::Cluster cluster;
+
+  explicit CalmRun(std::uint64_t seed, bool trace = true)
+      : network(simulator, seed + 100),
+        cluster(network, kv_executor, [seed, trace]() {
+          consensus::ClusterConfig config;
+          config.protocol = consensus::Protocol::kPbft;
+          config.replicas = 4;
+          config.auth_mode = consensus::AuthMode::kMac;
+          config.block_interval = 20 * sim::kMillisecond;
+          config.view_timeout = 250 * sim::kMillisecond;
+          config.seed = seed;
+          config.trace = trace;
+          return config;
+        }()) {}
+
+  void drive(sim::SimTime until = 5 * sim::kSecond) {
+    cluster.start();
+    std::uint64_t submitted = 0;
+    for (sim::SimTime t = 100 * sim::kMillisecond; t < until;
+         t += 100 * sim::kMillisecond) {
+      const std::uint64_t index = submitted++;
+      simulator.schedule_at(
+          t, [this, index]() { cluster.submit(obs_tx(index)); });
+    }
+    simulator.run_until(until);
+  }
+};
+
+// Frozen golden digest of the calm 4-replica run's deterministic trace
+// lane. This value changing means the observable event stream changed:
+// either bump kTraceSchemaVersion (wire format) or treat it as the
+// regression it is (event semantics).
+constexpr const char* kCalmGoldenFingerprint =
+    "40933929c6114ba5bc51dcda14f53a6282790780fa5199c616d6cefb64f9525b";
+
+TEST(TraceGoldenTest, CalmRunMatchesFrozenDigestAndTwinIsBitIdentical) {
+  CalmRun a(901);
+  a.drive();
+  EXPECT_GT(a.cluster.trace().count(TraceEventType::kBlockCommitted), 0u);
+  EXPECT_EQ(a.cluster.trace().dropped(), 0u);
+  EXPECT_EQ(a.cluster.trace().fingerprint(), kCalmGoldenFingerprint);
+
+  CalmRun b(901);
+  b.drive();
+  EXPECT_EQ(b.cluster.trace().fingerprint(), kCalmGoldenFingerprint);
+  EXPECT_EQ(a.cluster.trace().serialize(false),
+            b.cluster.trace().serialize(false));
+}
+
+fault::ChaosConfig chaos_config(std::uint64_t seed, bool durable) {
+  fault::ChaosConfig config;
+  config.cluster.protocol = consensus::Protocol::kPbft;
+  config.cluster.replicas = 7;
+  config.cluster.auth_mode = consensus::AuthMode::kMac;
+  config.cluster.block_interval = 20 * sim::kMillisecond;
+  config.cluster.view_timeout = 250 * sim::kMillisecond;
+  config.cluster.seed = seed;
+  config.cluster.trace = true;
+  config.run_until = 20 * sim::kSecond;
+  config.liveness_bound = 10 * sim::kSecond;
+  config.seed = seed;
+  config.durable = durable;
+  if (durable) config.store.snapshot_interval = 16;
+  return config;
+}
+
+// Frozen golden digest of a seeded chaos run (random fault plan, durable
+// replicas). Same rotation policy as the calm golden.
+constexpr const char* kChaosGoldenFingerprint =
+    "77b6582fb2bbe5c16a19c7dc1d3f47f92cd8889e8fc03a6428e6874c80c0baac";
+
+TEST(TraceGoldenTest, SeededChaosRunMatchesFrozenDigestAndTwin) {
+  const fault::FaultPlan plan = fault::FaultPlan::random({}, 31);
+  const fault::ChaosResult a =
+      fault::run_chaos(chaos_config(31, true), plan, kv_executor, obs_tx);
+  ASSERT_TRUE(a.ok()) << a.report.to_string();
+  ASSERT_NE(a.trace, nullptr);
+  EXPECT_EQ(a.trace->dropped(), 0u);
+  EXPECT_EQ(a.trace->fingerprint(), kChaosGoldenFingerprint);
+
+  const fault::ChaosResult b =
+      fault::run_chaos(chaos_config(31, true), plan, kv_executor, obs_tx);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(b.trace->fingerprint(), kChaosGoldenFingerprint);
+  EXPECT_EQ(a.trace->serialize(false), b.trace->serialize(false));
+}
+
+// ----------------------------------------------------------- trace audit
+
+TEST(TraceAuditTest, CalmRunHasZeroViolations) {
+  CalmRun run(902);
+  run.drive();
+  const auto report = audit_trace(run.cluster.trace());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.events_audited, 0u);
+}
+
+TEST(TraceAuditTest, RulesFlagSyntheticViolations) {
+  {
+    TraceRecorder rec(64);
+    rec.set_recording(true);
+    // Quorum commit with no prepare-quorum event.
+    rec.record(TraceEventType::kBlockCommitted, 0, 1, 0, 0, 3);
+    const auto report = audit_trace(rec);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.violations[0].rule, "commit-implies-quorum-prepare");
+  }
+  {
+    TraceRecorder rec(64);
+    rec.set_recording(true);
+    // Durable replica (it fsyncs) committing past its fsync horizon.
+    rec.record(TraceEventType::kWalFsync, 0, 1, 0, 1);
+    rec.record(TraceEventType::kQuorumPrepared, 0, 2, 0);
+    rec.record(TraceEventType::kBlockCommitted, 0, 2, 0, 0, 3);
+    const auto report = audit_trace(rec);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.violations[0].rule, "wal-fsync-before-commit");
+  }
+  {
+    TraceRecorder rec(64);
+    rec.set_recording(true);
+    rec.record(TraceEventType::kSpecAbort, 0, 1, 0, 3, 2);  // 3 != 2
+    EXPECT_FALSE(audit_trace(rec).ok());
+  }
+  {
+    TraceRecorder rec(64);
+    rec.set_recording(true);
+    rec.record(TraceEventType::kQuorumPrepared, 0, 5, 0);
+    rec.record(TraceEventType::kBlockCommitted, 0, 5, 0, 0, 1);
+    rec.record(TraceEventType::kQuorumPrepared, 0, 5, 0);
+    rec.record(TraceEventType::kBlockCommitted, 0, 5, 0, 0, 1);  // regression
+    const auto report = audit_trace(rec);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.violations[0].rule, "monotone-commit-heights");
+  }
+  {
+    TraceRecorder rec(64);
+    rec.set_recording(true);
+    rec.record(TraceEventType::kViewChange, 0, 1, 3);
+    rec.record(TraceEventType::kViewChange, 0, 1, 2);  // view went backwards
+    const auto report = audit_trace(rec);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.violations[0].rule, "monotone-views");
+    // ... unless a recovery reset the expectation.
+    TraceRecorder reset(64);
+    reset.set_recording(true);
+    reset.record(TraceEventType::kViewChange, 0, 1, 3);
+    reset.record(TraceEventType::kRecover, 0, 1, 0);
+    reset.record(TraceEventType::kViewChange, 0, 1, 2);
+    EXPECT_TRUE(audit_trace(reset).ok());
+  }
+}
+
+TEST(TraceAuditTest, OverflowedRingRefusesToAudit) {
+  TraceRecorder rec(2);
+  rec.set_recording(true);
+  for (int i = 0; i < 8; ++i) {
+    rec.record(TraceEventType::kViewChange, 0, 0, 1 + i);
+  }
+  const auto report = audit_trace(rec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].rule, "ring-overflow");
+}
+
+// ------------------------------------- metric continuity across recover
+
+TEST(MetricContinuityTest, CountersMonotoneAcrossCrashRecover) {
+  sim::Simulator simulator;
+  net::Network network(simulator, 903);
+
+  consensus::ClusterConfig config;
+  config.protocol = consensus::Protocol::kPbft;
+  config.replicas = 4;
+  config.auth_mode = consensus::AuthMode::kMac;
+  config.block_interval = 20 * sim::kMillisecond;
+  config.view_timeout = 250 * sim::kMillisecond;
+  config.seed = 903;
+  config.trace = true;
+  std::vector<std::shared_ptr<storage::MemoryBackend>> disks;
+  for (std::uint32_t i = 0; i < config.replicas; ++i) {
+    disks.push_back(std::make_shared<storage::MemoryBackend>());
+  }
+  config.storage_factory = [&disks](std::size_t i) { return disks[i]; };
+  config.store.group_commit = 1;
+  config.store.snapshot_interval = 8;
+
+  consensus::Cluster cluster(network, kv_executor, config);
+  fault::FaultInjector injector(network, cluster, 905);
+  fault::FaultPlan plan;
+  plan.crash(3 * sim::kSecond, 2).recover(6 * sim::kSecond, 2);
+  injector.arm(plan);
+
+  cluster.start();
+  std::uint64_t submitted = 0;
+  for (sim::SimTime t = 100 * sim::kMillisecond; t < 9 * sim::kSecond;
+       t += 100 * sim::kMillisecond) {
+    const std::uint64_t index = submitted++;
+    simulator.schedule_at(
+        t, [&cluster, index]() { cluster.submit(obs_tx(index)); });
+  }
+
+  auto probe = [&cluster](const char* name) {
+    return cluster.metrics_snapshot().counter_value(name).value_or(0);
+  };
+  auto rejects_total = [&cluster]() {
+    std::uint64_t total = 0;
+    const obs::MetricsSnapshot snap = cluster.metrics_snapshot();
+    for (const obs::MetricEntry& e : snap.entries()) {
+      if (e.name == "consensus_rejected_total") total += e.value;
+    }
+    return total;
+  };
+
+  // Probe around the recover event (the injector armed first, so its 6 s
+  // recover runs before the 6 s probe). recover() swaps replica 2's chain
+  // and mempool for recovered ones; the registry's collectors fold retired
+  // counters, so every series must stay monotone.
+  struct Probe {
+    std::uint64_t exec = 0, recon = 0, rejects = 0, committed = 0;
+  };
+  Probe before, after;
+  simulator.schedule_at(6 * sim::kSecond - 1, [&]() {
+    before.exec = probe("exec_serial_blocks") + probe("exec_parallel_blocks");
+    before.recon = probe("mempool_recon_hits") + probe("mempool_recon_misses");
+    before.rejects = rejects_total();
+    before.committed = probe("consensus_committed_blocks");
+  });
+  simulator.schedule_at(6 * sim::kSecond, [&]() {
+    after.exec = probe("exec_serial_blocks") + probe("exec_parallel_blocks");
+    after.recon = probe("mempool_recon_hits") + probe("mempool_recon_misses");
+    after.rejects = rejects_total();
+    after.committed = probe("consensus_committed_blocks");
+  });
+  simulator.run_until(10 * sim::kSecond);
+
+  EXPECT_GT(before.exec, 0u);
+  EXPECT_GE(after.exec, before.exec);
+  EXPECT_GE(after.recon, before.recon);
+  EXPECT_GE(after.rejects, before.rejects);
+  EXPECT_GE(after.committed, before.committed);
+  // And the trace recorder itself spans the recovery: crash + recover
+  // events are in the stream and the audit still holds.
+  EXPECT_EQ(cluster.trace().count(TraceEventType::kCrash), 1u);
+  EXPECT_EQ(cluster.trace().count(TraceEventType::kRecover), 1u);
+  const auto report = audit_trace(cluster.trace());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// ------------------------------------------------- log-site accounting
+
+TEST(LogSiteTest, SuppressedOccurrencesStillCount) {
+  reset_log_site_stats();
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kOff);  // nothing is emitted...
+  for (int i = 0; i < 100; ++i) {
+    TNP_LOG_WARN_EVERY_N(10, "obs_test.silent", "never printed ", i);
+  }
+  set_log_level(saved);
+  const LogSiteStats stats = log_site_stats("obs_test.silent");
+  // ...yet every occurrence is accounted: 100 hits, 90 rate-suppressed.
+  EXPECT_EQ(stats.hits, 100u);
+  EXPECT_EQ(stats.suppressed, 90u);
+}
+
+TEST(LogSiteTest, BadAuthPathCountsEverySuppressedHit) {
+  reset_log_site_stats();
+  // Corrupt 30% of wire messages: most fail MAC verification, a path whose
+  // log line is rate-limited 1-in-64 — the registry must still see every
+  // occurrence, and it must equal the cluster's own auth-failure counter.
+  fault::ChaosConfig config = chaos_config(907, false);
+  config.run_until = 10 * sim::kSecond;
+  fault::FaultPlan plan;
+  fault::MessageFaultProfile profile;
+  profile.corrupt_p = 0.3;
+  plan.message_faults(0, profile);
+  const fault::ChaosResult result =
+      fault::run_chaos(config, plan, kv_executor, obs_tx);
+  ASSERT_NE(result.trace, nullptr);
+  EXPECT_GT(result.auth_failures, 64u);  // enough to trip suppression
+
+  const LogSiteStats site = log_site_stats("consensus.bad_auth");
+  // Every bad-auth drop hits the site; auth_failures counts only MAC
+  // verification failures (a corrupted sender id is dropped before the
+  // MAC check), so hits can exceed it — but never undercount.
+  EXPECT_GE(site.hits, result.auth_failures);
+  EXPECT_GT(site.suppressed, site.hits / 2);  // 1-in-64 admission
+}
+
+}  // namespace
+}  // namespace tnp

@@ -1,0 +1,225 @@
+// Trace-audit harness: declarative invariant rules evaluated over a
+// TraceRecorder's structured event stream. Where the InvariantChecker
+// watches live cluster state, these rules check the *causal record* after
+// the fact — ordering and accounting facts that must hold in any valid
+// execution, whatever faults or adversaries were active:
+//
+//   commit-implies-quorum-prepare — a quorum-path commit at height h was
+//       preceded (same replica) by a prepare-quorum event for h.
+//   wal-fsync-before-commit — on durable replicas (any kWalFsync in the
+//       trace), every commit at height h follows an fsync covering h:
+//       persist-before-ack, as seen by the event stream.
+//   abort-equals-reexec — every speculation-abort summary reports exactly
+//       as many re-executions as aborts (serial-equivalence accounting).
+//   monotone-commit-heights — per replica, committed heights strictly
+//       increase; recovery restores a prefix at least as long as the last
+//       acknowledged block, so heights never regress even across crashes.
+//   monotone-views — per replica, adopted views strictly increase between
+//       recoveries (a durable restart drops volatile view state, so the
+//       expectation resets at kRecover).
+//
+// Rules reason about "earlier" via the recorder's global sequence order, so
+// an audit is only sound over a complete stream: audit_trace reports a
+// ring-overflow violation if any events were evicted (size trace_capacity
+// accordingly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tnp::testutil {
+
+struct TraceViolation {
+  std::string rule;
+  std::string detail;
+};
+
+struct TraceAuditReport {
+  std::vector<TraceViolation> violations;
+  std::uint64_t events_audited = 0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream out;
+    out << "audited " << events_audited << " events, "
+        << violations.size() << " violation(s)";
+    for (const TraceViolation& v : violations) {
+      out << "\n  [" << v.rule << "] " << v.detail;
+    }
+    return out.str();
+  }
+};
+
+/// One declarative rule: a name plus a pure check over the (seq-ordered)
+/// event stream. Rules append to `out`; they never mutate the stream.
+struct TraceRule {
+  std::string name;
+  std::function<void(const std::vector<obs::TraceEvent>&,
+                     std::vector<TraceViolation>&)>
+      check;
+};
+
+namespace trace_audit_detail {
+
+inline void fail(std::vector<TraceViolation>& out, const std::string& rule,
+                 const obs::TraceEvent& e, const std::string& why) {
+  std::ostringstream detail;
+  detail << why << " (replica " << e.replica << ", height " << e.height
+         << ", view " << e.view << ", seq " << e.seq << ", t=" << e.time
+         << ")";
+  out.push_back({rule, detail.str()});
+}
+
+inline TraceRule commit_implies_quorum_prepare() {
+  return {"commit-implies-quorum-prepare",
+          [](const std::vector<obs::TraceEvent>& events,
+             std::vector<TraceViolation>& out) {
+            std::map<std::uint32_t, std::set<std::uint64_t>> prepared;
+            for (const obs::TraceEvent& e : events) {
+              if (e.type == obs::TraceEventType::kQuorumPrepared) {
+                prepared[e.replica].insert(e.height);
+              } else if (e.type == obs::TraceEventType::kBlockCommitted &&
+                         e.a == 0 /* CommitPath::kQuorum */ &&
+                         !prepared[e.replica].count(e.height)) {
+                fail(out, "commit-implies-quorum-prepare", e,
+                     "quorum commit without earlier prepare quorum");
+              }
+            }
+          }};
+}
+
+inline TraceRule wal_fsync_before_commit() {
+  return {"wal-fsync-before-commit",
+          [](const std::vector<obs::TraceEvent>& events,
+             std::vector<TraceViolation>& out) {
+            // Only replicas that fsync at all are durable; RAM-only
+            // replicas legitimately commit without WAL events.
+            std::set<std::uint32_t> durable;
+            for (const obs::TraceEvent& e : events) {
+              if (e.type == obs::TraceEventType::kWalFsync) {
+                durable.insert(e.replica);
+              }
+            }
+            std::map<std::uint32_t, std::uint64_t> synced_through;
+            for (const obs::TraceEvent& e : events) {
+              if (e.type == obs::TraceEventType::kWalFsync) {
+                auto& high = synced_through[e.replica];
+                if (e.height > high) high = e.height;
+              } else if (e.type == obs::TraceEventType::kBlockCommitted &&
+                         durable.count(e.replica) &&
+                         synced_through[e.replica] < e.height) {
+                fail(out, "wal-fsync-before-commit", e,
+                     "commit acknowledged before WAL fsync covered it");
+              }
+            }
+          }};
+}
+
+inline TraceRule abort_equals_reexec() {
+  return {"abort-equals-reexec",
+          [](const std::vector<obs::TraceEvent>& events,
+             std::vector<TraceViolation>& out) {
+            std::uint64_t aborted = 0, reexecuted = 0;
+            for (const obs::TraceEvent& e : events) {
+              if (e.type != obs::TraceEventType::kSpecAbort) continue;
+              aborted += e.a;
+              reexecuted += e.b;
+              if (e.a != e.b) {
+                fail(out, "abort-equals-reexec", e,
+                     "abort summary where aborts != re-executions");
+              }
+            }
+            if (aborted != reexecuted) {
+              out.push_back({"abort-equals-reexec",
+                             "aggregate aborts (" + std::to_string(aborted) +
+                                 ") != re-executions (" +
+                                 std::to_string(reexecuted) + ")"});
+            }
+          }};
+}
+
+inline TraceRule monotone_commit_heights() {
+  return {"monotone-commit-heights",
+          [](const std::vector<obs::TraceEvent>& events,
+             std::vector<TraceViolation>& out) {
+            std::map<std::uint32_t, std::uint64_t> last;
+            for (const obs::TraceEvent& e : events) {
+              if (e.type != obs::TraceEventType::kBlockCommitted) continue;
+              auto [it, fresh] = last.emplace(e.replica, e.height);
+              if (!fresh) {
+                if (e.height <= it->second) {
+                  fail(out, "monotone-commit-heights", e,
+                       "committed height <= previous commit (" +
+                           std::to_string(it->second) + ")");
+                }
+                it->second = e.height;
+              }
+            }
+          }};
+}
+
+inline TraceRule monotone_views() {
+  return {"monotone-views",
+          [](const std::vector<obs::TraceEvent>& events,
+             std::vector<TraceViolation>& out) {
+            std::map<std::uint32_t, std::uint64_t> last;
+            for (const obs::TraceEvent& e : events) {
+              if (e.type == obs::TraceEventType::kRecover) {
+                last.erase(e.replica);  // restart drops volatile view state
+              } else if (e.type == obs::TraceEventType::kViewChange) {
+                auto [it, fresh] = last.emplace(e.replica, e.view);
+                if (!fresh) {
+                  if (e.view <= it->second) {
+                    fail(out, "monotone-views", e,
+                         "adopted view <= previous view (" +
+                             std::to_string(it->second) + ")");
+                  }
+                  it->second = e.view;
+                }
+              }
+            }
+          }};
+}
+
+}  // namespace trace_audit_detail
+
+/// The standard rule set (see file comment).
+inline const std::vector<TraceRule>& default_trace_rules() {
+  static const std::vector<TraceRule> rules = {
+      trace_audit_detail::commit_implies_quorum_prepare(),
+      trace_audit_detail::wal_fsync_before_commit(),
+      trace_audit_detail::abort_equals_reexec(),
+      trace_audit_detail::monotone_commit_heights(),
+      trace_audit_detail::monotone_views(),
+  };
+  return rules;
+}
+
+/// Evaluates `rules` (default: default_trace_rules()) over the recorder's
+/// full event stream.
+inline TraceAuditReport audit_trace(
+    const obs::TraceRecorder& recorder,
+    const std::vector<TraceRule>& rules = default_trace_rules()) {
+  TraceAuditReport report;
+  if (recorder.dropped() > 0) {
+    report.violations.push_back(
+        {"ring-overflow",
+         std::to_string(recorder.dropped()) +
+             " event(s) evicted; audit needs the complete stream — raise "
+             "ClusterConfig::trace_capacity"});
+    return report;
+  }
+  const std::vector<obs::TraceEvent> events = recorder.events();
+  report.events_audited = events.size();
+  for (const TraceRule& rule : rules) rule.check(events, report.violations);
+  return report;
+}
+
+}  // namespace tnp::testutil
