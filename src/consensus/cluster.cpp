@@ -53,6 +53,9 @@ Cluster::Cluster(net::Network& network, ExecutorFactory make_executor,
       replica->disk = config_.storage_factory(i);
       open_store(*replica);
     }
+    // Non-durable replicas (and durable ones whose store failed to open)
+    // still get an engine on their current chain.
+    if (!replica->news) attach_news(*replica);
     const Status reg = directory_.register_account(replica->key);
     assert(reg.ok());
     (void)reg;
@@ -130,6 +133,21 @@ void Cluster::open_store(Replica& r) {
   // during recover_chain is counted by the *new* chain, which is live.)
   if (r.chain) exec_retired_ += r.chain->exec_stats();
   r.chain = std::move(chain);
+  // The old engine's commit hook died with the old chain; a fresh engine
+  // bootstraps from the recovered state (news_stats().rebuilds counts it).
+  attach_news(r);
+}
+
+void Cluster::attach_news(Replica& r) {
+  if (!config_.news_analytics || !r.chain) return;
+  if (r.news) news_retired_ += r.news->stats();
+  r.news = std::make_unique<core::NewsAnalyticsEngine>(news_content());
+  r.news->attach(*r.chain);
+}
+
+const core::ContentStore& Cluster::news_content() const {
+  static const core::ContentStore kEmpty;
+  return config_.news_content ? *config_.news_content : kEmpty;
 }
 
 void Cluster::crash(std::size_t replica) {
@@ -254,6 +272,14 @@ ledger::ExecStats Cluster::exec_stats() const {
   return total;
 }
 
+core::AnalyticsStats Cluster::news_stats() const {
+  core::AnalyticsStats total = news_retired_;
+  for (const auto& r : replicas_) {
+    if (r->news) total += r->news->stats();
+  }
+  return total;
+}
+
 namespace {
 const char* msg_type_name(MsgType type) {
   switch (type) {
@@ -318,6 +344,18 @@ void Cluster::register_metrics() {
     out.counter("mempool_recon_hits", {}, recon.recon_hits);
     out.counter("mempool_recon_misses", {}, recon.recon_misses);
     out.counter("mempool_recon_fallbacks", {}, recon.fallbacks);
+    if (config_.news_analytics) {
+      // Aggregate counters fold retired engines (recover()-survival);
+      // latency histograms are per live engine, labelled by replica.
+      news_stats().collect(out, {});
+      for (const auto& r : replicas_) {
+        if (!r->news) continue;
+        const obs::MetricLabels labels{{"replica", std::to_string(r->index)}};
+        out.histogram("news_trace_latency_us", labels, r->news->trace_latency());
+        out.histogram("news_lsh_latency_us", labels, r->news->lsh_latency());
+        out.histogram("news_rank_latency_us", labels, r->news->rank_latency());
+      }
+    }
     const net::NetworkStats& net = network_.stats();
     out.counter("net_sent", {}, net.sent);
     out.counter("net_delivered", {}, net.delivered);

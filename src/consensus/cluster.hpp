@@ -28,6 +28,7 @@
 #include "common/stats.hpp"
 #include "consensus/compact.hpp"
 #include "consensus/messages.hpp"
+#include "core/analytics.hpp"
 #include "ledger/chain.hpp"
 #include "ledger/mempool.hpp"
 #include "net/network.hpp"
@@ -92,6 +93,16 @@ struct ClusterConfig {
   /// off (they feed metrics), only event storage is gated.
   bool trace = false;
   std::size_t trace_capacity = 1 << 16;
+  /// News analytics (opt-in): attach a delta-maintained
+  /// core::NewsAnalyticsEngine to every replica's chain. Each committed
+  /// block's writes update the replica's provenance graph, trace cache,
+  /// and LSH index in place; durable-mode recovery rebuilds the engine
+  /// from the recovered chain's state (counted in news_stats().rebuilds).
+  bool news_analytics = false;
+  /// Off-chain article bodies for the engines (shared, read-only). When
+  /// null, engines run content-less: traces fall back to the pessimistic
+  /// 0.5 edge similarity and the LSH index stays empty.
+  const core::ContentStore* news_content = nullptr;
 };
 
 /// Stable codes carried by kByzantineReject trace events (operand `a`).
@@ -212,6 +223,19 @@ class Cluster {
   /// chains retired by durable-mode recovery — same survival rule as
   /// mempool_stats()).
   [[nodiscard]] ledger::ExecStats exec_stats() const;
+  /// News-analytics counters summed across all replicas (including engines
+  /// retired when recovery replaced a chain — same survival rule as
+  /// exec_stats()). All-zero unless config.news_analytics.
+  [[nodiscard]] core::AnalyticsStats news_stats() const;
+  /// Live engine of a replica (nullptr when news analytics is off or the
+  /// replica's store failed to open). Non-const: queries warm its caches.
+  [[nodiscard]] core::NewsAnalyticsEngine* news_engine(std::size_t replica) {
+    return replicas_.at(replica)->news.get();
+  }
+  [[nodiscard]] const core::NewsAnalyticsEngine* news_engine(
+      std::size_t replica) const {
+    return replicas_.at(replica)->news.get();
+  }
   /// Unified registry view: every counter above — plus reject reasons,
   /// per-MsgType wire traffic, network/exec/mempool stats, storage event
   /// counts, and log-site counters — in one sorted, JSON-able snapshot.
@@ -317,6 +341,10 @@ class Cluster {
     std::uint64_t view = 0;
     std::unique_ptr<ledger::TransactionExecutor> executor;
     std::unique_ptr<ledger::Blockchain> chain;
+    // News analytics (config.news_analytics): hooked into `chain`, so it
+    // must be (re)created whenever the chain is replaced — open_store()
+    // does this via attach_news(), retiring the old engine's counters.
+    std::unique_ptr<core::NewsAnalyticsEngine> news;
     // Durable mode: the simulated disk outlives the engine across crashes —
     // crash() drops the engine and power-cycles the disk, recover() opens a
     // fresh engine over it and rebuilds the chain from what survived.
@@ -472,6 +500,10 @@ class Cluster {
   /// Durable mode: (re)opens the LedgerStore over the replica's disk and
   /// replaces its chain with the recovered one.
   void open_store(Replica& r);
+  /// News analytics: retires any existing engine's counters and attaches a
+  /// fresh engine to the replica's current chain. No-op when disabled.
+  void attach_news(Replica& r);
+  [[nodiscard]] const core::ContentStore& news_content() const;
 
   net::Network& network_;
   ClusterConfig config_;
@@ -488,6 +520,9 @@ class Cluster {
   // replica's chain with the recovered one (same pitfall: the old chain's
   // history must survive the swap).
   ledger::ExecStats exec_retired_;
+  // Analytics counters of engines retired by attach_news() re-attachment
+  // after a chain swap (same survival rule).
+  core::AnalyticsStats news_retired_;
   // Cluster-owned (shared so ChaosResult can keep the trace after teardown)
   // and never reset by crash()/recover() — the recover()-surviving rule all
   // counters follow. Created before the replicas: chains and stores hold

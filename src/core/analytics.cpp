@@ -1,0 +1,445 @@
+#include "core/analytics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+
+#include "common/rng.hpp"
+#include "text/tokenize.hpp"
+
+namespace tnp::core {
+
+namespace {
+
+std::optional<Hash256> hash_from_key_suffix(const std::string& key,
+                                            std::string_view prefix) {
+  if (key.size() != prefix.size() + 64) return std::nullopt;
+  auto parsed = Hash256::from_hex(std::string_view(key).substr(prefix.size()));
+  if (!parsed.ok()) return std::nullopt;
+  return *parsed;
+}
+
+// Same per-document key the graph's warm pass uses, so the engine's
+// persistent batch shares tokenization with edge warming.
+std::uint64_t doc_key(const Hash256& hash) {
+  return static_cast<std::uint64_t>(std::hash<Hash256>{}(hash));
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+NewsAnalyticsEngine::NewsAnalyticsEngine(const ContentStore& content,
+                                         AnalyticsConfig config)
+    : config_(config),
+      content_(&content),
+      min_agree_(config.lsh_hashes - config.lsh_bands + 1),
+      batch_(config.shingle_k, config.batch_cache_capacity),
+      minhash_(config.lsh_hashes, config.lsh_seed),
+      bands_(config.lsh_bands),
+      trace_latency_(obs::BucketLayout::latency_us()),
+      lsh_latency_(obs::BucketLayout::latency_us()),
+      rank_latency_(obs::BucketLayout::latency_us()) {}
+
+void NewsAnalyticsEngine::attach(ledger::Blockchain& chain) {
+  chain.add_commit_hook(
+      [this](const ledger::CommittedBlockInfo& info) { on_block(info); });
+  rebuild_from_state(chain.state());
+}
+
+void NewsAnalyticsEngine::rebuild_from_state(const ledger::WorldState& state) {
+  ++stats_.rebuilds;
+  graph_ = ProvenanceGraph::from_state(state);
+  room_topics_ = read_room_topics(state);
+  trace_cache_.clear();
+  signatures_.clear();
+  bands_.assign(config_.lsh_bands, {});
+  for (const auto& [hash, record] : graph_.articles()) {
+    (void)record;
+    index_article(hash);
+  }
+}
+
+void NewsAnalyticsEngine::on_block(const ledger::CommittedBlockInfo& info) {
+  ++stats_.blocks_applied;
+  for (const auto& [key, value] : info.writes) {
+    apply_write(key, value);
+  }
+}
+
+void NewsAnalyticsEngine::apply_write(const std::string& key,
+                                      const std::optional<Bytes>& value) {
+  if (key.starts_with(contracts::keys::article_prefix())) {
+    const auto hash =
+        hash_from_key_suffix(key, contracts::keys::article_prefix());
+    if (!hash) return;
+    ++stats_.writes_applied;
+    // A record replacement must not drop an already-committed rank score
+    // (from_state keeps them independent key spaces).
+    const auto prev_rank = graph_.rank_score(*hash);
+    if (graph_.article(*hash) != nullptr) {
+      unindex_article(*hash);
+      graph_.remove_article(*hash);
+    }
+    if (value) {
+      auto record = contracts::ArticleRecord::decode(BytesView(*value));
+      if (record) {
+        graph_.add_article(*hash, std::move(*record));
+        index_article(*hash);
+      }
+    }
+    if (prev_rank) graph_.set_rank_score(*hash, *prev_rank);
+    invalidate_cone(*hash);
+    return;
+  }
+  if (key.starts_with(contracts::keys::factdb_prefix())) {
+    const auto hash =
+        hash_from_key_suffix(key, contracts::keys::factdb_prefix());
+    if (!hash) return;
+    ++stats_.writes_applied;
+    if (value) {
+      graph_.add_fact_root(*hash);
+    } else {
+      graph_.remove_fact_root(*hash);
+    }
+    invalidate_cone(*hash);
+    return;
+  }
+  if (key.starts_with("rank/score/")) {
+    const auto hash = hash_from_key_suffix(key, "rank/score/");
+    if (!hash) return;
+    ++stats_.writes_applied;
+    if (value) {
+      ByteReader r{BytesView(*value)};
+      const auto score = r.f64();
+      if (score.ok()) graph_.set_rank_score(*hash, *score);
+    } else {
+      graph_.clear_rank_score(*hash);
+    }
+    return;  // rank scores never affect traces — no invalidation
+  }
+  if (key.starts_with("news/room/")) {
+    ++stats_.writes_applied;
+    if (value) {
+      ByteReader r{BytesView(*value)};
+      const auto topic = r.str();
+      if (topic.ok()) room_topics_[key] = *topic;
+    } else {
+      room_topics_.erase(key);
+    }
+    return;
+  }
+}
+
+void NewsAnalyticsEngine::invalidate_cone(const Hash256& start) {
+  // Descendant cone via BFS over child edges; on-chain publish ordering
+  // guarantees parents precede children, so a freshly published article's
+  // cone is just itself.
+  std::deque<Hash256> frontier{start};
+  std::unordered_set<Hash256> seen{start};
+  while (!frontier.empty()) {
+    const Hash256 node = frontier.front();
+    frontier.pop_front();
+    if (trace_cache_.erase(node) > 0) ++stats_.trace_invalidations;
+    for (const Hash256& child : graph_.children_of(node)) {
+      if (seen.insert(child).second) frontier.push_back(child);
+    }
+  }
+}
+
+TraceResult NewsAnalyticsEngine::trace(const Hash256& article) {
+  ++stats_.trace_queries;
+  const std::uint64_t t0 = now_us();
+  if (graph_.is_fact_root(article)) {
+    // trace_to_root's fact-root fast path; never cached, always trivial.
+    TraceResult result;
+    result.traceable = true;
+    result.path_similarity = 1.0;
+    result.path = {article};
+    trace_latency_.observe(now_us() - t0);
+    return result;
+  }
+  const auto it = trace_cache_.find(article);
+  if (it != trace_cache_.end()) {
+    ++stats_.trace_cache_hits;
+    trace_latency_.observe(now_us() - t0);
+    return it->second;
+  }
+  ++stats_.trace_cache_misses;
+  const bool known = graph_.article(article) != nullptr;
+  // A miss on a mostly-cold cache amortizes best as one multi-source sweep;
+  // a miss on a warm cache (fresh invalidation cone) is cheaper per-query.
+  if (known && trace_cache_.size() * 2 < graph_.article_count()) {
+    sweep_traces();
+    const auto swept = trace_cache_.find(article);
+    if (swept != trace_cache_.end()) {
+      trace_latency_.observe(now_us() - t0);
+      return swept->second;
+    }
+  }
+  TraceResult result = graph_.trace_to_root(article, *content_);
+  if (known) trace_cache_.emplace(article, result);
+  trace_latency_.observe(now_us() - t0);
+  return result;
+}
+
+void NewsAnalyticsEngine::precompute_traces() {
+  if (trace_cache_.size() < graph_.article_count()) sweep_traces();
+}
+
+void NewsAnalyticsEngine::sweep_traces() {
+  ++stats_.trace_sweeps;
+  graph_.warm_edge_cache(*content_, batch_);
+  const auto& articles = graph_.articles();
+
+  // Multi-source DP over the DAG in topological order (parents before
+  // children). Only article-and-not-root parents gate ordering: factual
+  // roots are DP sources (cost 0) and dangling references are skipped,
+  // exactly as trace_to_root treats them.
+  auto is_dp_node = [&](const Hash256& h) {
+    return articles.contains(h) && !graph_.is_fact_root(h);
+  };
+  std::unordered_map<Hash256, std::size_t> indegree;
+  std::deque<Hash256> ready;
+  for (const auto& [hash, record] : articles) {
+    if (graph_.is_fact_root(hash)) continue;
+    std::size_t deg = 0;
+    for (const Hash256& parent : record.parents) deg += is_dp_node(parent);
+    indegree[hash] = deg;
+    if (deg == 0) ready.push_back(hash);
+  }
+
+  struct Dp {
+    bool traceable = false;
+    double cost = 0.0;
+    std::size_t hops = 0;
+    Hash256 parent{};
+    bool parent_is_root = false;
+  };
+  std::unordered_map<Hash256, Dp> dp;
+  dp.reserve(indegree.size());
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const Hash256 node = ready.front();
+    ready.pop_front();
+    ++processed;
+    const auto& record = articles.at(node);
+    Dp best;
+    // Relax in declared-parent order with strict less: matches Dijkstra's
+    // first-push-wins on equal direct-parent costs.
+    for (const Hash256& parent : record.parents) {
+      double base = 0.0;
+      std::size_t hops = 0;
+      bool parent_is_root = false;
+      if (graph_.is_fact_root(parent)) {
+        parent_is_root = true;
+      } else if (articles.contains(parent)) {
+        const auto it = dp.find(parent);
+        if (it == dp.end() || !it->second.traceable) continue;
+        base = it->second.cost;
+        hops = it->second.hops;
+      } else {
+        continue;  // dangling external reference
+      }
+      const double sim = graph_.edge_similarity(parent, node, *content_);
+      const double cost = base + -std::log(sim);
+      if (!best.traceable || cost < best.cost) {
+        best = Dp{true, cost, hops + 1, parent, parent_is_root};
+      }
+    }
+    dp.emplace(node, best);
+    for (const Hash256& child : graph_.children_of(node)) {
+      const auto it = indegree.find(child);
+      if (it == indegree.end()) continue;
+      if (it->second > 0 && --it->second == 0) ready.push_back(child);
+    }
+  }
+  // A cycle (impossible on-chain) leaves nodes unprocessed; they simply
+  // stay uncached and fall back to per-query Dijkstra.
+
+  for (const auto& [node, d] : dp) {
+    TraceResult result;
+    if (d.traceable) {
+      result.traceable = true;
+      std::vector<Hash256> path{node};
+      Hash256 cur = node;
+      for (;;) {
+        const Dp& step = dp.at(cur);
+        path.push_back(step.parent);
+        if (step.parent_is_root) break;
+        cur = step.parent;
+      }
+      // Re-accumulate the path cost from the article side — the exact
+      // left-to-right summation order the per-query Dijkstra uses — so
+      // path_similarity is bit-identical, not merely equal-by-epsilon.
+      double cost = 0.0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        cost += -std::log(graph_.edge_similarity(path[i + 1], path[i],
+                                                 *content_));
+      }
+      result.distance = path.size() - 1;
+      result.path_similarity = std::exp(-cost);
+      result.path = std::move(path);
+    }
+    trace_cache_.insert_or_assign(node, std::move(result));
+  }
+  // Fact-root articles get trace_to_root's trivial fast-path result.
+  for (const auto& [hash, record] : articles) {
+    (void)record;
+    if (!graph_.is_fact_root(hash)) continue;
+    TraceResult result;
+    result.traceable = true;
+    result.path_similarity = 1.0;
+    result.path = {hash};
+    trace_cache_.insert_or_assign(hash, std::move(result));
+  }
+  (void)processed;
+}
+
+std::vector<std::pair<AccountId, double>> NewsAnalyticsEngine::experts(
+    const std::string& topic, std::size_t k) {
+  ++stats_.expert_queries;
+  return graph_.suggest_experts(topic, room_topics_, k);
+}
+
+void NewsAnalyticsEngine::index_article(const Hash256& hash) {
+  const auto text = content_->get(hash);
+  if (!text) return;  // content unseen on this replica — not indexable
+  const auto sig = minhash_.signature(
+      text::shingles(text::tokenize(*text), config_.shingle_k));
+  for (std::size_t b = 0; b < bands_.size(); ++b) {
+    bands_[b][band_bucket(sig, b)].push_back(hash);
+  }
+  signatures_.emplace(hash, sig);
+}
+
+void NewsAnalyticsEngine::unindex_article(const Hash256& hash) {
+  const auto it = signatures_.find(hash);
+  if (it == signatures_.end()) return;
+  for (std::size_t b = 0; b < bands_.size(); ++b) {
+    const auto bucket = bands_[b].find(band_bucket(it->second, b));
+    if (bucket == bands_[b].end()) continue;
+    std::erase(bucket->second, hash);
+    if (bucket->second.empty()) bands_[b].erase(bucket);
+  }
+  signatures_.erase(it);
+}
+
+std::uint64_t NewsAnalyticsEngine::band_bucket(
+    const text::MinHash::Signature& sig, std::size_t band) const {
+  const std::size_t rows = config_.lsh_hashes / config_.lsh_bands;
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ static_cast<std::uint64_t>(band);
+  for (std::size_t j = 0; j < rows; ++j) {
+    h = h * 0x2545F4914F6CDD1DULL + sig[band * rows + j];
+  }
+  std::uint64_t s = h;
+  return splitmix64(s);
+}
+
+std::size_t NewsAnalyticsEngine::agreement(const text::MinHash::Signature& a,
+                                           const text::MinHash::Signature& b) {
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) agree += a[i] == b[i];
+  return agree;
+}
+
+bool NewsAnalyticsEngine::exact_near_dup(const Hash256& a, const Hash256& b) {
+  const auto a_text = content_->get(a);
+  const auto b_text = content_->get(b);
+  if (!a_text || !b_text) return false;
+  const auto stats = batch_.run(
+      {{doc_key(a), *a_text, doc_key(b), *b_text}});
+  return stats.front().similarity() >= config_.near_dup_similarity;
+}
+
+std::vector<Hash256> NewsAnalyticsEngine::near_duplicates(
+    const Hash256& article) {
+  ++stats_.lsh_queries;
+  const std::uint64_t t0 = now_us();
+  std::vector<Hash256> out;
+  const auto it = signatures_.find(article);
+  if (it == signatures_.end()) {
+    lsh_latency_.observe(now_us() - t0);
+    return out;
+  }
+  const auto& sig = it->second;
+  std::unordered_set<Hash256> seen{article};
+  for (std::size_t b = 0; b < bands_.size(); ++b) {
+    const auto bucket = bands_[b].find(band_bucket(sig, b));
+    if (bucket == bands_[b].end()) continue;
+    for (const Hash256& candidate : bucket->second) {
+      if (!seen.insert(candidate).second) continue;
+      ++stats_.lsh_candidates;
+      if (agreement(sig, signatures_.at(candidate)) < min_agree_) continue;
+      ++stats_.lsh_verified;
+      if (exact_near_dup(article, candidate)) out.push_back(candidate);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  lsh_latency_.observe(now_us() - t0);
+  return out;
+}
+
+std::vector<Hash256> NewsAnalyticsEngine::near_duplicates_brute(
+    const Hash256& article) const {
+  // Same predicate, all pairs, no index, serial diff_stats — the oracle
+  // the banded lookup is proven against (pigeonhole: agreement >= n-b+1
+  // forces a shared band, so the index can never miss a qualifying pair).
+  std::vector<Hash256> out;
+  const auto it = signatures_.find(article);
+  if (it == signatures_.end()) return out;
+  const auto article_text = content_->get(article);
+  if (!article_text) return out;
+  const auto article_tokens = text::tokenize(*article_text);
+  const auto article_shingles = text::shingles(article_tokens, config_.shingle_k);
+  for (const auto& [candidate, sig] : signatures_) {
+    if (candidate == article) continue;
+    if (agreement(it->second, sig) < min_agree_) continue;
+    const auto candidate_text = content_->get(candidate);
+    if (!candidate_text) continue;
+    const auto candidate_tokens = text::tokenize(*candidate_text);
+    const auto stats = text::diff_stats_precomputed(
+        article_tokens, article_shingles, candidate_tokens,
+        text::shingles(candidate_tokens, config_.shingle_k));
+    if (stats.similarity() >= config_.near_dup_similarity) {
+      out.push_back(candidate);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void AnalyticsStats::collect(obs::MetricsSnapshot& out,
+                             const obs::MetricLabels& labels) const {
+  out.counter("news_blocks_applied", labels, blocks_applied);
+  out.counter("news_writes_applied", labels, writes_applied);
+  out.counter("news_rebuilds", labels, rebuilds);
+  out.counter("news_trace_queries", labels, trace_queries);
+  out.counter("news_trace_cache_hits", labels, trace_cache_hits);
+  out.counter("news_trace_cache_misses", labels, trace_cache_misses);
+  out.counter("news_trace_sweeps", labels, trace_sweeps);
+  out.counter("news_trace_invalidations", labels, trace_invalidations);
+  out.counter("news_lsh_queries", labels, lsh_queries);
+  out.counter("news_lsh_candidates", labels, lsh_candidates);
+  out.counter("news_lsh_verified", labels, lsh_verified);
+  out.counter("news_expert_queries", labels, expert_queries);
+}
+
+void NewsAnalyticsEngine::collect(obs::MetricsSnapshot& out,
+                                  const obs::MetricLabels& labels) const {
+  stats_.collect(out, labels);
+  out.counter("news_batch_cache_hits", labels, batch_.stats().hits);
+  out.counter("news_batch_cache_misses", labels, batch_.stats().misses);
+  out.counter("news_batch_cache_evictions", labels, batch_.stats().evictions);
+  out.histogram("news_trace_latency_us", labels, trace_latency_);
+  out.histogram("news_lsh_latency_us", labels, lsh_latency_);
+  out.histogram("news_rank_latency_us", labels, rank_latency_);
+}
+
+}  // namespace tnp::core

@@ -1,0 +1,205 @@
+// Incremental news-analytics engine (paper Sec V–VI read path at scale).
+//
+// The platform's headline queries — trace-back to a factual root, composite
+// rank, expert identification, near-duplicate lookup — used to rebuild the
+// whole ProvenanceGraph from world state on every call: O(chain size) per
+// query. This engine is the long-lived replacement. Three pillars:
+//
+//  1. Delta maintenance — the engine subscribes to block commits via the
+//     Blockchain commit hook and applies only that block's writes (publish /
+//     certify / rank / room transactions) to its graph, LSH index, and room
+//     topics. ProvenanceGraph::from_state stays as the bootstrap/recovery
+//     path (rebuild_from_state) and as the equivalence oracle in tests.
+//
+//  2. Trace cache with multi-source precomputation — one topological
+//     dynamic-programming sweep over the DAG (equivalent to a reverse
+//     multi-source Dijkstra from all factual roots) yields every article's
+//     TraceResult in a single pass over the edge set, with edge
+//     similarities pulled through a persistent BatchSimilarity warm pass.
+//     Each cached result's path cost is re-accumulated left-to-right along
+//     the reconstructed path — the exact summation order trace_to_root's
+//     per-query Dijkstra uses — so cached results are bit-identical to the
+//     oracle whenever the optimal path is unique (the generic case for
+//     real text similarities). Invalidation is precise: a new edge, root,
+//     or record replacement dirties only the descendant cone of the
+//     changed node; rank-score writes dirty nothing trace-related.
+//
+//  3. MinHash-LSH banded index — article signatures (text::MinHash) split
+//     into b bands of r rows. The near-duplicate predicate is signature
+//     agreement >= n - b + 1 components: by pigeonhole any such pair
+//     shares at least one full band, so the banded lookup has guaranteed
+//     100% recall for the predicate and — after exact DiffStats
+//     verification of each candidate — returns results bit-identical to
+//     the brute-force all-pairs twin (near_duplicates_brute).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/content_store.hpp"
+#include "core/newsgraph.hpp"
+#include "ledger/chain.hpp"
+#include "obs/metrics.hpp"
+#include "text/similarity.hpp"
+
+namespace tnp::core {
+
+struct AnalyticsConfig {
+  /// MinHash signature width n and LSH band count b (rows r = n / b). The
+  /// near-duplicate agreement floor is n - b + 1 (pigeonhole recall: every
+  /// qualifying pair shares a full band). n must be a multiple of b.
+  std::size_t lsh_hashes = 64;
+  std::size_t lsh_bands = 16;
+  std::uint64_t lsh_seed = 0x9E37;  // matches text::MinHash's default
+  std::size_t shingle_k = 3;
+  /// Exact DiffStats::similarity() floor a candidate must clear after the
+  /// signature-agreement filter.
+  double near_dup_similarity = 0.9;
+  /// Bound on the persistent BatchSimilarity document memo (FIFO).
+  std::size_t batch_cache_capacity = 1 << 15;
+};
+
+/// Deterministic engine counters (cumulative; survive recover() via the
+/// cluster's retired-counter fold). Latency histograms live separately —
+/// they are wall-clock and diagnostic-lane only.
+struct AnalyticsStats {
+  std::uint64_t blocks_applied = 0;   // commit-hook deliveries consumed
+  std::uint64_t writes_applied = 0;   // news-relevant state writes applied
+  std::uint64_t rebuilds = 0;         // full from_state bootstraps
+  std::uint64_t trace_queries = 0;
+  std::uint64_t trace_cache_hits = 0;
+  std::uint64_t trace_cache_misses = 0;
+  std::uint64_t trace_sweeps = 0;          // multi-source precomputations
+  std::uint64_t trace_invalidations = 0;   // cache entries dirtied by cones
+  std::uint64_t lsh_queries = 0;
+  std::uint64_t lsh_candidates = 0;   // banded-index candidates surfaced
+  std::uint64_t lsh_verified = 0;     // exact DiffStats comparisons run
+  std::uint64_t expert_queries = 0;
+
+  /// Emits every counter as a news_* series (shared by the engine's own
+  /// collect() and hosts folding retired + live stats, e.g. the cluster).
+  void collect(obs::MetricsSnapshot& out,
+               const obs::MetricLabels& labels = {}) const;
+
+  AnalyticsStats& operator+=(const AnalyticsStats& o) {
+    blocks_applied += o.blocks_applied;
+    writes_applied += o.writes_applied;
+    rebuilds += o.rebuilds;
+    trace_queries += o.trace_queries;
+    trace_cache_hits += o.trace_cache_hits;
+    trace_cache_misses += o.trace_cache_misses;
+    trace_sweeps += o.trace_sweeps;
+    trace_invalidations += o.trace_invalidations;
+    lsh_queries += o.lsh_queries;
+    lsh_candidates += o.lsh_candidates;
+    lsh_verified += o.lsh_verified;
+    expert_queries += o.expert_queries;
+    return *this;
+  }
+};
+
+class NewsAnalyticsEngine {
+ public:
+  explicit NewsAnalyticsEngine(const ContentStore& content,
+                               AnalyticsConfig config = {});
+
+  /// Subscribes to `chain`'s commit hook and bootstraps from its current
+  /// state. The engine must outlive the chain's last apply_block call; the
+  /// chain must outlive no queries (hooks never fire during destruction).
+  void attach(ledger::Blockchain& chain);
+
+  /// Full rebuild from world state — bootstrap, recovery, and the
+  /// equivalence baseline the delta path is tested against.
+  void rebuild_from_state(const ledger::WorldState& state);
+
+  // ---- queries ----
+  /// Cached trace-back; on a cold/mostly-dirty cache one multi-source
+  /// sweep precomputes every article's result in a single pass.
+  [[nodiscard]] TraceResult trace(const Hash256& article);
+  /// Forces the sweep so a subsequent batch of trace/rank queries runs
+  /// entirely on the warm cache. No-op when every article is cached.
+  void precompute_traces();
+  [[nodiscard]] std::optional<double> rank_score(const Hash256& article) const {
+    return graph_.rank_score(article);
+  }
+  [[nodiscard]] std::vector<std::pair<AccountId, double>> experts(
+      const std::string& topic, std::size_t k);
+  /// Exact-verified near-duplicates of `article` among indexed articles,
+  /// via the banded LSH index. Sorted by hash.
+  [[nodiscard]] std::vector<Hash256> near_duplicates(const Hash256& article);
+  /// Brute-force twin: same predicate over all indexed articles, no index.
+  /// Tests assert near_duplicates == near_duplicates_brute element-wise.
+  [[nodiscard]] std::vector<Hash256> near_duplicates_brute(
+      const Hash256& article) const;
+
+  // ---- introspection ----
+  [[nodiscard]] const ProvenanceGraph& graph() const { return graph_; }
+  [[nodiscard]] const std::map<std::string, std::string>& room_topics() const {
+    return room_topics_;
+  }
+  [[nodiscard]] const AnalyticsStats& stats() const { return stats_; }
+  [[nodiscard]] const text::BatchSimilarity& batch() const { return batch_; }
+  [[nodiscard]] std::size_t trace_cache_size() const {
+    return trace_cache_.size();
+  }
+  [[nodiscard]] std::size_t indexed_articles() const {
+    return signatures_.size();
+  }
+
+  // Wall-clock query latency histograms (diagnostic lane: excluded from
+  // fingerprints, like ExecStats). rank_latency is observed by the
+  // platform around composite_rank.
+  [[nodiscard]] const obs::Histogram& trace_latency() const {
+    return trace_latency_;
+  }
+  [[nodiscard]] const obs::Histogram& lsh_latency() const {
+    return lsh_latency_;
+  }
+  [[nodiscard]] obs::Histogram& rank_latency() { return rank_latency_; }
+  [[nodiscard]] const obs::Histogram& rank_latency() const {
+    return rank_latency_;
+  }
+
+  /// Publishes every counter and histogram as news_* series under `labels`
+  /// (MetricsRegistry collector body for hosts that own a registry).
+  void collect(obs::MetricsSnapshot& out,
+               const obs::MetricLabels& labels = {}) const;
+
+ private:
+  void on_block(const ledger::CommittedBlockInfo& info);
+  void apply_write(const std::string& key, const std::optional<Bytes>& value);
+  /// Erases cached traces for `start` and its descendant cone.
+  void invalidate_cone(const Hash256& start);
+  /// The multi-source precomputation: warm edge batch + topological DP.
+  void sweep_traces();
+  void index_article(const Hash256& hash);
+  void unindex_article(const Hash256& hash);
+  [[nodiscard]] std::uint64_t band_bucket(
+      const text::MinHash::Signature& sig, std::size_t band) const;
+  [[nodiscard]] bool exact_near_dup(const Hash256& a, const Hash256& b);
+  [[nodiscard]] static std::size_t agreement(
+      const text::MinHash::Signature& a, const text::MinHash::Signature& b);
+
+  AnalyticsConfig config_;
+  const ContentStore* content_;
+  std::size_t min_agree_;  // lsh_hashes - lsh_bands + 1
+  ProvenanceGraph graph_;
+  text::BatchSimilarity batch_;
+  text::MinHash minhash_;
+  std::map<std::string, std::string> room_topics_;
+  std::unordered_map<Hash256, TraceResult> trace_cache_;
+  std::unordered_map<Hash256, text::MinHash::Signature> signatures_;
+  // bands_[b]: bucket key -> article hashes whose band b hashed there.
+  std::vector<std::unordered_map<std::uint64_t, std::vector<Hash256>>> bands_;
+  AnalyticsStats stats_;
+  obs::Histogram trace_latency_;
+  obs::Histogram lsh_latency_;
+  obs::Histogram rank_latency_;
+};
+
+}  // namespace tnp::core

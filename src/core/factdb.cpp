@@ -36,6 +36,15 @@ FactCandidateDecision FactualDatabase::consider(
 }
 
 void FactualDatabase::sync_from_state(const ledger::WorldState& state) {
+  // The world-state root is maintained O(1); matching it against the root
+  // recorded at the last sync (or last hook delivery) proves no key — and
+  // so no factdb record — changed, making the rescan below redundant.
+  const Hash256 root = state.root();
+  if (synced_root_ && *synced_root_ == root) {
+    ++stats_.incremental_skips;
+    return;
+  }
+  ++stats_.full_scans;
   state.scan_prefix(contracts::keys::factdb_prefix(),
                     [&](const std::string& key, const Bytes&) {
     const std::string_view prefix = contracts::keys::factdb_prefix();
@@ -44,6 +53,27 @@ void FactualDatabase::sync_from_state(const ledger::WorldState& state) {
       if (hash.ok()) insert(*hash);
     }
     return true;
+  });
+  synced_root_ = root;
+}
+
+void FactualDatabase::attach(ledger::Blockchain& chain) {
+  sync_from_state(chain.state());
+  chain.add_commit_hook([this, &chain](const ledger::CommittedBlockInfo& info) {
+    const std::string_view prefix = contracts::keys::factdb_prefix();
+    for (const auto& [key, value] : info.writes) {
+      if (!value || key.size() != prefix.size() + 64 ||
+          !key.starts_with(prefix)) {
+        continue;
+      }
+      auto hash = Hash256::from_hex(std::string_view(key).substr(prefix.size()));
+      if (!hash.ok() || index_.contains(*hash)) continue;
+      insert(*hash);
+      ++stats_.hook_records;
+    }
+    // The delta kept us current through this block; record its root so the
+    // next sync_from_state call short-circuits.
+    synced_root_ = chain.state().root();
   });
 }
 

@@ -5,12 +5,15 @@
 // a powerful trusting-news engine".
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ai/classifiers.hpp"
 #include "core/content_store.hpp"
 #include "crypto/merkle.hpp"
+#include "ledger/chain.hpp"
 #include "ledger/state.hpp"
 
 namespace tnp::core {
@@ -20,6 +23,9 @@ struct FactCandidateDecision {
   double ai_credibility = 0.0;   // 1 - P(fake)
   double crowd_score = 0.0;      // from the ranking round (if any)
   std::string reason;
+  /// Near-identical already-published articles (LSH + exact verification),
+  /// surfaced so certifiers can spot re-submissions of known content.
+  std::vector<Hash256> near_duplicates;
 };
 
 class FactualDatabase {
@@ -36,8 +42,28 @@ class FactualDatabase {
                                  double ai_threshold = 0.6,
                                  double crowd_threshold = 0.6);
 
-  /// Mirrors all on-chain factdb records into the local set.
+  /// Mirrors all on-chain factdb records into the local set. Incremental:
+  /// when the state root is unchanged since the last sync (or since the
+  /// attach() hook consumed the last block) the scan is skipped entirely;
+  /// otherwise a full rescan runs as the safe fallback (insert() dedups).
   void sync_from_state(const ledger::WorldState& state);
+
+  /// Subscribes to `chain`'s commit hook: new factdb records are mirrored
+  /// per block from the delta writes, keeping the local set current without
+  /// any rescans. sync_from_state remains the recovery/fallback path.
+  /// Note: the hook inserts in consensus commit order while a rescan
+  /// inserts in state key order, so the (order-sensitive) Merkle root of a
+  /// hook-fed database matches other hook-fed databases, not rescanned
+  /// ones; the record sets are identical either way.
+  void attach(ledger::Blockchain& chain);
+
+  /// Sync-path traffic counters (cumulative).
+  struct Stats {
+    std::uint64_t full_scans = 0;         // sync_from_state rescans
+    std::uint64_t incremental_skips = 0;  // syncs satisfied by root match
+    std::uint64_t hook_records = 0;       // records added via block deltas
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
   [[nodiscard]] bool contains(const Hash256& hash) const {
     return index_.contains(hash);
@@ -56,6 +82,10 @@ class FactualDatabase {
 
   std::vector<Hash256> ordered_;
   std::unordered_map<Hash256, std::size_t> index_;
+  /// State root as of the last completed sync (scan or hook delivery);
+  /// nullopt until the first sync.
+  std::optional<Hash256> synced_root_;
+  Stats stats_;
 };
 
 }  // namespace tnp::core

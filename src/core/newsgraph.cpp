@@ -91,6 +91,25 @@ void ProvenanceGraph::add_article(const Hash256& hash,
   articles_[hash] = std::move(record);
 }
 
+void ProvenanceGraph::remove_article(const Hash256& hash) {
+  const auto it = articles_.find(hash);
+  if (it == articles_.end()) return;
+  // Drop cached similarities on both sides of the node — a replacement
+  // record must recompute, never reuse a stale edge.
+  for (const auto& parent : it->second.parents) {
+    edge_cache_.erase(pair_key(parent, hash));
+    const auto kids = children_.find(parent);
+    if (kids == children_.end()) continue;
+    std::erase(kids->second, hash);
+    if (kids->second.empty()) children_.erase(kids);
+  }
+  for (const auto& child : children_of(hash)) {
+    edge_cache_.erase(pair_key(hash, child));
+  }
+  articles_.erase(it);
+  rank_scores_.erase(hash);
+}
+
 void ProvenanceGraph::add_fact_root(const Hash256& hash) {
   fact_roots_.insert(hash);
 }
@@ -169,6 +188,11 @@ double ProvenanceGraph::edge_similarity(const Hash256& parent,
 
 std::size_t ProvenanceGraph::warm_edge_cache(const ContentStore& content) const {
   text::BatchSimilarity batch;
+  return warm_edge_cache(content, batch);
+}
+
+std::size_t ProvenanceGraph::warm_edge_cache(
+    const ContentStore& content, text::BatchSimilarity& batch) const {
   std::vector<text::BatchSimilarity::Request> requests;
   std::vector<Hash256> cache_keys;
   for (const auto& [child, record] : articles_) {
@@ -314,10 +338,23 @@ std::vector<std::pair<AccountId, double>> ProvenanceGraph::suggest_experts(
     const std::string& topic,
     const std::map<std::string, std::string>& room_topics,
     std::size_t k) const {
-  std::unordered_map<AccountId, double> expertise;
+  // Iterate articles in sorted-hash order: floating-point accumulation
+  // order (and thus every expert's exact score) is then independent of the
+  // unordered_map's history — an incrementally-grown graph and a
+  // from_state rebuild produce bit-identical rankings.
+  std::vector<const Hash256*> order;
+  order.reserve(articles_.size());
   for (const auto& [hash, record] : articles_) {
-    const auto score_it = rank_scores_.find(hash);
+    (void)record;
+    order.push_back(&hash);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Hash256* a, const Hash256* b) { return *a < *b; });
+  std::unordered_map<AccountId, double> expertise;
+  for (const Hash256* hash : order) {
+    const auto score_it = rank_scores_.find(*hash);
     if (score_it == rank_scores_.end()) continue;
+    const auto& record = articles_.at(*hash);
     const auto topic_it =
         room_topics.find(contracts::keys::room(record.platform, record.room));
     if (topic_it == room_topics.end() || topic_it->second != topic) continue;

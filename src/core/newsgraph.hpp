@@ -42,10 +42,17 @@ class ProvenanceGraph {
   /// all factual-db roots, all rank scores.
   static ProvenanceGraph from_state(const ledger::WorldState& state);
 
-  // Incremental construction (used by tests and generators).
+  // Incremental construction (used by tests, generators, and the
+  // delta-maintained analytics engine).
   void add_article(const Hash256& hash, contracts::ArticleRecord record);
   void add_fact_root(const Hash256& hash);
   void set_rank_score(const Hash256& hash, double score);
+  void clear_rank_score(const Hash256& hash) { rank_scores_.erase(hash); }
+  // Incremental removal (record replacement / state-erase deltas). Also
+  // drops the removed article's child edges; cached edge similarities keep
+  // only entries that can still be queried, so staleness is impossible.
+  void remove_article(const Hash256& hash);
+  void remove_fact_root(const Hash256& hash) { fact_roots_.erase(hash); }
 
   [[nodiscard]] std::size_t article_count() const { return articles_.size(); }
   [[nodiscard]] std::size_t fact_root_count() const { return fact_roots_.size(); }
@@ -55,6 +62,20 @@ class ProvenanceGraph {
   [[nodiscard]] const contracts::ArticleRecord* article(const Hash256& hash) const;
   [[nodiscard]] std::optional<double> rank_score(const Hash256& hash) const;
   [[nodiscard]] std::vector<Hash256> children_of(const Hash256& hash) const;
+
+  // Bulk views for engines layered on top (analytics sweeps, equivalence
+  // oracles). Iteration order is the container's — callers needing
+  // determinism must sort.
+  [[nodiscard]] const std::unordered_map<Hash256, contracts::ArticleRecord>&
+  articles() const {
+    return articles_;
+  }
+  [[nodiscard]] const std::unordered_set<Hash256>& fact_roots() const {
+    return fact_roots_;
+  }
+  [[nodiscard]] const std::unordered_map<Hash256, double>& rank_scores() const {
+    return rank_scores_;
+  }
 
   /// True if the parent links form no cycle (publish ordering guarantees
   /// this on-chain; checked for externally-built graphs).
@@ -87,6 +108,17 @@ class ProvenanceGraph {
   /// warm cache. Cached values are bit-identical to the lazy per-edge path.
   /// Returns the number of edges computed (cached edges are skipped).
   std::size_t warm_edge_cache(const ContentStore& content) const;
+  /// Same, but through a caller-owned (bounded, persistent) batch so
+  /// repeated warm passes reuse tokenization across calls.
+  std::size_t warm_edge_cache(const ContentStore& content,
+                              text::BatchSimilarity& batch) const;
+
+  /// Per-edge similarity (cached; pessimistic 0.5 when content is absent).
+  /// Public so the analytics engine's trace sweep reproduces exactly the
+  /// per-edge values trace_to_root consumes.
+  [[nodiscard]] double edge_similarity(const Hash256& parent,
+                                       const Hash256& child,
+                                       const ContentStore& content) const;
 
   /// Experts for a room topic: accounts ranked by Σ(max(rank-0.5,0)) over
   /// their articles in rooms with that topic. Returns top-k.
@@ -102,10 +134,6 @@ class ProvenanceGraph {
       std::size_t rounds = 16) const;
 
  private:
-  [[nodiscard]] double edge_similarity(const Hash256& parent,
-                                       const Hash256& child,
-                                       const ContentStore& content) const;
-
   std::unordered_map<Hash256, contracts::ArticleRecord> articles_;
   std::unordered_map<Hash256, std::vector<Hash256>> children_;
   std::unordered_map<Hash256, double> rank_scores_;

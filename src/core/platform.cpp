@@ -1,5 +1,6 @@
 #include "core/platform.hpp"
 
+#include <chrono>
 #include <map>
 
 #include "common/log.hpp"
@@ -44,9 +45,14 @@ TrustingNewsPlatform::TrustingNewsPlatform(PlatformConfig config)
     : config_(config),
       host_(contracts::ContractHost::standard()),
       chain_(std::make_unique<ledger::Blockchain>(*host_, config.chain)),
+      engine_(content_),
       detector_(ai::EnsembleDetector::standard()),
       admin_{KeyPair::generate(SigScheme::kHmacSim, config.seed * 7919 + 1),
              "governance", contracts::Role::kPublisher} {
+  // Subscribe the off-chain services before the first block so every
+  // committed write reaches them as a delta, never a rescan.
+  engine_.attach(*chain_);
+  factdb_.attach(*chain_);
   // Block 1: governance bootstrap + admin identity.
   stage(txb::bootstrap_governance(admin_.key, next_nonce(admin_.key)));
   stage(txb::register_identity(admin_.key, next_nonce(admin_.key),
@@ -201,6 +207,7 @@ FactCandidateDecision TrustingNewsPlatform::maybe_certify(
     return decision;
   }
   decision = factdb_.consider(article, *text, *detector_, *crowd);
+  decision.near_duplicates = engine_.near_duplicates(article);
   if (decision.accepted) {
     const Status added = submit_expect_ok(txb::add_fact(
         admin_.key, next_nonce(admin_.key), article, "ranking-pipeline"));
@@ -375,21 +382,43 @@ ProvenanceGraph TrustingNewsPlatform::build_graph() const {
 }
 
 TraceResult TrustingNewsPlatform::trace(const Hash256& article) const {
-  return build_graph().trace_to_root(article, content_);
+  return engine_.trace(article);
 }
 
 double TrustingNewsPlatform::composite_rank(const Hash256& article) const {
+  const auto start = std::chrono::steady_clock::now();
   const auto text = content_.get(article);
   const double ai_term = text ? ai_credibility(*text) : 0.5;
-  const double crowd_term = crowd_score(article).value_or(0.5);
-  const double trace_term = trace(article).trace_score();
-  return config_.rank_weights.combine(ai_term, crowd_term, trace_term);
+  const double crowd_term = engine_.rank_score(article).value_or(0.5);
+  const double trace_term = engine_.trace(article).trace_score();
+  const double rank =
+      config_.rank_weights.combine(ai_term, crowd_term, trace_term);
+  engine_.rank_latency().observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return rank;
+}
+
+std::vector<double> TrustingNewsPlatform::composite_ranks(
+    const std::vector<Hash256>& articles) const {
+  engine_.precompute_traces();
+  std::vector<double> out;
+  out.reserve(articles.size());
+  for (const Hash256& article : articles) {
+    out.push_back(composite_rank(article));
+  }
+  return out;
 }
 
 std::vector<std::pair<AccountId, double>> TrustingNewsPlatform::experts(
     const std::string& topic, std::size_t k) const {
-  const ProvenanceGraph graph = build_graph();
-  return graph.suggest_experts(topic, read_room_topics(chain_->state()), k);
+  return engine_.experts(topic, k);
+}
+
+std::vector<Hash256> TrustingNewsPlatform::near_duplicates(
+    const Hash256& article) const {
+  return engine_.near_duplicates(article);
 }
 
 }  // namespace tnp::core

@@ -20,6 +20,7 @@
 #include "ai/classifiers.hpp"
 #include "contracts/host.hpp"
 #include "contracts/txbuilder.hpp"
+#include "core/analytics.hpp"
 #include "core/content_store.hpp"
 #include "core/factdb.hpp"
 #include "core/newsgraph.hpp"
@@ -133,18 +134,30 @@ class TrustingNewsPlatform {
   [[nodiscard]] double ai_credibility(std::string_view text) const;
 
   // ---- supply-chain queries (Sec VI) ----
+  /// One-shot graph rebuild from committed state. Retained as the
+  /// bootstrap/oracle path; queries below go through the incremental
+  /// analytics engine instead of rebuilding.
   [[nodiscard]] ProvenanceGraph build_graph() const;
   [[nodiscard]] TraceResult trace(const Hash256& article) const;
   /// Composite rank R = α·AI + β·crowd + γ·trace for a published article.
   [[nodiscard]] double composite_rank(const Hash256& article) const;
+  /// Batched composite ranks: one multi-source trace precomputation, then
+  /// every rank reads the warm cache. out[i] == composite_rank(articles[i]).
+  [[nodiscard]] std::vector<double> composite_ranks(
+      const std::vector<Hash256>& articles) const;
   [[nodiscard]] std::vector<std::pair<AccountId, double>> experts(
       const std::string& topic, std::size_t k) const;
+  /// Near-duplicates of a published article via the engine's LSH index.
+  [[nodiscard]] std::vector<Hash256> near_duplicates(
+      const Hash256& article) const;
 
   // ---- accessors ----
   [[nodiscard]] const ledger::Blockchain& chain() const { return *chain_; }
   [[nodiscard]] const ContentStore& content() const { return content_; }
   [[nodiscard]] ContentStore& content() { return content_; }
   [[nodiscard]] const FactualDatabase& factdb() const { return factdb_; }
+  [[nodiscard]] const NewsAnalyticsEngine& analytics() const { return engine_; }
+  [[nodiscard]] NewsAnalyticsEngine& analytics() { return engine_; }
   [[nodiscard]] const ai::Detector& detector() const { return *detector_; }
   [[nodiscard]] const PlatformConfig& config() const { return config_; }
 
@@ -156,6 +169,9 @@ class TrustingNewsPlatform {
   std::unique_ptr<ledger::Blockchain> chain_;
   ContentStore content_;
   FactualDatabase factdb_;
+  // Delta-maintained off-chain analytics over the same chain; mutable
+  // because its query caches warm under const platform queries.
+  mutable NewsAnalyticsEngine engine_;
   std::unique_ptr<ai::EnsembleDetector> detector_;
   bool detector_trained_ = false;
   Actor admin_;

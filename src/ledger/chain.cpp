@@ -180,7 +180,8 @@ Status Blockchain::validate_block(const Block& block) const {
 
 Receipt Blockchain::execute_tx(const Transaction& tx,
                                std::vector<Event>& events,
-                               const unsigned char* sig_verdict) {
+                               const unsigned char* sig_verdict,
+                               std::vector<StateWrite>* write_log) {
   Receipt receipt;
   receipt.tx_id = tx.id();
   GasMeter gas(tx.gas_limit);
@@ -215,7 +216,9 @@ Receipt Blockchain::execute_tx(const Transaction& tx,
   {
     ByteWriter w;
     w.u64(expected + 1);
-    state_.set(nonce_key(sender), w.take());
+    Bytes encoded = w.take();
+    if (write_log) write_log->emplace_back(nonce_key(sender), encoded);
+    state_.set(nonce_key(sender), std::move(encoded));
   }
 
   OverlayState overlay(state_);
@@ -234,7 +237,21 @@ Receipt Blockchain::execute_tx(const Transaction& tx,
   const Status status = executor_.execute(tx, overlay, ctx);
   receipt.gas_used = gas.used();
   if (status.ok()) {
-    overlay.commit();
+    if (write_log) {
+      // Manual application in the WriteSet's sorted order — exactly what
+      // commit() does — with each op mirrored into the log.
+      for (auto& [key, value] : overlay.take_writes()) {
+        if (value.has_value()) {
+          write_log->emplace_back(key, *value);
+          state_.set(key, std::move(*value));
+        } else {
+          write_log->emplace_back(key, std::nullopt);
+          state_.erase(key);
+        }
+      }
+    } else {
+      overlay.commit();
+    }
     receipt.success = true;
     for (auto& ev : tx_events) events.push_back(std::move(ev));
   } else {
@@ -331,7 +348,7 @@ Blockchain::SpecResult Blockchain::speculate_tx(
 
 void Blockchain::apply_txs_parallel(
     const Block& block, const std::vector<unsigned char>& sig_verdicts,
-    BlockResult& result) {
+    BlockResult& result, std::vector<StateWrite>* write_log) {
   const std::size_t n = block.txs.size();
   MultiVersionState mv(state_, n);
   std::vector<SpecResult> rec(n);
@@ -404,6 +421,7 @@ void Blockchain::apply_txs_parallel(
   // gas totals are bit-identical to serial execution.
   for (std::size_t i = 0; i < n; ++i) {
     for (auto& [key, value] : rec[i].writes) {
+      if (write_log) write_log->emplace_back(key, value);
       if (value.has_value()) {
         state_.set(key, std::move(*value));
       } else {
@@ -489,17 +507,24 @@ Status Blockchain::apply_block(const Block& block) {
   BlockResult result;
   result.receipts.reserve(block.txs.size());
   pending_block_time_ = block.header.timestamp;
+  // Committed-write collection only runs for subscribed chains; the write
+  // stream feeds delta-maintained derived views (news analytics, factdb
+  // mirror) so they never re-scan world state.
+  std::vector<StateWrite> writes;
+  std::vector<StateWrite>* write_log =
+      commit_hooks_.empty() ? nullptr : &writes;
   const bool speculative = config_.parallel_execution &&
                            block.txs.size() >= config_.parallel_min_txs &&
                            global_pool().width() > 1;
   if (speculative) {
-    apply_txs_parallel(block, sig_verdicts, result);
+    apply_txs_parallel(block, sig_verdicts, result, write_log);
   } else {
     ++exec_stats_.serial_blocks;
     for (std::size_t i = 0; i < block.txs.size(); ++i) {
       const auto& tx = block.txs[i];
       Receipt receipt = execute_tx(
-          tx, result.events, sig_verdicts.empty() ? nullptr : &sig_verdicts[i]);
+          tx, result.events, sig_verdicts.empty() ? nullptr : &sig_verdicts[i],
+          write_log);
       total_gas_used_ += receipt.gas_used;
       if (!receipt.success) {
         log_debug("tx ", receipt.tx_id.short_hex(), " failed: ", receipt.error);
@@ -510,6 +535,10 @@ Status Blockchain::apply_block(const Block& block) {
   tx_count_ += block.txs.size();
   blocks_.push_back(block);
   results_.push_back(std::move(result));
+  if (!commit_hooks_.empty()) {
+    const CommittedBlockInfo info{blocks_.back(), results_.back(), writes};
+    for (const auto& hook : commit_hooks_) hook(info);
+  }
   return Status::Ok();
 }
 

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "ledger/block.hpp"
@@ -60,6 +62,20 @@ class TransactionExecutor {
 struct BlockResult {
   std::vector<Receipt> receipts;
   std::vector<Event> events;  // all events, in tx order
+};
+
+/// One committed state mutation: key plus the new value (nullopt = erase).
+using StateWrite = std::pair<std::string, std::optional<Bytes>>;
+
+/// Payload handed to commit hooks after a block is fully applied. `writes`
+/// lists every state mutation the block made (nonce bumps included), in
+/// application order — exactly what a subscriber needs to delta-maintain a
+/// derived view without re-scanning world state. Borrowed references: valid
+/// only for the duration of the hook call.
+struct CommittedBlockInfo {
+  const Block& block;
+  const BlockResult& result;
+  const std::vector<StateWrite>& writes;
 };
 
 /// Counters from the execution engine, cumulative across applied blocks.
@@ -242,6 +258,17 @@ class Blockchain {
   Expected<std::uint64_t> restore(const std::vector<Block>& blocks,
                                   const ChainCheckpoint* cp = nullptr);
 
+  /// Subscribes to block commits. Hooks run serially, in registration
+  /// order, after the block's state effects are fully applied (including
+  /// during restore()'s re-execution, so a subscriber rebuilt over a
+  /// recovered chain replays the same stream). Write collection is gated on
+  /// at least one hook being registered — hook-free chains pay nothing.
+  /// Hooks must not call back into the chain.
+  using CommitHook = std::function<void(const CommittedBlockInfo&)>;
+  void add_commit_hook(CommitHook hook) {
+    commit_hooks_.push_back(std::move(hook));
+  }
+
   [[nodiscard]] std::uint64_t total_gas_used() const { return total_gas_used_; }
   [[nodiscard]] std::uint64_t tx_count() const { return tx_count_; }
   /// Number of transaction ids currently held by the verified-signature
@@ -263,9 +290,12 @@ class Blockchain {
   std::vector<unsigned char> verify_signatures_parallel(
       const Block& block) const;
   /// `sig_verdict` is the pre-computed signature check for this tx, or
-  /// nullptr to verify inline (serial path).
+  /// nullptr to verify inline (serial path). When `write_log` is non-null
+  /// every state mutation (nonce bump + committed overlay writes, in the
+  /// overlay's sorted order — the order commit() applies them) is appended.
   Receipt execute_tx(const Transaction& tx, std::vector<Event>& events,
-                     const unsigned char* sig_verdict = nullptr);
+                     const unsigned char* sig_verdict = nullptr,
+                     std::vector<StateWrite>* write_log = nullptr);
 
   /// One transaction's speculative execution artifacts, harvested for
   /// validation and (if it survives) the serial commit pass.
@@ -284,9 +314,12 @@ class Blockchain {
                           const unsigned char* sig_verdict) const;
   /// The optimistic engine: wave-parallel speculation, in-order read-set
   /// validation, abort/re-execute, then a serial commit in tx order.
+  /// `write_log`, when non-null, receives every committed write from the
+  /// serial commit pass (nonce writes ride in the speculative write sets).
   void apply_txs_parallel(const Block& block,
                           const std::vector<unsigned char>& sig_verdicts,
-                          BlockResult& result);
+                          BlockResult& result,
+                          std::vector<StateWrite>* write_log);
 
   TransactionExecutor& executor_;
   ChainConfig config_;
@@ -301,6 +334,7 @@ class Blockchain {
   std::uint64_t tx_count_ = 0;
   ExecStats exec_stats_;
   sim::SimTime pending_block_time_ = 0;  // timestamp of the block being applied
+  std::vector<CommitHook> commit_hooks_;
 };
 
 }  // namespace tnp::ledger

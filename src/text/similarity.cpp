@@ -129,8 +129,9 @@ DiffStats diff_stats(const Tokens& parent, const Tokens& child,
                                 shingles(child, shingle_k));
 }
 
-BatchSimilarity::BatchSimilarity(std::size_t shingle_k)
-    : shingle_k_(shingle_k) {}
+BatchSimilarity::BatchSimilarity(std::size_t shingle_k,
+                                 std::size_t cache_capacity)
+    : shingle_k_(shingle_k), cache_capacity_(cache_capacity) {}
 
 const BatchSimilarity::Doc* BatchSimilarity::cached(std::uint64_t key) const {
   const auto it = cache_.find(key);
@@ -146,7 +147,10 @@ std::vector<DiffStats> BatchSimilarity::run(
   {
     std::unordered_set<std::uint64_t> queued;
     auto need = [&](std::uint64_t key, std::string_view text) {
-      if (!cache_.contains(key) && queued.insert(key).second) {
+      if (cache_.contains(key)) {
+        ++stats_.hits;
+      } else if (queued.insert(key).second) {
+        ++stats_.misses;
         missing.emplace_back(key, text);
       }
     };
@@ -164,18 +168,30 @@ std::vector<DiffStats> BatchSimilarity::run(
         return doc;
       });
   for (std::size_t i = 0; i < missing.size(); ++i) {
-    cache_.emplace(missing[i].first, std::move(docs[i]));
+    if (cache_.emplace(missing[i].first, std::move(docs[i])).second) {
+      cache_order_.push_back(missing[i].first);
+    }
   }
 
   // Phase 2 (parallel): pairwise stats over the read-only cache. Same
   // jaccard/containment/LCS calls as the serial diff_stats, on the same
   // token/shingle inputs, so results are bit-identical.
-  return parallel_map(requests, [&](const Request& req) {
+  auto out = parallel_map(requests, [&](const Request& req) {
     const Doc& parent = cache_.at(req.parent_key);
     const Doc& child = cache_.at(req.child_key);
     return diff_stats_precomputed(parent.tokens, parent.shingles, child.tokens,
                                   child.shingles);
   });
+
+  // FIFO eviction after the batch: the pass above holds references into
+  // the cache, so the bound is enforced only between runs (soft by at most
+  // one batch, like the verified-signature cache's insert-then-trim).
+  while (cache_.size() > cache_capacity_ && !cache_order_.empty()) {
+    cache_.erase(cache_order_.front());
+    cache_order_.pop_front();
+    ++stats_.evictions;
+  }
+  return out;
 }
 
 }  // namespace tnp::text

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
@@ -84,10 +85,18 @@ struct DiffStats {
 /// the per-pair stats execute on the global thread pool, and results are
 /// bit-identical to calling diff_stats() on each pair serially.
 ///
-/// Not thread-safe: one BatchSimilarity per analysis pass.
+/// Not thread-safe: one BatchSimilarity per analysis pass (or one
+/// long-lived instance owned by a single analysis engine).
+///
+/// The memo cache is bounded: documents are evicted FIFO (insertion order,
+/// like the chain's verified-signature cache) once the cache exceeds
+/// `cache_capacity`. Eviction is deferred to the end of run() so in-pass
+/// pointers stay valid — the bound is soft by at most one batch. Evicting
+/// never changes results, only re-preprocessing cost.
 class BatchSimilarity {
  public:
-  explicit BatchSimilarity(std::size_t shingle_k = 3);
+  explicit BatchSimilarity(std::size_t shingle_k = 3,
+                           std::size_t cache_capacity = 1 << 15);
 
   struct Request {
     std::uint64_t parent_key = 0;
@@ -108,10 +117,24 @@ class BatchSimilarity {
   /// Cached preprocessing for `key`, or nullptr if never seen.
   [[nodiscard]] const Doc* cached(std::uint64_t key) const;
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t cache_capacity() const { return cache_capacity_; }
+
+  /// Memo-cache traffic counters, cumulative across run() calls. A hit is
+  /// a request document already preprocessed; a miss is one preprocessed
+  /// this run; evictions count documents dropped by the FIFO bound.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   std::size_t shingle_k_;
+  std::size_t cache_capacity_;
   std::unordered_map<std::uint64_t, Doc> cache_;
+  std::deque<std::uint64_t> cache_order_;  // insertion order, for FIFO eviction
+  Stats stats_;
 };
 
 }  // namespace tnp::text

@@ -1,0 +1,543 @@
+// Tests for the incremental news-analytics engine (core/analytics):
+//
+//  * delta-maintained graph / trace cache / LSH index are bit-identical to
+//    the from_state + per-query oracles under a randomized platform
+//    workload (publish, derive, merge, rank rounds, certification);
+//  * the banded LSH near-duplicate index returns exactly the brute-force
+//    twin's results on a corpus salted with crafted near-duplicates;
+//  * the bounded BatchSimilarity memo never changes results, only traffic;
+//  * FactualDatabase syncs incrementally (root fast-skip + commit hook);
+//  * per-replica cluster engines survive crash/recover with counters
+//    folded across the rebuild, ending equivalent to the oracle;
+//  * the chaos harness stays deterministic with engines attached.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "consensus/cluster.hpp"
+#include "contracts/txbuilder.hpp"
+#include "core/analytics.hpp"
+#include "core/factdb.hpp"
+#include "core/newsgraph.hpp"
+#include "core/platform.hpp"
+#include "fault/chaos.hpp"
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "storage/file_backend.hpp"
+#include "text/similarity.hpp"
+#include "workload/corpus.hpp"
+
+namespace tnp::core {
+namespace {
+
+using contracts::EditType;
+using contracts::Role;
+
+void expect_trace_identical(const TraceResult& got, const TraceResult& want,
+                            const std::string& context) {
+  EXPECT_EQ(got.traceable, want.traceable) << context;
+  EXPECT_EQ(got.distance, want.distance) << context;
+  EXPECT_EQ(got.path, want.path) << context;
+  EXPECT_EQ(got.path_similarity, want.path_similarity) << context;
+}
+
+// ------------------------------------------------- engine ≡ oracle property
+
+/// Randomized end-to-end workload on the platform; at every checkpoint the
+/// engine's incrementally-maintained state must equal a fresh from_state
+/// rebuild, and every query must be bit-identical to the one-shot oracle.
+TEST(AnalyticsEngineTest, DeltaMaintenanceMatchesFromStateOracle) {
+  TrustingNewsPlatform platform;
+  const Actor& owner = platform.create_actor("Owner", Role::kPublisher);
+  ASSERT_TRUE(platform.create_distribution_platform(owner, "p").ok());
+  ASSERT_TRUE(platform.create_newsroom(owner, "p", "econ", "economy").ok());
+  ASSERT_TRUE(platform.create_newsroom(owner, "p", "sci", "science").ok());
+  ASSERT_TRUE(platform.fund(owner.account(), 10'000).ok());
+  std::vector<const Actor*> voters;
+  for (int i = 0; i < 3; ++i) {
+    const Actor& v = platform.create_actor("V" + std::to_string(i),
+                                           Role::kFactChecker);
+    ASSERT_TRUE(platform.fund(v.account(), 1'000).ok());
+    voters.push_back(&v);
+  }
+
+  workload::CorpusGenerator gen({}, 0xA11A);
+  Rng rng(0x5EED01);
+  std::vector<workload::Document> docs;   // parallel to `articles`
+  std::vector<Hash256> articles;
+  std::vector<workload::Document> fact_docs;
+  std::vector<Hash256> facts;
+  for (std::size_t i = 0; i < 3; ++i) {
+    fact_docs.push_back(gen.factual(i % 2));
+    auto fact = platform.seed_fact(fact_docs.back().text,
+                                   "src" + std::to_string(i));
+    ASSERT_TRUE(fact.ok());
+    facts.push_back(*fact);
+  }
+
+  const auto checkpoint = [&](const std::string& label) {
+    const ProvenanceGraph oracle =
+        ProvenanceGraph::from_state(platform.chain().state());
+    NewsAnalyticsEngine& engine = platform.analytics();
+
+    // Graph equivalence: articles, fact roots, rank scores, room topics.
+    ASSERT_EQ(engine.graph().article_count(), oracle.article_count()) << label;
+    EXPECT_EQ(engine.graph().fact_roots(), oracle.fact_roots()) << label;
+    for (const auto& [hash, record] : oracle.articles()) {
+      const auto* mine = engine.graph().article(hash);
+      ASSERT_NE(mine, nullptr) << label;
+      EXPECT_EQ(mine->parents, record.parents) << label;
+      EXPECT_EQ(mine->author, record.author) << label;
+    }
+    ASSERT_EQ(engine.graph().rank_scores().size(), oracle.rank_scores().size())
+        << label;
+    for (const auto& [hash, score] : oracle.rank_scores()) {
+      const auto mine = engine.rank_score(hash);
+      ASSERT_TRUE(mine.has_value()) << label;
+      EXPECT_EQ(*mine, score) << label;
+    }
+    EXPECT_EQ(engine.room_topics(),
+              read_room_topics(platform.chain().state()))
+        << label;
+
+    // Every trace bit-identical to the per-query Dijkstra on the oracle.
+    for (const auto& [hash, record] : oracle.articles()) {
+      expect_trace_identical(engine.trace(hash),
+                             oracle.trace_to_root(hash, platform.content()),
+                             label);
+    }
+
+    // Composite rank == the legacy rebuild-per-query formula.
+    for (const Hash256& hash : articles) {
+      const auto text = platform.content().get(hash);
+      const double ai = text ? platform.ai_credibility(*text) : 0.5;
+      const double crowd = oracle.rank_score(hash).value_or(0.5);
+      const double trace =
+          oracle.trace_to_root(hash, platform.content()).trace_score();
+      EXPECT_EQ(platform.composite_rank(hash),
+                platform.config().rank_weights.combine(ai, crowd, trace))
+          << label;
+    }
+    const std::vector<double> batch = platform.composite_ranks(articles);
+    ASSERT_EQ(batch.size(), articles.size()) << label;
+    for (std::size_t i = 0; i < articles.size(); ++i) {
+      EXPECT_EQ(batch[i], platform.composite_rank(articles[i])) << label;
+    }
+
+    // Experts and near-duplicates against their oracles.
+    EXPECT_TRUE(platform.experts("economy", 5) ==
+                oracle.suggest_experts(
+                    "economy", read_room_topics(platform.chain().state()), 5))
+        << label;
+    for (const Hash256& hash : articles) {
+      EXPECT_EQ(platform.near_duplicates(hash),
+                platform.analytics().near_duplicates_brute(hash))
+          << label;
+    }
+  };
+
+  for (std::uint64_t step = 0; step < 36; ++step) {
+    const std::uint64_t action = rng.uniform(10);
+    if (action < 5 || articles.empty()) {
+      const std::string room = rng.uniform(2) == 0 ? "econ" : "sci";
+      workload::Document doc;
+      std::vector<Hash256> parents;
+      if (!docs.empty() && rng.uniform(3) != 0) {
+        const std::size_t j = rng.uniform(docs.size());
+        doc = gen.derive_factual(docs[j], step, 0.15);
+        parents = {articles[j]};
+        if (rng.uniform(4) == 0) {  // occasional merge node
+          parents.push_back(facts[rng.uniform(facts.size())]);
+        }
+      } else if (rng.uniform(2) == 0) {
+        const std::size_t j = rng.uniform(fact_docs.size());
+        doc = gen.derive_factual(fact_docs[j], 100 + step, 0.2);
+        parents = {facts[j]};
+      } else {
+        doc = gen.fabricated();
+      }
+      auto published = platform.publish(
+          owner, "p", room, doc.text,
+          parents.empty() ? EditType::kOriginal : EditType::kInsert, parents);
+      ASSERT_TRUE(published.ok());
+      docs.push_back(doc);
+      articles.push_back(*published);
+    } else if (action < 8) {
+      const Hash256& article = articles[rng.uniform(articles.size())];
+      if (platform.open_round(owner, article).ok()) {
+        for (const Actor* v : voters) {
+          (void)platform.vote(*v, article, rng.uniform(4) != 0, 10);
+        }
+        (void)platform.close_round(owner, article);
+      }
+    } else {
+      (void)platform.maybe_certify(articles[rng.uniform(articles.size())]);
+    }
+    if (step == 18) checkpoint("mid-run");
+  }
+  checkpoint("final");
+
+  // Promote an already-published article to a factual root: the one delta
+  // in this workload that dirties a cached descendant cone (new leaves
+  // invalidate nothing by design, and certifications never pass with an
+  // untrained detector).
+  ASSERT_TRUE(platform.seed_fact(docs[0].text, "promoted").ok());
+  checkpoint("post-promotion");
+
+  const AnalyticsStats& stats = platform.analytics().stats();
+  EXPECT_EQ(stats.rebuilds, 1u);  // only the attach-time bootstrap
+  EXPECT_GT(stats.blocks_applied, 20u);
+  EXPECT_GT(stats.writes_applied, 0u);
+  EXPECT_GT(stats.trace_queries, 0u);
+  EXPECT_GT(stats.trace_cache_hits, 0u);
+  EXPECT_GE(stats.trace_sweeps, 1u);
+  EXPECT_GT(stats.trace_invalidations, 0u);
+  EXPECT_GT(stats.lsh_queries, 0u);
+  EXPECT_GT(stats.expert_queries, 0u);
+}
+
+// ------------------------------------------------------ LSH ≡ brute force
+
+std::string synthetic_text(std::uint64_t id, std::size_t tokens) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens; ++i) {
+    out += "w" + std::to_string(id * 1000 + i) + " ";
+  }
+  return out;
+}
+
+TEST(AnalyticsEngineTest, LshIndexMatchesBruteForceTwin) {
+  TrustingNewsPlatform platform;
+  const Actor& owner = platform.create_actor("Owner", Role::kPublisher);
+  ASSERT_TRUE(platform.create_distribution_platform(owner, "p").ok());
+  ASSERT_TRUE(platform.create_newsroom(owner, "p", "r", "general").ok());
+
+  // 12 mutually-disjoint articles plus 4 near-duplicates of the first
+  // (one token of ~100 changed: well above the 0.9 similarity floor).
+  std::vector<Hash256> articles;
+  for (std::uint64_t id = 0; id < 12; ++id) {
+    auto h = platform.publish(owner, "p", "r", synthetic_text(id, 100),
+                              EditType::kOriginal, {});
+    ASSERT_TRUE(h.ok());
+    articles.push_back(*h);
+  }
+  const std::string base = synthetic_text(0, 100);
+  for (int variant = 0; variant < 4; ++variant) {
+    std::string text = base;
+    const std::string needle = "w" + std::to_string(50 + variant) + " ";
+    const auto at = text.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, needle.size(), "edited" + std::to_string(variant) + " ");
+    auto h = platform.publish(owner, "p", "r", text, EditType::kInsert,
+                              {articles[0]});
+    ASSERT_TRUE(h.ok());
+    articles.push_back(*h);
+  }
+
+  std::size_t found = 0;
+  for (const Hash256& hash : articles) {
+    const std::vector<Hash256> banded = platform.near_duplicates(hash);
+    EXPECT_EQ(banded, platform.analytics().near_duplicates_brute(hash));
+    EXPECT_TRUE(std::is_sorted(banded.begin(), banded.end()));
+    found += banded.size();
+  }
+  // The crafted variants must actually surface (the equality above would
+  // also hold vacuously on all-empty results).
+  EXPECT_GT(found, 0u);
+  // A disjoint-vocabulary article matches nothing.
+  EXPECT_TRUE(platform.near_duplicates(articles[5]).empty());
+
+  const AnalyticsStats& stats = platform.analytics().stats();
+  EXPECT_GE(stats.lsh_queries, articles.size());
+  EXPECT_GT(stats.lsh_candidates, 0u);
+  EXPECT_LE(stats.lsh_verified, stats.lsh_candidates);
+}
+
+// ---------------------------------------------- bounded batch-memo cache
+
+TEST(BatchSimilarityTest, BoundedMemoMatchesUnboundedAndEvicts) {
+  text::BatchSimilarity bounded(3, 4);
+  text::BatchSimilarity unbounded(3);
+  std::vector<std::string> corpus;
+  for (std::uint64_t id = 0; id < 12; ++id) {
+    corpus.push_back(synthetic_text(id, 24));
+  }
+
+  for (int round = 0; round < 2; ++round) {
+    std::vector<text::BatchSimilarity::Request> requests;
+    for (std::uint64_t i = 0; i + 1 < corpus.size(); ++i) {
+      requests.push_back({i, corpus[i], i + 1, corpus[i + 1]});
+    }
+    const auto got = bounded.run(requests);
+    const auto want = unbounded.run(requests);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].jaccard, want[i].jaccard);
+      EXPECT_EQ(got[i].lcs, want[i].lcs);
+      EXPECT_EQ(got[i].parent_in_child, want[i].parent_in_child);
+      EXPECT_EQ(got[i].child_in_parent, want[i].child_in_parent);
+    }
+  }
+
+  EXPECT_LE(bounded.cache_size(), bounded.cache_capacity());
+  EXPECT_GT(bounded.stats().evictions, 0u);
+  EXPECT_EQ(unbounded.stats().evictions, 0u);
+  EXPECT_GT(unbounded.stats().hits, 0u);  // second round fully memoized
+  // Evicted documents get re-preprocessed; results stayed identical.
+  EXPECT_GT(bounded.stats().misses, unbounded.stats().misses);
+}
+
+// ------------------------------------------------- factdb incremental sync
+
+TEST(FactdbSyncTest, RootFastSkipAndCommitHookMirroring) {
+  TrustingNewsPlatform platform;
+  std::vector<Hash256> records;
+  for (int i = 0; i < 4; ++i) {
+    auto record = platform.seed_fact(
+        "record " + std::to_string(i) + " alpha beta gamma delta",
+        "tag" + std::to_string(i));
+    ASSERT_TRUE(record.ok());
+    records.push_back(*record);
+  }
+  // The platform's database is hook-attached: every record arrived as a
+  // block delta, with exactly the one attach-time bootstrap scan.
+  EXPECT_EQ(platform.factdb().size(), 4u);
+  EXPECT_EQ(platform.factdb().stats().hook_records, 4u);
+  EXPECT_EQ(platform.factdb().stats().full_scans, 1u);
+
+  // A standalone mirror: first sync scans, a repeat sync is skipped
+  // entirely on the unchanged root.
+  FactualDatabase mirror;
+  mirror.sync_from_state(platform.chain().state());
+  EXPECT_EQ(mirror.size(), 4u);
+  EXPECT_EQ(mirror.stats().full_scans, 1u);
+  EXPECT_EQ(mirror.stats().incremental_skips, 0u);
+  mirror.sync_from_state(platform.chain().state());
+  EXPECT_EQ(mirror.stats().full_scans, 1u);
+  EXPECT_EQ(mirror.stats().incremental_skips, 1u);
+
+  // New record: the hook mirrors it instantly; the standalone mirror
+  // rescans (root changed) and converges to the same record set.
+  auto extra = platform.seed_fact("record four epsilon zeta", "tag4");
+  ASSERT_TRUE(extra.ok());
+  records.push_back(*extra);
+  EXPECT_EQ(platform.factdb().size(), 5u);
+  EXPECT_EQ(platform.factdb().stats().hook_records, 5u);
+  EXPECT_EQ(platform.factdb().stats().full_scans, 1u);
+  mirror.sync_from_state(platform.chain().state());
+  EXPECT_EQ(mirror.stats().full_scans, 2u);
+  EXPECT_EQ(mirror.size(), 5u);
+  // Insertion order (and thus the order-sensitive Merkle root) differs
+  // between the hook path (consensus commit order) and a rescan (state key
+  // order); equivalence is membership plus per-database inclusion proofs.
+  for (const Hash256& record : records) {
+    EXPECT_TRUE(platform.factdb().contains(record));
+    EXPECT_TRUE(mirror.contains(record));
+    auto proof = mirror.prove(record);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(mirror.verify(record, *proof, mirror.root()));
+    auto hook_proof = platform.factdb().prove(record);
+    ASSERT_TRUE(hook_proof.ok());
+    EXPECT_TRUE(platform.factdb().verify(record, *hook_proof,
+                                         platform.factdb().root()));
+  }
+}
+
+// --------------------------------------------- cluster crash/recover
+
+std::unique_ptr<ledger::TransactionExecutor> contract_executor() {
+  return contracts::ContractHost::standard();
+}
+
+const KeyPair& cluster_admin() {
+  static const KeyPair key = KeyPair::generate(SigScheme::kHmacSim, 0xAD0002);
+  return key;
+}
+
+std::string cluster_fact_text() {
+  return "alpha beta gamma delta epsilon zeta eta theta iota kappa lambda mu";
+}
+
+std::string cluster_article_text(std::uint64_t index) {
+  return cluster_fact_text() + " update " + std::to_string(index);
+}
+
+/// Single-sender workload whose publishes form a parent chain down to a
+/// factual root, with every text in the shared content store — so the
+/// per-replica engines maintain non-trivial graphs and traces.
+ledger::Transaction cluster_news_tx(std::uint64_t index,
+                                    ContentStore& content) {
+  namespace txb = contracts::txb;
+  const KeyPair& admin = cluster_admin();
+  switch (index) {
+    case 0:
+      return txb::register_identity(admin, 0, "ed", Role::kPublisher);
+    case 1:
+      return txb::bootstrap_governance(admin, 1);
+    case 2:
+      return txb::create_platform(admin, 2, "wire");
+    case 3:
+      return txb::create_room(admin, 3, "wire", "world", "breaking news");
+    case 4:
+      return txb::add_fact(admin, 4, content.put(cluster_fact_text()),
+                           "seed");
+    default:
+      break;
+  }
+  const Hash256 article = content.put(cluster_article_text(index));
+  const Hash256 parent = index == 5
+                             ? content.put(cluster_fact_text())
+                             : content.put(cluster_article_text(index - 1));
+  return txb::publish(admin, index, "wire", "world", article,
+                      "ref-" + std::to_string(index), EditType::kInsert,
+                      {parent});
+}
+
+TEST(AnalyticsClusterTest, EnginesSurviveCrashRecoveryWithFoldedCounters) {
+  sim::Simulator simulator;
+  net::Network network(simulator, 917);
+  ContentStore content;
+
+  consensus::ClusterConfig config;
+  config.protocol = consensus::Protocol::kPbft;
+  config.replicas = 4;
+  config.auth_mode = consensus::AuthMode::kMac;
+  config.block_interval = 20 * sim::kMillisecond;
+  config.view_timeout = 250 * sim::kMillisecond;
+  config.seed = 901;
+  config.news_analytics = true;
+  config.news_content = &content;
+  std::vector<std::shared_ptr<storage::MemoryBackend>> disks;
+  for (std::uint32_t i = 0; i < config.replicas; ++i) {
+    disks.push_back(std::make_shared<storage::MemoryBackend>());
+  }
+  config.storage_factory = [&disks](std::size_t i) { return disks[i]; };
+  config.store.group_commit = 1;
+  config.store.snapshot_interval = 4;
+
+  consensus::Cluster cluster(network, contract_executor, config);
+  fault::InvariantChecker checker(cluster, simulator);
+  fault::FaultInjector injector(network, cluster, 931);
+  fault::FaultPlan plan;
+  plan.crash(3 * sim::kSecond, 2).recover(6 * sim::kSecond, 2);
+  injector.arm(plan);
+  checker.note_all_clear(6 * sim::kSecond);
+
+  cluster.start();
+  std::uint64_t submitted = 0;
+  for (sim::SimTime t = 100 * sim::kMillisecond; t < 15 * sim::kSecond;
+       t += 100 * sim::kMillisecond) {
+    const std::uint64_t index = submitted++;
+    simulator.schedule_at(t, [&cluster, &content, index]() {
+      cluster.submit(cluster_news_tx(index, content));
+    });
+  }
+  simulator.run_until(20 * sim::kSecond);
+
+  const fault::InvariantReport report = checker.finish(10 * sim::kSecond);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  // Every replica (the once-crashed one included) ends with a live engine
+  // whose graph and traces are bit-identical to a from_state rebuild of
+  // its own chain.
+  bool deep_chain_seen = false;
+  for (std::size_t i = 0; i < cluster.replica_count(); ++i) {
+    NewsAnalyticsEngine* engine = cluster.news_engine(i);
+    ASSERT_NE(engine, nullptr) << "replica " << i;
+    const ProvenanceGraph oracle =
+        ProvenanceGraph::from_state(cluster.chain(i).state());
+    EXPECT_GT(oracle.article_count(), 0u) << "replica " << i;
+    ASSERT_EQ(engine->graph().article_count(), oracle.article_count())
+        << "replica " << i;
+    EXPECT_EQ(engine->graph().fact_roots(), oracle.fact_roots())
+        << "replica " << i;
+    for (const auto& [hash, record] : oracle.articles()) {
+      const TraceResult got = engine->trace(hash);
+      const TraceResult want = oracle.trace_to_root(hash, content);
+      expect_trace_identical(got, want, "replica " + std::to_string(i));
+      if (want.traceable && want.distance >= 2) deep_chain_seen = true;
+    }
+  }
+  EXPECT_TRUE(deep_chain_seen) << "workload never built a multi-hop chain";
+
+  // Folded counters: 4 attach-time bootstraps plus at least the recovery
+  // re-attach survive in the retired+live fold.
+  const AnalyticsStats stats = cluster.news_stats();
+  EXPECT_GE(stats.rebuilds, 5u);
+  EXPECT_GT(stats.blocks_applied, 0u);
+  EXPECT_GT(stats.writes_applied, 0u);
+}
+
+// ----------------------------------------------- chaos determinism
+
+ledger::Transaction fresh_key_tx(std::uint64_t index) {
+  const KeyPair key = KeyPair::generate(SigScheme::kHmacSim, 0xFACE + index);
+  return contracts::txb::register_identity(
+      key, 0, "u" + std::to_string(index), Role::kConsumer);
+}
+
+fault::ChaosResult run_news_chaos(AnalyticsStats* stats_out) {
+  fault::ChaosConfig config;
+  config.cluster.protocol = consensus::Protocol::kPbft;
+  config.cluster.replicas = 4;
+  config.cluster.auth_mode = consensus::AuthMode::kMac;
+  config.cluster.block_interval = 20 * sim::kMillisecond;
+  config.cluster.view_timeout = 250 * sim::kMillisecond;
+  config.cluster.seed = 23;
+  config.cluster.news_analytics = true;  // engines on, no content store
+  config.seed = 23;
+  config.run_until = 12 * sim::kSecond;
+  config.durable = true;
+  config.store.group_commit = 1;
+  config.store.snapshot_interval = 4;
+
+  fault::FaultPlan plan;
+  plan.crash(2 * sim::kSecond, 1)
+      .recover(4 * sim::kSecond, 1)
+      .crash(5 * sim::kSecond, 3)
+      .recover(7 * sim::kSecond, 3);
+
+  fault::ChaosHooks hooks;
+  hooks.on_finish = [stats_out](const consensus::Cluster& cluster) {
+    *stats_out = cluster.news_stats();
+    for (std::size_t i = 0; i < cluster.replica_count(); ++i) {
+      const NewsAnalyticsEngine* engine = cluster.news_engine(i);
+      ASSERT_NE(engine, nullptr) << "replica " << i;
+      const ProvenanceGraph oracle =
+          ProvenanceGraph::from_state(cluster.chain(i).state());
+      EXPECT_EQ(engine->graph().article_count(), oracle.article_count());
+      EXPECT_EQ(engine->graph().fact_roots(), oracle.fact_roots());
+    }
+  };
+  return fault::run_chaos(config, plan, contract_executor, fresh_key_tx,
+                          &hooks);
+}
+
+TEST(AnalyticsChaosTest, DeterministicUnderCrashRecoveryFaults) {
+  AnalyticsStats first_stats;
+  AnalyticsStats second_stats;
+  const fault::ChaosResult first = run_news_chaos(&first_stats);
+  const fault::ChaosResult second = run_news_chaos(&second_stats);
+
+  EXPECT_TRUE(first.ok()) << first.report.to_string();
+  EXPECT_TRUE(second.ok()) << second.report.to_string();
+  EXPECT_EQ(first.fault_events_applied, 4u);
+  EXPECT_GT(first.committed_blocks, 0u);
+  // Attaching engines must not perturb consensus: the run fingerprint and
+  // the engines' own deterministic counters repeat exactly.
+  EXPECT_EQ(first.fingerprint(), second.fingerprint());
+  EXPECT_EQ(first_stats.blocks_applied, second_stats.blocks_applied);
+  EXPECT_EQ(first_stats.writes_applied, second_stats.writes_applied);
+  EXPECT_GT(first_stats.blocks_applied, 0u);
+  // Two crash/recover cycles: 4 bootstraps + at least 2 recovery rebuilds.
+  EXPECT_GE(first_stats.rebuilds, 6u);
+}
+
+}  // namespace
+}  // namespace tnp::core
